@@ -1,0 +1,47 @@
+// Shared helpers for the experiment benchmarks. Each bench_* binary
+// reproduces one experiment from DESIGN.md §4: it prints the paper-style
+// result table(s) first, then runs google-benchmark microbenchmarks for
+// the hot operations involved.
+
+#ifndef DBDESIGN_BENCH_BENCH_COMMON_H_
+#define DBDESIGN_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "storage/database.h"
+#include "util/logging.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace bench {
+
+inline Database MakeDb(int photoobj_rows = 20000, uint64_t seed = 42) {
+  SetLogLevel(LogLevel::kError);
+  SdssConfig cfg;
+  cfg.photoobj_rows = photoobj_rows;
+  cfg.seed = seed;
+  return BuildSdssDatabase(cfg);
+}
+
+inline double DataPages(const Database& db) {
+  double pages = 0.0;
+  for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
+    pages += db.stats(t).HeapPages(db.catalog().table(t));
+  }
+  return pages;
+}
+
+inline void Header(const char* experiment, const char* claim) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,259 @@
+// dbdesign_cli: an interactive shell over the Designer — the portable
+// equivalent of the demo's GUI. The DBA can explain queries, create and
+// drop what-if structures, toggle join knobs, ask for recommendations,
+// inspect interactions, and materialize indexes.
+//
+//   $ ./build/examples/dbdesign_cli            # interactive
+//   $ echo "recommend 1.0" | ./build/examples/dbdesign_cli
+//
+// Commands (also via `help`):
+//   sql <SELECT ...>        explain + run a query
+//   whatif index t c1[,c2]  create a hypothetical index
+//   drop index t c1[,c2]    drop a hypothetical index
+//   knobs [name on|off]     show / set join knobs
+//   eval                    benefit panel of the hypothetical design
+//   recommend [budget_x]    CoPhy+AutoPart+schedule (budget x data size)
+//   interactions            doi graph over the hypothetical indexes
+//   build t c1[,c2]         physically build an index
+//   tables                  list schema
+//   quit
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/designer.h"
+#include "core/report.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "util/str.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+using namespace dbdesign;
+
+namespace {
+
+struct Shell {
+  Database db;
+  Designer designer;
+  Workload workload;
+  Executor exec;
+
+  explicit Shell(Database d)
+      : db(std::move(d)),
+        designer(db),
+        workload(GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, 7)),
+        exec(db) {}
+
+  Result<IndexDef> ParseIndexSpec(const std::string& table,
+                                  const std::string& cols) {
+    TableId t = db.catalog().FindTable(table);
+    if (t == kInvalidTableId) {
+      return Status::NotFound("table '" + table + "'");
+    }
+    IndexDef idx;
+    idx.table = t;
+    for (const std::string& c : StrSplit(cols, ',')) {
+      ColumnId col = db.catalog().table(t).FindColumn(c);
+      if (col == kInvalidColumnId) {
+        return Status::NotFound("column '" + c + "' in " + table);
+      }
+      idx.columns.push_back(col);
+    }
+    if (idx.columns.empty()) {
+      return Status::InvalidArgument("no columns given");
+    }
+    return idx;
+  }
+
+  void CmdSql(const std::string& sql) {
+    auto q = ParseAndBind(db.catalog(), sql);
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    PlanResult plan = designer.whatif().Plan(q.value());
+    std::printf("%s\n", plan.root->ToString(db.catalog(), q.value()).c_str());
+    auto rows = exec.Execute(q.value(), *plan.root);
+    if (rows.ok()) {
+      size_t shown = 0;
+      for (const Row& r : rows.value()) {
+        if (shown++ >= 10) break;
+        std::string line;
+        for (const Value& v : r) line += v.ToString() + "  ";
+        std::printf("  %s\n", line.c_str());
+      }
+      std::printf("(%zu rows)\n", rows.value().size());
+    } else {
+      std::printf("(plan not executable: %s)\n",
+                  rows.status().ToString().c_str());
+    }
+  }
+
+  void CmdKnobs(std::istringstream& in) {
+    std::string name;
+    std::string state;
+    in >> name >> state;
+    PlannerKnobs& k = designer.whatif().knobs();
+    struct Entry {
+      const char* name;
+      bool* flag;
+    } entries[] = {
+        {"seqscan", &k.enable_seqscan},
+        {"indexscan", &k.enable_indexscan},
+        {"indexonlyscan", &k.enable_indexonlyscan},
+        {"nestloop", &k.enable_nestloop},
+        {"indexnestloop", &k.enable_indexnestloop},
+        {"hashjoin", &k.enable_hashjoin},
+        {"mergejoin", &k.enable_mergejoin},
+        {"sort", &k.enable_sort},
+    };
+    if (!name.empty()) {
+      for (Entry& e : entries) {
+        if (name == e.name) *e.flag = (state != "off");
+      }
+    }
+    for (Entry& e : entries) {
+      std::printf("  enable_%-14s %s\n", e.name, *e.flag ? "on" : "off");
+    }
+  }
+
+  void CmdEval() {
+    BenefitReport report = designer.EvaluateDesign(
+        workload, designer.whatif().hypothetical_design());
+    std::printf("%s", RenderBenefitPanel(db.catalog(), workload, report)
+                          .c_str());
+  }
+
+  void CmdRecommend(std::istringstream& in) {
+    double factor = 1.0;
+    in >> factor;
+    double pages = 0.0;
+    for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
+      pages += db.stats(t).HeapPages(db.catalog().table(t));
+    }
+    OfflineRecommendation rec =
+        designer.RecommendOffline(workload, factor * pages);
+    std::printf("%s", RenderOfflineRecommendation(db.catalog(), db, workload,
+                                                  rec)
+                          .c_str());
+  }
+
+  void CmdInteractions() {
+    const auto& indexes = designer.whatif().hypothetical_design().indexes();
+    if (indexes.size() < 2) {
+      std::printf("create at least two what-if indexes first\n");
+      return;
+    }
+    InteractionGraph graph = designer.AnalyzeInteractions(workload, indexes);
+    std::printf("%s", graph.ToAscii().c_str());
+  }
+
+  void CmdTables() {
+    for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
+      const TableDef& def = db.catalog().table(t);
+      std::printf("  %s (%zu rows, %.0f pages):", def.name().c_str(),
+                  db.data(t).NumRows(),
+                  db.stats(t).HeapPages(def));
+      for (const ColumnDef& c : def.columns()) {
+        std::printf(" %s", c.name.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "  sql <SELECT ...> | whatif index <t> <c1[,c2]> | drop index "
+          "<t> <cols>\n  knobs [name on|off] | eval | recommend [x] | "
+          "interactions | build <t> <cols> | tables | quit\n");
+    } else if (cmd == "sql") {
+      std::string rest;
+      std::getline(in, rest);
+      CmdSql(rest);
+    } else if (cmd == "whatif" || cmd == "drop" || cmd == "build") {
+      std::string kind;
+      std::string table;
+      std::string cols;
+      if (cmd == "build") {
+        in >> table >> cols;
+        kind = "index";
+      } else {
+        in >> kind >> table >> cols;
+      }
+      if (kind != "index") {
+        std::printf("only 'index' specs are supported here\n");
+        return true;
+      }
+      auto idx = ParseIndexSpec(table, cols);
+      if (!idx.ok()) {
+        std::printf("error: %s\n", idx.status().ToString().c_str());
+        return true;
+      }
+      Status s;
+      if (cmd == "whatif") {
+        s = designer.whatif().CreateHypotheticalIndex(idx.value());
+        if (s.ok()) {
+          std::printf("created hypothetical %s (%s)\n",
+                      idx.value().DisplayName(db.catalog()).c_str(),
+                      FormatBytes(designer.whatif()
+                                      .HypotheticalIndexSize(idx.value())
+                                      .total_pages() *
+                                  kPageSizeBytes)
+                          .c_str());
+        }
+      } else if (cmd == "drop") {
+        s = designer.whatif().DropHypotheticalIndex(idx.value());
+      } else {
+        s = db.CreateIndex(idx.value());
+        if (s.ok()) {
+          std::printf("built %s\n",
+                      idx.value().DisplayName(db.catalog()).c_str());
+        }
+      }
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+    } else if (cmd == "knobs") {
+      CmdKnobs(in);
+    } else if (cmd == "eval") {
+      CmdEval();
+    } else if (cmd == "recommend") {
+      CmdRecommend(in);
+    } else if (cmd == "interactions") {
+      CmdInteractions();
+    } else if (cmd == "tables") {
+      CmdTables();
+    } else {
+      std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  SdssConfig config;
+  config.photoobj_rows = 20000;
+  std::printf("dbdesign interactive designer — loading SDSS-like data...\n");
+  Shell shell(BuildSdssDatabase(config));
+  std::printf("ready. 12-query workload loaded; type `help`.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("dbdesign> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Dispatch(line)) break;
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Demonstration scenario #1 (paper §4): interactive what-if design.
+//
+// "The user provides the query workload and the original physical
+//  schema. Then, she creates several what-if partitions and indexes
+//  using the tool's interface. Now, the tool presents the benefits from
+//  using the new physical design for the particular workload. The user
+//  can examine interactions between the what-if indexes as visualized
+//  by the Index Interaction component and save the rewritten queries
+//  for the new table partitions."
+//
+//   $ ./build/examples/scenario1_interactive
+
+#include <cstdio>
+
+#include "autopart/autopart.h"
+#include "core/designer.h"
+#include "core/report.h"
+#include "sql/binder.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+using namespace dbdesign;
+
+int main() {
+  SdssConfig config;
+  config.photoobj_rows = 20000;
+  Database db = BuildSdssDatabase(config);
+  Workload workload =
+      GenerateWorkload(db, TemplateMix::OfflineDefault(), 10, /*seed=*/42);
+  Designer designer(db);
+
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  TableId spec = db.catalog().FindTable(kSpecObj);
+  const TableDef& pdef = db.catalog().table(photo);
+
+  // --- The DBA proposes what-if indexes through the interface ---
+  std::printf("DBA creates 4 what-if indexes and 1 what-if partitioning...\n");
+  std::vector<IndexDef> manual = {
+      {photo, {pdef.FindColumn("ra"), pdef.FindColumn("dec")}, false},
+      {photo, {pdef.FindColumn("ra")}, false},
+      {photo, {pdef.FindColumn("objid")}, false},
+      {spec, {db.catalog().table(spec).FindColumn("bestobjid")}, false},
+  };
+  PhysicalDesign proposal;
+  for (const IndexDef& idx : manual) proposal.AddIndex(idx);
+
+  // A what-if vertical partitioning of photoobj: hot columns split out.
+  VerticalFragment hot;
+  for (const char* name : {"objid", "ra", "dec", "type", "psfmag_r"}) {
+    hot.columns.push_back(pdef.FindColumn(name));
+  }
+  std::sort(hot.columns.begin(), hot.columns.end());
+  VerticalFragment cold;
+  for (ColumnId c = 0; c < pdef.num_columns(); ++c) {
+    if (!hot.Covers(c)) cold.columns.push_back(c);
+  }
+  VerticalPartitioning vp;
+  vp.table = photo;
+  vp.fragments = {hot, cold};
+  proposal.SetVerticalPartitioning(vp);
+
+  // --- Benefit panel (the Figure 3-style view) ---
+  BenefitReport report = designer.EvaluateDesign(workload, proposal);
+  std::printf("\n%s\n",
+              RenderBenefitPanel(db.catalog(), workload, report).c_str());
+
+  // --- Index interaction visualization (Figure 2) ---
+  std::printf("Analyzing index interactions...\n\n");
+  InteractionGraph graph = designer.AnalyzeInteractions(workload, manual);
+  std::printf("%s\n", graph.ToAscii().c_str());
+  std::printf("The demo GUI lets the user cut the display down to the "
+              "strongest interactions:\n\n");
+  graph.SetDisplayedEdges(2);
+  std::printf("%s\n", graph.ToAscii().c_str());
+  std::printf("Graphviz rendering of the full graph:\n%s\n",
+              graph.ToDot().c_str());
+
+  // --- Save the rewritten queries for the new table partitions ---
+  std::printf("Rewritten queries for the what-if partitions:\n");
+  AutoPartAdvisor autopart(db);
+  for (size_t i = 0; i < 3 && i < workload.size(); ++i) {
+    std::printf("  q%zu: %s\n", i,
+                autopart.RewriteQuery(workload.queries[i], proposal).c_str());
+  }
+
+  // --- What-if join control ---
+  std::printf("\nJoin-method exploration on a join query:\n");
+  auto join_q = ParseAndBind(
+      db.catalog(),
+      "SELECT p.objid, s.z FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid WHERE s.z > 0.3");
+  WhatIfOptimizer& whatif = designer.whatif();
+  for (const IndexDef& idx : manual) whatif.CreateHypotheticalIndex(idx);
+  struct KnobCase {
+    const char* name;
+    bool hash, merge, nl, inl;
+  } cases[] = {
+      {"all enabled", true, true, true, true},
+      {"hash join off", false, true, true, true},
+      {"merge join off", true, false, true, true},
+      {"only nested loops", false, false, true, false},
+  };
+  for (const KnobCase& kc : cases) {
+    whatif.knobs().enable_hashjoin = kc.hash;
+    whatif.knobs().enable_mergejoin = kc.merge;
+    whatif.knobs().enable_nestloop = kc.nl;
+    whatif.knobs().enable_indexnestloop = kc.inl;
+    PlanResult r = whatif.Plan(join_q.value());
+    const char* method = "?";
+    std::function<void(const PlanNode&)> find = [&](const PlanNode& n) {
+      switch (n.type) {
+        case PlanNodeType::kHashJoin: method = "HashJoin"; break;
+        case PlanNodeType::kMergeJoin: method = "MergeJoin"; break;
+        case PlanNodeType::kNestLoopJoin: method = "NestLoop"; break;
+        case PlanNodeType::kIndexNestLoopJoin: method = "IndexNestLoop"; break;
+        default: break;
+      }
+      for (const auto& c : n.children) find(*c);
+    };
+    find(*r.root);
+    std::printf("  %-18s -> %-14s (cost %.1f)\n", kc.name, method, r.cost);
+  }
+  return 0;
+}

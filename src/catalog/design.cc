@@ -1,0 +1,192 @@
+#include "catalog/design.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+std::string IndexDef::Key() const {
+  std::string key = StrFormat("%d:(", table);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) key += ',';
+    key += StrFormat("%d", columns[i]);
+  }
+  key += ')';
+  return key;
+}
+
+std::string IndexDef::DisplayName(const Catalog& catalog) const {
+  const TableDef& def = catalog.table(table);
+  std::string name = "idx_" + def.name();
+  for (ColumnId c : columns) name += "_" + def.column(c).name;
+  return name;
+}
+
+IndexSizeEstimate EstimateIndexSize(const IndexDef& index,
+                                    const TableDef& def,
+                                    const TableStats& stats) {
+  IndexSizeEstimate est;
+  double entry_bytes = kIndexEntryOverheadBytes;
+  for (ColumnId c : index.columns) entry_bytes += def.column(c).Width();
+  double entries_per_leaf = kPageSizeBytes * kPageFillFactor / entry_bytes;
+  est.leaf_pages = std::max(1.0, std::ceil(stats.row_count / entries_per_leaf));
+  // Internal fanout: separator key + child pointer.
+  double fanout =
+      std::max(2.0, kPageSizeBytes * kPageFillFactor / (entry_bytes + 8.0));
+  double level_pages = est.leaf_pages;
+  est.height = 1.0;
+  while (level_pages > 1.0) {
+    level_pages = std::ceil(level_pages / fanout);
+    est.internal_pages += level_pages;
+    est.height += 1.0;
+  }
+  return est;
+}
+
+bool VerticalFragment::Covers(ColumnId c) const {
+  return std::binary_search(columns.begin(), columns.end(), c);
+}
+
+double VerticalPartitioning::TotalPages(const TableDef& def,
+                                        const TableStats& stats) const {
+  double pages = 0.0;
+  for (const VerticalFragment& f : fragments) {
+    pages += stats.FragmentPages(def, f.columns);
+  }
+  return pages;
+}
+
+double VerticalPartitioning::ReplicationFactor(const TableDef& def) const {
+  double stored = 0.0;
+  double original = 0.0;
+  for (const ColumnDef& c : def.columns()) original += c.Width();
+  for (const VerticalFragment& f : fragments) {
+    for (ColumnId c : f.columns) stored += def.column(c).Width();
+  }
+  return original > 0 ? stored / original : 1.0;
+}
+
+bool VerticalPartitioning::CoversTable(const TableDef& def) const {
+  for (ColumnId c = 0; c < def.num_columns(); ++c) {
+    bool covered = false;
+    for (const VerticalFragment& f : fragments) {
+      if (f.Covers(c)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool PhysicalDesign::AddIndex(const IndexDef& index) {
+  auto it = std::lower_bound(indexes_.begin(), indexes_.end(), index);
+  if (it != indexes_.end() && *it == index) return false;
+  indexes_.insert(it, index);
+  return true;
+}
+
+bool PhysicalDesign::RemoveIndex(const IndexDef& index) {
+  auto it = std::lower_bound(indexes_.begin(), indexes_.end(), index);
+  if (it == indexes_.end() || !(*it == index)) return false;
+  indexes_.erase(it);
+  return true;
+}
+
+bool PhysicalDesign::HasIndex(const IndexDef& index) const {
+  return std::binary_search(indexes_.begin(), indexes_.end(), index);
+}
+
+std::vector<IndexDef> PhysicalDesign::IndexesOn(TableId table) const {
+  std::vector<IndexDef> out;
+  for (const IndexDef& idx : indexes_) {
+    if (idx.table == table) out.push_back(idx);
+  }
+  return out;
+}
+
+std::pair<const IndexDef*, const IndexDef*> PhysicalDesign::IndexRange(
+    TableId table) const {
+  auto lo = std::lower_bound(
+      indexes_.begin(), indexes_.end(), table,
+      [](const IndexDef& idx, TableId t) { return idx.table < t; });
+  auto hi = lo;
+  while (hi != indexes_.end() && hi->table == table) ++hi;
+  return {indexes_.data() + (lo - indexes_.begin()),
+          indexes_.data() + (hi - indexes_.begin())};
+}
+
+void PhysicalDesign::SetVerticalPartitioning(VerticalPartitioning p) {
+  vertical_[p.table] = std::move(p);
+}
+
+void PhysicalDesign::ClearVerticalPartitioning(TableId table) {
+  vertical_.erase(table);
+}
+
+const VerticalPartitioning* PhysicalDesign::vertical(TableId table) const {
+  auto it = vertical_.find(table);
+  return it == vertical_.end() ? nullptr : &it->second;
+}
+
+void PhysicalDesign::SetHorizontalPartitioning(HorizontalPartitioning p) {
+  horizontal_[p.table] = std::move(p);
+}
+
+void PhysicalDesign::ClearHorizontalPartitioning(TableId table) {
+  horizontal_.erase(table);
+}
+
+const HorizontalPartitioning* PhysicalDesign::horizontal(TableId table) const {
+  auto it = horizontal_.find(table);
+  return it == horizontal_.end() ? nullptr : &it->second;
+}
+
+double PhysicalDesign::TotalIndexPages(
+    const Catalog& catalog, const std::vector<TableStats>& stats) const {
+  double pages = 0.0;
+  for (const IndexDef& idx : indexes_) {
+    pages += EstimateIndexSize(idx, catalog.table(idx.table),
+                               stats[idx.table])
+                 .total_pages();
+  }
+  return pages;
+}
+
+std::string PhysicalDesign::Fingerprint() const {
+  std::string fp = "I[";
+  for (const IndexDef& idx : indexes_) {
+    fp += idx.Key();
+    fp += ';';
+  }
+  fp += "]V[";
+  for (const auto& [table, vp] : vertical_) {
+    fp += StrFormat("%d:", table);
+    for (const VerticalFragment& f : vp.fragments) {
+      fp += '(';
+      for (ColumnId c : f.columns) fp += StrFormat("%d,", c);
+      fp += ')';
+    }
+    fp += ';';
+  }
+  fp += "]H[";
+  for (const auto& [table, hp] : horizontal_) {
+    fp += StrFormat("%d:%d:", table, hp.column);
+    for (const Value& b : hp.bounds) {
+      fp += b.ToString();
+      fp += ',';
+    }
+    fp += ';';
+  }
+  fp += ']';
+  return fp;
+}
+
+bool PhysicalDesign::operator==(const PhysicalDesign& other) const {
+  return Fingerprint() == other.Fingerprint();
+}
+
+}  // namespace dbdesign

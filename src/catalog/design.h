@@ -1,0 +1,150 @@
+// Physical design descriptors: indexes, vertical and horizontal
+// partitions, and the PhysicalDesign configuration object that the
+// what-if optimizer, INUM, CoPhy, AutoPart, COLT and the interaction
+// analyzer all exchange.
+
+#ifndef DBDESIGN_CATALOG_DESIGN_H_
+#define DBDESIGN_CATALOG_DESIGN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+
+namespace dbdesign {
+
+/// A (possibly multi-column) B-tree index descriptor.
+///
+/// An IndexDef is purely logical: it may refer to a materialized index or
+/// to a hypothetical (what-if) one. Identity is structural — same table
+/// and same column sequence.
+struct IndexDef {
+  TableId table = kInvalidTableId;
+  std::vector<ColumnId> columns;  ///< key columns, in order
+  bool unique = false;
+
+  bool operator==(const IndexDef& other) const {
+    return table == other.table && columns == other.columns;
+  }
+  bool operator<(const IndexDef& other) const {
+    if (table != other.table) return table < other.table;
+    return columns < other.columns;
+  }
+
+  ColumnId leading_column() const { return columns.empty() ? kInvalidColumnId : columns[0]; }
+
+  /// Canonical key, e.g. "2:(4,1)" — unique per structure.
+  std::string Key() const;
+
+  /// Human-readable name, e.g. "idx_photoobj_ra_dec".
+  std::string DisplayName(const Catalog& catalog) const;
+};
+
+/// Estimated size and shape of a B-tree index.
+struct IndexSizeEstimate {
+  double leaf_pages = 0.0;
+  double internal_pages = 0.0;
+  double height = 1.0;  ///< levels above the leaf level, >= 1
+  double total_pages() const { return leaf_pages + internal_pages; }
+};
+
+/// Estimates B-tree size from table statistics (never zero-sized; the
+/// paper notes that zero-size what-if indexes "severely affect" optimizer
+/// accuracy).
+IndexSizeEstimate EstimateIndexSize(const IndexDef& index,
+                                    const TableDef& def,
+                                    const TableStats& stats);
+
+/// A vertical fragment: a subset of a table's columns stored together.
+struct VerticalFragment {
+  std::vector<ColumnId> columns;  ///< sorted ascending
+
+  bool Covers(ColumnId c) const;
+  bool operator==(const VerticalFragment&) const = default;
+};
+
+/// A vertical partitioning of one table into fragments. Fragments may
+/// overlap (column replication) subject to AutoPart's space constraint;
+/// their union must cover the whole table.
+struct VerticalPartitioning {
+  TableId table = kInvalidTableId;
+  std::vector<VerticalFragment> fragments;
+
+  /// Total heap pages across fragments.
+  double TotalPages(const TableDef& def, const TableStats& stats) const;
+
+  /// Replication factor: total stored column-bytes / original column-bytes.
+  double ReplicationFactor(const TableDef& def) const;
+
+  /// True if every table column appears in at least one fragment.
+  bool CoversTable(const TableDef& def) const;
+};
+
+/// A horizontal range partitioning of one table on a single column.
+/// bounds = {b1, ..., bk} produce k+1 partitions:
+/// (-inf, b1), [b1, b2), ..., [bk, +inf).
+struct HorizontalPartitioning {
+  TableId table = kInvalidTableId;
+  ColumnId column = kInvalidColumnId;
+  std::vector<Value> bounds;  ///< strictly increasing
+
+  int num_partitions() const { return static_cast<int>(bounds.size()) + 1; }
+};
+
+/// A complete physical configuration: a set of indexes plus optional
+/// per-table partitionings. Cheap to copy; used as the unit of what-if
+/// evaluation everywhere.
+class PhysicalDesign {
+ public:
+  PhysicalDesign() = default;
+
+  /// Adds an index if not already present. Returns true if added.
+  bool AddIndex(const IndexDef& index);
+  /// Removes a structurally equal index. Returns true if removed.
+  bool RemoveIndex(const IndexDef& index);
+  bool HasIndex(const IndexDef& index) const;
+
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+
+  /// Indexes on a given table.
+  std::vector<IndexDef> IndexesOn(TableId table) const;
+
+  /// Contiguous view of the indexes on `table` (indexes_ is sorted by
+  /// table first). Allocation-free alternative to IndexesOn for hot
+  /// paths (INUM reuse).
+  std::pair<const IndexDef*, const IndexDef*> IndexRange(TableId table) const;
+
+  void SetVerticalPartitioning(VerticalPartitioning p);
+  void ClearVerticalPartitioning(TableId table);
+  const VerticalPartitioning* vertical(TableId table) const;
+
+  void SetHorizontalPartitioning(HorizontalPartitioning p);
+  void ClearHorizontalPartitioning(TableId table);
+  const HorizontalPartitioning* horizontal(TableId table) const;
+
+  bool HasPartitions() const {
+    return !vertical_.empty() || !horizontal_.empty();
+  }
+
+  /// Total pages of all indexes under the given catalog/stats.
+  double TotalIndexPages(const Catalog& catalog,
+                         const std::vector<TableStats>& stats) const;
+
+  /// Canonical fingerprint of the whole design (indexes + partitions);
+  /// used as an INUM / memo cache key component.
+  std::string Fingerprint() const;
+
+  bool operator==(const PhysicalDesign& other) const;
+
+ private:
+  std::vector<IndexDef> indexes_;  // kept sorted for canonical fingerprints
+  std::map<TableId, VerticalPartitioning> vertical_;
+  std::map<TableId, HorizontalPartitioning> horizontal_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CATALOG_DESIGN_H_

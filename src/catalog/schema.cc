@@ -1,0 +1,39 @@
+#include "catalog/schema.h"
+
+namespace dbdesign {
+
+ColumnId TableDef::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<ColumnId>(i);
+  }
+  return kInvalidColumnId;
+}
+
+double TableDef::RowWidthBytes() const {
+  double w = kTupleOverheadBytes;
+  for (const ColumnDef& c : columns_) w += c.Width();
+  return w;
+}
+
+double TableDef::PartialRowWidthBytes(const std::vector<ColumnId>& cols) const {
+  double w = kTupleOverheadBytes;
+  for (ColumnId c : cols) w += columns_[c].Width();
+  return w;
+}
+
+Result<TableId> Catalog::AddTable(TableDef def) {
+  if (by_name_.count(def.name()) > 0) {
+    return Status::AlreadyExists("table " + def.name());
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  by_name_[def.name()] = id;
+  tables_.push_back(std::move(def));
+  return id;
+}
+
+TableId Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidTableId : it->second;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,94 @@
+// Logical schema: tables, columns, and the catalog registry.
+
+#ifndef DBDESIGN_CATALOG_SCHEMA_H_
+#define DBDESIGN_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/value.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Identifies a table in the catalog.
+using TableId = int;
+
+/// Identifies a column by position within its table.
+using ColumnId = int;
+
+constexpr TableId kInvalidTableId = -1;
+constexpr ColumnId kInvalidColumnId = -1;
+
+/// PostgreSQL-style page size used for all size estimation.
+constexpr double kPageSizeBytes = 8192.0;
+
+/// Per-tuple overhead (header + item pointer), mirroring PostgreSQL's
+/// 23-byte heap tuple header + 4-byte line pointer, rounded.
+constexpr double kTupleOverheadBytes = 28.0;
+
+/// Per-index-entry overhead in a B-tree leaf.
+constexpr double kIndexEntryOverheadBytes = 12.0;
+
+/// Fill factor applied to heap and index pages.
+constexpr double kPageFillFactor = 0.9;
+
+/// Column definition.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Average stored width in bytes; 0 means "use the type default".
+  int avg_width = 0;
+
+  int Width() const { return avg_width > 0 ? avg_width : DataTypeWidth(type); }
+};
+
+/// Table definition: an ordered list of columns.
+class TableDef {
+ public:
+  TableDef() = default;
+  TableDef(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(ColumnId id) const { return columns_[id]; }
+
+  /// Column position by name, or kInvalidColumnId.
+  ColumnId FindColumn(const std::string& name) const;
+
+  /// Sum of column widths plus tuple overhead — bytes per heap row.
+  double RowWidthBytes() const;
+
+  /// Bytes per row when only `cols` are stored (vertical fragment width).
+  double PartialRowWidthBytes(const std::vector<ColumnId>& cols) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+/// Registry of table definitions; the single source of truth for names.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name exists.
+  Result<TableId> AddTable(TableDef def);
+
+  TableId FindTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return FindTable(name) != kInvalidTableId;
+  }
+
+  const TableDef& table(TableId id) const { return tables_[id]; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::vector<TableDef> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CATALOG_SCHEMA_H_

@@ -1,0 +1,105 @@
+#include "catalog/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace dbdesign {
+
+double TableStats::HeapPages(const TableDef& def) const {
+  double bytes = row_count * def.RowWidthBytes();
+  return std::max(1.0, std::ceil(bytes / (kPageSizeBytes * kPageFillFactor)));
+}
+
+double TableStats::FragmentPages(const TableDef& def,
+                                 const std::vector<ColumnId>& cols) const {
+  double bytes = row_count * def.PartialRowWidthBytes(cols);
+  return std::max(1.0, std::ceil(bytes / (kPageSizeBytes * kPageFillFactor)));
+}
+
+ColumnStats BuildColumnStats(const std::vector<Value>& values,
+                             const AnalyzeOptions& options) {
+  assert(!values.empty());
+  ColumnStats stats;
+
+  // Sort a copy to derive order statistics; keep original order for the
+  // correlation estimate.
+  std::vector<Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+
+  // Distinct count (exact; synthetic tables fit in memory).
+  double ndv = 1.0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (!(sorted[i] == sorted[i - 1])) ndv += 1.0;
+  }
+  stats.n_distinct = ndv;
+
+  // Most common values.
+  std::map<std::string, std::pair<Value, size_t>> freq;
+  if (ndv <= 4096) {
+    for (const Value& v : values) {
+      auto [it, inserted] = freq.try_emplace(v.ToString(), v, 0);
+      it->second.second++;
+    }
+    std::vector<std::pair<Value, size_t>> entries;
+    entries.reserve(freq.size());
+    for (auto& [k, ve] : freq) entries.push_back(ve);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    double n = static_cast<double>(values.size());
+    for (int i = 0;
+         i < options.mcv_entries && i < static_cast<int>(entries.size());
+         ++i) {
+      double f = static_cast<double>(entries[i].second) / n;
+      if (f < options.mcv_min_frequency) break;
+      stats.mcv.push_back(McvEntry{entries[i].first, f});
+    }
+  }
+
+  // Equi-depth histogram over all values (PostgreSQL excludes MCVs from
+  // the histogram; including them slightly smooths range estimates and
+  // keeps the estimator simpler).
+  int buckets = std::min<int>(options.histogram_buckets,
+                              std::max<int>(1, static_cast<int>(ndv)));
+  if (buckets >= 2) {
+    stats.histogram.reserve(static_cast<size_t>(buckets) + 1);
+    stats.histogram.push_back(sorted.front());
+    for (int b = 1; b <= buckets; ++b) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(b) / buckets * (sorted.size() - 1));
+      stats.histogram.push_back(sorted[idx]);
+    }
+  }
+
+  // Correlation between physical position and value rank, computed as the
+  // Pearson correlation of (i, position(values[i])).
+  if (values.size() >= 2 && values.front().type() != DataType::kString) {
+    double n = static_cast<double>(values.size());
+    double sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0, sum_xy = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      double x = static_cast<double>(i);
+      double y = values[i].NumericPosition();
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_yy += y * y;
+      sum_xy += x * y;
+    }
+    double cov = sum_xy - sum_x * sum_y / n;
+    double var_x = sum_xx - sum_x * sum_x / n;
+    double var_y = sum_yy - sum_y * sum_y / n;
+    if (var_x > 1e-12 && var_y > 1e-12) {
+      stats.correlation = cov / std::sqrt(var_x * var_y);
+      stats.correlation = std::clamp(stats.correlation, -1.0, 1.0);
+    } else {
+      stats.correlation = 1.0;  // constant column: perfectly "clustered"
+    }
+  }
+
+  return stats;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,73 @@
+// Table and column statistics used by the cost-based optimizer.
+//
+// Mirrors the statistics PostgreSQL's ANALYZE collects: row counts,
+// per-column n_distinct, min/max, equi-depth histogram bounds, most
+// common values, and the physical-order correlation coefficient that
+// drives index-scan IO cost interpolation.
+
+#ifndef DBDESIGN_CATALOG_STATS_H_
+#define DBDESIGN_CATALOG_STATS_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace dbdesign {
+
+/// A most-common-value entry.
+struct McvEntry {
+  Value value;
+  double frequency = 0.0;  // fraction of rows
+};
+
+/// Statistics for one column.
+struct ColumnStats {
+  double n_distinct = 1.0;  ///< estimated number of distinct values
+  double null_frac = 0.0;   ///< fraction of NULLs (modeled, data is NULL-free)
+  Value min;
+  Value max;
+  /// Equi-depth histogram bounds: histogram[i] is the upper bound of
+  /// bucket i; buckets hold equal row counts. Empty for low-NDV columns
+  /// fully described by MCVs.
+  std::vector<Value> histogram;
+  /// Most common values (only populated for skewed, low-NDV columns).
+  std::vector<McvEntry> mcv;
+  /// Pearson correlation between value order and physical row order,
+  /// in [-1, 1]. 1 = perfectly clustered.
+  double correlation = 0.0;
+
+  bool HasHistogram() const { return histogram.size() >= 2; }
+};
+
+/// Statistics for one table.
+struct TableStats {
+  double row_count = 0.0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats& column(ColumnId id) const { return columns[id]; }
+
+  /// Heap pages = rows * row_width / (page_size * fill_factor), >= 1.
+  double HeapPages(const TableDef& def) const;
+
+  /// Heap pages for a vertical fragment storing only `cols`.
+  double FragmentPages(const TableDef& def,
+                       const std::vector<ColumnId>& cols) const;
+};
+
+/// Options controlling statistics construction.
+struct AnalyzeOptions {
+  int histogram_buckets = 64;
+  int mcv_entries = 8;
+  /// MCVs are kept only if the value's frequency exceeds this threshold.
+  double mcv_min_frequency = 0.01;
+};
+
+/// Builds ColumnStats from a full column of values in physical row order.
+/// `values` must be non-empty.
+ColumnStats BuildColumnStats(const std::vector<Value>& values,
+                             const AnalyzeOptions& options = {});
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CATALOG_STATS_H_

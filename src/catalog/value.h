@@ -1,0 +1,87 @@
+// Runtime values and column data types.
+
+#ifndef DBDESIGN_CATALOG_VALUE_H_
+#define DBDESIGN_CATALOG_VALUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dbdesign {
+
+/// Column data types supported by the engine.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "int64" / "double" / "string".
+const char* DataTypeName(DataType type);
+
+/// Default on-disk width in bytes used for size estimation.
+int DataTypeWidth(DataType type);
+
+/// A single runtime value (no NULL: the synthetic workloads are
+/// NULL-free; null_frac is still modeled statistically in ColumnStats).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  int64_t AsInt() const {
+    assert(std::holds_alternative<int64_t>(v_));
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    if (std::holds_alternative<int64_t>(v_)) {
+      return static_cast<double>(std::get<int64_t>(v_));
+    }
+    assert(std::holds_alternative<double>(v_));
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    assert(std::holds_alternative<std::string>(v_));
+    return std::get<std::string>(v_);
+  }
+
+  /// Three-way comparison; values must have compatible types
+  /// (int64 and double compare numerically).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Numeric position of the value used for selectivity interpolation;
+  /// strings hash to a stable [0,1) position.
+  double NumericPosition() const;
+
+  std::string ToString() const;
+
+  /// Stable 64-bit hash (used by hash joins and grouping).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CATALOG_VALUE_H_

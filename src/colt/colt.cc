@@ -1,0 +1,238 @@
+#include "colt/colt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+double EstimateIndexBuildCost(const Database& db, const IndexDef& index,
+                              const CostParams& params) {
+  const TableDef& def = db.catalog().table(index.table);
+  const TableStats& stats = db.stats(index.table);
+  IndexSizeEstimate size = EstimateIndexSize(index, def, stats);
+  double rows = std::max(1.0, stats.row_count);
+  // Read the heap once, sort the keys, write the index pages.
+  return stats.HeapPages(def) * params.seq_page_cost +
+         2.0 * rows * std::log2(std::max(2.0, rows)) *
+             params.cpu_operator_cost +
+         size.total_pages() * params.seq_page_cost;
+}
+
+ColtTuner::ColtTuner(const Database& db, CostParams params,
+                     ColtOptions options)
+    : db_(&db), params_(params), options_(options), inum_(db, params) {}
+
+void ColtTuner::ExtractCandidates(const BoundQuery& query) {
+  for (int s = 0; s < query.num_slots(); ++s) {
+    for (ColumnId c : query.PredicateColumns(s)) {
+      IndexDef idx;
+      idx.table = query.tables[s];
+      idx.columns = {c};  // COLT proposes single-column indexes only
+      std::string key = idx.Key();
+      auto it = candidates_.find(key);
+      if (it == candidates_.end()) {
+        if (static_cast<int>(candidates_.size()) >=
+            options_.max_candidates) {
+          // Evict the least recently seen unbuilt candidate.
+          auto victim = candidates_.end();
+          for (auto cit = candidates_.begin(); cit != candidates_.end();
+               ++cit) {
+            if (cit->second.built) continue;
+            if (victim == candidates_.end() ||
+                cit->second.last_seen_epoch <
+                    victim->second.last_seen_epoch) {
+              victim = cit;
+            }
+          }
+          if (victim == candidates_.end()) continue;
+          candidates_.erase(victim);
+        }
+        Candidate cand;
+        cand.index = idx;
+        cand.size_pages =
+            EstimateIndexSize(idx, db_->catalog().table(idx.table),
+                              db_->stats(idx.table))
+                .total_pages();
+        cand.build_cost = EstimateIndexBuildCost(*db_, idx, params_);
+        cand.last_seen_epoch = epoch_;
+        it = candidates_.emplace(key, std::move(cand)).first;
+      }
+      it->second.last_seen_epoch = epoch_;
+      it->second.hits++;
+    }
+  }
+}
+
+double ColtTuner::OnQuery(const BoundQuery& query) {
+  double cost = inum_.Cost(query, current_);
+  cumulative_query_cost_ += cost;
+  if (enabled_) {
+    ExtractCandidates(query);
+  }
+  epoch_queries_.push_back(query);
+  if (static_cast<int>(epoch_queries_.size()) >= options_.epoch_length) {
+    EndEpoch();
+  }
+  return cost;
+}
+
+void ColtTuner::EndEpoch() {
+  ColtEpochReport report;
+  report.epoch = epoch_;
+
+  // Epoch costs under the live design and under the empty baseline.
+  Workload epoch_w;
+  for (BoundQuery& q : epoch_queries_) epoch_w.Add(q);
+  report.observed_cost = inum_.WorkloadCost(epoch_w, current_);
+  report.baseline_cost = inum_.WorkloadCost(epoch_w, PhysicalDesign{});
+
+  if (!enabled_) {
+    report.config_size = static_cast<int>(current_.indexes().size());
+    epochs_.push_back(report);
+    epoch_queries_.clear();
+    ++epoch_;
+    return;
+  }
+
+  // --- Profiling under the what-if budget ---
+  // Rank candidates by epoch interest (hits), break ties by EWMA.
+  std::vector<Candidate*> ranked;
+  for (auto& [key, cand] : candidates_) ranked.push_back(&cand);
+  std::sort(ranked.begin(), ranked.end(), [](Candidate* a, Candidate* b) {
+    if (a->hits != b->hits) return a->hits > b->hits;
+    return a->ewma_benefit > b->ewma_benefit;
+  });
+
+  int budget = options_.whatif_budget_per_epoch;
+  for (Candidate* cand : ranked) {
+    double measured;
+    if (budget > 0) {
+      PhysicalDesign with = current_;
+      PhysicalDesign without = current_;
+      bool was_built = with.HasIndex(cand->index);
+      if (was_built) {
+        without.RemoveIndex(cand->index);
+      } else {
+        with.AddIndex(cand->index);
+      }
+      measured = inum_.WorkloadCost(epoch_w, without) -
+                 inum_.WorkloadCost(epoch_w, with);
+      --budget;
+      ++report.whatif_calls;
+    } else {
+      // Unprofiled this epoch: decay toward zero.
+      measured = cand->hits > 0 ? cand->ewma_benefit : 0.0;
+    }
+    cand->ewma_benefit = options_.ewma_alpha * measured +
+                         (1.0 - options_.ewma_alpha) * cand->ewma_benefit;
+    cand->hits = 0;
+  }
+
+  // --- Selection: density-greedy knapsack with pairwise improvement ---
+  // Built candidates must clear the drop floor to stay in contention;
+  // otherwise a once-useful index would be re-selected forever on the
+  // strength of its decaying EWMA tail.
+  std::vector<Candidate*> pool;
+  for (auto& [key, cand] : candidates_) {
+    double floor =
+        options_.drop_fraction *
+        (cand.build_cost / std::max(1.0, options_.amortization_epochs));
+    double admission = cand.built ? floor : 0.0;
+    if (cand.ewma_benefit > admission) pool.push_back(&cand);
+  }
+  std::sort(pool.begin(), pool.end(), [](Candidate* a, Candidate* b) {
+    return a->ewma_benefit / std::max(1.0, a->size_pages) >
+           b->ewma_benefit / std::max(1.0, b->size_pages);
+  });
+  std::vector<Candidate*> selected;
+  double used_pages = 0.0;
+  for (Candidate* c : pool) {
+    if (used_pages + c->size_pages <= options_.storage_budget_pages) {
+      selected.push_back(c);
+      used_pages += c->size_pages;
+    }
+  }
+  // Pairwise improvement: try swapping an unselected candidate in for a
+  // selected one when it raises total benefit within the budget.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (Candidate* out : pool) {
+      if (std::find(selected.begin(), selected.end(), out) !=
+          selected.end()) {
+        continue;
+      }
+      for (size_t i = 0; i < selected.size(); ++i) {
+        double new_pages =
+            used_pages - selected[i]->size_pages + out->size_pages;
+        if (new_pages > options_.storage_budget_pages) continue;
+        if (out->ewma_benefit > selected[i]->ewma_benefit + 1e-9) {
+          used_pages = new_pages;
+          selected[i] = out;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) break;
+    }
+  }
+
+  // --- Apply with hysteresis ---
+  // Drops first, so freed space is available to new builds this epoch.
+  double materialized_pages = 0.0;
+  for (auto& [key, cand] : candidates_) {
+    if (cand.built) materialized_pages += cand.size_pages;
+  }
+  for (auto& [key, cand] : candidates_) {
+    bool want =
+        std::find(selected.begin(), selected.end(), &cand) != selected.end();
+    if (!want && cand.built) {
+      double amortized =
+          cand.build_cost / std::max(1.0, options_.amortization_epochs);
+      if (cand.ewma_benefit < options_.drop_fraction * amortized) {
+        current_.RemoveIndex(cand.index);
+        cand.built = false;
+        materialized_pages -= cand.size_pages;
+        events_.push_back(ColtEvent{ColtEvent::Type::kDrop, epoch_,
+                                    cand.index, cand.ewma_benefit});
+      }
+    }
+  }
+  for (auto& [key, cand] : candidates_) {
+    bool want =
+        std::find(selected.begin(), selected.end(), &cand) != selected.end();
+    if (want && !cand.built) {
+      double amortized_gain =
+          cand.ewma_benefit * options_.amortization_epochs;
+      events_.push_back(ColtEvent{ColtEvent::Type::kAlert, epoch_,
+                                  cand.index, cand.ewma_benefit});
+      // The *materialized* configuration must respect the space budget
+      // even while older selections are still built.
+      bool fits = materialized_pages + cand.size_pages <=
+                  options_.storage_budget_pages;
+      if (fits &&
+          amortized_gain > cand.build_cost * options_.build_hysteresis) {
+        current_.AddIndex(cand.index);
+        cand.built = true;
+        materialized_pages += cand.size_pages;
+        cumulative_build_cost_ += cand.build_cost;
+        events_.push_back(ColtEvent{ColtEvent::Type::kBuild, epoch_,
+                                    cand.index, cand.ewma_benefit});
+      }
+    }
+  }
+
+  report.config_size = static_cast<int>(current_.indexes().size());
+  epochs_.push_back(report);
+  DBD_LOG_DEBUG(StrFormat(
+      "COLT epoch %d: cost %.1f (baseline %.1f), %d indexes, %d whatif",
+      epoch_, report.observed_cost, report.baseline_cost, report.config_size,
+      report.whatif_calls));
+  epoch_queries_.clear();
+  ++epoch_;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,127 @@
+// COLT: continuous on-line tuning (paper §3.2.2, ref [11] — Schnaitter,
+// Abiteboul, Milo, Polyzotis, SIGMOD 2006).
+//
+// COLT monitors the incoming query stream in epochs. Per epoch it
+//   * extracts candidate single-column indexes from query predicates
+//     (the paper: "the new proposed configuration includes only single
+//     column indexes"),
+//   * profiles a bounded number of candidates with what-if calls
+//     (INUM-backed, so profiling is cheap) and tracks per-candidate
+//     benefit with an exponentially weighted moving average,
+//   * selects a configuration under the space budget (density-greedy
+//     knapsack with pairwise improvement),
+//   * raises an alert when the selection differs from the current
+//     configuration, and materializes/drops indexes subject to a
+//     build-cost hysteresis so oscillating workloads do not thrash.
+//
+// The tuner models costs; it can optionally physically build indexes
+// when attached to a mutable Database.
+
+#ifndef DBDESIGN_COLT_COLT_H_
+#define DBDESIGN_COLT_COLT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inum/inum.h"
+
+namespace dbdesign {
+
+struct ColtOptions {
+  int epoch_length = 25;  ///< queries per epoch
+  double storage_budget_pages = 1e9;
+  /// What-if profiling budget: candidate evaluations per epoch.
+  int whatif_budget_per_epoch = 24;
+  double ewma_alpha = 0.4;
+  /// Build only when EWMA benefit × horizon > build cost × hysteresis.
+  double build_hysteresis = 1.5;
+  /// Amortization horizon, in epochs.
+  double amortization_epochs = 4.0;
+  /// Drop a built index when its EWMA benefit falls below this fraction
+  /// of its amortized build cost.
+  double drop_fraction = 0.1;
+  /// Candidate pool cap (least-recently-seen evicted).
+  int max_candidates = 48;
+};
+
+/// Estimated cost of physically building an index (page writes + sort
+/// CPU), in optimizer cost units.
+double EstimateIndexBuildCost(const Database& db, const IndexDef& index,
+                              const CostParams& params);
+
+struct ColtEvent {
+  enum class Type { kBuild, kDrop, kAlert };
+  Type type = Type::kAlert;
+  int epoch = 0;
+  IndexDef index;
+  double expected_benefit_per_epoch = 0.0;
+};
+
+struct ColtEpochReport {
+  int epoch = 0;
+  double observed_cost = 0.0;  ///< epoch queries under the live design
+  double baseline_cost = 0.0;  ///< same queries with no indexes at all
+  int whatif_calls = 0;
+  int config_size = 0;  ///< indexes materialized at epoch end
+};
+
+class ColtTuner {
+ public:
+  ColtTuner(const Database& db, CostParams params = {},
+            ColtOptions options = {});
+
+  /// Feeds one query from the stream; returns its observed (modeled)
+  /// cost under the current configuration.
+  double OnQuery(const BoundQuery& query);
+
+  /// The paper: continuous tuning "can be enabled or disabled in
+  /// accordance with workload or administrator's will". While disabled,
+  /// queries are still observed but no changes are made.
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const PhysicalDesign& current_design() const { return current_; }
+  const std::vector<ColtEvent>& events() const { return events_; }
+  const std::vector<ColtEpochReport>& epochs() const { return epochs_; }
+
+  double cumulative_query_cost() const { return cumulative_query_cost_; }
+  double cumulative_build_cost() const { return cumulative_build_cost_; }
+  double cumulative_cost() const {
+    return cumulative_query_cost_ + cumulative_build_cost_;
+  }
+
+ private:
+  struct Candidate {
+    IndexDef index;
+    double size_pages = 0.0;
+    double build_cost = 0.0;
+    double ewma_benefit = 0.0;  ///< per-epoch benefit estimate
+    int last_seen_epoch = 0;
+    int hits = 0;  ///< queries referencing the column this epoch
+    bool built = false;
+  };
+
+  void ExtractCandidates(const BoundQuery& query);
+  void EndEpoch();
+
+  const Database* db_;
+  CostParams params_;
+  ColtOptions options_;
+  InumCostModel inum_;
+  bool enabled_ = true;
+
+  PhysicalDesign current_;
+  std::map<std::string, Candidate> candidates_;
+  std::vector<BoundQuery> epoch_queries_;
+  int epoch_ = 0;
+
+  std::vector<ColtEvent> events_;
+  std::vector<ColtEpochReport> epochs_;
+  double cumulative_query_cost_ = 0.0;
+  double cumulative_build_cost_ = 0.0;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_COLT_COLT_H_

@@ -1,0 +1,180 @@
+#include "cophy/candidates.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "optimizer/selectivity.h"
+
+namespace dbdesign {
+
+namespace {
+
+/// Per-slot sargable columns of one query, classified.
+struct SlotColumns {
+  std::vector<ColumnId> eq;     // equality predicate columns, most selective first
+  std::vector<ColumnId> range;  // range predicate columns, most selective first
+  std::vector<ColumnId> join;   // join columns
+  std::vector<ColumnId> sort;   // group-by / order-by prefix columns
+};
+
+SlotColumns ClassifySlot(const Database& db, const BoundQuery& q, int slot) {
+  SlotColumns out;
+  const TableStats& stats = db.stats(q.tables[slot]);
+
+  std::vector<std::pair<double, ColumnId>> eq;
+  std::vector<std::pair<double, ColumnId>> range;
+  for (const BoundPredicate& p : q.FiltersOn(slot)) {
+    double sel = PredicateSelectivity(stats.column(p.column.column), p);
+    if (p.IsEquality()) {
+      eq.emplace_back(sel, p.column.column);
+    } else if (p.IsRange()) {
+      range.emplace_back(sel, p.column.column);
+    }
+  }
+  std::sort(eq.begin(), eq.end());
+  std::sort(range.begin(), range.end());
+  std::set<ColumnId> seen;
+  for (auto& [sel, c] : eq) {
+    if (seen.insert(c).second) out.eq.push_back(c);
+  }
+  for (auto& [sel, c] : range) {
+    if (seen.insert(c).second) out.range.push_back(c);
+  }
+  for (const BoundJoin& j : q.JoinsOn(slot)) {
+    ColumnId c = j.SideOn(slot)->column;
+    if (std::find(out.join.begin(), out.join.end(), c) == out.join.end()) {
+      out.join.push_back(c);
+    }
+  }
+  bool group_local = !q.group_by.empty();
+  for (const BoundColumn& c : q.group_by) group_local &= c.slot == slot;
+  if (group_local) {
+    for (const BoundColumn& c : q.group_by) out.sort.push_back(c.column);
+  } else if (!q.order_by.empty()) {
+    bool order_local = true;
+    for (const BoundOrderItem& o : q.order_by) {
+      order_local &= o.column.slot == slot && !o.descending;
+    }
+    if (order_local) {
+      for (const BoundOrderItem& o : q.order_by) {
+        out.sort.push_back(o.column.column);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CandidateIndex> GenerateCandidates(
+    const Database& db, const Workload& workload,
+    const CandidateOptions& options) {
+  // key -> (IndexDef, hit count)
+  std::map<std::string, std::pair<IndexDef, int>> pool;
+  auto add = [&](IndexDef idx) {
+    if (idx.columns.empty() ||
+        static_cast<int>(idx.columns.size()) >
+            options.max_key_columns + 2) {
+      return;
+    }
+    auto [it, inserted] = pool.try_emplace(idx.Key(), idx, 0);
+    it->second.second++;
+  };
+
+  for (const BoundQuery& q : workload.queries) {
+    for (int s = 0; s < q.num_slots(); ++s) {
+      TableId tid = q.tables[s];
+      SlotColumns cols = ClassifySlot(db, q, s);
+
+      // Single-column candidates on every sargable column.
+      for (ColumnId c : cols.eq) add(IndexDef{tid, {c}, false});
+      for (ColumnId c : cols.range) add(IndexDef{tid, {c}, false});
+      for (ColumnId c : cols.join) add(IndexDef{tid, {c}, false});
+      if (!cols.sort.empty()) add(IndexDef{tid, cols.sort, false});
+
+      // Multi-column: equality prefix (selective first) + one range col.
+      std::vector<ColumnId> key;
+      for (ColumnId c : cols.eq) {
+        if (static_cast<int>(key.size()) < options.max_key_columns) {
+          key.push_back(c);
+        }
+      }
+      if (key.size() >= 2) add(IndexDef{tid, key, false});
+      if (!cols.range.empty() &&
+          static_cast<int>(key.size()) < options.max_key_columns) {
+        std::vector<ColumnId> with_range = key;
+        with_range.push_back(cols.range[0]);
+        add(IndexDef{tid, with_range, false});
+        if (cols.range.size() >= 2 && key.empty()) {
+          // Two-range composite (e.g. cone search ra+dec).
+          add(IndexDef{tid, {cols.range[0], cols.range[1]}, false});
+        }
+      }
+      // Join column + most selective filter column behind it.
+      for (ColumnId jc : cols.join) {
+        ColumnId extra = kInvalidColumnId;
+        if (!cols.eq.empty()) {
+          extra = cols.eq[0];
+        } else if (!cols.range.empty()) {
+          extra = cols.range[0];
+        }
+        if (extra != kInvalidColumnId && extra != jc) {
+          add(IndexDef{tid, {jc, extra}, false});
+        }
+      }
+
+      // Covering: widen the best key with remaining referenced columns.
+      if (options.covering_candidates) {
+        std::vector<ColumnId> covering =
+            !key.empty()
+                ? key
+                : (!cols.range.empty() ? std::vector<ColumnId>{cols.range[0]}
+                                       : std::vector<ColumnId>{});
+        if (!covering.empty()) {
+          for (ColumnId c : q.ReferencedColumns(s)) {
+            if (static_cast<int>(covering.size()) >=
+                options.max_key_columns + 2) {
+              break;
+            }
+            if (std::find(covering.begin(), covering.end(), c) ==
+                covering.end()) {
+              covering.push_back(c);
+            }
+          }
+          if (covering.size() >= 2 &&
+              static_cast<int>(covering.size()) <=
+                  options.max_key_columns + 2) {
+            add(IndexDef{tid, covering, false});
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<CandidateIndex> out;
+  out.reserve(pool.size());
+  for (auto& [k, entry] : pool) {
+    CandidateIndex c;
+    c.index = entry.first;
+    c.relevant_queries = entry.second;
+    c.size_pages = EstimateIndexSize(c.index, db.catalog().table(c.index.table),
+                                     db.stats(c.index.table))
+                       .total_pages();
+    out.push_back(std::move(c));
+  }
+  // Keep the most workload-relevant candidates.
+  std::sort(out.begin(), out.end(),
+            [](const CandidateIndex& a, const CandidateIndex& b) {
+              if (a.relevant_queries != b.relevant_queries) {
+                return a.relevant_queries > b.relevant_queries;
+              }
+              return a.index.Key() < b.index.Key();
+            });
+  if (static_cast<int>(out.size()) > options.max_candidates) {
+    out.resize(static_cast<size_t>(options.max_candidates));
+  }
+  return out;
+}
+
+}  // namespace dbdesign

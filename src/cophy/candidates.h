@@ -1,0 +1,46 @@
+// Candidate index generation for the advisors (CoPhy, greedy baseline,
+// interaction analysis).
+//
+// Candidates are mined from the workload's sargable surface: equality
+// and range predicate columns, join columns, and GROUP BY / ORDER BY
+// prefixes. Multi-column candidates follow the classic recipe of
+// equality columns first (most selective leading), then one range
+// column, optionally widened into a covering index.
+
+#ifndef DBDESIGN_COPHY_CANDIDATES_H_
+#define DBDESIGN_COPHY_CANDIDATES_H_
+
+#include <vector>
+
+#include "catalog/design.h"
+#include "sql/bound_query.h"
+#include "storage/database.h"
+
+namespace dbdesign {
+
+struct CandidateOptions {
+  /// Maximum total candidates (kept by workload relevance).
+  int max_candidates = 64;
+  /// Maximum key columns per candidate.
+  int max_key_columns = 3;
+  /// Also emit covering candidates (key + referenced columns) when the
+  /// widened key stays within max_key_columns + 2.
+  bool covering_candidates = true;
+};
+
+/// A candidate with its estimated size.
+struct CandidateIndex {
+  IndexDef index;
+  double size_pages = 0.0;
+  /// Number of workload queries whose predicates the candidate matches.
+  int relevant_queries = 0;
+};
+
+/// Mines candidates from the workload.
+std::vector<CandidateIndex> GenerateCandidates(
+    const Database& db, const Workload& workload,
+    const CandidateOptions& options = {});
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_COPHY_CANDIDATES_H_

@@ -1,0 +1,363 @@
+#include "cophy/cophy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+CoPhyAdvisor::CoPhyAdvisor(const Database& db, CostParams params,
+                           CoPhyOptions options)
+    : db_(&db),
+      params_(params),
+      options_(options),
+      inum_(db, params),
+      optimizer_(db.catalog(), db.all_stats(), params) {}
+
+std::vector<CoPhyAtom> CoPhyAdvisor::BuildAtoms(
+    const BoundQuery& query, const std::vector<CandidateIndex>& candidates) {
+  inum_.Prepare(query);
+  const auto* plans = inum_.CachedPlansFor(query);
+  if (plans == nullptr || plans->empty()) return {};
+
+  // Design containing every candidate: one Paths() call per slot yields
+  // per-candidate leaf costs.
+  PhysicalDesign all;
+  for (const CandidateIndex& c : candidates) all.AddIndex(c.index);
+  PlannerContext ctx = optimizer_.MakeContext(query, all);
+  CatalogPathProvider provider(ctx);
+
+  auto candidate_id = [&](const IndexDef& idx) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].index == idx) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // One access option: leaf cost + the candidate it needs (-1 = none).
+  struct Option {
+    double cost = 0.0;
+    int candidate = -1;
+  };
+
+  int n = query.num_slots();
+  // Per-slot paths, annotated with candidate ids.
+  struct AnnotatedPath {
+    double cost;
+    int candidate;
+    std::vector<BoundColumn> order;
+  };
+  std::vector<std::vector<AnnotatedPath>> slot_paths(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    for (const AccessPath& p : provider.Paths(s)) {
+      AnnotatedPath ap;
+      ap.cost = p.node->cost.total;
+      ap.candidate =
+          p.node->index.has_value() ? candidate_id(*p.node->index) : -1;
+      ap.order = p.order;
+      // Paths over non-candidate indexes (already-materialized ones)
+      // keep candidate = -1: they are free to use.
+      slot_paths[static_cast<size_t>(s)].push_back(std::move(ap));
+    }
+  }
+
+  using Kind = InumCostModel::SlotSignature::Kind;
+  std::map<std::string, CoPhyAtom> dedup;  // used-set key -> best atom
+
+  for (const InumCostModel::CachedPlan& plan : *plans) {
+    // Build the option list per slot.
+    std::vector<std::vector<Option>> options(static_cast<size_t>(n));
+    bool feasible = true;
+    for (int s = 0; s < n && feasible; ++s) {
+      const auto& sig = plan.slots[static_cast<size_t>(s)];
+      std::vector<Option>& opts = options[static_cast<size_t>(s)];
+      if (sig.kind == Kind::kParamLookup) {
+        // Price each candidate lookup through the matching INLJ term.
+        double outer_rows = 0.0;
+        for (const auto& term : plan.inlj_terms) {
+          if (term.slot == s) outer_rows = term.outer_rows;
+        }
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          if (candidates[c].index.table != query.tables[s]) continue;
+          auto lk = CostIndexParamLookup(ctx, s, sig.lookup_col,
+                                         candidates[c].index);
+          if (lk.has_value()) {
+            opts.push_back(Option{outer_rows * lk->per_lookup.total,
+                                  static_cast<int>(c)});
+          }
+        }
+      } else {
+        // Best path per candidate id consistent with the signature.
+        std::map<int, double> best;
+        for (const AnnotatedPath& p : slot_paths[static_cast<size_t>(s)]) {
+          if (sig.kind == Kind::kOrdered &&
+              !OrderSatisfies(p.order, sig.order)) {
+            continue;
+          }
+          auto [it, inserted] = best.try_emplace(p.candidate, p.cost);
+          if (!inserted) it->second = std::min(it->second, p.cost);
+        }
+        for (auto [cand, cost] : best) opts.push_back(Option{cost, cand});
+      }
+      if (opts.empty()) {
+        feasible = false;
+        break;
+      }
+      // Keep the cheapest few, but never drop the no-index option.
+      std::sort(opts.begin(), opts.end(),
+                [](const Option& a, const Option& b) {
+                  return a.cost < b.cost;
+                });
+      if (static_cast<int>(opts.size()) > options_.max_leaf_options_per_slot) {
+        bool has_free = false;
+        for (int k = 0; k < options_.max_leaf_options_per_slot; ++k) {
+          has_free |= opts[static_cast<size_t>(k)].candidate < 0;
+        }
+        Option free_opt;
+        bool found_free = false;
+        if (!has_free) {
+          for (const Option& o : opts) {
+            if (o.candidate < 0) {
+              free_opt = o;
+              found_free = true;
+              break;
+            }
+          }
+        }
+        opts.resize(static_cast<size_t>(options_.max_leaf_options_per_slot));
+        if (!has_free && found_free) opts.back() = free_opt;
+      }
+    }
+    if (!feasible) continue;
+
+    // Cross product of slot options.
+    std::vector<size_t> idx(static_cast<size_t>(n), 0);
+    while (true) {
+      CoPhyAtom atom;
+      atom.cost = plan.internal_cost;
+      for (int s = 0; s < n; ++s) {
+        const Option& o =
+            options[static_cast<size_t>(s)][idx[static_cast<size_t>(s)]];
+        atom.cost += o.cost;
+        if (o.candidate >= 0) atom.used.push_back(o.candidate);
+      }
+      std::sort(atom.used.begin(), atom.used.end());
+      atom.used.erase(std::unique(atom.used.begin(), atom.used.end()),
+                      atom.used.end());
+      std::string key;
+      for (int u : atom.used) key += StrFormat("%d,", u);
+      auto [it, inserted] = dedup.try_emplace(key, atom);
+      if (!inserted && atom.cost < it->second.cost) it->second = atom;
+
+      int pos = 0;
+      while (pos < n) {
+        if (++idx[static_cast<size_t>(pos)] <
+            options[static_cast<size_t>(pos)].size()) {
+          break;
+        }
+        idx[static_cast<size_t>(pos)] = 0;
+        ++pos;
+      }
+      if (pos == n) break;
+    }
+  }
+
+  std::vector<CoPhyAtom> atoms;
+  atoms.reserve(dedup.size());
+  for (auto& [k, atom] : dedup) atoms.push_back(std::move(atom));
+  std::sort(atoms.begin(), atoms.end(),
+            [](const CoPhyAtom& a, const CoPhyAtom& b) {
+              return a.cost < b.cost;
+            });
+  if (static_cast<int>(atoms.size()) > options_.max_atoms_per_query) {
+    // Truncate but preserve the index-free atom (feasibility anchor).
+    CoPhyAtom free_atom;
+    bool found = false;
+    for (const CoPhyAtom& a : atoms) {
+      if (a.used.empty()) {
+        free_atom = a;
+        found = true;
+        break;
+      }
+    }
+    atoms.resize(static_cast<size_t>(options_.max_atoms_per_query));
+    if (found) {
+      bool present = false;
+      for (const CoPhyAtom& a : atoms) present |= a.used.empty();
+      if (!present) atoms.back() = free_atom;
+    }
+  }
+  return atoms;
+}
+
+IndexRecommendation CoPhyAdvisor::Recommend(const Workload& workload) {
+  return RecommendWithCandidates(
+      workload, GenerateCandidates(*db_, workload, options_.candidates));
+}
+
+IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
+    const Workload& workload,
+    const std::vector<CandidateIndex>& candidates) {
+  IndexRecommendation rec;
+  rec.num_candidates = candidates.size();
+
+  // Atoms per query.
+  std::vector<std::vector<CoPhyAtom>> atoms;
+  atoms.reserve(workload.size());
+  for (const BoundQuery& q : workload.queries) {
+    atoms.push_back(BuildAtoms(q, candidates));
+    rec.num_atoms += atoms.back().size();
+  }
+
+  // --- BIP construction ---
+  MipProblem mip;
+  int ny = static_cast<int>(candidates.size());
+  for (int i = 0; i < ny; ++i) {
+    mip.lp.AddVariable(0.0);
+    mip.binary_vars.push_back(i);
+  }
+  // x variables.
+  std::vector<std::vector<int>> xvar(workload.size());
+  for (size_t q = 0; q < workload.size(); ++q) {
+    double w = workload.WeightOf(q);
+    for (const CoPhyAtom& a : atoms[q]) {
+      xvar[q].push_back(mip.lp.AddVariable(w * a.cost));
+    }
+  }
+  // One atom per query.
+  for (size_t q = 0; q < workload.size(); ++q) {
+    LpConstraint one;
+    for (int v : xvar[q]) one.terms.emplace_back(v, 1.0);
+    one.rel = LpRelation::kEq;
+    one.rhs = 1.0;
+    mip.lp.AddConstraint(std::move(one));
+  }
+  // Aggregated linking: sum_{a of q using i} x <= y_i.
+  for (size_t q = 0; q < workload.size(); ++q) {
+    std::map<int, std::vector<int>> by_index;
+    for (size_t a = 0; a < atoms[q].size(); ++a) {
+      for (int i : atoms[q][a].used) {
+        by_index[i].push_back(xvar[q][a]);
+      }
+    }
+    for (auto& [i, xs] : by_index) {
+      LpConstraint link;
+      for (int v : xs) link.terms.emplace_back(v, 1.0);
+      link.terms.emplace_back(i, -1.0);
+      link.rel = LpRelation::kLe;
+      link.rhs = 0.0;
+      mip.lp.AddConstraint(std::move(link));
+    }
+  }
+  // Storage budget.
+  if (std::isfinite(options_.storage_budget_pages)) {
+    LpConstraint budget;
+    for (int i = 0; i < ny; ++i) {
+      budget.terms.emplace_back(i, candidates[static_cast<size_t>(i)].size_pages);
+    }
+    budget.rel = LpRelation::kLe;
+    budget.rhs = options_.storage_budget_pages;
+    mip.lp.AddConstraint(std::move(budget));
+  }
+  rec.num_variables = static_cast<size_t>(mip.lp.num_vars);
+  rec.num_constraints = mip.lp.constraints.size();
+
+  // Primal heuristic: round y by LP value under the budget, then pick the
+  // cheapest compatible atom per query.
+  auto complete = [&](const std::set<int>& chosen) {
+    double obj = 0.0;
+    for (size_t q = 0; q < workload.size(); ++q) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const CoPhyAtom& a : atoms[q]) {
+        bool ok = true;
+        for (int i : a.used) ok &= chosen.count(i) > 0;
+        if (ok) best = std::min(best, a.cost);
+      }
+      obj += workload.WeightOf(q) * best;
+    }
+    return obj;
+  };
+  auto heuristic = [&](const std::vector<double>& lp,
+                       std::vector<double>* out, double* obj) {
+    std::vector<std::pair<double, int>> ranked;
+    for (int i = 0; i < ny; ++i) {
+      if (lp[static_cast<size_t>(i)] > 1e-6) {
+        ranked.emplace_back(-lp[static_cast<size_t>(i)], i);
+      }
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::set<int> chosen;
+    double used_pages = 0.0;
+    for (auto& [neg, i] : ranked) {
+      double sz = candidates[static_cast<size_t>(i)].size_pages;
+      if (used_pages + sz <= options_.storage_budget_pages) {
+        chosen.insert(i);
+        used_pages += sz;
+      }
+    }
+    *obj = complete(chosen);
+    if (!std::isfinite(*obj)) return false;
+    out->assign(static_cast<size_t>(mip.lp.num_vars), 0.0);
+    for (int i : chosen) (*out)[static_cast<size_t>(i)] = 1.0;
+    // x assignment is implied; B&B only reads binary positions, and the
+    // objective is passed explicitly.
+    return true;
+  };
+
+  BnbResult bnb = SolveBinaryMip(mip, options_.bnb, heuristic);
+  rec.bnb_nodes = bnb.nodes_explored;
+  rec.solve_time_sec = bnb.solve_time_sec;
+  rec.proven_optimal = bnb.proven_optimal;
+
+  // Extract the chosen configuration.
+  std::set<int> chosen;
+  if (bnb.feasible) {
+    for (int i = 0; i < ny; ++i) {
+      if (bnb.values[static_cast<size_t>(i)] > 0.5) chosen.insert(i);
+    }
+  }
+  // Per-query best atom under chosen set; drop indexes no atom uses.
+  std::set<int> actually_used;
+  rec.per_query_cost.resize(workload.size(), 0.0);
+  rec.recommended_cost = 0.0;
+  for (size_t q = 0; q < workload.size(); ++q) {
+    double best = std::numeric_limits<double>::infinity();
+    const CoPhyAtom* best_atom = nullptr;
+    for (const CoPhyAtom& a : atoms[q]) {
+      bool ok = true;
+      for (int i : a.used) ok &= chosen.count(i) > 0;
+      if (ok && a.cost < best) {
+        best = a.cost;
+        best_atom = &a;
+      }
+    }
+    rec.per_query_cost[q] = best;
+    rec.recommended_cost += workload.WeightOf(q) * best;
+    if (best_atom != nullptr) {
+      for (int i : best_atom->used) actually_used.insert(i);
+    }
+  }
+  for (int i : actually_used) {
+    rec.indexes.push_back(candidates[static_cast<size_t>(i)].index);
+    rec.total_size_pages += candidates[static_cast<size_t>(i)].size_pages;
+  }
+
+  rec.base_cost = inum_.WorkloadCost(workload, PhysicalDesign{});
+  rec.lower_bound = bnb.lower_bound;
+  double denom = std::max(1e-12, rec.recommended_cost);
+  rec.gap = std::max(0.0, (rec.recommended_cost - bnb.lower_bound) / denom);
+
+  DBD_LOG_INFO(StrFormat(
+      "CoPhy: %zu candidates, %zu atoms, %zu vars, %zu rows -> %zu indexes, "
+      "cost %.1f -> %.1f (gap %.4f, %d nodes)",
+      rec.num_candidates, rec.num_atoms, rec.num_variables,
+      rec.num_constraints, rec.indexes.size(), rec.base_cost,
+      rec.recommended_cost, rec.gap, rec.bnb_nodes));
+  return rec;
+}
+
+}  // namespace dbdesign

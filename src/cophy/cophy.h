@@ -1,0 +1,103 @@
+// CoPhy: index selection as a binary integer program (paper §3.2.1,
+// ref [4] — Dash & Ailamaki, CMU-CS-10-109).
+//
+// Per query, INUM's cached internal plans are expanded into *atomic
+// configurations*: (internal plan, one access option per slot) pairs
+// with a precomputed cost and the set of candidate indexes they use.
+// The BIP then selects one atom per query and a set of indexes:
+//
+//   minimize    sum_q w_q sum_a cost(q,a) x_{q,a}
+//   subject to  sum_a x_{q,a} = 1                        for each q
+//               sum_{a uses i} x_{q,a} <= y_i            for each (q, i)
+//               sum_i size_i y_i <= storage budget
+//               x, y binary
+//
+// The LP relaxation bound gives the advisor's quality guarantee; the
+// branch & bound node/time budget is the time-vs-quality knob the paper
+// describes.
+
+#ifndef DBDESIGN_COPHY_COPHY_H_
+#define DBDESIGN_COPHY_COPHY_H_
+
+#include <limits>
+#include <vector>
+
+#include "cophy/candidates.h"
+#include "inum/inum.h"
+#include "solver/bnb.h"
+
+namespace dbdesign {
+
+struct CoPhyOptions {
+  /// Storage budget for the selected indexes, in pages.
+  double storage_budget_pages = std::numeric_limits<double>::infinity();
+  /// Atom cap per query (cheapest kept; the index-free atom always stays).
+  int max_atoms_per_query = 48;
+  /// Access options kept per (plan, slot); the no-index option always stays.
+  int max_leaf_options_per_slot = 5;
+  CandidateOptions candidates;
+  BnbOptions bnb;
+};
+
+/// An atomic configuration: cost of serving one query one way, plus the
+/// candidate indexes (by candidate id) that way requires.
+struct CoPhyAtom {
+  double cost = 0.0;
+  std::vector<int> used;  ///< sorted candidate ids
+};
+
+struct IndexRecommendation {
+  std::vector<IndexDef> indexes;
+  double total_size_pages = 0.0;
+
+  double base_cost = 0.0;         ///< workload cost with no indexes
+  double recommended_cost = 0.0;  ///< workload cost under the recommendation
+  std::vector<double> per_query_cost;  ///< under the recommendation
+
+  /// Solver quality telemetry.
+  double lower_bound = 0.0;
+  double gap = 0.0;
+  bool proven_optimal = false;
+  int bnb_nodes = 0;
+  double solve_time_sec = 0.0;
+  size_t num_candidates = 0;
+  size_t num_atoms = 0;
+  size_t num_variables = 0;
+  size_t num_constraints = 0;
+
+  double improvement() const {
+    return base_cost > 0 ? 1.0 - recommended_cost / base_cost : 0.0;
+  }
+};
+
+class CoPhyAdvisor {
+ public:
+  explicit CoPhyAdvisor(const Database& db, CostParams params = {},
+                        CoPhyOptions options = {});
+
+  /// Recommends an index set for the workload under the storage budget.
+  IndexRecommendation Recommend(const Workload& workload);
+
+  /// Recommends from a caller-supplied candidate set (the paper's
+  /// interactive mode: the DBA seeds the search with her own candidates).
+  IndexRecommendation RecommendWithCandidates(
+      const Workload& workload, const std::vector<CandidateIndex>& candidates);
+
+  /// Expands one query into atomic configurations against `candidates`
+  /// (exposed for tests and for the interaction analyzer).
+  std::vector<CoPhyAtom> BuildAtoms(
+      const BoundQuery& query, const std::vector<CandidateIndex>& candidates);
+
+  InumCostModel& inum() { return inum_; }
+
+ private:
+  const Database* db_;
+  CostParams params_;
+  CoPhyOptions options_;
+  InumCostModel inum_;
+  Optimizer optimizer_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_COPHY_COPHY_H_

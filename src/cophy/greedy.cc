@@ -1,0 +1,73 @@
+#include "cophy/greedy.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dbdesign {
+
+GreedyAdvisor::GreedyAdvisor(const Database& db, CostParams params,
+                             GreedyOptions options)
+    : db_(&db), options_(options), inum_(db, params) {}
+
+GreedyResult GreedyAdvisor::Recommend(const Workload& workload) {
+  return RecommendWithCandidates(
+      workload, GenerateCandidates(*db_, workload, options_.candidates));
+}
+
+GreedyResult GreedyAdvisor::RecommendWithCandidates(
+    const Workload& workload,
+    const std::vector<CandidateIndex>& candidates) {
+  auto t0 = std::chrono::steady_clock::now();
+  GreedyResult result;
+  inum_.ResetStats();
+
+  PhysicalDesign current;
+  double current_cost = inum_.WorkloadCost(workload, current);
+  result.base_cost = current_cost;
+
+  std::vector<bool> used(candidates.size(), false);
+  double used_pages = 0.0;
+
+  while (true) {
+    int best = -1;
+    double best_score = 0.0;
+    double best_cost = current_cost;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      if (used_pages + candidates[i].size_pages >
+          options_.storage_budget_pages) {
+        continue;
+      }
+      PhysicalDesign trial = current;
+      trial.AddIndex(candidates[i].index);
+      double cost = inum_.WorkloadCost(workload, trial);
+      double benefit = current_cost - cost;
+      if (benefit <= 1e-9) continue;
+      double score = options_.benefit_per_page
+                         ? benefit / std::max(1.0, candidates[i].size_pages)
+                         : benefit;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+        best_cost = cost;
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<size_t>(best)] = true;
+    used_pages += candidates[static_cast<size_t>(best)].size_pages;
+    current.AddIndex(candidates[static_cast<size_t>(best)].index);
+    current_cost = best_cost;
+    ++result.iterations;
+  }
+
+  result.indexes = current.indexes();
+  result.total_size_pages = used_pages;
+  result.final_cost = current_cost;
+  result.cost_evaluations = inum_.stats().reuse_calls;
+  result.solve_time_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace dbdesign

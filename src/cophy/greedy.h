@@ -1,0 +1,63 @@
+// Greedy index advisor — the DTA-style baseline the paper contrasts
+// CoPhy against ("these tools are based on greedy heuristics ... and
+// often suggest locally optimal solutions instead of the globally
+// optimal one").
+//
+// Classic greedy loop: repeatedly add the candidate with the best
+// workload benefit (optionally per storage page) until the budget is
+// exhausted or no candidate helps. Cost evaluations go through INUM so
+// the comparison against CoPhy isolates search quality, not cost-model
+// speed.
+
+#ifndef DBDESIGN_COPHY_GREEDY_H_
+#define DBDESIGN_COPHY_GREEDY_H_
+
+#include <limits>
+#include <vector>
+
+#include "cophy/candidates.h"
+#include "inum/inum.h"
+
+namespace dbdesign {
+
+struct GreedyOptions {
+  double storage_budget_pages = std::numeric_limits<double>::infinity();
+  /// Rank by benefit/size instead of raw benefit.
+  bool benefit_per_page = true;
+  CandidateOptions candidates;
+};
+
+struct GreedyResult {
+  std::vector<IndexDef> indexes;
+  double total_size_pages = 0.0;
+  double base_cost = 0.0;
+  double final_cost = 0.0;
+  int iterations = 0;
+  uint64_t cost_evaluations = 0;
+  double solve_time_sec = 0.0;
+
+  double improvement() const {
+    return base_cost > 0 ? 1.0 - final_cost / base_cost : 0.0;
+  }
+};
+
+class GreedyAdvisor {
+ public:
+  explicit GreedyAdvisor(const Database& db, CostParams params = {},
+                         GreedyOptions options = {});
+
+  GreedyResult Recommend(const Workload& workload);
+  GreedyResult RecommendWithCandidates(
+      const Workload& workload, const std::vector<CandidateIndex>& candidates);
+
+  InumCostModel& inum() { return inum_; }
+
+ private:
+  const Database* db_;
+  GreedyOptions options_;
+  InumCostModel inum_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_COPHY_GREEDY_H_

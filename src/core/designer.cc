@@ -1,0 +1,86 @@
+#include "core/designer.h"
+
+namespace dbdesign {
+
+Designer::Designer(const Database& db, DesignerOptions options)
+    : db_(&db),
+      options_(std::move(options)),
+      whatif_(db, options_.params),
+      inum_(db, options_.params) {}
+
+BenefitReport Designer::EvaluateDesign(const Workload& workload,
+                                       const PhysicalDesign& design) {
+  BenefitReport report;
+  report.base_costs.reserve(workload.size());
+  report.new_costs.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const BoundQuery& q = workload.queries[i];
+    double w = workload.WeightOf(i);
+    double base = inum_.Cost(q, PhysicalDesign{});
+    double now = inum_.Cost(q, design);
+    report.base_costs.push_back(base);
+    report.new_costs.push_back(now);
+    report.base_total += w * base;
+    report.new_total += w * now;
+  }
+  return report;
+}
+
+InteractionGraph Designer::AnalyzeInteractions(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  InteractionAnalyzer analyzer(inum_, options_.doi);
+  std::vector<InteractionEdge> edges = analyzer.Analyze(workload, indexes);
+  return InteractionGraph(db_->catalog(), indexes, std::move(edges));
+}
+
+OfflineRecommendation Designer::RecommendOffline(
+    const Workload& workload, double storage_budget_pages) {
+  OfflineRecommendation rec;
+
+  CoPhyOptions copts = options_.cophy;
+  copts.storage_budget_pages = storage_budget_pages;
+  CoPhyAdvisor cophy(*db_, options_.params, copts);
+  rec.indexes = cophy.Recommend(workload);
+
+  AutoPartAdvisor autopart(*db_, options_.params, options_.autopart);
+  rec.partitions = autopart.Recommend(workload);
+
+  // Combined design: partitions plus the recommended indexes.
+  rec.combined = rec.partitions.design;
+  for (const IndexDef& idx : rec.indexes.indexes) rec.combined.AddIndex(idx);
+
+  rec.base_cost = inum_.WorkloadCost(workload, PhysicalDesign{});
+  rec.combined_cost = inum_.WorkloadCost(workload, rec.combined);
+
+  MaterializationScheduler scheduler(inum_);
+  rec.schedule = scheduler.Greedy(workload, rec.indexes.indexes);
+  return rec;
+}
+
+IndexRecommendation Designer::RecommendIndexes(
+    const Workload& workload,
+    const std::vector<CandidateIndex>& seed_candidates) {
+  CoPhyAdvisor cophy(*db_, options_.params, options_.cophy);
+  // Seed candidates are merged with mined ones (the DBA's suggestions
+  // become part of the search space, as in the demo's interactive mode).
+  std::vector<CandidateIndex> merged =
+      GenerateCandidates(*db_, workload, options_.cophy.candidates);
+  for (const CandidateIndex& seed : seed_candidates) {
+    bool dup = false;
+    for (const CandidateIndex& c : merged) dup |= c.index == seed.index;
+    if (!dup) merged.push_back(seed);
+  }
+  return cophy.RecommendWithCandidates(workload, merged);
+}
+
+MaterializationSchedule Designer::ScheduleMaterialization(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  MaterializationScheduler scheduler(inum_);
+  return scheduler.Greedy(workload, indexes);
+}
+
+std::unique_ptr<ColtTuner> Designer::StartContinuousTuning() const {
+  return std::make_unique<ColtTuner>(*db_, options_.params, options_.colt);
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,156 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+std::string RenderBenefitPanel(const Catalog& catalog,
+                               const Workload& workload,
+                               const BenefitReport& report) {
+  std::string out;
+  out += "+-----+----------------------------------------------+------------+------------+---------+\n";
+  out += "| q#  | query                                        |   base     |   new      | benefit |\n";
+  out += "+-----+----------------------------------------------+------------+------------+---------+\n";
+  for (size_t i = 0; i < workload.size(); ++i) {
+    std::string sql = workload.queries[i].ToSql(catalog);
+    if (sql.size() > 44) sql = sql.substr(0, 41) + "...";
+    out += StrFormat("| %-3zu | %-44s | %10.1f | %10.1f | %6.1f%% |\n", i,
+                     sql.c_str(), report.base_costs[i], report.new_costs[i],
+                     report.query_benefit(i) * 100.0);
+  }
+  out += "+-----+----------------------------------------------+------------+------------+---------+\n";
+  out += StrFormat("| average workload benefit: %5.1f%%  (total %.1f -> %.1f)%*s|\n",
+                   report.average_benefit() * 100.0, report.base_total,
+                   report.new_total, 22, "");
+  out += "+--------------------------------------------------------------------------------------+\n";
+  return out;
+}
+
+std::string RenderIndexList(const Catalog& catalog, const Database& db,
+                            const std::vector<IndexDef>& indexes) {
+  std::string out;
+  out += "Suggested indexes:\n";
+  if (indexes.empty()) {
+    out += "  (none)\n";
+    return out;
+  }
+  for (const IndexDef& idx : indexes) {
+    IndexSizeEstimate sz = EstimateIndexSize(
+        idx, catalog.table(idx.table), db.stats(idx.table));
+    std::vector<std::string> cols;
+    for (ColumnId c : idx.columns) {
+      cols.push_back(catalog.table(idx.table).column(c).name);
+    }
+    out += StrFormat("  CREATE INDEX %s ON %s (%s);  -- %s\n",
+                     idx.DisplayName(catalog).c_str(),
+                     catalog.table(idx.table).name().c_str(),
+                     StrJoin(cols, ", ").c_str(),
+                     FormatBytes(sz.total_pages() * kPageSizeBytes).c_str());
+  }
+  return out;
+}
+
+std::string RenderPartitionPanel(const Catalog& catalog,
+                                 const PartitionRecommendation& rec) {
+  std::string out;
+  out += "Suggested partitions:\n";
+  bool any = false;
+  for (const auto& report : rec.tables) {
+    const TableDef& def = catalog.table(report.table);
+    if (report.num_fragments > 1) {
+      any = true;
+      const VerticalPartitioning* vp = rec.design.vertical(report.table);
+      out += StrFormat("  %s: %d vertical fragments (replication %.2fx)\n",
+                       def.name().c_str(), report.num_fragments,
+                       report.replication_factor);
+      if (vp != nullptr) {
+        for (size_t f = 0; f < vp->fragments.size(); ++f) {
+          std::vector<std::string> cols;
+          for (ColumnId c : vp->fragments[f].columns) {
+            cols.push_back(def.column(c).name);
+          }
+          out += StrFormat("    %s__f%zu (%s)\n", def.name().c_str(), f,
+                           StrJoin(cols, ", ").c_str());
+        }
+      }
+    }
+    if (report.horizontal) {
+      any = true;
+      const HorizontalPartitioning* hp = rec.design.horizontal(report.table);
+      out += StrFormat("  %s: %d horizontal range partitions on %s\n",
+                       def.name().c_str(), report.horizontal_parts,
+                       hp != nullptr
+                           ? def.column(hp->column).name.c_str()
+                           : "?");
+    }
+  }
+  if (!any) out += "  (none beneficial)\n";
+  out += StrFormat("Average workload benefit from partitioning: %.1f%%\n",
+                   rec.AverageBenefit() * 100.0);
+  return out;
+}
+
+std::string RenderSchedule(const Catalog& catalog,
+                           const MaterializationSchedule& schedule) {
+  std::string out;
+  out += "Materialization schedule (interaction-aware greedy):\n";
+  out += "  step  index                                     build(pages)  benefit     cost-after\n";
+  for (size_t k = 0; k < schedule.steps.size(); ++k) {
+    const ScheduleStep& s = schedule.steps[k];
+    out += StrFormat("  %-5zu %-40s  %11.0f  %10.1f  %10.1f\n", k + 1,
+                     s.index.DisplayName(catalog).c_str(), s.build_pages,
+                     s.marginal_benefit, s.cost_after);
+  }
+  out += StrFormat("  workload cost: %.1f -> %.1f, benefit area %.1f\n",
+                   schedule.base_cost, schedule.final_cost,
+                   schedule.BenefitArea());
+  return out;
+}
+
+std::string RenderBenefitJson(const Catalog& catalog,
+                              const Workload& workload,
+                              const BenefitReport& report) {
+  std::string out = "{\n  \"queries\": [";
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (i > 0) out += ", ";
+    // Escape is unnecessary: generated SQL contains no quotes beyond
+    // single-quoted literals.
+    out += StrFormat(
+        "{\"id\": %zu, \"base_cost\": %.4f, \"new_cost\": %.4f, "
+        "\"benefit\": %.6f}",
+        i, report.base_costs[i], report.new_costs[i],
+        report.query_benefit(i));
+  }
+  out += StrFormat(
+      "],\n  \"base_total\": %.4f,\n  \"new_total\": %.4f,\n"
+      "  \"average_benefit\": %.6f\n}\n",
+      report.base_total, report.new_total, report.average_benefit());
+  return out;
+}
+
+std::string RenderOfflineRecommendation(const Catalog& catalog,
+                                        const Database& db,
+                                        const Workload& workload,
+                                        const OfflineRecommendation& rec) {
+  std::string out;
+  out += StrFormat(
+      "=== Automatic physical design recommendation ===\n"
+      "workload: %zu queries; base cost %.1f\n\n",
+      workload.size(), rec.base_cost);
+  out += RenderIndexList(catalog, db, rec.indexes.indexes);
+  out += StrFormat(
+      "  index-only cost: %.1f (%.1f%% better; solver gap %.2f%%, %s)\n\n",
+      rec.indexes.recommended_cost, rec.indexes.improvement() * 100.0,
+      rec.indexes.gap * 100.0,
+      rec.indexes.proven_optimal ? "proven optimal" : "budget-limited");
+  out += RenderPartitionPanel(catalog, rec.partitions);
+  out += "\n";
+  out += RenderSchedule(catalog, rec.schedule);
+  out += StrFormat("\ncombined design cost: %.1f (%.1f%% better than base)\n",
+                   rec.combined_cost, rec.improvement() * 100.0);
+  return out;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,157 @@
+#include "core/session.h"
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+DesignSession::DesignSession(Designer& designer) : designer_(&designer) {}
+
+void DesignSession::Checkpoint(std::string action) {
+  undo_stack_.push_back(design());
+  redo_stack_.clear();
+  log_.push_back(std::move(action));
+}
+
+void DesignSession::Apply(const PhysicalDesign& target) {
+  WhatIfOptimizer& whatif = designer_->whatif();
+  whatif.ResetHypothetical();
+  // Rebuild the overlay from the target design. ResetHypothetical
+  // restores the materialized baseline; drop baseline indexes absent
+  // from the target (copy first: dropping mutates the design), then add
+  // the target's hypothetical indexes.
+  std::vector<IndexDef> baseline = whatif.hypothetical_design().indexes();
+  for (const IndexDef& idx : baseline) {
+    if (!target.HasIndex(idx)) whatif.DropHypotheticalIndex(idx);
+  }
+  for (const IndexDef& idx : target.indexes()) {
+    if (!whatif.hypothetical_design().HasIndex(idx)) {
+      whatif.CreateHypotheticalIndex(idx);
+    }
+  }
+  for (TableId t = 0; t < designer_->db().catalog().num_tables(); ++t) {
+    if (const VerticalPartitioning* vp = target.vertical(t)) {
+      whatif.SetHypotheticalVerticalPartitioning(*vp);
+    } else {
+      whatif.ClearHypotheticalVerticalPartitioning(t);
+    }
+    if (const HorizontalPartitioning* hp = target.horizontal(t)) {
+      whatif.SetHypotheticalHorizontalPartitioning(*hp);
+    } else {
+      whatif.ClearHypotheticalHorizontalPartitioning(t);
+    }
+  }
+}
+
+Status DesignSession::CreateIndex(const IndexDef& index) {
+  Checkpoint("CREATE INDEX " +
+             index.DisplayName(designer_->db().catalog()));
+  Status s = designer_->whatif().CreateHypotheticalIndex(index);
+  if (!s.ok()) {
+    undo_stack_.pop_back();
+    log_.pop_back();
+  }
+  return s;
+}
+
+Status DesignSession::DropIndex(const IndexDef& index) {
+  Checkpoint("DROP INDEX " + index.DisplayName(designer_->db().catalog()));
+  Status s = designer_->whatif().DropHypotheticalIndex(index);
+  if (!s.ok()) {
+    undo_stack_.pop_back();
+    log_.pop_back();
+  }
+  return s;
+}
+
+Status DesignSession::SetVerticalPartitioning(VerticalPartitioning p) {
+  const TableDef& def = designer_->db().catalog().table(p.table);
+  if (!p.CoversTable(def)) {
+    return Status::InvalidArgument(
+        "vertical partitioning does not cover table " + def.name());
+  }
+  Checkpoint(StrFormat("PARTITION %s INTO %zu FRAGMENTS",
+                       def.name().c_str(), p.fragments.size()));
+  designer_->whatif().SetHypotheticalVerticalPartitioning(std::move(p));
+  return Status::OK();
+}
+
+Status DesignSession::ClearVerticalPartitioning(TableId table) {
+  Checkpoint("UNPARTITION " +
+             designer_->db().catalog().table(table).name());
+  designer_->whatif().ClearHypotheticalVerticalPartitioning(table);
+  return Status::OK();
+}
+
+Status DesignSession::SetHorizontalPartitioning(HorizontalPartitioning p) {
+  for (size_t i = 1; i < p.bounds.size(); ++i) {
+    if (!(p.bounds[i - 1] < p.bounds[i])) {
+      return Status::InvalidArgument(
+          "horizontal partition bounds must be strictly increasing");
+    }
+  }
+  const TableDef& def = designer_->db().catalog().table(p.table);
+  Checkpoint(StrFormat("PARTITION %s BY RANGE (%s), %d PARTITIONS",
+                       def.name().c_str(),
+                       def.column(p.column).name.c_str(),
+                       p.num_partitions()));
+  designer_->whatif().SetHypotheticalHorizontalPartitioning(std::move(p));
+  return Status::OK();
+}
+
+Status DesignSession::ClearHorizontalPartitioning(TableId table) {
+  Checkpoint("UNPARTITION RANGE " +
+             designer_->db().catalog().table(table).name());
+  designer_->whatif().ClearHypotheticalHorizontalPartitioning(table);
+  return Status::OK();
+}
+
+bool DesignSession::Undo() {
+  if (undo_stack_.empty()) return false;
+  redo_stack_.push_back(design());
+  Apply(undo_stack_.back());
+  undo_stack_.pop_back();
+  log_.push_back("UNDO");
+  return true;
+}
+
+bool DesignSession::Redo() {
+  if (redo_stack_.empty()) return false;
+  undo_stack_.push_back(design());
+  Apply(redo_stack_.back());
+  redo_stack_.pop_back();
+  log_.push_back("REDO");
+  return true;
+}
+
+void DesignSession::SaveSnapshot(const std::string& name) {
+  snapshots_[name] = design();
+  log_.push_back("SAVE " + name);
+}
+
+Status DesignSession::RestoreSnapshot(const std::string& name) {
+  auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("snapshot '" + name + "'");
+  }
+  Checkpoint("RESTORE " + name);
+  Apply(it->second);
+  return Status::OK();
+}
+
+std::vector<std::string> DesignSession::SnapshotNames() const {
+  std::vector<std::string> names;
+  names.reserve(snapshots_.size());
+  for (const auto& [name, d] : snapshots_) names.push_back(name);
+  return names;
+}
+
+Result<BenefitReport> DesignSession::CompareSnapshot(
+    const std::string& name, const Workload& workload) {
+  auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("snapshot '" + name + "'");
+  }
+  return designer_->EvaluateDesign(workload, it->second);
+}
+
+}  // namespace dbdesign

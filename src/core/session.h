@@ -1,0 +1,75 @@
+// DesignSession: stateful interactive what-if session with undo/redo,
+// named snapshots and an action log.
+//
+// The paper's tool is explicitly *interactive*: the DBA explores
+// candidate designs incrementally through a GUI. This class is the
+// library-side session state such a front end needs — every mutation of
+// the hypothetical design goes through it, can be undone/redone, and is
+// recorded in a human-readable log; intermediate designs can be saved
+// and compared by name.
+
+#ifndef DBDESIGN_CORE_SESSION_H_
+#define DBDESIGN_CORE_SESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/designer.h"
+
+namespace dbdesign {
+
+class DesignSession {
+ public:
+  explicit DesignSession(Designer& designer);
+
+  // --- What-if mutations (logged, undoable) ---
+  Status CreateIndex(const IndexDef& index);
+  Status DropIndex(const IndexDef& index);
+  Status SetVerticalPartitioning(VerticalPartitioning p);
+  Status ClearVerticalPartitioning(TableId table);
+  Status SetHorizontalPartitioning(HorizontalPartitioning p);
+  Status ClearHorizontalPartitioning(TableId table);
+
+  /// Reverts the most recent mutation. Returns false if nothing to undo.
+  bool Undo();
+  /// Re-applies the most recently undone mutation.
+  bool Redo();
+  /// Number of undoable / redoable steps.
+  size_t undo_depth() const { return undo_stack_.size(); }
+  size_t redo_depth() const { return redo_stack_.size(); }
+
+  // --- Snapshots ---
+  /// Saves the current hypothetical design under `name` (overwrites).
+  void SaveSnapshot(const std::string& name);
+  /// Restores a named snapshot (undoable as a single step).
+  Status RestoreSnapshot(const std::string& name);
+  std::vector<std::string> SnapshotNames() const;
+
+  /// Workload benefit of a named snapshot vs the empty baseline.
+  Result<BenefitReport> CompareSnapshot(const std::string& name,
+                                        const Workload& workload);
+
+  // --- Introspection ---
+  const PhysicalDesign& design() const {
+    return designer_->whatif().hypothetical_design();
+  }
+  /// Human-readable action log ("CREATE INDEX idx_photoobj_ra", ...).
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  /// Pushes the current design for undo and clears the redo stack.
+  void Checkpoint(std::string action);
+  /// Replaces the what-if overlay wholesale.
+  void Apply(const PhysicalDesign& design);
+
+  Designer* designer_;
+  std::vector<PhysicalDesign> undo_stack_;
+  std::vector<PhysicalDesign> redo_stack_;
+  std::map<std::string, PhysicalDesign> snapshots_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CORE_SESSION_H_

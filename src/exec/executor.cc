@@ -1,0 +1,651 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+namespace {
+
+constexpr int kMaxSlots = 8;
+
+/// An intermediate tuple: one row pointer per FROM slot (nullptr if the
+/// slot has not been joined in yet).
+struct ExecTuple {
+  const Row* rows[kMaxSlots] = {nullptr};
+
+  const Value& Get(const BoundColumn& c) const {
+    return (*rows[c.slot])[c.column];
+  }
+};
+
+bool EvalPredicate(const BoundPredicate& p, const Value& v) {
+  if (p.value2.has_value()) {
+    return v >= p.value && v <= *p.value2;
+  }
+  switch (p.op) {
+    case CompareOp::kEq: return v == p.value;
+    case CompareOp::kNe: return !(v == p.value);
+    case CompareOp::kLt: return v < p.value;
+    case CompareOp::kLe: return v <= p.value;
+    case CompareOp::kGt: return v > p.value;
+    case CompareOp::kGe: return v >= p.value;
+  }
+  return false;
+}
+
+bool PassesFilters(const ExecTuple& t,
+                   const std::vector<BoundPredicate>& preds) {
+  for (const BoundPredicate& p : preds) {
+    if (!EvalPredicate(p, t.Get(p.column))) return false;
+  }
+  return true;
+}
+
+bool PassesJoins(const ExecTuple& t, const std::vector<BoundJoin>& joins) {
+  for (const BoundJoin& j : joins) {
+    if (!(t.Get(j.left) == t.Get(j.right))) return false;
+  }
+  return true;
+}
+
+/// Running aggregate state for one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool has_value = false;
+  Value min_v;
+  Value max_v;
+};
+
+class PlanInterpreter {
+ public:
+  PlanInterpreter(const Database& db, const BoundQuery& query,
+                  ExecutionProfile* profile = nullptr)
+      : db_(db), query_(query), profile_(profile) {}
+
+  Result<std::vector<Row>> Run(const PlanNode& plan) {
+    // Locate the aggregation node (at most one) and split the plan into
+    // below-aggregation (tuples) and above-aggregation (rows) stages.
+    auto tuples_or = EvalToRows(plan);
+    if (!tuples_or.ok()) return tuples_or.status();
+    return std::move(tuples_or).value();
+  }
+
+  std::vector<Row> Naive() {
+    std::vector<ExecTuple> tuples = CartesianAll();
+    std::vector<ExecTuple> filtered;
+    for (const ExecTuple& t : tuples) {
+      if (PassesFilters(t, query_.filters) && PassesJoins(t, query_.joins)) {
+        filtered.push_back(t);
+      }
+    }
+    std::vector<Row> rows;
+    if (query_.HasAggregates()) {
+      rows = Aggregate(filtered);
+    } else {
+      rows = Project(filtered);
+    }
+    SortRowsForOrderBy(&rows);
+    if (query_.limit >= 0 &&
+        rows.size() > static_cast<size_t>(query_.limit)) {
+      rows.resize(static_cast<size_t>(query_.limit));
+    }
+    return rows;
+  }
+
+ private:
+  // --- Row-stage evaluation (handles nodes above aggregation) ---
+  Result<std::vector<Row>> EvalToRows(const PlanNode& node) {
+    switch (node.type) {
+      case PlanNodeType::kLimit: {
+        auto rows = EvalToRows(*node.child(0));
+        if (!rows.ok()) return rows;
+        std::vector<Row> r = std::move(rows).value();
+        if (node.limit_count >= 0 &&
+            r.size() > static_cast<size_t>(node.limit_count)) {
+          r.resize(static_cast<size_t>(node.limit_count));
+        }
+        return r;
+      }
+      case PlanNodeType::kSort: {
+        if (ContainsAggregate(*node.child(0))) {
+          auto rows = EvalToRows(*node.child(0));
+          if (!rows.ok()) return rows;
+          std::vector<Row> r = std::move(rows).value();
+          SortRowsBy(&r, node.sort_cols);
+          return r;
+        }
+        auto tuples = EvalTuples(node);
+        if (!tuples.ok()) return tuples.status();
+        return Project(tuples.value());
+      }
+      case PlanNodeType::kHashAggregate:
+      case PlanNodeType::kGroupAggregate: {
+        auto tuples = EvalTuples(*node.child(0));
+        if (!tuples.ok()) return tuples.status();
+        return Aggregate(tuples.value());
+      }
+      default: {
+        auto tuples = EvalTuples(node);
+        if (!tuples.ok()) return tuples.status();
+        return Project(tuples.value());
+      }
+    }
+  }
+
+  static bool ContainsAggregate(const PlanNode& node) {
+    if (node.type == PlanNodeType::kHashAggregate ||
+        node.type == PlanNodeType::kGroupAggregate) {
+      return true;
+    }
+    for (const PlanNodeRef& c : node.children) {
+      if (ContainsAggregate(*c)) return true;
+    }
+    return false;
+  }
+
+  // --- Tuple-stage evaluation ---
+  Result<std::vector<ExecTuple>> EvalTuples(const PlanNode& node) {
+    auto result = EvalTuplesInner(node);
+    if (profile_ != nullptr && result.ok()) {
+      profile_->push_back(
+          OperatorProfile{&node, result.value().size(), node.rows});
+    }
+    return result;
+  }
+
+  Result<std::vector<ExecTuple>> EvalTuplesInner(const PlanNode& node) {
+    switch (node.type) {
+      case PlanNodeType::kSeqScan:
+        return ScanTable(node, /*use_index=*/false);
+      case PlanNodeType::kIndexScan:
+      case PlanNodeType::kIndexOnlyScan:
+        return ScanTable(node, /*use_index=*/true);
+      case PlanNodeType::kSort: {
+        auto child = EvalTuples(*node.child(0));
+        if (!child.ok()) return child;
+        std::vector<ExecTuple> tuples = std::move(child).value();
+        SortTuplesBy(&tuples, node.sort_cols);
+        return tuples;
+      }
+      case PlanNodeType::kNestLoopJoin:
+        return NestLoop(node);
+      case PlanNodeType::kHashJoin:
+        return Hash(node);
+      case PlanNodeType::kMergeJoin:
+        return Merge(node);
+      case PlanNodeType::kIndexNestLoopJoin:
+        return IndexNestLoop(node);
+      case PlanNodeType::kAbstractLeaf:
+        return Status::Internal("abstract INUM leaf is not executable");
+      default:
+        return Status::Internal(
+            StrFormat("unexpected node %s below aggregation",
+                      PlanNodeTypeName(node.type)));
+    }
+  }
+
+  Result<std::vector<ExecTuple>> ScanTable(const PlanNode& node,
+                                           bool use_index) {
+    int slot = node.slot;
+    const TableData& data = db_.data(query_.tables[slot]);
+    std::vector<ExecTuple> out;
+
+    if (use_index && node.index.has_value()) {
+      const BTreeIndex* tree = db_.GetIndex(*node.index);
+      if (tree == nullptr) {
+        return Status::NotFound(
+            "plan uses index " + node.index->Key() +
+            " which is not materialized (what-if plans are not executable)");
+      }
+      // Build the key range from equality prefix + one range column.
+      IndexKey lo;
+      IndexKey hi;
+      bool lo_inc = true;
+      bool hi_inc = true;
+      bool open_lo = false;
+      bool open_hi = false;
+      for (ColumnId col : node.index->columns) {
+        const BoundPredicate* eq = nullptr;
+        const BoundPredicate* range = nullptr;
+        for (const BoundPredicate& p : node.index_conds) {
+          if (p.column.column != col) continue;
+          if (p.IsEquality()) {
+            eq = &p;
+          } else {
+            range = &p;
+          }
+        }
+        if (eq != nullptr && range == nullptr) {
+          if (!open_lo) lo.push_back(eq->value);
+          if (!open_hi) hi.push_back(eq->value);
+          continue;
+        }
+        if (range != nullptr) {
+          if (range->value2.has_value()) {  // BETWEEN
+            if (!open_lo) lo.push_back(range->value);
+            if (!open_hi) hi.push_back(*range->value2);
+          } else {
+            switch (range->op) {
+              case CompareOp::kGt:
+                if (!open_lo) lo.push_back(range->value);
+                lo_inc = false;
+                open_hi = true;
+                break;
+              case CompareOp::kGe:
+                if (!open_lo) lo.push_back(range->value);
+                open_hi = true;
+                break;
+              case CompareOp::kLt:
+                if (!open_hi) hi.push_back(range->value);
+                hi_inc = false;
+                open_lo = true;
+                break;
+              case CompareOp::kLe:
+                if (!open_hi) hi.push_back(range->value);
+                open_lo = true;
+                break;
+              default:
+                open_lo = open_hi = true;
+                break;
+            }
+          }
+        }
+        break;  // range column ends the prefix
+      }
+      std::vector<RowId> ids = tree->RangeScan(lo, lo_inc, hi, hi_inc);
+      for (RowId id : ids) {
+        ExecTuple t;
+        t.rows[slot] = &data.row(id);
+        // Re-check all index conds (defensive: prefix scan may over-read
+        // for non-between inequality shapes) plus residual filters.
+        if (PassesFilters(t, node.index_conds) &&
+            PassesFilters(t, node.filter)) {
+          out.push_back(t);
+        }
+      }
+      return out;
+    }
+
+    for (RowId id = 0; id < data.NumRows(); ++id) {
+      ExecTuple t;
+      t.rows[slot] = &data.row(id);
+      if (PassesFilters(t, node.filter) &&
+          PassesFilters(t, node.index_conds)) {
+        out.push_back(t);
+      }
+    }
+    return out;
+  }
+
+  static ExecTuple Combine(const ExecTuple& a, const ExecTuple& b) {
+    ExecTuple t = a;
+    for (int s = 0; s < kMaxSlots; ++s) {
+      if (b.rows[s] != nullptr) t.rows[s] = b.rows[s];
+    }
+    return t;
+  }
+
+  std::vector<BoundJoin> AllJoinConds(const PlanNode& node) const {
+    std::vector<BoundJoin> conds;
+    if (node.join_cond.has_value()) conds.push_back(*node.join_cond);
+    conds.insert(conds.end(), node.extra_join_conds.begin(),
+                 node.extra_join_conds.end());
+    return conds;
+  }
+
+  Result<std::vector<ExecTuple>> NestLoop(const PlanNode& node) {
+    auto outer = EvalTuples(*node.child(0));
+    if (!outer.ok()) return outer;
+    auto inner = EvalTuples(*node.child(1));
+    if (!inner.ok()) return inner;
+    std::vector<BoundJoin> conds = AllJoinConds(node);
+    std::vector<ExecTuple> out;
+    for (const ExecTuple& o : outer.value()) {
+      for (const ExecTuple& i : inner.value()) {
+        ExecTuple t = Combine(o, i);
+        if (PassesJoins(t, conds)) out.push_back(t);
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<ExecTuple>> Hash(const PlanNode& node) {
+    auto outer = EvalTuples(*node.child(0));
+    if (!outer.ok()) return outer;
+    auto inner = EvalTuples(*node.child(1));
+    if (!inner.ok()) return inner;
+    const BoundJoin& j = *node.join_cond;
+    // Orient the key columns: join_cond.left belongs to the outer subtree.
+    std::unordered_multimap<uint64_t, const ExecTuple*> table;
+    table.reserve(inner.value().size());
+    for (const ExecTuple& i : inner.value()) {
+      table.emplace(i.Get(j.right).Hash(), &i);
+    }
+    std::vector<ExecTuple> out;
+    std::vector<BoundJoin> conds = AllJoinConds(node);
+    for (const ExecTuple& o : outer.value()) {
+      auto [lo_it, hi_it] = table.equal_range(o.Get(j.left).Hash());
+      for (auto it = lo_it; it != hi_it; ++it) {
+        ExecTuple t = Combine(o, *it->second);
+        if (PassesJoins(t, conds)) out.push_back(t);
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<ExecTuple>> Merge(const PlanNode& node) {
+    auto outer = EvalTuples(*node.child(0));
+    if (!outer.ok()) return outer;
+    auto inner = EvalTuples(*node.child(1));
+    if (!inner.ok()) return inner;
+    const BoundJoin& j = *node.join_cond;
+    std::vector<ExecTuple> lhs = std::move(outer).value();
+    std::vector<ExecTuple> rhs = std::move(inner).value();
+    // Defensive sort: plans built by the enumerator always sort inputs,
+    // but re-sorting keeps the executor correct for hand-built plans.
+    SortTuplesBy(&lhs, {j.left});
+    SortTuplesBy(&rhs, {j.right});
+    std::vector<BoundJoin> conds = AllJoinConds(node);
+    std::vector<ExecTuple> out;
+    size_t a = 0;
+    size_t b = 0;
+    while (a < lhs.size() && b < rhs.size()) {
+      int c = lhs[a].Get(j.left).Compare(rhs[b].Get(j.right));
+      if (c < 0) {
+        ++a;
+      } else if (c > 0) {
+        ++b;
+      } else {
+        // Equal group: cross product of matching runs.
+        size_t a_end = a;
+        while (a_end < lhs.size() &&
+               lhs[a_end].Get(j.left) == rhs[b].Get(j.right)) {
+          ++a_end;
+        }
+        size_t b_end = b;
+        while (b_end < rhs.size() &&
+               rhs[b_end].Get(j.right) == lhs[a].Get(j.left)) {
+          ++b_end;
+        }
+        for (size_t x = a; x < a_end; ++x) {
+          for (size_t y = b; y < b_end; ++y) {
+            ExecTuple t = Combine(lhs[x], rhs[y]);
+            if (PassesJoins(t, conds)) out.push_back(t);
+          }
+        }
+        a = a_end;
+        b = b_end;
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<ExecTuple>> IndexNestLoop(const PlanNode& node) {
+    auto outer = EvalTuples(*node.child(0));
+    if (!outer.ok()) return outer;
+    const BoundJoin& j = *node.join_cond;
+    int inner_slot = node.slot;
+    const TableData& data = db_.data(query_.tables[inner_slot]);
+    std::vector<BoundJoin> conds = AllJoinConds(node);
+    std::vector<ExecTuple> out;
+
+    const BTreeIndex* tree =
+        node.index.has_value() ? db_.GetIndex(*node.index) : nullptr;
+    if (tree != nullptr && node.index->leading_column() == j.right.column) {
+      for (const ExecTuple& o : outer.value()) {
+        IndexKey key{o.Get(j.left)};
+        for (RowId id : tree->Lookup(key)) {
+          ExecTuple t = o;
+          t.rows[inner_slot] = &data.row(id);
+          if (PassesFilters(t, node.filter) && PassesJoins(t, conds)) {
+            out.push_back(t);
+          }
+        }
+      }
+      return out;
+    }
+
+    // No materialized suitable index: fall back to an internal hash
+    // lookup table (same semantics, different speed).
+    std::unordered_multimap<uint64_t, RowId> table;
+    table.reserve(data.NumRows());
+    for (RowId id = 0; id < data.NumRows(); ++id) {
+      table.emplace(data.row(id)[j.right.column].Hash(), id);
+    }
+    for (const ExecTuple& o : outer.value()) {
+      auto [lo_it, hi_it] = table.equal_range(o.Get(j.left).Hash());
+      for (auto it = lo_it; it != hi_it; ++it) {
+        ExecTuple t = o;
+        t.rows[inner_slot] = &data.row(it->second);
+        if (PassesFilters(t, node.filter) && PassesJoins(t, conds)) {
+          out.push_back(t);
+        }
+      }
+    }
+    return out;
+  }
+
+  // --- Projection / aggregation / ordering ---
+  std::vector<Row> Project(const std::vector<ExecTuple>& tuples) const {
+    std::vector<Row> rows;
+    rows.reserve(tuples.size());
+    for (const ExecTuple& t : tuples) {
+      Row r;
+      r.reserve(query_.select_columns.size());
+      for (const BoundColumn& c : query_.select_columns) {
+        r.push_back(t.Get(c));
+      }
+      rows.push_back(std::move(r));
+    }
+    return rows;
+  }
+
+  std::vector<Row> Aggregate(const std::vector<ExecTuple>& tuples) const {
+    // Group key = rendered group-by values (stable, hashable).
+    std::map<std::string, std::pair<Row, std::vector<AggState>>> groups;
+    for (const ExecTuple& t : tuples) {
+      std::string key;
+      Row key_row;
+      for (const BoundColumn& c : query_.group_by) {
+        const Value& v = t.Get(c);
+        key += v.ToString();
+        key += '\x1f';
+        key_row.push_back(v);
+      }
+      auto [it, inserted] = groups.try_emplace(
+          key, key_row,
+          std::vector<AggState>(query_.aggregates.size()));
+      auto& states = it->second.second;
+      for (size_t a = 0; a < query_.aggregates.size(); ++a) {
+        const BoundAggregate& agg = query_.aggregates[a];
+        AggState& st = states[a];
+        st.count++;
+        if (!agg.star) {
+          const Value& v = t.Get(agg.column);
+          st.sum += v.AsDouble();
+          if (!st.has_value || v < st.min_v) st.min_v = v;
+          if (!st.has_value || st.max_v < v) st.max_v = v;
+          st.has_value = true;
+        }
+      }
+    }
+    std::vector<Row> rows;
+    for (auto& [key, entry] : groups) {
+      Row r;
+      // SELECT-list group columns first (in select order), then aggregates.
+      for (const BoundColumn& c : query_.select_columns) {
+        for (size_t g = 0; g < query_.group_by.size(); ++g) {
+          if (query_.group_by[g] == c) {
+            r.push_back(entry.first[g]);
+            break;
+          }
+        }
+      }
+      for (size_t a = 0; a < query_.aggregates.size(); ++a) {
+        const BoundAggregate& agg = query_.aggregates[a];
+        const AggState& st = entry.second[a];
+        switch (agg.fn) {
+          case AggFn::kCount:
+            r.push_back(Value(st.count));
+            break;
+          case AggFn::kSum:
+            r.push_back(Value(st.sum));
+            break;
+          case AggFn::kAvg:
+            r.push_back(Value(st.count > 0
+                                  ? st.sum / static_cast<double>(st.count)
+                                  : 0.0));
+            break;
+          case AggFn::kMin:
+            r.push_back(st.min_v);
+            break;
+          case AggFn::kMax:
+            r.push_back(st.max_v);
+            break;
+        }
+      }
+      rows.push_back(std::move(r));
+    }
+    return rows;
+  }
+
+  void SortTuplesBy(std::vector<ExecTuple>* tuples,
+                    const std::vector<BoundColumn>& cols) const {
+    std::stable_sort(tuples->begin(), tuples->end(),
+                     [&](const ExecTuple& a, const ExecTuple& b) {
+                       for (const BoundColumn& c : cols) {
+                         int cmp = a.Get(c).Compare(b.Get(c));
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  /// Maps a BoundColumn to its output-row position (select list order).
+  int OutputPosition(const BoundColumn& c) const {
+    for (size_t i = 0; i < query_.select_columns.size(); ++i) {
+      if (query_.select_columns[i] == c) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void SortRowsBy(std::vector<Row>* rows,
+                  const std::vector<BoundColumn>& cols) const {
+    std::vector<int> positions;
+    for (const BoundColumn& c : cols) {
+      int p = OutputPosition(c);
+      if (p >= 0) positions.push_back(p);
+    }
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](const Row& a, const Row& b) {
+                       for (int p : positions) {
+                         int cmp = a[static_cast<size_t>(p)].Compare(
+                             b[static_cast<size_t>(p)]);
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  void SortRowsForOrderBy(std::vector<Row>* rows) const {
+    if (query_.order_by.empty()) return;
+    std::vector<std::pair<int, bool>> keys;  // (position, descending)
+    for (const BoundOrderItem& o : query_.order_by) {
+      int p = OutputPosition(o.column);
+      if (p >= 0) keys.emplace_back(p, o.descending);
+    }
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](const Row& a, const Row& b) {
+                       for (auto [p, desc] : keys) {
+                         int cmp = a[static_cast<size_t>(p)].Compare(
+                             b[static_cast<size_t>(p)]);
+                         if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  std::vector<ExecTuple> CartesianAll() const {
+    std::vector<ExecTuple> tuples;
+    tuples.push_back(ExecTuple{});
+    for (int s = 0; s < query_.num_slots(); ++s) {
+      const TableData& data = db_.data(query_.tables[s]);
+      std::vector<ExecTuple> next;
+      next.reserve(tuples.size() * data.NumRows());
+      // Apply this slot's filters eagerly to bound the intermediate size.
+      std::vector<BoundPredicate> slot_filters = query_.FiltersOn(s);
+      for (const ExecTuple& t : tuples) {
+        for (RowId id = 0; id < data.NumRows(); ++id) {
+          ExecTuple nt = t;
+          nt.rows[s] = &data.row(id);
+          if (!PassesFilters(nt, slot_filters)) continue;
+          // Apply join predicates whose both sides are now bound.
+          bool ok = true;
+          for (const BoundJoin& j : query_.joins) {
+            if (j.left.slot <= s && j.right.slot <= s &&
+                nt.rows[j.left.slot] != nullptr &&
+                nt.rows[j.right.slot] != nullptr) {
+              if (!(nt.Get(j.left) == nt.Get(j.right))) {
+                ok = false;
+                break;
+              }
+            }
+          }
+          if (ok) next.push_back(nt);
+        }
+      }
+      tuples = std::move(next);
+    }
+    return tuples;
+  }
+
+  const Database& db_;
+  const BoundQuery& query_;
+  ExecutionProfile* profile_;
+};
+
+}  // namespace
+
+Result<std::vector<Row>> Executor::Execute(const BoundQuery& query,
+                                           const PlanNode& plan,
+                                           ExecutionProfile* profile) {
+  if (query.num_slots() > kMaxSlots) {
+    return Status::InvalidArgument("too many FROM slots for the executor");
+  }
+  PlanInterpreter interp(*db_, query, profile);
+  return interp.Run(plan);
+}
+
+std::vector<Row> Executor::ExecuteNaive(const BoundQuery& query) {
+  PlanInterpreter interp(*db_, query);
+  return interp.Naive();
+}
+
+std::vector<std::string> CanonicalizeResult(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) {
+      // Render doubles with bounded precision so that sum orders of
+      // floating point accumulation do not cause spurious mismatches.
+      if (v.type() == DataType::kDouble) {
+        s += StrFormat("%.6g", v.AsDouble());
+      } else {
+        s += v.ToString();
+      }
+      s += '|';
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dbdesign

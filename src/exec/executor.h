@@ -1,0 +1,66 @@
+// Plan executor: interprets optimizer plans against the Database's row
+// store and materialized B-trees, producing result rows.
+//
+// The executor exists to ground the cost model: integration tests verify
+// that every plan the optimizer emits — under any physical design —
+// computes the same result as every other plan for the same query.
+
+#ifndef DBDESIGN_EXEC_EXECUTOR_H_
+#define DBDESIGN_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "optimizer/plan.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Per-operator runtime statistics (EXPLAIN ANALYZE-style): lets tests
+/// and tools compare the optimizer's cardinality estimates against what
+/// actually flowed through each operator.
+struct OperatorProfile {
+  const PlanNode* node = nullptr;
+  size_t actual_rows = 0;
+  double estimated_rows = 0.0;
+
+  /// Ratio of the larger to the smaller of actual/estimated (>= 1; the
+  /// standard "q-error" measure of estimation quality).
+  double QError() const {
+    double a = std::max<double>(1.0, static_cast<double>(actual_rows));
+    double e = std::max(1.0, estimated_rows);
+    return a > e ? a / e : e / a;
+  }
+};
+
+using ExecutionProfile = std::vector<OperatorProfile>;
+
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(&db) {}
+
+  /// Runs `plan` for `query`. Output layout: one Value per SELECT-list
+  /// column in listed order, followed by one Value per aggregate.
+  /// When `profile` is non-null, per-operator actual row counts are
+  /// appended to it (tuple-stage operators only).
+  Result<std::vector<Row>> Execute(const BoundQuery& query,
+                                   const PlanNode& plan,
+                                   ExecutionProfile* profile = nullptr);
+
+  /// Reference evaluator: executes the query by brute force (cartesian
+  /// enumeration + filters), independent of any plan. Used by tests as
+  /// ground truth.
+  std::vector<Row> ExecuteNaive(const BoundQuery& query);
+
+ private:
+  const Database* db_;
+};
+
+/// Canonicalizes a result set for order-insensitive comparison (sorts
+/// rows by their rendered text). Tests compare plans against the naive
+/// evaluator with this.
+std::vector<std::string> CanonicalizeResult(const std::vector<Row>& rows);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_EXEC_EXECUTOR_H_

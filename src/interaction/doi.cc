@@ -1,0 +1,99 @@
+#include "interaction/doi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dbdesign {
+
+namespace {
+
+PhysicalDesign DesignFrom(const std::vector<IndexDef>& indexes,
+                          const std::vector<int>& members) {
+  PhysicalDesign d;
+  for (int i : members) d.AddIndex(indexes[static_cast<size_t>(i)]);
+  return d;
+}
+
+}  // namespace
+
+double InteractionAnalyzer::PairDoi(const Workload& workload,
+                                    const std::vector<IndexDef>& indexes,
+                                    int a, int b) {
+  int n = static_cast<int>(indexes.size());
+  std::vector<int> others;
+  for (int i = 0; i < n; ++i) {
+    if (i != a && i != b) others.push_back(i);
+  }
+
+  // Structured samples: empty, full remainder, each singleton.
+  std::vector<std::vector<int>> samples;
+  samples.push_back({});
+  if (!others.empty()) samples.push_back(others);
+  for (int o : others) samples.push_back({o});
+  // Random subsets.
+  Rng rng(options_.seed ^ (static_cast<uint64_t>(a) << 32) ^
+          static_cast<uint64_t>(b));
+  for (int s = 0; s < options_.random_samples && others.size() >= 2; ++s) {
+    std::vector<int> x;
+    for (int o : others) {
+      if (rng.Bernoulli(0.5)) x.push_back(o);
+    }
+    samples.push_back(std::move(x));
+  }
+
+  double total = 0.0;
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const BoundQuery& q = workload.queries[qi];
+    double base = inum_->Cost(q, PhysicalDesign{});
+    if (base <= 0) continue;
+    double worst = 0.0;
+    for (const std::vector<int>& x : samples) {
+      PhysicalDesign dx = DesignFrom(indexes, x);
+      PhysicalDesign dxa = dx;
+      dxa.AddIndex(indexes[static_cast<size_t>(a)]);
+      PhysicalDesign dxb = dx;
+      dxb.AddIndex(indexes[static_cast<size_t>(b)]);
+      PhysicalDesign dxab = dxb;
+      dxab.AddIndex(indexes[static_cast<size_t>(a)]);
+
+      double benefit_without_b =
+          inum_->Cost(q, dx) - inum_->Cost(q, dxa);
+      double benefit_with_b =
+          inum_->Cost(q, dxb) - inum_->Cost(q, dxab);
+      worst = std::max(worst,
+                       std::abs(benefit_without_b - benefit_with_b) / base);
+    }
+    total += workload.WeightOf(qi) * worst;
+  }
+  return total;
+}
+
+std::vector<InteractionEdge> InteractionAnalyzer::Analyze(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  std::vector<InteractionEdge> edges;
+  int n = static_cast<int>(indexes.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      double doi = PairDoi(workload, indexes, a, b);
+      if (doi > 1e-6) edges.push_back(InteractionEdge{a, b, doi});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const InteractionEdge& x, const InteractionEdge& y) {
+              return x.doi > y.doi;
+            });
+  return edges;
+}
+
+double InteractionAnalyzer::SoloBenefit(const Workload& workload,
+                                        const std::vector<IndexDef>& indexes,
+                                        int a) {
+  PhysicalDesign with;
+  with.AddIndex(indexes[static_cast<size_t>(a)]);
+  return inum_->WorkloadCost(workload, PhysicalDesign{}) -
+         inum_->WorkloadCost(workload, with);
+}
+
+}  // namespace dbdesign

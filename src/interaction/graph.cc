@@ -1,0 +1,84 @@
+#include "interaction/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+InteractionGraph::InteractionGraph(const Catalog& catalog,
+                                   std::vector<IndexDef> indexes,
+                                   std::vector<InteractionEdge> edges)
+    : catalog_(&catalog),
+      indexes_(std::move(indexes)),
+      all_edges_(std::move(edges)) {
+  std::sort(all_edges_.begin(), all_edges_.end(),
+            [](const InteractionEdge& a, const InteractionEdge& b) {
+              return a.doi > b.doi;
+            });
+  visible_ = all_edges_;
+}
+
+void InteractionGraph::SetDisplayedEdges(int k) {
+  if (k < 0 || k >= static_cast<int>(all_edges_.size())) {
+    visible_ = all_edges_;
+  } else {
+    visible_.assign(all_edges_.begin(), all_edges_.begin() + k);
+  }
+}
+
+std::string InteractionGraph::ToDot() const {
+  std::string out = "graph index_interactions {\n";
+  out += "  node [shape=box, fontsize=10];\n";
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    out += StrFormat("  n%zu [label=\"%s\"];\n", i,
+                     indexes_[i].DisplayName(*catalog_).c_str());
+  }
+  double max_doi = visible_.empty() ? 1.0 : visible_.front().doi;
+  for (const InteractionEdge& e : visible_) {
+    double w = max_doi > 0 ? e.doi / max_doi : 0.0;
+    out += StrFormat(
+        "  n%d -- n%d [label=\"%.3f\", penwidth=%.1f];\n", e.a, e.b, e.doi,
+        0.5 + 3.5 * w);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string InteractionGraph::ToJson() const {
+  std::string out = "{\n  \"nodes\": [";
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("{\"id\": %zu, \"name\": \"%s\"}", i,
+                     indexes_[i].DisplayName(*catalog_).c_str());
+  }
+  out += "],\n  \"edges\": [";
+  for (size_t e = 0; e < visible_.size(); ++e) {
+    if (e > 0) out += ", ";
+    out += StrFormat("{\"a\": %d, \"b\": %d, \"doi\": %.6f}", visible_[e].a,
+                     visible_[e].b, visible_[e].doi);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string InteractionGraph::ToAscii() const {
+  std::string out;
+  out += StrFormat("Interaction graph: %d indexes, %zu edges shown\n",
+                   num_nodes(), visible_.size());
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    out += StrFormat("  [%zu] %s\n", i,
+                     indexes_[i].DisplayName(*catalog_).c_str());
+  }
+  for (const InteractionEdge& e : visible_) {
+    int bar = static_cast<int>(std::round(
+        20.0 * (visible_.empty() ? 0.0 : e.doi / visible_.front().doi)));
+    out += StrFormat("  [%d] -- [%d]  doi=%-8.4f %s\n", e.a, e.b, e.doi,
+                     std::string(static_cast<size_t>(std::max(1, bar)), '#')
+                         .c_str());
+  }
+  return out;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,51 @@
+// Interaction graph rendering — the paper's Figure 2: an undirected
+// graph whose vertices are indexes and whose edge weights are degrees
+// of interaction, with a user-adjustable top-k edge filter ("if the
+// graph has too many edges, the user can dynamically change the number
+// of interactions that are being displayed").
+
+#ifndef DBDESIGN_INTERACTION_GRAPH_H_
+#define DBDESIGN_INTERACTION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/design.h"
+#include "interaction/doi.h"
+
+namespace dbdesign {
+
+class InteractionGraph {
+ public:
+  InteractionGraph(const Catalog& catalog, std::vector<IndexDef> indexes,
+                   std::vector<InteractionEdge> edges);
+
+  /// Keeps only the k heaviest edges (the demo's display slider).
+  /// k < 0 restores all edges.
+  void SetDisplayedEdges(int k);
+
+  int num_nodes() const { return static_cast<int>(indexes_.size()); }
+  /// Currently displayed edges (heaviest first).
+  const std::vector<InteractionEdge>& edges() const { return visible_; }
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+
+  /// Graphviz DOT rendering (what the demo GUI would draw).
+  std::string ToDot() const;
+
+  /// Plain-text adjacency rendering for terminals.
+  std::string ToAscii() const;
+
+  /// JSON rendering ({"nodes": [...], "edges": [...]}) for GUI front
+  /// ends; respects the display filter.
+  std::string ToJson() const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<IndexDef> indexes_;
+  std::vector<InteractionEdge> all_edges_;  // sorted heaviest first
+  std::vector<InteractionEdge> visible_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_INTERACTION_GRAPH_H_

@@ -1,0 +1,115 @@
+#include "interaction/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dbdesign {
+
+double MaterializationSchedule::BenefitArea() const {
+  // Step k's standing benefit (base - cost_after_k) accrues while step
+  // k+1 builds; the final configuration's benefit accrues for one more
+  // normalized unit.
+  double area = 0.0;
+  for (size_t k = 0; k + 1 < steps.size(); ++k) {
+    double standing = base_cost - steps[k].cost_after;
+    area += standing * std::max(1.0, steps[k + 1].build_pages);
+  }
+  if (!steps.empty()) {
+    area += (base_cost - final_cost) * 1.0;
+  }
+  // Normalize by total build effort so schedules over the same set are
+  // comparable regardless of page units.
+  double effort = 0.0;
+  for (const ScheduleStep& s : steps) effort += std::max(1.0, s.build_pages);
+  return effort > 0 ? area / effort : 0.0;
+}
+
+MaterializationSchedule MaterializationScheduler::Build(
+    const Workload& workload, const std::vector<IndexDef>& indexes,
+    const std::vector<int>& order) {
+  MaterializationSchedule sched;
+  PhysicalDesign built;
+  sched.base_cost = inum_->WorkloadCost(workload, built);
+  double prev_cost = sched.base_cost;
+
+  const Database& db = inum_->exact().db();
+  for (int i : order) {
+    const IndexDef& idx = indexes[static_cast<size_t>(i)];
+    built.AddIndex(idx);
+    double cost = inum_->WorkloadCost(workload, built);
+    ScheduleStep step;
+    step.index = idx;
+    step.build_pages = EstimateIndexSize(idx, db.catalog().table(idx.table),
+                                         db.stats(idx.table))
+                           .total_pages();
+    step.marginal_benefit = prev_cost - cost;
+    step.cost_after = cost;
+    prev_cost = cost;
+    sched.steps.push_back(std::move(step));
+  }
+  sched.final_cost = prev_cost;
+  return sched;
+}
+
+MaterializationSchedule MaterializationScheduler::Greedy(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  std::vector<int> remaining(indexes.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<int> order;
+  PhysicalDesign built;
+  double current = inum_->WorkloadCost(workload, built);
+
+  while (!remaining.empty()) {
+    int best_pos = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    double best_cost = current;
+    const Database& db = inum_->exact().db();
+    for (size_t p = 0; p < remaining.size(); ++p) {
+      const IndexDef& idx = indexes[static_cast<size_t>(remaining[p])];
+      PhysicalDesign trial = built;
+      trial.AddIndex(idx);
+      double cost = inum_->WorkloadCost(workload, trial);
+      double build = EstimateIndexSize(idx, db.catalog().table(idx.table),
+                                       db.stats(idx.table))
+                         .total_pages();
+      // Benefit rate: early cheap high-benefit builds maximize the area.
+      double score = (current - cost) / std::max(1.0, build);
+      if (score > best_score) {
+        best_score = score;
+        best_pos = static_cast<int>(p);
+        best_cost = cost;
+      }
+    }
+    int chosen = remaining[static_cast<size_t>(best_pos)];
+    remaining.erase(remaining.begin() + best_pos);
+    order.push_back(chosen);
+    built.AddIndex(indexes[static_cast<size_t>(chosen)]);
+    current = best_cost;
+  }
+  return Build(workload, indexes, order);
+}
+
+MaterializationSchedule MaterializationScheduler::FixedOrder(
+    const Workload& workload, const std::vector<IndexDef>& indexes,
+    const std::vector<int>& order) {
+  return Build(workload, indexes, order);
+}
+
+MaterializationSchedule MaterializationScheduler::SoloBenefitOrder(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  double base = inum_->WorkloadCost(workload, PhysicalDesign{});
+  std::vector<std::pair<double, int>> ranked;
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    PhysicalDesign solo;
+    solo.AddIndex(indexes[i]);
+    double benefit = base - inum_->WorkloadCost(workload, solo);
+    ranked.emplace_back(-benefit, static_cast<int>(i));
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> order;
+  for (auto& [neg, i] : ranked) order.push_back(i);
+  return Build(workload, indexes, order);
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,487 @@
+#include "inum/inum.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "optimizer/selectivity.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+namespace {
+
+/// Cost assigned to marker leaves of parameterized slots so that any
+/// plan consuming them other than via an index-nested-loop join is
+/// priced out of contention.
+constexpr double kForbiddenLeafCost = 1e18;
+constexpr double kInfeasibleThreshold = 1e17;
+
+/// Representative per-probe cost of an index lookup on `col` assuming a
+/// single-column index exists (populate-time stand-in; reuse substitutes
+/// the design's actual best lookup).
+ParamLookupPath AbstractLookup(const PlannerContext& ctx, int slot,
+                               const BoundColumn& col) {
+  const CostParams& P = ctx.params;
+  const TableStats& stats = ctx.StatsFor(slot);
+  const TableDef& def = ctx.DefFor(slot);
+  IndexDef rep;
+  rep.table = ctx.query->tables[slot];
+  rep.columns = {col.column};
+  IndexSizeEstimate size = EstimateIndexSize(rep, def, stats);
+  const ColumnStats& jc = stats.column(col.column);
+  double rows_per_key =
+      std::max(1.0, stats.row_count / std::max(1.0, jc.n_distinct));
+  double descent_cpu =
+      std::log2(std::max(2.0, stats.row_count)) * P.cpu_operator_cost +
+      size.height * 50.0 * P.cpu_operator_cost;
+  double heap_pages = IndexPagesFetched(rows_per_key, stats.HeapPages(def),
+                                        P.effective_cache_size_pages);
+  std::vector<BoundPredicate> preds = ctx.query->FiltersOn(slot);
+  double residual_sel = 1.0;
+  for (const BoundPredicate& p : preds) {
+    residual_sel *= PredicateSelectivity(stats.column(p.column.column), p);
+  }
+  ParamLookupPath path;
+  path.index = std::nullopt;
+  path.per_lookup.total =
+      descent_cpu + P.random_page_cost + heap_pages * P.random_page_cost * 0.5 +
+      rows_per_key * (P.cpu_index_tuple_cost + P.cpu_tuple_cost) +
+      rows_per_key * static_cast<double>(preds.size()) * P.cpu_operator_cost;
+  path.rows_per_lookup = std::max(0.001, rows_per_key * residual_sel);
+  return path;
+}
+
+/// PathProvider serving zero-cost abstract leaves per the signature
+/// combination.
+class AbstractProvider : public PathProvider {
+ public:
+  AbstractProvider(const PlannerContext& ctx,
+                   const std::vector<InumCostModel::SlotSignature>& combo)
+      : ctx_(ctx), combo_(combo) {}
+
+  std::vector<AccessPath> Paths(int slot) const override {
+    using Kind = InumCostModel::SlotSignature::Kind;
+    const auto& sig = combo_[static_cast<size_t>(slot)];
+    const TableStats& stats = ctx_.StatsFor(slot);
+    double sel = ConjunctionSelectivity(stats, ctx_.query->FiltersOn(slot));
+    double rows = std::max(ctx_.params.min_rows, stats.row_count * sel);
+
+    auto node = std::make_shared<PlanNode>();
+    node->type = PlanNodeType::kAbstractLeaf;
+    node->slot = slot;
+    node->rows = rows;
+    node->width = SlotOutputWidth(ctx_, slot);
+    node->filter = ctx_.query->FiltersOn(slot);
+    AccessPath path;
+    path.rows = rows;
+    if (sig.kind == Kind::kParamLookup) {
+      node->cost.total = kForbiddenLeafCost;
+    } else if (sig.kind == Kind::kOrdered) {
+      node->output_order = sig.order;
+      path.order = sig.order;
+    }
+    path.node = std::move(node);
+    return {std::move(path)};
+  }
+
+  std::optional<ParamLookupPath> ParamLookup(
+      int slot, const BoundColumn& inner_col) const override {
+    using Kind = InumCostModel::SlotSignature::Kind;
+    const auto& sig = combo_[static_cast<size_t>(slot)];
+    if (sig.kind != Kind::kParamLookup || !(sig.lookup_col == inner_col)) {
+      return std::nullopt;
+    }
+    return AbstractLookup(ctx_, slot, inner_col);
+  }
+
+ private:
+  const PlannerContext& ctx_;
+  const std::vector<InumCostModel::SlotSignature>& combo_;
+};
+
+/// Collects abstract index-nested-loop terms from a populated plan.
+void CollectInljTerms(const PlanNode& node,
+                      std::vector<InumCostModel::CachedPlan::InljTerm>* out) {
+  if (node.type == PlanNodeType::kIndexNestLoopJoin &&
+      !node.index.has_value()) {
+    InumCostModel::CachedPlan::InljTerm term;
+    term.slot = node.slot;
+    term.inner_col = node.join_cond->right;
+    term.outer_rows = node.children[0]->rows;
+    out->push_back(term);
+  }
+  for (const PlanNodeRef& c : node.children) CollectInljTerms(*c, out);
+}
+
+}  // namespace
+
+InumCostModel::InumCostModel(const Database& db, CostParams params,
+                             InumOptions options)
+    : db_(&db),
+      params_(params),
+      options_(options),
+      exact_(db, params),
+      optimizer_(db.catalog(), db.all_stats(), params) {}
+
+const std::vector<InumCostModel::CachedPlan>* InumCostModel::CachedPlansFor(
+    const BoundQuery& query) const {
+  auto it = cache_.find(query.StructuralHash());
+  return it == cache_.end() ? nullptr : &it->second.plans;
+}
+
+void InumCostModel::Prepare(const BoundQuery& query) { Populate(query); }
+
+InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
+  // Structural key: identical queries share one cache entry regardless
+  // of workload-assigned ids.
+  uint64_t key = query.StructuralHash();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  PhysicalDesign empty;
+  PlannerContext ctx = optimizer_.MakeContext(query, empty);
+
+  // Per-slot signature options.
+  using Kind = SlotSignature::Kind;
+  int n = query.num_slots();
+  std::vector<std::vector<SlotSignature>> options(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    auto& opts = options[static_cast<size_t>(s)];
+    opts.push_back(SlotSignature{});  // kAny
+
+    auto add_order = [&](std::vector<BoundColumn> order) {
+      if (order.empty()) return;
+      for (const SlotSignature& sig : opts) {
+        if (sig.kind == Kind::kOrdered && sig.order == order) return;
+      }
+      SlotSignature sig;
+      sig.kind = Kind::kOrdered;
+      sig.order = std::move(order);
+      opts.push_back(std::move(sig));
+    };
+    for (const BoundJoin& j : query.JoinsOn(s)) {
+      auto side = j.SideOn(s);
+      add_order({*side});
+    }
+    if (!query.group_by.empty()) {
+      bool all_here = true;
+      for (const BoundColumn& c : query.group_by) all_here &= c.slot == s;
+      if (all_here) add_order(query.group_by);
+    }
+    if (!query.order_by.empty()) {
+      std::vector<BoundColumn> ob;
+      for (const BoundOrderItem& o : query.order_by) {
+        if (o.descending || o.column.slot != s) break;
+        ob.push_back(o.column);
+      }
+      if (ob.size() == query.order_by.size()) add_order(ob);
+    }
+    if (options_.enable_param_signatures && n > 1) {
+      for (const BoundJoin& j : query.JoinsOn(s)) {
+        auto side = j.SideOn(s);
+        bool dup = false;
+        for (const SlotSignature& sig : opts) {
+          if (sig.kind == Kind::kParamLookup && sig.lookup_col == *side) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        SlotSignature sig;
+        sig.kind = Kind::kParamLookup;
+        sig.lookup_col = *side;
+        opts.push_back(std::move(sig));
+      }
+    }
+  }
+
+  // Bound the combination count (drop param signatures first).
+  auto combo_count = [&]() {
+    long long c = 1;
+    for (const auto& o : options) c *= static_cast<long long>(o.size());
+    return c;
+  };
+  if (combo_count() > options_.max_combos) {
+    for (auto& opts : options) {
+      opts.erase(std::remove_if(opts.begin(), opts.end(),
+                                [](const SlotSignature& s) {
+                                  return s.kind == Kind::kParamLookup;
+                                }),
+                 opts.end());
+    }
+  }
+  while (combo_count() > options_.max_combos) {
+    // Still too many: drop the last order option of the widest slot.
+    size_t widest = 0;
+    for (size_t s = 1; s < options.size(); ++s) {
+      if (options[s].size() > options[widest].size()) widest = s;
+    }
+    if (options[widest].size() <= 1) break;
+    options[widest].pop_back();
+  }
+
+  // Enumerate combinations.
+  std::vector<CachedPlan> plans;
+  std::vector<size_t> idx(static_cast<size_t>(n), 0);
+  while (true) {
+    std::vector<SlotSignature> combo;
+    combo.reserve(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      combo.push_back(options[static_cast<size_t>(s)][idx[static_cast<size_t>(s)]]);
+    }
+
+    AbstractProvider provider(ctx, combo);
+    PlanResult result =
+        optimizer_.OptimizeWithProvider(query, empty, provider);
+    ++stats_.populate_optimizations;
+
+    if (result.root != nullptr && result.cost < kInfeasibleThreshold) {
+      CachedPlan plan;
+      plan.slots = combo;
+      CollectInljTerms(*result.root, &plan.inlj_terms);
+      double inlj_total = 0.0;
+      for (const auto& term : plan.inlj_terms) {
+        ParamLookupPath lk = AbstractLookup(ctx, term.slot, term.inner_col);
+        inlj_total += term.outer_rows * lk.per_lookup.total;
+      }
+      plan.internal_cost = result.cost - inlj_total;
+      plans.push_back(std::move(plan));
+    }
+
+    // Advance the odometer.
+    int pos = 0;
+    while (pos < n) {
+      if (++idx[static_cast<size_t>(pos)] <
+          options[static_cast<size_t>(pos)].size()) {
+        break;
+      }
+      idx[static_cast<size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+
+  DBD_LOG_DEBUG(StrFormat("INUM populated %zu plans for query", plans.size()));
+
+  // Assemble the reuse-side acceleration structures: the distinct order
+  // requirements per slot and each plan's requirement index.
+  QueryCache qc;
+  qc.plans = std::move(plans);
+  qc.slot_orders.resize(static_cast<size_t>(n));
+  for (CachedPlan& plan : qc.plans) {
+    plan.order_req.assign(static_cast<size_t>(n), -1);
+    for (int s = 0; s < n; ++s) {
+      const SlotSignature& sig = plan.slots[static_cast<size_t>(s)];
+      if (sig.kind != Kind::kOrdered) continue;
+      auto& reqs = qc.slot_orders[static_cast<size_t>(s)];
+      int found = -1;
+      for (size_t k = 0; k < reqs.size(); ++k) {
+        if (reqs[k] == sig.order) found = static_cast<int>(k);
+      }
+      if (found < 0) {
+        found = static_cast<int>(reqs.size());
+        reqs.push_back(sig.order);
+      }
+      plan.order_req[static_cast<size_t>(s)] = found;
+    }
+  }
+
+  auto [ins, ok] = cache_.emplace(key, std::move(qc));
+  stats_.queries_cached = cache_.size();
+  stats_.plans_cached += ins->second.plans.size();
+  return ins->second;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Structural hash of an index (no allocation).
+uint64_t IndexHash(const IndexDef& idx) {
+  uint64_t h = MixHash(static_cast<uint64_t>(idx.table) + 0x517cc1b7ULL);
+  for (ColumnId c : idx.columns) {
+    h = MixHash(h ^ (static_cast<uint64_t>(c) + 0x9e3779b97f4a7c15ULL));
+  }
+  return h;
+}
+
+/// Structural hash of a table's partitioning under `design`
+/// (0 = unpartitioned, the common fast path).
+uint64_t PartitionHash(const PhysicalDesign& design, TableId t) {
+  const VerticalPartitioning* vp = design.vertical(t);
+  const HorizontalPartitioning* hp = design.horizontal(t);
+  if (vp == nullptr && hp == nullptr) return 0;
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  if (vp != nullptr) {
+    for (const VerticalFragment& f : vp->fragments) {
+      h = MixHash(h ^ 0xf1ea5eedULL);
+      for (ColumnId c : f.columns) {
+        h = MixHash(h ^ (static_cast<uint64_t>(c) + 1));
+      }
+    }
+  }
+  if (hp != nullptr) {
+    h = MixHash(h ^ (static_cast<uint64_t>(hp->column) + 0xabcdULL));
+    for (const Value& b : hp->bounds) h = MixHash(h ^ b.Hash());
+  }
+  return h;
+}
+
+}  // namespace
+
+double InumCostModel::ReuseCost(const BoundQuery& query, QueryCache& qc,
+                                const PhysicalDesign& design) {
+  PlannerContext ctx = optimizer_.MakeContext(query, design);
+  int n = query.num_slots();
+  using Kind = SlotSignature::Kind;
+
+  // Per-slot leaf prices under this design, via the query's leaf memo.
+  // slot_any[s] = cheapest unordered leaf; slot_order[s][k] = cheapest
+  // leaf delivering order requirement k. Fixed-size scratch: at most 16
+  // slots and 16 order requirements per slot (enforced at populate).
+  double slot_any[16];
+  double slot_order[16][16];
+  for (int s = 0; s < n; ++s) {
+    TableId t = query.tables[s];
+    uint64_t ph = PartitionHash(design, t);
+
+    uint64_t seq_key = MixHash(ph ^ (static_cast<uint64_t>(s) + 0x51ULL));
+    auto [seq_it, seq_new] = qc.seq_memo.try_emplace(seq_key, 0.0);
+    if (seq_new) seq_it->second = CostSeqLeaf(ctx, s);
+
+    double any = seq_it->second;
+    double* order_min = slot_order[s];
+    size_t num_orders = qc.slot_orders[static_cast<size_t>(s)].size();
+    for (size_t k = 0; k < num_orders; ++k) order_min[k] = kInf;
+
+    auto [first, last] = design.IndexRange(t);
+    for (const IndexDef* idx = first; idx != last; ++idx) {
+      uint64_t lkey =
+          MixHash(IndexHash(*idx) ^ ph ^ (static_cast<uint64_t>(s) << 32));
+      auto [it, inserted] = qc.leaf_memo.try_emplace(lkey);
+      if (inserted) {
+        IndexLeafCost lc = CostIndexLeaf(ctx, s, *idx);
+        it->second.scan_cost = lc.scan_cost;
+        it->second.index_only_cost = lc.index_only_cost;
+        it->second.satisfies_mask = 0;
+        const auto& reqs = qc.slot_orders[static_cast<size_t>(s)];
+        for (size_t k = 0; k < reqs.size(); ++k) {
+          if (OrderSatisfies(lc.order, reqs[k])) {
+            it->second.satisfies_mask |= uint32_t{1} << k;
+          }
+        }
+      }
+      const LeafEntry& e = it->second;
+      double best = std::min(e.scan_cost, e.index_only_cost);
+      if (best < any) any = best;
+      uint32_t mask = e.satisfies_mask;
+      while (mask != 0) {
+        int k = std::countr_zero(mask);
+        mask &= mask - 1;
+        if (best < order_min[static_cast<size_t>(k)]) {
+          order_min[static_cast<size_t>(k)] = best;
+        }
+      }
+    }
+    slot_any[s] = any;
+  }
+
+  // Parameterized lookup price per (slot, column) under this design.
+  auto param_cost = [&](int s, const BoundColumn& col) {
+    TableId t = query.tables[s];
+    double best = kInf;
+    auto [first, last] = design.IndexRange(t);
+    for (const IndexDef* idx = first; idx != last; ++idx) {
+      uint64_t pkey =
+          MixHash(IndexHash(*idx) ^
+                  (static_cast<uint64_t>(col.column) + 7) ^
+                  (static_cast<uint64_t>(s) << 48));
+      auto [it, inserted] = qc.param_memo.try_emplace(pkey, kInf);
+      if (inserted) {
+        auto lk = CostIndexParamLookup(ctx, s, col, *idx);
+        if (lk.has_value()) it->second = lk->per_lookup.total;
+      }
+      best = std::min(best, it->second);
+    }
+    return best;
+  };
+
+  double best = kInf;
+  for (const CachedPlan& plan : qc.plans) {
+    double cost = plan.internal_cost;
+    bool usable = true;
+    for (int s = 0; s < n && usable; ++s) {
+      const SlotSignature& sig = plan.slots[static_cast<size_t>(s)];
+      switch (sig.kind) {
+        case Kind::kAny:
+          cost += slot_any[s];
+          break;
+        case Kind::kOrdered: {
+          double leaf = slot_order[static_cast<size_t>(s)]
+                                  [static_cast<size_t>(
+                                      plan.order_req[static_cast<size_t>(s)])];
+          if (!std::isfinite(leaf)) {
+            usable = false;
+          } else {
+            cost += leaf;
+          }
+          break;
+        }
+        case Kind::kParamLookup:
+          break;  // priced via the INLJ term below
+      }
+    }
+    if (!usable) continue;
+    for (const CachedPlan::InljTerm& term : plan.inlj_terms) {
+      double lk = param_cost(term.slot, term.inner_col);
+      if (!std::isfinite(lk)) {
+        usable = false;
+        break;
+      }
+      cost += term.outer_rows * lk;
+    }
+    if (usable && cost < best) best = cost;
+  }
+  return best;
+}
+
+double InumCostModel::Cost(const BoundQuery& query,
+                           const PhysicalDesign& design) {
+  if (query.num_slots() > 16) {
+    // Beyond the reuse scratch capacity (never hit by the engine, which
+    // caps FROM lists well below this): answer exactly.
+    ++stats_.fallback_calls;
+    return exact_.CostUnder(query, design);
+  }
+  QueryCache& qc = Populate(query);
+  ++stats_.reuse_calls;
+  double cost = ReuseCost(query, qc, design);
+  if (!std::isfinite(cost)) {
+    ++stats_.fallback_calls;
+    return exact_.CostUnder(query, design);
+  }
+  return cost;
+}
+
+double InumCostModel::WorkloadCost(const Workload& workload,
+                                   const PhysicalDesign& design) {
+  double total = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    total += workload.WeightOf(i) * Cost(workload.queries[i], design);
+  }
+  return total;
+}
+
+}  // namespace dbdesign

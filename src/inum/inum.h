@@ -1,0 +1,150 @@
+// INUM: cache-based what-if cost model (paper §3.1/§3.2.1, ref [9]).
+//
+// Key insight (Papadomanolakis, Dash, Ailamaki, VLDB'07): for a fixed
+// query, the optimal *internal* plan (join order, join methods, sorts,
+// aggregation) depends only on which *interesting orders* the leaf
+// access paths deliver — not on which physical index delivers them, nor
+// on what the leaves cost. INUM therefore:
+//
+//   1. (populate) per query, enumerates per-slot order signatures —
+//      none / a specific sort order / a parameterized index lookup —
+//      and for each signature combination invokes the real join
+//      enumerator with zero-cost abstract leaves, caching the resulting
+//      internal-plan cost,
+//   2. (reuse) costs the query under an arbitrary PhysicalDesign by
+//      pricing only the leaves: min over cached plans of
+//      internal_cost + best leaf cost per slot consistent with the
+//      signature (+ actual index-nested-loop lookup costs).
+//
+// Our extension (the paper's "cache table partitions and partial
+// plans"): leaf prices are computed by the partition-aware access-path
+// generator, so one populated cache serves designs that add or change
+// vertical/horizontal partitions as well as indexes.
+
+#ifndef DBDESIGN_INUM_INUM_H_
+#define DBDESIGN_INUM_INUM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+#include "whatif/whatif.h"
+
+namespace dbdesign {
+
+struct InumOptions {
+  /// Hard cap on signature combinations enumerated per query; beyond it,
+  /// parameterized-lookup signatures are dropped first.
+  int max_combos = 128;
+  /// Consider index-nested-loop (parameterized) signatures.
+  bool enable_param_signatures = true;
+  /// When reuse produces a cost that is worse than this factor times the
+  /// best cached bound... (diagnostic only; exactness is validated in
+  /// tests against the full optimizer).
+  double fallback_slack = 0.0;  // 0 = never fall back on slack
+};
+
+/// Counters exposed for the E3 benchmark.
+struct InumStats {
+  uint64_t populate_optimizations = 0;  ///< abstract DP runs (one per combo)
+  uint64_t reuse_calls = 0;             ///< fast cost evaluations served
+  uint64_t fallback_calls = 0;          ///< full optimizer fallbacks
+  size_t queries_cached = 0;
+  size_t plans_cached = 0;
+};
+
+class InumCostModel {
+ public:
+  InumCostModel(const Database& db, CostParams params = {},
+                InumOptions options = {});
+
+  /// Fast what-if cost of `query` under `design`. Populates the cache on
+  /// first sight of the query.
+  double Cost(const BoundQuery& query, const PhysicalDesign& design);
+
+  /// Weighted workload cost.
+  double WorkloadCost(const Workload& workload,
+                      const PhysicalDesign& design);
+
+  /// Forces population for a query (useful to front-load cache warmup).
+  void Prepare(const BoundQuery& query);
+
+  const InumStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = InumStats{}; }
+
+  /// The underlying exact optimizer (for tests and fallback).
+  const WhatIfOptimizer& exact() const { return exact_; }
+
+  /// Per-slot leaf requirement of a cached plan.
+  struct SlotSignature {
+    enum class Kind { kAny, kOrdered, kParamLookup };
+    Kind kind = Kind::kAny;
+    std::vector<BoundColumn> order;  ///< kOrdered
+    BoundColumn lookup_col;          ///< kParamLookup: inner join column
+  };
+
+  /// One cached internal plan.
+  struct CachedPlan {
+    double internal_cost = 0.0;  ///< plan cost minus all leaf/lookup costs
+    std::vector<SlotSignature> slots;
+    /// Per slot: index into the query's order-requirement list when the
+    /// signature is kOrdered, -1 otherwise (reuse-path acceleration).
+    std::vector<int> order_req;
+    /// Index-nested-loop contributions: (slot, inner col, outer rows).
+    struct InljTerm {
+      int slot;
+      BoundColumn inner_col;
+      double outer_rows;
+    };
+    std::vector<InljTerm> inlj_terms;
+  };
+
+  /// Cached plans for a query (exposed for tests/benchmarks).
+  const std::vector<CachedPlan>* CachedPlansFor(const BoundQuery& query) const;
+
+ private:
+  /// Memoized leaf price of one index for one slot: the best scan cost
+  /// plus a bitmask of which of the query's order requirements the
+  /// index satisfies. Keyed by (slot, index key, partition fingerprint),
+  /// so the paper's partition extension falls out: changing a table's
+  /// partitioning changes only that table's fingerprint.
+  struct LeafEntry {
+    double scan_cost = 0.0;        ///< plain index scan (may be +inf)
+    double index_only_cost = 0.0;  ///< covering scan (may be +inf)
+    uint32_t satisfies_mask = 0;   ///< bit k: provides slot order-req k
+  };
+
+  /// Everything cached for one query.
+  struct QueryCache {
+    std::vector<CachedPlan> plans;
+    /// Distinct kOrdered requirements per slot, in first-seen order
+    /// (indexes into satisfies_mask bits).
+    std::vector<std::vector<std::vector<BoundColumn>>> slot_orders;
+    /// mix(slot, index hash, partition hash) -> leaf price.
+    std::unordered_map<uint64_t, LeafEntry> leaf_memo;
+    /// mix(slot, partition hash) -> sequential scan price.
+    std::unordered_map<uint64_t, double> seq_memo;
+    /// mix(slot, lookup column, index hash) -> per-probe lookup price
+    /// (+inf = index unusable for that lookup).
+    std::unordered_map<uint64_t, double> param_memo;
+  };
+
+  QueryCache& Populate(const BoundQuery& query);
+  double ReuseCost(const BoundQuery& query, QueryCache& qc,
+                   const PhysicalDesign& design);
+
+  const Database* db_;
+  CostParams params_;
+  InumOptions options_;
+  WhatIfOptimizer exact_;
+  Optimizer optimizer_;  // all knobs enabled; used for abstract DP runs
+  std::unordered_map<uint64_t, QueryCache> cache_;
+  InumStats stats_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_INUM_INUM_H_

@@ -1,0 +1,510 @@
+#include "optimizer/access_paths.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "optimizer/selectivity.h"
+
+namespace dbdesign {
+
+double IndexPagesFetched(double tuples, double pages, double cache_pages) {
+  // Mackert & Lohman, as implemented by PostgreSQL's index_pages_fetched().
+  double T = std::max(1.0, pages);
+  double N = std::max(0.0, tuples);
+  if (N <= 0) return 0.0;
+  double b = std::max(1.0, cache_pages);
+  double fetched;
+  if (T <= b) {
+    fetched = (2.0 * T * N) / (2.0 * T + N);
+    if (fetched > T) fetched = T;
+  } else {
+    double lim = (2.0 * T * b) / (2.0 * T - b);
+    if (N <= lim) {
+      fetched = (2.0 * T * N) / (2.0 * T + N);
+    } else {
+      fetched = b + (N - lim) * (T - b) / T;
+    }
+  }
+  return std::ceil(fetched);
+}
+
+double SlotOutputWidth(const PlannerContext& ctx, int slot) {
+  const TableDef& def = ctx.DefFor(slot);
+  double w = 0.0;
+  for (ColumnId c : ctx.query->ReferencedColumns(slot)) {
+    w += def.column(c).Width();
+  }
+  return std::max(8.0, w);
+}
+
+namespace {
+
+/// Fraction of a horizontally partitioned table's partitions that
+/// survive pruning by the slot's filters on the partitioning column.
+double HorizontalSurvivingFraction(const PlannerContext& ctx, int slot,
+                                   const HorizontalPartitioning& hp) {
+  const TableStats& stats = ctx.StatsFor(slot);
+  const ColumnStats& cs = stats.column(hp.column);
+  int nparts = hp.num_partitions();
+  if (nparts <= 1) return 1.0;
+
+  // Collect the tightest [lo, hi] window implied by filters on hp.column.
+  bool has_bound = false;
+  double sel_window = 1.0;
+  for (const BoundPredicate& p : ctx.query->FiltersOn(slot)) {
+    if (p.column.column != hp.column) continue;
+    double sel = PredicateSelectivity(cs, p);
+    sel_window = std::min(sel_window, sel);
+    has_bound = true;
+  }
+  if (!has_bound) return 1.0;
+  // Partitions intersected ≈ sel * nparts rounded up, plus one boundary
+  // partition; equality predicates hit a single partition.
+  double parts = std::ceil(sel_window * nparts) + 1.0;
+  parts = std::min(parts, static_cast<double>(nparts));
+  return parts / static_cast<double>(nparts);
+}
+
+/// Greedy minimum-page fragment cover for the referenced columns.
+double VerticalCoverPages(const PlannerContext& ctx, int slot,
+                          const VerticalPartitioning& vp,
+                          int* fragments_used) {
+  const TableDef& def = ctx.DefFor(slot);
+  const TableStats& stats = ctx.StatsFor(slot);
+  std::set<ColumnId> needed;
+  for (ColumnId c : ctx.query->ReferencedColumns(slot)) needed.insert(c);
+  if (needed.empty() && def.num_columns() > 0) needed.insert(0);
+
+  double pages = 0.0;
+  int used = 0;
+  // Greedy set cover: repeatedly take the fragment covering the most
+  // still-needed columns per page.
+  std::set<ColumnId> remaining = needed;
+  while (!remaining.empty()) {
+    const VerticalFragment* best = nullptr;
+    double best_ratio = -1.0;
+    for (const VerticalFragment& f : vp.fragments) {
+      int covers = 0;
+      for (ColumnId c : remaining) {
+        if (f.Covers(c)) ++covers;
+      }
+      if (covers == 0) continue;
+      double fp = stats.FragmentPages(def, f.columns);
+      double ratio = static_cast<double>(covers) / std::max(1.0, fp);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = &f;
+      }
+    }
+    if (best == nullptr) {
+      // Partitioning does not cover a referenced column — treat the
+      // remainder as a full-width scan (defensive; AutoPart always emits
+      // covering partitionings).
+      pages += stats.HeapPages(def);
+      ++used;
+      break;
+    }
+    pages += stats.FragmentPages(def, best->columns);
+    ++used;
+    for (ColumnId c : best->columns) remaining.erase(c);
+  }
+  if (fragments_used != nullptr) *fragments_used = used;
+  return std::max(1.0, pages);
+}
+
+}  // namespace
+
+double EffectiveScanPages(const PlannerContext& ctx, int slot,
+                          double* rows_scanned_fraction) {
+  const TableDef& def = ctx.DefFor(slot);
+  const TableStats& stats = ctx.StatsFor(slot);
+  TableId tid = ctx.query->tables[slot];
+
+  double pages;
+  int fragments_used = 1;
+  const VerticalPartitioning* vp = ctx.design->vertical(tid);
+  if (vp != nullptr && !vp->fragments.empty()) {
+    pages = VerticalCoverPages(ctx, slot, *vp, &fragments_used);
+  } else {
+    pages = stats.HeapPages(def);
+  }
+
+  double fraction = 1.0;
+  const HorizontalPartitioning* hp = ctx.design->horizontal(tid);
+  if (hp != nullptr) {
+    fraction = HorizontalSurvivingFraction(ctx, slot, *hp);
+    pages = std::max(1.0, std::ceil(pages * fraction));
+  }
+  if (rows_scanned_fraction != nullptr) *rows_scanned_fraction = fraction;
+  return pages;
+}
+
+Cost SortCost(const CostParams& params, double rows, double width) {
+  rows = std::max(rows, params.min_rows);
+  double cmp = 2.0 * params.cpu_operator_cost;
+  double cpu = rows * std::log2(std::max(2.0, rows)) * cmp;
+  double bytes = rows * width;
+  double io = 0.0;
+  if (bytes > params.work_mem_bytes) {
+    // External sort: write + read runs, one merge pass per 4x overflow.
+    double pages = std::ceil(bytes / kPageSizeBytes);
+    double passes =
+        std::max(1.0, std::ceil(std::log(bytes / params.work_mem_bytes) /
+                                std::log(4.0)));
+    io = 2.0 * pages * passes * params.seq_page_cost;
+  }
+  Cost c;
+  c.startup = cpu + io;  // sorts deliver the first row only when done
+  c.total = c.startup + rows * params.cpu_operator_cost;
+  return c;
+}
+
+PlanNodeRef MakeSortNode(const CostParams& params, PlanNodeRef input,
+                         std::vector<BoundColumn> order) {
+  auto node = std::make_shared<PlanNode>();
+  node->type = PlanNodeType::kSort;
+  node->rows = input->rows;
+  node->width = input->width;
+  Cost sc = SortCost(params, input->rows, input->width);
+  node->cost.startup = input->cost.total + sc.startup;
+  node->cost.total = input->cost.total + sc.total;
+  node->sort_cols = order;
+  node->output_order = std::move(order);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+namespace {
+
+/// Predicates on `slot` split into those matched by the index prefix
+/// (index conditions) and the residual filter.
+struct IndexMatch {
+  std::vector<BoundPredicate> index_conds;
+  std::vector<BoundPredicate> residual;
+  double index_selectivity = 1.0;  ///< selectivity of index_conds
+  int matched_cols = 0;            ///< # leading index columns with conds
+};
+
+IndexMatch MatchIndexConditions(const PlannerContext& ctx, int slot,
+                                const IndexDef& index) {
+  IndexMatch m;
+  std::vector<BoundPredicate> preds = ctx.query->FiltersOn(slot);
+  const TableStats& stats = ctx.StatsFor(slot);
+  std::vector<bool> used(preds.size(), false);
+
+  for (ColumnId col : index.columns) {
+    bool consumed_eq = false;
+    bool consumed_range = false;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (used[i] || preds[i].column.column != col) continue;
+      if (preds[i].IsEquality()) {
+        used[i] = true;
+        m.index_conds.push_back(preds[i]);
+        m.index_selectivity *=
+            PredicateSelectivity(stats.column(col), preds[i]);
+        consumed_eq = true;
+      } else if (preds[i].IsRange()) {
+        used[i] = true;
+        m.index_conds.push_back(preds[i]);
+        m.index_selectivity *=
+            PredicateSelectivity(stats.column(col), preds[i]);
+        consumed_range = true;
+      }
+    }
+    if (consumed_eq && !consumed_range) {
+      ++m.matched_cols;
+      continue;  // equality on this column: later columns still usable
+    }
+    if (consumed_range) {
+      ++m.matched_cols;
+    }
+    break;  // range (or nothing) ends the usable prefix
+  }
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (!used[i]) m.residual.push_back(preds[i]);
+  }
+  m.index_selectivity = std::clamp(m.index_selectivity, 1e-9, 1.0);
+  return m;
+}
+
+std::vector<BoundColumn> IndexOrder(int slot, const IndexDef& index) {
+  std::vector<BoundColumn> order;
+  order.reserve(index.columns.size());
+  for (ColumnId c : index.columns) order.push_back(BoundColumn{slot, c});
+  return order;
+}
+
+/// Shared per-slot scan inputs.
+struct SlotScanInfo {
+  std::vector<BoundPredicate> preds;
+  double sel_all = 1.0;
+  double out_rows = 1.0;
+  double width = 8.0;
+  double heap_pages_for_fetch = 1.0;
+};
+
+SlotScanInfo ComputeSlotScanInfo(const PlannerContext& ctx, int slot) {
+  SlotScanInfo info;
+  const TableStats& stats = ctx.StatsFor(slot);
+  const TableDef& def = ctx.DefFor(slot);
+  TableId tid = ctx.query->tables[slot];
+  info.preds = ctx.query->FiltersOn(slot);
+  info.sel_all = ConjunctionSelectivity(stats, info.preds);
+  info.out_rows =
+      std::max(ctx.params.min_rows, stats.row_count * info.sel_all);
+  info.width = SlotOutputWidth(ctx, slot);
+  info.heap_pages_for_fetch = stats.HeapPages(def);
+  if (const VerticalPartitioning* vp = ctx.design->vertical(tid);
+      vp != nullptr && !vp->fragments.empty()) {
+    info.heap_pages_for_fetch = VerticalCoverPages(ctx, slot, *vp, nullptr);
+  }
+  return info;
+}
+
+/// Cost figures for one index against one slot, used by both the
+/// node-building Paths() and the cost-only CostIndexLeaf().
+struct IndexCostNumbers {
+  IndexMatch match;
+  bool covering = false;
+  bool has_conds = false;
+  double descent_cpu = 0.0;
+  double index_io = 0.0;
+  double index_cpu = 0.0;
+  double residual_cpu = 0.0;
+  double tuples = 0.0;
+  double heap_io = 0.0;  ///< plain index scan heap fetch IO
+};
+
+IndexCostNumbers ComputeIndexCostNumbers(const PlannerContext& ctx, int slot,
+                                         const IndexDef& index,
+                                         const SlotScanInfo& info) {
+  const CostParams& P = ctx.params;
+  const TableStats& stats = ctx.StatsFor(slot);
+  const TableDef& def = ctx.DefFor(slot);
+
+  IndexCostNumbers n;
+  n.match = MatchIndexConditions(ctx, slot, index);
+  n.covering = true;
+  for (ColumnId c : ctx.query->ReferencedColumns(slot)) {
+    if (std::find(index.columns.begin(), index.columns.end(), c) ==
+        index.columns.end()) {
+      n.covering = false;
+      break;
+    }
+  }
+  IndexSizeEstimate size = EstimateIndexSize(index, def, stats);
+  double entries = std::max(1.0, stats.row_count);
+  n.descent_cpu = std::log2(std::max(2.0, entries)) * P.cpu_operator_cost +
+                  size.height * 50.0 * P.cpu_operator_cost;
+  n.has_conds = !n.match.index_conds.empty();
+  double sel_idx = n.has_conds ? n.match.index_selectivity : 1.0;
+  n.tuples = std::max(P.min_rows, stats.row_count * sel_idx);
+  double leaf_pages_touched =
+      std::max(1.0, std::ceil(size.leaf_pages * sel_idx));
+  n.index_io =
+      P.random_page_cost + (leaf_pages_touched - 1.0) * P.seq_page_cost;
+  n.index_cpu = n.tuples * P.cpu_index_tuple_cost;
+  n.residual_cpu = n.tuples *
+                   static_cast<double>(n.match.residual.size()) *
+                   P.cpu_operator_cost;
+
+  const ColumnStats& lead = stats.column(index.columns[0]);
+  double corr2 = lead.correlation * lead.correlation;
+  double max_pages = IndexPagesFetched(n.tuples, info.heap_pages_for_fetch,
+                                       P.effective_cache_size_pages);
+  double min_pages =
+      std::max(1.0, std::ceil(sel_idx * info.heap_pages_for_fetch));
+  double max_io = max_pages * P.random_page_cost;
+  double min_io = P.random_page_cost + (min_pages - 1.0) * P.seq_page_cost;
+  n.heap_io = std::max(min_io, max_io + corr2 * (min_io - max_io));
+  return n;
+}
+
+}  // namespace
+
+double CostSeqLeaf(const PlannerContext& ctx, int slot) {
+  const CostParams& P = ctx.params;
+  const TableStats& stats = ctx.StatsFor(slot);
+  std::vector<BoundPredicate> preds = ctx.query->FiltersOn(slot);
+  double scanned_fraction = 1.0;
+  double pages = EffectiveScanPages(ctx, slot, &scanned_fraction);
+  double rows_scanned = stats.row_count * scanned_fraction;
+  return pages * P.seq_page_cost + rows_scanned * P.cpu_tuple_cost +
+         rows_scanned * static_cast<double>(preds.size()) *
+             P.cpu_operator_cost;
+}
+
+IndexLeafCost CostIndexLeaf(const PlannerContext& ctx, int slot,
+                            const IndexDef& index) {
+  const CostParams& P = ctx.params;
+  SlotScanInfo info = ComputeSlotScanInfo(ctx, slot);
+  IndexCostNumbers n = ComputeIndexCostNumbers(ctx, slot, index, info);
+  IndexLeafCost leaf;
+  leaf.order = IndexOrder(slot, index);
+  double common = n.descent_cpu + n.index_io + n.index_cpu +
+                  n.tuples * P.cpu_tuple_cost + n.residual_cpu;
+  if (n.has_conds || !n.covering) {
+    leaf.scan_cost = common + n.heap_io;
+  }
+  if (n.covering) {
+    leaf.index_only_cost = common;
+  }
+  return leaf;
+}
+
+std::vector<AccessPath> CatalogPathProvider::Paths(int slot) const {
+  std::vector<AccessPath> paths;
+  const PlannerContext& ctx = ctx_;
+  const CostParams& P = ctx.params;
+  TableId tid = ctx.query->tables[slot];
+
+  SlotScanInfo info = ComputeSlotScanInfo(ctx, slot);
+
+  // --- Sequential scan (partition-aware) ---
+  if (ctx.knobs.enable_seqscan) {
+    auto node = std::make_shared<PlanNode>();
+    node->type = PlanNodeType::kSeqScan;
+    node->slot = slot;
+    node->filter = info.preds;
+    node->rows = info.out_rows;
+    node->width = info.width;
+    node->cost.startup = 0.0;
+    node->cost.total = CostSeqLeaf(ctx, slot);
+    AccessPath path;
+    path.rows = info.out_rows;
+    path.node = std::move(node);
+    paths.push_back(std::move(path));
+  }
+
+  // --- Index paths ---
+  for (const IndexDef& index : ctx.design->IndexesOn(tid)) {
+    IndexCostNumbers n = ComputeIndexCostNumbers(ctx, slot, index, info);
+    double common = n.descent_cpu + n.index_io + n.index_cpu +
+                    n.tuples * P.cpu_tuple_cost + n.residual_cpu;
+
+    // --- Plain index scan (heap fetches) ---
+    if (ctx.knobs.enable_indexscan && (n.has_conds || !n.covering)) {
+      auto node = std::make_shared<PlanNode>();
+      node->type = PlanNodeType::kIndexScan;
+      node->slot = slot;
+      node->index = index;
+      node->index_conds = n.match.index_conds;
+      node->filter = n.match.residual;
+      node->rows = info.out_rows;
+      node->width = info.width;
+      node->output_order = IndexOrder(slot, index);
+      node->cost.startup = n.descent_cpu + P.random_page_cost;
+      node->cost.total = common + n.heap_io;
+      AccessPath path;
+      path.rows = info.out_rows;
+      path.order = node->output_order;
+      path.node = std::move(node);
+      paths.push_back(std::move(path));
+    }
+
+    // --- Index-only scan (covering) ---
+    if (ctx.knobs.enable_indexonlyscan && n.covering) {
+      auto node = std::make_shared<PlanNode>();
+      node->type = PlanNodeType::kIndexOnlyScan;
+      node->slot = slot;
+      node->index = index;
+      node->index_conds = n.match.index_conds;
+      node->filter = n.match.residual;
+      node->rows = info.out_rows;
+      node->width = info.width;
+      node->output_order = IndexOrder(slot, index);
+      node->cost.startup = n.descent_cpu + P.random_page_cost;
+      node->cost.total = common;
+      AccessPath path;
+      path.rows = info.out_rows;
+      path.order = node->output_order;
+      path.node = std::move(node);
+      paths.push_back(std::move(path));
+    }
+  }
+
+  return paths;
+}
+
+std::optional<ParamLookupPath> CostIndexParamLookup(
+    const PlannerContext& ctx, int slot, const BoundColumn& inner_col,
+    const IndexDef& index) {
+  const CostParams& P = ctx.params;
+  const TableStats& stats = ctx.StatsFor(slot);
+  const TableDef& def = ctx.DefFor(slot);
+  std::vector<BoundPredicate> preds = ctx.query->FiltersOn(slot);
+  const ColumnStats& jc_stats = stats.column(inner_col.column);
+  double rows_per_key =
+      std::max(1.0, stats.row_count / std::max(1.0, jc_stats.n_distinct));
+
+  // Usable if the leading columns are all equality-matched by filters
+  // until the join column appears.
+  size_t pos = 0;
+  double prefix_sel = 1.0;
+  bool usable = false;
+  while (pos < index.columns.size()) {
+    if (index.columns[pos] == inner_col.column) {
+      usable = true;
+      break;
+    }
+    bool eq = false;
+    for (const BoundPredicate& p : preds) {
+      if (p.column.column == index.columns[pos] && p.IsEquality()) {
+        prefix_sel *=
+            PredicateSelectivity(stats.column(index.columns[pos]), p);
+        eq = true;
+        break;
+      }
+    }
+    if (!eq) break;
+    ++pos;
+  }
+  if (!usable) return std::nullopt;
+
+  IndexSizeEstimate size = EstimateIndexSize(index, def, stats);
+  double tuples = std::max(1.0, rows_per_key * prefix_sel);
+  double descent_cpu =
+      std::log2(std::max(2.0, stats.row_count)) * P.cpu_operator_cost +
+      size.height * 50.0 * P.cpu_operator_cost;
+  // One leaf page per probe (matches fit on a page for realistic NDV),
+  // plus Mackert-Lohman heap fetches amortized by the buffer cache.
+  double heap_pages = IndexPagesFetched(tuples, stats.HeapPages(def),
+                                        P.effective_cache_size_pages);
+  double residual_sel = 1.0;
+  int residual_count = 0;
+  for (const BoundPredicate& p : preds) {
+    residual_sel *= PredicateSelectivity(stats.column(p.column.column), p);
+    ++residual_count;
+  }
+
+  ParamLookupPath path;
+  path.index = index;
+  path.per_lookup.startup = 0.0;
+  path.per_lookup.total =
+      descent_cpu + P.random_page_cost +  // leaf page
+      heap_pages * P.random_page_cost * 0.5 +
+      tuples * (P.cpu_index_tuple_cost + P.cpu_tuple_cost) +
+      tuples * residual_count * P.cpu_operator_cost;
+  path.rows_per_lookup = std::max(0.001, tuples * residual_sel);
+  return path;
+}
+
+std::optional<ParamLookupPath> CatalogPathProvider::ParamLookup(
+    int slot, const BoundColumn& inner_col) const {
+  const PlannerContext& ctx = ctx_;
+  if (!ctx.knobs.enable_indexnestloop) return std::nullopt;
+  TableId tid = ctx.query->tables[slot];
+  std::optional<ParamLookupPath> best;
+  for (const IndexDef& index : ctx.design->IndexesOn(tid)) {
+    auto path = CostIndexParamLookup(ctx, slot, inner_col, index);
+    if (path.has_value() &&
+        (!best.has_value() ||
+         path->per_lookup.total < best->per_lookup.total)) {
+      best = path;
+    }
+  }
+  return best;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,329 @@
+#include "optimizer/join_enum.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "optimizer/selectivity.h"
+
+namespace dbdesign {
+
+JoinEnumerator::JoinEnumerator(const PlannerContext& ctx,
+                               const PathProvider& provider)
+    : ctx_(ctx), provider_(provider) {
+  const BoundQuery& q = *ctx_.query;
+  base_rows_.resize(static_cast<size_t>(q.num_slots()));
+  for (int s = 0; s < q.num_slots(); ++s) {
+    const TableStats& stats = ctx_.StatsFor(s);
+    double sel = ConjunctionSelectivity(stats, q.FiltersOn(s));
+    base_rows_[static_cast<size_t>(s)] =
+        std::max(ctx_.params.min_rows, stats.row_count * sel);
+  }
+  CollectInterestingOrders();
+}
+
+void JoinEnumerator::CollectInterestingOrders() {
+  const BoundQuery& q = *ctx_.query;
+  auto add = [&](std::vector<BoundColumn> order) {
+    if (order.empty()) return;
+    for (const auto& existing : interesting_orders_) {
+      if (existing == order) return;
+    }
+    interesting_orders_.push_back(std::move(order));
+  };
+  for (const BoundJoin& j : q.joins) {
+    add({j.left});
+    add({j.right});
+  }
+  add(q.group_by);
+  std::vector<BoundColumn> ob;
+  for (const BoundOrderItem& o : q.order_by) {
+    if (o.descending) break;  // descending ends the usable ascending prefix
+    ob.push_back(o.column);
+  }
+  add(ob);
+}
+
+std::vector<BoundColumn> JoinEnumerator::TrimToUseful(
+    const std::vector<BoundColumn>& order) const {
+  size_t best = 0;
+  for (const auto& interesting : interesting_orders_) {
+    size_t n = std::min(order.size(), interesting.size());
+    size_t match = 0;
+    while (match < n && order[match] == interesting[match]) ++match;
+    best = std::max(best, match);
+  }
+  return {order.begin(), order.begin() + static_cast<long>(best)};
+}
+
+double JoinEnumerator::SubsetRows(uint64_t mask) const {
+  const BoundQuery& q = *ctx_.query;
+  double rows = 1.0;
+  for (int s = 0; s < q.num_slots(); ++s) {
+    if (mask & (uint64_t{1} << s)) rows *= base_rows_[static_cast<size_t>(s)];
+  }
+  for (const BoundJoin& j : q.joins) {
+    uint64_t l = uint64_t{1} << j.left.slot;
+    uint64_t r = uint64_t{1} << j.right.slot;
+    if ((mask & l) && (mask & r)) {
+      const ColumnStats& ls = ctx_.StatsFor(j.left.slot).column(j.left.column);
+      const ColumnStats& rs =
+          ctx_.StatsFor(j.right.slot).column(j.right.column);
+      rows *= EquiJoinSelectivity(ls, rs);
+    }
+  }
+  return std::max(ctx_.params.min_rows, rows);
+}
+
+void JoinEnumerator::AddEntry(std::vector<Entry>* entries, Entry entry) {
+  for (size_t i = 0; i < entries->size(); ++i) {
+    Entry& e = (*entries)[i];
+    if (e.order == entry.order) {
+      if (e.node->cost.total <= entry.node->cost.total) return;
+      e = std::move(entry);
+      return;
+    }
+  }
+  entries->push_back(std::move(entry));
+}
+
+namespace {
+
+double JoinedWidth(const PlanNode& a, const PlanNode& b) {
+  return a.width + b.width;
+}
+
+}  // namespace
+
+void JoinEnumerator::JoinPair(uint64_t outer_mask, uint64_t inner_mask,
+                              const std::vector<Entry>& outer_entries,
+                              const std::vector<Entry>& inner_entries,
+                              std::vector<Entry>* out) {
+  const BoundQuery& q = *ctx_.query;
+  const CostParams& P = ctx_.params;
+  const PlannerKnobs& K = ctx_.knobs;
+
+  // Collect join predicates crossing the two sides, oriented so that
+  // `left` lives in the outer mask.
+  std::vector<BoundJoin> cross;
+  for (const BoundJoin& j : q.joins) {
+    uint64_t l = uint64_t{1} << j.left.slot;
+    uint64_t r = uint64_t{1} << j.right.slot;
+    if ((outer_mask & l) && (inner_mask & r)) {
+      cross.push_back(j);
+    } else if ((outer_mask & r) && (inner_mask & l)) {
+      cross.push_back(BoundJoin{j.right, j.left});
+    }
+  }
+
+  double out_rows = SubsetRows(outer_mask | inner_mask);
+  int n_extra = cross.empty() ? 0 : static_cast<int>(cross.size()) - 1;
+
+  for (const Entry& oe : outer_entries) {
+    for (const Entry& ie : inner_entries) {
+      const PlanNode& O = *oe.node;
+      const PlanNode& I = *ie.node;
+      double width = JoinedWidth(O, I);
+
+      // --- Hash join (probe side = outer; preserves outer order) ---
+      if (K.enable_hashjoin && !cross.empty()) {
+        double build_cpu = I.rows * (P.cpu_operator_cost + P.cpu_tuple_cost);
+        double spill_io = 0.0;
+        double inner_bytes = I.rows * std::max(8.0, I.width);
+        if (inner_bytes > P.work_mem_bytes) {
+          double pages =
+              (inner_bytes + O.rows * std::max(8.0, O.width)) / kPageSizeBytes;
+          spill_io = 2.0 * pages * P.seq_page_cost;
+        }
+        auto node = std::make_shared<PlanNode>();
+        node->type = PlanNodeType::kHashJoin;
+        node->join_cond = cross[0];
+        node->extra_join_conds.assign(cross.begin() + 1, cross.end());
+        node->rows = out_rows;
+        node->width = width;
+        node->cost.startup = O.cost.startup + I.cost.total + build_cpu;
+        node->cost.total = O.cost.total + I.cost.total + build_cpu +
+                           spill_io +
+                           O.rows * P.cpu_operator_cost * (1 + n_extra) +
+                           out_rows * P.cpu_tuple_cost;
+        node->output_order = oe.order;
+        node->children = {oe.node, ie.node};
+        AddEntry(out, Entry{std::move(node), oe.order});
+      }
+
+      // --- Merge join ---
+      if (K.enable_mergejoin && !cross.empty() && K.enable_sort) {
+        const BoundJoin& j = cross[0];
+        PlanNodeRef outer_sorted = oe.node;
+        std::vector<BoundColumn> outer_order = oe.order;
+        if (!OrderSatisfies(oe.order, {j.left})) {
+          outer_sorted = MakeSortNode(P, oe.node, {j.left});
+          outer_order = {j.left};
+        }
+        PlanNodeRef inner_sorted = ie.node;
+        if (!OrderSatisfies(ie.order, {j.right})) {
+          inner_sorted = MakeSortNode(P, ie.node, {j.right});
+        }
+        auto node = std::make_shared<PlanNode>();
+        node->type = PlanNodeType::kMergeJoin;
+        node->join_cond = j;
+        node->extra_join_conds.assign(cross.begin() + 1, cross.end());
+        node->rows = out_rows;
+        node->width = width;
+        node->cost.startup =
+            outer_sorted->cost.startup + inner_sorted->cost.startup;
+        node->cost.total =
+            outer_sorted->cost.total + inner_sorted->cost.total +
+            (outer_sorted->rows + inner_sorted->rows) * P.cpu_operator_cost *
+                (1 + n_extra) +
+            out_rows * P.cpu_tuple_cost;
+        node->output_order = TrimToUseful(outer_order);
+        node->children = {outer_sorted, inner_sorted};
+        AddEntry(out, Entry{node, node->output_order});
+      }
+
+      // --- Nested loop with materialized inner ---
+      if (K.enable_nestloop) {
+        double mat_cpu = I.rows * P.cpu_tuple_cost;
+        double pair_cpu = O.rows * I.rows * P.cpu_operator_cost *
+                          std::max<size_t>(1, cross.size());
+        auto node = std::make_shared<PlanNode>();
+        node->type = PlanNodeType::kNestLoopJoin;
+        if (!cross.empty()) {
+          node->join_cond = cross[0];
+          node->extra_join_conds.assign(cross.begin() + 1, cross.end());
+        }
+        node->rows = out_rows;
+        node->width = width;
+        node->cost.startup = O.cost.startup + I.cost.total + mat_cpu;
+        node->cost.total = O.cost.total + I.cost.total + mat_cpu + pair_cpu +
+                           out_rows * P.cpu_tuple_cost;
+        node->output_order = oe.order;
+        node->children = {oe.node, ie.node};
+        AddEntry(out, Entry{std::move(node), oe.order});
+      }
+
+      // --- Index nested loop (inner must be a single base slot) ---
+      if (!cross.empty() && std::popcount(inner_mask) == 1 &&
+          ie.node->children.empty()) {
+        int inner_slot = std::countr_zero(inner_mask);
+        for (const BoundJoin& j : cross) {
+          auto lookup = provider_.ParamLookup(inner_slot, j.right);
+          if (!lookup.has_value()) continue;
+          auto node = std::make_shared<PlanNode>();
+          node->type = PlanNodeType::kIndexNestLoopJoin;
+          node->slot = inner_slot;
+          node->index = lookup->index;
+          node->join_cond = j;
+          for (const BoundJoin& other : cross) {
+            if (!(other.left == j.left && other.right == j.right)) {
+              node->extra_join_conds.push_back(other);
+            }
+          }
+          node->filter = q.FiltersOn(inner_slot);
+          node->rows = out_rows;
+          node->width = width;
+          node->cost.startup = O.cost.startup;
+          node->cost.total =
+              O.cost.total + O.rows * lookup->per_lookup.total +
+              O.rows * lookup->rows_per_lookup * n_extra *
+                  P.cpu_operator_cost +
+              out_rows * P.cpu_tuple_cost;
+          node->output_order = oe.order;
+          node->children = {oe.node};
+          AddEntry(out, Entry{std::move(node), oe.order});
+        }
+      }
+    }
+  }
+}
+
+std::vector<JoinAlternative> JoinEnumerator::Enumerate() {
+  const BoundQuery& q = *ctx_.query;
+  int n = q.num_slots();
+  uint64_t full = (n >= 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+
+  std::map<uint64_t, std::vector<Entry>> memo;
+
+  // Singletons.
+  for (int s = 0; s < n; ++s) {
+    std::vector<Entry> entries;
+    for (AccessPath& path : provider_.Paths(s)) {
+      Entry e;
+      e.order = TrimToUseful(path.order);
+      e.node = std::move(path.node);
+      AddEntry(&entries, std::move(e));
+    }
+    memo[uint64_t{1} << s] = std::move(entries);
+  }
+  if (n == 1) {
+    std::vector<JoinAlternative> out;
+    for (Entry& e : memo[1]) {
+      out.push_back(JoinAlternative{std::move(e.node), std::move(e.order)});
+    }
+    return out;
+  }
+
+  // Subsets by increasing size.
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 1; m <= full; ++m) {
+    if (std::popcount(m) >= 2) masks.push_back(m);
+  }
+  std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = std::popcount(a);
+    int pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (uint64_t mask : masks) {
+    std::vector<Entry> entries;
+    // Enumerate ordered splits (outer, inner); both bushy and linear.
+    for (uint64_t sub = (mask - 1) & mask; sub != 0;
+         sub = (sub - 1) & mask) {
+      uint64_t other = mask & ~sub;
+      auto it_sub = memo.find(sub);
+      auto it_other = memo.find(other);
+      if (it_sub == memo.end() || it_other == memo.end()) continue;
+      if (it_sub->second.empty() || it_other->second.empty()) continue;
+
+      // Avoid cartesian products unless the subset is disconnected.
+      bool connected = false;
+      for (const BoundJoin& j : q.joins) {
+        uint64_t l = uint64_t{1} << j.left.slot;
+        uint64_t r = uint64_t{1} << j.right.slot;
+        if (((sub & l) && (other & r)) || ((sub & r) && (other & l))) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) {
+        // Allow cartesian only when no split of this subset is connected
+        // (checked lazily: try connected splits first, fall back below).
+        continue;
+      }
+      JoinPair(sub, other, it_sub->second, it_other->second, &entries);
+    }
+    if (entries.empty()) {
+      // Disconnected subset: allow cartesian splits.
+      for (uint64_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        uint64_t other = mask & ~sub;
+        auto it_sub = memo.find(sub);
+        auto it_other = memo.find(other);
+        if (it_sub == memo.end() || it_other == memo.end()) continue;
+        if (it_sub->second.empty() || it_other->second.empty()) continue;
+        JoinPair(sub, other, it_sub->second, it_other->second, &entries);
+      }
+    }
+    memo[mask] = std::move(entries);
+  }
+
+  std::vector<JoinAlternative> out;
+  for (Entry& e : memo[full]) {
+    out.push_back(JoinAlternative{std::move(e.node), std::move(e.order)});
+  }
+  return out;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,63 @@
+// System-R dynamic-programming join enumeration with interesting orders.
+//
+// Works against the PathProvider abstraction so that both the real
+// catalog-backed leaves and INUM's abstract leaves share one enumerator.
+
+#ifndef DBDESIGN_OPTIMIZER_JOIN_ENUM_H_
+#define DBDESIGN_OPTIMIZER_JOIN_ENUM_H_
+
+#include <vector>
+
+#include "optimizer/access_paths.h"
+
+namespace dbdesign {
+
+/// A finished alternative for the full join: a plan plus the canonical
+/// order it delivers.
+struct JoinAlternative {
+  PlanNodeRef node;
+  std::vector<BoundColumn> order;
+};
+
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const PlannerContext& ctx, const PathProvider& provider);
+
+  /// Enumerates bushy plans over all FROM slots; returns the surviving
+  /// (cost, order)-undominated alternatives for the complete join.
+  std::vector<JoinAlternative> Enumerate();
+
+  /// Estimated output rows for a slot subset (consistent across join
+  /// orders: product of post-filter base rows and join selectivities).
+  double SubsetRows(uint64_t mask) const;
+
+ private:
+  struct Entry {
+    PlanNodeRef node;
+    std::vector<BoundColumn> order;  // canonical (trimmed to useful prefix)
+  };
+
+  /// Collects the orders worth tracking (join columns, GROUP BY, ORDER BY).
+  void CollectInterestingOrders();
+
+  /// Longest prefix of `order` that is a prefix of an interesting order.
+  std::vector<BoundColumn> TrimToUseful(
+      const std::vector<BoundColumn>& order) const;
+
+  /// Inserts with dominance pruning (same order, higher cost dies).
+  static void AddEntry(std::vector<Entry>* entries, Entry entry);
+
+  void JoinPair(uint64_t outer_mask, uint64_t inner_mask,
+                const std::vector<Entry>& outer_entries,
+                const std::vector<Entry>& inner_entries,
+                std::vector<Entry>* out);
+
+  const PlannerContext& ctx_;
+  const PathProvider& provider_;
+  std::vector<std::vector<BoundColumn>> interesting_orders_;
+  std::vector<double> base_rows_;  // per slot, post-filter
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_OPTIMIZER_JOIN_ENUM_H_

@@ -1,0 +1,170 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optimizer/selectivity.h"
+
+namespace dbdesign {
+
+PlannerContext Optimizer::MakeContext(const BoundQuery& query,
+                                      const PhysicalDesign& design) const {
+  PlannerContext ctx;
+  ctx.catalog = catalog_;
+  ctx.stats = stats_;
+  ctx.query = &query;
+  ctx.design = &design;
+  ctx.params = params_;
+  ctx.knobs = knobs_;
+  return ctx;
+}
+
+namespace {
+
+/// Wraps `input` with aggregation if the query has GROUP BY/aggregates.
+/// Returns alternatives (hash agg destroys order; group agg needs it).
+std::vector<JoinAlternative> ApplyAggregation(
+    const PlannerContext& ctx, const JoinAlternative& input) {
+  const BoundQuery& q = *ctx.query;
+  const CostParams& P = ctx.params;
+  std::vector<JoinAlternative> out;
+  if (!q.HasAggregates() && q.group_by.empty()) {
+    out.push_back(input);
+    return out;
+  }
+
+  double in_rows = input.node->rows;
+  double n_aggs = static_cast<double>(std::max<size_t>(1, q.aggregates.size()));
+  double groups = 1.0;
+  if (!q.group_by.empty()) {
+    std::vector<double> ndvs;
+    for (const BoundColumn& c : q.group_by) {
+      ndvs.push_back(ctx.StatsFor(c.slot).column(c.column).n_distinct);
+    }
+    groups = EstimateGroupCount(in_rows, ndvs);
+  }
+  double n_group = static_cast<double>(q.group_by.size());
+
+  // Hash aggregate: consumes everything, then emits.
+  {
+    auto node = std::make_shared<PlanNode>();
+    node->type = PlanNodeType::kHashAggregate;
+    node->group_cols = q.group_by;
+    node->rows = groups;
+    node->width = std::max(8.0, (n_group + n_aggs) * 8.0);
+    double cpu = in_rows * (n_group + n_aggs) * P.cpu_operator_cost +
+                 groups * P.cpu_tuple_cost;
+    node->cost.startup = input.node->cost.total + cpu;
+    node->cost.total = node->cost.startup;
+    node->children = {input.node};
+    out.push_back(JoinAlternative{std::move(node), {}});
+  }
+
+  // Group (streaming) aggregate over sorted input.
+  if (!q.group_by.empty() && OrderSatisfies(input.order, q.group_by)) {
+    auto node = std::make_shared<PlanNode>();
+    node->type = PlanNodeType::kGroupAggregate;
+    node->group_cols = q.group_by;
+    node->rows = groups;
+    node->width = std::max(8.0, (n_group + n_aggs) * 8.0);
+    double cpu = in_rows * (n_group + n_aggs) * P.cpu_operator_cost;
+    node->cost.startup = input.node->cost.startup;
+    node->cost.total = input.node->cost.total + cpu +
+                       groups * P.cpu_tuple_cost;
+    node->output_order = q.group_by;
+    node->children = {input.node};
+    out.push_back(JoinAlternative{node, q.group_by});
+  }
+  return out;
+}
+
+/// Adds Sort for ORDER BY when the input order does not already satisfy
+/// it, then Limit.
+JoinAlternative ApplyOrderingAndLimit(const PlannerContext& ctx,
+                                      JoinAlternative input) {
+  const BoundQuery& q = *ctx.query;
+  const CostParams& P = ctx.params;
+
+  if (!q.order_by.empty()) {
+    std::vector<BoundColumn> required;
+    bool any_desc = false;
+    for (const BoundOrderItem& o : q.order_by) {
+      required.push_back(o.column);
+      any_desc |= o.descending;
+    }
+    bool satisfied = !any_desc && OrderSatisfies(input.order, required);
+    if (!satisfied) {
+      input.node = MakeSortNode(P, input.node, required);
+      input.order = required;
+    }
+  }
+
+  if (q.limit >= 0) {
+    auto node = std::make_shared<PlanNode>();
+    node->type = PlanNodeType::kLimit;
+    node->limit_count = q.limit;
+    const PlanNode& child = *input.node;
+    double fraction =
+        child.rows > 0
+            ? std::min(1.0, static_cast<double>(q.limit) / child.rows)
+            : 1.0;
+    node->rows = std::min(child.rows, static_cast<double>(q.limit));
+    node->width = child.width;
+    node->cost.startup = child.cost.startup;
+    node->cost.total =
+        child.cost.startup + (child.cost.total - child.cost.startup) * fraction;
+    node->output_order = input.order;
+    node->children = {input.node};
+    input.node = std::move(node);
+  }
+  return input;
+}
+
+}  // namespace
+
+PlanResult Optimizer::FinishPlan(
+    const PlannerContext& ctx,
+    std::vector<JoinAlternative> alternatives) const {
+  PlanResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (const JoinAlternative& alt : alternatives) {
+    for (const JoinAlternative& agg : ApplyAggregation(ctx, alt)) {
+      JoinAlternative finished = ApplyOrderingAndLimit(ctx, agg);
+      if (finished.node->cost.total < best.cost) {
+        best.cost = finished.node->cost.total;
+        best.root = finished.node;
+      }
+    }
+  }
+  return best;
+}
+
+PlanResult Optimizer::Optimize(const BoundQuery& query,
+                               const PhysicalDesign& design) const {
+  ++num_calls_;
+  PlannerContext ctx = MakeContext(query, design);
+  CatalogPathProvider provider(ctx);
+  JoinEnumerator enumerator(ctx, provider);
+  PlanResult result = FinishPlan(ctx, enumerator.Enumerate());
+  if (result.root == nullptr) {
+    // Knobs disabled every viable plan; PostgreSQL treats enable_* as
+    // soft hints. Retry with everything enabled.
+    PlannerContext relaxed = ctx;
+    relaxed.knobs = PlannerKnobs{};
+    CatalogPathProvider relaxed_provider(relaxed);
+    JoinEnumerator relaxed_enum(relaxed, relaxed_provider);
+    result = FinishPlan(relaxed, relaxed_enum.Enumerate());
+  }
+  return result;
+}
+
+PlanResult Optimizer::OptimizeWithProvider(
+    const BoundQuery& query, const PhysicalDesign& design,
+    const PathProvider& provider) const {
+  ++num_calls_;
+  PlannerContext ctx = MakeContext(query, design);
+  JoinEnumerator enumerator(ctx, provider);
+  return FinishPlan(ctx, enumerator.Enumerate());
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,68 @@
+// Optimizer facade: produces a complete physical plan (joins +
+// aggregation + ordering + limit) for a bound query under a physical
+// design. This is the engine surface the paper's what-if component
+// instruments.
+
+#ifndef DBDESIGN_OPTIMIZER_OPTIMIZER_H_
+#define DBDESIGN_OPTIMIZER_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "optimizer/access_paths.h"
+#include "optimizer/join_enum.h"
+#include "optimizer/plan.h"
+
+namespace dbdesign {
+
+class Optimizer {
+ public:
+  Optimizer(const Catalog& catalog, const std::vector<TableStats>& stats,
+            CostParams params = {}, PlannerKnobs knobs = {})
+      : catalog_(&catalog),
+        stats_(&stats),
+        params_(params),
+        knobs_(knobs) {}
+
+  /// Full cost-based optimization of `query` under `design`.
+  PlanResult Optimize(const BoundQuery& query,
+                      const PhysicalDesign& design) const;
+
+  /// Optimization with custom leaves (INUM's abstract signature mode).
+  /// `design` is still consulted for partitions via the provider's
+  /// context; pass an empty design for fully abstract planning.
+  PlanResult OptimizeWithProvider(const BoundQuery& query,
+                                  const PhysicalDesign& design,
+                                  const PathProvider& provider) const;
+
+  /// Number of full optimizations performed (the expensive operation
+  /// INUM exists to avoid; benchmarks report it).
+  uint64_t num_calls() const { return num_calls_; }
+  void ResetCallCount() { num_calls_ = 0; }
+
+  const CostParams& params() const { return params_; }
+  PlannerKnobs& mutable_knobs() { return knobs_; }
+  const PlannerKnobs& knobs() const { return knobs_; }
+  void set_knobs(const PlannerKnobs& knobs) { knobs_ = knobs; }
+
+  /// Builds the planner context used by path providers.
+  PlannerContext MakeContext(const BoundQuery& query,
+                             const PhysicalDesign& design) const;
+
+  /// Applies aggregation / ORDER BY / LIMIT on top of the join
+  /// alternatives and returns the cheapest finished plan. Exposed for
+  /// INUM, which runs the same finishing pass over abstract plans.
+  PlanResult FinishPlan(const PlannerContext& ctx,
+                        std::vector<JoinAlternative> alternatives) const;
+
+ private:
+  const Catalog* catalog_;
+  const std::vector<TableStats>* stats_;
+  CostParams params_;
+  PlannerKnobs knobs_;
+  mutable uint64_t num_calls_ = 0;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,115 @@
+#include "optimizer/plan.h"
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+const char* PlanNodeTypeName(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kSeqScan: return "SeqScan";
+    case PlanNodeType::kIndexScan: return "IndexScan";
+    case PlanNodeType::kIndexOnlyScan: return "IndexOnlyScan";
+    case PlanNodeType::kNestLoopJoin: return "NestLoop";
+    case PlanNodeType::kIndexNestLoopJoin: return "IndexNestLoop";
+    case PlanNodeType::kHashJoin: return "HashJoin";
+    case PlanNodeType::kMergeJoin: return "MergeJoin";
+    case PlanNodeType::kSort: return "Sort";
+    case PlanNodeType::kHashAggregate: return "HashAggregate";
+    case PlanNodeType::kGroupAggregate: return "GroupAggregate";
+    case PlanNodeType::kLimit: return "Limit";
+    case PlanNodeType::kAbstractLeaf: return "AbstractLeaf";
+  }
+  return "?";
+}
+
+uint64_t PlanNode::SlotMask() const {
+  if (children.empty()) {
+    return slot >= 0 ? (uint64_t{1} << slot) : 0;
+  }
+  uint64_t mask = slot >= 0 ? (uint64_t{1} << slot) : 0;
+  for (const PlanNodeRef& c : children) mask |= c->SlotMask();
+  return mask;
+}
+
+bool OrderSatisfies(const std::vector<BoundColumn>& provided,
+                    const std::vector<BoundColumn>& required) {
+  if (required.size() > provided.size()) return false;
+  for (size_t i = 0; i < required.size(); ++i) {
+    if (!(provided[i] == required[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void Render(const PlanNode& node, const Catalog& catalog,
+            const BoundQuery& query, int depth, std::string* out) {
+  auto col_name = [&](const BoundColumn& c) {
+    return query.aliases[c.slot] + "." +
+           catalog.table(query.tables[c.slot]).column(c.column).name;
+  };
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += PlanNodeTypeName(node.type);
+  if (node.slot >= 0 && node.children.empty()) {
+    *out += " on " + query.aliases[node.slot];
+  }
+  if (node.index.has_value()) {
+    *out += " using " + node.index->DisplayName(catalog);
+  }
+  if (node.join_cond.has_value()) {
+    *out += StrFormat(" (%s = %s)", col_name(node.join_cond->left).c_str(),
+                      col_name(node.join_cond->right).c_str());
+  }
+  if (!node.sort_cols.empty()) {
+    std::vector<std::string> names;
+    for (const BoundColumn& c : node.sort_cols) names.push_back(col_name(c));
+    *out += " by " + StrJoin(names, ", ");
+  }
+  if (!node.group_cols.empty()) {
+    std::vector<std::string> names;
+    for (const BoundColumn& c : node.group_cols) names.push_back(col_name(c));
+    *out += " group by " + StrJoin(names, ", ");
+  }
+  if (node.limit_count >= 0 && node.type == PlanNodeType::kLimit) {
+    *out += StrFormat(" %lld", static_cast<long long>(node.limit_count));
+  }
+  *out += StrFormat("  (cost=%.2f..%.2f rows=%.0f)", node.cost.startup,
+                    node.cost.total, node.rows);
+  if (!node.index_conds.empty()) {
+    std::vector<std::string> conds;
+    for (const BoundPredicate& p : node.index_conds) {
+      conds.push_back(StrFormat("%s %s %s", col_name(p.column).c_str(),
+                                CompareOpName(p.op),
+                                p.value.ToString().c_str()));
+    }
+    *out += "\n";
+    out->append(static_cast<size_t>(depth) * 2 + 2, ' ');
+    *out += "Index Cond: " + StrJoin(conds, " AND ");
+  }
+  if (!node.filter.empty()) {
+    std::vector<std::string> conds;
+    for (const BoundPredicate& p : node.filter) {
+      conds.push_back(StrFormat("%s %s %s", col_name(p.column).c_str(),
+                                CompareOpName(p.op),
+                                p.value.ToString().c_str()));
+    }
+    *out += "\n";
+    out->append(static_cast<size_t>(depth) * 2 + 2, ' ');
+    *out += "Filter: " + StrJoin(conds, " AND ");
+  }
+  for (const PlanNodeRef& c : node.children) {
+    *out += "\n";
+    Render(*c, catalog, query, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(const Catalog& catalog,
+                               const BoundQuery& query) const {
+  std::string out;
+  Render(*this, catalog, query, 0, &out);
+  return out;
+}
+
+}  // namespace dbdesign

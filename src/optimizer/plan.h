@@ -1,0 +1,89 @@
+// Physical plan representation.
+//
+// Plans are immutable trees of shared nodes (the DP memo shares
+// subplans across alternatives). The executor interprets the same
+// representation the optimizer emits.
+
+#ifndef DBDESIGN_OPTIMIZER_PLAN_H_
+#define DBDESIGN_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/design.h"
+#include "optimizer/cost_params.h"
+#include "sql/bound_query.h"
+
+namespace dbdesign {
+
+enum class PlanNodeType {
+  kSeqScan,
+  kIndexScan,
+  kIndexOnlyScan,
+  kNestLoopJoin,       ///< materialized-inner nested loops
+  kIndexNestLoopJoin,  ///< inner is an index lookup on the join key
+  kHashJoin,
+  kMergeJoin,
+  kSort,
+  kHashAggregate,
+  kGroupAggregate,  ///< aggregate over sorted input
+  kLimit,
+  kAbstractLeaf,  ///< INUM signature-mode placeholder leaf
+};
+
+const char* PlanNodeTypeName(PlanNodeType type);
+
+struct PlanNode;
+using PlanNodeRef = std::shared_ptr<const PlanNode>;
+
+struct PlanNode {
+  PlanNodeType type = PlanNodeType::kSeqScan;
+  Cost cost;
+  double rows = 0.0;   ///< estimated output rows
+  double width = 0.0;  ///< estimated output row bytes
+
+  // --- Scan / leaf fields ---
+  int slot = -1;                        ///< FROM slot for scans
+  std::optional<IndexDef> index;        ///< kIndexScan/kIndexOnlyScan/kIndexNestLoopJoin
+  std::vector<BoundPredicate> index_conds;  ///< preds satisfied by the index
+  std::vector<BoundPredicate> filter;       ///< residual predicate conjuncts
+
+  // --- Join fields ---
+  std::optional<BoundJoin> join_cond;       ///< driving equijoin
+  std::vector<BoundJoin> extra_join_conds;  ///< additional equijoins (filtered)
+
+  // --- Sort / aggregate / limit fields ---
+  std::vector<BoundColumn> sort_cols;
+  std::vector<BoundColumn> group_cols;
+  int64_t limit_count = -1;
+
+  /// Sort order of the output (ascending prefix), empty = unordered.
+  std::vector<BoundColumn> output_order;
+
+  std::vector<PlanNodeRef> children;
+
+  const PlanNode* child(size_t i) const { return children[i].get(); }
+
+  /// Set of FROM slots this subtree produces (bitmask).
+  uint64_t SlotMask() const;
+
+  /// Multi-line indented tree rendering, EXPLAIN style.
+  std::string ToString(const Catalog& catalog, const BoundQuery& query) const;
+};
+
+/// True if `provided` delivers the required prefix order (required must be
+/// a prefix of provided).
+bool OrderSatisfies(const std::vector<BoundColumn>& provided,
+                    const std::vector<BoundColumn>& required);
+
+/// Result of a full optimization.
+struct PlanResult {
+  PlanNodeRef root;
+  double cost = 0.0;  ///< root->cost.total
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_OPTIMIZER_PLAN_H_

@@ -1,0 +1,124 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbdesign {
+
+namespace {
+
+/// Linear interpolation position of `v` within [lo, hi].
+double Interpolate(const Value& v, const Value& lo, const Value& hi) {
+  double pv = v.NumericPosition();
+  double plo = lo.NumericPosition();
+  double phi = hi.NumericPosition();
+  if (phi - plo < 1e-12) return 0.5;
+  return std::clamp((pv - plo) / (phi - plo), 0.0, 1.0);
+}
+
+double EqualitySelectivity(const ColumnStats& stats, const Value& v) {
+  // MCV exact hit first.
+  for (const McvEntry& e : stats.mcv) {
+    if (e.value == v) return e.frequency;
+  }
+  if (stats.n_distinct <= 0.0) return kDefaultEqSelectivity;
+  // Mass not covered by MCVs spreads over remaining distinct values.
+  double mcv_mass = 0.0;
+  for (const McvEntry& e : stats.mcv) mcv_mass += e.frequency;
+  double remaining_ndv = stats.n_distinct - static_cast<double>(stats.mcv.size());
+  if (remaining_ndv < 1.0) return kDefaultEqSelectivity;
+  // Out-of-range equality matches nothing.
+  if (v < stats.min || stats.max < v) return 0.0;
+  return std::max(0.0, (1.0 - mcv_mass)) / remaining_ndv;
+}
+
+}  // namespace
+
+double FractionBelow(const ColumnStats& stats, const Value& v) {
+  if (v <= stats.min) return 0.0;
+  if (stats.max < v) return 1.0;
+  if (!stats.HasHistogram()) {
+    // Uniform interpolation between min and max.
+    return Interpolate(v, stats.min, stats.max);
+  }
+  const std::vector<Value>& h = stats.histogram;
+  // h[0] = min; h[i] = upper bound of bucket i (1-based buckets).
+  size_t buckets = h.size() - 1;
+  // Binary search for the first bound >= v.
+  size_t lo = 0;
+  size_t hi = h.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (h[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // v lies in bucket `lo` (between h[lo-1] and h[lo]).
+  if (lo == 0) return 0.0;
+  double below_full = static_cast<double>(lo - 1) / static_cast<double>(buckets);
+  double within = Interpolate(v, h[lo - 1], h[lo]);
+  return std::clamp(below_full + within / static_cast<double>(buckets),
+                    0.0, 1.0);
+}
+
+double PredicateSelectivity(const ColumnStats& stats,
+                            const BoundPredicate& pred) {
+  double sel;
+  if (pred.value2.has_value()) {
+    // BETWEEN lo AND hi (inclusive both ends).
+    double f_lo = FractionBelow(stats, pred.value);
+    double f_hi = FractionBelow(stats, *pred.value2);
+    sel = std::max(0.0, f_hi - f_lo) + EqualitySelectivity(stats, *pred.value2);
+  } else {
+    switch (pred.op) {
+      case CompareOp::kEq:
+        sel = EqualitySelectivity(stats, pred.value);
+        break;
+      case CompareOp::kNe:
+        sel = 1.0 - EqualitySelectivity(stats, pred.value);
+        break;
+      case CompareOp::kLt:
+        sel = FractionBelow(stats, pred.value);
+        break;
+      case CompareOp::kLe:
+        sel = FractionBelow(stats, pred.value) +
+              EqualitySelectivity(stats, pred.value);
+        break;
+      case CompareOp::kGt:
+        sel = 1.0 - FractionBelow(stats, pred.value) -
+              EqualitySelectivity(stats, pred.value);
+        break;
+      case CompareOp::kGe:
+        sel = 1.0 - FractionBelow(stats, pred.value);
+        break;
+      default:
+        sel = kDefaultRangeSelectivity;
+    }
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double ConjunctionSelectivity(const TableStats& stats,
+                              const std::vector<BoundPredicate>& preds) {
+  double sel = 1.0;
+  for (const BoundPredicate& p : preds) {
+    sel *= PredicateSelectivity(stats.column(p.column.column), p);
+  }
+  return std::clamp(sel, 1e-9, 1.0);
+}
+
+double EquiJoinSelectivity(const ColumnStats& left,
+                           const ColumnStats& right) {
+  double ndv = std::max({left.n_distinct, right.n_distinct, 1.0});
+  return 1.0 / ndv;
+}
+
+double EstimateGroupCount(double rows, const std::vector<double>& ndvs) {
+  double groups = 1.0;
+  for (double ndv : ndvs) groups *= std::max(1.0, ndv);
+  return std::max(1.0, std::min(groups, rows));
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,41 @@
+// Selectivity estimation from column statistics.
+
+#ifndef DBDESIGN_OPTIMIZER_SELECTIVITY_H_
+#define DBDESIGN_OPTIMIZER_SELECTIVITY_H_
+
+#include <vector>
+
+#include "catalog/stats.h"
+#include "sql/bound_query.h"
+
+namespace dbdesign {
+
+/// Default selectivity when statistics offer no information (PG's
+/// DEFAULT_EQ_SEL / DEFAULT_RANGE_INEQ_SEL spirit).
+constexpr double kDefaultEqSelectivity = 0.005;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+/// Fraction of rows with column value strictly less than `v`, estimated
+/// from MCVs + histogram.
+double FractionBelow(const ColumnStats& stats, const Value& v);
+
+/// Selectivity of a single predicate against its column's statistics.
+double PredicateSelectivity(const ColumnStats& stats,
+                            const BoundPredicate& pred);
+
+/// Combined selectivity of conjunctive predicates on one table slot,
+/// assuming independence, clamped to [1e-9, 1].
+double ConjunctionSelectivity(const TableStats& stats,
+                              const std::vector<BoundPredicate>& preds);
+
+/// Equijoin selectivity: 1 / max(ndv_left, ndv_right) (System R).
+double EquiJoinSelectivity(const ColumnStats& left, const ColumnStats& right);
+
+/// Estimated number of distinct groups when grouping rows (post-filter
+/// cardinality `rows`) by columns with the given per-column NDVs; applies
+/// the standard containment cap.
+double EstimateGroupCount(double rows, const std::vector<double>& ndvs);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_OPTIMIZER_SELECTIVITY_H_

@@ -1,0 +1,176 @@
+#include "solver/bnb.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+namespace {
+
+struct Node {
+  std::vector<std::pair<int, int>> fixings;  ///< (var, 0 or 1)
+  double bound;                              ///< parent LP bound
+
+  bool operator<(const Node& other) const {
+    return bound > other.bound;  // min-heap by bound (best-first)
+  }
+};
+
+double Now() {
+  using namespace std::chrono;
+  return duration_cast<duration<double>>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
+                         const PrimalHeuristic& heuristic) {
+  double t0 = Now();
+  BnbResult result;
+
+  // Base LP: original problem + x_b <= 1 rows for binaries.
+  LpProblem base = problem.lp;
+  for (int b : problem.binary_vars) {
+    LpConstraint ub;
+    ub.terms = {{b, 1.0}};
+    ub.rel = LpRelation::kLe;
+    ub.rhs = 1.0;
+    base.AddConstraint(std::move(ub));
+  }
+
+  auto solve_node = [&](const std::vector<std::pair<int, int>>& fixings)
+      -> LpSolution {
+    LpProblem lp = base;
+    for (auto [var, val] : fixings) {
+      LpConstraint fix;
+      fix.terms = {{var, 1.0}};
+      fix.rel = LpRelation::kEq;
+      fix.rhs = static_cast<double>(val);
+      lp.AddConstraint(std::move(fix));
+    }
+    return SolveLp(lp, options.simplex);
+  };
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_values;
+
+  auto try_heuristic = [&](const std::vector<double>& lp_values) {
+    if (!heuristic) return;
+    std::vector<double> values;
+    double obj = 0.0;
+    if (heuristic(lp_values, &values, &obj) && obj < incumbent - 1e-12) {
+      incumbent = obj;
+      incumbent_values = std::move(values);
+    }
+  };
+
+  LpSolution root = solve_node({});
+  if (root.status == LpStatus::kInfeasible) {
+    result.lower_bound = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  if (!root.optimal()) {
+    // Unbounded or iteration limit at the root: give up gracefully.
+    return result;
+  }
+  result.lower_bound = root.objective;
+  try_heuristic(root.values);
+
+  std::priority_queue<Node> open;
+  open.push(Node{{}, root.objective});
+
+  // Most-fractional branching: pick the binary farthest from an integer.
+  auto fractional_var = [&](const std::vector<double>& values) {
+    int best = -1;
+    double best_dist = 1e-6;
+    for (int b : problem.binary_vars) {
+      double v = values[static_cast<size_t>(b)];
+      double dist = std::abs(v - std::round(v));
+      if (dist > best_dist) {
+        best_dist = dist;
+        best = b;
+      }
+    }
+    return best;
+  };
+
+  // Best-first search: nodes pop in non-decreasing parent-bound order, so
+  // the popped node's bound is the global lower bound at that moment.
+  double global_lb = root.objective;
+  bool exhausted = false;
+  while (true) {
+    if (open.empty()) {
+      exhausted = true;
+      break;
+    }
+    if (result.nodes_explored >= options.max_nodes) break;
+    if (Now() - t0 > options.time_limit_sec) break;
+
+    Node node = open.top();
+    open.pop();
+    global_lb = std::max(global_lb, node.bound);
+    if (node.bound >= incumbent - 1e-12) {
+      // Every remaining node is at least this bad: incumbent is optimal.
+      global_lb = incumbent;
+      exhausted = true;
+      break;
+    }
+    if (std::isfinite(incumbent) &&
+        (incumbent - global_lb) / std::max(1e-12, std::abs(incumbent)) <=
+            options.gap_tolerance &&
+        options.gap_tolerance > 0.0) {
+      break;  // good enough per the caller's time/quality knob
+    }
+
+    LpSolution lp = solve_node(node.fixings);
+    ++result.nodes_explored;
+    if (!lp.optimal()) continue;  // infeasible subtree
+    if (lp.objective >= incumbent - 1e-12) continue;
+
+    try_heuristic(lp.values);
+
+    int branch = fractional_var(lp.values);
+    if (branch < 0) {
+      // Integral: candidate incumbent.
+      if (lp.objective < incumbent - 1e-12) {
+        incumbent = lp.objective;
+        incumbent_values = lp.values;
+      }
+      continue;
+    }
+    for (int v : {1, 0}) {
+      Node child;
+      child.fixings = node.fixings;
+      child.fixings.emplace_back(branch, v);
+      child.bound = lp.objective;
+      open.push(child);
+    }
+  }
+
+  if (exhausted && std::isfinite(incumbent)) {
+    result.proven_optimal = true;
+    global_lb = incumbent;
+  }
+  result.lower_bound = std::min(global_lb, incumbent);
+
+  result.feasible = std::isfinite(incumbent);
+  if (result.feasible) {
+    result.objective = incumbent;
+    result.values = std::move(incumbent_values);
+  }
+  result.solve_time_sec = Now() - t0;
+  DBD_LOG_DEBUG(StrFormat("B&B: %d nodes, obj=%.3f bound=%.3f gap=%.4f",
+                          result.nodes_explored, result.objective,
+                          result.lower_bound, result.gap()));
+  return result;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,62 @@
+// Branch & bound for binary integer programs over the simplex LP
+// relaxation. Gives CoPhy its quality guarantee: the returned gap is
+// (incumbent - global LP bound) / incumbent, and the node/time budget is
+// the paper's "trade off execution time against quality" knob.
+
+#ifndef DBDESIGN_SOLVER_BNB_H_
+#define DBDESIGN_SOLVER_BNB_H_
+
+#include <functional>
+#include <vector>
+
+#include "solver/simplex.h"
+
+namespace dbdesign {
+
+/// A minimization LP plus a set of variables restricted to {0, 1}.
+struct MipProblem {
+  LpProblem lp;
+  std::vector<int> binary_vars;
+};
+
+struct BnbOptions {
+  int max_nodes = 2000;
+  double time_limit_sec = 30.0;
+  /// Stop early when the relative gap falls below this (0 = solve to
+  /// proven optimality within the node/time budget).
+  double gap_tolerance = 0.0;
+  SimplexOptions simplex;
+};
+
+struct BnbResult {
+  bool feasible = false;
+  bool proven_optimal = false;
+  double objective = 0.0;          ///< incumbent value
+  std::vector<double> values;      ///< incumbent assignment
+  double lower_bound = 0.0;        ///< global LP bound
+  int nodes_explored = 0;
+  double solve_time_sec = 0.0;
+
+  /// Relative optimality gap; 0 when proven optimal.
+  double gap() const {
+    if (!feasible) return 1.0;
+    double denom = std::max(1e-12, std::abs(objective));
+    return std::max(0.0, (objective - lower_bound) / denom);
+  }
+};
+
+/// Optional primal heuristic: maps a (fractional) LP solution to a
+/// feasible binary solution. Returns false if it cannot.
+using PrimalHeuristic =
+    std::function<bool(const std::vector<double>& lp_values,
+                       std::vector<double>* out_values, double* out_obj)>;
+
+/// Solves min c^T x, constraints, x >= 0, x_b in {0,1} for b in
+/// binary_vars. Upper bound rows (x_b <= 1) are added internally.
+BnbResult SolveBinaryMip(const MipProblem& problem,
+                         const BnbOptions& options = {},
+                         const PrimalHeuristic& heuristic = nullptr);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SOLVER_BNB_H_

@@ -1,0 +1,254 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbdesign {
+
+namespace {
+
+/// Dense tableau: rows = constraints, columns = structural + slack +
+/// artificial variables, plus the rhs column. Row 0..m-1 are
+/// constraints; the objective rows are maintained separately.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p, const SimplexOptions& options)
+      : options_(options), m_(static_cast<int>(p.constraints.size())) {
+    // Column layout: [structural | slack/surplus | artificial].
+    n_struct_ = p.num_vars;
+    int n_slack = 0;
+    int n_art = 0;
+    for (const LpConstraint& c : p.constraints) {
+      bool flip = c.rhs < 0.0;
+      LpRelation rel = c.rel;
+      if (flip) {
+        rel = rel == LpRelation::kLe
+                  ? LpRelation::kGe
+                  : (rel == LpRelation::kGe ? LpRelation::kLe : LpRelation::kEq);
+      }
+      if (rel == LpRelation::kLe) {
+        ++n_slack;
+      } else if (rel == LpRelation::kGe) {
+        ++n_slack;
+        ++n_art;
+      } else {
+        ++n_art;
+      }
+    }
+    n_total_ = n_struct_ + n_slack + n_art;
+    a_.assign(static_cast<size_t>(m_) * (n_total_ + 1), 0.0);
+    basis_.assign(static_cast<size_t>(m_), -1);
+
+    int slack_at = n_struct_;
+    int art_at = n_struct_ + n_slack;
+    first_art_ = art_at;
+    for (int r = 0; r < m_; ++r) {
+      const LpConstraint& c = p.constraints[static_cast<size_t>(r)];
+      double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+      for (const auto& [var, coef] : c.terms) {
+        At(r, var) += sign * coef;
+      }
+      Rhs(r) = sign * c.rhs;
+      LpRelation rel = c.rel;
+      if (sign < 0) {
+        rel = rel == LpRelation::kLe
+                  ? LpRelation::kGe
+                  : (rel == LpRelation::kGe ? LpRelation::kLe : LpRelation::kEq);
+      }
+      if (rel == LpRelation::kLe) {
+        At(r, slack_at) = 1.0;
+        basis_[static_cast<size_t>(r)] = slack_at++;
+      } else if (rel == LpRelation::kGe) {
+        At(r, slack_at) = -1.0;
+        ++slack_at;
+        At(r, art_at) = 1.0;
+        basis_[static_cast<size_t>(r)] = art_at++;
+      } else {
+        At(r, art_at) = 1.0;
+        basis_[static_cast<size_t>(r)] = art_at++;
+      }
+    }
+    num_art_ = n_art;
+  }
+
+  double& At(int r, int c) {
+    return a_[static_cast<size_t>(r) * (n_total_ + 1) + static_cast<size_t>(c)];
+  }
+  double& Rhs(int r) { return At(r, n_total_); }
+
+  /// Runs the simplex on objective `cost` (length n_total_, minimize).
+  /// Returns kOptimal/kUnbounded/kIterLimit; reduced costs/obj in z.
+  LpStatus Iterate(std::vector<double>& cost, double* objective,
+                   bool forbid_artificials) {
+    // Reduced cost row: z_j = c_j - c_B^T B^{-1} A_j, maintained densely.
+    std::vector<double> z(static_cast<size_t>(n_total_) + 1, 0.0);
+    for (int j = 0; j <= n_total_; ++j) {
+      double v = j < n_total_ ? cost[static_cast<size_t>(j)] : 0.0;
+      for (int r = 0; r < m_; ++r) {
+        v -= cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])] *
+             At(r, j);
+      }
+      z[static_cast<size_t>(j)] = v;
+    }
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      // Entering variable: most negative reduced cost (Dantzig), falling
+      // back to Bland's rule when cycling is suspected.
+      int enter = -1;
+      bool bland = iter > 4 * (m_ + n_total_);
+      double best = -options_.eps;
+      for (int j = 0; j < n_total_; ++j) {
+        if (forbid_artificials && j >= first_art_) continue;
+        double rc = z[static_cast<size_t>(j)];
+        if (bland) {
+          if (rc < -options_.eps) {
+            enter = j;
+            break;
+          }
+        } else if (rc < best) {
+          best = rc;
+          enter = j;
+        }
+      }
+      if (enter < 0) {
+        *objective = -z[static_cast<size_t>(n_total_)];
+        return LpStatus::kOptimal;
+      }
+
+      // Ratio test.
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < m_; ++r) {
+        double col = At(r, enter);
+        if (col > options_.eps) {
+          double ratio = Rhs(r) / col;
+          if (ratio < best_ratio - options_.eps ||
+              (ratio < best_ratio + options_.eps &&
+               (leave < 0 || basis_[static_cast<size_t>(r)] <
+                                 basis_[static_cast<size_t>(leave)]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave < 0) return LpStatus::kUnbounded;
+
+      Pivot(leave, enter, z);
+    }
+    return LpStatus::kIterLimit;
+  }
+
+  void Pivot(int leave, int enter, std::vector<double>& z) {
+    double piv = At(leave, enter);
+    for (int j = 0; j <= n_total_; ++j) At(leave, j) /= piv;
+    for (int r = 0; r < m_; ++r) {
+      if (r == leave) continue;
+      double f = At(r, enter);
+      if (std::abs(f) < 1e-13) continue;
+      for (int j = 0; j <= n_total_; ++j) At(r, j) -= f * At(leave, j);
+    }
+    double zf = z[static_cast<size_t>(enter)];
+    if (std::abs(zf) > 1e-13) {
+      for (int j = 0; j <= n_total_; ++j) {
+        z[static_cast<size_t>(j)] -= zf * At(leave, j);
+      }
+    }
+    basis_[static_cast<size_t>(leave)] = enter;
+  }
+
+  /// Drives any basic artificial variable out of the basis (or prunes a
+  /// redundant row) after phase 1.
+  void EvictArtificials() {
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[static_cast<size_t>(r)] < first_art_) continue;
+      int enter = -1;
+      for (int j = 0; j < first_art_; ++j) {
+        if (std::abs(At(r, j)) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter >= 0) {
+        std::vector<double> dummy(static_cast<size_t>(n_total_) + 1, 0.0);
+        Pivot(r, enter, dummy);
+      }
+      // else: the row is redundant (all-zero over real vars); leave the
+      // artificial basic at value zero — harmless with cost zero.
+    }
+  }
+
+  LpSolution Extract(double objective) const {
+    LpSolution sol;
+    sol.status = LpStatus::kOptimal;
+    sol.objective = objective;
+    sol.values.assign(static_cast<size_t>(n_struct_), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      int b = basis_[static_cast<size_t>(r)];
+      if (b < n_struct_) {
+        sol.values[static_cast<size_t>(b)] =
+            a_[static_cast<size_t>(r) * (n_total_ + 1) +
+               static_cast<size_t>(n_total_)];
+      }
+    }
+    return sol;
+  }
+
+  int n_total() const { return n_total_; }
+  int n_struct() const { return n_struct_; }
+  int first_art() const { return first_art_; }
+  int num_art() const { return num_art_; }
+
+ private:
+  SimplexOptions options_;
+  int m_;
+  int n_struct_ = 0;
+  int n_total_ = 0;
+  int first_art_ = 0;
+  int num_art_ = 0;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options) {
+  Tableau t(problem, options);
+
+  // Phase 1: minimize the sum of artificials.
+  if (t.num_art() > 0) {
+    std::vector<double> phase1(static_cast<size_t>(t.n_total()), 0.0);
+    for (int j = t.first_art(); j < t.n_total(); ++j) {
+      phase1[static_cast<size_t>(j)] = 1.0;
+    }
+    double obj1 = 0.0;
+    LpStatus s1 = t.Iterate(phase1, &obj1, /*forbid_artificials=*/false);
+    if (s1 == LpStatus::kIterLimit) {
+      LpSolution sol;
+      sol.status = LpStatus::kIterLimit;
+      return sol;
+    }
+    if (s1 == LpStatus::kUnbounded || obj1 > 1e-6) {
+      LpSolution sol;
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    t.EvictArtificials();
+  }
+
+  // Phase 2: original objective (artificials forbidden from re-entering).
+  std::vector<double> cost(static_cast<size_t>(t.n_total()), 0.0);
+  for (int j = 0; j < problem.num_vars; ++j) {
+    cost[static_cast<size_t>(j)] = problem.objective[static_cast<size_t>(j)];
+  }
+  double obj = 0.0;
+  LpStatus s2 = t.Iterate(cost, &obj, /*forbid_artificials=*/true);
+  if (s2 != LpStatus::kOptimal) {
+    LpSolution sol;
+    sol.status = s2;
+    return sol;
+  }
+  return t.Extract(obj);
+}
+
+}  // namespace dbdesign

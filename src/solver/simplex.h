@@ -1,0 +1,60 @@
+// Dense two-phase primal simplex for linear programs.
+//
+// CoPhy formulates index selection as a binary integer program and the
+// paper relies on "sophisticated and mature solvers". No external solver
+// is available in this environment, so the repo ships a self-contained
+// LP solver: two-phase primal simplex over a dense tableau with Bland's
+// anti-cycling rule. Problem sizes produced by the CoPhy builder
+// (hundreds of rows/columns) solve in milliseconds.
+
+#ifndef DBDESIGN_SOLVER_SIMPLEX_H_
+#define DBDESIGN_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+namespace dbdesign {
+
+enum class LpRelation { kLe, kGe, kEq };
+
+/// One linear constraint: sum(terms) rel rhs.
+struct LpConstraint {
+  std::vector<std::pair<int, double>> terms;  ///< (var index, coefficient)
+  LpRelation rel = LpRelation::kLe;
+  double rhs = 0.0;
+};
+
+/// minimize c^T x  subject to constraints, x >= 0.
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< length num_vars
+  std::vector<LpConstraint> constraints;
+
+  int AddVariable(double cost) {
+    objective.push_back(cost);
+    return num_vars++;
+  }
+  void AddConstraint(LpConstraint c) { constraints.push_back(std::move(c)); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< length num_vars
+
+  bool optimal() const { return status == LpStatus::kOptimal; }
+};
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double eps = 1e-9;
+};
+
+/// Solves the LP. All variables are implicitly >= 0; upper bounds must be
+/// expressed as constraints.
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SOLVER_SIMPLEX_H_

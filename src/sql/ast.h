@@ -1,0 +1,96 @@
+// Abstract syntax tree for the SQL subset (output of the parser,
+// input to the binder).
+//
+// Supported grammar:
+//   query     := SELECT items FROM table_ref (join)* [WHERE conj]
+//                [GROUP BY cols] [ORDER BY ord_items] [LIMIT int]
+//   items     := '*' | item (',' item)*
+//   item      := col | agg '(' (col | '*') ')'
+//   join      := ',' table_ref | [INNER] JOIN table_ref ON equi_conj
+//   conj      := pred (AND pred)*
+//   pred      := col cmp literal | col BETWEEN lit AND lit | col '=' col
+//   col       := [alias '.'] name
+
+#ifndef DBDESIGN_SQL_AST_H_
+#define DBDESIGN_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace dbdesign {
+
+/// Unresolved column reference: optional qualifier + column name.
+struct AstColumn {
+  std::string qualifier;  ///< table name or alias; empty if unqualified
+  std::string name;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Returns the SQL spelling ("=", "<>", ...).
+const char* CompareOpName(CompareOp op);
+
+/// One conjunct of the WHERE clause.
+struct AstPredicate {
+  enum class Kind {
+    kComparison,  ///< col op literal
+    kBetween,     ///< col BETWEEN lo AND hi
+    kColumnEq,    ///< col = col (potential join predicate)
+  };
+  Kind kind = Kind::kComparison;
+  AstColumn left;
+  CompareOp op = CompareOp::kEq;
+  Value value;             // kComparison; kBetween lower bound
+  Value value2;            // kBetween upper bound
+  AstColumn right_column;  // kColumnEq
+};
+
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+/// Returns "count", "sum", ...
+const char* AggFnName(AggFn fn);
+
+/// SELECT-list item: a plain column or an aggregate.
+struct AstSelectItem {
+  bool is_aggregate = false;
+  AggFn agg = AggFn::kCount;
+  bool agg_star = false;  ///< COUNT(*)
+  AstColumn column;       ///< unused when agg_star
+};
+
+struct AstTableRef {
+  std::string table;
+  std::string alias;  ///< empty = table name itself
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct AstOrderItem {
+  AstColumn column;
+  bool descending = false;
+};
+
+/// A parsed (but unresolved) query.
+struct AstQuery {
+  bool select_star = false;
+  std::vector<AstSelectItem> select_items;
+  std::vector<AstTableRef> tables;
+  /// ON-clause predicates are folded into this conjunction as kColumnEq.
+  std::vector<AstPredicate> where;
+  std::vector<AstColumn> group_by;
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SQL_AST_H_

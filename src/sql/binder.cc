@@ -1,0 +1,193 @@
+#include "sql/binder.h"
+
+#include <unordered_map>
+
+#include "sql/parser.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+namespace {
+
+class Binder {
+ public:
+  Binder(const Catalog& catalog, const AstQuery& ast)
+      : catalog_(catalog), ast_(ast) {}
+
+  Result<BoundQuery> Bind() {
+    BoundQuery q;
+    // FROM clause: register slots and aliases.
+    for (const AstTableRef& ref : ast_.tables) {
+      TableId tid = catalog_.FindTable(ref.table);
+      if (tid == kInvalidTableId) {
+        return Status::BindError("unknown table '" + ref.table + "'");
+      }
+      const std::string& eff = ref.EffectiveName();
+      if (slots_.count(eff) > 0) {
+        return Status::BindError("duplicate table alias '" + eff + "'");
+      }
+      slots_[eff] = static_cast<int>(q.tables.size());
+      q.tables.push_back(tid);
+      q.aliases.push_back(eff);
+    }
+
+    // SELECT list.
+    if (ast_.select_star) {
+      for (int s = 0; s < q.num_slots(); ++s) {
+        const TableDef& def = catalog_.table(q.tables[s]);
+        for (ColumnId c = 0; c < def.num_columns(); ++c) {
+          q.select_columns.push_back(BoundColumn{s, c});
+        }
+      }
+    } else {
+      for (const AstSelectItem& item : ast_.select_items) {
+        if (item.is_aggregate) {
+          BoundAggregate agg;
+          agg.fn = item.agg;
+          agg.star = item.agg_star;
+          if (!item.agg_star) {
+            auto col = Resolve(item.column, q);
+            if (!col.ok()) return col.status();
+            agg.column = col.value();
+          }
+          q.aggregates.push_back(agg);
+        } else {
+          auto col = Resolve(item.column, q);
+          if (!col.ok()) return col.status();
+          q.select_columns.push_back(col.value());
+        }
+      }
+    }
+
+    // WHERE conjunction.
+    for (const AstPredicate& pred : ast_.where) {
+      auto left = Resolve(pred.left, q);
+      if (!left.ok()) return left.status();
+      switch (pred.kind) {
+        case AstPredicate::Kind::kColumnEq: {
+          auto right = Resolve(pred.right_column, q);
+          if (!right.ok()) return right.status();
+          if (left.value().slot == right.value().slot) {
+            return Status::BindError(
+                "same-table column equality is not supported: " +
+                pred.left.ToString() + " = " + pred.right_column.ToString());
+          }
+          q.joins.push_back(BoundJoin{left.value(), right.value()});
+          break;
+        }
+        case AstPredicate::Kind::kBetween: {
+          BoundPredicate p;
+          p.column = left.value();
+          p.op = CompareOp::kGe;
+          Status s = CheckLiteral(p.column, pred.value, q);
+          if (!s.ok()) return s;
+          s = CheckLiteral(p.column, pred.value2, q);
+          if (!s.ok()) return s;
+          p.value = pred.value;
+          p.value2 = pred.value2;
+          q.filters.push_back(std::move(p));
+          break;
+        }
+        case AstPredicate::Kind::kComparison: {
+          BoundPredicate p;
+          p.column = left.value();
+          p.op = pred.op;
+          Status s = CheckLiteral(p.column, pred.value, q);
+          if (!s.ok()) return s;
+          p.value = pred.value;
+          q.filters.push_back(std::move(p));
+          break;
+        }
+      }
+    }
+
+    // GROUP BY / ORDER BY.
+    for (const AstColumn& c : ast_.group_by) {
+      auto col = Resolve(c, q);
+      if (!col.ok()) return col.status();
+      q.group_by.push_back(col.value());
+    }
+    for (const AstOrderItem& o : ast_.order_by) {
+      auto col = Resolve(o.column, q);
+      if (!col.ok()) return col.status();
+      q.order_by.push_back(BoundOrderItem{col.value(), o.descending});
+    }
+    q.limit = ast_.limit;
+
+    if (!q.aggregates.empty() && !q.select_columns.empty() &&
+        q.group_by.empty()) {
+      return Status::BindError(
+          "mixing aggregates and plain columns requires GROUP BY");
+    }
+    return q;
+  }
+
+ private:
+  Result<BoundColumn> Resolve(const AstColumn& col, const BoundQuery& q) {
+    if (!col.qualifier.empty()) {
+      auto it = slots_.find(col.qualifier);
+      if (it == slots_.end()) {
+        return Status::BindError("unknown table or alias '" + col.qualifier +
+                                 "'");
+      }
+      int slot = it->second;
+      ColumnId cid = catalog_.table(q.tables[slot]).FindColumn(col.name);
+      if (cid == kInvalidColumnId) {
+        return Status::BindError("unknown column '" + col.ToString() + "'");
+      }
+      return BoundColumn{slot, cid};
+    }
+    // Unqualified: must be unambiguous across slots.
+    int found_slot = -1;
+    ColumnId found_col = kInvalidColumnId;
+    for (int s = 0; s < q.num_slots(); ++s) {
+      ColumnId cid = catalog_.table(q.tables[s]).FindColumn(col.name);
+      if (cid != kInvalidColumnId) {
+        if (found_slot >= 0) {
+          return Status::BindError("ambiguous column '" + col.name + "'");
+        }
+        found_slot = s;
+        found_col = cid;
+      }
+    }
+    if (found_slot < 0) {
+      return Status::BindError("unknown column '" + col.name + "'");
+    }
+    return BoundColumn{found_slot, found_col};
+  }
+
+  Status CheckLiteral(const BoundColumn& col, const Value& v,
+                      const BoundQuery& q) const {
+    DataType ct = catalog_.table(q.tables[col.slot]).column(col.column).type;
+    DataType vt = v.type();
+    bool ok = (ct == vt) ||
+              (ct == DataType::kDouble && vt == DataType::kInt64) ||
+              (ct == DataType::kInt64 && vt == DataType::kDouble);
+    if (!ok) {
+      return Status::BindError(StrFormat(
+          "literal %s has type %s but column has type %s",
+          v.ToString().c_str(), DataTypeName(vt), DataTypeName(ct)));
+    }
+    return Status::OK();
+  }
+
+  const Catalog& catalog_;
+  const AstQuery& ast_;
+  std::unordered_map<std::string, int> slots_;
+};
+
+}  // namespace
+
+Result<BoundQuery> BindQuery(const Catalog& catalog, const AstQuery& ast) {
+  Binder binder(catalog, ast);
+  return binder.Bind();
+}
+
+Result<BoundQuery> ParseAndBind(const Catalog& catalog,
+                                const std::string& sql) {
+  auto ast = ParseQuery(sql);
+  if (!ast.ok()) return ast.status();
+  return BindQuery(catalog, ast.value());
+}
+
+}  // namespace dbdesign

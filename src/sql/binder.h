@@ -1,0 +1,26 @@
+// Binder: resolves a parsed AstQuery against the Catalog, producing a
+// BoundQuery. Performs name resolution, type checking of literals
+// against column types, and classification of predicates into filters
+// vs. equijoins.
+
+#ifndef DBDESIGN_SQL_BINDER_H_
+#define DBDESIGN_SQL_BINDER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/bound_query.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Binds `ast` against `catalog`.
+Result<BoundQuery> BindQuery(const Catalog& catalog, const AstQuery& ast);
+
+/// Convenience: parse + bind in one call.
+Result<BoundQuery> ParseAndBind(const Catalog& catalog,
+                                const std::string& sql);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SQL_BINDER_H_

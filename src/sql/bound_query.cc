@@ -1,0 +1,153 @@
+#include "sql/bound_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+std::vector<BoundPredicate> BoundQuery::FiltersOn(int slot) const {
+  std::vector<BoundPredicate> out;
+  for (const BoundPredicate& p : filters) {
+    if (p.column.slot == slot) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<BoundJoin> BoundQuery::JoinsOn(int slot) const {
+  std::vector<BoundJoin> out;
+  for (const BoundJoin& j : joins) {
+    if (j.left.slot == slot || j.right.slot == slot) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<ColumnId> BoundQuery::ReferencedColumns(int slot) const {
+  std::set<ColumnId> cols;
+  for (const BoundColumn& c : select_columns) {
+    if (c.slot == slot) cols.insert(c.column);
+  }
+  for (const BoundAggregate& a : aggregates) {
+    if (!a.star && a.column.slot == slot) cols.insert(a.column.column);
+  }
+  for (const BoundPredicate& p : filters) {
+    if (p.column.slot == slot) cols.insert(p.column.column);
+  }
+  for (const BoundJoin& j : joins) {
+    if (j.left.slot == slot) cols.insert(j.left.column);
+    if (j.right.slot == slot) cols.insert(j.right.column);
+  }
+  for (const BoundColumn& c : group_by) {
+    if (c.slot == slot) cols.insert(c.column);
+  }
+  for (const BoundOrderItem& o : order_by) {
+    if (o.column.slot == slot) cols.insert(o.column.column);
+  }
+  return {cols.begin(), cols.end()};
+}
+
+std::vector<ColumnId> BoundQuery::PredicateColumns(int slot) const {
+  std::set<ColumnId> cols;
+  for (const BoundPredicate& p : filters) {
+    if (p.column.slot == slot) cols.insert(p.column.column);
+  }
+  for (const BoundJoin& j : joins) {
+    if (j.left.slot == slot) cols.insert(j.left.column);
+    if (j.right.slot == slot) cols.insert(j.right.column);
+  }
+  return {cols.begin(), cols.end()};
+}
+
+uint64_t BoundQuery::StructuralHash() const {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  };
+  auto col = [&](uint64_t h, const BoundColumn& c) {
+    return mix(mix(h, static_cast<uint64_t>(c.slot) + 1),
+               static_cast<uint64_t>(c.column) + 3);
+  };
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (TableId t : tables) h = mix(h, static_cast<uint64_t>(t) + 11);
+  for (const BoundColumn& c : select_columns) h = col(mix(h, 1), c);
+  for (const BoundAggregate& a : aggregates) {
+    h = mix(h, static_cast<uint64_t>(a.fn) + 100);
+    h = a.star ? mix(h, 2) : col(h, a.column);
+  }
+  for (const BoundPredicate& p : filters) {
+    h = col(mix(h, 3), p.column);
+    h = mix(h, static_cast<uint64_t>(p.op) + 200);
+    h = mix(h, p.value.Hash());
+    if (p.value2.has_value()) h = mix(h, p.value2->Hash());
+  }
+  for (const BoundJoin& j : joins) h = col(col(mix(h, 4), j.left), j.right);
+  for (const BoundColumn& c : group_by) h = col(mix(h, 5), c);
+  for (const BoundOrderItem& o : order_by) {
+    h = col(mix(h, o.descending ? 7 : 6), o.column);
+  }
+  h = mix(h, static_cast<uint64_t>(limit) + 999);
+  return h;
+}
+
+std::string BoundQuery::ToSql(const Catalog& catalog) const {
+  auto col_name = [&](const BoundColumn& c) {
+    return aliases[c.slot] + "." +
+           catalog.table(tables[c.slot]).column(c.column).name;
+  };
+
+  std::vector<std::string> items;
+  for (const BoundColumn& c : select_columns) items.push_back(col_name(c));
+  for (const BoundAggregate& a : aggregates) {
+    if (a.star) {
+      items.push_back(StrFormat("%s(*)", AggFnName(a.fn)));
+    } else {
+      items.push_back(
+          StrFormat("%s(%s)", AggFnName(a.fn), col_name(a.column).c_str()));
+    }
+  }
+  std::string sql = "SELECT " + (items.empty() ? "*" : StrJoin(items, ", "));
+
+  sql += " FROM ";
+  std::vector<std::string> froms;
+  for (int s = 0; s < num_slots(); ++s) {
+    const std::string& tname = catalog.table(tables[s]).name();
+    froms.push_back(aliases[s] == tname ? tname : tname + " " + aliases[s]);
+  }
+  sql += StrJoin(froms, ", ");
+
+  std::vector<std::string> conds;
+  for (const BoundJoin& j : joins) {
+    conds.push_back(col_name(j.left) + " = " + col_name(j.right));
+  }
+  for (const BoundPredicate& p : filters) {
+    if (p.value2.has_value()) {
+      conds.push_back(col_name(p.column) + " BETWEEN " + p.value.ToString() +
+                      " AND " + p.value2->ToString());
+    } else {
+      conds.push_back(StrFormat("%s %s %s", col_name(p.column).c_str(),
+                                CompareOpName(p.op),
+                                p.value.ToString().c_str()));
+    }
+  }
+  if (!conds.empty()) sql += " WHERE " + StrJoin(conds, " AND ");
+
+  if (!group_by.empty()) {
+    std::vector<std::string> gcols;
+    for (const BoundColumn& c : group_by) gcols.push_back(col_name(c));
+    sql += " GROUP BY " + StrJoin(gcols, ", ");
+  }
+  if (!order_by.empty()) {
+    std::vector<std::string> ocols;
+    for (const BoundOrderItem& o : order_by) {
+      ocols.push_back(col_name(o.column) + (o.descending ? " DESC" : ""));
+    }
+    sql += " ORDER BY " + StrJoin(ocols, ", ");
+  }
+  if (limit >= 0) sql += StrFormat(" LIMIT %lld", static_cast<long long>(limit));
+  return sql;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,189 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/str.h"
+
+namespace dbdesign {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd: return "end of input";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kIntLiteral: return "integer";
+    case TokenType::kDoubleLiteral: return "double";
+    case TokenType::kStringLiteral: return "string";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kJoin: return "JOIN";
+    case TokenType::kInner: return "INNER";
+    case TokenType::kOn: return "ON";
+    case TokenType::kGroup: return "GROUP";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kBy: return "BY";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kLimit: return "LIMIT";
+    case TokenType::kBetween: return "BETWEEN";
+    case TokenType::kAs: return "AS";
+    case TokenType::kCount: return "COUNT";
+    case TokenType::kSum: return "SUM";
+    case TokenType::kAvg: return "AVG";
+    case TokenType::kMin: return "MIN";
+    case TokenType::kMax: return "MAX";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kStar: return "*";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"select", TokenType::kSelect}, {"from", TokenType::kFrom},
+      {"where", TokenType::kWhere},   {"and", TokenType::kAnd},
+      {"join", TokenType::kJoin},     {"inner", TokenType::kInner},
+      {"on", TokenType::kOn},         {"group", TokenType::kGroup},
+      {"order", TokenType::kOrder},   {"by", TokenType::kBy},
+      {"asc", TokenType::kAsc},       {"desc", TokenType::kDesc},
+      {"limit", TokenType::kLimit},   {"between", TokenType::kBetween},
+      {"as", TokenType::kAs},         {"count", TokenType::kCount},
+      {"sum", TokenType::kSum},       {"avg", TokenType::kAvg},
+      {"min", TokenType::kMin},       {"max", TokenType::kMax},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = ToLower(sql.substr(start, i - start));
+      auto it = KeywordMap().find(word);
+      if (it != KeywordMap().end()) {
+        tok.type = it->second;
+      } else {
+        tok.type = TokenType::kIdentifier;
+      }
+      tok.text = word;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])) &&
+                (tokens.empty() ||
+                 (tokens.back().type != TokenType::kIntLiteral &&
+                  tokens.back().type != TokenType::kDoubleLiteral &&
+                  tokens.back().type != TokenType::kIdentifier &&
+                  tokens.back().type != TokenType::kRParen)))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_double = true;
+        ++i;
+      }
+      tok.text = sql.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %d",
+                      tok.position));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = sql.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      switch (c) {
+        case ',': tok.type = TokenType::kComma; ++i; break;
+        case '.': tok.type = TokenType::kDot; ++i; break;
+        case '*': tok.type = TokenType::kStar; ++i; break;
+        case '(': tok.type = TokenType::kLParen; ++i; break;
+        case ')': tok.type = TokenType::kRParen; ++i; break;
+        case '=': tok.type = TokenType::kEq; ++i; break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kGe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kGt;
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            return Status::ParseError(
+                StrFormat("unexpected '!' at offset %d", tok.position));
+          }
+          break;
+        default:
+          return Status::ParseError(
+              StrFormat("unexpected character '%c' at offset %d", c,
+                        tok.position));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,21 @@
+// Hand-written lexer for the SQL subset.
+
+#ifndef DBDESIGN_SQL_LEXER_H_
+#define DBDESIGN_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Tokenizes `sql`; keywords are case-insensitive, identifiers are
+/// lowercased. Returns kParseError on unknown characters or unterminated
+/// string literals.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SQL_LEXER_H_

@@ -1,0 +1,334 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Token-stream cursor with single-token lookahead.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstQuery> Parse() {
+    AstQuery q;
+    Status s = Expect(TokenType::kSelect);
+    if (!s.ok()) return s;
+    s = ParseSelectList(&q);
+    if (!s.ok()) return s;
+    s = Expect(TokenType::kFrom);
+    if (!s.ok()) return s;
+    s = ParseFrom(&q);
+    if (!s.ok()) return s;
+    if (Accept(TokenType::kWhere)) {
+      s = ParseConjunction(&q.where);
+      if (!s.ok()) return s;
+    }
+    if (Accept(TokenType::kGroup)) {
+      s = Expect(TokenType::kBy);
+      if (!s.ok()) return s;
+      do {
+        auto col = ParseColumn();
+        if (!col.ok()) return col.status();
+        q.group_by.push_back(col.value());
+      } while (Accept(TokenType::kComma));
+    }
+    if (Accept(TokenType::kOrder)) {
+      s = Expect(TokenType::kBy);
+      if (!s.ok()) return s;
+      do {
+        AstOrderItem item;
+        auto col = ParseColumn();
+        if (!col.ok()) return col.status();
+        item.column = col.value();
+        if (Accept(TokenType::kDesc)) {
+          item.descending = true;
+        } else {
+          Accept(TokenType::kAsc);
+        }
+        q.order_by.push_back(item);
+      } while (Accept(TokenType::kComma));
+    }
+    if (Accept(TokenType::kLimit)) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Error("expected integer after LIMIT");
+      }
+      q.limit = Peek().int_value;
+      Advance();
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error(StrFormat("unexpected trailing %s",
+                             TokenTypeName(Peek().type)));
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType type) {
+    if (!Accept(type)) {
+      return Status::ParseError(
+          StrFormat("expected %s but found %s at offset %d",
+                    TokenTypeName(type), TokenTypeName(Peek().type),
+                    Peek().position));
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %d", msg.c_str(), Peek().position));
+  }
+
+  static bool IsAggToken(TokenType t) {
+    return t == TokenType::kCount || t == TokenType::kSum ||
+           t == TokenType::kAvg || t == TokenType::kMin ||
+           t == TokenType::kMax;
+  }
+  static AggFn AggFromToken(TokenType t) {
+    switch (t) {
+      case TokenType::kCount: return AggFn::kCount;
+      case TokenType::kSum: return AggFn::kSum;
+      case TokenType::kAvg: return AggFn::kAvg;
+      case TokenType::kMin: return AggFn::kMin;
+      default: return AggFn::kMax;
+    }
+  }
+
+  Result<AstColumn> ParseColumn() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError(
+          StrFormat("expected column name but found %s at offset %d",
+                    TokenTypeName(Peek().type), Peek().position));
+    }
+    AstColumn col;
+    col.name = Peek().text;
+    Advance();
+    if (Peek().type == TokenType::kDot) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::ParseError(
+            StrFormat("expected column name after '.' at offset %d",
+                      Peek().position));
+      }
+      col.qualifier = col.name;
+      col.name = Peek().text;
+      Advance();
+    }
+    return col;
+  }
+
+  Status ParseSelectList(AstQuery* q) {
+    if (Accept(TokenType::kStar)) {
+      q->select_star = true;
+      return Status::OK();
+    }
+    do {
+      AstSelectItem item;
+      if (IsAggToken(Peek().type)) {
+        item.is_aggregate = true;
+        item.agg = AggFromToken(Peek().type);
+        Advance();
+        Status s = Expect(TokenType::kLParen);
+        if (!s.ok()) return s;
+        if (Accept(TokenType::kStar)) {
+          item.agg_star = true;
+        } else {
+          auto col = ParseColumn();
+          if (!col.ok()) return col.status();
+          item.column = col.value();
+        }
+        s = Expect(TokenType::kRParen);
+        if (!s.ok()) return s;
+      } else {
+        auto col = ParseColumn();
+        if (!col.ok()) return col.status();
+        item.column = col.value();
+      }
+      q->select_items.push_back(item);
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseTableRef(AstQuery* q) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected table name");
+    }
+    AstTableRef ref;
+    ref.table = Peek().text;
+    Advance();
+    if (Accept(TokenType::kAs)) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Peek().text;
+      Advance();
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Peek().text;
+      Advance();
+    }
+    q->tables.push_back(ref);
+    return Status::OK();
+  }
+
+  Status ParseFrom(AstQuery* q) {
+    Status s = ParseTableRef(q);
+    if (!s.ok()) return s;
+    while (true) {
+      if (Accept(TokenType::kComma)) {
+        s = ParseTableRef(q);
+        if (!s.ok()) return s;
+      } else if (Peek().type == TokenType::kJoin ||
+                 Peek().type == TokenType::kInner) {
+        Accept(TokenType::kInner);
+        s = Expect(TokenType::kJoin);
+        if (!s.ok()) return s;
+        s = ParseTableRef(q);
+        if (!s.ok()) return s;
+        s = Expect(TokenType::kOn);
+        if (!s.ok()) return s;
+        s = ParseConjunction(&q->where);
+        if (!s.ok()) return s;
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseConjunction(std::vector<AstPredicate>* out) {
+    do {
+      auto pred = ParsePredicate();
+      if (!pred.ok()) return pred.status();
+      out->push_back(pred.value());
+    } while (Accept(TokenType::kAnd));
+    return Status::OK();
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    Value v;
+    switch (t.type) {
+      case TokenType::kIntLiteral:
+        v = Value(t.int_value);
+        break;
+      case TokenType::kDoubleLiteral:
+        v = Value(t.double_value);
+        break;
+      case TokenType::kStringLiteral:
+        v = Value(t.text);
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("expected literal but found %s at offset %d",
+                      TokenTypeName(t.type), t.position));
+    }
+    Advance();
+    return v;
+  }
+
+  Result<AstPredicate> ParsePredicate() {
+    AstPredicate pred;
+    auto left = ParseColumn();
+    if (!left.ok()) return left.status();
+    pred.left = left.value();
+
+    if (Accept(TokenType::kBetween)) {
+      pred.kind = AstPredicate::Kind::kBetween;
+      auto lo = ParseLiteral();
+      if (!lo.ok()) return lo.status();
+      Status s = Expect(TokenType::kAnd);
+      if (!s.ok()) return s;
+      auto hi = ParseLiteral();
+      if (!hi.ok()) return hi.status();
+      pred.value = lo.value();
+      pred.value2 = hi.value();
+      return pred;
+    }
+
+    CompareOp op;
+    switch (Peek().type) {
+      case TokenType::kEq: op = CompareOp::kEq; break;
+      case TokenType::kNe: op = CompareOp::kNe; break;
+      case TokenType::kLt: op = CompareOp::kLt; break;
+      case TokenType::kLe: op = CompareOp::kLe; break;
+      case TokenType::kGt: op = CompareOp::kGt; break;
+      case TokenType::kGe: op = CompareOp::kGe; break;
+      default:
+        return Status::ParseError(
+            StrFormat("expected comparison operator but found %s at offset %d",
+                      TokenTypeName(Peek().type), Peek().position));
+    }
+    Advance();
+    pred.op = op;
+
+    if (Peek().type == TokenType::kIdentifier) {
+      if (op != CompareOp::kEq) {
+        return Status::ParseError(
+            "column-to-column predicates must use '=' (equijoins only)");
+      }
+      pred.kind = AstPredicate::Kind::kColumnEq;
+      auto right = ParseColumn();
+      if (!right.ok()) return right.status();
+      pred.right_column = right.value();
+      return pred;
+    }
+
+    pred.kind = AstPredicate::Kind::kComparison;
+    auto lit = ParseLiteral();
+    if (!lit.ok()) return lit.status();
+    pred.value = lit.value();
+    return pred;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstQuery> ParseQuery(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace dbdesign

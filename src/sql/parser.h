@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset.
+
+#ifndef DBDESIGN_SQL_PARSER_H_
+#define DBDESIGN_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Parses one SELECT statement. See ast.h for the grammar.
+Result<AstQuery> ParseQuery(const std::string& sql);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SQL_PARSER_H_

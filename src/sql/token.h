@@ -1,0 +1,64 @@
+// Token definitions for the SQL subset lexer.
+
+#ifndef DBDESIGN_SQL_TOKEN_H_
+#define DBDESIGN_SQL_TOKEN_H_
+
+#include <string>
+
+namespace dbdesign {
+
+enum class TokenType {
+  kEnd,
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kJoin,
+  kInner,
+  kOn,
+  kGroup,
+  kOrder,
+  kBy,
+  kAsc,
+  kDesc,
+  kLimit,
+  kBetween,
+  kAs,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  // Symbols.
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,     // =
+  kNe,     // <> or !=
+  kLt,     // <
+  kLe,     // <=
+  kGt,     // >
+  kGe,     // >=
+};
+
+/// Returns a printable token-type name for diagnostics.
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      ///< identifier / literal spelling
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int position = 0;      ///< byte offset in the input, for error messages
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SQL_TOKEN_H_

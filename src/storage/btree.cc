@@ -1,0 +1,236 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbdesign {
+
+int CompareKeyPrefix(const IndexKey& a, const IndexKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;  // equal on shared prefix
+}
+
+bool KeyLess(const IndexKey& a, const IndexKey& b) {
+  int c = CompareKeyPrefix(a, b);
+  if (c != 0) return c < 0;
+  return a.size() < b.size();
+}
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  /// Leaf: one key per entry. Internal: separators; keys[i] is the first
+  /// key of children[i + 1]'s subtree.
+  std::vector<IndexKey> keys;
+  std::vector<RowId> rows;                       // leaf only
+  std::vector<std::unique_ptr<Node>> children;   // internal only
+  Node* next = nullptr;                          // leaf chain
+
+  bool Full() const { return static_cast<int>(keys.size()) >= kFanout; }
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<Node>()) {}
+BTreeIndex::~BTreeIndex() = default;
+BTreeIndex::BTreeIndex(BTreeIndex&&) noexcept = default;
+BTreeIndex& BTreeIndex::operator=(BTreeIndex&&) noexcept = default;
+
+void BTreeIndex::BulkLoad(std::vector<std::pair<IndexKey, RowId>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              int c = CompareKeyPrefix(a.first, b.first);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+  num_entries_ = entries.size();
+
+  // Build the leaf level.
+  std::vector<std::unique_ptr<Node>> level;
+  size_t i = 0;
+  while (i < entries.size()) {
+    auto node = std::make_unique<Node>();
+    node->leaf = true;
+    size_t take = std::min<size_t>(kFanout, entries.size() - i);
+    // Avoid a final tiny leaf: steal from this one if the remainder would
+    // be less than half full.
+    size_t remaining = entries.size() - i - take;
+    if (remaining > 0 && remaining < kFanout / 2) {
+      take = (take + remaining) / 2;
+    }
+    node->keys.reserve(take);
+    node->rows.reserve(take);
+    for (size_t k = 0; k < take; ++k, ++i) {
+      node->keys.push_back(std::move(entries[i].first));
+      node->rows.push_back(entries[i].second);
+    }
+    if (!level.empty()) level.back()->next = node.get();
+    level.push_back(std::move(node));
+  }
+  if (level.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+
+  // Build internal levels bottom-up.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    size_t j = 0;
+    while (j < level.size()) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      size_t take = std::min<size_t>(kFanout, level.size() - j);
+      size_t remaining = level.size() - j - take;
+      if (remaining > 0 && remaining < 2) take -= 1;
+      for (size_t k = 0; k < take; ++k, ++j) {
+        if (k > 0) {
+          const Node* child = level[j].get();
+          const Node* first = child;
+          while (!first->leaf) first = first->children.front().get();
+          parent->keys.push_back(first->keys.front());
+        }
+        parent->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+int BTreeIndex::Height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+BTreeIndex::Node* BTreeIndex::LeftmostLeaf() const {
+  Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  return n;
+}
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const IndexKey& key) const {
+  Node* n = root_.get();
+  while (!n->leaf) {
+    // Descend into the leftmost child whose range may contain `key`:
+    // first child whose separator compares >= key on the shared prefix.
+    size_t idx = 0;
+    while (idx < n->keys.size() &&
+           CompareKeyPrefix(n->keys[idx], key) < 0) {
+      ++idx;
+    }
+    n = n->children[idx].get();
+  }
+  return n;
+}
+
+std::vector<RowId> BTreeIndex::RangeScan(const IndexKey& lo,
+                                         bool lo_inclusive,
+                                         const IndexKey& hi,
+                                         bool hi_inclusive) const {
+  std::vector<RowId> out;
+  const Node* leaf = lo.empty() ? LeftmostLeaf() : FindLeaf(lo);
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      const IndexKey& key = leaf->keys[i];
+      if (!lo.empty()) {
+        int c = CompareKeyPrefix(key, lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (!hi.empty()) {
+        int c = CompareKeyPrefix(key, hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return out;
+      }
+      out.push_back(leaf->rows[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<RowId> BTreeIndex::FullScan() const {
+  std::vector<RowId> out;
+  out.reserve(num_entries_);
+  for (const Node* leaf = LeftmostLeaf(); leaf != nullptr;
+       leaf = leaf->next) {
+    out.insert(out.end(), leaf->rows.begin(), leaf->rows.end());
+  }
+  return out;
+}
+
+void BTreeIndex::SplitChild(Node* parent, int child_idx) {
+  Node* child = parent->children[static_cast<size_t>(child_idx)].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->keys.size() / 2;
+
+  right->keys.assign(std::make_move_iterator(child->keys.begin() +
+                                             static_cast<long>(mid)),
+                     std::make_move_iterator(child->keys.end()));
+  child->keys.resize(mid);
+  if (child->leaf) {
+    right->rows.assign(child->rows.begin() + static_cast<long>(mid),
+                       child->rows.end());
+    child->rows.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    parent->keys.insert(parent->keys.begin() + child_idx,
+                        right->keys.front());
+  } else {
+    // Internal split: the middle separator moves up; right node keeps
+    // separators after it and the matching children.
+    IndexKey up = std::move(right->keys.front());
+    right->keys.erase(right->keys.begin());
+    size_t child_mid = mid + 1;
+    right->children.assign(
+        std::make_move_iterator(child->children.begin() +
+                                static_cast<long>(child_mid)),
+        std::make_move_iterator(child->children.end()));
+    child->children.resize(child_mid);
+    parent->keys.insert(parent->keys.begin() + child_idx, std::move(up));
+  }
+  parent->children.insert(parent->children.begin() + child_idx + 1,
+                          std::move(right));
+}
+
+void BTreeIndex::InsertIntoLeaf(Node* leaf, IndexKey key, RowId row) {
+  auto it = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key,
+                             KeyLess);
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.insert(it, std::move(key));
+  leaf->rows.insert(leaf->rows.begin() + static_cast<long>(pos), row);
+}
+
+void BTreeIndex::Insert(IndexKey key, RowId row) {
+  if (root_->Full()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  Node* n = root_.get();
+  while (!n->leaf) {
+    size_t idx = 0;
+    while (idx < n->keys.size() && !KeyLess(key, n->keys[idx])) ++idx;
+    Node* child = n->children[idx].get();
+    if (child->Full()) {
+      SplitChild(n, static_cast<int>(idx));
+      if (!KeyLess(key, n->keys[idx])) {
+        child = n->children[idx + 1].get();
+      } else {
+        child = n->children[idx].get();
+      }
+    }
+    n = child;
+  }
+  InsertIntoLeaf(n, std::move(key), row);
+  ++num_entries_;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,81 @@
+// In-memory B+-tree for materialized secondary indexes.
+//
+// Keys are composite (one Value per index column) compared
+// lexicographically; payloads are RowIds. Supports bulk load, single
+// inserts (used by COLT when materializing online), point/range scans,
+// and prefix scans for partial-key lookups.
+
+#ifndef DBDESIGN_STORAGE_BTREE_H_
+#define DBDESIGN_STORAGE_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/value.h"
+#include "storage/table_data.h"
+
+namespace dbdesign {
+
+/// Composite index key.
+using IndexKey = std::vector<Value>;
+
+/// Lexicographic comparison; a shorter key that is a prefix of a longer
+/// one compares equal on the shared prefix (returns 0), which is what
+/// prefix range scans need.
+int CompareKeyPrefix(const IndexKey& a, const IndexKey& b);
+
+/// Strict total order used for full-key ordering inside nodes
+/// (prefix-equal keys tie-break on length).
+bool KeyLess(const IndexKey& a, const IndexKey& b);
+
+/// B+-tree index. Not thread-safe (the engine is single-threaded).
+class BTreeIndex {
+ public:
+  /// Maximum entries per node; small enough to exercise splits in tests.
+  static constexpr int kFanout = 64;
+
+  BTreeIndex();
+  ~BTreeIndex();
+  BTreeIndex(BTreeIndex&&) noexcept;
+  BTreeIndex& operator=(BTreeIndex&&) noexcept;
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Builds the tree from unsorted entries in O(n log n).
+  void BulkLoad(std::vector<std::pair<IndexKey, RowId>> entries);
+
+  /// Inserts one entry (duplicates allowed).
+  void Insert(IndexKey key, RowId row);
+
+  size_t NumEntries() const { return num_entries_; }
+  int Height() const;
+
+  /// Returns row ids whose keys satisfy
+  ///   lo (inclusive if lo_inclusive) <= key-prefix <= hi (if hi_inclusive),
+  /// where the comparison uses the first |bound| key columns. Passing an
+  /// empty `lo`/`hi` leaves that side unbounded. Results are in key order.
+  std::vector<RowId> RangeScan(const IndexKey& lo, bool lo_inclusive,
+                               const IndexKey& hi, bool hi_inclusive) const;
+
+  /// All row ids in full key order (index-provided interesting order).
+  std::vector<RowId> FullScan() const;
+
+  /// Exact-match lookup on a full or prefix key.
+  std::vector<RowId> Lookup(const IndexKey& key) const {
+    return RangeScan(key, true, key, true);
+  }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  size_t num_entries_ = 0;
+
+  Node* LeftmostLeaf() const;
+  Node* FindLeaf(const IndexKey& key) const;
+  void InsertIntoLeaf(Node* leaf, IndexKey key, RowId row);
+  void SplitChild(Node* parent, int child_idx);
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_STORAGE_BTREE_H_

@@ -1,0 +1,73 @@
+#include "storage/database.h"
+
+namespace dbdesign {
+
+Result<TableId> Database::CreateTable(TableDef def) {
+  int num_cols = def.num_columns();
+  auto id = catalog_.AddTable(std::move(def));
+  if (!id.ok()) return id.status();
+  data_.emplace_back(num_cols);
+  stats_.emplace_back();
+  return id;
+}
+
+void Database::InsertRow(TableId table, Row row) {
+  data_[table].Append(std::move(row));
+}
+
+void Database::AnalyzeTable(TableId table, const AnalyzeOptions& options) {
+  stats_[table] = data_[table].Analyze(options);
+}
+
+void Database::AnalyzeAll(const AnalyzeOptions& options) {
+  for (TableId t = 0; t < catalog_.num_tables(); ++t) {
+    AnalyzeTable(t, options);
+  }
+}
+
+Status Database::CreateIndex(const IndexDef& index) {
+  std::string key = index.Key();
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index " + key);
+  }
+  const TableData& table = data_[index.table];
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  entries.reserve(table.NumRows());
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    IndexKey k;
+    k.reserve(index.columns.size());
+    for (ColumnId c : index.columns) k.push_back(table.row(r)[c]);
+    entries.emplace_back(std::move(k), r);
+  }
+  BTreeIndex tree;
+  tree.BulkLoad(std::move(entries));
+  indexes_.emplace(key, std::make_pair(index, std::move(tree)));
+  return Status::OK();
+}
+
+Status Database::DropIndex(const IndexDef& index) {
+  if (indexes_.erase(index.Key()) == 0) {
+    return Status::NotFound("index " + index.Key());
+  }
+  return Status::OK();
+}
+
+const BTreeIndex* Database::GetIndex(const IndexDef& index) const {
+  auto it = indexes_.find(index.Key());
+  return it == indexes_.end() ? nullptr : &it->second.second;
+}
+
+std::vector<IndexDef> Database::MaterializedIndexes() const {
+  std::vector<IndexDef> out;
+  out.reserve(indexes_.size());
+  for (const auto& [key, entry] : indexes_) out.push_back(entry.first);
+  return out;
+}
+
+PhysicalDesign Database::CurrentDesign() const {
+  PhysicalDesign design;
+  for (const auto& [key, entry] : indexes_) design.AddIndex(entry.first);
+  return design;
+}
+
+}  // namespace dbdesign

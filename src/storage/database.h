@@ -1,0 +1,69 @@
+// Database: the engine facade bundling catalog, row data, statistics and
+// materialized indexes. This is the stand-in for the PostgreSQL instance
+// the paper's tool attaches to.
+
+#ifndef DBDESIGN_STORAGE_DATABASE_H_
+#define DBDESIGN_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/design.h"
+#include "catalog/schema.h"
+#include "storage/btree.h"
+#include "storage/table_data.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates an empty table.
+  Result<TableId> CreateTable(TableDef def);
+
+  /// Appends a row; the caller must match the table's column count/types.
+  void InsertRow(TableId table, Row row);
+
+  const TableData& data(TableId table) const { return data_[table]; }
+  TableData& mutable_data(TableId table) { return data_[table]; }
+
+  /// Recomputes statistics for one table (ANALYZE).
+  void AnalyzeTable(TableId table, const AnalyzeOptions& options = {});
+  /// ANALYZE every table.
+  void AnalyzeAll(const AnalyzeOptions& options = {});
+
+  const TableStats& stats(TableId table) const { return stats_[table]; }
+  const std::vector<TableStats>& all_stats() const { return stats_; }
+
+  /// Physically builds a B-tree for `index`. Fails if already built.
+  Status CreateIndex(const IndexDef& index);
+  /// Drops a materialized index.
+  Status DropIndex(const IndexDef& index);
+  /// Returns the materialized B-tree, or nullptr if not built.
+  const BTreeIndex* GetIndex(const IndexDef& index) const;
+
+  /// All currently materialized indexes.
+  std::vector<IndexDef> MaterializedIndexes() const;
+
+  /// The materialized configuration as a PhysicalDesign.
+  PhysicalDesign CurrentDesign() const;
+
+ private:
+  Catalog catalog_;
+  std::vector<TableData> data_;
+  std::vector<TableStats> stats_;
+  std::map<std::string, std::pair<IndexDef, BTreeIndex>> indexes_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_STORAGE_DATABASE_H_

@@ -1,0 +1,27 @@
+#include "storage/table_data.h"
+
+namespace dbdesign {
+
+std::vector<Value> TableData::ColumnValues(ColumnId col) const {
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+TableStats TableData::Analyze(const AnalyzeOptions& options) const {
+  TableStats stats;
+  stats.row_count = static_cast<double>(rows_.size());
+  stats.columns.reserve(static_cast<size_t>(num_columns_));
+  for (ColumnId c = 0; c < num_columns_; ++c) {
+    std::vector<Value> values = ColumnValues(c);
+    if (values.empty()) {
+      stats.columns.emplace_back();
+    } else {
+      stats.columns.push_back(BuildColumnStats(values, options));
+    }
+  }
+  return stats;
+}
+
+}  // namespace dbdesign

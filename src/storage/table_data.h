@@ -1,0 +1,51 @@
+// In-memory row store backing one table, plus ANALYZE.
+
+#ifndef DBDESIGN_STORAGE_TABLE_DATA_H_
+#define DBDESIGN_STORAGE_TABLE_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "catalog/value.h"
+
+namespace dbdesign {
+
+/// One tuple.
+using Row = std::vector<Value>;
+
+/// Physical row identifier within a table (insertion order).
+using RowId = uint32_t;
+
+/// Append-only in-memory heap for one table.
+class TableData {
+ public:
+  TableData() = default;
+  explicit TableData(int num_columns) : num_columns_(num_columns) {}
+
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
+  void Append(Row row) {
+    rows_.push_back(std::move(row));
+  }
+
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(RowId id) const { return rows_[id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int num_columns() const { return num_columns_; }
+
+  /// Copies out one column in physical row order (ANALYZE input).
+  std::vector<Value> ColumnValues(ColumnId col) const;
+
+  /// Computes full table statistics.
+  TableStats Analyze(const AnalyzeOptions& options = {}) const;
+
+ private:
+  int num_columns_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_STORAGE_TABLE_DATA_H_

@@ -1,0 +1,94 @@
+// Compact bitset over at most 64 elements.
+//
+// Used for relation sets in System-R dynamic-programming join enumeration
+// and for index subsets in degree-of-interaction sampling.
+
+#ifndef DBDESIGN_UTIL_BITSET64_H_
+#define DBDESIGN_UTIL_BITSET64_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace dbdesign {
+
+/// Value-type set of small integers in [0, 64).
+class Bitset64 {
+ public:
+  constexpr Bitset64() : bits_(0) {}
+  constexpr explicit Bitset64(uint64_t bits) : bits_(bits) {}
+
+  /// Singleton set {i}.
+  static constexpr Bitset64 Single(int i) {
+    return Bitset64(uint64_t{1} << i);
+  }
+
+  /// Full set {0, ..., n-1}.
+  static constexpr Bitset64 FullSet(int n) {
+    return n >= 64 ? Bitset64(~uint64_t{0})
+                   : Bitset64((uint64_t{1} << n) - 1);
+  }
+
+  constexpr bool Test(int i) const { return (bits_ >> i) & 1; }
+  constexpr void Set(int i) { bits_ |= uint64_t{1} << i; }
+  constexpr void Reset(int i) { bits_ &= ~(uint64_t{1} << i); }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+  constexpr uint64_t raw() const { return bits_; }
+
+  /// Index of the lowest set bit. Requires a non-empty set.
+  constexpr int Lowest() const {
+    assert(bits_ != 0);
+    return std::countr_zero(bits_);
+  }
+
+  constexpr bool Contains(Bitset64 other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Intersects(Bitset64 other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  constexpr Bitset64 operator|(Bitset64 o) const {
+    return Bitset64(bits_ | o.bits_);
+  }
+  constexpr Bitset64 operator&(Bitset64 o) const {
+    return Bitset64(bits_ & o.bits_);
+  }
+  constexpr Bitset64 operator-(Bitset64 o) const {
+    return Bitset64(bits_ & ~o.bits_);
+  }
+  constexpr bool operator==(const Bitset64&) const = default;
+
+  /// Iterates set bits: for (int i : set.Elements()) ...
+  class Iterator {
+   public:
+    explicit constexpr Iterator(uint64_t bits) : bits_(bits) {}
+    constexpr int operator*() const { return std::countr_zero(bits_); }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& o) const {
+      return bits_ != o.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+
+  struct ElementRange {
+    uint64_t bits;
+    constexpr Iterator begin() const { return Iterator(bits); }
+    constexpr Iterator end() const { return Iterator(0); }
+  };
+
+  constexpr ElementRange Elements() const { return ElementRange{bits_}; }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_BITSET64_H_

@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// The designer components report progress (solver nodes explored, COLT
+// epoch summaries, cache statistics) through this logger; benchmarks and
+// tests silence it by raising the level.
+
+#ifndef DBDESIGN_UTIL_LOGGING_H_
+#define DBDESIGN_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace dbdesign {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `msg` to stderr if `level` >= the process-wide level.
+void LogMessage(LogLevel level, const std::string& msg);
+
+#define DBD_LOG_DEBUG(msg) \
+  ::dbdesign::LogMessage(::dbdesign::LogLevel::kDebug, (msg))
+#define DBD_LOG_INFO(msg) \
+  ::dbdesign::LogMessage(::dbdesign::LogLevel::kInfo, (msg))
+#define DBD_LOG_WARN(msg) \
+  ::dbdesign::LogMessage(::dbdesign::LogLevel::kWarning, (msg))
+#define DBD_LOG_ERROR(msg) \
+  ::dbdesign::LogMessage(::dbdesign::LogLevel::kError, (msg))
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_LOGGING_H_

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace dbdesign {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Reseed(uint64_t seed) {
+  uint64_t s = seed;
+  state_ = SplitMix64(s);
+  if (state_ == 0) state_ = 0x2545f4914f6cdd1dULL;
+  zipf_n_ = -1;
+  zipf_s_ = -1.0;
+}
+
+uint64_t Rng::Next() {
+  // xorshift64*.
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; draws two uniforms per sample (cache intentionally omitted
+  // to keep generator state a single word).
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+namespace {
+
+double ZipfH(double x, double s) {
+  // Integral of 1/x^s: H(x) = (x^(1-s) - 1) / (1 - s) for s != 1, ln(x) else.
+  if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double ZipfHInv(double u, double s) {
+  if (std::abs(s - 1.0) < 1e-12) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+}  // namespace
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  if (s <= 1e-9) return UniformInt(0, n - 1);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_h_x1_ = ZipfH(1.5, s) - 1.0;
+    zipf_hn_ = ZipfH(static_cast<double>(n) + 0.5, s);
+    zipf_dennom_ = zipf_hn_ - zipf_h_x1_;
+  }
+  // Rejection-inversion (Hormann-Derflinger).
+  for (int iter = 0; iter < 256; ++iter) {
+    double u = zipf_h_x1_ + UniformDouble() * zipf_dennom_;
+    double x = ZipfHInv(u, s);
+    int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double hk = ZipfH(static_cast<double>(k) + 0.5, s) -
+                ZipfH(static_cast<double>(k) - 0.5, s);
+    if (UniformDouble() * std::pow(static_cast<double>(k), -s) <= hk ||
+        k == 1) {
+      return k - 1;  // 0-based rank
+    }
+  }
+  return 0;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected time, O(k) space.
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int j = n - k; j < n; ++j) {
+    int t = static_cast<int>(UniformInt(0, j));
+    bool seen = false;
+    for (int v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+}  // namespace dbdesign

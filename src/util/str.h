@@ -1,0 +1,40 @@
+// Small string formatting helpers shared across modules.
+
+#ifndef DBDESIGN_UTIL_STR_H_
+#define DBDESIGN_UTIL_STR_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace dbdesign {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(const std::string& s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// Renders a double with `digits` significant decimals, trimming zeros.
+std::string FormatDouble(double v, int digits = 2);
+
+/// Renders a byte count as "12.3 MB" style human-readable text.
+std::string FormatBytes(double bytes);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_STR_H_

@@ -1,0 +1,93 @@
+#include "whatif/whatif.h"
+
+namespace dbdesign {
+
+WhatIfOptimizer::WhatIfOptimizer(const Database& db, CostParams params)
+    : db_(&db),
+      params_(params),
+      optimizer_(db.catalog(), db.all_stats(), params),
+      design_(db.CurrentDesign()) {}
+
+Status WhatIfOptimizer::CreateHypotheticalIndex(const IndexDef& index) {
+  if (index.table < 0 || index.table >= db_->catalog().num_tables()) {
+    return Status::InvalidArgument("bad table id in index definition");
+  }
+  const TableDef& def = db_->catalog().table(index.table);
+  if (index.columns.empty()) {
+    return Status::InvalidArgument("index must have at least one column");
+  }
+  for (ColumnId c : index.columns) {
+    if (c < 0 || c >= def.num_columns()) {
+      return Status::InvalidArgument("bad column id in index definition");
+    }
+  }
+  if (!design_.AddIndex(index)) {
+    return Status::AlreadyExists("hypothetical index " + index.Key());
+  }
+  return Status::OK();
+}
+
+Status WhatIfOptimizer::DropHypotheticalIndex(const IndexDef& index) {
+  if (!design_.RemoveIndex(index)) {
+    return Status::NotFound("hypothetical index " + index.Key());
+  }
+  return Status::OK();
+}
+
+IndexSizeEstimate WhatIfOptimizer::HypotheticalIndexSize(
+    const IndexDef& index) const {
+  return EstimateIndexSize(index, db_->catalog().table(index.table),
+                           db_->stats(index.table));
+}
+
+void WhatIfOptimizer::SetHypotheticalVerticalPartitioning(
+    VerticalPartitioning p) {
+  design_.SetVerticalPartitioning(std::move(p));
+}
+
+void WhatIfOptimizer::ClearHypotheticalVerticalPartitioning(TableId table) {
+  design_.ClearVerticalPartitioning(table);
+}
+
+void WhatIfOptimizer::SetHypotheticalHorizontalPartitioning(
+    HorizontalPartitioning p) {
+  design_.SetHorizontalPartitioning(std::move(p));
+}
+
+void WhatIfOptimizer::ClearHypotheticalHorizontalPartitioning(TableId table) {
+  design_.ClearHorizontalPartitioning(table);
+}
+
+void WhatIfOptimizer::ResetHypothetical() {
+  design_ = db_->CurrentDesign();
+}
+
+double WhatIfOptimizer::Cost(const BoundQuery& query) const {
+  return CostUnder(query, design_);
+}
+
+double WhatIfOptimizer::CostUnder(const BoundQuery& query,
+                                  const PhysicalDesign& design) const {
+  return PlanUnder(query, design).cost;
+}
+
+PlanResult WhatIfOptimizer::Plan(const BoundQuery& query) const {
+  return PlanUnder(query, design_);
+}
+
+PlanResult WhatIfOptimizer::PlanUnder(const BoundQuery& query,
+                                      const PhysicalDesign& design) const {
+  optimizer_.set_knobs(knobs_);
+  return optimizer_.Optimize(query, design);
+}
+
+double WhatIfOptimizer::WorkloadCostUnder(const Workload& workload,
+                                          const PhysicalDesign& design) const {
+  double total = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    total += workload.WeightOf(i) * CostUnder(workload.queries[i], design);
+  }
+  return total;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,85 @@
+// What-if component (paper §3.1).
+//
+// Lets callers simulate the benefit of physical structures without
+// building them. Three sub-components, as in the paper:
+//   (a) what-if indexes  — hypothetical IndexDefs overlaid on the
+//       materialized design (with honest, non-zero size estimates),
+//   (b) what-if tables   — hypothetical vertical/horizontal partitions,
+//   (c) what-if joins    — PlannerKnobs controlling join methods.
+//
+// The component owns a hypothetical PhysicalDesign overlay; Cost()
+// optimizes queries as if the overlay were materialized.
+
+#ifndef DBDESIGN_WHATIF_WHATIF_H_
+#define DBDESIGN_WHATIF_WHATIF_H_
+
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "storage/database.h"
+
+namespace dbdesign {
+
+class WhatIfOptimizer {
+ public:
+  explicit WhatIfOptimizer(const Database& db, CostParams params = {});
+
+  // --- (a) What-if index sub-component ---
+  /// Adds a hypothetical index. Fails if it already exists in the overlay.
+  Status CreateHypotheticalIndex(const IndexDef& index);
+  Status DropHypotheticalIndex(const IndexDef& index);
+  /// Size the hypothetical index would occupy (pages). Never zero — the
+  /// paper notes zero-size what-if indexes "severely affect" accuracy.
+  IndexSizeEstimate HypotheticalIndexSize(const IndexDef& index) const;
+
+  // --- (b) What-if table (partition) sub-component ---
+  void SetHypotheticalVerticalPartitioning(VerticalPartitioning p);
+  void ClearHypotheticalVerticalPartitioning(TableId table);
+  void SetHypotheticalHorizontalPartitioning(HorizontalPartitioning p);
+  void ClearHypotheticalHorizontalPartitioning(TableId table);
+
+  /// Resets the overlay to the database's materialized design.
+  void ResetHypothetical();
+
+  /// The current overlay design (materialized + hypothetical).
+  const PhysicalDesign& hypothetical_design() const { return design_; }
+
+  // --- (c) What-if join sub-component ---
+  PlannerKnobs& knobs() { return knobs_; }
+  const PlannerKnobs& knobs() const { return knobs_; }
+
+  // --- Costing ---
+  /// Optimizer cost of `query` under the overlay design.
+  double Cost(const BoundQuery& query) const;
+  /// Cost under an explicit design (ignores the overlay).
+  double CostUnder(const BoundQuery& query,
+                   const PhysicalDesign& design) const;
+  /// Full plan under the overlay design.
+  PlanResult Plan(const BoundQuery& query) const;
+  PlanResult PlanUnder(const BoundQuery& query,
+                       const PhysicalDesign& design) const;
+  /// Weighted workload cost under an explicit design.
+  double WorkloadCostUnder(const Workload& workload,
+                           const PhysicalDesign& design) const;
+  double WorkloadCost(const Workload& workload) const {
+    return WorkloadCostUnder(workload, design_);
+  }
+
+  const Database& db() const { return *db_; }
+  const CostParams& params() const { return params_; }
+
+  /// Number of (expensive) optimizer invocations so far.
+  uint64_t num_optimizer_calls() const { return optimizer_.num_calls(); }
+  void ResetCallCount() { optimizer_.ResetCallCount(); }
+
+ private:
+  const Database* db_;
+  CostParams params_;
+  PlannerKnobs knobs_;
+  mutable Optimizer optimizer_;
+  PhysicalDesign design_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_WHATIF_WHATIF_H_

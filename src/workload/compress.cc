@@ -1,0 +1,70 @@
+#include "workload/compress.h"
+
+#include <unordered_map>
+
+namespace dbdesign {
+
+uint64_t TemplateSignature(const BoundQuery& query) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  };
+  auto col = [&](uint64_t h, const BoundColumn& c) {
+    return mix(mix(h, static_cast<uint64_t>(c.slot) + 1),
+               static_cast<uint64_t>(c.column) + 3);
+  };
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (TableId t : query.tables) h = mix(h, static_cast<uint64_t>(t) + 11);
+  for (const BoundColumn& c : query.select_columns) h = col(mix(h, 1), c);
+  for (const BoundAggregate& a : query.aggregates) {
+    h = mix(h, static_cast<uint64_t>(a.fn) + 100);
+    h = a.star ? mix(h, 2) : col(h, a.column);
+  }
+  for (const BoundPredicate& p : query.filters) {
+    h = col(mix(h, 3), p.column);
+    // Operator *class* only: all range shapes fuse, so `ra > x` and
+    // `ra BETWEEN x AND y` instantiations of one template collide.
+    uint64_t op_class;
+    if (p.IsEquality()) {
+      op_class = 0;
+    } else if (p.IsRange()) {
+      op_class = 1;
+    } else {
+      op_class = 2;  // <>
+    }
+    h = mix(h, op_class + 200);
+    // Constants intentionally excluded.
+  }
+  for (const BoundJoin& j : query.joins) h = col(col(mix(h, 4), j.left), j.right);
+  for (const BoundColumn& c : query.group_by) h = col(mix(h, 5), c);
+  for (const BoundOrderItem& o : query.order_by) {
+    h = col(mix(h, o.descending ? 7 : 6), o.column);
+  }
+  h = mix(h, query.limit >= 0 ? 1 : 0);
+  return h;
+}
+
+Workload CompressWorkload(const Workload& workload,
+                          CompressionReport* report) {
+  Workload out;
+  std::unordered_map<uint64_t, size_t> representative;  // sig -> out index
+  for (size_t i = 0; i < workload.size(); ++i) {
+    uint64_t sig = TemplateSignature(workload.queries[i]);
+    auto it = representative.find(sig);
+    if (it == representative.end()) {
+      representative.emplace(sig, out.size());
+      out.Add(workload.queries[i], workload.WeightOf(i));
+    } else {
+      out.weights[it->second] += workload.WeightOf(i);
+    }
+  }
+  if (report != nullptr) {
+    report->original_queries = workload.size();
+    report->compressed_queries = out.size();
+  }
+  return out;
+}
+
+}  // namespace dbdesign

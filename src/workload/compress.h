@@ -1,0 +1,46 @@
+// Workload compression: collapse structurally identical queries
+// (same tables, predicate columns/operators, joins, grouping, ordering —
+// different constants) into one representative with a summed weight.
+//
+// Physical-design advisors scale with workload size; production traces
+// repeat a few templates thousands of times. Compression preserves the
+// advisor's objective almost exactly — leaf costs vary only mildly with
+// the constants — while cutting CoPhy/AutoPart input by orders of
+// magnitude. (Standard advisor practice, e.g. Chaudhuri et al.'s
+// workload compression; the demo's SDSS trace is template-generated and
+// compresses extremely well.)
+
+#ifndef DBDESIGN_WORKLOAD_COMPRESS_H_
+#define DBDESIGN_WORKLOAD_COMPRESS_H_
+
+#include <cstdint>
+
+#include "sql/bound_query.h"
+
+namespace dbdesign {
+
+/// Template signature: hashes everything about the query *except* the
+/// literal constants (and the workload id). Queries from the same
+/// template instantiation family collide by construction.
+uint64_t TemplateSignature(const BoundQuery& query);
+
+struct CompressionReport {
+  size_t original_queries = 0;
+  size_t compressed_queries = 0;
+  double ratio() const {
+    return original_queries > 0
+               ? static_cast<double>(compressed_queries) /
+                     static_cast<double>(original_queries)
+               : 1.0;
+  }
+};
+
+/// Compresses `workload` by template signature. The first query of each
+/// class becomes the representative; its weight is the sum of the
+/// class's weights. Total weight is preserved exactly.
+Workload CompressWorkload(const Workload& workload,
+                          CompressionReport* report = nullptr);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_WORKLOAD_COMPRESS_H_

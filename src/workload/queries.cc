@@ -1,0 +1,222 @@
+#include "workload/queries.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "sql/binder.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+const char* SdssTemplateName(SdssTemplate t) {
+  switch (t) {
+    case SdssTemplate::kConeSearch: return "cone_search";
+    case SdssTemplate::kColorCut: return "color_cut";
+    case SdssTemplate::kRunFieldScan: return "run_field_scan";
+    case SdssTemplate::kSpecJoin: return "spec_join";
+    case SdssTemplate::kNeighborJoin: return "neighbor_join";
+    case SdssTemplate::kRunAggregate: return "run_aggregate";
+    case SdssTemplate::kClassAggregate: return "class_aggregate";
+    case SdssTemplate::kThreeWayJoin: return "three_way_join";
+    case SdssTemplate::kFieldQuality: return "field_quality";
+    case SdssTemplate::kPointLookup: return "point_lookup";
+    case SdssTemplate::kTemplateCount: break;
+  }
+  return "?";
+}
+
+std::string GenerateSdssSql(SdssTemplate t, Rng& rng) {
+  switch (t) {
+    case SdssTemplate::kConeSearch: {
+      double ra = rng.UniformDouble(0.0, 350.0);
+      double w = rng.UniformDouble(0.5, 6.0);
+      double dec = rng.UniformDouble(-40.0, 35.0);
+      double h = rng.UniformDouble(0.5, 5.0);
+      return StrFormat(
+          "SELECT objid, ra, dec, psfmag_r FROM photoobj "
+          "WHERE ra BETWEEN %.3f AND %.3f AND dec BETWEEN %.3f AND %.3f",
+          ra, ra + w, dec, dec + h);
+    }
+    case SdssTemplate::kColorCut: {
+      double g = rng.UniformDouble(17.0, 21.0);
+      double r = rng.UniformDouble(16.5, 20.5);
+      int64_t type = rng.Bernoulli(0.7) ? 3 : 6;
+      return StrFormat(
+          "SELECT objid, psfmag_g, psfmag_r FROM photoobj "
+          "WHERE psfmag_g BETWEEN %.2f AND %.2f "
+          "AND psfmag_r BETWEEN %.2f AND %.2f AND type = %lld",
+          g, g + rng.UniformDouble(0.2, 1.0), r,
+          r + rng.UniformDouble(0.2, 1.0), static_cast<long long>(type));
+    }
+    case SdssTemplate::kRunFieldScan: {
+      int64_t run = 94 + 31 * rng.UniformInt(0, 12);
+      int64_t camcol = rng.UniformInt(1, 6);
+      int64_t f1 = rng.UniformInt(11, 60);
+      return StrFormat(
+          "SELECT objid, field, rowc, colc FROM photoobj "
+          "WHERE run = %lld AND camcol = %lld AND field BETWEEN %lld AND %lld",
+          static_cast<long long>(run), static_cast<long long>(camcol),
+          static_cast<long long>(f1), static_cast<long long>(f1 + 8));
+    }
+    case SdssTemplate::kSpecJoin: {
+      double z = rng.UniformDouble(0.02, 0.6);
+      return StrFormat(
+          "SELECT p.objid, p.ra, p.dec, s.z FROM photoobj p "
+          "JOIN specobj s ON p.objid = s.bestobjid "
+          "WHERE s.z BETWEEN %.3f AND %.3f AND p.type = 3",
+          z, z + rng.UniformDouble(0.02, 0.15));
+    }
+    case SdssTemplate::kNeighborJoin: {
+      double ra = rng.UniformDouble(0.0, 340.0);
+      double d = rng.UniformDouble(0.005, 0.03);
+      return StrFormat(
+          "SELECT p.objid, n.neighborobjid, n.distance FROM photoobj p "
+          "JOIN neighbors n ON p.objid = n.objid "
+          "WHERE p.ra BETWEEN %.3f AND %.3f AND n.distance < %.4f",
+          ra, ra + rng.UniformDouble(2.0, 15.0), d);
+    }
+    case SdssTemplate::kRunAggregate: {
+      double dec = rng.UniformDouble(-35.0, 25.0);
+      return StrFormat(
+          "SELECT run, COUNT(*) FROM photoobj "
+          "WHERE dec BETWEEN %.3f AND %.3f GROUP BY run ORDER BY run",
+          dec, dec + rng.UniformDouble(3.0, 12.0));
+    }
+    case SdssTemplate::kClassAggregate: {
+      double sn = rng.UniformDouble(2.0, 14.0);
+      return StrFormat(
+          "SELECT class, COUNT(*), AVG(z) FROM specobj "
+          "WHERE sn_median > %.2f GROUP BY class",
+          sn);
+    }
+    case SdssTemplate::kThreeWayJoin: {
+      double z = rng.UniformDouble(0.05, 1.2);
+      int64_t q = rng.UniformInt(2, 4);
+      return StrFormat(
+          "SELECT p.objid, s.z, pl.mjd FROM photoobj p "
+          "JOIN specobj s ON p.objid = s.bestobjid "
+          "JOIN plate pl ON s.plate = pl.plate "
+          "WHERE s.z > %.3f AND pl.quality >= %lld AND p.clean = 1",
+          z, static_cast<long long>(q));
+    }
+    case SdssTemplate::kFieldQuality: {
+      int64_t mjd = 51000 + rng.UniformInt(0, 500);
+      return StrFormat(
+          "SELECT run, field, quality FROM field "
+          "WHERE quality >= %lld AND mjd BETWEEN %lld AND %lld "
+          "ORDER BY mjd",
+          static_cast<long long>(rng.UniformInt(2, 3)),
+          static_cast<long long>(mjd), static_cast<long long>(mjd + 150));
+    }
+    case SdssTemplate::kPointLookup: {
+      // objid values are i*16+1; draw one that exists with high odds.
+      int64_t objid = rng.UniformInt(0, 19999) * 16 + 1;
+      return StrFormat(
+          "SELECT objid, ra, dec, type, psfmag_r FROM photoobj "
+          "WHERE objid = %lld",
+          static_cast<long long>(objid));
+    }
+    case SdssTemplate::kTemplateCount:
+      break;
+  }
+  assert(false && "invalid template");
+  return "";
+}
+
+BoundQuery GenerateSdssQuery(const Database& db, SdssTemplate t, Rng& rng) {
+  std::string sql = GenerateSdssSql(t, rng);
+  auto bound = ParseAndBind(db.catalog(), sql);
+  assert(bound.ok() && "generated SQL must bind");
+  return std::move(bound).value();
+}
+
+TemplateMix TemplateMix::Uniform() {
+  TemplateMix mix;
+  for (double& w : mix.weights) w = 1.0;
+  return mix;
+}
+
+TemplateMix TemplateMix::OfflineDefault() {
+  TemplateMix mix;
+  mix.weights[static_cast<int>(SdssTemplate::kConeSearch)] = 3.0;
+  mix.weights[static_cast<int>(SdssTemplate::kColorCut)] = 2.0;
+  mix.weights[static_cast<int>(SdssTemplate::kRunFieldScan)] = 2.0;
+  mix.weights[static_cast<int>(SdssTemplate::kSpecJoin)] = 2.0;
+  mix.weights[static_cast<int>(SdssTemplate::kNeighborJoin)] = 1.0;
+  mix.weights[static_cast<int>(SdssTemplate::kRunAggregate)] = 1.0;
+  mix.weights[static_cast<int>(SdssTemplate::kClassAggregate)] = 1.0;
+  mix.weights[static_cast<int>(SdssTemplate::kThreeWayJoin)] = 1.0;
+  mix.weights[static_cast<int>(SdssTemplate::kFieldQuality)] = 1.0;
+  mix.weights[static_cast<int>(SdssTemplate::kPointLookup)] = 1.0;
+  return mix;
+}
+
+TemplateMix TemplateMix::PhaseSelections() {
+  TemplateMix mix;
+  mix.weights[static_cast<int>(SdssTemplate::kConeSearch)] = 5.0;
+  mix.weights[static_cast<int>(SdssTemplate::kColorCut)] = 3.0;
+  mix.weights[static_cast<int>(SdssTemplate::kPointLookup)] = 2.0;
+  return mix;
+}
+
+TemplateMix TemplateMix::PhaseJoins() {
+  TemplateMix mix;
+  mix.weights[static_cast<int>(SdssTemplate::kSpecJoin)] = 4.0;
+  mix.weights[static_cast<int>(SdssTemplate::kNeighborJoin)] = 3.0;
+  mix.weights[static_cast<int>(SdssTemplate::kThreeWayJoin)] = 2.0;
+  return mix;
+}
+
+TemplateMix TemplateMix::PhaseAggregates() {
+  TemplateMix mix;
+  mix.weights[static_cast<int>(SdssTemplate::kRunAggregate)] = 4.0;
+  mix.weights[static_cast<int>(SdssTemplate::kClassAggregate)] = 3.0;
+  mix.weights[static_cast<int>(SdssTemplate::kFieldQuality)] = 2.0;
+  mix.weights[static_cast<int>(SdssTemplate::kRunFieldScan)] = 1.0;
+  return mix;
+}
+
+namespace {
+
+SdssTemplate DrawTemplate(const TemplateMix& mix, Rng& rng) {
+  double total = 0.0;
+  for (double w : mix.weights) total += w;
+  double x = rng.UniformDouble(0.0, total);
+  for (int i = 0; i < kNumSdssTemplates; ++i) {
+    x -= mix.weights[i];
+    if (x <= 0.0) return static_cast<SdssTemplate>(i);
+  }
+  return SdssTemplate::kConeSearch;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const Database& db, const TemplateMix& mix, int n,
+                          uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  for (int i = 0; i < n; ++i) {
+    SdssTemplate t = DrawTemplate(mix, rng);
+    w.Add(GenerateSdssQuery(db, t, rng));
+  }
+  return w;
+}
+
+std::vector<BoundQuery> GenerateDriftingStream(
+    const Database& db, const std::vector<TemplateMix>& phases,
+    int queries_per_phase, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BoundQuery> stream;
+  int id = 0;
+  for (const TemplateMix& mix : phases) {
+    for (int i = 0; i < queries_per_phase; ++i) {
+      SdssTemplate t = DrawTemplate(mix, rng);
+      BoundQuery q = GenerateSdssQuery(db, t, rng);
+      q.id = id++;
+      stream.push_back(std::move(q));
+    }
+  }
+  return stream;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,70 @@
+// SDSS-style query template families and workload generation.
+//
+// Ten template families cover the demo's workload space: selective
+// region scans, color cuts, catalog joins, aggregations and point
+// lookups. Each instantiation draws parameters from the generator's RNG
+// so repeated queries hit different regions with controlled selectivity.
+
+#ifndef DBDESIGN_WORKLOAD_QUERIES_H_
+#define DBDESIGN_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/bound_query.h"
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace dbdesign {
+
+enum class SdssTemplate {
+  kConeSearch = 0,     ///< ra/dec window on photoobj
+  kColorCut,           ///< magnitude band cuts + type
+  kRunFieldScan,       ///< run/camcol/field navigation
+  kSpecJoin,           ///< photoobj x specobj by objid, redshift window
+  kNeighborJoin,       ///< photoobj x neighbors, distance cut
+  kRunAggregate,       ///< count per run in a dec band
+  kClassAggregate,     ///< specobj class histogram
+  kThreeWayJoin,       ///< photoobj x specobj x plate
+  kFieldQuality,       ///< field table range scan + order
+  kPointLookup,        ///< objid point query
+  kTemplateCount,
+};
+
+constexpr int kNumSdssTemplates = static_cast<int>(SdssTemplate::kTemplateCount);
+
+/// Returns a short name ("cone_search", ...) for reports.
+const char* SdssTemplateName(SdssTemplate t);
+
+/// Generates one random instantiation of `t` as SQL text.
+std::string GenerateSdssSql(SdssTemplate t, Rng& rng);
+
+/// Parses + binds one instantiation against `db`.
+BoundQuery GenerateSdssQuery(const Database& db, SdssTemplate t, Rng& rng);
+
+/// Template mix: weight per template (unnormalized).
+struct TemplateMix {
+  double weights[kNumSdssTemplates] = {0};
+
+  static TemplateMix Uniform();
+  /// The paper's offline tuning mix: selection + join heavy.
+  static TemplateMix OfflineDefault();
+  /// Phase mixes for the online (COLT) scenario.
+  static TemplateMix PhaseSelections();  ///< cone searches + color cuts
+  static TemplateMix PhaseJoins();       ///< spec/neighbor joins
+  static TemplateMix PhaseAggregates();  ///< aggregates + field scans
+};
+
+/// Draws `n` queries from the mix.
+Workload GenerateWorkload(const Database& db, const TemplateMix& mix, int n,
+                          uint64_t seed);
+
+/// A drifting stream for the online scenario: each phase draws
+/// `queries_per_phase` queries from its mix.
+std::vector<BoundQuery> GenerateDriftingStream(
+    const Database& db, const std::vector<TemplateMix>& phases,
+    int queries_per_phase, uint64_t seed);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_WORKLOAD_QUERIES_H_

@@ -1,0 +1,277 @@
+#include "workload/sdss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dbdesign {
+
+namespace {
+
+TableDef PhotoObjDef() {
+  return TableDef(
+      kPhotoObj,
+      {
+          {"objid", DataType::kInt64, 8},
+          {"ra", DataType::kDouble, 8},
+          {"dec", DataType::kDouble, 8},
+          {"run", DataType::kInt64, 8},
+          {"rerun", DataType::kInt64, 8},
+          {"camcol", DataType::kInt64, 8},
+          {"field", DataType::kInt64, 8},
+          {"obj", DataType::kInt64, 8},
+          {"type", DataType::kInt64, 8},
+          {"flags", DataType::kInt64, 8},
+          {"psfmag_u", DataType::kDouble, 8},
+          {"psfmag_g", DataType::kDouble, 8},
+          {"psfmag_r", DataType::kDouble, 8},
+          {"psfmag_i", DataType::kDouble, 8},
+          {"psfmag_z", DataType::kDouble, 8},
+          {"petror50_r", DataType::kDouble, 8},
+          {"extinction_r", DataType::kDouble, 8},
+          {"rowc", DataType::kDouble, 8},
+          {"colc", DataType::kDouble, 8},
+          {"mode", DataType::kInt64, 8},
+          {"clean", DataType::kInt64, 8},
+          {"score", DataType::kDouble, 8},
+          {"mjd", DataType::kInt64, 8},
+          {"nchild", DataType::kInt64, 8},
+          {"parentid", DataType::kInt64, 8},
+      });
+}
+
+TableDef SpecObjDef() {
+  return TableDef(
+      kSpecObj,
+      {
+          {"specobjid", DataType::kInt64, 8},
+          {"bestobjid", DataType::kInt64, 8},
+          {"plate", DataType::kInt64, 8},
+          {"mjd", DataType::kInt64, 8},
+          {"fiberid", DataType::kInt64, 8},
+          {"class", DataType::kInt64, 8},
+          {"z", DataType::kDouble, 8},
+          {"zerr", DataType::kDouble, 8},
+          {"zwarning", DataType::kInt64, 8},
+          {"sn_median", DataType::kDouble, 8},
+          {"veldisp", DataType::kDouble, 8},
+          {"veldisperr", DataType::kDouble, 8},
+      });
+}
+
+TableDef NeighborsDef() {
+  return TableDef(kNeighbors,
+                  {
+                      {"objid", DataType::kInt64, 8},
+                      {"neighborobjid", DataType::kInt64, 8},
+                      {"distance", DataType::kDouble, 8},
+                      {"neighbortype", DataType::kInt64, 8},
+                      {"mode", DataType::kInt64, 8},
+                  });
+}
+
+TableDef FieldDef() {
+  return TableDef(kField,
+                  {
+                      {"fieldid", DataType::kInt64, 8},
+                      {"run", DataType::kInt64, 8},
+                      {"camcol", DataType::kInt64, 8},
+                      {"field", DataType::kInt64, 8},
+                      {"ra", DataType::kDouble, 8},
+                      {"dec", DataType::kDouble, 8},
+                      {"mjd", DataType::kInt64, 8},
+                      {"quality", DataType::kInt64, 8},
+                      {"nobjects", DataType::kInt64, 8},
+                      {"sky", DataType::kDouble, 8},
+                  });
+}
+
+TableDef PlateDef() {
+  return TableDef(kPlate,
+                  {
+                      {"plateid", DataType::kInt64, 8},
+                      {"plate", DataType::kInt64, 8},
+                      {"mjd", DataType::kInt64, 8},
+                      {"ra", DataType::kDouble, 8},
+                      {"dec", DataType::kDouble, 8},
+                      {"quality", DataType::kInt64, 8},
+                      {"nspec", DataType::kInt64, 8},
+                      {"sn1", DataType::kDouble, 8},
+                  });
+}
+
+}  // namespace
+
+Database BuildSdssDatabase(const SdssConfig& config) {
+  Database db;
+  Rng rng(config.seed);
+
+  TableId photoobj = db.CreateTable(PhotoObjDef()).value();
+  TableId specobj = db.CreateTable(SpecObjDef()).value();
+  TableId neighbors = db.CreateTable(NeighborsDef()).value();
+  TableId field = db.CreateTable(FieldDef()).value();
+  TableId plate = db.CreateTable(PlateDef()).value();
+
+  const int n_photo = config.photoobj_rows;
+  const int n_spec = std::max(10, n_photo / 5);
+  const int n_neigh = n_photo * 2;
+  const int n_field = std::max(5, n_photo / 50);
+  const int n_plate = std::max(3, n_photo / 200);
+
+  // --- photoobj ---
+  // Rows arrive in (run, camcol, field) order: run, field and mjd are
+  // highly correlated with physical position; ra drifts along each run's
+  // scan stripe; magnitudes and dec are unclustered.
+  const int n_runs = std::max(2, n_photo / 2500);
+  db.mutable_data(photoobj).Reserve(static_cast<size_t>(n_photo));
+  int64_t mjd_base = 51000;
+  for (int i = 0; i < n_photo; ++i) {
+    int run_idx = i / std::max(1, n_photo / n_runs);
+    int64_t run = 94 + run_idx * 31;
+    int64_t camcol = 1 + rng.UniformInt(0, 5);
+    int64_t fieldno = 11 + (i % std::max(1, n_photo / n_runs)) / 40;
+    double stripe_base = std::fmod(run * 47.0, 320.0);
+    double ra = std::fmod(stripe_base + rng.UniformDouble(0.0, 40.0), 360.0);
+    double dec = rng.Normal(0.0, 25.0);
+    dec = std::clamp(dec, -90.0, 90.0);
+    // type is skewed: 3=galaxy (65%), 6=star (30%), others rare.
+    int64_t type;
+    double tp = rng.UniformDouble();
+    if (tp < 0.65) {
+      type = 3;
+    } else if (tp < 0.95) {
+      type = 6;
+    } else {
+      type = rng.UniformInt(0, 8);
+    }
+    double mag_r = rng.Normal(20.0, 1.6);
+    Row row;
+    row.reserve(25);
+    row.push_back(Value(static_cast<int64_t>(i) * 16 + 1));     // objid
+    row.push_back(Value(ra));                                   // ra
+    row.push_back(Value(dec));                                  // dec
+    row.push_back(Value(run));                                  // run
+    row.push_back(Value(static_cast<int64_t>(301)));            // rerun
+    row.push_back(Value(camcol));                               // camcol
+    row.push_back(Value(fieldno));                              // field
+    row.push_back(Value(rng.UniformInt(0, 400)));               // obj
+    row.push_back(Value(type));                                 // type
+    row.push_back(Value(rng.UniformInt(0, 1) << 12 |
+                        rng.UniformInt(0, 255)));               // flags
+    row.push_back(Value(mag_r + rng.Normal(1.8, 0.4)));         // psfmag_u
+    row.push_back(Value(mag_r + rng.Normal(0.9, 0.3)));         // psfmag_g
+    row.push_back(Value(mag_r));                                // psfmag_r
+    row.push_back(Value(mag_r - rng.Normal(0.4, 0.2)));         // psfmag_i
+    row.push_back(Value(mag_r - rng.Normal(0.7, 0.3)));         // psfmag_z
+    row.push_back(Value(std::abs(rng.Normal(2.5, 1.2))));       // petror50_r
+    row.push_back(Value(std::abs(rng.Normal(0.08, 0.05))));     // extinction_r
+    row.push_back(Value(rng.UniformDouble(0.0, 1489.0)));       // rowc
+    row.push_back(Value(rng.UniformDouble(0.0, 2048.0)));       // colc
+    row.push_back(Value(rng.Zipf(3, 1.2) + 1));                 // mode
+    row.push_back(Value(rng.Bernoulli(0.85) ? int64_t{1}
+                                            : int64_t{0}));     // clean
+    row.push_back(Value(rng.UniformDouble(0.0, 1.0)));          // score
+    row.push_back(Value(mjd_base + run_idx * 37 +
+                        rng.UniformInt(0, 3)));                 // mjd
+    row.push_back(Value(rng.Zipf(6, 1.5)));                     // nchild
+    row.push_back(Value(rng.Bernoulli(0.2)
+                            ? Value(static_cast<int64_t>(
+                                  rng.UniformInt(0, n_photo - 1)) * 16 + 1)
+                                  .AsInt()
+                            : int64_t{0}));                     // parentid
+    db.InsertRow(photoobj, std::move(row));
+  }
+
+  // --- plate (generated before specobj so plates exist to reference) ---
+  for (int i = 0; i < n_plate; ++i) {
+    Row row;
+    row.reserve(8);
+    int64_t plate_no = 266 + i;
+    row.push_back(Value(static_cast<int64_t>(i) * 1024 + 7));  // plateid
+    row.push_back(Value(plate_no));                            // plate
+    row.push_back(Value(mjd_base + rng.UniformInt(0, 900)));   // mjd
+    row.push_back(Value(rng.UniformDouble(0.0, 360.0)));       // ra
+    row.push_back(Value(rng.Normal(0.0, 25.0)));               // dec
+    row.push_back(Value(rng.Zipf(4, 1.0) + 1));                // quality
+    row.push_back(Value(rng.UniformInt(400, 640)));            // nspec
+    row.push_back(Value(rng.Normal(12.0, 3.0)));               // sn1
+    db.InsertRow(plate, std::move(row));
+  }
+
+  // --- specobj ---
+  // Rows grouped by plate (plate and mjd correlated with position);
+  // bestobjid points at a uniformly random photoobj.
+  for (int i = 0; i < n_spec; ++i) {
+    int plate_idx = (i * n_plate) / n_spec;
+    int64_t plate_no = 266 + plate_idx;
+    int64_t cls;
+    double cp = rng.UniformDouble();
+    double z;
+    if (cp < 0.70) {
+      cls = 0;  // GALAXY
+      z = std::abs(rng.Normal(0.12, 0.08));
+    } else if (cp < 0.90) {
+      cls = 1;  // STAR
+      z = std::abs(rng.Normal(0.0004, 0.0003));
+    } else {
+      cls = 2;  // QSO
+      z = std::abs(rng.Normal(1.4, 0.7));
+    }
+    Row row;
+    row.reserve(12);
+    row.push_back(Value(static_cast<int64_t>(i) * 256 + 3));  // specobjid
+    row.push_back(Value(rng.UniformInt(0, n_photo - 1) * 16 + 1));  // bestobjid
+    row.push_back(Value(plate_no));                           // plate
+    row.push_back(Value(mjd_base + plate_idx * 11 +
+                        rng.UniformInt(0, 2)));               // mjd
+    row.push_back(Value(rng.UniformInt(1, 640)));             // fiberid
+    row.push_back(Value(cls));                                // class
+    row.push_back(Value(z));                                  // z
+    row.push_back(Value(std::abs(rng.Normal(0.0002, 0.0002))));  // zerr
+    row.push_back(Value(rng.Bernoulli(0.93) ? int64_t{0}
+                                            : rng.UniformInt(1, 128)));
+    row.push_back(Value(std::abs(rng.Normal(8.0, 5.0))));     // sn_median
+    row.push_back(Value(std::abs(rng.Normal(150.0, 80.0))));  // veldisp
+    row.push_back(Value(std::abs(rng.Normal(20.0, 10.0))));   // veldisperr
+    db.InsertRow(specobj, std::move(row));
+  }
+
+  // --- neighbors ---
+  for (int i = 0; i < n_neigh; ++i) {
+    Row row;
+    row.reserve(5);
+    row.push_back(Value(rng.UniformInt(0, n_photo - 1) * 16 + 1));  // objid
+    row.push_back(Value(rng.UniformInt(0, n_photo - 1) * 16 + 1));
+    row.push_back(Value(std::abs(rng.Normal(0.02, 0.015))));  // distance
+    row.push_back(Value(rng.Bernoulli(0.6) ? int64_t{3} : int64_t{6}));
+    row.push_back(Value(rng.Zipf(3, 1.2) + 1));               // mode
+    db.InsertRow(neighbors, std::move(row));
+  }
+
+  // --- field ---
+  for (int i = 0; i < n_field; ++i) {
+    int run_idx = (i * n_runs) / n_field;
+    Row row;
+    row.reserve(10);
+    row.push_back(Value(static_cast<int64_t>(i) * 32 + 5));  // fieldid
+    row.push_back(Value(static_cast<int64_t>(94 + run_idx * 31)));  // run
+    row.push_back(Value(1 + rng.UniformInt(0, 5)));          // camcol
+    row.push_back(Value(11 + static_cast<int64_t>(i % 80))); // field
+    row.push_back(Value(rng.UniformDouble(0.0, 360.0)));     // ra
+    row.push_back(Value(rng.Normal(0.0, 25.0)));             // dec
+    row.push_back(Value(mjd_base + run_idx * 37));           // mjd
+    row.push_back(Value(rng.Zipf(3, 0.8) + 1));              // quality
+    row.push_back(Value(rng.UniformInt(80, 900)));           // nobjects
+    row.push_back(Value(rng.Normal(21.0, 0.6)));             // sky
+    db.InsertRow(field, std::move(row));
+  }
+
+  AnalyzeOptions opts;
+  opts.histogram_buckets = config.histogram_buckets;
+  db.AnalyzeAll(opts);
+  return db;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,45 @@
+// Synthetic SDSS-like database.
+//
+// The paper demonstrates on the Sloan Digital Sky Survey: large, wide
+// tables (photoobj has hundreds of columns in the real survey) and
+// selective astronomy queries. This generator reproduces the properties
+// that matter for physical design studies:
+//   * a wide fact table (photoobj, 25 columns) where vertical
+//     partitioning pays off,
+//   * clustered columns (objid, mjd, run) vs unclustered (ra, magnitudes)
+//     so index-scan correlation effects show up,
+//   * skewed categorical columns (type, class) for MCV-based estimation,
+//   * foreign-key joins (specobj.bestobjid -> photoobj.objid,
+//     neighbors.objid -> photoobj.objid, specobj.plate -> plate.plate).
+
+#ifndef DBDESIGN_WORKLOAD_SDSS_H_
+#define DBDESIGN_WORKLOAD_SDSS_H_
+
+#include <cstdint>
+
+#include "storage/database.h"
+
+namespace dbdesign {
+
+struct SdssConfig {
+  /// Rows in photoobj; other tables scale proportionally:
+  /// specobj = /5, neighbors = x2, field = /50, plate = /200.
+  int photoobj_rows = 20000;
+  uint64_t seed = 42;
+  /// ANALYZE histogram resolution.
+  int histogram_buckets = 64;
+};
+
+/// Table name constants.
+inline constexpr const char* kPhotoObj = "photoobj";
+inline constexpr const char* kSpecObj = "specobj";
+inline constexpr const char* kNeighbors = "neighbors";
+inline constexpr const char* kField = "field";
+inline constexpr const char* kPlate = "plate";
+
+/// Builds the schema, generates data, and runs ANALYZE.
+Database BuildSdssDatabase(const SdssConfig& config = {});
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_WORKLOAD_SDSS_H_

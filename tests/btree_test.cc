@@ -1,0 +1,194 @@
+// B+-tree tests: bulk load, inserts, range/prefix scans vs brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/btree.h"
+#include "util/rng.h"
+
+namespace dbdesign {
+namespace {
+
+IndexKey K1(int64_t a) { return IndexKey{Value(a)}; }
+IndexKey K2(int64_t a, int64_t b) { return IndexKey{Value(a), Value(b)}; }
+
+TEST(KeyCompareTest, PrefixSemantics) {
+  EXPECT_EQ(CompareKeyPrefix(K1(5), K2(5, 9)), 0);  // prefix-equal
+  EXPECT_LT(CompareKeyPrefix(K1(4), K2(5, 0)), 0);
+  EXPECT_GT(CompareKeyPrefix(K2(5, 1), K2(5, 0)), 0);
+  EXPECT_TRUE(KeyLess(K1(5), K2(5, 9)));  // shorter ties first
+  EXPECT_FALSE(KeyLess(K2(5, 9), K1(5)));
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeIndex t;
+  EXPECT_EQ(t.NumEntries(), 0u);
+  EXPECT_TRUE(t.FullScan().empty());
+  EXPECT_TRUE(t.Lookup(K1(1)).empty());
+}
+
+TEST(BTreeTest, BulkLoadFullScanIsSorted) {
+  Rng rng(1);
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  std::vector<int64_t> keys;
+  for (RowId i = 0; i < 5000; ++i) {
+    int64_t k = rng.UniformInt(0, 100000);
+    keys.push_back(k);
+    entries.emplace_back(K1(k), i);
+  }
+  BTreeIndex t;
+  t.BulkLoad(entries);
+  EXPECT_EQ(t.NumEntries(), 5000u);
+  EXPECT_GE(t.Height(), 2);
+
+  std::vector<RowId> scan = t.FullScan();
+  ASSERT_EQ(scan.size(), 5000u);
+  for (size_t i = 1; i < scan.size(); ++i) {
+    EXPECT_LE(keys[scan[i - 1]], keys[scan[i]]);
+  }
+}
+
+TEST(BTreeTest, PointLookupWithDuplicates) {
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  for (RowId i = 0; i < 1000; ++i) entries.emplace_back(K1(i % 10), i);
+  BTreeIndex t;
+  t.BulkLoad(entries);
+  std::vector<RowId> hits = t.Lookup(K1(3));
+  EXPECT_EQ(hits.size(), 100u);
+  for (RowId r : hits) EXPECT_EQ(r % 10, 3u);
+  EXPECT_TRUE(t.Lookup(K1(42)).empty());
+}
+
+struct RangeScanCase {
+  int num_rows;
+  int key_space;
+  uint64_t seed;
+};
+
+class BTreeRangeScanTest : public ::testing::TestWithParam<RangeScanCase> {};
+
+TEST_P(BTreeRangeScanTest, MatchesBruteForce) {
+  const RangeScanCase& param = GetParam();
+  Rng rng(param.seed);
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  std::vector<int64_t> keys;
+  for (RowId i = 0; i < static_cast<RowId>(param.num_rows); ++i) {
+    int64_t k = rng.UniformInt(0, param.key_space);
+    keys.push_back(k);
+    entries.emplace_back(K1(k), i);
+  }
+  BTreeIndex t;
+  t.BulkLoad(entries);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    int64_t lo = rng.UniformInt(0, param.key_space);
+    int64_t hi = rng.UniformInt(lo, param.key_space);
+    bool lo_inc = rng.Bernoulli(0.5);
+    bool hi_inc = rng.Bernoulli(0.5);
+    std::vector<RowId> got = t.RangeScan(K1(lo), lo_inc, K1(hi), hi_inc);
+    std::vector<RowId> want;
+    for (RowId i = 0; i < keys.size(); ++i) {
+      int64_t k = keys[i];
+      bool in = (lo_inc ? k >= lo : k > lo) && (hi_inc ? k <= hi : k < hi);
+      if (in) want.push_back(i);
+    }
+    // Both in key order; sort row ids within equal keys for comparison.
+    auto by_key = [&](RowId a, RowId b) {
+      return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+    };
+    std::sort(got.begin(), got.end(), by_key);
+    std::sort(want.begin(), want.end(), by_key);
+    ASSERT_EQ(got, want) << "trial " << trial << " lo=" << lo << " hi=" << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeRangeScanTest,
+    ::testing::Values(RangeScanCase{100, 50, 3},
+                      RangeScanCase{1000, 100000, 4},
+                      RangeScanCase{5000, 200, 5},
+                      RangeScanCase{20000, 1000000, 6}));
+
+TEST(BTreeTest, UnboundedScans) {
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  for (RowId i = 0; i < 500; ++i) entries.emplace_back(K1(i), i);
+  BTreeIndex t;
+  t.BulkLoad(entries);
+  EXPECT_EQ(t.RangeScan({}, true, K1(99), true).size(), 100u);
+  EXPECT_EQ(t.RangeScan(K1(400), true, {}, true).size(), 100u);
+  EXPECT_EQ(t.RangeScan({}, true, {}, true).size(), 500u);
+}
+
+TEST(BTreeTest, CompositeKeyPrefixScan) {
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  RowId id = 0;
+  for (int64_t a = 0; a < 50; ++a) {
+    for (int64_t b = 0; b < 20; ++b) entries.emplace_back(K2(a, b), id++);
+  }
+  BTreeIndex t;
+  t.BulkLoad(entries);
+  // Prefix lookup on first column only.
+  std::vector<RowId> hits = t.Lookup(K1(7));
+  EXPECT_EQ(hits.size(), 20u);
+  // Full composite range.
+  std::vector<RowId> range = t.RangeScan(K2(7, 5), true, K2(7, 9), true);
+  EXPECT_EQ(range.size(), 5u);
+  // Prefix range across first column.
+  std::vector<RowId> wide = t.RangeScan(K1(7), true, K1(9), true);
+  EXPECT_EQ(wide.size(), 60u);
+}
+
+TEST(BTreeTest, InsertMatchesBulkLoad) {
+  Rng rng(9);
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  BTreeIndex inserted;
+  for (RowId i = 0; i < 3000; ++i) {
+    int64_t k = rng.UniformInt(0, 500);
+    entries.emplace_back(K1(k), i);
+    inserted.Insert(K1(k), i);
+  }
+  BTreeIndex bulk;
+  bulk.BulkLoad(entries);
+  EXPECT_EQ(inserted.NumEntries(), bulk.NumEntries());
+
+  for (int64_t k = 0; k <= 500; k += 25) {
+    std::vector<RowId> a = inserted.Lookup(K1(k));
+    std::vector<RowId> b = bulk.Lookup(K1(k));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "key " << k;
+  }
+}
+
+TEST(BTreeTest, InsertIntoBulkLoadedTree) {
+  std::vector<std::pair<IndexKey, RowId>> entries;
+  for (RowId i = 0; i < 1000; ++i) entries.emplace_back(K1(i * 2), i);
+  BTreeIndex t;
+  t.BulkLoad(entries);
+  for (RowId i = 0; i < 500; ++i) t.Insert(K1(i * 2 + 1), 1000 + i);
+  EXPECT_EQ(t.NumEntries(), 1500u);
+  std::vector<RowId> all = t.FullScan();
+  EXPECT_EQ(all.size(), 1500u);
+  EXPECT_EQ(t.Lookup(K1(1)).size(), 1u);
+  EXPECT_EQ(t.Lookup(K1(1))[0], 1000u);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  std::vector<std::pair<IndexKey, RowId>> small;
+  for (RowId i = 0; i < 64; ++i) small.emplace_back(K1(i), i);
+  BTreeIndex t_small;
+  t_small.BulkLoad(small);
+  EXPECT_EQ(t_small.Height(), 1);
+
+  std::vector<std::pair<IndexKey, RowId>> big;
+  for (RowId i = 0; i < 60000; ++i) big.emplace_back(K1(i), i);
+  BTreeIndex t_big;
+  t_big.BulkLoad(big);
+  EXPECT_LE(t_big.Height(), 4);
+  EXPECT_GE(t_big.Height(), 3);
+}
+
+}  // namespace
+}  // namespace dbdesign

@@ -1,0 +1,127 @@
+// Workload compression tests: signature semantics, weight preservation,
+// and advisor-quality preservation on compressed input.
+
+#include <gtest/gtest.h>
+
+#include "cophy/cophy.h"
+#include "sql/binder.h"
+#include "workload/compress.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class CompressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 4000;
+    cfg.seed = 61;
+    db_ = new Database(BuildSdssDatabase(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static BoundQuery Q(const std::string& sql) {
+    auto q = ParseAndBind(db_->catalog(), sql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.value();
+  }
+
+  static Database* db_;
+};
+
+Database* CompressTest::db_ = nullptr;
+
+TEST_F(CompressTest, SameTemplateDifferentConstantsCollide) {
+  BoundQuery a = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 20");
+  BoundQuery b = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 200 AND 201");
+  EXPECT_EQ(TemplateSignature(a), TemplateSignature(b));
+  // Range shapes fuse too (template instantiations vary the operator).
+  BoundQuery c = Q("SELECT objid FROM photoobj WHERE ra > 300");
+  EXPECT_EQ(TemplateSignature(a), TemplateSignature(c));
+}
+
+TEST_F(CompressTest, DifferentStructureDoesNotCollide) {
+  BoundQuery a = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 20");
+  BoundQuery b = Q("SELECT objid FROM photoobj WHERE dec BETWEEN 10 AND 20");
+  BoundQuery c = Q("SELECT objid FROM photoobj WHERE ra = 10");
+  BoundQuery d = Q("SELECT objid, dec FROM photoobj WHERE ra BETWEEN 1 AND 2");
+  EXPECT_NE(TemplateSignature(a), TemplateSignature(b));
+  EXPECT_NE(TemplateSignature(a), TemplateSignature(c));  // eq vs range
+  EXPECT_NE(TemplateSignature(a), TemplateSignature(d));  // select list
+}
+
+TEST_F(CompressTest, WeightsArePreservedExactly) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 60, 9);
+  CompressionReport report;
+  Workload c = CompressWorkload(w, &report);
+  EXPECT_EQ(report.original_queries, 60u);
+  EXPECT_LT(report.compressed_queries, 20u)
+      << "template-generated workloads must compress hard";
+  double w_total = 0.0;
+  double c_total = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) w_total += w.WeightOf(i);
+  for (size_t i = 0; i < c.size(); ++i) c_total += c.WeightOf(i);
+  EXPECT_DOUBLE_EQ(w_total, c_total);
+}
+
+TEST_F(CompressTest, CompressedIdsAreReassigned) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::Uniform(), 30, 13);
+  Workload c = CompressWorkload(w);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.queries[i].id, static_cast<int>(i));
+  }
+}
+
+TEST_F(CompressTest, AdvisorQualitySurvivesCompression) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 50, 17);
+  CompressionReport report;
+  Workload c = CompressWorkload(w, &report);
+  ASSERT_LT(report.compressed_queries, report.original_queries);
+
+  double data_pages = 0.0;
+  for (TableId t = 0; t < db_->catalog().num_tables(); ++t) {
+    data_pages += db_->stats(t).HeapPages(db_->catalog().table(t));
+  }
+  CoPhyOptions opts;
+  opts.storage_budget_pages = data_pages;
+
+  CoPhyAdvisor full_advisor(*db_, CostParams{}, opts);
+  IndexRecommendation full = full_advisor.Recommend(w);
+  CoPhyAdvisor comp_advisor(*db_, CostParams{}, opts);
+  IndexRecommendation comp = comp_advisor.Recommend(c);
+
+  // Evaluate the compressed-input recommendation on the FULL workload:
+  // it must capture nearly all of the full recommendation's benefit.
+  PhysicalDesign full_design;
+  for (const IndexDef& i : full.indexes) full_design.AddIndex(i);
+  PhysicalDesign comp_design;
+  for (const IndexDef& i : comp.indexes) comp_design.AddIndex(i);
+  double base = full_advisor.inum().WorkloadCost(w, PhysicalDesign{});
+  double full_cost = full_advisor.inum().WorkloadCost(w, full_design);
+  double comp_cost = full_advisor.inum().WorkloadCost(w, comp_design);
+  double captured = (base - comp_cost) / std::max(1.0, base - full_cost);
+  EXPECT_GT(captured, 0.9) << "compressed input captured only "
+                           << captured * 100 << "% of the benefit";
+}
+
+TEST_F(CompressTest, EmptyAndSingletonWorkloads) {
+  Workload empty;
+  CompressionReport report;
+  Workload c = CompressWorkload(empty, &report);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_DOUBLE_EQ(report.ratio(), 1.0);
+
+  Workload one;
+  one.Add(Q("SELECT objid FROM photoobj WHERE ra < 5"), 3.0);
+  Workload c1 = CompressWorkload(one);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_DOUBLE_EQ(c1.WeightOf(0), 3.0);
+}
+
+}  // namespace
+}  // namespace dbdesign

@@ -1,0 +1,257 @@
+// CoPhy advisor tests: candidate generation, atom construction, BIP
+// optimality vs exhaustive search, budget compliance, and dominance
+// over the greedy baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cophy/cophy.h"
+#include "cophy/greedy.h"
+#include "sql/binder.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class CoPhyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 6000;
+    cfg.seed = 5;
+    db_ = new Database(BuildSdssDatabase(cfg));
+    workload_ = new Workload(
+        GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 14, 71));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete workload_;
+    db_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static Database* db_;
+  static Workload* workload_;
+};
+
+Database* CoPhyTest::db_ = nullptr;
+Workload* CoPhyTest::workload_ = nullptr;
+
+TEST_F(CoPhyTest, CandidatesCoverPredicateColumns) {
+  std::vector<CandidateIndex> cands = GenerateCandidates(*db_, *workload_);
+  ASSERT_FALSE(cands.empty());
+  // Every candidate must be structurally valid and sized.
+  std::set<std::string> keys;
+  for (const CandidateIndex& c : cands) {
+    EXPECT_GE(c.index.table, 0);
+    EXPECT_FALSE(c.index.columns.empty());
+    EXPECT_GT(c.size_pages, 0.0);
+    EXPECT_GE(c.relevant_queries, 1);
+    EXPECT_TRUE(keys.insert(c.index.Key()).second) << "duplicate candidate";
+  }
+  // The workload contains cone searches: an ra (or ra,dec) candidate on
+  // photoobj must be present.
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId ra = db_->catalog().table(photo).FindColumn("ra");
+  bool has_ra = false;
+  for (const CandidateIndex& c : cands) {
+    has_ra |= c.index.table == photo && c.index.columns[0] == ra;
+  }
+  EXPECT_TRUE(has_ra);
+}
+
+TEST_F(CoPhyTest, CandidateCapRespected) {
+  CandidateOptions opts;
+  opts.max_candidates = 10;
+  std::vector<CandidateIndex> cands =
+      GenerateCandidates(*db_, *workload_, opts);
+  EXPECT_LE(cands.size(), 10u);
+}
+
+TEST_F(CoPhyTest, AtomsIncludeIndexFreeAnchor) {
+  CoPhyAdvisor advisor(*db_);
+  std::vector<CandidateIndex> cands = GenerateCandidates(*db_, *workload_);
+  for (const BoundQuery& q : workload_->queries) {
+    std::vector<CoPhyAtom> atoms = advisor.BuildAtoms(q, cands);
+    ASSERT_FALSE(atoms.empty()) << q.ToSql(db_->catalog());
+    bool has_free = false;
+    for (const CoPhyAtom& a : atoms) {
+      has_free |= a.used.empty();
+      EXPECT_GT(a.cost, 0.0);
+      for (int i : a.used) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, static_cast<int>(cands.size()));
+      }
+    }
+    EXPECT_TRUE(has_free) << "no index-free atom for "
+                          << q.ToSql(db_->catalog());
+  }
+}
+
+TEST_F(CoPhyTest, AtomCostsLowerBoundedByBestPlan) {
+  // The cheapest atom must match INUM's cost under the all-candidates
+  // design (same plan space).
+  CoPhyAdvisor advisor(*db_);
+  std::vector<CandidateIndex> cands = GenerateCandidates(*db_, *workload_);
+  PhysicalDesign all;
+  for (const CandidateIndex& c : cands) all.AddIndex(c.index);
+  for (const BoundQuery& q : workload_->queries) {
+    std::vector<CoPhyAtom> atoms = advisor.BuildAtoms(q, cands);
+    double best_atom = std::numeric_limits<double>::infinity();
+    for (const CoPhyAtom& a : atoms) best_atom = std::min(best_atom, a.cost);
+    double inum_cost = advisor.inum().Cost(q, all);
+    EXPECT_NEAR(best_atom / inum_cost, 1.0, 0.05) << q.ToSql(db_->catalog());
+  }
+}
+
+TEST_F(CoPhyTest, RecommendationImprovesAndFitsBudget) {
+  CoPhyOptions opts;
+  double data_pages = 0.0;
+  for (TableId t = 0; t < db_->catalog().num_tables(); ++t) {
+    data_pages += db_->stats(t).HeapPages(db_->catalog().table(t));
+  }
+  opts.storage_budget_pages = data_pages;  // 1x data size
+  CoPhyAdvisor advisor(*db_, CostParams{}, opts);
+  IndexRecommendation rec = advisor.Recommend(*workload_);
+
+  EXPECT_FALSE(rec.indexes.empty());
+  EXPECT_LT(rec.recommended_cost, rec.base_cost);
+  EXPECT_GT(rec.improvement(), 0.2) << "expected >20% improvement on the "
+                                       "selection-heavy SDSS mix";
+  EXPECT_LE(rec.total_size_pages, opts.storage_budget_pages + 1e-6);
+  EXPECT_GE(rec.gap, 0.0);
+  EXPECT_LE(rec.lower_bound, rec.recommended_cost + 1e-6);
+
+  // The recommendation's claimed cost must agree with an independent
+  // INUM evaluation of the recommended design.
+  PhysicalDesign design;
+  for (const IndexDef& idx : rec.indexes) design.AddIndex(idx);
+  double check = advisor.inum().WorkloadCost(*workload_, design);
+  EXPECT_NEAR(check / rec.recommended_cost, 1.0, 0.05);
+}
+
+TEST_F(CoPhyTest, TightBudgetYieldsSmallerConfiguration) {
+  double data_pages = 0.0;
+  for (TableId t = 0; t < db_->catalog().num_tables(); ++t) {
+    data_pages += db_->stats(t).HeapPages(db_->catalog().table(t));
+  }
+  CoPhyOptions big;
+  big.storage_budget_pages = 2.0 * data_pages;
+  CoPhyOptions small;
+  small.storage_budget_pages = 0.1 * data_pages;
+
+  CoPhyAdvisor a_big(*db_, CostParams{}, big);
+  CoPhyAdvisor a_small(*db_, CostParams{}, small);
+  IndexRecommendation r_big = a_big.Recommend(*workload_);
+  IndexRecommendation r_small = a_small.Recommend(*workload_);
+
+  EXPECT_LE(r_small.total_size_pages, small.storage_budget_pages + 1e-6);
+  // More storage can only help the optimum.
+  EXPECT_LE(r_big.recommended_cost, r_small.recommended_cost + 1e-6);
+}
+
+TEST_F(CoPhyTest, MatchesExhaustiveOnSmallInstance) {
+  // Small candidate pool + tiny workload: compare the BIP against brute
+  // force over all candidate subsets within budget.
+  Workload small;
+  for (int i = 0; i < 5; ++i) small.Add(workload_->queries[i]);
+  CandidateOptions copts;
+  copts.max_candidates = 8;
+  copts.covering_candidates = false;
+  std::vector<CandidateIndex> cands = GenerateCandidates(*db_, small, copts);
+  ASSERT_LE(cands.size(), 8u);
+
+  double budget = 0.0;
+  for (const CandidateIndex& c : cands) budget += c.size_pages;
+  budget *= 0.5;
+
+  CoPhyOptions opts;
+  opts.storage_budget_pages = budget;
+  opts.candidates = copts;
+  CoPhyAdvisor advisor(*db_, CostParams{}, opts);
+  IndexRecommendation rec = advisor.RecommendWithCandidates(small, cands);
+
+  // Brute force with the same cost oracle (INUM).
+  double best = std::numeric_limits<double>::infinity();
+  int n = static_cast<int>(cands.size());
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double pages = 0.0;
+    PhysicalDesign d;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        pages += cands[static_cast<size_t>(i)].size_pages;
+        d.AddIndex(cands[static_cast<size_t>(i)].index);
+      }
+    }
+    if (pages > budget) continue;
+    best = std::min(best, advisor.inum().WorkloadCost(small, d));
+  }
+  EXPECT_NEAR(rec.recommended_cost / best, 1.0, 0.05)
+      << "CoPhy " << rec.recommended_cost << " vs exhaustive " << best;
+}
+
+TEST_F(CoPhyTest, NeverWorseThanGreedyOnSharedCandidates) {
+  std::vector<CandidateIndex> cands = GenerateCandidates(*db_, *workload_);
+  double data_pages = 0.0;
+  for (TableId t = 0; t < db_->catalog().num_tables(); ++t) {
+    data_pages += db_->stats(t).HeapPages(db_->catalog().table(t));
+  }
+  for (double factor : {0.15, 0.5, 1.0}) {
+    CoPhyOptions copts;
+    copts.storage_budget_pages = factor * data_pages;
+    CoPhyAdvisor cophy(*db_, CostParams{}, copts);
+    IndexRecommendation rec = cophy.RecommendWithCandidates(*workload_, cands);
+
+    GreedyOptions gopts;
+    gopts.storage_budget_pages = factor * data_pages;
+    GreedyAdvisor greedy(*db_, CostParams{}, gopts);
+    GreedyResult g = greedy.RecommendWithCandidates(*workload_, cands);
+
+    // Evaluate both recommendations with one oracle.
+    PhysicalDesign cophy_design;
+    for (const IndexDef& i : rec.indexes) cophy_design.AddIndex(i);
+    PhysicalDesign greedy_design;
+    for (const IndexDef& i : g.indexes) greedy_design.AddIndex(i);
+    double cophy_cost = cophy.inum().WorkloadCost(*workload_, cophy_design);
+    double greedy_cost = cophy.inum().WorkloadCost(*workload_, greedy_design);
+    EXPECT_LE(cophy_cost, greedy_cost * 1.02)
+        << "budget factor " << factor;
+  }
+}
+
+TEST_F(CoPhyTest, GreedyRespectsBudgetAndImproves) {
+  double data_pages = 0.0;
+  for (TableId t = 0; t < db_->catalog().num_tables(); ++t) {
+    data_pages += db_->stats(t).HeapPages(db_->catalog().table(t));
+  }
+  GreedyOptions opts;
+  opts.storage_budget_pages = 0.5 * data_pages;
+  GreedyAdvisor greedy(*db_, CostParams{}, opts);
+  GreedyResult r = greedy.Recommend(*workload_);
+  EXPECT_FALSE(r.indexes.empty());
+  EXPECT_LT(r.final_cost, r.base_cost);
+  EXPECT_LE(r.total_size_pages, opts.storage_budget_pages + 1e-6);
+  EXPECT_GT(r.cost_evaluations, 0u);
+}
+
+TEST_F(CoPhyTest, TimeQualityKnob) {
+  // A starved node budget must still produce a feasible recommendation
+  // with a (possibly loose) reported gap.
+  CoPhyOptions opts;
+  opts.bnb.max_nodes = 1;
+  double data_pages = 0.0;
+  for (TableId t = 0; t < db_->catalog().num_tables(); ++t) {
+    data_pages += db_->stats(t).HeapPages(db_->catalog().table(t));
+  }
+  opts.storage_budget_pages = 0.3 * data_pages;
+  CoPhyAdvisor advisor(*db_, CostParams{}, opts);
+  IndexRecommendation rec = advisor.Recommend(*workload_);
+  EXPECT_LE(rec.recommended_cost, rec.base_cost + 1e-6);
+  EXPECT_GE(rec.gap, 0.0);
+}
+
+}  // namespace
+}  // namespace dbdesign

@@ -1,0 +1,335 @@
+// Executor correctness: every plan the optimizer emits — under any
+// physical design and knob setting — must produce the same result as the
+// naive reference evaluator.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 3000;
+    cfg.seed = 11;
+    db_ = new Database(BuildSdssDatabase(cfg));
+    // Materialize a set of indexes so index plans are executable.
+    TableId photo = db_->catalog().FindTable(kPhotoObj);
+    TableId spec = db_->catalog().FindTable(kSpecObj);
+    const TableDef& pdef = db_->catalog().table(photo);
+    const TableDef& sdef = db_->catalog().table(spec);
+    indexes_ = new std::vector<IndexDef>{
+        {photo, {pdef.FindColumn("ra"), pdef.FindColumn("dec")}, false},
+        {photo, {pdef.FindColumn("objid")}, false},
+        {photo,
+         {pdef.FindColumn("run"), pdef.FindColumn("camcol"),
+          pdef.FindColumn("field")},
+         false},
+        {photo, {pdef.FindColumn("mjd")}, false},
+        {spec, {sdef.FindColumn("bestobjid")}, false},
+        {spec, {sdef.FindColumn("z")}, false},
+    };
+    for (const IndexDef& idx : *indexes_) {
+      ASSERT_TRUE(db_->CreateIndex(idx).ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete indexes_;
+    db_ = nullptr;
+    indexes_ = nullptr;
+  }
+
+  static BoundQuery Q(const std::string& sql) {
+    auto q = ParseAndBind(db_->catalog(), sql);
+    EXPECT_TRUE(q.ok()) << sql << ": " << q.status().ToString();
+    return q.value();
+  }
+
+  /// Optimizes under `design` and checks plan output == naive output.
+  static void CheckQuery(const BoundQuery& q, const PhysicalDesign& design,
+                         PlannerKnobs knobs = {}) {
+    Optimizer opt(db_->catalog(), db_->all_stats(), CostParams{}, knobs);
+    PlanResult r = opt.Optimize(q, design);
+    ASSERT_NE(r.root, nullptr);
+    Executor exec(*db_);
+    auto rows = exec.Execute(q, *r.root);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString() << "\n"
+                           << r.root->ToString(db_->catalog(), q);
+    std::vector<Row> naive = exec.ExecuteNaive(q);
+    if (q.limit >= 0) {
+      // LIMIT without full ORDER BY is nondeterministic: check count only.
+      EXPECT_EQ(rows.value().size(), naive.size());
+      return;
+    }
+    EXPECT_EQ(CanonicalizeResult(rows.value()), CanonicalizeResult(naive))
+        << q.ToSql(db_->catalog()) << "\n"
+        << r.root->ToString(db_->catalog(), q);
+  }
+
+  static Database* db_;
+  static std::vector<IndexDef>* indexes_;
+};
+
+Database* ExecutorTest::db_ = nullptr;
+std::vector<IndexDef>* ExecutorTest::indexes_ = nullptr;
+
+TEST_F(ExecutorTest, SeqScanFilter) {
+  CheckQuery(Q("SELECT objid, ra FROM photoobj WHERE ra BETWEEN 50 AND 60"),
+             PhysicalDesign{});
+}
+
+TEST_F(ExecutorTest, IndexScanEqualsSeqScan) {
+  BoundQuery q = Q("SELECT objid, ra FROM photoobj WHERE ra BETWEEN 50 AND 52");
+  CheckQuery(q, PhysicalDesign{});
+  CheckQuery(q, db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, MultiColumnIndexConditions) {
+  CheckQuery(Q("SELECT objid, field FROM photoobj WHERE run = 94 "
+               "AND camcol = 2 AND field BETWEEN 11 AND 20"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, OpenEndedRanges) {
+  CheckQuery(Q("SELECT objid FROM photoobj WHERE ra > 355"),
+             db_->CurrentDesign());
+  CheckQuery(Q("SELECT objid FROM photoobj WHERE ra < 2"),
+             db_->CurrentDesign());
+  CheckQuery(Q("SELECT objid FROM photoobj WHERE mjd >= 51100 AND mjd <= 51150"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, PointLookup) {
+  CheckQuery(Q("SELECT objid, ra, dec FROM photoobj WHERE objid = 1601"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, NotEqualFilter) {
+  CheckQuery(Q("SELECT objid FROM photoobj WHERE type <> 3 AND ra < 30"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, TwoWayJoin) {
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid WHERE s.z BETWEEN 0.1 AND 0.4");
+  CheckQuery(q, PhysicalDesign{});
+  CheckQuery(q, db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, JoinMethodsAgree) {
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid WHERE s.z > 0.05 AND p.type = 3");
+  PlannerKnobs hash_only;
+  hash_only.enable_mergejoin = false;
+  hash_only.enable_nestloop = false;
+  hash_only.enable_indexnestloop = false;
+  CheckQuery(q, db_->CurrentDesign(), hash_only);
+
+  PlannerKnobs merge_only;
+  merge_only.enable_hashjoin = false;
+  merge_only.enable_nestloop = false;
+  merge_only.enable_indexnestloop = false;
+  CheckQuery(q, db_->CurrentDesign(), merge_only);
+
+  PlannerKnobs nl_only;
+  nl_only.enable_hashjoin = false;
+  nl_only.enable_mergejoin = false;
+  nl_only.enable_indexnestloop = false;
+  CheckQuery(q, db_->CurrentDesign(), nl_only);
+
+  PlannerKnobs inl_only;
+  inl_only.enable_hashjoin = false;
+  inl_only.enable_mergejoin = false;
+  inl_only.enable_nestloop = false;
+  CheckQuery(q, db_->CurrentDesign(), inl_only);
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z, pl.mjd FROM photoobj p "
+      "JOIN specobj s ON p.objid = s.bestobjid "
+      "JOIN plate pl ON s.plate = pl.plate "
+      "WHERE s.z > 0.3 AND pl.quality >= 2");
+  CheckQuery(q, PhysicalDesign{});
+  CheckQuery(q, db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, GroupByAggregates) {
+  CheckQuery(Q("SELECT run, COUNT(*) FROM photoobj "
+               "WHERE dec BETWEEN 0 AND 10 GROUP BY run ORDER BY run"),
+             db_->CurrentDesign());
+  CheckQuery(Q("SELECT class, COUNT(*), AVG(z) FROM specobj "
+               "WHERE sn_median > 5 GROUP BY class"),
+             db_->CurrentDesign());
+  CheckQuery(Q("SELECT type, MIN(psfmag_r), MAX(psfmag_r) FROM photoobj "
+               "GROUP BY type"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, PlainAggregates) {
+  CheckQuery(Q("SELECT COUNT(*) FROM photoobj WHERE ra < 100"),
+             db_->CurrentDesign());
+  CheckQuery(Q("SELECT SUM(z), AVG(sn_median) FROM specobj WHERE class = 0"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, OrderByAscDesc) {
+  CheckQuery(Q("SELECT objid, mjd FROM photoobj WHERE ra < 5 ORDER BY mjd"),
+             db_->CurrentDesign());
+  CheckQuery(
+      Q("SELECT objid, mjd FROM photoobj WHERE ra < 5 ORDER BY mjd DESC"),
+      db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, LimitCount) {
+  CheckQuery(Q("SELECT objid FROM photoobj WHERE type = 3 LIMIT 17"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, JoinWithAggregation) {
+  CheckQuery(Q("SELECT s.class, COUNT(*) FROM photoobj p "
+               "JOIN specobj s ON p.objid = s.bestobjid "
+               "WHERE p.type = 3 GROUP BY s.class"),
+             db_->CurrentDesign());
+}
+
+TEST_F(ExecutorTest, HypotheticalIndexPlanIsNotExecutable) {
+  PhysicalDesign design = db_->CurrentDesign();
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId score =
+      db_->catalog().table(photo).FindColumn("score");
+  design.AddIndex(IndexDef{photo, {score}, false});
+  BoundQuery q = Q("SELECT objid FROM photoobj WHERE score < 0.001");
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PlanResult r = opt.Optimize(q, design);
+  ASSERT_NE(r.root, nullptr);
+  Executor exec(*db_);
+  if (r.root->index.has_value() &&
+      r.root->index->columns == std::vector<ColumnId>{score}) {
+    auto rows = exec.Execute(q, *r.root);
+    EXPECT_FALSE(rows.ok());
+    EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+  }
+}
+
+// Property sweep: random workload queries, three designs, all must agree
+// with the naive evaluator.
+struct ExecSweepCase {
+  uint64_t seed;
+  int queries;
+};
+
+class ExecutorSweepTest : public ::testing::TestWithParam<ExecSweepCase> {};
+
+TEST_P(ExecutorSweepTest, RandomTemplatesAllDesigns) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 1500;
+  cfg.seed = GetParam().seed;
+  Database db = BuildSdssDatabase(cfg);
+
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  TableId spec = db.catalog().FindTable(kSpecObj);
+  TableId neigh = db.catalog().FindTable(kNeighbors);
+  const TableDef& pdef = db.catalog().table(photo);
+  const TableDef& sdef = db.catalog().table(spec);
+  const TableDef& ndef = db.catalog().table(neigh);
+  ASSERT_TRUE(db.CreateIndex(
+      IndexDef{photo, {pdef.FindColumn("objid")}, false}).ok());
+  ASSERT_TRUE(db.CreateIndex(
+      IndexDef{photo, {pdef.FindColumn("ra")}, false}).ok());
+  ASSERT_TRUE(db.CreateIndex(
+      IndexDef{spec, {sdef.FindColumn("bestobjid")}, false}).ok());
+  ASSERT_TRUE(db.CreateIndex(
+      IndexDef{neigh, {ndef.FindColumn("objid")}, false}).ok());
+
+  Workload w = GenerateWorkload(db, TemplateMix::Uniform(),
+                                GetParam().queries, GetParam().seed * 13 + 1);
+  Optimizer opt(db.catalog(), db.all_stats());
+  Executor exec(db);
+  for (const BoundQuery& q : w.queries) {
+    for (const PhysicalDesign& design :
+         {PhysicalDesign{}, db.CurrentDesign()}) {
+      PlanResult r = opt.Optimize(q, design);
+      ASSERT_NE(r.root, nullptr) << q.ToSql(db.catalog());
+      auto rows = exec.Execute(q, *r.root);
+      ASSERT_TRUE(rows.ok())
+          << rows.status().ToString() << "\n"
+          << q.ToSql(db.catalog());
+      std::vector<Row> naive = exec.ExecuteNaive(q);
+      if (q.limit >= 0) {
+        EXPECT_EQ(rows.value().size(), naive.size());
+      } else {
+        EXPECT_EQ(CanonicalizeResult(rows.value()), CanonicalizeResult(naive))
+            << q.ToSql(db.catalog()) << "\n"
+            << r.root->ToString(db.catalog(), q);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExecutorSweepTest,
+                         ::testing::Values(ExecSweepCase{101, 15},
+                                           ExecSweepCase{202, 15},
+                                           ExecSweepCase{303, 15}));
+
+
+TEST_F(ExecutorTest, ProfileReportsActualRowsPerOperator) {
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid WHERE s.z BETWEEN 0.1 AND 0.4");
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PlanResult r = opt.Optimize(q, db_->CurrentDesign());
+  ASSERT_NE(r.root, nullptr);
+  Executor exec(*db_);
+  ExecutionProfile profile;
+  auto rows = exec.Execute(q, *r.root, &profile);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(profile.empty());
+  // The root tuple operator's actual output must equal the result size.
+  EXPECT_EQ(profile.back().actual_rows, rows.value().size());
+  for (const OperatorProfile& op : profile) {
+    EXPECT_GE(op.QError(), 1.0);
+    EXPECT_NE(op.node, nullptr);
+  }
+}
+
+TEST_F(ExecutorTest, CardinalityEstimatesTrackReality) {
+  // The q-error of scan-level estimates on the generated data should be
+  // modest — this is the check that the statistics + selectivity stack
+  // actually models the data the generator produces.
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 20, 123);
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  Executor exec(*db_);
+  std::vector<double> qerrors;
+  for (const BoundQuery& q : w.queries) {
+    if (q.limit >= 0) continue;
+    PlanResult r = opt.Optimize(q, PhysicalDesign{});
+    ASSERT_NE(r.root, nullptr);
+    ExecutionProfile profile;
+    auto rows = exec.Execute(q, *r.root, &profile);
+    ASSERT_TRUE(rows.ok());
+    for (const OperatorProfile& op : profile) {
+      if (op.node->children.empty()) qerrors.push_back(op.QError());
+    }
+  }
+  ASSERT_FALSE(qerrors.empty());
+  std::sort(qerrors.begin(), qerrors.end());
+  double median = qerrors[qerrors.size() / 2];
+  EXPECT_LT(median, 3.0) << "median scan q-error too high";
+  // 90th percentile within a factor 20 (independence assumptions bite
+  // on correlated magnitude predicates, as in real systems).
+  EXPECT_LT(qerrors[qerrors.size() * 9 / 10], 20.0);
+}
+
+}  // namespace
+}  // namespace dbdesign

@@ -1,0 +1,316 @@
+// Optimizer tests: access-path choice, join methods, knobs, partitions,
+// and cost-model monotonicity properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+#include "whatif/whatif.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 8000;
+    cfg.seed = 7;
+    db_ = new Database(BuildSdssDatabase(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static BoundQuery Q(const std::string& sql) {
+    auto q = ParseAndBind(db_->catalog(), sql);
+    EXPECT_TRUE(q.ok()) << sql << ": " << q.status().ToString();
+    return q.value();
+  }
+
+  static bool PlanUses(const PlanNode& node, PlanNodeType type) {
+    if (node.type == type) return true;
+    for (const PlanNodeRef& c : node.children) {
+      if (PlanUses(*c, type)) return true;
+    }
+    return false;
+  }
+
+  static Database* db_;
+};
+
+Database* OptimizerTest::db_ = nullptr;
+
+TEST_F(OptimizerTest, SeqScanWhenNoIndexes) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign empty;
+  BoundQuery q = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 11");
+  PlanResult r = opt.Optimize(q, empty);
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kSeqScan));
+  EXPECT_FALSE(PlanUses(*r.root, PlanNodeType::kIndexScan));
+  EXPECT_GT(r.cost, 0.0);
+}
+
+TEST_F(OptimizerTest, SelectiveQueryPrefersIndex) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign design;
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId ra = db_->catalog().table(photo).FindColumn("ra");
+  design.AddIndex(IndexDef{photo, {ra}, false});
+
+  BoundQuery q = Q("SELECT objid, ra FROM photoobj WHERE ra BETWEEN 10 AND 10.5");
+  PlanResult with_index = opt.Optimize(q, design);
+  PlanResult without = opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(with_index.root, nullptr);
+  EXPECT_TRUE(PlanUses(*with_index.root, PlanNodeType::kIndexScan));
+  EXPECT_LT(with_index.cost, without.cost);
+}
+
+TEST_F(OptimizerTest, UnselectiveQueryIgnoresIndex) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign design;
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId ra = db_->catalog().table(photo).FindColumn("ra");
+  design.AddIndex(IndexDef{photo, {ra}, false});
+
+  // ra spans [0, 360): this predicate keeps nearly everything.
+  BoundQuery q = Q("SELECT objid, dec FROM photoobj WHERE ra >= 1.0");
+  PlanResult r = opt.Optimize(q, design);
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kSeqScan));
+}
+
+TEST_F(OptimizerTest, CoveringIndexEnablesIndexOnlyScan) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign design;
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId ra = db_->catalog().table(photo).FindColumn("ra");
+  ColumnId objid = db_->catalog().table(photo).FindColumn("objid");
+  design.AddIndex(IndexDef{photo, {ra, objid}, false});
+
+  BoundQuery q = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 40 AND 44");
+  PlanResult r = opt.Optimize(q, design);
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kIndexOnlyScan));
+}
+
+TEST_F(OptimizerTest, MultiColumnIndexMatchesEqThenRange) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign design;
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId run = db_->catalog().table(photo).FindColumn("run");
+  ColumnId camcol = db_->catalog().table(photo).FindColumn("camcol");
+  ColumnId field = db_->catalog().table(photo).FindColumn("field");
+  design.AddIndex(IndexDef{photo, {run, camcol, field}, false});
+
+  BoundQuery q = Q(
+      "SELECT objid FROM photoobj WHERE run = 94 AND camcol = 3 "
+      "AND field BETWEEN 11 AND 15");
+  PlanResult r = opt.Optimize(q, design);
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kIndexScan) ||
+              PlanUses(*r.root, PlanNodeType::kIndexOnlyScan));
+  // All three predicates should be index conditions (none residual).
+  const PlanNode* scan = r.root.get();
+  while (!scan->children.empty() && !scan->index.has_value()) {
+    scan = scan->child(0);
+  }
+  ASSERT_TRUE(scan->index.has_value());
+  EXPECT_EQ(scan->index_conds.size(), 3u);
+  EXPECT_TRUE(scan->filter.empty());
+}
+
+TEST_F(OptimizerTest, JoinQueryProducesJoinPlan) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid WHERE s.z > 0.4");
+  PlanResult r = opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kHashJoin) ||
+              PlanUses(*r.root, PlanNodeType::kMergeJoin) ||
+              PlanUses(*r.root, PlanNodeType::kNestLoopJoin));
+}
+
+TEST_F(OptimizerTest, IndexNestLoopChosenWithJoinIndex) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign design;
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId objid = db_->catalog().table(photo).FindColumn("objid");
+  design.AddIndex(IndexDef{photo, {objid}, false});
+
+  // Very selective outer (specobj filtered hard) + index on inner join col.
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z FROM specobj s JOIN photoobj p "
+      "ON s.bestobjid = p.objid WHERE s.z BETWEEN 2.9 AND 3.0");
+  PlanResult r = opt.Optimize(q, design);
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kIndexNestLoopJoin));
+}
+
+TEST_F(OptimizerTest, KnobsDisableJoinMethods) {
+  BoundQuery q = Q(
+      "SELECT p.objid FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid");
+  PlannerKnobs knobs;
+  knobs.enable_hashjoin = false;
+  knobs.enable_indexnestloop = false;
+  Optimizer opt(db_->catalog(), db_->all_stats(), CostParams{}, knobs);
+  PlanResult r = opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_FALSE(PlanUses(*r.root, PlanNodeType::kHashJoin));
+  EXPECT_FALSE(PlanUses(*r.root, PlanNodeType::kIndexNestLoopJoin));
+}
+
+TEST_F(OptimizerTest, KnobsRelaxWhenOverConstrained) {
+  BoundQuery q = Q(
+      "SELECT p.objid FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid");
+  PlannerKnobs knobs;
+  knobs.enable_hashjoin = false;
+  knobs.enable_mergejoin = false;
+  knobs.enable_nestloop = false;
+  knobs.enable_indexnestloop = false;
+  Optimizer opt(db_->catalog(), db_->all_stats(), CostParams{}, knobs);
+  PlanResult r = opt.Optimize(q, PhysicalDesign{});
+  // PostgreSQL-style soft knobs: a plan must still come out.
+  ASSERT_NE(r.root, nullptr);
+}
+
+TEST_F(OptimizerTest, GroupByUsesAggregation) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  BoundQuery q = Q("SELECT run, COUNT(*) FROM photoobj GROUP BY run");
+  PlanResult r = opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(r.root, nullptr);
+  EXPECT_TRUE(PlanUses(*r.root, PlanNodeType::kHashAggregate) ||
+              PlanUses(*r.root, PlanNodeType::kGroupAggregate));
+}
+
+TEST_F(OptimizerTest, OrderByIndexAvoidsSort) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId mjd = db_->catalog().table(photo).FindColumn("mjd");
+  BoundQuery q = Q("SELECT mjd FROM photoobj ORDER BY mjd LIMIT 100");
+
+  PlanResult without = opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(without.root, nullptr);
+  EXPECT_TRUE(PlanUses(*without.root, PlanNodeType::kSort));
+
+  PhysicalDesign design;
+  design.AddIndex(IndexDef{photo, {mjd}, false});
+  PlanResult with_index = opt.Optimize(q, design);
+  ASSERT_NE(with_index.root, nullptr);
+  EXPECT_FALSE(PlanUses(*with_index.root, PlanNodeType::kSort));
+  // LIMIT makes the ordered index scan dramatically cheaper.
+  EXPECT_LT(with_index.cost, without.cost);
+}
+
+TEST_F(OptimizerTest, VerticalPartitioningCutsSeqScanCost) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  BoundQuery q = Q("SELECT objid, ra FROM photoobj WHERE ra > 350");
+
+  PlanResult wide = opt.Optimize(q, PhysicalDesign{});
+
+  // Fragment {objid, ra, dec} vs the 22 remaining columns.
+  const TableDef& def = db_->catalog().table(photo);
+  VerticalFragment narrow;
+  narrow.columns = {def.FindColumn("objid"), def.FindColumn("ra"),
+                    def.FindColumn("dec")};
+  std::sort(narrow.columns.begin(), narrow.columns.end());
+  VerticalFragment rest;
+  for (ColumnId c = 0; c < def.num_columns(); ++c) {
+    if (!narrow.Covers(c)) rest.columns.push_back(c);
+  }
+  VerticalPartitioning vp;
+  vp.table = photo;
+  vp.fragments = {narrow, rest};
+  PhysicalDesign design;
+  design.SetVerticalPartitioning(vp);
+
+  PlanResult partitioned = opt.Optimize(q, design);
+  ASSERT_NE(partitioned.root, nullptr);
+  EXPECT_LT(partitioned.cost, wide.cost * 0.5)
+      << "narrow fragment scan should be far cheaper than the wide scan";
+}
+
+TEST_F(OptimizerTest, HorizontalPartitioningPrunes) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId ra = db_->catalog().table(photo).FindColumn("ra");
+  BoundQuery q = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 102");
+
+  PlanResult unpartitioned = opt.Optimize(q, PhysicalDesign{});
+
+  HorizontalPartitioning hp;
+  hp.table = photo;
+  hp.column = ra;
+  for (int b = 1; b < 16; ++b) hp.bounds.push_back(Value(b * 22.5));
+  PhysicalDesign design;
+  design.SetHorizontalPartitioning(hp);
+
+  PlanResult pruned = opt.Optimize(q, design);
+  ASSERT_NE(pruned.root, nullptr);
+  EXPECT_LT(pruned.cost, unpartitioned.cost * 0.5);
+}
+
+TEST_F(OptimizerTest, CostMonotoneInSupersetDesigns) {
+  // Adding indexes can only help (optimizer picks the min over paths).
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  const TableDef& def = db_->catalog().table(photo);
+
+  Rng rng(31);
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 12, 55);
+  PhysicalDesign d1;
+  d1.AddIndex(IndexDef{photo, {def.FindColumn("ra")}, false});
+  PhysicalDesign d2 = d1;
+  d2.AddIndex(IndexDef{photo, {def.FindColumn("run"),
+                               def.FindColumn("camcol")}, false});
+  d2.AddIndex(IndexDef{photo, {def.FindColumn("objid")}, false});
+
+  for (const BoundQuery& q : w.queries) {
+    double c1 = opt.Optimize(q, d1).cost;
+    double c2 = opt.Optimize(q, d2).cost;
+    EXPECT_LE(c2, c1 * 1.0000001) << q.ToSql(db_->catalog());
+  }
+}
+
+TEST_F(OptimizerTest, PlanCardinalityConsistency) {
+  // Estimated rows at the root must not exceed the cartesian bound and
+  // must be >= min_rows.
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  Workload w = GenerateWorkload(*db_, TemplateMix::Uniform(), 20, 77);
+  for (const BoundQuery& q : w.queries) {
+    PlanResult r = opt.Optimize(q, PhysicalDesign{});
+    ASSERT_NE(r.root, nullptr);
+    double cartesian = 1.0;
+    for (TableId t : q.tables) cartesian *= db_->stats(t).row_count;
+    EXPECT_GE(r.root->rows, 1.0);
+    if (q.limit < 0 && q.group_by.empty() && !q.HasAggregates()) {
+      EXPECT_LE(r.root->rows, cartesian * 1.0000001);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, ExplainRendering) {
+  Optimizer opt(db_->catalog(), db_->all_stats());
+  PhysicalDesign design;
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  design.AddIndex(
+      IndexDef{photo, {db_->catalog().table(photo).FindColumn("ra")}, false});
+  BoundQuery q = Q("SELECT objid FROM photoobj WHERE ra BETWEEN 5 AND 6");
+  PlanResult r = opt.Optimize(q, design);
+  std::string text = r.root->ToString(db_->catalog(), q);
+  EXPECT_NE(text.find("IndexScan"), std::string::npos);
+  EXPECT_NE(text.find("cost="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbdesign

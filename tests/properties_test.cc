@@ -1,0 +1,289 @@
+// Property-based tests on cost-model and selectivity invariants,
+// parameterized over random seeds (TEST_P sweeps).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/stats.h"
+#include "optimizer/access_paths.h"
+#include "optimizer/optimizer.h"
+#include "inum/inum.h"
+#include "optimizer/selectivity.h"
+#include "sql/binder.h"
+#include "util/rng.h"
+#include "util/str.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+// ---------- Selectivity properties ----------
+
+class SelectivityPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ColumnStats MakeStats(Rng& rng, int n, int64_t lo, int64_t hi) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      values.emplace_back(rng.UniformInt(lo, hi));
+    }
+    return BuildColumnStats(values);
+  }
+};
+
+TEST_P(SelectivityPropertyTest, FractionBelowIsMonotoneAndBounded) {
+  Rng rng(GetParam());
+  ColumnStats stats = MakeStats(rng, 3000, 0, 10000);
+  double prev = -1.0;
+  for (int64_t v = -100; v <= 10100; v += 100) {
+    double f = FractionBelow(stats, Value(v));
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    EXPECT_GE(f, prev - 1e-12) << "non-monotone at " << v;
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(FractionBelow(stats, stats.min), 0.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(stats, Value(int64_t{20000})), 1.0);
+}
+
+TEST_P(SelectivityPropertyTest, ComparisonOperatorsPartitionUnity) {
+  Rng rng(GetParam() ^ 0xabc);
+  ColumnStats stats = MakeStats(rng, 3000, 0, 500);
+  for (int trial = 0; trial < 20; ++trial) {
+    Value v(rng.UniformInt(0, 500));
+    BoundPredicate lt{BoundColumn{0, 0}, CompareOp::kLt, v, std::nullopt};
+    BoundPredicate eq{BoundColumn{0, 0}, CompareOp::kEq, v, std::nullopt};
+    BoundPredicate gt{BoundColumn{0, 0}, CompareOp::kGt, v, std::nullopt};
+    double total = PredicateSelectivity(stats, lt) +
+                   PredicateSelectivity(stats, eq) +
+                   PredicateSelectivity(stats, gt);
+    EXPECT_NEAR(total, 1.0, 0.05) << "value " << v.ToString();
+  }
+}
+
+TEST_P(SelectivityPropertyTest, SelectivityTracksTruthOnRealData) {
+  // Estimated selectivity must track the true fraction on the generated
+  // column within a loose band (histogram resolution).
+  Rng rng(GetParam() ^ 0xdef);
+  std::vector<Value> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.emplace_back(rng.UniformInt(0, 2000));
+  }
+  ColumnStats stats = BuildColumnStats(values);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t lo = rng.UniformInt(0, 1500);
+    int64_t hi = lo + rng.UniformInt(10, 500);
+    BoundPredicate between{BoundColumn{0, 0}, CompareOp::kGe, Value(lo),
+                           Value(hi)};
+    double est = PredicateSelectivity(stats, between);
+    double truth = 0.0;
+    for (const Value& v : values) {
+      if (v >= Value(lo) && v <= Value(hi)) truth += 1.0;
+    }
+    truth /= static_cast<double>(values.size());
+    EXPECT_NEAR(est, truth, 0.05) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(SelectivityPropertyTest, NeSelComplementariesEq) {
+  Rng rng(GetParam() ^ 0x123);
+  ColumnStats stats = MakeStats(rng, 2000, 0, 50);
+  for (int trial = 0; trial < 10; ++trial) {
+    Value v(rng.UniformInt(0, 50));
+    BoundPredicate eq{BoundColumn{0, 0}, CompareOp::kEq, v, std::nullopt};
+    BoundPredicate ne{BoundColumn{0, 0}, CompareOp::kNe, v, std::nullopt};
+    EXPECT_NEAR(PredicateSelectivity(stats, eq) +
+                    PredicateSelectivity(stats, ne),
+                1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectivityPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------- Cost model properties ----------
+
+TEST(CostModelPropertyTest, MackertLohmanBounds) {
+  // Pages fetched is bounded by both the tuple count and the relation
+  // size, and is monotone in tuples.
+  double prev = 0.0;
+  for (double tuples : {1.0, 10.0, 100.0, 1000.0, 10000.0, 1e6}) {
+    double fetched = IndexPagesFetched(tuples, 500.0, 16384.0);
+    EXPECT_LE(fetched, 500.0 + 1e-9);
+    EXPECT_LE(fetched, tuples + 1.0);
+    EXPECT_GE(fetched, prev - 1e-9);
+    prev = fetched;
+  }
+  EXPECT_DOUBLE_EQ(IndexPagesFetched(0.0, 500.0, 16384.0), 0.0);
+  // Cache-constrained branch (T > b): PostgreSQL counts refetches, so
+  // the result may exceed the relation size but never the tuple count.
+  double constrained = IndexPagesFetched(1e6, 5000.0, 100.0);
+  EXPECT_GT(constrained, 5000.0) << "refetch regime must model misses";
+  EXPECT_LE(constrained, 1e6 + 1.0);
+  // And it must still be monotone in the cache size.
+  EXPECT_LE(IndexPagesFetched(1e6, 5000.0, 4000.0), constrained);
+}
+
+TEST(CostModelPropertyTest, SortCostMonotoneInRowsAndWidth) {
+  CostParams params;
+  double prev = 0.0;
+  for (double rows : {10.0, 100.0, 1000.0, 1e4, 1e5, 1e6}) {
+    double c = SortCost(params, rows, 64.0).total;
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  // Wider rows spill to disk earlier.
+  EXPECT_GE(SortCost(params, 1e5, 512.0).total,
+            SortCost(params, 1e5, 8.0).total);
+}
+
+TEST(CostModelPropertyTest, ExternalSortKicksIn) {
+  CostParams params;
+  params.work_mem_bytes = 1024;  // tiny
+  double small = SortCost(params, 10.0, 16.0).total;
+  double big = SortCost(params, 1e5, 16.0).total;
+  CostParams roomy;
+  roomy.work_mem_bytes = 1e12;
+  double big_in_mem = SortCost(roomy, 1e5, 16.0).total;
+  EXPECT_GT(big, big_in_mem) << "external sort must add IO";
+  EXPECT_LT(small, big);
+}
+
+// ---------- Whole-optimizer properties over random workloads ----------
+
+struct OptPropertyCase {
+  uint64_t seed;
+  int rows;
+};
+
+class OptimizerPropertyTest
+    : public ::testing::TestWithParam<OptPropertyCase> {};
+
+TEST_P(OptimizerPropertyTest, PathCostsScaleWithTableSize) {
+  // The same query must cost strictly more on a table 8x the size
+  // (seq scan regime).
+  SdssConfig small_cfg;
+  small_cfg.photoobj_rows = GetParam().rows;
+  small_cfg.seed = GetParam().seed;
+  SdssConfig big_cfg = small_cfg;
+  big_cfg.photoobj_rows = GetParam().rows * 8;
+  Database small = BuildSdssDatabase(small_cfg);
+  Database big = BuildSdssDatabase(big_cfg);
+
+  auto qs = ParseAndBind(small.catalog(),
+                         "SELECT objid FROM photoobj WHERE ra > 180");
+  auto qb = ParseAndBind(big.catalog(),
+                         "SELECT objid FROM photoobj WHERE ra > 180");
+  Optimizer opt_s(small.catalog(), small.all_stats());
+  Optimizer opt_b(big.catalog(), big.all_stats());
+  EXPECT_GT(opt_b.Optimize(qb.value(), PhysicalDesign{}).cost,
+            opt_s.Optimize(qs.value(), PhysicalDesign{}).cost * 4.0);
+}
+
+TEST_P(OptimizerPropertyTest, TighterPredicatesNeverCostMoreWithIndex) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 4000;
+  cfg.seed = GetParam().seed;
+  Database db = BuildSdssDatabase(cfg);
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  PhysicalDesign design;
+  design.AddIndex(
+      IndexDef{photo, {db.catalog().table(photo).FindColumn("ra")}, false});
+  Optimizer opt(db.catalog(), db.all_stats());
+
+  double prev = 0.0;
+  for (double width : {64.0, 16.0, 4.0, 1.0, 0.25}) {
+    auto q = ParseAndBind(
+        db.catalog(),
+        StrFormat("SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND %.2f",
+                  100.0 + width));
+    double cost = opt.Optimize(q.value(), design).cost;
+    if (prev > 0.0) {
+      EXPECT_LE(cost, prev * 1.0001)
+          << "narrower range got more expensive (width " << width << ")";
+    }
+    prev = cost;
+  }
+}
+
+TEST_P(OptimizerPropertyTest, PlanCostIsPositiveAndFinite) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 2000;
+  cfg.seed = GetParam().seed;
+  Database db = BuildSdssDatabase(cfg);
+  Workload w = GenerateWorkload(db, TemplateMix::Uniform(), 25,
+                                GetParam().seed * 3 + 1);
+  Optimizer opt(db.catalog(), db.all_stats());
+  Rng rng(GetParam().seed);
+  for (const BoundQuery& q : w.queries) {
+    PhysicalDesign design;
+    for (int s = 0; s < q.num_slots(); ++s) {
+      for (ColumnId c : q.PredicateColumns(s)) {
+        if (rng.Bernoulli(0.4)) {
+          design.AddIndex(IndexDef{q.tables[s], {c}, false});
+        }
+      }
+    }
+    PlanResult r = opt.Optimize(q, design);
+    ASSERT_NE(r.root, nullptr);
+    EXPECT_TRUE(std::isfinite(r.cost));
+    EXPECT_GT(r.cost, 0.0);
+    EXPECT_TRUE(std::isfinite(r.root->rows));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptimizerPropertyTest,
+                         ::testing::Values(OptPropertyCase{11, 1000},
+                                           OptPropertyCase{22, 1500},
+                                           OptPropertyCase{33, 2000}));
+
+// ---------- INUM invariants under partitioned designs ----------
+
+class InumPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InumPropertyTest, ReuseNeverBeatsExactOnPartitionedDesigns) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 3000;
+  cfg.seed = GetParam();
+  Database db = BuildSdssDatabase(cfg);
+  Workload w =
+      GenerateWorkload(db, TemplateMix::OfflineDefault(), 8, GetParam());
+  InumCostModel inum(db);
+  WhatIfOptimizer exact(db);
+  Rng rng(GetParam() ^ 0x5555);
+
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  const TableDef& def = db.catalog().table(photo);
+  for (int trial = 0; trial < 4; ++trial) {
+    PhysicalDesign design;
+    // Random split of photoobj into two fragments.
+    VerticalFragment a;
+    VerticalFragment b;
+    for (ColumnId c = 0; c < def.num_columns(); ++c) {
+      (rng.Bernoulli(0.5) ? a : b).columns.push_back(c);
+    }
+    if (!a.columns.empty() && !b.columns.empty()) {
+      VerticalPartitioning vp;
+      vp.table = photo;
+      vp.fragments = {a, b};
+      design.SetVerticalPartitioning(vp);
+    }
+    if (rng.Bernoulli(0.5)) {
+      design.AddIndex(IndexDef{photo, {def.FindColumn("ra")}, false});
+    }
+    for (const BoundQuery& q : w.queries) {
+      double fast = inum.Cost(q, design);
+      double full = exact.CostUnder(q, design);
+      EXPECT_GE(fast, full * 0.98) << q.ToSql(db.catalog());
+      EXPECT_LE(fast, full * 1.25) << q.ToSql(db.catalog());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InumPropertyTest,
+                         ::testing::Values(71u, 72u, 73u));
+
+}  // namespace
+}  // namespace dbdesign

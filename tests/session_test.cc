@@ -1,0 +1,165 @@
+// DesignSession tests: undo/redo semantics, snapshots, action log,
+// validation of interactive mutations.
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 2000;
+    cfg.seed = 31;
+    db_ = std::make_unique<Database>(BuildSdssDatabase(cfg));
+    designer_ = std::make_unique<Designer>(*db_);
+    session_ = std::make_unique<DesignSession>(*designer_);
+    photo_ = db_->catalog().FindTable(kPhotoObj);
+    ra_ = db_->catalog().table(photo_).FindColumn("ra");
+    dec_ = db_->catalog().table(photo_).FindColumn("dec");
+  }
+
+  IndexDef RaIndex() const { return IndexDef{photo_, {ra_}, false}; }
+  IndexDef DecIndex() const { return IndexDef{photo_, {dec_}, false}; }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Designer> designer_;
+  std::unique_ptr<DesignSession> session_;
+  TableId photo_ = kInvalidTableId;
+  ColumnId ra_ = kInvalidColumnId;
+  ColumnId dec_ = kInvalidColumnId;
+};
+
+TEST_F(SessionTest, CreateUndoRedo) {
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  ASSERT_TRUE(session_->CreateIndex(DecIndex()).ok());
+  EXPECT_EQ(session_->design().indexes().size(), 2u);
+  EXPECT_EQ(session_->undo_depth(), 2u);
+
+  EXPECT_TRUE(session_->Undo());
+  EXPECT_EQ(session_->design().indexes().size(), 1u);
+  EXPECT_TRUE(session_->design().HasIndex(RaIndex()));
+  EXPECT_EQ(session_->redo_depth(), 1u);
+
+  EXPECT_TRUE(session_->Redo());
+  EXPECT_EQ(session_->design().indexes().size(), 2u);
+  EXPECT_TRUE(session_->design().HasIndex(DecIndex()));
+}
+
+TEST_F(SessionTest, UndoBottomsOut) {
+  EXPECT_FALSE(session_->Undo());
+  EXPECT_FALSE(session_->Redo());
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  EXPECT_TRUE(session_->Undo());
+  EXPECT_FALSE(session_->Undo());
+  EXPECT_TRUE(session_->design().indexes().empty());
+}
+
+TEST_F(SessionTest, NewActionClearsRedo) {
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  ASSERT_TRUE(session_->Undo());
+  ASSERT_TRUE(session_->CreateIndex(DecIndex()).ok());
+  EXPECT_FALSE(session_->Redo()) << "redo history must die on new action";
+  EXPECT_FALSE(session_->design().HasIndex(RaIndex()));
+}
+
+TEST_F(SessionTest, FailedActionDoesNotPollute) {
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  size_t depth = session_->undo_depth();
+  size_t log_size = session_->log().size();
+  EXPECT_FALSE(session_->CreateIndex(RaIndex()).ok());  // duplicate
+  EXPECT_EQ(session_->undo_depth(), depth);
+  EXPECT_EQ(session_->log().size(), log_size);
+}
+
+TEST_F(SessionTest, SnapshotsSaveAndRestore) {
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  session_->SaveSnapshot("ra_only");
+  ASSERT_TRUE(session_->CreateIndex(DecIndex()).ok());
+  session_->SaveSnapshot("both");
+
+  ASSERT_TRUE(session_->RestoreSnapshot("ra_only").ok());
+  EXPECT_EQ(session_->design().indexes().size(), 1u);
+  // Restore is undoable.
+  EXPECT_TRUE(session_->Undo());
+  EXPECT_EQ(session_->design().indexes().size(), 2u);
+
+  EXPECT_EQ(session_->RestoreSnapshot("nope").code(), StatusCode::kNotFound);
+  auto names = session_->SnapshotNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(SessionTest, CompareSnapshotReportsBenefit) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 6, 5);
+  session_->SaveSnapshot("empty");
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  session_->SaveSnapshot("tuned");
+
+  auto empty_report = session_->CompareSnapshot("empty", w);
+  ASSERT_TRUE(empty_report.ok());
+  EXPECT_NEAR(empty_report.value().average_benefit(), 0.0, 1e-9);
+
+  auto tuned_report = session_->CompareSnapshot("tuned", w);
+  ASSERT_TRUE(tuned_report.ok());
+  EXPECT_GT(tuned_report.value().average_benefit(), 0.0);
+}
+
+TEST_F(SessionTest, PartitioningValidation) {
+  // Non-covering vertical partitioning must be rejected.
+  VerticalPartitioning vp;
+  vp.table = photo_;
+  vp.fragments = {VerticalFragment{{ra_}}};
+  EXPECT_EQ(session_->SetVerticalPartitioning(vp).code(),
+            StatusCode::kInvalidArgument);
+
+  // Unsorted horizontal bounds must be rejected.
+  HorizontalPartitioning hp;
+  hp.table = photo_;
+  hp.column = ra_;
+  hp.bounds = {Value(200.0), Value(100.0)};
+  EXPECT_EQ(session_->SetHorizontalPartitioning(hp).code(),
+            StatusCode::kInvalidArgument);
+
+  // A valid partitioning round-trips through undo.
+  VerticalFragment all;
+  for (ColumnId c = 0; c < db_->catalog().table(photo_).num_columns(); ++c) {
+    all.columns.push_back(c);
+  }
+  VerticalFragment hot{{ra_, dec_}};
+  vp.fragments = {hot, all};
+  ASSERT_TRUE(session_->SetVerticalPartitioning(vp).ok());
+  EXPECT_NE(session_->design().vertical(photo_), nullptr);
+  EXPECT_TRUE(session_->Undo());
+  EXPECT_EQ(session_->design().vertical(photo_), nullptr);
+}
+
+TEST_F(SessionTest, ActionLogReadsLikeAScript) {
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  ASSERT_TRUE(session_->DropIndex(RaIndex()).ok());
+  session_->SaveSnapshot("s1");
+  session_->Undo();
+  const auto& log = session_->log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "CREATE INDEX idx_photoobj_ra");
+  EXPECT_EQ(log[1], "DROP INDEX idx_photoobj_ra");
+  EXPECT_EQ(log[2], "SAVE s1");
+  EXPECT_EQ(log[3], "UNDO");
+}
+
+TEST_F(SessionTest, UndoRestoresCostExactly) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 5, 9);
+  double base = designer_->whatif().WorkloadCost(w);
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  double tuned = designer_->whatif().WorkloadCost(w);
+  EXPECT_LT(tuned, base);
+  ASSERT_TRUE(session_->Undo());
+  EXPECT_DOUBLE_EQ(designer_->whatif().WorkloadCost(w), base);
+}
+
+}  // namespace
+}  // namespace dbdesign

@@ -1,0 +1,219 @@
+// Workload substrate tests: SDSS schema/data properties, template
+// generation across all families, drift streams.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class SdssTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 5000;
+    cfg.seed = 101;
+    db_ = new Database(BuildSdssDatabase(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* SdssTest::db_ = nullptr;
+
+TEST_F(SdssTest, SchemaShape) {
+  EXPECT_EQ(db_->catalog().num_tables(), 5);
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ASSERT_NE(photo, kInvalidTableId);
+  EXPECT_EQ(db_->catalog().table(photo).num_columns(), 25);
+  EXPECT_EQ(db_->data(photo).NumRows(), 5000u);
+  TableId spec = db_->catalog().FindTable(kSpecObj);
+  EXPECT_EQ(db_->data(spec).NumRows(), 1000u);  // photoobj / 5
+  TableId neigh = db_->catalog().FindTable(kNeighbors);
+  EXPECT_EQ(db_->data(neigh).NumRows(), 10000u);  // photoobj * 2
+}
+
+TEST_F(SdssTest, StatisticsShapeMatchesDesignIntent) {
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  const TableDef& def = db_->catalog().table(photo);
+  const TableStats& stats = db_->stats(photo);
+
+  // objid sequential: perfectly clustered, unique.
+  const ColumnStats& objid = stats.column(def.FindColumn("objid"));
+  EXPECT_NEAR(objid.correlation, 1.0, 0.01);
+  EXPECT_NEAR(objid.n_distinct, 5000.0, 1.0);
+
+  // mjd grows with row order: strongly clustered.
+  const ColumnStats& mjd = stats.column(def.FindColumn("mjd"));
+  EXPECT_GT(mjd.correlation, 0.8);
+
+  // ra drifts per run stripe: strictly less clustered than objid; at
+  // production scale (many stripes) it decorrelates further — checked
+  // in the 20k-row variant below.
+  const ColumnStats& ra = stats.column(def.FindColumn("ra"));
+  EXPECT_LT(std::abs(ra.correlation), std::abs(objid.correlation));
+  EXPECT_GE(ra.min.AsDouble(), 0.0);
+  EXPECT_LT(ra.max.AsDouble(), 360.0);
+
+  // type is skewed: galaxy (3) must be the top MCV with ~65% frequency.
+  const ColumnStats& type = stats.column(def.FindColumn("type"));
+  ASSERT_FALSE(type.mcv.empty());
+  EXPECT_EQ(type.mcv[0].value, Value(int64_t{3}));
+  EXPECT_NEAR(type.mcv[0].frequency, 0.65, 0.05);
+}
+
+TEST(SdssScaleTest, RaDecorrelatesWithManyStripes) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 20000;  // 8 scan stripes
+  cfg.seed = 5;
+  Database db = BuildSdssDatabase(cfg);
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  const TableDef& def = db.catalog().table(photo);
+  double ra_corr = std::abs(
+      db.stats(photo).column(def.FindColumn("ra")).correlation);
+  EXPECT_LT(ra_corr, 0.6)
+      << "ra must be substantially unclustered at production scale";
+}
+
+TEST_F(SdssTest, ForeignKeysResolve) {
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  TableId spec = db_->catalog().FindTable(kSpecObj);
+  const TableDef& sdef = db_->catalog().table(spec);
+  ColumnId best = sdef.FindColumn("bestobjid");
+  // Every specobj.bestobjid must be a valid photoobj objid (i*16+1).
+  std::set<int64_t> objids;
+  ColumnId objid_col = db_->catalog().table(photo).FindColumn("objid");
+  for (const Row& r : db_->data(photo).rows()) {
+    objids.insert(r[static_cast<size_t>(objid_col)].AsInt());
+  }
+  for (const Row& r : db_->data(spec).rows()) {
+    EXPECT_TRUE(objids.count(r[static_cast<size_t>(best)].AsInt()) > 0);
+  }
+}
+
+TEST_F(SdssTest, DeterministicGeneration) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 500;
+  cfg.seed = 7;
+  Database a = BuildSdssDatabase(cfg);
+  Database b = BuildSdssDatabase(cfg);
+  TableId photo = a.catalog().FindTable(kPhotoObj);
+  ASSERT_EQ(a.data(photo).NumRows(), b.data(photo).NumRows());
+  for (RowId r = 0; r < a.data(photo).NumRows(); r += 37) {
+    EXPECT_EQ(a.data(photo).row(r)[1].AsDouble(),
+              b.data(photo).row(r)[1].AsDouble());
+  }
+}
+
+class TemplateTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(TemplateTest, AllSeedsBindAndReferenceRealColumns) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 300;
+  static Database db = BuildSdssDatabase(cfg);
+  SdssTemplate t = static_cast<SdssTemplate>(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+  for (int i = 0; i < 25; ++i) {
+    BoundQuery q = GenerateSdssQuery(db, t, rng);
+    EXPECT_GE(q.num_slots(), 1);
+    // Each generated query must have at least one sargable predicate or
+    // aggregate — pure full scans would make tuning moot.
+    EXPECT_TRUE(!q.filters.empty() || !q.joins.empty() ||
+                q.HasAggregates());
+    // Round-trip through SQL.
+    std::string sql = q.ToSql(db.catalog());
+    EXPECT_FALSE(sql.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, TemplateTest,
+                         ::testing::Range(0, kNumSdssTemplates),
+                         [](const auto& param_info) {
+                           return SdssTemplateName(
+                               static_cast<SdssTemplate>(param_info.param));
+                         });
+
+TEST(WorkloadGenTest, MixWeightsAreRespected) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 300;
+  Database db = BuildSdssDatabase(cfg);
+  TemplateMix mix;  // only cone searches
+  mix.weights[static_cast<int>(SdssTemplate::kConeSearch)] = 1.0;
+  Workload w = GenerateWorkload(db, mix, 30, 11);
+  ASSERT_EQ(w.size(), 30u);
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  ColumnId ra = db.catalog().table(photo).FindColumn("ra");
+  for (const BoundQuery& q : w.queries) {
+    ASSERT_EQ(q.num_slots(), 1);
+    EXPECT_EQ(q.tables[0], photo);
+    bool has_ra = false;
+    for (const BoundPredicate& p : q.filters) {
+      has_ra |= p.column.column == ra;
+    }
+    EXPECT_TRUE(has_ra);
+  }
+}
+
+TEST(WorkloadGenTest, WorkloadIdsAreSequential) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 300;
+  Database db = BuildSdssDatabase(cfg);
+  Workload w = GenerateWorkload(db, TemplateMix::Uniform(), 12, 13);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(w.queries[i].id, static_cast<int>(i));
+    EXPECT_DOUBLE_EQ(w.WeightOf(i), 1.0);
+  }
+}
+
+TEST(WorkloadGenTest, DriftingStreamPhases) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 300;
+  Database db = BuildSdssDatabase(cfg);
+  std::vector<BoundQuery> stream = GenerateDriftingStream(
+      db, {TemplateMix::PhaseSelections(), TemplateMix::PhaseJoins()}, 40,
+      17);
+  ASSERT_EQ(stream.size(), 80u);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, static_cast<int>(i));
+  }
+  // Phase 1 is selection-only (single slot); phase 2 is join-heavy.
+  int joins_phase1 = 0;
+  int joins_phase2 = 0;
+  for (size_t i = 0; i < 40; ++i) joins_phase1 += !stream[i].joins.empty();
+  for (size_t i = 40; i < 80; ++i) joins_phase2 += !stream[i].joins.empty();
+  EXPECT_EQ(joins_phase1, 0);
+  EXPECT_EQ(joins_phase2, 40);
+}
+
+TEST(WorkloadGenTest, StructuralHashDistinguishesQueries) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = 300;
+  Database db = BuildSdssDatabase(cfg);
+  Workload w = GenerateWorkload(db, TemplateMix::Uniform(), 40, 19);
+  std::set<uint64_t> hashes;
+  std::set<std::string> sqls;
+  for (const BoundQuery& q : w.queries) {
+    hashes.insert(q.StructuralHash());
+    sqls.insert(q.ToSql(db.catalog()));
+  }
+  // Hash cardinality must match SQL-text cardinality (no collisions,
+  // no spurious distinctions).
+  EXPECT_EQ(hashes.size(), sqls.size());
+
+  // Id changes must not change the hash.
+  BoundQuery q = w.queries[0];
+  uint64_t h1 = q.StructuralHash();
+  q.id = 9999;
+  EXPECT_EQ(q.StructuralHash(), h1);
+}
+
+}  // namespace
+}  // namespace dbdesign

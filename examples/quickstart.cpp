@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "backend/inmemory_backend.h"
 #include "core/designer.h"
 #include "core/report.h"
 #include "sql/binder.h"
@@ -39,8 +40,11 @@ int main() {
     return 1;
   }
 
-  // 3. What-if: cost before and after a hypothetical index.
-  WhatIfOptimizer whatif(db);
+  // 3. What-if: cost before and after a hypothetical index. The
+  // designer talks to the engine only through the DbmsBackend seam;
+  // swap InMemoryBackend for your own implementation to port it.
+  InMemoryBackend backend(db);
+  WhatIfOptimizer whatif(backend);
   PlanResult before = whatif.Plan(query.value());
   std::printf("\n--- plan without indexes (cost %.1f) ---\n%s\n",
               before.cost,
@@ -65,14 +69,14 @@ int main() {
   // 4. Automatic recommendation for a 12-query workload.
   Workload workload =
       GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, /*seed=*/7);
-  Designer designer(db);
+  Designer designer(backend);
   double data_pages = 0.0;
   for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
     data_pages += db.stats(t).HeapPages(db.catalog().table(t));
   }
   OfflineRecommendation rec = designer.RecommendOffline(workload, data_pages);
   std::printf("\n%s\n",
-              RenderOfflineRecommendation(db.catalog(), db, workload, rec)
+              RenderOfflineRecommendation(db.catalog(), backend, workload, rec)
                   .c_str());
   return 0;
 }

@@ -9,13 +9,19 @@
 
 namespace dbdesign {
 
-AutoPartAdvisor::AutoPartAdvisor(const Database& db, CostParams params,
+AutoPartAdvisor::AutoPartAdvisor(DbmsBackend& backend, AutoPartOptions options)
+    : backend_(&backend), options_(options), inum_(backend) {}
+
+AutoPartAdvisor::AutoPartAdvisor(std::shared_ptr<DbmsBackend> owned,
                                  AutoPartOptions options)
-    : db_(&db), options_(options), inum_(db, params) {}
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      options_(options),
+      inum_(*backend_) {}
 
 std::vector<VerticalFragment> AutoPartAdvisor::AtomicFragments(
     TableId table, const Workload& workload) const {
-  const TableDef& def = db_->catalog().table(table);
+  const TableDef& def = backend_->catalog().table(table);
   // Access signature per column: bitmask over queries touching it.
   std::vector<uint64_t> signature(static_cast<size_t>(def.num_columns()), 0);
   for (size_t qi = 0; qi < workload.size() && qi < 64; ++qi) {
@@ -55,8 +61,8 @@ PartitionRecommendation AutoPartAdvisor::Recommend(const Workload& workload) {
   }
 
   for (TableId table : touched) {
-    const TableDef& def = db_->catalog().table(table);
-    const TableStats& stats = db_->stats(table);
+    const TableDef& def = backend_->catalog().table(table);
+    const TableStats& stats = backend_->stats(table);
     if (stats.HeapPages(def) < options_.min_table_pages) continue;
 
     // --- Vertical: atomic fragments, then greedy merging ---
@@ -231,7 +237,7 @@ PartitionRecommendation AutoPartAdvisor::Recommend(const Workload& workload) {
 
 std::string AutoPartAdvisor::RewriteQuery(const BoundQuery& query,
                                           const PhysicalDesign& design) const {
-  const Catalog& catalog = db_->catalog();
+  const Catalog& catalog = backend_->catalog();
   // Per slot: fragments needed to cover the referenced columns.
   std::vector<std::string> from_items;
   std::vector<std::string> join_conds;

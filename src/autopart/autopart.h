@@ -20,12 +20,15 @@
 #ifndef DBDESIGN_AUTOPART_AUTOPART_H_
 #define DBDESIGN_AUTOPART_AUTOPART_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "inum/inum.h"
 
 namespace dbdesign {
+
+class Database;  // legacy convenience constructor only
 
 struct AutoPartOptions {
   /// Stored-bytes / original-bytes ceiling for column replication.
@@ -64,6 +67,11 @@ struct PartitionRecommendation {
 
 class AutoPartAdvisor {
  public:
+  /// Attaches to a backend (non-owning); cost parameters come from it.
+  explicit AutoPartAdvisor(DbmsBackend& backend, AutoPartOptions options = {});
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend (defined
+  /// in backend/compat.cc).
   explicit AutoPartAdvisor(const Database& db, CostParams params = {},
                            AutoPartOptions options = {});
 
@@ -78,11 +86,15 @@ class AutoPartAdvisor {
   InumCostModel& inum() { return inum_; }
 
  private:
+  /// Owning constructor used by the legacy Database path.
+  AutoPartAdvisor(std::shared_ptr<DbmsBackend> owned, AutoPartOptions options);
+
   /// Builds atomic fragments for one table from query access patterns.
   std::vector<VerticalFragment> AtomicFragments(
       TableId table, const Workload& workload) const;
 
-  const Database* db_;
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   AutoPartOptions options_;
   InumCostModel inum_;
 };

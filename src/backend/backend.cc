@@ -1,0 +1,39 @@
+#include "backend/backend.h"
+
+namespace dbdesign {
+
+Status DbmsBackend::RefreshAllStatistics(const AnalyzeOptions& options) {
+  for (TableId t = 0; t < catalog().num_tables(); ++t) {
+    Status s = RefreshStatistics(t, options);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+IndexSizeEstimate DbmsBackend::EstimateIndexSize(const IndexDef& index) const {
+  return dbdesign::EstimateIndexSize(index, catalog().table(index.table),
+                                     stats(index.table));
+}
+
+Result<double> DbmsBackend::CostQuery(const BoundQuery& query,
+                                      const PhysicalDesign& design,
+                                      const PlannerKnobs& knobs) {
+  Result<PlanResult> plan = OptimizeQuery(query, design, knobs);
+  if (!plan.ok()) return plan.status();
+  return plan.value().cost;
+}
+
+Result<std::vector<double>> DbmsBackend::CostBatch(
+    std::span<const BoundQuery> queries, const PhysicalDesign& design,
+    const PlannerKnobs& knobs) {
+  std::vector<double> costs;
+  costs.reserve(queries.size());
+  for (const BoundQuery& q : queries) {
+    Result<double> c = CostQuery(q, design, knobs);
+    if (!c.ok()) return c.status();
+    costs.push_back(c.value());
+  }
+  return costs;
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,115 @@
+// DbmsBackend: the engine-portability boundary of the designer.
+//
+// The paper claims the tool "can be ported to any relational DBMS which
+// offers a query optimizer, a way to extract and create statistics, and
+// control over join operations". This interface makes that boundary
+// explicit as exactly those three primitives:
+//
+//   1. What-if optimizer cost calls — OptimizeQuery / CostQuery, and the
+//      batched CostBatch that amortizes one backend round-trip over a
+//      whole workload (the designer's hot path).
+//   2. Statistics extraction and creation — catalog(), all_stats(),
+//      RefreshStatistics(), EstimateIndexSize().
+//   3. Join-operator control — every cost call takes PlannerKnobs
+//      (PostgreSQL enable_* style); join_control() reports which join
+//      operators the engine lets the tool toggle.
+//
+// Everything above this interface (what-if component, INUM, CoPhy,
+// AutoPart, COLT, the Designer facade) is engine-agnostic: porting the
+// designer to a real DBMS means implementing this one header. Two
+// implementations ship in-tree: InMemoryBackend (the bundled engine)
+// and TraceBackend (record/replay of backend calls to JSON).
+
+#ifndef DBDESIGN_BACKEND_BACKEND_H_
+#define DBDESIGN_BACKEND_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "catalog/design.h"
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "optimizer/cost_params.h"
+#include "optimizer/plan.h"
+#include "sql/bound_query.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Which join operators the engine lets the tool force on or off
+/// (primitive 3). An engine without some operator still ports — the
+/// what-if join component just loses that toggle.
+struct JoinControlCapabilities {
+  bool nested_loop = true;
+  bool index_nested_loop = true;
+  bool hash_join = true;
+  bool merge_join = true;
+};
+
+class DbmsBackend {
+ public:
+  virtual ~DbmsBackend() = default;
+
+  /// Short engine identifier ("inmemory", "trace", ...).
+  virtual std::string name() const = 0;
+
+  /// The engine's cost-model parameters (server-side GUCs in a real
+  /// DBMS). Components take their CostParams from here so client-side
+  /// cost formulas (INUM reuse) agree with backend cost calls.
+  virtual const CostParams& cost_params() const = 0;
+
+  // --- Primitive 2: statistics extraction / creation ---
+  virtual const Catalog& catalog() const = 0;
+  virtual const std::vector<TableStats>& all_stats() const = 0;
+  const TableStats& stats(TableId table) const { return all_stats()[table]; }
+
+  /// Recomputes statistics for one table (ANALYZE). Backends without a
+  /// mutable engine attachment return an error.
+  virtual Status RefreshStatistics(TableId table,
+                                   const AnalyzeOptions& options) = 0;
+  Status RefreshAllStatistics(const AnalyzeOptions& options = {});
+
+  /// Honest (never zero) size estimate for a hypothetical index.
+  virtual IndexSizeEstimate EstimateIndexSize(const IndexDef& index) const;
+
+  /// The materialized physical configuration.
+  virtual PhysicalDesign CurrentDesign() const = 0;
+
+  // --- Primitive 1: what-if optimizer cost calls ---
+  /// Full plan for `query` under hypothetical `design`, with the join
+  /// knobs applied. Errors (unknown query on a replay backend, invalid
+  /// design) surface as Status — never as sentinel costs.
+  virtual Result<PlanResult> OptimizeQuery(const BoundQuery& query,
+                                           const PhysicalDesign& design,
+                                           const PlannerKnobs& knobs) = 0;
+
+  /// Cost-only variant; default delegates to OptimizeQuery.
+  virtual Result<double> CostQuery(const BoundQuery& query,
+                                   const PhysicalDesign& design,
+                                   const PlannerKnobs& knobs);
+
+  /// Batched costing: all queries under one design in a single backend
+  /// round-trip. Returns one cost per query, in order. The default
+  /// loops CostQuery; real backends override to amortize (deduplicate
+  /// repeated queries, share one connection/transaction, one RPC).
+  virtual Result<std::vector<double>> CostBatch(
+      std::span<const BoundQuery> queries, const PhysicalDesign& design,
+      const PlannerKnobs& knobs);
+
+  // --- Primitive 3: join-operator control ---
+  virtual JoinControlCapabilities join_control() const { return {}; }
+
+  /// Number of expensive optimizer invocations served so far. Batched
+  /// calls may invoke the optimizer fewer times than they have queries
+  /// (InMemoryBackend optimizes each *distinct* query once); a backend
+  /// that answers without running an optimizer at all (TraceBackend
+  /// replay) reports zero. Benchmarks read this to observe amortization.
+  virtual uint64_t num_optimizer_calls() const = 0;
+  virtual void ResetCallCount() = 0;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_BACKEND_BACKEND_H_

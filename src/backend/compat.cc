@@ -1,0 +1,87 @@
+// Legacy Database-taking entry points.
+//
+// Every designer component's primary constructor takes a DbmsBackend.
+// The overloads here keep the original `const Database&` signatures
+// working by wrapping the database in an owned InMemoryBackend. They
+// live in this one translation unit so that the component headers and
+// sources stay free of storage/ includes — the portability boundary is
+// enforced structurally, not just by convention.
+
+#include <memory>
+
+#include "autopart/autopart.h"
+#include "backend/inmemory_backend.h"
+#include "colt/colt.h"
+#include "cophy/candidates.h"
+#include "cophy/cophy.h"
+#include "cophy/greedy.h"
+#include "core/designer.h"
+#include "core/report.h"
+#include "inum/inum.h"
+#include "storage/database.h"
+#include "whatif/whatif.h"
+
+namespace dbdesign {
+
+namespace {
+
+std::shared_ptr<DbmsBackend> Wrap(const Database& db, CostParams params) {
+  return std::make_shared<InMemoryBackend>(db, params);
+}
+
+}  // namespace
+
+WhatIfOptimizer::WhatIfOptimizer(const Database& db, CostParams params)
+    : WhatIfOptimizer(Wrap(db, params)) {}
+
+InumCostModel::InumCostModel(const Database& db, CostParams params,
+                             InumOptions options)
+    : InumCostModel(Wrap(db, params), options) {}
+
+ColtTuner::ColtTuner(const Database& db, CostParams params,
+                     ColtOptions options)
+    : ColtTuner(Wrap(db, params), options) {}
+
+CoPhyAdvisor::CoPhyAdvisor(const Database& db, CostParams params,
+                           CoPhyOptions options)
+    : CoPhyAdvisor(Wrap(db, params), options) {}
+
+GreedyAdvisor::GreedyAdvisor(const Database& db, CostParams params,
+                             GreedyOptions options)
+    : GreedyAdvisor(Wrap(db, params), options) {}
+
+AutoPartAdvisor::AutoPartAdvisor(const Database& db, CostParams params,
+                                 AutoPartOptions options)
+    : AutoPartAdvisor(Wrap(db, params), options) {}
+
+Designer::Designer(const Database& db, DesignerOptions options)
+    : Designer(Wrap(db, options.params), std::move(options)) {}
+
+double EstimateIndexBuildCost(const Database& db, const IndexDef& index,
+                              const CostParams& params) {
+  InMemoryBackend backend(db, params);
+  return EstimateIndexBuildCost(backend, index, params);
+}
+
+std::vector<CandidateIndex> GenerateCandidates(
+    const Database& db, const Workload& workload,
+    const CandidateOptions& options) {
+  InMemoryBackend backend(db);
+  return GenerateCandidates(backend, workload, options);
+}
+
+std::string RenderIndexList(const Catalog& catalog, const Database& db,
+                            const std::vector<IndexDef>& indexes) {
+  InMemoryBackend backend(db);
+  return RenderIndexList(catalog, backend, indexes);
+}
+
+std::string RenderOfflineRecommendation(const Catalog& catalog,
+                                        const Database& db,
+                                        const Workload& workload,
+                                        const OfflineRecommendation& rec) {
+  InMemoryBackend backend(db);
+  return RenderOfflineRecommendation(catalog, backend, workload, rec);
+}
+
+}  // namespace dbdesign

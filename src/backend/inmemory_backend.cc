@@ -1,0 +1,74 @@
+#include "backend/inmemory_backend.h"
+
+#include <unordered_map>
+
+namespace dbdesign {
+
+InMemoryBackend::InMemoryBackend(const Database& db, CostParams params)
+    : db_(&db),
+      mutable_db_(nullptr),
+      params_(params),
+      optimizer_(db.catalog(), db.all_stats(), params) {}
+
+InMemoryBackend::InMemoryBackend(Database& db, CostParams params)
+    : db_(&db),
+      mutable_db_(&db),
+      params_(params),
+      optimizer_(db.catalog(), db.all_stats(), params) {}
+
+Status InMemoryBackend::RefreshStatistics(TableId table,
+                                          const AnalyzeOptions& options) {
+  if (table < 0 || table >= db_->catalog().num_tables()) {
+    return Status::InvalidArgument("bad table id for ANALYZE");
+  }
+  if (mutable_db_ == nullptr) {
+    return Status::Unimplemented(
+        "statistics creation requires a mutable database attachment");
+  }
+  mutable_db_->AnalyzeTable(table, options);
+  return Status::OK();
+}
+
+Status InMemoryBackend::ValidateQuery(const BoundQuery& query) const {
+  for (TableId t : query.tables) {
+    if (t < 0 || t >= db_->catalog().num_tables()) {
+      return Status::InvalidArgument("query references unknown table id " +
+                                     std::to_string(t));
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanResult> InMemoryBackend::OptimizeQuery(const BoundQuery& query,
+                                                  const PhysicalDesign& design,
+                                                  const PlannerKnobs& knobs) {
+  Status st = ValidateQuery(query);
+  if (!st.ok()) return st;
+  optimizer_.set_knobs(knobs);
+  PlanResult result = optimizer_.Optimize(query, design);
+  if (result.root == nullptr) {
+    return Status::Internal("optimizer produced no plan");
+  }
+  return result;
+}
+
+Result<std::vector<double>> InMemoryBackend::CostBatch(
+    std::span<const BoundQuery> queries, const PhysicalDesign& design,
+    const PlannerKnobs& knobs) {
+  std::vector<double> costs(queries.size(), 0.0);
+  std::unordered_map<uint64_t, double> memo;
+  memo.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    uint64_t key = queries[i].StructuralHash();
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      Result<double> c = CostQuery(queries[i], design, knobs);
+      if (!c.ok()) return c.status();
+      it = memo.emplace(key, c.value()).first;
+    }
+    costs[i] = it->second;
+  }
+  return costs;
+}
+
+}  // namespace dbdesign

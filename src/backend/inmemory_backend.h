@@ -1,0 +1,63 @@
+// InMemoryBackend: DbmsBackend over the bundled storage/ + optimizer/
+// engine — the stand-in for the PostgreSQL instance the paper's tool
+// attaches to. This is the only place the designer stack touches the
+// concrete Database type.
+
+#ifndef DBDESIGN_BACKEND_INMEMORY_BACKEND_H_
+#define DBDESIGN_BACKEND_INMEMORY_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "optimizer/optimizer.h"
+#include "storage/database.h"
+
+namespace dbdesign {
+
+class InMemoryBackend final : public DbmsBackend {
+ public:
+  /// Read-only attachment: cost calls and statistics extraction work,
+  /// RefreshStatistics (statistics *creation*) reports an error.
+  explicit InMemoryBackend(const Database& db, CostParams params = {});
+  /// Mutable attachment: additionally supports RefreshStatistics.
+  explicit InMemoryBackend(Database& db, CostParams params = {});
+
+  std::string name() const override { return "inmemory"; }
+  const CostParams& cost_params() const override { return params_; }
+
+  const Catalog& catalog() const override { return db_->catalog(); }
+  const std::vector<TableStats>& all_stats() const override {
+    return db_->all_stats();
+  }
+  Status RefreshStatistics(TableId table,
+                           const AnalyzeOptions& options) override;
+  PhysicalDesign CurrentDesign() const override { return db_->CurrentDesign(); }
+
+  Result<PlanResult> OptimizeQuery(const BoundQuery& query,
+                                   const PhysicalDesign& design,
+                                   const PlannerKnobs& knobs) override;
+
+  /// Amortized batch: structurally identical queries are optimized once
+  /// (query streams repeat; the counter advances per distinct query).
+  Result<std::vector<double>> CostBatch(std::span<const BoundQuery> queries,
+                                        const PhysicalDesign& design,
+                                        const PlannerKnobs& knobs) override;
+
+  uint64_t num_optimizer_calls() const override { return optimizer_.num_calls(); }
+  void ResetCallCount() override { optimizer_.ResetCallCount(); }
+
+  const Database& db() const { return *db_; }
+
+ private:
+  Status ValidateQuery(const BoundQuery& query) const;
+
+  const Database* db_;
+  Database* mutable_db_;
+  CostParams params_;
+  mutable Optimizer optimizer_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_BACKEND_INMEMORY_BACKEND_H_

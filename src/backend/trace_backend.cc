@@ -1,0 +1,584 @@
+#include "backend/trace_backend.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/str.h"
+
+namespace dbdesign {
+
+namespace {
+
+constexpr int kTraceVersion = 1;
+
+std::string KnobsKey(const PlannerKnobs& k) {
+  std::string s(8, '0');
+  s[0] = k.enable_seqscan ? '1' : '0';
+  s[1] = k.enable_indexscan ? '1' : '0';
+  s[2] = k.enable_indexonlyscan ? '1' : '0';
+  s[3] = k.enable_nestloop ? '1' : '0';
+  s[4] = k.enable_indexnestloop ? '1' : '0';
+  s[5] = k.enable_hashjoin ? '1' : '0';
+  s[6] = k.enable_mergejoin ? '1' : '0';
+  s[7] = k.enable_sort ? '1' : '0';
+  return s;
+}
+
+Json ValueToJson(const Value& v) {
+  Json j = Json::Object();
+  switch (v.type()) {
+    case DataType::kInt64: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, v.AsInt());
+      j["i"] = Json::Str(buf);
+      break;
+    }
+    case DataType::kDouble:
+      j["d"] = Json::Number(v.AsDouble());
+      break;
+    case DataType::kString:
+      j["s"] = Json::Str(v.AsString());
+      break;
+  }
+  return j;
+}
+
+Result<Value> ValueFromJson(const Json& j) {
+  if (const Json* i = j.Find("i")) {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(i->str().c_str(), &end, 10);
+    if (end == i->str().c_str() || *end != '\0' || errno == ERANGE) {
+      return Status::ParseError("bad int64 value in trace: " + i->str());
+    }
+    return Value(static_cast<int64_t>(v));
+  }
+  if (const Json* d = j.Find("d")) return Value(d->number());
+  if (const Json* s = j.Find("s")) return Value(s->str());
+  return Status::ParseError("bad value encoding in trace");
+}
+
+Json ColumnStatsToJson(const ColumnStats& c) {
+  Json j = Json::Object();
+  j["n_distinct"] = Json::Number(c.n_distinct);
+  j["null_frac"] = Json::Number(c.null_frac);
+  j["min"] = ValueToJson(c.min);
+  j["max"] = ValueToJson(c.max);
+  j["correlation"] = Json::Number(c.correlation);
+  Json hist = Json::Array();
+  for (const Value& v : c.histogram) hist.Append(ValueToJson(v));
+  j["histogram"] = std::move(hist);
+  Json mcv = Json::Array();
+  for (const McvEntry& e : c.mcv) {
+    Json m = Json::Object();
+    m["v"] = ValueToJson(e.value);
+    m["f"] = Json::Number(e.frequency);
+    mcv.Append(std::move(m));
+  }
+  j["mcv"] = std::move(mcv);
+  return j;
+}
+
+Result<ColumnStats> ColumnStatsFromJson(const Json& j) {
+  ColumnStats c;
+  if (const Json* v = j.Find("n_distinct")) c.n_distinct = v->number();
+  if (const Json* v = j.Find("null_frac")) c.null_frac = v->number();
+  if (const Json* v = j.Find("correlation")) c.correlation = v->number();
+  if (const Json* v = j.Find("min")) {
+    Result<Value> r = ValueFromJson(*v);
+    if (!r.ok()) return r.status();
+    c.min = r.value();
+  }
+  if (const Json* v = j.Find("max")) {
+    Result<Value> r = ValueFromJson(*v);
+    if (!r.ok()) return r.status();
+    c.max = r.value();
+  }
+  if (const Json* v = j.Find("histogram")) {
+    for (const Json& h : v->items()) {
+      Result<Value> r = ValueFromJson(h);
+      if (!r.ok()) return r.status();
+      c.histogram.push_back(r.value());
+    }
+  }
+  if (const Json* v = j.Find("mcv")) {
+    for (const Json& m : v->items()) {
+      const Json* mv = m.Find("v");
+      const Json* mf = m.Find("f");
+      if (mv == nullptr || mf == nullptr) {
+        return Status::ParseError("bad mcv entry in trace");
+      }
+      Result<Value> r = ValueFromJson(*mv);
+      if (!r.ok()) return r.status();
+      c.mcv.push_back(McvEntry{r.value(), mf->number()});
+    }
+  }
+  return c;
+}
+
+Json IndexToJson(const IndexDef& idx) {
+  Json j = Json::Object();
+  j["table"] = Json::Number(idx.table);
+  Json cols = Json::Array();
+  for (ColumnId c : idx.columns) cols.Append(Json::Number(c));
+  j["columns"] = std::move(cols);
+  j["unique"] = Json::Bool(idx.unique);
+  return j;
+}
+
+IndexDef IndexFromJson(const Json& j) {
+  IndexDef idx;
+  if (const Json* t = j.Find("table")) idx.table = static_cast<TableId>(t->number());
+  if (const Json* cols = j.Find("columns")) {
+    for (const Json& c : cols->items()) {
+      idx.columns.push_back(static_cast<ColumnId>(c.number()));
+    }
+  }
+  if (const Json* u = j.Find("unique")) idx.unique = u->bool_value();
+  return idx;
+}
+
+Json DesignToJson(const PhysicalDesign& d, const Catalog& catalog) {
+  Json j = Json::Object();
+  Json indexes = Json::Array();
+  for (const IndexDef& idx : d.indexes()) indexes.Append(IndexToJson(idx));
+  j["indexes"] = std::move(indexes);
+  Json vertical = Json::Array();
+  Json horizontal = Json::Array();
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    if (const VerticalPartitioning* vp = d.vertical(t)) {
+      Json v = Json::Object();
+      v["table"] = Json::Number(t);
+      Json frags = Json::Array();
+      for (const VerticalFragment& f : vp->fragments) {
+        Json cols = Json::Array();
+        for (ColumnId c : f.columns) cols.Append(Json::Number(c));
+        frags.Append(std::move(cols));
+      }
+      v["fragments"] = std::move(frags);
+      vertical.Append(std::move(v));
+    }
+    if (const HorizontalPartitioning* hp = d.horizontal(t)) {
+      Json h = Json::Object();
+      h["table"] = Json::Number(t);
+      h["column"] = Json::Number(hp->column);
+      Json bounds = Json::Array();
+      for (const Value& b : hp->bounds) bounds.Append(ValueToJson(b));
+      h["bounds"] = std::move(bounds);
+      horizontal.Append(std::move(h));
+    }
+  }
+  j["vertical"] = std::move(vertical);
+  j["horizontal"] = std::move(horizontal);
+  return j;
+}
+
+Result<PhysicalDesign> DesignFromJson(const Json& j) {
+  PhysicalDesign d;
+  if (const Json* indexes = j.Find("indexes")) {
+    for (const Json& i : indexes->items()) d.AddIndex(IndexFromJson(i));
+  }
+  if (const Json* vertical = j.Find("vertical")) {
+    for (const Json& v : vertical->items()) {
+      VerticalPartitioning vp;
+      if (const Json* t = v.Find("table")) vp.table = static_cast<TableId>(t->number());
+      if (const Json* frags = v.Find("fragments")) {
+        for (const Json& f : frags->items()) {
+          VerticalFragment frag;
+          for (const Json& c : f.items()) {
+            frag.columns.push_back(static_cast<ColumnId>(c.number()));
+          }
+          vp.fragments.push_back(std::move(frag));
+        }
+      }
+      d.SetVerticalPartitioning(std::move(vp));
+    }
+  }
+  if (const Json* horizontal = j.Find("horizontal")) {
+    for (const Json& h : horizontal->items()) {
+      HorizontalPartitioning hp;
+      if (const Json* t = h.Find("table")) hp.table = static_cast<TableId>(t->number());
+      if (const Json* c = h.Find("column")) hp.column = static_cast<ColumnId>(c->number());
+      if (const Json* bounds = h.Find("bounds")) {
+        for (const Json& b : bounds->items()) {
+          Result<Value> r = ValueFromJson(b);
+          if (!r.ok()) return r.status();
+          hp.bounds.push_back(r.value());
+        }
+      }
+      d.SetHorizontalPartitioning(std::move(hp));
+    }
+  }
+  return d;
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  if (name == "int64") return DataType::kInt64;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  return Status::ParseError("unknown data type in trace: " + name);
+}
+
+}  // namespace
+
+namespace {
+
+/// The design/knobs part of a call key — computed once per batch.
+std::string CallKeySuffix(const PhysicalDesign& design,
+                          const PlannerKnobs& knobs) {
+  return "|" + design.Fingerprint() + "|" + KnobsKey(knobs);
+}
+
+std::string CallKeyWithSuffix(const BoundQuery& query,
+                              const std::string& suffix) {
+  char qh[20];
+  std::snprintf(qh, sizeof(qh), "%016" PRIx64, query.StructuralHash());
+  return std::string(qh) + suffix;
+}
+
+}  // namespace
+
+std::string TraceBackend::CallKey(const BoundQuery& query,
+                                  const PhysicalDesign& design,
+                                  const PlannerKnobs& knobs) {
+  return CallKeyWithSuffix(query, CallKeySuffix(design, knobs));
+}
+
+std::unique_ptr<TraceBackend> TraceBackend::Record(DbmsBackend& inner) {
+  auto t = std::unique_ptr<TraceBackend>(new TraceBackend());
+  t->inner_ = &inner;
+  t->source_name_ = inner.name();
+  t->params_ = inner.cost_params();
+  t->caps_ = inner.join_control();
+  t->design_ = inner.CurrentDesign();
+  return t;
+}
+
+const Catalog& TraceBackend::catalog() const {
+  return recording() ? inner_->catalog() : catalog_;
+}
+
+const std::vector<TableStats>& TraceBackend::all_stats() const {
+  return recording() ? inner_->all_stats() : stats_;
+}
+
+Status TraceBackend::RefreshStatistics(TableId table,
+                                       const AnalyzeOptions& options) {
+  if (recording()) return inner_->RefreshStatistics(table, options);
+  return Status::Unimplemented("statistics are frozen in a replayed trace");
+}
+
+PhysicalDesign TraceBackend::CurrentDesign() const {
+  return recording() ? inner_->CurrentDesign() : design_;
+}
+
+uint64_t TraceBackend::num_optimizer_calls() const {
+  return recording() ? inner_->num_optimizer_calls() : calls_;
+}
+
+void TraceBackend::ResetCallCount() {
+  if (recording()) {
+    inner_->ResetCallCount();
+  } else {
+    calls_ = 0;
+  }
+}
+
+Result<PlanResult> TraceBackend::OptimizeQuery(const BoundQuery& query,
+                                               const PhysicalDesign& design,
+                                               const PlannerKnobs& knobs) {
+  std::string key = CallKey(query, design, knobs);
+  if (recording()) {
+    Result<PlanResult> r = inner_->OptimizeQuery(query, design, knobs);
+    if (r.ok()) costs_[key] = r.value().cost;
+    return r;
+  }
+  auto it = costs_.find(key);
+  if (it == costs_.end()) {
+    return Status::NotFound("trace has no recording for call " + key);
+  }
+  // Replay serves the recorded cost; plan trees are not serialized, and
+  // no optimizer runs (the call counter stays at zero).
+  return PlanResult{nullptr, it->second};
+}
+
+Result<double> TraceBackend::CostQuery(const BoundQuery& query,
+                                       const PhysicalDesign& design,
+                                       const PlannerKnobs& knobs) {
+  std::string key = CallKey(query, design, knobs);
+  if (recording()) {
+    Result<double> r = inner_->CostQuery(query, design, knobs);
+    if (r.ok()) costs_[key] = r.value();
+    return r;
+  }
+  auto it = costs_.find(key);
+  if (it == costs_.end()) {
+    return Status::NotFound("trace has no recording for call " + key);
+  }
+  return it->second;
+}
+
+Result<std::vector<double>> TraceBackend::CostBatch(
+    std::span<const BoundQuery> queries, const PhysicalDesign& design,
+    const PlannerKnobs& knobs) {
+  std::string suffix = CallKeySuffix(design, knobs);
+  if (recording()) {
+    Result<std::vector<double>> r = inner_->CostBatch(queries, design, knobs);
+    if (r.ok()) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        costs_[CallKeyWithSuffix(queries[i], suffix)] = r.value()[i];
+      }
+    }
+    return r;
+  }
+  // Replay: one map lookup per query, no optimizer anywhere.
+  std::vector<double> costs;
+  costs.reserve(queries.size());
+  for (const BoundQuery& q : queries) {
+    auto it = costs_.find(CallKeyWithSuffix(q, suffix));
+    if (it == costs_.end()) {
+      return Status::NotFound("trace has no recording for a batched call");
+    }
+    costs.push_back(it->second);
+  }
+  return costs;
+}
+
+std::string TraceBackend::ToJson() const {
+  const Catalog& cat = catalog();
+  const std::vector<TableStats>& stats = all_stats();
+
+  Json root = Json::Object();
+  root["version"] = Json::Number(kTraceVersion);
+  root["source"] = Json::Str(source_name_);
+
+  Json params = Json::Object();
+  params["seq_page_cost"] = Json::Number(params_.seq_page_cost);
+  params["random_page_cost"] = Json::Number(params_.random_page_cost);
+  params["cpu_tuple_cost"] = Json::Number(params_.cpu_tuple_cost);
+  params["cpu_index_tuple_cost"] = Json::Number(params_.cpu_index_tuple_cost);
+  params["cpu_operator_cost"] = Json::Number(params_.cpu_operator_cost);
+  params["effective_cache_size_pages"] =
+      Json::Number(params_.effective_cache_size_pages);
+  params["work_mem_bytes"] = Json::Number(params_.work_mem_bytes);
+  params["min_rows"] = Json::Number(params_.min_rows);
+  root["cost_params"] = std::move(params);
+
+  Json caps = Json::Object();
+  caps["nested_loop"] = Json::Bool(caps_.nested_loop);
+  caps["index_nested_loop"] = Json::Bool(caps_.index_nested_loop);
+  caps["hash_join"] = Json::Bool(caps_.hash_join);
+  caps["merge_join"] = Json::Bool(caps_.merge_join);
+  root["join_control"] = std::move(caps);
+
+  Json tables = Json::Array();
+  for (TableId t = 0; t < cat.num_tables(); ++t) {
+    const TableDef& def = cat.table(t);
+    Json jt = Json::Object();
+    jt["name"] = Json::Str(def.name());
+    Json cols = Json::Array();
+    for (const ColumnDef& c : def.columns()) {
+      Json jc = Json::Object();
+      jc["name"] = Json::Str(c.name);
+      jc["type"] = Json::Str(DataTypeName(c.type));
+      jc["avg_width"] = Json::Number(c.avg_width);
+      cols.Append(std::move(jc));
+    }
+    jt["columns"] = std::move(cols);
+    tables.Append(std::move(jt));
+  }
+  root["catalog"] = std::move(tables);
+
+  Json jstats = Json::Array();
+  for (const TableStats& ts : stats) {
+    Json jt = Json::Object();
+    jt["row_count"] = Json::Number(ts.row_count);
+    Json cols = Json::Array();
+    for (const ColumnStats& cs : ts.columns) cols.Append(ColumnStatsToJson(cs));
+    jt["columns"] = std::move(cols);
+    jstats.Append(std::move(jt));
+  }
+  root["stats"] = std::move(jstats);
+
+  root["design"] = DesignToJson(recording() ? inner_->CurrentDesign() : design_,
+                                cat);
+
+  Json calls = Json::Object();
+  for (const auto& [key, cost] : costs_) calls[key] = Json::Number(cost);
+  root["cost_calls"] = std::move(calls);
+
+  return root.Dump();
+}
+
+Result<std::unique_ptr<TraceBackend>> TraceBackend::FromJson(
+    const std::string& json) {
+  Result<Json> parsed = Json::Parse(json);
+  if (!parsed.ok()) return parsed.status();
+  const Json& root = parsed.value();
+  if (!root.is_object()) return Status::ParseError("trace root must be an object");
+
+  const Json* version = root.Find("version");
+  if (version == nullptr || !version->is_number()) {
+    return Status::ParseError("trace missing version");
+  }
+  if (static_cast<int>(version->number()) != kTraceVersion) {
+    return Status::ParseError(
+        "unsupported trace version " +
+        std::to_string(static_cast<int>(version->number())) + " (expected " +
+        std::to_string(kTraceVersion) + ")");
+  }
+
+  auto t = std::unique_ptr<TraceBackend>(new TraceBackend());
+  if (const Json* s = root.Find("source")) t->source_name_ = s->str();
+
+  if (const Json* p = root.Find("cost_params")) {
+    auto num = [&](const char* key, double* out) {
+      if (const Json* v = p->Find(key)) *out = v->number();
+    };
+    num("seq_page_cost", &t->params_.seq_page_cost);
+    num("random_page_cost", &t->params_.random_page_cost);
+    num("cpu_tuple_cost", &t->params_.cpu_tuple_cost);
+    num("cpu_index_tuple_cost", &t->params_.cpu_index_tuple_cost);
+    num("cpu_operator_cost", &t->params_.cpu_operator_cost);
+    num("effective_cache_size_pages", &t->params_.effective_cache_size_pages);
+    num("work_mem_bytes", &t->params_.work_mem_bytes);
+    num("min_rows", &t->params_.min_rows);
+  }
+
+  if (const Json* c = root.Find("join_control")) {
+    auto flag = [&](const char* key, bool* out) {
+      if (const Json* v = c->Find(key)) *out = v->bool_value();
+    };
+    flag("nested_loop", &t->caps_.nested_loop);
+    flag("index_nested_loop", &t->caps_.index_nested_loop);
+    flag("hash_join", &t->caps_.hash_join);
+    flag("merge_join", &t->caps_.merge_join);
+  }
+
+  const Json* tables = root.Find("catalog");
+  if (tables == nullptr || !tables->is_array()) {
+    return Status::ParseError("trace missing catalog");
+  }
+  for (const Json& jt : tables->items()) {
+    const Json* name = jt.Find("name");
+    const Json* cols = jt.Find("columns");
+    if (name == nullptr || cols == nullptr) {
+      return Status::ParseError("bad table entry in trace");
+    }
+    std::vector<ColumnDef> defs;
+    for (const Json& jc : cols->items()) {
+      ColumnDef cd;
+      if (const Json* n = jc.Find("name")) cd.name = n->str();
+      if (const Json* ty = jc.Find("type")) {
+        Result<DataType> dt = DataTypeFromName(ty->str());
+        if (!dt.ok()) return dt.status();
+        cd.type = dt.value();
+      }
+      if (const Json* w = jc.Find("avg_width")) {
+        cd.avg_width = static_cast<int>(w->number());
+      }
+      defs.push_back(std::move(cd));
+    }
+    Result<TableId> added = t->catalog_.AddTable(TableDef(name->str(), defs));
+    if (!added.ok()) return added.status();
+  }
+
+  const Json* jstats = root.Find("stats");
+  if (jstats == nullptr || !jstats->is_array()) {
+    return Status::ParseError("trace missing stats");
+  }
+  for (const Json& jt : jstats->items()) {
+    TableStats ts;
+    if (const Json* rc = jt.Find("row_count")) ts.row_count = rc->number();
+    if (const Json* cols = jt.Find("columns")) {
+      for (const Json& jc : cols->items()) {
+        Result<ColumnStats> cs = ColumnStatsFromJson(jc);
+        if (!cs.ok()) return cs.status();
+        ts.columns.push_back(std::move(cs.value()));
+      }
+    }
+    t->stats_.push_back(std::move(ts));
+  }
+  if (static_cast<int>(t->stats_.size()) != t->catalog_.num_tables()) {
+    return Status::ParseError("trace stats/catalog table count mismatch");
+  }
+  for (TableId tab = 0; tab < t->catalog_.num_tables(); ++tab) {
+    if (static_cast<int>(t->stats_[static_cast<size_t>(tab)].columns.size()) !=
+        t->catalog_.table(tab).num_columns()) {
+      return Status::ParseError("trace stats/catalog column count mismatch "
+                                "for table " + t->catalog_.table(tab).name());
+    }
+  }
+
+  if (const Json* d = root.Find("design")) {
+    Result<PhysicalDesign> design = DesignFromJson(*d);
+    if (!design.ok()) return design.status();
+    t->design_ = std::move(design.value());
+    // Every table/column id in the design must resolve in the snapshot
+    // catalog — a malformed trace fails here, not at first use.
+    auto valid_column = [&](TableId tab, ColumnId c) {
+      return tab >= 0 && tab < t->catalog_.num_tables() && c >= 0 &&
+             c < t->catalog_.table(tab).num_columns();
+    };
+    for (const IndexDef& idx : t->design_.indexes()) {
+      for (ColumnId c : idx.columns) {
+        if (!valid_column(idx.table, c)) {
+          return Status::ParseError("trace design index references unknown "
+                                    "table/column id");
+        }
+      }
+      if (idx.columns.empty()) {
+        return Status::ParseError("trace design index has no columns");
+      }
+    }
+    for (TableId tab = 0; tab < t->catalog_.num_tables(); ++tab) {
+      if (const VerticalPartitioning* vp = t->design_.vertical(tab)) {
+        for (const VerticalFragment& f : vp->fragments) {
+          for (ColumnId c : f.columns) {
+            if (!valid_column(tab, c)) {
+              return Status::ParseError(
+                  "trace design fragment references unknown column id");
+            }
+          }
+        }
+      }
+      if (const HorizontalPartitioning* hp = t->design_.horizontal(tab)) {
+        if (!valid_column(tab, hp->column)) {
+          return Status::ParseError(
+              "trace design partitioning references unknown column id");
+        }
+      }
+    }
+  }
+
+  if (const Json* calls = root.Find("cost_calls")) {
+    for (const auto& [key, value] : calls->members()) {
+      t->costs_[key] = value.number();
+    }
+  }
+
+  return t;
+}
+
+Status TraceBackend::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << ToJson();
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TraceBackend>> TraceBackend::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open trace file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromJson(buf.str());
+}
+
+}  // namespace dbdesign

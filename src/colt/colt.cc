@@ -8,11 +8,12 @@
 
 namespace dbdesign {
 
-double EstimateIndexBuildCost(const Database& db, const IndexDef& index,
+double EstimateIndexBuildCost(const DbmsBackend& backend,
+                              const IndexDef& index,
                               const CostParams& params) {
-  const TableDef& def = db.catalog().table(index.table);
-  const TableStats& stats = db.stats(index.table);
-  IndexSizeEstimate size = EstimateIndexSize(index, def, stats);
+  const TableDef& def = backend.catalog().table(index.table);
+  const TableStats& stats = backend.stats(index.table);
+  IndexSizeEstimate size = backend.EstimateIndexSize(index);
   double rows = std::max(1.0, stats.row_count);
   // Read the heap once, sort the keys, write the index pages.
   return stats.HeapPages(def) * params.seq_page_cost +
@@ -21,9 +22,18 @@ double EstimateIndexBuildCost(const Database& db, const IndexDef& index,
          size.total_pages() * params.seq_page_cost;
 }
 
-ColtTuner::ColtTuner(const Database& db, CostParams params,
-                     ColtOptions options)
-    : db_(&db), params_(params), options_(options), inum_(db, params) {}
+ColtTuner::ColtTuner(DbmsBackend& backend, ColtOptions options)
+    : backend_(&backend),
+      params_(backend.cost_params()),
+      options_(options),
+      inum_(backend) {}
+
+ColtTuner::ColtTuner(std::shared_ptr<DbmsBackend> owned, ColtOptions options)
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      params_(backend_->cost_params()),
+      options_(options),
+      inum_(*backend_) {}
 
 void ColtTuner::ExtractCandidates(const BoundQuery& query) {
   for (int s = 0; s < query.num_slots(); ++s) {
@@ -52,11 +62,8 @@ void ColtTuner::ExtractCandidates(const BoundQuery& query) {
         }
         Candidate cand;
         cand.index = idx;
-        cand.size_pages =
-            EstimateIndexSize(idx, db_->catalog().table(idx.table),
-                              db_->stats(idx.table))
-                .total_pages();
-        cand.build_cost = EstimateIndexBuildCost(*db_, idx, params_);
+        cand.size_pages = backend_->EstimateIndexSize(idx).total_pages();
+        cand.build_cost = EstimateIndexBuildCost(*backend_, idx, params_);
         cand.last_seen_epoch = epoch_;
         it = candidates_.emplace(key, std::move(cand)).first;
       }

@@ -21,12 +21,15 @@
 #define DBDESIGN_COLT_COLT_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "inum/inum.h"
 
 namespace dbdesign {
+
+class Database;  // legacy convenience constructor only
 
 struct ColtOptions {
   int epoch_length = 25;  ///< queries per epoch
@@ -47,6 +50,10 @@ struct ColtOptions {
 
 /// Estimated cost of physically building an index (page writes + sort
 /// CPU), in optimizer cost units.
+double EstimateIndexBuildCost(const DbmsBackend& backend,
+                              const IndexDef& index,
+                              const CostParams& params);
+/// Legacy convenience overload (defined in backend/compat.cc).
 double EstimateIndexBuildCost(const Database& db, const IndexDef& index,
                               const CostParams& params);
 
@@ -68,6 +75,11 @@ struct ColtEpochReport {
 
 class ColtTuner {
  public:
+  /// Attaches to a backend (non-owning); cost parameters come from it.
+  explicit ColtTuner(DbmsBackend& backend, ColtOptions options = {});
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend (defined
+  /// in backend/compat.cc).
   ColtTuner(const Database& db, CostParams params = {},
             ColtOptions options = {});
 
@@ -102,10 +114,14 @@ class ColtTuner {
     bool built = false;
   };
 
+  /// Owning constructor used by the legacy Database path.
+  ColtTuner(std::shared_ptr<DbmsBackend> owned, ColtOptions options);
+
   void ExtractCandidates(const BoundQuery& query);
   void EndEpoch();
 
-  const Database* db_;
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   CostParams params_;
   ColtOptions options_;
   InumCostModel inum_;

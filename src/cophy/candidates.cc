@@ -18,9 +18,10 @@ struct SlotColumns {
   std::vector<ColumnId> sort;   // group-by / order-by prefix columns
 };
 
-SlotColumns ClassifySlot(const Database& db, const BoundQuery& q, int slot) {
+SlotColumns ClassifySlot(const DbmsBackend& backend, const BoundQuery& q,
+                         int slot) {
   SlotColumns out;
-  const TableStats& stats = db.stats(q.tables[slot]);
+  const TableStats& stats = backend.stats(q.tables[slot]);
 
   std::vector<std::pair<double, ColumnId>> eq;
   std::vector<std::pair<double, ColumnId>> range;
@@ -68,7 +69,7 @@ SlotColumns ClassifySlot(const Database& db, const BoundQuery& q, int slot) {
 }  // namespace
 
 std::vector<CandidateIndex> GenerateCandidates(
-    const Database& db, const Workload& workload,
+    const DbmsBackend& backend, const Workload& workload,
     const CandidateOptions& options) {
   // key -> (IndexDef, hit count)
   std::map<std::string, std::pair<IndexDef, int>> pool;
@@ -85,7 +86,7 @@ std::vector<CandidateIndex> GenerateCandidates(
   for (const BoundQuery& q : workload.queries) {
     for (int s = 0; s < q.num_slots(); ++s) {
       TableId tid = q.tables[s];
-      SlotColumns cols = ClassifySlot(db, q, s);
+      SlotColumns cols = ClassifySlot(backend, q, s);
 
       // Single-column candidates on every sargable column.
       for (ColumnId c : cols.eq) add(IndexDef{tid, {c}, false});
@@ -158,9 +159,7 @@ std::vector<CandidateIndex> GenerateCandidates(
     CandidateIndex c;
     c.index = entry.first;
     c.relevant_queries = entry.second;
-    c.size_pages = EstimateIndexSize(c.index, db.catalog().table(c.index.table),
-                                     db.stats(c.index.table))
-                       .total_pages();
+    c.size_pages = backend.EstimateIndexSize(c.index).total_pages();
     out.push_back(std::move(c));
   }
   // Keep the most workload-relevant candidates.

@@ -5,18 +5,21 @@
 // and range predicate columns, join columns, and GROUP BY / ORDER BY
 // prefixes. Multi-column candidates follow the classic recipe of
 // equality columns first (most selective leading), then one range
-// column, optionally widened into a covering index.
+// column, optionally widened into a covering index. Mining needs only
+// catalog + statistics, so it runs against any DbmsBackend.
 
 #ifndef DBDESIGN_COPHY_CANDIDATES_H_
 #define DBDESIGN_COPHY_CANDIDATES_H_
 
 #include <vector>
 
+#include "backend/backend.h"
 #include "catalog/design.h"
 #include "sql/bound_query.h"
-#include "storage/database.h"
 
 namespace dbdesign {
+
+class Database;  // legacy convenience overload only
 
 struct CandidateOptions {
   /// Maximum total candidates (kept by workload relevance).
@@ -37,6 +40,11 @@ struct CandidateIndex {
 };
 
 /// Mines candidates from the workload.
+std::vector<CandidateIndex> GenerateCandidates(
+    const DbmsBackend& backend, const Workload& workload,
+    const CandidateOptions& options = {});
+
+/// Legacy convenience overload (defined in backend/compat.cc).
 std::vector<CandidateIndex> GenerateCandidates(
     const Database& db, const Workload& workload,
     const CandidateOptions& options = {});

@@ -10,13 +10,21 @@
 
 namespace dbdesign {
 
-CoPhyAdvisor::CoPhyAdvisor(const Database& db, CostParams params,
-                           CoPhyOptions options)
-    : db_(&db),
-      params_(params),
+CoPhyAdvisor::CoPhyAdvisor(DbmsBackend& backend, CoPhyOptions options)
+    : backend_(&backend),
+      params_(backend.cost_params()),
       options_(options),
-      inum_(db, params),
-      optimizer_(db.catalog(), db.all_stats(), params) {}
+      inum_(backend),
+      optimizer_(backend.catalog(), backend.all_stats(), params_) {}
+
+CoPhyAdvisor::CoPhyAdvisor(std::shared_ptr<DbmsBackend> owned,
+                           CoPhyOptions options)
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      params_(backend_->cost_params()),
+      options_(options),
+      inum_(*backend_),
+      optimizer_(backend_->catalog(), backend_->all_stats(), params_) {}
 
 std::vector<CoPhyAtom> CoPhyAdvisor::BuildAtoms(
     const BoundQuery& query, const std::vector<CandidateIndex>& candidates) {
@@ -196,7 +204,7 @@ std::vector<CoPhyAtom> CoPhyAdvisor::BuildAtoms(
 
 IndexRecommendation CoPhyAdvisor::Recommend(const Workload& workload) {
   return RecommendWithCandidates(
-      workload, GenerateCandidates(*db_, workload, options_.candidates));
+      workload, GenerateCandidates(*backend_, workload, options_.candidates));
 }
 
 IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(

@@ -20,6 +20,7 @@
 #define DBDESIGN_COPHY_COPHY_H_
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "cophy/candidates.h"
@@ -72,6 +73,11 @@ struct IndexRecommendation {
 
 class CoPhyAdvisor {
  public:
+  /// Attaches to a backend (non-owning); cost parameters come from it.
+  explicit CoPhyAdvisor(DbmsBackend& backend, CoPhyOptions options = {});
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend (defined
+  /// in backend/compat.cc).
   explicit CoPhyAdvisor(const Database& db, CostParams params = {},
                         CoPhyOptions options = {});
 
@@ -91,7 +97,11 @@ class CoPhyAdvisor {
   InumCostModel& inum() { return inum_; }
 
  private:
-  const Database* db_;
+  /// Owning constructor used by the legacy Database path.
+  CoPhyAdvisor(std::shared_ptr<DbmsBackend> owned, CoPhyOptions options);
+
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   CostParams params_;
   CoPhyOptions options_;
   InumCostModel inum_;

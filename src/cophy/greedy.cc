@@ -5,13 +5,19 @@
 
 namespace dbdesign {
 
-GreedyAdvisor::GreedyAdvisor(const Database& db, CostParams params,
+GreedyAdvisor::GreedyAdvisor(DbmsBackend& backend, GreedyOptions options)
+    : backend_(&backend), options_(options), inum_(backend) {}
+
+GreedyAdvisor::GreedyAdvisor(std::shared_ptr<DbmsBackend> owned,
                              GreedyOptions options)
-    : db_(&db), options_(options), inum_(db, params) {}
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      options_(options),
+      inum_(*backend_) {}
 
 GreedyResult GreedyAdvisor::Recommend(const Workload& workload) {
   return RecommendWithCandidates(
-      workload, GenerateCandidates(*db_, workload, options_.candidates));
+      workload, GenerateCandidates(*backend_, workload, options_.candidates));
 }
 
 GreedyResult GreedyAdvisor::RecommendWithCandidates(

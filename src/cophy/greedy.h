@@ -13,6 +13,7 @@
 #define DBDESIGN_COPHY_GREEDY_H_
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "cophy/candidates.h"
@@ -43,6 +44,11 @@ struct GreedyResult {
 
 class GreedyAdvisor {
  public:
+  /// Attaches to a backend (non-owning); cost parameters come from it.
+  explicit GreedyAdvisor(DbmsBackend& backend, GreedyOptions options = {});
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend (defined
+  /// in backend/compat.cc).
   explicit GreedyAdvisor(const Database& db, CostParams params = {},
                          GreedyOptions options = {});
 
@@ -53,7 +59,11 @@ class GreedyAdvisor {
   InumCostModel& inum() { return inum_; }
 
  private:
-  const Database* db_;
+  /// Owning constructor used by the legacy Database path.
+  GreedyAdvisor(std::shared_ptr<DbmsBackend> owned, GreedyOptions options);
+
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   GreedyOptions options_;
   InumCostModel inum_;
 };

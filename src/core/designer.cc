@@ -2,35 +2,58 @@
 
 namespace dbdesign {
 
-Designer::Designer(const Database& db, DesignerOptions options)
-    : db_(&db),
+Designer::Designer(DbmsBackend& backend, DesignerOptions options)
+    : backend_(&backend),
       options_(std::move(options)),
-      whatif_(db, options_.params),
-      inum_(db, options_.params) {}
+      whatif_(backend),
+      inum_(backend) {}
+
+Designer::Designer(std::shared_ptr<DbmsBackend> owned, DesignerOptions options)
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      options_(std::move(options)),
+      whatif_(*backend_),
+      inum_(*backend_) {}
 
 BenefitReport Designer::EvaluateDesign(const Workload& workload,
                                        const PhysicalDesign& design) {
-  BenefitReport report;
-  report.base_costs.reserve(workload.size());
-  report.new_costs.reserve(workload.size());
-  for (size_t i = 0; i < workload.size(); ++i) {
-    const BoundQuery& q = workload.queries[i];
-    double w = workload.WeightOf(i);
-    double base = inum_.Cost(q, PhysicalDesign{});
-    double now = inum_.Cost(q, design);
-    report.base_costs.push_back(base);
-    report.new_costs.push_back(now);
-    report.base_total += w * base;
-    report.new_total += w * now;
+  std::vector<BenefitReport> reports = EvaluateDesigns(workload, {design});
+  return std::move(reports.front());
+}
+
+std::vector<BenefitReport> Designer::EvaluateDesigns(
+    const Workload& workload, const std::vector<PhysicalDesign>& designs) {
+  // One INUM populate per query serves the baseline and every candidate
+  // design; each additional design reprices only the plan leaves.
+  std::vector<double> base_costs;
+  base_costs.reserve(workload.size());
+  for (const BoundQuery& q : workload.queries) {
+    base_costs.push_back(inum_.Cost(q, PhysicalDesign{}));
   }
-  return report;
+
+  std::vector<BenefitReport> reports;
+  reports.reserve(designs.size());
+  for (const PhysicalDesign& design : designs) {
+    BenefitReport report;
+    report.base_costs = base_costs;
+    report.new_costs.reserve(workload.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      double w = workload.WeightOf(i);
+      double now = inum_.Cost(workload.queries[i], design);
+      report.new_costs.push_back(now);
+      report.base_total += w * base_costs[i];
+      report.new_total += w * now;
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
 }
 
 InteractionGraph Designer::AnalyzeInteractions(
     const Workload& workload, const std::vector<IndexDef>& indexes) {
   InteractionAnalyzer analyzer(inum_, options_.doi);
   std::vector<InteractionEdge> edges = analyzer.Analyze(workload, indexes);
-  return InteractionGraph(db_->catalog(), indexes, std::move(edges));
+  return InteractionGraph(backend_->catalog(), indexes, std::move(edges));
 }
 
 OfflineRecommendation Designer::RecommendOffline(
@@ -39,10 +62,10 @@ OfflineRecommendation Designer::RecommendOffline(
 
   CoPhyOptions copts = options_.cophy;
   copts.storage_budget_pages = storage_budget_pages;
-  CoPhyAdvisor cophy(*db_, options_.params, copts);
+  CoPhyAdvisor cophy(*backend_, copts);
   rec.indexes = cophy.Recommend(workload);
 
-  AutoPartAdvisor autopart(*db_, options_.params, options_.autopart);
+  AutoPartAdvisor autopart(*backend_, options_.autopart);
   rec.partitions = autopart.Recommend(workload);
 
   // Combined design: partitions plus the recommended indexes.
@@ -60,11 +83,11 @@ OfflineRecommendation Designer::RecommendOffline(
 IndexRecommendation Designer::RecommendIndexes(
     const Workload& workload,
     const std::vector<CandidateIndex>& seed_candidates) {
-  CoPhyAdvisor cophy(*db_, options_.params, options_.cophy);
+  CoPhyAdvisor cophy(*backend_, options_.cophy);
   // Seed candidates are merged with mined ones (the DBA's suggestions
   // become part of the search space, as in the demo's interactive mode).
   std::vector<CandidateIndex> merged =
-      GenerateCandidates(*db_, workload, options_.cophy.candidates);
+      GenerateCandidates(*backend_, workload, options_.cophy.candidates);
   for (const CandidateIndex& seed : seed_candidates) {
     bool dup = false;
     for (const CandidateIndex& c : merged) dup |= c.index == seed.index;
@@ -80,7 +103,7 @@ MaterializationSchedule Designer::ScheduleMaterialization(
 }
 
 std::unique_ptr<ColtTuner> Designer::StartContinuousTuning() const {
-  return std::make_unique<ColtTuner>(*db_, options_.params, options_.colt);
+  return std::make_unique<ColtTuner>(*backend_, options_.colt);
 }
 
 }  // namespace dbdesign

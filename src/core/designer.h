@@ -13,11 +13,12 @@
 //     on beneficial configuration changes.
 //
 // Portability: the Designer talks to the engine only through the
-// WhatIfOptimizer / InumCostModel interfaces (optimizer cost calls,
-// statistics, join knobs), mirroring the paper's claim that the tool
-// "can be ported to any relational DBMS which offers a query optimizer,
-// a way to extract and create statistics, and control over join
-// operations".
+// DbmsBackend interface (optimizer cost calls, statistics, join knobs),
+// realizing the paper's claim that the tool "can be ported to any
+// relational DBMS which offers a query optimizer, a way to extract and
+// create statistics, and control over join operations" — implement
+// src/backend/backend.h for your engine and every component here works
+// unchanged.
 
 #ifndef DBDESIGN_CORE_DESIGNER_H_
 #define DBDESIGN_CORE_DESIGNER_H_
@@ -36,6 +37,8 @@
 namespace dbdesign {
 
 struct DesignerOptions {
+  /// Cost parameters — used only by the legacy Database constructor when
+  /// it builds the owned InMemoryBackend; a DbmsBackend brings its own.
   CostParams params;
   CoPhyOptions cophy;
   AutoPartOptions autopart;
@@ -77,6 +80,11 @@ struct OfflineRecommendation {
 
 class Designer {
  public:
+  /// Attaches to a backend (non-owning; the backend must outlive this).
+  explicit Designer(DbmsBackend& backend, DesignerOptions options = {});
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend built
+  /// with options.params (defined in backend/compat.cc).
   explicit Designer(const Database& db, DesignerOptions options = {});
 
   // --- Scenario 1: interactive session ---
@@ -86,6 +94,13 @@ class Designer {
   /// Costs the workload under `design` vs the empty baseline, per query.
   BenefitReport EvaluateDesign(const Workload& workload,
                                const PhysicalDesign& design);
+
+  /// Batched variant: evaluates many candidate designs in one pass.
+  /// INUM populates each query's plan cache once and reprices only the
+  /// leaves per design, so evaluating K designs costs far less than K
+  /// independent EvaluateDesign calls — the hot path of scenario 2.
+  std::vector<BenefitReport> EvaluateDesigns(
+      const Workload& workload, const std::vector<PhysicalDesign>& designs);
 
   /// Builds the interaction graph (Figure 2) for a set of indexes.
   InteractionGraph AnalyzeInteractions(const Workload& workload,
@@ -108,15 +123,19 @@ class Designer {
       const Workload& workload, const std::vector<IndexDef>& indexes);
 
   // --- Scenario 3: continuous tuning ---
-  /// Creates a fresh COLT tuner attached to this database.
+  /// Creates a fresh COLT tuner attached to this backend.
   std::unique_ptr<ColtTuner> StartContinuousTuning() const;
 
   InumCostModel& inum() { return inum_; }
-  const Database& db() const { return *db_; }
+  DbmsBackend& backend() const { return *backend_; }
   const DesignerOptions& options() const { return options_; }
 
  private:
-  const Database* db_;
+  /// Owning constructor used by the legacy Database path.
+  Designer(std::shared_ptr<DbmsBackend> owned, DesignerOptions options);
+
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   DesignerOptions options_;
   WhatIfOptimizer whatif_;
   InumCostModel inum_;

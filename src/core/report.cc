@@ -28,7 +28,8 @@ std::string RenderBenefitPanel(const Catalog& catalog,
   return out;
 }
 
-std::string RenderIndexList(const Catalog& catalog, const Database& db,
+std::string RenderIndexList(const Catalog& catalog,
+                            const DbmsBackend& backend,
                             const std::vector<IndexDef>& indexes) {
   std::string out;
   out += "Suggested indexes:\n";
@@ -37,8 +38,7 @@ std::string RenderIndexList(const Catalog& catalog, const Database& db,
     return out;
   }
   for (const IndexDef& idx : indexes) {
-    IndexSizeEstimate sz = EstimateIndexSize(
-        idx, catalog.table(idx.table), db.stats(idx.table));
+    IndexSizeEstimate sz = backend.EstimateIndexSize(idx);
     std::vector<std::string> cols;
     for (ColumnId c : idx.columns) {
       cols.push_back(catalog.table(idx.table).column(c).name);
@@ -109,7 +109,7 @@ std::string RenderSchedule(const Catalog& catalog,
   return out;
 }
 
-std::string RenderBenefitJson(const Catalog& catalog,
+std::string RenderBenefitJson(const Catalog& /*catalog*/,
                               const Workload& workload,
                               const BenefitReport& report) {
   std::string out = "{\n  \"queries\": [";
@@ -131,7 +131,7 @@ std::string RenderBenefitJson(const Catalog& catalog,
 }
 
 std::string RenderOfflineRecommendation(const Catalog& catalog,
-                                        const Database& db,
+                                        const DbmsBackend& backend,
                                         const Workload& workload,
                                         const OfflineRecommendation& rec) {
   std::string out;
@@ -139,7 +139,7 @@ std::string RenderOfflineRecommendation(const Catalog& catalog,
       "=== Automatic physical design recommendation ===\n"
       "workload: %zu queries; base cost %.1f\n\n",
       workload.size(), rec.base_cost);
-  out += RenderIndexList(catalog, db, rec.indexes.indexes);
+  out += RenderIndexList(catalog, backend, rec.indexes.indexes);
   out += StrFormat(
       "  index-only cost: %.1f (%.1f%% better; solver gap %.2f%%, %s)\n\n",
       rec.indexes.recommended_cost, rec.indexes.improvement() * 100.0,

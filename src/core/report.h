@@ -11,6 +11,8 @@
 
 namespace dbdesign {
 
+class Database;  // legacy convenience overloads only
+
 /// Figure 3-style panel: per-query benefit plus the average workload
 /// benefit for a proposed design.
 std::string RenderBenefitPanel(const Catalog& catalog,
@@ -18,6 +20,10 @@ std::string RenderBenefitPanel(const Catalog& catalog,
                                const BenefitReport& report);
 
 /// Suggested-index list with sizes, one row per index.
+std::string RenderIndexList(const Catalog& catalog,
+                            const DbmsBackend& backend,
+                            const std::vector<IndexDef>& indexes);
+/// Legacy convenience overload (defined in backend/compat.cc).
 std::string RenderIndexList(const Catalog& catalog, const Database& db,
                             const std::vector<IndexDef>& indexes);
 
@@ -32,6 +38,11 @@ std::string RenderSchedule(const Catalog& catalog,
                            const MaterializationSchedule& schedule);
 
 /// Scenario-2 summary combining all of the above.
+std::string RenderOfflineRecommendation(const Catalog& catalog,
+                                        const DbmsBackend& backend,
+                                        const Workload& workload,
+                                        const OfflineRecommendation& rec);
+/// Legacy convenience overload (defined in backend/compat.cc).
 std::string RenderOfflineRecommendation(const Catalog& catalog,
                                         const Database& db,
                                         const Workload& workload,

@@ -28,7 +28,7 @@ void DesignSession::Apply(const PhysicalDesign& target) {
       whatif.CreateHypotheticalIndex(idx);
     }
   }
-  for (TableId t = 0; t < designer_->db().catalog().num_tables(); ++t) {
+  for (TableId t = 0; t < designer_->backend().catalog().num_tables(); ++t) {
     if (const VerticalPartitioning* vp = target.vertical(t)) {
       whatif.SetHypotheticalVerticalPartitioning(*vp);
     } else {
@@ -44,7 +44,7 @@ void DesignSession::Apply(const PhysicalDesign& target) {
 
 Status DesignSession::CreateIndex(const IndexDef& index) {
   Checkpoint("CREATE INDEX " +
-             index.DisplayName(designer_->db().catalog()));
+             index.DisplayName(designer_->backend().catalog()));
   Status s = designer_->whatif().CreateHypotheticalIndex(index);
   if (!s.ok()) {
     undo_stack_.pop_back();
@@ -54,7 +54,7 @@ Status DesignSession::CreateIndex(const IndexDef& index) {
 }
 
 Status DesignSession::DropIndex(const IndexDef& index) {
-  Checkpoint("DROP INDEX " + index.DisplayName(designer_->db().catalog()));
+  Checkpoint("DROP INDEX " + index.DisplayName(designer_->backend().catalog()));
   Status s = designer_->whatif().DropHypotheticalIndex(index);
   if (!s.ok()) {
     undo_stack_.pop_back();
@@ -64,7 +64,7 @@ Status DesignSession::DropIndex(const IndexDef& index) {
 }
 
 Status DesignSession::SetVerticalPartitioning(VerticalPartitioning p) {
-  const TableDef& def = designer_->db().catalog().table(p.table);
+  const TableDef& def = designer_->backend().catalog().table(p.table);
   if (!p.CoversTable(def)) {
     return Status::InvalidArgument(
         "vertical partitioning does not cover table " + def.name());
@@ -77,7 +77,7 @@ Status DesignSession::SetVerticalPartitioning(VerticalPartitioning p) {
 
 Status DesignSession::ClearVerticalPartitioning(TableId table) {
   Checkpoint("UNPARTITION " +
-             designer_->db().catalog().table(table).name());
+             designer_->backend().catalog().table(table).name());
   designer_->whatif().ClearHypotheticalVerticalPartitioning(table);
   return Status::OK();
 }
@@ -89,7 +89,7 @@ Status DesignSession::SetHorizontalPartitioning(HorizontalPartitioning p) {
           "horizontal partition bounds must be strictly increasing");
     }
   }
-  const TableDef& def = designer_->db().catalog().table(p.table);
+  const TableDef& def = designer_->backend().catalog().table(p.table);
   Checkpoint(StrFormat("PARTITION %s BY RANGE (%s), %d PARTITIONS",
                        def.name().c_str(),
                        def.column(p.column).name.c_str(),
@@ -100,7 +100,7 @@ Status DesignSession::SetHorizontalPartitioning(HorizontalPartitioning p) {
 
 Status DesignSession::ClearHorizontalPartitioning(TableId table) {
   Checkpoint("UNPARTITION RANGE " +
-             designer_->db().catalog().table(table).name());
+             designer_->backend().catalog().table(table).name());
   designer_->whatif().ClearHypotheticalHorizontalPartitioning(table);
   return Status::OK();
 }

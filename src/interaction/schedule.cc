@@ -33,16 +33,14 @@ MaterializationSchedule MaterializationScheduler::Build(
   sched.base_cost = inum_->WorkloadCost(workload, built);
   double prev_cost = sched.base_cost;
 
-  const Database& db = inum_->exact().db();
+  const DbmsBackend& backend = inum_->backend();
   for (int i : order) {
     const IndexDef& idx = indexes[static_cast<size_t>(i)];
     built.AddIndex(idx);
     double cost = inum_->WorkloadCost(workload, built);
     ScheduleStep step;
     step.index = idx;
-    step.build_pages = EstimateIndexSize(idx, db.catalog().table(idx.table),
-                                         db.stats(idx.table))
-                           .total_pages();
+    step.build_pages = backend.EstimateIndexSize(idx).total_pages();
     step.marginal_benefit = prev_cost - cost;
     step.cost_after = cost;
     prev_cost = cost;
@@ -64,15 +62,13 @@ MaterializationSchedule MaterializationScheduler::Greedy(
     int best_pos = 0;
     double best_score = -std::numeric_limits<double>::infinity();
     double best_cost = current;
-    const Database& db = inum_->exact().db();
+    const DbmsBackend& backend = inum_->backend();
     for (size_t p = 0; p < remaining.size(); ++p) {
       const IndexDef& idx = indexes[static_cast<size_t>(remaining[p])];
       PhysicalDesign trial = built;
       trial.AddIndex(idx);
       double cost = inum_->WorkloadCost(workload, trial);
-      double build = EstimateIndexSize(idx, db.catalog().table(idx.table),
-                                       db.stats(idx.table))
-                         .total_pages();
+      double build = backend.EstimateIndexSize(idx).total_pages();
       // Benefit rate: early cheap high-benefit builds maximize the area.
       double score = (current - cost) / std::max(1.0, build);
       if (score > best_score) {

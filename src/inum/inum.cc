@@ -118,13 +118,21 @@ void CollectInljTerms(const PlanNode& node,
 
 }  // namespace
 
-InumCostModel::InumCostModel(const Database& db, CostParams params,
-                             InumOptions options)
-    : db_(&db),
-      params_(params),
+InumCostModel::InumCostModel(DbmsBackend& backend, InumOptions options)
+    : backend_(&backend),
+      params_(backend.cost_params()),
       options_(options),
-      exact_(db, params),
-      optimizer_(db.catalog(), db.all_stats(), params) {}
+      exact_(backend),
+      optimizer_(backend.catalog(), backend.all_stats(), params_) {}
+
+InumCostModel::InumCostModel(std::shared_ptr<DbmsBackend> owned,
+                             InumOptions options)
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      params_(backend_->cost_params()),
+      options_(options),
+      exact_(*backend_),
+      optimizer_(backend_->catalog(), backend_->all_stats(), params_) {}
 
 const std::vector<InumCostModel::CachedPlan>* InumCostModel::CachedPlansFor(
     const BoundQuery& query) const {

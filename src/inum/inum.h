@@ -26,11 +26,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "storage/database.h"
+#include "optimizer/optimizer.h"
 #include "whatif/whatif.h"
 
 namespace dbdesign {
@@ -58,6 +59,12 @@ struct InumStats {
 
 class InumCostModel {
  public:
+  /// Attaches to a backend (non-owning). Cost parameters come from the
+  /// backend so client-side reuse formulas agree with backend calls.
+  explicit InumCostModel(DbmsBackend& backend, InumOptions options = {});
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend (defined
+  /// in backend/compat.cc so this header stays storage-free).
   InumCostModel(const Database& db, CostParams params = {},
                 InumOptions options = {});
 
@@ -77,6 +84,9 @@ class InumCostModel {
 
   /// The underlying exact optimizer (for tests and fallback).
   const WhatIfOptimizer& exact() const { return exact_; }
+
+  /// The backend this cost model is attached to.
+  DbmsBackend& backend() const { return *backend_; }
 
   /// Per-slot leaf requirement of a cached plan.
   struct SlotSignature {
@@ -132,11 +142,15 @@ class InumCostModel {
     std::unordered_map<uint64_t, double> param_memo;
   };
 
+  /// Owning constructor used by the legacy Database path.
+  InumCostModel(std::shared_ptr<DbmsBackend> owned, InumOptions options);
+
   QueryCache& Populate(const BoundQuery& query);
   double ReuseCost(const BoundQuery& query, QueryCache& qc,
                    const PhysicalDesign& design);
 
-  const Database* db_;
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   CostParams params_;
   InumOptions options_;
   WhatIfOptimizer exact_;

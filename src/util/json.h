@@ -1,0 +1,76 @@
+// Minimal JSON document model: parse, build, dump.
+//
+// Used by the TraceBackend to persist backend-call traces (catalog +
+// statistics snapshot + recorded cost calls) without external
+// dependencies. Numbers are IEEE doubles serialized with enough digits
+// (%.17g) to round-trip exactly; callers that need full int64 precision
+// encode those values as strings.
+
+#ifndef DBDESIGN_UTIL_JSON_H_
+#define DBDESIGN_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dbdesign {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double d);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+
+  /// Array access. Append converts a null value to an array.
+  const std::vector<Json>& items() const { return array_; }
+  void Append(Json v);
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+
+  /// Object access. operator[] converts a null value to an object and
+  /// inserts the key if missing.
+  Json& operator[](const std::string& key);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  const std::map<std::string, Json>& members() const { return object_; }
+
+  /// Compact serialization (no whitespace). Deterministic: object keys
+  /// are emitted in sorted order.
+  std::string Dump() const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_JSON_H_

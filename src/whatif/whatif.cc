@@ -1,18 +1,28 @@
 #include "whatif/whatif.h"
 
+#include <limits>
+
+#include "util/logging.h"
+
 namespace dbdesign {
 
-WhatIfOptimizer::WhatIfOptimizer(const Database& db, CostParams params)
-    : db_(&db),
-      params_(params),
-      optimizer_(db.catalog(), db.all_stats(), params),
-      design_(db.CurrentDesign()) {}
+namespace {
+constexpr double kErrorCost = std::numeric_limits<double>::infinity();
+}  // namespace
+
+WhatIfOptimizer::WhatIfOptimizer(DbmsBackend& backend)
+    : backend_(&backend), design_(backend.CurrentDesign()) {}
+
+WhatIfOptimizer::WhatIfOptimizer(std::shared_ptr<DbmsBackend> owned)
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_.get()),
+      design_(backend_->CurrentDesign()) {}
 
 Status WhatIfOptimizer::CreateHypotheticalIndex(const IndexDef& index) {
-  if (index.table < 0 || index.table >= db_->catalog().num_tables()) {
+  if (index.table < 0 || index.table >= backend_->catalog().num_tables()) {
     return Status::InvalidArgument("bad table id in index definition");
   }
-  const TableDef& def = db_->catalog().table(index.table);
+  const TableDef& def = backend_->catalog().table(index.table);
   if (index.columns.empty()) {
     return Status::InvalidArgument("index must have at least one column");
   }
@@ -36,8 +46,7 @@ Status WhatIfOptimizer::DropHypotheticalIndex(const IndexDef& index) {
 
 IndexSizeEstimate WhatIfOptimizer::HypotheticalIndexSize(
     const IndexDef& index) const {
-  return EstimateIndexSize(index, db_->catalog().table(index.table),
-                           db_->stats(index.table));
+  return backend_->EstimateIndexSize(index);
 }
 
 void WhatIfOptimizer::SetHypotheticalVerticalPartitioning(
@@ -59,7 +68,33 @@ void WhatIfOptimizer::ClearHypotheticalHorizontalPartitioning(TableId table) {
 }
 
 void WhatIfOptimizer::ResetHypothetical() {
-  design_ = db_->CurrentDesign();
+  design_ = backend_->CurrentDesign();
+}
+
+Result<double> WhatIfOptimizer::TryCost(const BoundQuery& query) const {
+  return TryCostUnder(query, design_);
+}
+
+Result<double> WhatIfOptimizer::TryCostUnder(
+    const BoundQuery& query, const PhysicalDesign& design) const {
+  return backend_->CostQuery(query, design, knobs_);
+}
+
+Result<PlanResult> WhatIfOptimizer::TryPlan(const BoundQuery& query) const {
+  return TryPlanUnder(query, design_);
+}
+
+Result<PlanResult> WhatIfOptimizer::TryPlanUnder(
+    const BoundQuery& query, const PhysicalDesign& design) const {
+  return backend_->OptimizeQuery(query, design, knobs_);
+}
+
+Result<std::vector<double>> WhatIfOptimizer::TryCostWorkload(
+    const Workload& workload, const PhysicalDesign& design) const {
+  return backend_->CostBatch(
+      std::span<const BoundQuery>(workload.queries.data(),
+                                  workload.queries.size()),
+      design, knobs_);
 }
 
 double WhatIfOptimizer::Cost(const BoundQuery& query) const {
@@ -68,7 +103,12 @@ double WhatIfOptimizer::Cost(const BoundQuery& query) const {
 
 double WhatIfOptimizer::CostUnder(const BoundQuery& query,
                                   const PhysicalDesign& design) const {
-  return PlanUnder(query, design).cost;
+  Result<double> cost = TryCostUnder(query, design);
+  if (!cost.ok()) {
+    DBD_LOG_ERROR("what-if cost call failed: " + cost.status().ToString());
+    return kErrorCost;
+  }
+  return cost.value();
 }
 
 PlanResult WhatIfOptimizer::Plan(const BoundQuery& query) const {
@@ -77,15 +117,25 @@ PlanResult WhatIfOptimizer::Plan(const BoundQuery& query) const {
 
 PlanResult WhatIfOptimizer::PlanUnder(const BoundQuery& query,
                                       const PhysicalDesign& design) const {
-  optimizer_.set_knobs(knobs_);
-  return optimizer_.Optimize(query, design);
+  Result<PlanResult> plan = TryPlanUnder(query, design);
+  if (!plan.ok()) {
+    DBD_LOG_ERROR("what-if plan call failed: " + plan.status().ToString());
+    return PlanResult{nullptr, kErrorCost};
+  }
+  return plan.value();
 }
 
 double WhatIfOptimizer::WorkloadCostUnder(const Workload& workload,
                                           const PhysicalDesign& design) const {
+  Result<std::vector<double>> costs = TryCostWorkload(workload, design);
+  if (!costs.ok()) {
+    DBD_LOG_ERROR("batched what-if costing failed: " +
+                  costs.status().ToString());
+    return kErrorCost;
+  }
   double total = 0.0;
   for (size_t i = 0; i < workload.size(); ++i) {
-    total += workload.WeightOf(i) * CostUnder(workload.queries[i], design);
+    total += workload.WeightOf(i) * costs.value()[i];
   }
   return total;
 }

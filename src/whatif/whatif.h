@@ -8,20 +8,29 @@
 //   (c) what-if joins    — PlannerKnobs controlling join methods.
 //
 // The component owns a hypothetical PhysicalDesign overlay; Cost()
-// optimizes queries as if the overlay were materialized.
+// optimizes queries as if the overlay were materialized. All engine
+// interaction goes through the DbmsBackend interface — this class
+// compiles against any backend, which is what makes the tool portable.
 
 #ifndef DBDESIGN_WHATIF_WHATIF_H_
 #define DBDESIGN_WHATIF_WHATIF_H_
 
+#include <memory>
 #include <vector>
 
-#include "optimizer/optimizer.h"
-#include "storage/database.h"
+#include "backend/backend.h"
 
 namespace dbdesign {
 
+class Database;  // legacy convenience constructor only
+
 class WhatIfOptimizer {
  public:
+  /// Attaches to a backend (non-owning; the backend must outlive this).
+  explicit WhatIfOptimizer(DbmsBackend& backend);
+
+  /// Legacy convenience: wraps `db` in an owned InMemoryBackend. Defined
+  /// in backend/compat.cc so this header stays storage-free.
   explicit WhatIfOptimizer(const Database& db, CostParams params = {});
 
   // --- (a) What-if index sub-component ---
@@ -38,7 +47,7 @@ class WhatIfOptimizer {
   void SetHypotheticalHorizontalPartitioning(HorizontalPartitioning p);
   void ClearHypotheticalHorizontalPartitioning(TableId table);
 
-  /// Resets the overlay to the database's materialized design.
+  /// Resets the overlay to the backend's materialized design.
   void ResetHypothetical();
 
   /// The current overlay design (materialized + hypothetical).
@@ -48,8 +57,22 @@ class WhatIfOptimizer {
   PlannerKnobs& knobs() { return knobs_; }
   const PlannerKnobs& knobs() const { return knobs_; }
 
-  // --- Costing ---
-  /// Optimizer cost of `query` under the overlay design.
+  // --- Costing (Result-carrying; errors surface as Status) ---
+  Result<double> TryCost(const BoundQuery& query) const;
+  Result<double> TryCostUnder(const BoundQuery& query,
+                              const PhysicalDesign& design) const;
+  Result<PlanResult> TryPlan(const BoundQuery& query) const;
+  Result<PlanResult> TryPlanUnder(const BoundQuery& query,
+                                  const PhysicalDesign& design) const;
+  /// Per-query costs of the whole workload in ONE backend round-trip
+  /// (DbmsBackend::CostBatch) — the batched hot path.
+  Result<std::vector<double>> TryCostWorkload(
+      const Workload& workload, const PhysicalDesign& design) const;
+
+  // --- Costing (legacy convenience) ---
+  /// Optimizer cost of `query` under the overlay design. On backend
+  /// error returns +infinity (the error is logged); callers that need
+  /// the cause use TryCost.
   double Cost(const BoundQuery& query) const;
   /// Cost under an explicit design (ignores the overlay).
   double CostUnder(const BoundQuery& query,
@@ -58,25 +81,29 @@ class WhatIfOptimizer {
   PlanResult Plan(const BoundQuery& query) const;
   PlanResult PlanUnder(const BoundQuery& query,
                        const PhysicalDesign& design) const;
-  /// Weighted workload cost under an explicit design.
+  /// Weighted workload cost under an explicit design (batched).
   double WorkloadCostUnder(const Workload& workload,
                            const PhysicalDesign& design) const;
   double WorkloadCost(const Workload& workload) const {
     return WorkloadCostUnder(workload, design_);
   }
 
-  const Database& db() const { return *db_; }
-  const CostParams& params() const { return params_; }
+  DbmsBackend& backend() const { return *backend_; }
+  const CostParams& params() const { return backend_->cost_params(); }
 
-  /// Number of (expensive) optimizer invocations so far.
-  uint64_t num_optimizer_calls() const { return optimizer_.num_calls(); }
-  void ResetCallCount() { optimizer_.ResetCallCount(); }
+  /// Number of (expensive) backend optimizer invocations so far.
+  uint64_t num_optimizer_calls() const {
+    return backend_->num_optimizer_calls();
+  }
+  void ResetCallCount() { backend_->ResetCallCount(); }
 
  private:
-  const Database* db_;
-  CostParams params_;
+  /// Owning constructor used by the legacy Database path.
+  explicit WhatIfOptimizer(std::shared_ptr<DbmsBackend> owned);
+
+  std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
+  DbmsBackend* backend_;
   PlannerKnobs knobs_;
-  mutable Optimizer optimizer_;
   PhysicalDesign design_;
 };
 

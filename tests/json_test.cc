@@ -1,0 +1,73 @@
+// Unit tests for the minimal JSON model used by the trace backend.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.h"
+
+namespace dbdesign {
+namespace {
+
+TEST(JsonTest, BuildsAndDumpsDeterministically) {
+  Json root = Json::Object();
+  root["name"] = Json::Str("trace");
+  root["version"] = Json::Number(1);
+  Json arr = Json::Array();
+  arr.Append(Json::Number(1.5));
+  arr.Append(Json::Bool(true));
+  arr.Append(Json::Null());
+  root["items"] = std::move(arr);
+  EXPECT_EQ(root.Dump(),
+            "{\"items\":[1.5,true,null],\"name\":\"trace\",\"version\":1}");
+}
+
+TEST(JsonTest, ParsesDocument) {
+  auto r = Json::Parse(R"({"a": [1, 2.5, "x"], "b": {"c": false}})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Json& j = r.value();
+  ASSERT_NE(j.Find("a"), nullptr);
+  EXPECT_EQ(j.Find("a")->size(), 3u);
+  EXPECT_DOUBLE_EQ(j.Find("a")->at(1).number(), 2.5);
+  EXPECT_EQ(j.Find("a")->at(2).str(), "x");
+  ASSERT_NE(j.Find("b"), nullptr);
+  EXPECT_FALSE(j.Find("b")->Find("c")->bool_value());
+  EXPECT_EQ(j.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RoundTripsStringsWithEscapes) {
+  Json s = Json::Str("line1\nquote\" back\\slash \t end");
+  auto r = Json::Parse(s.Dump());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().str(), "line1\nquote\" back\\slash \t end");
+}
+
+TEST(JsonTest, RoundTripsDoublesExactly) {
+  // %.17g must reproduce IEEE doubles bit-for-bit — the trace replay
+  // guarantee rests on this.
+  const double cases[] = {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-17,
+                          123456789.123456789};
+  for (double d : cases) {
+    auto r = Json::Parse(Json::Number(d).Dump());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().number(), d);
+  }
+}
+
+TEST(JsonTest, ParseErrorsAreStatuses) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_EQ(Json::Parse("{").status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  auto r = Json::Parse(R"("aAé")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().str(), "aA\xC3\xA9");
+}
+
+}  // namespace
+}  // namespace dbdesign

@@ -170,7 +170,7 @@ TEST(BnbTest, HeuristicProvidesIncumbent) {
   mip.lp.AddConstraint({{{a, 2.0}, {b, 2.0}}, LpRelation::kLe, 3.0});
   mip.binary_vars = {a, b};
   int heuristic_calls = 0;
-  auto heuristic = [&](const std::vector<double>& lp, std::vector<double>* out,
+  auto heuristic = [&](const std::vector<double>& /*lp*/, std::vector<double>* out,
                        double* obj) {
     ++heuristic_calls;
     *out = {1.0, 0.0};
@@ -202,7 +202,7 @@ TEST(BnbTest, NodeBudgetStillReportsBoundAndIncumbent) {
 
   BnbOptions opts;
   opts.max_nodes = 3;
-  auto greedy = [&](const std::vector<double>& lp, std::vector<double>* out,
+  auto greedy = [&](const std::vector<double>& /*lp*/, std::vector<double>* out,
                     double* obj) {
     out->assign(n, 0.0);
     *obj = 0.0;

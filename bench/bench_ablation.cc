@@ -249,11 +249,13 @@ BENCHMARK(BM_StructuralHash);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::AblationInumParamSignatures();
-  dbdesign::AblationCophyAtomCap();
-  dbdesign::AblationCandidateGeneration();
-  dbdesign::AblationColtBudget();
-  dbdesign::AblationWorkloadCompression();
+  dbdesign::bench::JsonReporter reporter("ablation");
+  reporter.TimeOp("ablation_inum_param_signatures", [] { dbdesign::AblationInumParamSignatures(); });
+  reporter.TimeOp("ablation_cophy_atom_cap", [] { dbdesign::AblationCophyAtomCap(); });
+  reporter.TimeOp("ablation_candidate_generation", [] { dbdesign::AblationCandidateGeneration(); });
+  reporter.TimeOp("ablation_colt_budget", [] { dbdesign::AblationColtBudget(); });
+  reporter.TimeOp("ablation_workload_compression", [] { dbdesign::AblationWorkloadCompression(); });
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

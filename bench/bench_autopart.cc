@@ -91,7 +91,9 @@ BENCHMARK(BM_RewriteQuery);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunExperiment();
+  dbdesign::bench::JsonReporter reporter("autopart");
+  reporter.TimeOp("e5_autopart", [] { dbdesign::RunExperiment(); });
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

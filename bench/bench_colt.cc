@@ -133,7 +133,9 @@ BENCHMARK(BM_ColtOnQuery);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunExperiment();
+  dbdesign::bench::JsonReporter reporter("colt");
+  reporter.TimeOp("e6_colt", [] { dbdesign::RunExperiment(); });
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

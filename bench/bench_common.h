@@ -1,27 +1,48 @@
 // Shared helpers for the experiment benchmarks. Each bench_* binary
 // reproduces one experiment from DESIGN.md §4: it prints the paper-style
 // result table(s) first, then runs google-benchmark microbenchmarks for
-// the hot operations involved.
+// the hot operations involved. Alongside the tables, each binary writes
+// a machine-readable BENCH_<name>.json (via JsonReporter) so CI can
+// track the perf trajectory across commits.
 
 #ifndef DBDESIGN_BENCH_BENCH_COMMON_H_
 #define DBDESIGN_BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "storage/database.h"
+#include "util/json.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "workload/queries.h"
 #include "workload/sdss.h"
 
 namespace dbdesign {
 namespace bench {
 
+/// Row-count override for CI smoke runs: DBDESIGN_BENCH_ROWS caps the
+/// photoobj size every bench builds, keeping the full table sections
+/// fast on small runners.
+inline int BenchRows(int default_rows) {
+  if (const char* env = std::getenv("DBDESIGN_BENCH_ROWS")) {
+    int v = std::atoi(env);
+    if (v > 0 && v < default_rows) return v;
+  }
+  return default_rows;
+}
+
 inline Database MakeDb(int photoobj_rows = 20000, uint64_t seed = 42) {
   SetLogLevel(LogLevel::kError);
   SdssConfig cfg;
-  cfg.photoobj_rows = photoobj_rows;
+  cfg.photoobj_rows = BenchRows(photoobj_rows);
   cfg.seed = seed;
   return BuildSdssDatabase(cfg);
 }
@@ -40,6 +61,65 @@ inline void Header(const char* experiment, const char* claim) {
   std::printf("paper claim: %s\n", claim);
   std::printf("==============================================================================\n");
 }
+
+/// Collects per-operation results and writes BENCH_<name>.json next to
+/// the printed tables: op name, wall milliseconds, speedup against the
+/// operation's serial baseline (1.0 when not applicable), and the
+/// backend optimizer-call counter (0 when not measured). CI uploads
+/// these files as artifacts — the machine-readable perf trajectory.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void Report(const std::string& op, double wall_ms,
+              double speedup_vs_serial = 1.0, uint64_t optimizer_calls = 0) {
+    entries_.push_back(Entry{op, wall_ms, speedup_vs_serial, optimizer_calls});
+  }
+
+  /// Times fn() once and records it under `op`.
+  template <typename Fn>
+  void TimeOp(const std::string& op, Fn&& fn) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    Report(op, ms);
+  }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void Write() const {
+    Json root = Json::Object();
+    root["bench"] = Json::Str(name_);
+    root["hardware_threads"] = Json::Number(ThreadPool::HardwareThreads());
+    Json ops = Json::Array();
+    for (const Entry& e : entries_) {
+      Json op = Json::Object();
+      op["op"] = Json::Str(e.op);
+      op["wall_ms"] = Json::Number(e.wall_ms);
+      op["speedup_vs_serial"] = Json::Number(e.speedup);
+      op["optimizer_calls"] = Json::Number(static_cast<double>(e.calls));
+      ops.Append(std::move(op));
+    }
+    root["ops"] = std::move(ops);
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << root.Dump() << "\n";
+    std::printf("\n[bench] wrote %s (%zu ops)\n", path.c_str(),
+                entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    double wall_ms = 0.0;
+    double speedup = 1.0;
+    uint64_t calls = 0;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace bench
 }  // namespace dbdesign

@@ -134,8 +134,10 @@ BENCHMARK(BM_CandidateGeneration)->Unit(benchmark::kMillisecond);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunBudgetSweep();
-  dbdesign::RunTimeQualityKnob();
+  dbdesign::bench::JsonReporter reporter("cophy");
+  reporter.TimeOp("e4_budget_sweep", [] { dbdesign::RunBudgetSweep(); });
+  reporter.TimeOp("e4b_time_quality_knob", [] { dbdesign::RunTimeQualityKnob(); });
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -99,7 +99,9 @@ BENCHMARK(BM_FullGraphAnalysis)->Unit(benchmark::kMillisecond);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunExperiment();
+  dbdesign::bench::JsonReporter reporter("interaction");
+  reporter.TimeOp("e9_interaction", [] { dbdesign::RunExperiment(); });
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

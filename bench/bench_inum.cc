@@ -217,7 +217,7 @@ void RunComplexityScaling() {
               "the honest lower bound)\n");
 }
 
-void RunBatchedDesignEvaluation() {
+void RunBatchedDesignEvaluation(bench::JsonReporter& reporter) {
   Shared& S = shared();
   Header("E3c: Designer::EvaluateDesigns — amortized candidate evaluation",
          "one INUM populate per query serves every candidate design; "
@@ -258,6 +258,49 @@ void RunBatchedDesignEvaluation() {
   std::printf("\nspeedup %.0fx (cost sums: %.1f vs %.1f; INUM stays within "
               "its usual error band)\n",
               naive_sec / batched_sec, naive_check, batched_check);
+
+  reporter.Report("e3c_per_design_backend", naive_sec * 1e3, 1.0, 0);
+  reporter.Report("e3c_evaluate_designs", batched_sec * 1e3,
+                  naive_sec / batched_sec, 0);
+
+  // --- Multicore scaling: populate + design evaluation per thread count.
+  // A fresh Designer per setting keeps the INUM cache cold, so the
+  // measured section covers the parallel populate (the expensive part)
+  // and the per-design leaf repricing.
+  std::printf("\nEvaluateDesigns thread scaling (cold INUM cache, %zu queries "
+              "x %zu designs, %d hardware threads):\n",
+              S.workload.size(), S.designs.size(),
+              ThreadPool::HardwareThreads());
+  std::printf("%-14s %12s %10s %9s\n", "num_threads", "wall time", "speedup",
+              "results");
+  double serial_sec = 0.0;
+  std::vector<BenefitReport> serial_reports;
+  for (int t : {1, 2, 4, 8}) {
+    CostParams params;
+    params.num_threads = t;
+    InMemoryBackend scaled(S.db, params);
+    Designer fresh(scaled);
+    auto tt0 = std::chrono::steady_clock::now();
+    std::vector<BenefitReport> r = fresh.EvaluateDesigns(S.workload, S.designs);
+    double sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - tt0)
+                     .count();
+    if (t == 1) {
+      serial_sec = sec;
+      serial_reports = r;
+    }
+    bool same = r.size() == serial_reports.size();
+    for (size_t i = 0; same && i < r.size(); ++i) {
+      same = r[i].new_costs == serial_reports[i].new_costs &&
+             r[i].base_costs == serial_reports[i].base_costs;
+    }
+    std::printf("%-14d %9.3f ms %9.2fx %9s\n", t, sec * 1e3, serial_sec / sec,
+                same ? "identical" : "DIFFER!");
+    reporter.Report("e3c_evaluate_designs_threads_" + std::to_string(t),
+                    sec * 1e3, serial_sec / sec,
+                    fresh.inum().stats().populate_optimizations);
+  }
+  std::printf("(per-query costs are bit-identical at every thread count)\n");
 }
 
 void BM_FullOptimizerCost(benchmark::State& state) {
@@ -303,9 +346,12 @@ BENCHMARK(BM_InumPopulate);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunExperiment();
-  dbdesign::RunComplexityScaling();
-  dbdesign::RunBatchedDesignEvaluation();
+  dbdesign::bench::JsonReporter reporter("inum");
+  reporter.TimeOp("e3_inum_vs_optimizer", [] { dbdesign::RunExperiment(); });
+  reporter.TimeOp("e3b_complexity_scaling",
+                  [] { dbdesign::RunComplexityScaling(); });
+  dbdesign::RunBatchedDesignEvaluation(reporter);
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -126,7 +126,9 @@ BENCHMARK(BM_GreedySchedule)->Unit(benchmark::kMillisecond);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunExperiment();
+  dbdesign::bench::JsonReporter reporter("schedule");
+  reporter.TimeOp("e10_schedule", [] { dbdesign::RunExperiment(); });
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

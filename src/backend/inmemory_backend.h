@@ -2,6 +2,11 @@
 // engine — the stand-in for the PostgreSQL instance the paper's tool
 // attaches to. This is the only place the designer stack touches the
 // concrete Database type.
+//
+// Thread safety: the cost entry points (OptimizeQuery, CostQuery,
+// CostBatch) are safe to call concurrently against a fixed Database —
+// knobs travel by argument and the optimizer-call counter is atomic.
+// RefreshStatistics mutates the engine and requires external exclusion.
 
 #ifndef DBDESIGN_BACKEND_INMEMORY_BACKEND_H_
 #define DBDESIGN_BACKEND_INMEMORY_BACKEND_H_
@@ -40,6 +45,9 @@ class InMemoryBackend final : public DbmsBackend {
 
   /// Amortized batch: structurally identical queries are optimized once
   /// (query streams repeat; the counter advances per distinct query).
+  /// Distinct queries are costed in parallel across
+  /// cost_params().num_threads workers; results and the call counter are
+  /// bit-identical to a serial run at any thread count.
   Result<std::vector<double>> CostBatch(std::span<const BoundQuery> queries,
                                         const PhysicalDesign& design,
                                         const PlannerKnobs& knobs) override;

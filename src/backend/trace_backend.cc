@@ -276,13 +276,16 @@ PhysicalDesign TraceBackend::CurrentDesign() const {
 }
 
 uint64_t TraceBackend::num_optimizer_calls() const {
-  return recording() ? inner_->num_optimizer_calls() : calls_;
+  if (recording()) return inner_->num_optimizer_calls();
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
 }
 
 void TraceBackend::ResetCallCount() {
   if (recording()) {
     inner_->ResetCallCount();
   } else {
+    std::lock_guard<std::mutex> lock(mu_);
     calls_ = 0;
   }
 }
@@ -293,7 +296,10 @@ Result<PlanResult> TraceBackend::OptimizeQuery(const BoundQuery& query,
   std::string key = CallKey(query, design, knobs);
   if (recording()) {
     Result<PlanResult> r = inner_->OptimizeQuery(query, design, knobs);
-    if (r.ok()) costs_[key] = r.value().cost;
+    if (r.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      costs_[key] = r.value().cost;
+    }
     return r;
   }
   auto it = costs_.find(key);
@@ -311,7 +317,10 @@ Result<double> TraceBackend::CostQuery(const BoundQuery& query,
   std::string key = CallKey(query, design, knobs);
   if (recording()) {
     Result<double> r = inner_->CostQuery(query, design, knobs);
-    if (r.ok()) costs_[key] = r.value();
+    if (r.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      costs_[key] = r.value();
+    }
     return r;
   }
   auto it = costs_.find(key);
@@ -328,6 +337,7 @@ Result<std::vector<double>> TraceBackend::CostBatch(
   if (recording()) {
     Result<std::vector<double>> r = inner_->CostBatch(queries, design, knobs);
     if (r.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
       for (size_t i = 0; i < queries.size(); ++i) {
         costs_[CallKeyWithSuffix(queries[i], suffix)] = r.value()[i];
       }
@@ -407,7 +417,10 @@ std::string TraceBackend::ToJson() const {
                                 cat);
 
   Json calls = Json::Object();
-  for (const auto& [key, cost] : costs_) calls[key] = Json::Number(cost);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, cost] : costs_) calls[key] = Json::Number(cost);
+  }
   root["cost_calls"] = std::move(calls);
 
   return root.Dump();

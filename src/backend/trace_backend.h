@@ -15,12 +15,19 @@
 // Replay limits: OptimizeQuery returns the recorded cost with a null
 // plan tree (plans are not serialized), unrecorded calls return
 // NotFound, and RefreshStatistics is an error (statistics are frozen).
+//
+// Thread safety: the recorded-call map and the replay call counter are
+// mutex-guarded, so cost calls may arrive concurrently — a recorder
+// wrapped around a parallel backend (or sitting underneath a parallel
+// CostBatch/INUM run) captures a valid trace. Record mode additionally
+// requires the inner backend's cost calls to be thread-safe.
 
 #ifndef DBDESIGN_BACKEND_TRACE_BACKEND_H_
 #define DBDESIGN_BACKEND_TRACE_BACKEND_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,7 +53,10 @@ class TraceBackend final : public DbmsBackend {
   Status SaveToFile(const std::string& path) const;
 
   bool recording() const { return inner_ != nullptr; }
-  size_t num_recorded_costs() const { return costs_.size(); }
+  size_t num_recorded_costs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return costs_.size();
+  }
 
   // --- DbmsBackend ---
   std::string name() const override {
@@ -87,6 +97,8 @@ class TraceBackend final : public DbmsBackend {
   Catalog catalog_;                  // replay-mode snapshot
   std::vector<TableStats> stats_;    // replay-mode snapshot
   PhysicalDesign design_;            // materialized design at capture
+  /// Guards costs_ and calls_ against concurrent cost calls.
+  mutable std::mutex mu_;
   std::map<std::string, double> costs_;
   uint64_t calls_ = 0;
 };

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "util/logging.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace dbdesign {
 
@@ -39,11 +41,16 @@ std::vector<CoPhyAtom> CoPhyAdvisor::BuildAtoms(
   PlannerContext ctx = optimizer_.MakeContext(query, all);
   CatalogPathProvider provider(ctx);
 
+  // Candidate lookup by structural key — one map build instead of a
+  // per-path linear scan over the candidate vector.
+  std::unordered_map<std::string, int> id_by_key;
+  id_by_key.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    id_by_key.emplace(candidates[i].index.Key(), static_cast<int>(i));
+  }
   auto candidate_id = [&](const IndexDef& idx) {
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (candidates[i].index == idx) return static_cast<int>(i);
-    }
-    return -1;
+    auto it = id_by_key.find(idx.Key());
+    return it == id_by_key.end() ? -1 : it->second;
   };
 
   // One access option: leaf cost + the candidate it needs (-1 = none).
@@ -213,11 +220,26 @@ IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
   IndexRecommendation rec;
   rec.num_candidates = candidates.size();
 
-  // Atoms per query.
+  // Atoms per query: built once per structurally distinct query, fanned
+  // out over the pool (duplicates share — identical queries expand to
+  // identical atom sets). INUM caches are populated up front so the
+  // parallel BuildAtoms calls only read them.
+  StructuralDedup dedup = DedupByStructure(std::span<const BoundQuery>(
+      workload.queries.data(), workload.queries.size()));
+  const std::vector<size_t>& distinct = dedup.distinct;
+  inum_.PrepareWorkload(workload);
+
+  std::vector<std::vector<CoPhyAtom>> distinct_atoms(distinct.size());
+  int threads = ThreadPool::Resolve(params_.num_threads);
+  ThreadPool::Shared().ParallelFor(distinct.size(), threads, [&](size_t u) {
+    distinct_atoms[u] =
+        BuildAtoms(workload.queries[distinct[u]], candidates);
+  });
+
   std::vector<std::vector<CoPhyAtom>> atoms;
   atoms.reserve(workload.size());
-  for (const BoundQuery& q : workload.queries) {
-    atoms.push_back(BuildAtoms(q, candidates));
+  for (size_t i = 0; i < workload.size(); ++i) {
+    atoms.push_back(distinct_atoms[dedup.owner[i]]);
     rec.num_atoms += atoms.back().size();
   }
 

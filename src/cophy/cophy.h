@@ -90,7 +90,11 @@ class CoPhyAdvisor {
       const Workload& workload, const std::vector<CandidateIndex>& candidates);
 
   /// Expands one query into atomic configurations against `candidates`
-  /// (exposed for tests and for the interaction analyzer).
+  /// (exposed for tests and for the interaction analyzer). Safe to call
+  /// concurrently for *distinct* queries once the INUM caches are
+  /// populated (Recommend* prepares them, then fans atom building out
+  /// across the pool); concurrent calls for unseen queries would race
+  /// on the cache and need external synchronization.
   std::vector<CoPhyAtom> BuildAtoms(
       const BoundQuery& query, const std::vector<CandidateIndex>& candidates);
 

@@ -1,5 +1,7 @@
 #include "core/designer.h"
 
+#include <span>
+
 namespace dbdesign {
 
 Designer::Designer(DbmsBackend& backend, DesignerOptions options)
@@ -24,25 +26,27 @@ BenefitReport Designer::EvaluateDesign(const Workload& workload,
 std::vector<BenefitReport> Designer::EvaluateDesigns(
     const Workload& workload, const std::vector<PhysicalDesign>& designs) {
   // One INUM populate per query serves the baseline and every candidate
-  // design; each additional design reprices only the plan leaves.
-  std::vector<double> base_costs;
-  base_costs.reserve(workload.size());
-  for (const BoundQuery& q : workload.queries) {
-    base_costs.push_back(inum_.Cost(q, PhysicalDesign{}));
-  }
+  // design; each additional design reprices only the plan leaves. The
+  // cost matrix shards distinct queries across the pool (baseline is
+  // row 0), so K candidates evaluate in parallel with results identical
+  // to the serial loops.
+  std::vector<PhysicalDesign> all;
+  all.reserve(designs.size() + 1);
+  all.emplace_back();  // empty baseline design
+  for (const PhysicalDesign& d : designs) all.push_back(d);
+  std::vector<std::vector<double>> matrix = inum_.CostMatrix(
+      workload, std::span<const PhysicalDesign>(all.data(), all.size()));
 
   std::vector<BenefitReport> reports;
   reports.reserve(designs.size());
-  for (const PhysicalDesign& design : designs) {
+  for (size_t d = 0; d < designs.size(); ++d) {
     BenefitReport report;
-    report.base_costs = base_costs;
-    report.new_costs.reserve(workload.size());
+    report.base_costs = matrix[0];
+    report.new_costs = std::move(matrix[d + 1]);
     for (size_t i = 0; i < workload.size(); ++i) {
       double w = workload.WeightOf(i);
-      double now = inum_.Cost(workload.queries[i], design);
-      report.new_costs.push_back(now);
-      report.base_total += w * base_costs[i];
-      report.new_total += w * now;
+      report.base_total += w * report.base_costs[i];
+      report.new_total += w * report.new_costs[i];
     }
     reports.push_back(std::move(report));
   }

@@ -4,10 +4,12 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 
 #include "optimizer/selectivity.h"
 #include "util/logging.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace dbdesign {
 
@@ -149,6 +151,15 @@ InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
+  BuiltCache built = BuildCache(query);
+  auto [ins, ok] = cache_.emplace(key, std::move(built.qc));
+  stats_.populate_optimizations += built.combos;
+  stats_.queries_cached = cache_.size();
+  stats_.plans_cached += ins->second.plans.size();
+  return ins->second;
+}
+
+InumCostModel::BuiltCache InumCostModel::BuildCache(const BoundQuery& query) {
   PhysicalDesign empty;
   PlannerContext ctx = optimizer_.MakeContext(query, empty);
 
@@ -231,8 +242,11 @@ InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
     options[widest].pop_back();
   }
 
-  // Enumerate combinations.
-  std::vector<CachedPlan> plans;
+  // Materialize the combination list (odometer order), then run the
+  // independent abstract DP enumerations across the pool. Per-combo
+  // results land in their own slots and are collected back in odometer
+  // order, so the plan list is bit-identical to a serial build.
+  std::vector<std::vector<SlotSignature>> combos;
   std::vector<size_t> idx(static_cast<size_t>(n), 0);
   while (true) {
     std::vector<SlotSignature> combo;
@@ -240,24 +254,7 @@ InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
     for (int s = 0; s < n; ++s) {
       combo.push_back(options[static_cast<size_t>(s)][idx[static_cast<size_t>(s)]]);
     }
-
-    AbstractProvider provider(ctx, combo);
-    PlanResult result =
-        optimizer_.OptimizeWithProvider(query, empty, provider);
-    ++stats_.populate_optimizations;
-
-    if (result.root != nullptr && result.cost < kInfeasibleThreshold) {
-      CachedPlan plan;
-      plan.slots = combo;
-      CollectInljTerms(*result.root, &plan.inlj_terms);
-      double inlj_total = 0.0;
-      for (const auto& term : plan.inlj_terms) {
-        ParamLookupPath lk = AbstractLookup(ctx, term.slot, term.inner_col);
-        inlj_total += term.outer_rows * lk.per_lookup.total;
-      }
-      plan.internal_cost = result.cost - inlj_total;
-      plans.push_back(std::move(plan));
-    }
+    combos.push_back(std::move(combo));
 
     // Advance the odometer.
     int pos = 0;
@@ -272,11 +269,38 @@ InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
     if (pos == n) break;
   }
 
+  std::vector<std::optional<CachedPlan>> slots_out(combos.size());
+  int threads = ThreadPool::Resolve(params_.num_threads);
+  ThreadPool::Shared().ParallelFor(combos.size(), threads, [&](size_t c) {
+    AbstractProvider provider(ctx, combos[c]);
+    PlanResult result = optimizer_.OptimizeWithProvider(query, empty, provider);
+    if (result.root != nullptr && result.cost < kInfeasibleThreshold) {
+      CachedPlan plan;
+      plan.slots = combos[c];
+      CollectInljTerms(*result.root, &plan.inlj_terms);
+      double inlj_total = 0.0;
+      for (const auto& term : plan.inlj_terms) {
+        ParamLookupPath lk = AbstractLookup(ctx, term.slot, term.inner_col);
+        inlj_total += term.outer_rows * lk.per_lookup.total;
+      }
+      plan.internal_cost = result.cost - inlj_total;
+      slots_out[c] = std::move(plan);
+    }
+  });
+
+  std::vector<CachedPlan> plans;
+  plans.reserve(combos.size());
+  for (std::optional<CachedPlan>& p : slots_out) {
+    if (p.has_value()) plans.push_back(std::move(*p));
+  }
+
   DBD_LOG_DEBUG(StrFormat("INUM populated %zu plans for query", plans.size()));
 
   // Assemble the reuse-side acceleration structures: the distinct order
   // requirements per slot and each plan's requirement index.
-  QueryCache qc;
+  BuiltCache built;
+  built.combos = combos.size();
+  QueryCache& qc = built.qc;
   qc.plans = std::move(plans);
   qc.slot_orders.resize(static_cast<size_t>(n));
   for (CachedPlan& plan : qc.plans) {
@@ -296,11 +320,36 @@ InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
       plan.order_req[static_cast<size_t>(s)] = found;
     }
   }
+  return built;
+}
 
-  auto [ins, ok] = cache_.emplace(key, std::move(qc));
+void InumCostModel::PreparePtrs(const std::vector<const BoundQuery*>& missing) {
+  // Build the missing caches in parallel (each task owns one query),
+  // then insert serially in first-seen order so cache contents and
+  // stats counters match serial Prepare calls exactly.
+  std::vector<BuiltCache> built(missing.size());
+  int threads = ThreadPool::Resolve(params_.num_threads);
+  ThreadPool::Shared().ParallelFor(missing.size(), threads, [&](size_t u) {
+    built[u] = BuildCache(*missing[u]);
+  });
+  for (size_t u = 0; u < missing.size(); ++u) {
+    auto [ins, ok] =
+        cache_.emplace(missing[u]->StructuralHash(), std::move(built[u].qc));
+    stats_.populate_optimizations += built[u].combos;
+    stats_.plans_cached += ins->second.plans.size();
+  }
   stats_.queries_cached = cache_.size();
-  stats_.plans_cached += ins->second.plans.size();
-  return ins->second;
+}
+
+void InumCostModel::PrepareQueries(std::span<const BoundQuery> queries) {
+  std::vector<const BoundQuery*> missing;
+  std::unordered_set<uint64_t> seen;
+  for (const BoundQuery& q : queries) {
+    uint64_t key = q.StructuralHash();
+    if (cache_.find(key) != cache_.end()) continue;
+    if (seen.insert(key).second) missing.push_back(&q);
+  }
+  PreparePtrs(missing);
 }
 
 namespace {
@@ -483,11 +532,79 @@ double InumCostModel::Cost(const BoundQuery& query,
   return cost;
 }
 
+double InumCostModel::CostPrepared(const BoundQuery& query,
+                                   const PhysicalDesign& design,
+                                   InumStats* stats) {
+  if (query.num_slots() > 16) {
+    ++stats->fallback_calls;
+    return exact_.CostUnder(query, design);
+  }
+  auto it = cache_.find(query.StructuralHash());
+  if (it == cache_.end()) {
+    // Callers populate first; an unseen query still answers correctly.
+    ++stats->fallback_calls;
+    return exact_.CostUnder(query, design);
+  }
+  ++stats->reuse_calls;
+  double cost = ReuseCost(query, it->second, design);
+  if (!std::isfinite(cost)) {
+    ++stats->fallback_calls;
+    return exact_.CostUnder(query, design);
+  }
+  return cost;
+}
+
+std::vector<std::vector<double>> InumCostModel::CostMatrix(
+    const Workload& workload, std::span<const PhysicalDesign> designs) {
+  // Shard by query: distinct queries (first-seen order) are the work
+  // units, and one worker prices a query under every design so its
+  // cache memos never see two threads.
+  StructuralDedup dedup = DedupByStructure(std::span<const BoundQuery>(
+      workload.queries.data(), workload.queries.size()));
+  const std::vector<size_t>& distinct = dedup.distinct;
+
+  // Populate reuse-eligible caches up front (parallel inside).
+  std::vector<const BoundQuery*> to_prepare;
+  for (size_t u : distinct) {
+    const BoundQuery& q = workload.queries[u];
+    if (q.num_slots() <= 16 && cache_.find(q.StructuralHash()) == cache_.end()) {
+      to_prepare.push_back(&q);
+    }
+  }
+  PreparePtrs(to_prepare);
+
+  std::vector<std::vector<double>> per_distinct(
+      designs.size(), std::vector<double>(distinct.size(), 0.0));
+  std::vector<InumStats> deltas(distinct.size());
+  int threads = ThreadPool::Resolve(params_.num_threads);
+  ThreadPool::Shared().ParallelFor(distinct.size(), threads, [&](size_t u) {
+    const BoundQuery& q = workload.queries[distinct[u]];
+    for (size_t d = 0; d < designs.size(); ++d) {
+      per_distinct[d][u] = CostPrepared(q, designs[d], &deltas[u]);
+    }
+  });
+  for (const InumStats& delta : deltas) {
+    stats_.reuse_calls += delta.reuse_calls;
+    stats_.fallback_calls += delta.fallback_calls;
+  }
+
+  std::vector<std::vector<double>> out(
+      designs.size(), std::vector<double>(workload.size(), 0.0));
+  for (size_t d = 0; d < designs.size(); ++d) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      out[d][i] = per_distinct[d][dedup.owner[i]];
+    }
+  }
+  return out;
+}
+
 double InumCostModel::WorkloadCost(const Workload& workload,
                                    const PhysicalDesign& design) {
+  std::vector<std::vector<double>> m =
+      CostMatrix(workload, std::span<const PhysicalDesign>(&design, 1));
   double total = 0.0;
   for (size_t i = 0; i < workload.size(); ++i) {
-    total += workload.WeightOf(i) * Cost(workload.queries[i], design);
+    total += workload.WeightOf(i) * m[0][i];
   }
   return total;
 }

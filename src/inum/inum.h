@@ -20,6 +20,12 @@
 // plans"): leaf prices are computed by the partition-aware access-path
 // generator, so one populated cache serves designs that add or change
 // vertical/horizontal partitions as well as indexes.
+//
+// Concurrency: the model is thread-compatible (concurrent calls on one
+// instance need external synchronization), but the batched entry points
+// (PrepareQueries, WorkloadCost, CostMatrix) parallelize internally —
+// per-query caches are sharded so each worker owns whole queries, and
+// results are bit-identical to serial execution at any num_threads.
 
 #ifndef DBDESIGN_INUM_INUM_H_
 #define DBDESIGN_INUM_INUM_H_
@@ -27,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -72,12 +79,32 @@ class InumCostModel {
   /// first sight of the query.
   double Cost(const BoundQuery& query, const PhysicalDesign& design);
 
-  /// Weighted workload cost.
+  /// Weighted workload cost. Structurally distinct queries are costed
+  /// once and fanned out across backend cost_params().num_threads
+  /// workers (shard-by-query: one worker owns a query's cache end to
+  /// end), then reduced in workload order — the total and the stats
+  /// counters are bit-identical at any thread count.
   double WorkloadCost(const Workload& workload,
                       const PhysicalDesign& design);
 
+  /// Per-(design, query) cost matrix: result[d][i] is the cost of
+  /// workload query i under designs[d]. The batched engine behind
+  /// WorkloadCost and Designer::EvaluateDesigns — each distinct query's
+  /// populate + per-design repricing runs on one worker.
+  std::vector<std::vector<double>> CostMatrix(
+      const Workload& workload, std::span<const PhysicalDesign> designs);
+
   /// Forces population for a query (useful to front-load cache warmup).
   void Prepare(const BoundQuery& query);
+
+  /// Populates every structurally distinct query in `queries`, running
+  /// the independent per-query abstract enumerations across the pool.
+  /// Cache contents and stats match serial Prepare calls in order.
+  void PrepareQueries(std::span<const BoundQuery> queries);
+  void PrepareWorkload(const Workload& workload) {
+    PrepareQueries(std::span<const BoundQuery>(workload.queries.data(),
+                                               workload.queries.size()));
+  }
 
   const InumStats& stats() const { return stats_; }
   void ResetStats() { stats_ = InumStats{}; }
@@ -145,9 +172,28 @@ class InumCostModel {
   /// Owning constructor used by the legacy Database path.
   InumCostModel(std::shared_ptr<DbmsBackend> owned, InumOptions options);
 
+  /// A fully built (but not yet inserted) query cache.
+  struct BuiltCache {
+    QueryCache qc;
+    uint64_t combos = 0;  ///< abstract DP runs performed
+  };
+
+  /// Builds the cache for one query: enumerates signature combinations
+  /// and runs the abstract DP per combo across the pool. Mutates no
+  /// member state besides the (atomic) optimizer call counter, so
+  /// distinct queries build concurrently; plans are assembled in combo
+  /// order, bit-identical to a serial build.
+  BuiltCache BuildCache(const BoundQuery& query);
+
   QueryCache& Populate(const BoundQuery& query);
+  void PreparePtrs(const std::vector<const BoundQuery*>& missing);
   double ReuseCost(const BoundQuery& query, QueryCache& qc,
                    const PhysicalDesign& design);
+  /// Reuse-or-fallback costing against an already populated cache;
+  /// reuse/fallback counters accumulate into `stats` (shard-local in
+  /// parallel runs, merged afterwards).
+  double CostPrepared(const BoundQuery& query, const PhysicalDesign& design,
+                      InumStats* stats);
 
   std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
   DbmsBackend* backend_;

@@ -24,6 +24,12 @@ struct CostParams {
   double work_mem_bytes = 4.0 * 1024 * 1024;  // 4 MB
   /// Minimum number of rows an estimate may produce.
   double min_rows = 1.0;
+  /// Worker threads for batched costing (CostBatch, INUM populate and
+  /// workload costing, EvaluateDesigns, CoPhy atom building). 0 = use
+  /// hardware concurrency, 1 = serial. Results are bit-identical at any
+  /// setting; this knob trades only wall time. Not a PostgreSQL GUC —
+  /// it configures the designer's client-side costing engine.
+  int num_threads = 0;
 };
 
 /// Enables/disables plan operators, PostgreSQL enable_* style. The

@@ -9,13 +9,19 @@ namespace dbdesign {
 
 PlannerContext Optimizer::MakeContext(const BoundQuery& query,
                                       const PhysicalDesign& design) const {
+  return MakeContext(query, design, knobs_);
+}
+
+PlannerContext Optimizer::MakeContext(const BoundQuery& query,
+                                      const PhysicalDesign& design,
+                                      const PlannerKnobs& knobs) const {
   PlannerContext ctx;
   ctx.catalog = catalog_;
   ctx.stats = stats_;
   ctx.query = &query;
   ctx.design = &design;
   ctx.params = params_;
-  ctx.knobs = knobs_;
+  ctx.knobs = knobs;
   return ctx;
 }
 
@@ -140,9 +146,10 @@ PlanResult Optimizer::FinishPlan(
 }
 
 PlanResult Optimizer::Optimize(const BoundQuery& query,
-                               const PhysicalDesign& design) const {
-  ++num_calls_;
-  PlannerContext ctx = MakeContext(query, design);
+                               const PhysicalDesign& design,
+                               const PlannerKnobs& knobs) const {
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
+  PlannerContext ctx = MakeContext(query, design, knobs);
   CatalogPathProvider provider(ctx);
   JoinEnumerator enumerator(ctx, provider);
   PlanResult result = FinishPlan(ctx, enumerator.Enumerate());
@@ -161,7 +168,7 @@ PlanResult Optimizer::Optimize(const BoundQuery& query,
 PlanResult Optimizer::OptimizeWithProvider(
     const BoundQuery& query, const PhysicalDesign& design,
     const PathProvider& provider) const {
-  ++num_calls_;
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
   PlannerContext ctx = MakeContext(query, design);
   JoinEnumerator enumerator(ctx, provider);
   return FinishPlan(ctx, enumerator.Enumerate());

@@ -6,6 +6,7 @@
 #ifndef DBDESIGN_OPTIMIZER_OPTIMIZER_H_
 #define DBDESIGN_OPTIMIZER_OPTIMIZER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -26,7 +27,15 @@ class Optimizer {
 
   /// Full cost-based optimization of `query` under `design`.
   PlanResult Optimize(const BoundQuery& query,
-                      const PhysicalDesign& design) const;
+                      const PhysicalDesign& design) const {
+    return Optimize(query, design, knobs_);
+  }
+
+  /// Optimization under explicit planner knobs. Unlike set_knobs() +
+  /// Optimize(), this mutates no member state, so concurrent calls on
+  /// one Optimizer are safe (the call counter is atomic).
+  PlanResult Optimize(const BoundQuery& query, const PhysicalDesign& design,
+                      const PlannerKnobs& knobs) const;
 
   /// Optimization with custom leaves (INUM's abstract signature mode).
   /// `design` is still consulted for partitions via the provider's
@@ -36,9 +45,12 @@ class Optimizer {
                                   const PathProvider& provider) const;
 
   /// Number of full optimizations performed (the expensive operation
-  /// INUM exists to avoid; benchmarks report it).
-  uint64_t num_calls() const { return num_calls_; }
-  void ResetCallCount() { num_calls_ = 0; }
+  /// INUM exists to avoid; benchmarks report it). Atomic so concurrent
+  /// Optimize calls (parallel CostBatch, INUM populate) count exactly.
+  uint64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCount() { num_calls_.store(0, std::memory_order_relaxed); }
 
   const CostParams& params() const { return params_; }
   PlannerKnobs& mutable_knobs() { return knobs_; }
@@ -48,6 +60,9 @@ class Optimizer {
   /// Builds the planner context used by path providers.
   PlannerContext MakeContext(const BoundQuery& query,
                              const PhysicalDesign& design) const;
+  PlannerContext MakeContext(const BoundQuery& query,
+                             const PhysicalDesign& design,
+                             const PlannerKnobs& knobs) const;
 
   /// Applies aggregation / ORDER BY / LIMIT on top of the join
   /// alternatives and returns the cheapest finished plan. Exposed for
@@ -60,7 +75,7 @@ class Optimizer {
   const std::vector<TableStats>* stats_;
   CostParams params_;
   PlannerKnobs knobs_;
-  mutable uint64_t num_calls_ = 0;
+  mutable std::atomic<uint64_t> num_calls_{0};
 };
 
 }  // namespace dbdesign

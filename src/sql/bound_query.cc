@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "util/str.h"
 
@@ -148,6 +149,20 @@ std::string BoundQuery::ToSql(const Catalog& catalog) const {
   }
   if (limit >= 0) sql += StrFormat(" LIMIT %lld", static_cast<long long>(limit));
   return sql;
+}
+
+StructuralDedup DedupByStructure(std::span<const BoundQuery> queries) {
+  StructuralDedup out;
+  out.owner.resize(queries.size());
+  std::unordered_map<uint64_t, size_t> slot_of;
+  slot_of.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] =
+        slot_of.try_emplace(queries[i].StructuralHash(), out.distinct.size());
+    if (inserted) out.distinct.push_back(i);
+    out.owner[i] = it->second;
+  }
+  return out;
 }
 
 }  // namespace dbdesign

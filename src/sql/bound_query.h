@@ -6,6 +6,7 @@
 #define DBDESIGN_SQL_BOUND_QUERY_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,20 @@ struct Workload {
   size_t size() const { return queries.size(); }
   bool empty() const { return queries.empty(); }
 };
+
+/// Structural deduplication of a query sequence: `distinct[u]` is the
+/// input index of the u-th first-seen distinct query and `owner[i]`
+/// maps every input index to its distinct slot. First-seen order is a
+/// *determinism invariant*: the parallel costing engine (CostBatch,
+/// INUM CostMatrix, CoPhy atom building) assigns work and reports
+/// errors by distinct slot, so this order must match what a serial
+/// first-occurrence scan produces.
+struct StructuralDedup {
+  std::vector<size_t> distinct;
+  std::vector<size_t> owner;
+};
+
+StructuralDedup DedupByStructure(std::span<const BoundQuery> queries);
 
 }  // namespace dbdesign
 

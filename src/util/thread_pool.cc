@@ -1,0 +1,153 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dbdesign {
+
+namespace {
+/// Set while a thread — pool worker or the submitting caller — executes
+/// job tasks; a nested ParallelFor on any pool from such a thread runs
+/// inline (see header) instead of re-entering submission and
+/// deadlocking on the in-flight job.
+thread_local bool tls_in_parallel_task = false;
+}  // namespace
+
+int ThreadPool::HardwareThreads() {
+  unsigned int hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+/// Upper bound on workers a growable pool will spawn for oversized
+/// num_threads requests.
+constexpr int kMaxPoolThreads = 256;
+}  // namespace
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads must not be joined from static
+  // destructors that may run after other statics they touch.
+  static ThreadPool* pool = new ThreadPool(HardwareThreads(), /*growable=*/true);
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_threads, bool growable) : growable_(growable) {
+  int workers = std::max(0, num_threads - 1);
+  for (int i = 0; i < workers; ++i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  count = std::min(count, kMaxPoolThreads - 1);
+  while (worker_count_.load(std::memory_order_relaxed) < count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Job::Record(size_t index, std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(err_mu);
+  if (err == nullptr || index < err_index) {
+    err = std::move(e);
+    err_index = index;
+  }
+}
+
+void ThreadPool::Job::RunChunk() {
+  for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      (*fn)(i);
+    } catch (...) {
+      Record(i, std::current_exception());
+    }
+    completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != seen_seq);
+      });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;
+    }
+    // Cap helpers to the per-call parallelism budget.
+    if (job->helpers.fetch_add(1, std::memory_order_relaxed) <
+        job->max_helpers) {
+      tls_in_parallel_task = true;
+      job->RunChunk();
+      tls_in_parallel_task = false;
+      // The empty critical section orders this worker's `completed`
+      // updates with the caller's predicate check, so the notify cannot
+      // slip into the window between that check and the caller's sleep.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, int parallelism,
+                             const std::function<void(size_t)>& fn) {
+  int budget = growable_ ? std::min(parallelism, kMaxPoolThreads)
+                         : std::min(parallelism, num_threads());
+  if (n <= 1 || budget <= 1 || tls_in_parallel_task) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  if (growable_) EnsureWorkers(budget - 1);
+  if (worker_count_.load(std::memory_order_relaxed) == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->max_helpers = budget - 1;  // caller participates
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is itself a task runner for the duration of its chunk:
+  // a ParallelFor issued from inside one of its tasks must flatten.
+  tls_in_parallel_task = true;
+  job->RunChunk();
+  tls_in_parallel_task = false;
+
+  if (job->completed.load(std::memory_order_acquire) < n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) >= n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  if (job->err != nullptr) std::rethrow_exception(job->err);
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,112 @@
+// Fixed-size thread pool with a deterministic, indexed ParallelFor.
+//
+// The designer's hot path is thousands of independent what-if costings
+// (one per (query, design) pair, per INUM signature combination, per
+// candidate design). ParallelFor(n, fn) runs fn(0..n-1) across the pool
+// with each task writing results into its own pre-sized slot, so the
+// output of a parallel run is bit-identical to the serial loop — there
+// is no reduction whose order could differ. Work distribution is a
+// shared atomic index (dynamic self-scheduling); scheduling order never
+// affects results, only wall time.
+//
+// Degenerate cases run inline on the caller: parallelism <= 1, n <= 1,
+// a pool constructed with one thread, or a ParallelFor issued from
+// inside a running task — whether that task executes on a pool worker
+// or on the submitting caller's own thread (nested parallelism
+// flattens to serial instead of deadlocking). The first exception (by
+// lowest index) thrown by any task is rethrown on the caller after all
+// other tasks drain.
+
+#ifndef DBDESIGN_UTIL_THREAD_POOL_H_
+#define DBDESIGN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbdesign {
+
+class ThreadPool {
+ public:
+  /// A pool with `num_threads` total parallelism (the calling thread
+  /// participates in every ParallelFor, so num_threads - 1 workers are
+  /// spawned). Values <= 1 create a pool that always runs inline. A
+  /// `growable` pool instead treats num_threads as a starting size and
+  /// spawns additional workers when a ParallelFor requests more — the
+  /// num_threads knob means "use N threads" even beyond the core count
+  /// (the OS timeshares), which also lets determinism tests exercise
+  /// real cross-thread execution on small machines.
+  explicit ThreadPool(int num_threads, bool growable = false);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const {
+    return worker_count_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.
+  /// `parallelism` caps the threads used for this call (calling thread
+  /// included); the pool-wide size is the other cap.
+  void ParallelFor(size_t n, int parallelism,
+                   const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    ParallelFor(n, num_threads(), fn);
+  }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static int HardwareThreads();
+
+  /// Resolves a num_threads knob: values <= 0 mean "hardware".
+  static int Resolve(int requested) {
+    return requested <= 0 ? HardwareThreads() : requested;
+  }
+
+  /// Process-wide pool sized to the hardware. Components share it so a
+  /// designer stack does not multiply idle worker threads; per-call
+  /// `parallelism` still honors each component's num_threads knob.
+  static ThreadPool& Shared();
+
+ private:
+  /// One ParallelFor invocation: tasks claim indexes via fetch_add.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    int max_helpers = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<int> helpers{0};
+    std::mutex err_mu;
+    size_t err_index = 0;
+    std::exception_ptr err;
+
+    void Record(size_t index, std::exception_ptr e);
+    void RunChunk();
+  };
+
+  void WorkerLoop();
+  /// Grows the worker set to `count` (growable pools only; caller must
+  /// hold submit_mu_).
+  void EnsureWorkers(int count);
+
+  std::mutex mu_;                  // guards job_/job_seq_/stop_/workers_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  uint64_t job_seq_ = 0;
+  bool stop_ = false;
+  bool growable_ = false;
+  std::atomic<int> worker_count_{0};
+  std::mutex submit_mu_;  // one ParallelFor at a time per pool
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_THREAD_POOL_H_

@@ -65,7 +65,9 @@ class WhatIfOptimizer {
   Result<PlanResult> TryPlanUnder(const BoundQuery& query,
                                   const PhysicalDesign& design) const;
   /// Per-query costs of the whole workload in ONE backend round-trip
-  /// (DbmsBackend::CostBatch) — the batched hot path.
+  /// (DbmsBackend::CostBatch) — the batched hot path. Parallelism comes
+  /// from the backend: InMemoryBackend fans distinct queries across
+  /// cost_params().num_threads workers with bit-identical results.
   Result<std::vector<double>> TryCostWorkload(
       const Workload& workload, const PhysicalDesign& design) const;
 

@@ -1,0 +1,251 @@
+// The parallel costing engine's contract: results are bit-identical to
+// serial execution at any thread count, for every batched entry point —
+// WhatIfOptimizer::TryCostWorkload (backend CostBatch),
+// InumCostModel::WorkloadCost (populate + reuse), and
+// Designer::EvaluateDesigns (cost matrix) — including the InumStats
+// counters. Plus unit coverage for util/thread_pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "backend/inmemory_backend.h"
+#include "core/designer.h"
+#include "inum/inum.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "whatif/whatif.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+Database MakeDb() {
+  SetLogLevel(LogLevel::kError);
+  SdssConfig cfg;
+  cfg.photoobj_rows = 4000;
+  cfg.seed = 42;
+  return BuildSdssDatabase(cfg);
+}
+
+CostParams WithThreads(int n) {
+  CostParams params;
+  params.num_threads = n;
+  return params;
+}
+
+/// Workload-derived candidate designs (same recipe as bench_inum).
+std::vector<PhysicalDesign> MakeDesigns(const Workload& workload, int count) {
+  Rng rng(11);
+  std::vector<IndexDef> pool;
+  for (const BoundQuery& q : workload.queries) {
+    for (int s = 0; s < q.num_slots(); ++s) {
+      for (ColumnId c : q.PredicateColumns(s)) {
+        IndexDef idx{q.tables[s], {c}, false};
+        bool dup = false;
+        for (const IndexDef& e : pool) dup |= e == idx;
+        if (!dup) pool.push_back(idx);
+      }
+    }
+  }
+  std::vector<PhysicalDesign> designs;
+  for (int d = 0; d < count; ++d) {
+    PhysicalDesign design;
+    for (const IndexDef& idx : pool) {
+      if (rng.Bernoulli(0.35)) design.AddIndex(idx);
+    }
+    designs.push_back(std::move(design));
+  }
+  return designs;
+}
+
+// --- ThreadPool unit tests ---
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolOfOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(16, [&](size_t) { ids.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ParallelismCapOfOneRunsInline) {
+  ThreadPool pool(4);
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(16, /*parallelism=*/1,
+                   [&](size_t) { ids.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i % 7 == 3) {
+                           throw std::runtime_error("task failure");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins) {
+  ThreadPool pool(4);
+  // Every index throws; the deterministic survivor is index 0's.
+  try {
+    pool.ParallelFor(32, [&](size_t i) {
+      throw std::runtime_error("idx" + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "idx0");
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFlattensInsteadOfDeadlocking) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    ThreadPool::Shared().ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionLeavesPoolReusable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+// --- Bit-identical parallel costing ---
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeDb();
+  Workload workload_ =
+      GenerateWorkload(db_, TemplateMix::OfflineDefault(), 16, 7);
+  std::vector<PhysicalDesign> designs_ = MakeDesigns(workload_, 6);
+};
+
+TEST_F(ParallelDeterminismTest, TryCostWorkloadBitIdentical) {
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  WhatIfOptimizer serial(serial_backend);
+  WhatIfOptimizer parallel(parallel_backend);
+
+  for (const PhysicalDesign& design : designs_) {
+    Result<std::vector<double>> a = serial.TryCostWorkload(workload_, design);
+    Result<std::vector<double>> b = parallel.TryCostWorkload(workload_, design);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(a.value(), b.value());
+  }
+  EXPECT_EQ(serial_backend.num_optimizer_calls(),
+            parallel_backend.num_optimizer_calls());
+}
+
+TEST_F(ParallelDeterminismTest, InumWorkloadCostBitIdentical) {
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  InumCostModel serial(serial_backend);
+  InumCostModel parallel(parallel_backend);
+
+  for (const PhysicalDesign& design : designs_) {
+    double a = serial.WorkloadCost(workload_, design);
+    double b = parallel.WorkloadCost(workload_, design);
+    EXPECT_EQ(a, b);
+  }
+
+  EXPECT_EQ(serial.stats().populate_optimizations,
+            parallel.stats().populate_optimizations);
+  EXPECT_EQ(serial.stats().reuse_calls, parallel.stats().reuse_calls);
+  EXPECT_EQ(serial.stats().fallback_calls, parallel.stats().fallback_calls);
+  EXPECT_EQ(serial.stats().queries_cached, parallel.stats().queries_cached);
+  EXPECT_EQ(serial.stats().plans_cached, parallel.stats().plans_cached);
+}
+
+TEST_F(ParallelDeterminismTest, PrepareQueriesMatchesSerialPrepare) {
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  InumCostModel serial(serial_backend);
+  InumCostModel parallel(parallel_backend);
+
+  for (const BoundQuery& q : workload_.queries) serial.Prepare(q);
+  parallel.PrepareWorkload(workload_);
+
+  EXPECT_EQ(serial.stats().populate_optimizations,
+            parallel.stats().populate_optimizations);
+  EXPECT_EQ(serial.stats().queries_cached, parallel.stats().queries_cached);
+  EXPECT_EQ(serial.stats().plans_cached, parallel.stats().plans_cached);
+  // Identical caches answer identically.
+  for (const PhysicalDesign& design : designs_) {
+    for (const BoundQuery& q : workload_.queries) {
+      EXPECT_EQ(serial.Cost(q, design), parallel.Cost(q, design));
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EvaluateDesignsBitIdentical) {
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  Designer serial(serial_backend);
+  Designer parallel(parallel_backend);
+
+  std::vector<BenefitReport> a = serial.EvaluateDesigns(workload_, designs_);
+  std::vector<BenefitReport> b = parallel.EvaluateDesigns(workload_, designs_);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d].base_costs, b[d].base_costs);
+    EXPECT_EQ(a[d].new_costs, b[d].new_costs);
+    EXPECT_EQ(a[d].base_total, b[d].base_total);
+    EXPECT_EQ(a[d].new_total, b[d].new_total);
+  }
+
+  EXPECT_EQ(serial.inum().stats().populate_optimizations,
+            parallel.inum().stats().populate_optimizations);
+  EXPECT_EQ(serial.inum().stats().reuse_calls,
+            parallel.inum().stats().reuse_calls);
+  EXPECT_EQ(serial.inum().stats().fallback_calls,
+            parallel.inum().stats().fallback_calls);
+}
+
+TEST_F(ParallelDeterminismTest, CoPhyRecommendationBitIdentical) {
+  CoPhyOptions opts;
+  opts.storage_budget_pages = 500.0;
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  CoPhyAdvisor serial(serial_backend, opts);
+  CoPhyAdvisor parallel(parallel_backend, opts);
+
+  IndexRecommendation a = serial.Recommend(workload_);
+  IndexRecommendation b = parallel.Recommend(workload_);
+  EXPECT_EQ(a.indexes, b.indexes);
+  EXPECT_EQ(a.recommended_cost, b.recommended_cost);
+  EXPECT_EQ(a.base_cost, b.base_cost);
+  EXPECT_EQ(a.num_atoms, b.num_atoms);
+  EXPECT_EQ(a.per_query_cost, b.per_query_cost);
+}
+
+}  // namespace
+}  // namespace dbdesign

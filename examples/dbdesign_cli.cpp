@@ -1,10 +1,11 @@
 // dbdesign_cli: an interactive shell over the Designer — the portable
-// equivalent of the demo's GUI. The DBA can explain queries, create and
-// drop what-if structures, toggle join knobs, ask for recommendations,
-// inspect interactions, and materialize indexes.
+// equivalent of the demo's GUI, now built around the constraint-driven
+// refinement loop: the tool recommends, the DBA pins/vetoes/caps, and
+// `refine` re-solves incrementally (zero new optimizer calls after a
+// constraints-only edit).
 //
-//   $ ./build/examples/dbdesign_cli            # interactive
-//   $ echo "recommend 1.0" | ./build/examples/dbdesign_cli
+//   $ ./build/dbdesign_cli                       # interactive
+//   $ printf 'recommend 1.0\nveto photoobj ra\nrefine\n' | ./build/dbdesign_cli
 //
 // Commands (also via `help`):
 //   sql <SELECT ...>        explain + run a query
@@ -12,20 +13,36 @@
 //   drop index t c1[,c2]    drop a hypothetical index
 //   knobs [name on|off]     show / set join knobs
 //   eval                    benefit panel of the hypothetical design
-//   recommend [budget_x]    CoPhy+AutoPart+schedule (budget x data size)
+//   recommend [budget_x]    constraint-aware recommendation (budget x data)
+//   refine                  re-solve after constraint edits (incremental)
+//   pin|unpin t c1[,c2]     force an index into / out of the pin set
+//   veto|unveto t c1[,c2]   forbid / re-allow an index
+//   vetocol t col           forbid any index touching a column
+//   cap t n | uncap t       limit recommended indexes on a table
+//   budget <pages|off>      set / clear the storage budget
+//   constraints             show the DBA constraint state
+//   save|load <file>        persist / resume the whole session (JSON)
+//   undo | redo             step the design history
+//   snapshot|restore <name> named design snapshots
+//   offline [budget_x]      full CoPhy+AutoPart+schedule pipeline
 //   interactions            doi graph over the hypothetical indexes
 //   build t c1[,c2]         physically build an index
-//   tables                  list schema
-//   quit
+//   tables | log | quit
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "core/designer.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "exec/executor.h"
 #include "sql/binder.h"
 #include "util/str.h"
@@ -39,14 +56,23 @@ namespace {
 struct Shell {
   Database db;
   Designer designer;
-  Workload workload;
+  DesignSession session;
   Executor exec;
+  ConstraintDelta pending;
 
   explicit Shell(Database d)
-      : db(std::move(d)),
-        designer(db),
-        workload(GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, 7)),
-        exec(db) {}
+      : db(std::move(d)), designer(db), session(designer), exec(db) {
+    session.SetWorkload(
+        GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, 7));
+  }
+
+  double DataPages() const {
+    double pages = 0.0;
+    for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
+      pages += db.stats(t).HeapPages(db.catalog().table(t));
+    }
+    return pages;
+  }
 
   Result<IndexDef> ParseIndexSpec(const std::string& table,
                                   const std::string& cols) {
@@ -123,22 +149,86 @@ struct Shell {
 
   void CmdEval() {
     BenefitReport report = designer.EvaluateDesign(
-        workload, designer.whatif().hypothetical_design());
-    std::printf("%s", RenderBenefitPanel(db.catalog(), workload, report)
+        session.workload(), designer.whatif().hypothetical_design());
+    std::printf("%s", RenderBenefitPanel(db.catalog(), session.workload(),
+                                         report)
                           .c_str());
   }
 
-  void CmdRecommend(std::istringstream& in) {
+  /// The refinement loop driver behind both `recommend` and `refine`.
+  void Solve(const char* verb) {
+    uint64_t calls0 = session.backend_optimizer_calls();
+    uint64_t pops0 = session.inum_populate_count();
+    auto t0 = std::chrono::steady_clock::now();
+    Result<IndexRecommendation> rec = session.Refine(pending);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (!rec.ok()) {
+      std::printf("error: %s\n", rec.status().ToString().c_str());
+      return;
+    }
+    pending = ConstraintDelta{};
+    const IndexRecommendation& r = rec.value();
+    std::printf("%s: %zu indexes, cost %.1f -> %.1f (%.1f%% better)\n", verb,
+                r.indexes.size(), r.base_cost, r.recommended_cost,
+                r.improvement() * 100.0);
+    for (const IndexDef& idx : r.indexes) {
+      const char* tag = session.constraints().IsPinned(idx) ? "  [pinned]" : "";
+      std::printf("  %s%s\n", idx.DisplayName(db.catalog()).c_str(), tag);
+    }
+    for (const IndexDef& idx : r.infeasible_pins) {
+      std::printf("  ! pinned %s does not fit the budget\n",
+                  idx.DisplayName(db.catalog()).c_str());
+    }
+    std::printf(
+        "  %.1f ms, %llu new optimizer calls, %llu new INUM populations\n",
+        ms,
+        static_cast<unsigned long long>(session.backend_optimizer_calls() -
+                                        calls0),
+        static_cast<unsigned long long>(session.inum_populate_count() -
+                                        pops0));
+  }
+
+  void CmdConstraints() {
+    const DesignConstraints& c = session.constraints();
+    std::printf("constraints:\n");
+    for (const IndexDef& idx : c.pinned_indexes) {
+      std::printf("  pin   %s\n", idx.DisplayName(db.catalog()).c_str());
+    }
+    for (const IndexDef& idx : c.vetoed_indexes) {
+      std::printf("  veto  %s\n", idx.DisplayName(db.catalog()).c_str());
+    }
+    for (const ColumnRef& col : c.vetoed_columns) {
+      std::printf("  veto column %s\n", col.DisplayName(db.catalog()).c_str());
+    }
+    for (const auto& [table, cap] : c.max_indexes_per_table) {
+      std::printf("  cap   %s <= %d indexes\n",
+                  db.catalog().table(table).name().c_str(), cap);
+    }
+    if (std::isfinite(c.storage_budget_pages)) {
+      std::printf("  budget %.0f pages\n", c.storage_budget_pages);
+    }
+    if (!c.partitioning_enabled) std::printf("  partitioning disabled\n");
+    if (c.unconstrained()) std::printf("  (unconstrained)\n");
+    if (!pending.empty()) {
+      std::printf("pending (apply with `refine`): %s\n",
+                  pending.Describe(db.catalog()).c_str());
+    }
+  }
+
+  void CmdOffline(std::istringstream& in) {
     double factor = 1.0;
     in >> factor;
-    double pages = 0.0;
-    for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
-      pages += db.stats(t).HeapPages(db.catalog().table(t));
+    auto rec = designer.TryRecommendOffline(
+        session.workload(), factor * DataPages(), session.constraints());
+    if (!rec.ok()) {
+      std::printf("error: %s\n", rec.status().ToString().c_str());
+      return;
     }
-    OfflineRecommendation rec =
-        designer.RecommendOffline(workload, factor * pages);
-    std::printf("%s", RenderOfflineRecommendation(db.catalog(), db, workload,
-                                                  rec)
+    std::printf("%s", RenderOfflineRecommendation(db.catalog(), db,
+                                                  session.workload(),
+                                                  rec.value())
                           .c_str());
   }
 
@@ -148,7 +238,8 @@ struct Shell {
       std::printf("create at least two what-if indexes first\n");
       return;
     }
-    InteractionGraph graph = designer.AnalyzeInteractions(workload, indexes);
+    InteractionGraph graph =
+        designer.AnalyzeInteractions(session.workload(), indexes);
     std::printf("%s", graph.ToAscii().c_str());
   }
 
@@ -173,9 +264,15 @@ struct Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::printf(
-          "  sql <SELECT ...> | whatif index <t> <c1[,c2]> | drop index "
-          "<t> <cols>\n  knobs [name on|off] | eval | recommend [x] | "
-          "interactions | build <t> <cols> | tables | quit\n");
+          "  sql <SELECT ...> | whatif index <t> <cols> | drop index <t> "
+          "<cols> | knobs [name on|off]\n"
+          "  recommend [x] | refine | pin/unpin <t> <cols> | veto/unveto <t> "
+          "<cols> | vetocol <t> <col>\n"
+          "  cap <t> <n> | uncap <t> | budget <pages|off> | constraints | "
+          "save/load <file>\n"
+          "  eval | undo | redo | snapshot/restore <name> | offline [x] | "
+          "interactions | build <t> <cols>\n"
+          "  tables | log | quit\n");
     } else if (cmd == "sql") {
       std::string rest;
       std::getline(in, rest);
@@ -201,7 +298,7 @@ struct Shell {
       }
       Status s;
       if (cmd == "whatif") {
-        s = designer.whatif().CreateHypotheticalIndex(idx.value());
+        s = session.CreateIndex(idx.value());
         if (s.ok()) {
           std::printf("created hypothetical %s (%s)\n",
                       idx.value().DisplayName(db.catalog()).c_str(),
@@ -212,7 +309,7 @@ struct Shell {
                           .c_str());
         }
       } else if (cmd == "drop") {
-        s = designer.whatif().DropHypotheticalIndex(idx.value());
+        s = session.DropIndex(idx.value());
       } else {
         s = db.CreateIndex(idx.value());
         if (s.ok()) {
@@ -221,12 +318,150 @@ struct Shell {
         }
       }
       if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+    } else if (cmd == "pin" || cmd == "unpin" || cmd == "veto" ||
+               cmd == "unveto") {
+      std::string table;
+      std::string cols;
+      in >> table >> cols;
+      auto idx = ParseIndexSpec(table, cols);
+      if (!idx.ok()) {
+        std::printf("error: %s\n", idx.status().ToString().c_str());
+        return true;
+      }
+      // unpin/unveto first cancel a matching edit still staged in the
+      // pending delta (typo recovery); only then do they become real
+      // unpin/unveto entries for the session's constraints.
+      auto erase_staged = [](std::vector<IndexDef>* v, const IndexDef& i) {
+        auto it = std::find(v->begin(), v->end(), i);
+        if (it == v->end()) return false;
+        v->erase(it);
+        return true;
+      };
+      if (cmd == "pin") pending.pin.push_back(idx.value());
+      if (cmd == "unpin" && !erase_staged(&pending.pin, idx.value())) {
+        pending.unpin.push_back(idx.value());
+      }
+      if (cmd == "veto") pending.veto.push_back(idx.value());
+      if (cmd == "unveto" && !erase_staged(&pending.veto, idx.value())) {
+        pending.unveto.push_back(idx.value());
+      }
+      std::printf("pending: %s (apply with `refine`)\n",
+                  pending.Describe(db.catalog()).c_str());
+    } else if (cmd == "vetocol") {
+      std::string table;
+      std::string col;
+      in >> table >> col;
+      TableId t = db.catalog().FindTable(table);
+      if (t == kInvalidTableId) {
+        std::printf("error: table '%s' not found\n", table.c_str());
+        return true;
+      }
+      ColumnId c = db.catalog().table(t).FindColumn(col);
+      if (c == kInvalidColumnId) {
+        std::printf("error: column '%s' not found\n", col.c_str());
+        return true;
+      }
+      pending.veto_columns.push_back(ColumnRef{t, c});
+      std::printf("pending: %s (apply with `refine`)\n",
+                  pending.Describe(db.catalog()).c_str());
+    } else if (cmd == "cap" || cmd == "uncap") {
+      std::string table;
+      int n = -1;
+      in >> table;
+      if (cmd == "cap" && (!(in >> n) || n < 0)) {
+        std::printf("usage: cap <table> <n>  (n >= 0; use `uncap <table>` "
+                    "to clear)\n");
+        return true;
+      }
+      TableId t = db.catalog().FindTable(table);
+      if (t == kInvalidTableId) {
+        std::printf("error: table '%s' not found\n", table.c_str());
+        return true;
+      }
+      pending.table_caps[t] = cmd == "cap" ? n : -1;
+      std::printf("pending: %s (apply with `refine`)\n",
+                  pending.Describe(db.catalog()).c_str());
+    } else if (cmd == "budget") {
+      std::string arg;
+      in >> arg;
+      if (arg == "off") {
+        pending.storage_budget_pages =
+            std::numeric_limits<double>::infinity();
+      } else {
+        char* end = nullptr;
+        double pages = std::strtod(arg.c_str(), &end);
+        if (arg.empty() || end == arg.c_str() || *end != '\0' ||
+            pages < 0.0) {
+          std::printf("usage: budget <pages|off>\n");
+          return true;
+        }
+        pending.storage_budget_pages = pages;
+      }
+      std::printf("pending: %s (apply with `refine`)\n",
+                  pending.Describe(db.catalog()).c_str());
     } else if (cmd == "knobs") {
       CmdKnobs(in);
+    } else if (cmd == "constraints") {
+      CmdConstraints();
+    } else if (cmd == "recommend") {
+      double factor = 0.0;
+      if (in >> factor && factor > 0.0) {
+        pending.storage_budget_pages = factor * DataPages();
+      } else if (!pending.storage_budget_pages.has_value() &&
+                 !std::isfinite(
+                     session.constraints().storage_budget_pages)) {
+        // Pre-PR default: plain `recommend` budgets at 1.0x data size
+        // rather than solving unconstrained.
+        pending.storage_budget_pages = DataPages();
+      }
+      Solve("recommend");
+    } else if (cmd == "refine") {
+      Solve("refine");
+    } else if (cmd == "save" || cmd == "load") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::printf("usage: %s <file>\n", cmd.c_str());
+        return true;
+      }
+      Status s = cmd == "save" ? session.SaveToFile(path)
+                               : session.LoadFromFile(path);
+      if (s.ok()) {
+        // Pending edits staged before a load refer to the old session.
+        if (cmd == "load") pending = ConstraintDelta{};
+        std::printf("%s %s (%zu queries, %zu snapshots)\n",
+                    cmd == "save" ? "saved to" : "loaded from", path.c_str(),
+                    session.workload().size(),
+                    session.SnapshotNames().size());
+      } else {
+        std::printf("error: %s\n", s.ToString().c_str());
+      }
+    } else if (cmd == "undo") {
+      std::printf(session.Undo() ? "undone\n" : "nothing to undo\n");
+    } else if (cmd == "redo") {
+      std::printf(session.Redo() ? "redone\n" : "nothing to redo\n");
+    } else if (cmd == "snapshot" || cmd == "restore") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        std::printf("usage: %s <name>\n", cmd.c_str());
+        return true;
+      }
+      if (cmd == "snapshot") {
+        session.SaveSnapshot(name);
+        std::printf("saved snapshot '%s'\n", name.c_str());
+      } else {
+        Status s = session.RestoreSnapshot(name);
+        if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+      }
+    } else if (cmd == "log") {
+      for (const std::string& entry : session.log()) {
+        std::printf("  %s\n", entry.c_str());
+      }
     } else if (cmd == "eval") {
       CmdEval();
-    } else if (cmd == "recommend") {
-      CmdRecommend(in);
+    } else if (cmd == "offline") {
+      CmdOffline(in);
     } else if (cmd == "interactions") {
       CmdInteractions();
     } else if (cmd == "tables") {

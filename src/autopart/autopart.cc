@@ -46,6 +46,11 @@ std::vector<VerticalFragment> AutoPartAdvisor::AtomicFragments(
 }
 
 PartitionRecommendation AutoPartAdvisor::Recommend(const Workload& workload) {
+  return Recommend(workload, DesignConstraints{});
+}
+
+PartitionRecommendation AutoPartAdvisor::Recommend(
+    const Workload& workload, const DesignConstraints& constraints) {
   PartitionRecommendation rec;
   PhysicalDesign design;
   rec.base_cost = inum_.WorkloadCost(workload, design);
@@ -64,6 +69,9 @@ PartitionRecommendation AutoPartAdvisor::Recommend(const Workload& workload) {
     const TableDef& def = backend_->catalog().table(table);
     const TableStats& stats = backend_->stats(table);
     if (stats.HeapPages(def) < options_.min_table_pages) continue;
+    // DBA partitioning control: a denied (or not-allowed) table keeps
+    // its original layout.
+    if (!constraints.PartitioningAllowed(table)) continue;
 
     // --- Vertical: atomic fragments, then greedy merging ---
     std::vector<VerticalFragment> frags = AtomicFragments(table, workload);

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/constraints.h"
 #include "inum/inum.h"
 
 namespace dbdesign {
@@ -76,6 +77,13 @@ class AutoPartAdvisor {
                            AutoPartOptions options = {});
 
   PartitionRecommendation Recommend(const Workload& workload);
+
+  /// Constraint-aware variant: tables outside the constraints'
+  /// partitioning allow list (or on its deny list, or everything when
+  /// partitioning is disabled) are left untouched — no vertical
+  /// fragments, no horizontal ranges.
+  PartitionRecommendation Recommend(const Workload& workload,
+                                    const DesignConstraints& constraints);
 
   /// Rewrites a query onto the fragments of `design` (the demo's "save
   /// the rewritten queries" feature): fragments joined back on the

@@ -125,6 +125,14 @@ class PhysicalDesign {
   void ClearHorizontalPartitioning(TableId table);
   const HorizontalPartitioning* horizontal(TableId table) const;
 
+  /// All partitionings, keyed by table (serialization + reporting).
+  const std::map<TableId, VerticalPartitioning>& verticals() const {
+    return vertical_;
+  }
+  const std::map<TableId, HorizontalPartitioning>& horizontals() const {
+    return horizontal_;
+  }
+
   bool HasPartitions() const {
     return !vertical_.empty() || !horizontal_.empty();
   }

@@ -1,0 +1,42 @@
+// JSON (de)serialization for physical-design descriptors.
+//
+// Used by the constraint system (core/constraints) and the session
+// save/resume path (core/session): a DBA's pins, vetoes, snapshots and
+// the current hypothetical design all survive a process restart as a
+// single JSON document. Deserialization validates ids against the
+// catalog so a stale file cannot smuggle out-of-range table/column ids
+// into the designer.
+
+#ifndef DBDESIGN_CATALOG_DESIGN_JSON_H_
+#define DBDESIGN_CATALOG_DESIGN_JSON_H_
+
+#include "catalog/design.h"
+#include "util/json.h"
+
+namespace dbdesign {
+
+// --- Value (int64 encoded as string to keep full precision) ---
+Json ValueToJson(const Value& v);
+Result<Value> ValueFromJson(const Json& j);
+
+// --- IndexDef ---
+Json IndexDefToJson(const IndexDef& index);
+Result<IndexDef> IndexDefFromJson(const Json& j, const Catalog& catalog);
+
+// --- Partitionings ---
+Json VerticalPartitioningToJson(const VerticalPartitioning& p);
+Result<VerticalPartitioning> VerticalPartitioningFromJson(
+    const Json& j, const Catalog& catalog);
+
+Json HorizontalPartitioningToJson(const HorizontalPartitioning& p);
+Result<HorizontalPartitioning> HorizontalPartitioningFromJson(
+    const Json& j, const Catalog& catalog);
+
+// --- Whole configurations ---
+Json PhysicalDesignToJson(const PhysicalDesign& design);
+Result<PhysicalDesign> PhysicalDesignFromJson(const Json& j,
+                                              const Catalog& catalog);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CATALOG_DESIGN_JSON_H_

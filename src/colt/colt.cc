@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/str.h"
@@ -35,12 +36,59 @@ ColtTuner::ColtTuner(std::shared_ptr<DbmsBackend> owned, ColtOptions options)
       options_(options),
       inum_(*backend_) {}
 
+Status ColtTuner::SetConstraints(DesignConstraints constraints) {
+  Status s = constraints.Validate(backend_->catalog());
+  if (!s.ok()) return s;
+  constraints_ = std::move(constraints);
+
+  // Vetoes take effect immediately: drop built vetoed indexes and purge
+  // them from the candidate pool so they are never profiled again.
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    if (constraints_.IsVetoed(it->second.index)) {
+      if (it->second.built) {
+        current_.RemoveIndex(it->second.index);
+        events_.push_back(ColtEvent{ColtEvent::Type::kDrop, epoch_,
+                                    it->second.index,
+                                    it->second.ewma_benefit});
+      }
+      it = candidates_.erase(it);
+    } else {
+      it->second.pinned = false;  // re-derived from the new pin list below
+      ++it;
+    }
+  }
+
+  // Pins materialize immediately (paying their build cost) and are
+  // exempt from selection, eviction and the drop hysteresis.
+  for (const IndexDef& pin : constraints_.pinned_indexes) {
+    auto it = candidates_.find(pin.Key());
+    if (it == candidates_.end()) {
+      Candidate cand;
+      cand.index = pin;
+      cand.size_pages = backend_->EstimateIndexSize(pin).total_pages();
+      cand.build_cost = EstimateIndexBuildCost(*backend_, pin, params_);
+      cand.last_seen_epoch = epoch_;
+      it = candidates_.emplace(pin.Key(), std::move(cand)).first;
+    }
+    it->second.pinned = true;
+    if (!it->second.built) {
+      current_.AddIndex(pin);
+      it->second.built = true;
+      cumulative_build_cost_ += it->second.build_cost;
+      events_.push_back(ColtEvent{ColtEvent::Type::kBuild, epoch_, pin,
+                                  it->second.ewma_benefit});
+    }
+  }
+  return Status::OK();
+}
+
 void ColtTuner::ExtractCandidates(const BoundQuery& query) {
   for (int s = 0; s < query.num_slots(); ++s) {
     for (ColumnId c : query.PredicateColumns(s)) {
       IndexDef idx;
       idx.table = query.tables[s];
       idx.columns = {c};  // COLT proposes single-column indexes only
+      if (constraints_.IsVetoed(idx)) continue;
       std::string key = idx.Key();
       auto it = candidates_.find(key);
       if (it == candidates_.end()) {
@@ -139,11 +187,26 @@ void ColtTuner::EndEpoch() {
   }
 
   // --- Selection: density-greedy knapsack with pairwise improvement ---
+  // DBA pins are pre-selected (never ranked, never displaced); the
+  // knapsack fills whatever budget and per-table headroom they leave.
   // Built candidates must clear the drop floor to stay in contention;
   // otherwise a once-useful index would be re-selected forever on the
   // strength of its decaying EWMA tail.
+  double space_budget =
+      constraints_.EffectiveBudget(options_.storage_budget_pages);
+  std::vector<Candidate*> selected;
+  double used_pages = 0.0;
+  std::map<TableId, int> per_table;
+  for (auto& [key, cand] : candidates_) {
+    if (cand.pinned) {
+      selected.push_back(&cand);
+      used_pages += cand.size_pages;
+      per_table[cand.index.table]++;
+    }
+  }
   std::vector<Candidate*> pool;
   for (auto& [key, cand] : candidates_) {
+    if (cand.pinned) continue;
     double floor =
         options_.drop_fraction *
         (cand.build_cost / std::max(1.0, options_.amortization_epochs));
@@ -154,16 +217,19 @@ void ColtTuner::EndEpoch() {
     return a->ewma_benefit / std::max(1.0, a->size_pages) >
            b->ewma_benefit / std::max(1.0, b->size_pages);
   });
-  std::vector<Candidate*> selected;
-  double used_pages = 0.0;
   for (Candidate* c : pool) {
-    if (used_pages + c->size_pages <= options_.storage_budget_pages) {
-      selected.push_back(c);
-      used_pages += c->size_pages;
+    if (used_pages + c->size_pages > space_budget) continue;
+    if (per_table[c->index.table] + 1 >
+        constraints_.TableCapOrUnlimited(c->index.table)) {
+      continue;
     }
+    selected.push_back(c);
+    used_pages += c->size_pages;
+    per_table[c->index.table]++;
   }
   // Pairwise improvement: try swapping an unselected candidate in for a
-  // selected one when it raises total benefit within the budget.
+  // selected (unpinned) one when it raises total benefit within the
+  // budget and table caps.
   bool improved = true;
   while (improved) {
     improved = false;
@@ -173,11 +239,19 @@ void ColtTuner::EndEpoch() {
         continue;
       }
       for (size_t i = 0; i < selected.size(); ++i) {
+        if (selected[i]->pinned) continue;
         double new_pages =
             used_pages - selected[i]->size_pages + out->size_pages;
-        if (new_pages > options_.storage_budget_pages) continue;
+        if (new_pages > space_budget) continue;
+        if (out->index.table != selected[i]->index.table &&
+            per_table[out->index.table] + 1 >
+                constraints_.TableCapOrUnlimited(out->index.table)) {
+          continue;
+        }
         if (out->ewma_benefit > selected[i]->ewma_benefit + 1e-9) {
           used_pages = new_pages;
+          per_table[selected[i]->index.table]--;
+          per_table[out->index.table]++;
           selected[i] = out;
           improved = true;
           break;
@@ -196,7 +270,7 @@ void ColtTuner::EndEpoch() {
   for (auto& [key, cand] : candidates_) {
     bool want =
         std::find(selected.begin(), selected.end(), &cand) != selected.end();
-    if (!want && cand.built) {
+    if (!want && cand.built && !cand.pinned) {
       double amortized =
           cand.build_cost / std::max(1.0, options_.amortization_epochs);
       if (cand.ewma_benefit < options_.drop_fraction * amortized) {
@@ -218,8 +292,7 @@ void ColtTuner::EndEpoch() {
                                   cand.index, cand.ewma_benefit});
       // The *materialized* configuration must respect the space budget
       // even while older selections are still built.
-      bool fits = materialized_pages + cand.size_pages <=
-                  options_.storage_budget_pages;
+      bool fits = materialized_pages + cand.size_pages <= space_budget;
       if (fits &&
           amortized_gain > cand.build_cost * options_.build_hysteresis) {
         current_.AddIndex(cand.index);

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/constraints.h"
 #include "inum/inum.h"
 
 namespace dbdesign {
@@ -93,6 +94,15 @@ class ColtTuner {
   void SetEnabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Installs DBA constraints on the online tuner. Pinned indexes are
+  /// materialized immediately (paying their build cost) and never
+  /// dropped; vetoed indexes/columns are dropped if built and never
+  /// profiled again; per-table caps and the storage budget bound every
+  /// future selection. Partitioning fields are ignored (COLT only
+  /// manages indexes).
+  Status SetConstraints(DesignConstraints constraints);
+  const DesignConstraints& constraints() const { return constraints_; }
+
   const PhysicalDesign& current_design() const { return current_; }
   const std::vector<ColtEvent>& events() const { return events_; }
   const std::vector<ColtEpochReport>& epochs() const { return epochs_; }
@@ -112,6 +122,7 @@ class ColtTuner {
     int last_seen_epoch = 0;
     int hits = 0;  ///< queries referencing the column this epoch
     bool built = false;
+    bool pinned = false;  ///< DBA-mandated: always selected, never dropped
   };
 
   /// Owning constructor used by the legacy Database path.
@@ -126,6 +137,7 @@ class ColtTuner {
   ColtOptions options_;
   InumCostModel inum_;
   bool enabled_ = true;
+  DesignConstraints constraints_;
 
   PhysicalDesign current_;
   std::map<std::string, Candidate> candidates_;

@@ -176,4 +176,28 @@ std::vector<CandidateIndex> GenerateCandidates(
   return out;
 }
 
+void MergePinnedCandidates(const DbmsBackend& backend,
+                           const DesignConstraints& constraints,
+                           std::vector<CandidateIndex>* candidates) {
+  for (const IndexDef& pin : constraints.pinned_indexes) {
+    bool present = false;
+    for (const CandidateIndex& c : *candidates) present |= c.index == pin;
+    if (present) continue;
+    CandidateIndex c;
+    c.index = pin;
+    c.size_pages = backend.EstimateIndexSize(pin).total_pages();
+    candidates->push_back(std::move(c));
+  }
+}
+
+void RemoveVetoedCandidates(const DesignConstraints& constraints,
+                            std::vector<CandidateIndex>* candidates) {
+  candidates->erase(
+      std::remove_if(candidates->begin(), candidates->end(),
+                     [&](const CandidateIndex& c) {
+                       return constraints.IsVetoed(c.index);
+                     }),
+      candidates->end());
+}
+
 }  // namespace dbdesign

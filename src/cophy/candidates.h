@@ -15,6 +15,7 @@
 
 #include "backend/backend.h"
 #include "catalog/design.h"
+#include "core/constraints.h"
 #include "sql/bound_query.h"
 
 namespace dbdesign {
@@ -48,6 +49,21 @@ std::vector<CandidateIndex> GenerateCandidates(
 std::vector<CandidateIndex> GenerateCandidates(
     const Database& db, const Workload& workload,
     const CandidateOptions& options = {});
+
+/// Appends the constraints' pinned indexes to `candidates` (sized via
+/// the backend) unless already present. CoPhy keeps vetoed candidates
+/// in the universe (they become y = 0 fixings so a later un-veto
+/// re-solves without re-preparing); advisors without a solver filter
+/// them out with RemoveVetoedCandidates instead.
+void MergePinnedCandidates(const DbmsBackend& backend,
+                           const DesignConstraints& constraints,
+                           std::vector<CandidateIndex>* candidates);
+
+/// Drops candidates the constraints veto (directly or via a vetoed
+/// column). Used by the greedy baseline and COLT, which enumerate
+/// candidates instead of fixing solver variables.
+void RemoveVetoedCandidates(const DesignConstraints& constraints,
+                            std::vector<CandidateIndex>* candidates);
 
 }  // namespace dbdesign
 

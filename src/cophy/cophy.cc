@@ -217,8 +217,37 @@ IndexRecommendation CoPhyAdvisor::Recommend(const Workload& workload) {
 IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
     const Workload& workload,
     const std::vector<CandidateIndex>& candidates) {
-  IndexRecommendation rec;
-  rec.num_candidates = candidates.size();
+  CoPhyPrepared prepared = Prepare(workload, candidates);
+  Result<IndexRecommendation> rec = SolvePrepared(prepared, {});
+  // Unconstrained solves cannot fail validation; keep the legacy
+  // non-Status signature for existing callers.
+  return rec.ok() ? std::move(rec).value() : IndexRecommendation{};
+}
+
+Result<IndexRecommendation> CoPhyAdvisor::TryRecommend(
+    const Workload& workload, const DesignConstraints& constraints) {
+  Status s = constraints.Validate(backend_->catalog());
+  if (!s.ok()) return s;
+  std::vector<CandidateIndex> candidates =
+      GenerateCandidates(*backend_, workload, options_.candidates);
+  MergePinnedCandidates(*backend_, constraints, &candidates);
+  return SolvePrepared(Prepare(workload, std::move(candidates)), constraints);
+}
+
+Result<IndexRecommendation> CoPhyAdvisor::TryRecommendWithCandidates(
+    const Workload& workload, const std::vector<CandidateIndex>& candidates,
+    const DesignConstraints& constraints) {
+  Status s = constraints.Validate(backend_->catalog());
+  if (!s.ok()) return s;
+  std::vector<CandidateIndex> merged = candidates;
+  MergePinnedCandidates(*backend_, constraints, &merged);
+  return SolvePrepared(Prepare(workload, std::move(merged)), constraints);
+}
+
+CoPhyPrepared CoPhyAdvisor::Prepare(const Workload& workload,
+                                    std::vector<CandidateIndex> candidates) {
+  CoPhyPrepared prep;
+  prep.candidates = std::move(candidates);
 
   // Atoms per query: built once per structurally distinct query, fanned
   // out over the pool (duplicates share — identical queries expand to
@@ -233,33 +262,128 @@ IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
   int threads = ThreadPool::Resolve(params_.num_threads);
   ThreadPool::Shared().ParallelFor(distinct.size(), threads, [&](size_t u) {
     distinct_atoms[u] =
-        BuildAtoms(workload.queries[distinct[u]], candidates);
+        BuildAtoms(workload.queries[distinct[u]], prep.candidates);
   });
 
-  std::vector<std::vector<CoPhyAtom>> atoms;
-  atoms.reserve(workload.size());
+  std::vector<double> distinct_base(distinct.size(), 0.0);
+  for (size_t u = 0; u < distinct.size(); ++u) {
+    distinct_base[u] = inum_.Cost(workload.queries[distinct[u]],
+                                  PhysicalDesign{});
+  }
+
+  prep.atoms.reserve(workload.size());
   for (size_t i = 0; i < workload.size(); ++i) {
-    atoms.push_back(distinct_atoms[dedup.owner[i]]);
-    rec.num_atoms += atoms.back().size();
+    prep.atoms.push_back(distinct_atoms[dedup.owner[i]]);
+    prep.num_atoms += prep.atoms.back().size();
+    prep.weights.push_back(workload.WeightOf(i));
+    prep.base_query_cost.push_back(distinct_base[dedup.owner[i]]);
+    prep.base_cost += prep.weights.back() * prep.base_query_cost.back();
+  }
+  return prep;
+}
+
+Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
+    const CoPhyPrepared& prepared,
+    const DesignConstraints& constraints) const {
+  Status s = constraints.Validate(backend_->catalog());
+  if (!s.ok()) return s;
+
+  const std::vector<CandidateIndex>& candidates = prepared.candidates;
+  const std::vector<std::vector<CoPhyAtom>>& atoms = prepared.atoms;
+  size_t nq = atoms.size();
+  int ny = static_cast<int>(candidates.size());
+  double budget = constraints.EffectiveBudget(options_.storage_budget_pages);
+
+  IndexRecommendation rec;
+  rec.num_candidates = candidates.size();
+  rec.num_atoms = prepared.num_atoms;
+  rec.base_cost = prepared.base_cost;
+
+  // --- Resolve constraints against the candidate universe ---
+  // Pins must be in the universe (callers merge them via
+  // MergePinnedCandidates before Prepare); a pin outside it means the
+  // prepared state is stale.
+  std::unordered_map<std::string, int> id_by_key;
+  id_by_key.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    id_by_key.emplace(candidates[i].index.Key(), static_cast<int>(i));
+  }
+  std::vector<int> pin_ids;
+  for (const IndexDef& pin : constraints.pinned_indexes) {
+    auto it = id_by_key.find(pin.Key());
+    if (it == id_by_key.end()) {
+      return Status::InvalidArgument(
+          "pinned index " + pin.DisplayName(backend_->catalog()) +
+          " is not in the prepared candidate universe; re-prepare with the "
+          "pin merged into the candidates");
+    }
+    pin_ids.push_back(it->second);
+  }
+  // Admit pins smallest-first under the budget; the rest are reported
+  // as infeasible instead of silently failing the whole solve.
+  std::sort(pin_ids.begin(), pin_ids.end(), [&](int a, int b) {
+    double sa = candidates[static_cast<size_t>(a)].size_pages;
+    double sb = candidates[static_cast<size_t>(b)].size_pages;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  std::set<int> admitted_pins;
+  double pin_pages = 0.0;
+  for (int i : pin_ids) {
+    double sz = candidates[static_cast<size_t>(i)].size_pages;
+    if (pin_pages + sz <= budget) {
+      admitted_pins.insert(i);
+      pin_pages += sz;
+    } else {
+      rec.infeasible_pins.push_back(candidates[static_cast<size_t>(i)].index);
+      DBD_LOG_WARN(StrFormat(
+          "CoPhy: pinned index %s (%.0f pages) does not fit the remaining "
+          "budget (%.0f of %.0f pages used)",
+          candidates[static_cast<size_t>(i)]
+              .index.DisplayName(backend_->catalog())
+              .c_str(),
+          sz, pin_pages, budget));
+    }
+  }
+  std::vector<bool> vetoed(candidates.size(), false);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    vetoed[i] = constraints.IsVetoed(candidates[i].index);
   }
 
   // --- BIP construction ---
+  // y variables carry a tiny size-proportional penalty: among equal-cost
+  // configurations the solver then uniquely prefers the one with the
+  // smallest storage footprint. This deterministic tie-break is what
+  // makes an incremental Refine provably bit-identical to a
+  // from-scratch solve — a unique optimum of the relaxed problem that
+  // stays feasible under tightened constraints is also the unique
+  // optimum of the tightened problem. The scale sits well above the
+  // simplex tolerances (1e-9) so one page discriminates, and well below
+  // any meaningful cost difference (a whole 1000-page configuration
+  // adds 0.01 cost units).
+  constexpr double kTieBreakPerPage = 1e-5;
   MipProblem mip;
-  int ny = static_cast<int>(candidates.size());
   for (int i = 0; i < ny; ++i) {
-    mip.lp.AddVariable(0.0);
+    mip.lp.AddVariable(kTieBreakPerPage *
+                       candidates[static_cast<size_t>(i)].size_pages);
     mip.binary_vars.push_back(i);
   }
+  // DBA pins and vetoes are pure variable fixings: the atom matrix and
+  // every other row survive a constraint edit untouched.
+  for (int i : admitted_pins) mip.fixed_vars.emplace_back(i, 1);
+  for (int i = 0; i < ny; ++i) {
+    if (vetoed[static_cast<size_t>(i)]) mip.fixed_vars.emplace_back(i, 0);
+  }
   // x variables.
-  std::vector<std::vector<int>> xvar(workload.size());
-  for (size_t q = 0; q < workload.size(); ++q) {
-    double w = workload.WeightOf(q);
+  std::vector<std::vector<int>> xvar(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    double w = prepared.weights[q];
     for (const CoPhyAtom& a : atoms[q]) {
       xvar[q].push_back(mip.lp.AddVariable(w * a.cost));
     }
   }
   // One atom per query.
-  for (size_t q = 0; q < workload.size(); ++q) {
+  for (size_t q = 0; q < nq; ++q) {
     LpConstraint one;
     for (int v : xvar[q]) one.terms.emplace_back(v, 1.0);
     one.rel = LpRelation::kEq;
@@ -267,7 +391,7 @@ IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
     mip.lp.AddConstraint(std::move(one));
   }
   // Aggregated linking: sum_{a of q using i} x <= y_i.
-  for (size_t q = 0; q < workload.size(); ++q) {
+  for (size_t q = 0; q < nq; ++q) {
     std::map<int, std::vector<int>> by_index;
     for (size_t a = 0; a < atoms[q].size(); ++a) {
       for (int i : atoms[q][a].used) {
@@ -284,50 +408,79 @@ IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
     }
   }
   // Storage budget.
-  if (std::isfinite(options_.storage_budget_pages)) {
-    LpConstraint budget;
+  if (std::isfinite(budget)) {
+    LpConstraint budget_row;
     for (int i = 0; i < ny; ++i) {
-      budget.terms.emplace_back(i, candidates[static_cast<size_t>(i)].size_pages);
+      budget_row.terms.emplace_back(
+          i, candidates[static_cast<size_t>(i)].size_pages);
     }
-    budget.rel = LpRelation::kLe;
-    budget.rhs = options_.storage_budget_pages;
-    mip.lp.AddConstraint(std::move(budget));
+    budget_row.rel = LpRelation::kLe;
+    budget_row.rhs = budget;
+    mip.lp.AddConstraint(std::move(budget_row));
+  }
+  // Per-table caps: sum_{i on t} y_i <= cap_t.
+  for (const auto& [table, cap] : constraints.max_indexes_per_table) {
+    LpConstraint cap_row;
+    for (int i = 0; i < ny; ++i) {
+      if (candidates[static_cast<size_t>(i)].index.table == table) {
+        cap_row.terms.emplace_back(i, 1.0);
+      }
+    }
+    if (cap_row.terms.empty()) continue;
+    cap_row.rel = LpRelation::kLe;
+    cap_row.rhs = static_cast<double>(cap);
+    mip.lp.AddConstraint(std::move(cap_row));
   }
   rec.num_variables = static_cast<size_t>(mip.lp.num_vars);
   rec.num_constraints = mip.lp.constraints.size();
 
-  // Primal heuristic: round y by LP value under the budget, then pick the
-  // cheapest compatible atom per query.
+  // Primal heuristic: pins first, then round y by LP value under the
+  // budget/cap/veto constraints, then pick the cheapest compatible atom
+  // per query.
   auto complete = [&](const std::set<int>& chosen) {
+    // Mirrors the MIP objective, including the tie-break penalty, so
+    // heuristic incumbents compare consistently against node bounds.
     double obj = 0.0;
-    for (size_t q = 0; q < workload.size(); ++q) {
+    for (int i : chosen) {
+      obj += kTieBreakPerPage * candidates[static_cast<size_t>(i)].size_pages;
+    }
+    for (size_t q = 0; q < nq; ++q) {
       double best = std::numeric_limits<double>::infinity();
       for (const CoPhyAtom& a : atoms[q]) {
         bool ok = true;
         for (int i : a.used) ok &= chosen.count(i) > 0;
         if (ok) best = std::min(best, a.cost);
       }
-      obj += workload.WeightOf(q) * best;
+      obj += prepared.weights[q] * best;
     }
     return obj;
   };
   auto heuristic = [&](const std::vector<double>& lp,
                        std::vector<double>* out, double* obj) {
+    std::set<int> chosen = admitted_pins;
+    double used_pages = pin_pages;
+    std::map<TableId, int> per_table;
+    for (int i : chosen) {
+      per_table[candidates[static_cast<size_t>(i)].index.table]++;
+    }
     std::vector<std::pair<double, int>> ranked;
     for (int i = 0; i < ny; ++i) {
+      if (vetoed[static_cast<size_t>(i)] || chosen.count(i) > 0) continue;
       if (lp[static_cast<size_t>(i)] > 1e-6) {
         ranked.emplace_back(-lp[static_cast<size_t>(i)], i);
       }
     }
     std::sort(ranked.begin(), ranked.end());
-    std::set<int> chosen;
-    double used_pages = 0.0;
     for (auto& [neg, i] : ranked) {
-      double sz = candidates[static_cast<size_t>(i)].size_pages;
-      if (used_pages + sz <= options_.storage_budget_pages) {
-        chosen.insert(i);
-        used_pages += sz;
+      const CandidateIndex& c = candidates[static_cast<size_t>(i)];
+      if (used_pages + c.size_pages > budget) continue;
+      if (per_table[c.index.table] + 1 >
+          constraints.TableCapOrUnlimited(c.index.table)) {
+        continue;
       }
+      chosen.insert(i);
+      used_pages += c.size_pages;
+      per_table[c.index.table]++;
     }
     *obj = complete(chosen);
     if (!std::isfinite(*obj)) return false;
@@ -343,18 +496,20 @@ IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
   rec.solve_time_sec = bnb.solve_time_sec;
   rec.proven_optimal = bnb.proven_optimal;
 
-  // Extract the chosen configuration.
-  std::set<int> chosen;
+  // Extract the chosen configuration. Admitted pins are always part of
+  // it, even when the node budget starved the search.
+  std::set<int> chosen = admitted_pins;
   if (bnb.feasible) {
     for (int i = 0; i < ny; ++i) {
       if (bnb.values[static_cast<size_t>(i)] > 0.5) chosen.insert(i);
     }
   }
-  // Per-query best atom under chosen set; drop indexes no atom uses.
-  std::set<int> actually_used;
-  rec.per_query_cost.resize(workload.size(), 0.0);
+  // Per-query best atom under the chosen set; drop unpinned indexes no
+  // atom uses.
+  std::set<int> kept = admitted_pins;
+  rec.per_query_cost.resize(nq, 0.0);
   rec.recommended_cost = 0.0;
-  for (size_t q = 0; q < workload.size(); ++q) {
+  for (size_t q = 0; q < nq; ++q) {
     double best = std::numeric_limits<double>::infinity();
     const CoPhyAtom* best_atom = nullptr;
     for (const CoPhyAtom& a : atoms[q]) {
@@ -366,27 +521,37 @@ IndexRecommendation CoPhyAdvisor::RecommendWithCandidates(
       }
     }
     rec.per_query_cost[q] = best;
-    rec.recommended_cost += workload.WeightOf(q) * best;
+    rec.recommended_cost += prepared.weights[q] * best;
     if (best_atom != nullptr) {
-      for (int i : best_atom->used) actually_used.insert(i);
+      for (int i : best_atom->used) kept.insert(i);
     }
   }
-  for (int i : actually_used) {
+  for (int i : kept) {
     rec.indexes.push_back(candidates[static_cast<size_t>(i)].index);
     rec.total_size_pages += candidates[static_cast<size_t>(i)].size_pages;
   }
 
-  rec.base_cost = inum_.WorkloadCost(workload, PhysicalDesign{});
-  rec.lower_bound = bnb.lower_bound;
+  // The solver bound includes the tie-break penalty; strip a safe cap
+  // on it so the reported bound is a true lower bound on the atom-cost
+  // objective alone.
+  double penalty_cap = 0.0;
+  for (const CandidateIndex& c : candidates) {
+    penalty_cap += kTieBreakPerPage * c.size_pages;
+  }
+  if (std::isfinite(budget)) {
+    penalty_cap = std::min(penalty_cap, kTieBreakPerPage * budget);
+  }
+  rec.lower_bound = std::max(0.0, bnb.lower_bound - penalty_cap);
   double denom = std::max(1e-12, rec.recommended_cost);
-  rec.gap = std::max(0.0, (rec.recommended_cost - bnb.lower_bound) / denom);
+  rec.gap = std::max(0.0, (rec.recommended_cost - rec.lower_bound) / denom);
 
   DBD_LOG_INFO(StrFormat(
       "CoPhy: %zu candidates, %zu atoms, %zu vars, %zu rows -> %zu indexes, "
-      "cost %.1f -> %.1f (gap %.4f, %d nodes)",
+      "cost %.1f -> %.1f (gap %.4f, %d nodes, %zu pins, %zu infeasible)",
       rec.num_candidates, rec.num_atoms, rec.num_variables,
       rec.num_constraints, rec.indexes.size(), rec.base_cost,
-      rec.recommended_cost, rec.gap, rec.bnb_nodes));
+      rec.recommended_cost, rec.gap, rec.bnb_nodes, admitted_pins.size(),
+      rec.infeasible_pins.size()));
   return rec;
 }
 

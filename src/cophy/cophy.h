@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cophy/candidates.h"
+#include "core/constraints.h"
 #include "inum/inum.h"
 #include "solver/bnb.h"
 
@@ -55,6 +56,11 @@ struct IndexRecommendation {
   double recommended_cost = 0.0;  ///< workload cost under the recommendation
   std::vector<double> per_query_cost;  ///< under the recommendation
 
+  /// Pinned indexes that could not be honored because they do not fit
+  /// the storage budget (greedily admitted smallest-first). Never
+  /// silently dropped: callers surface these to the DBA.
+  std::vector<IndexDef> infeasible_pins;
+
   /// Solver quality telemetry.
   double lower_bound = 0.0;
   double gap = 0.0;
@@ -69,6 +75,26 @@ struct IndexRecommendation {
   double improvement() const {
     return base_cost > 0 ? 1.0 - recommended_cost / base_cost : 0.0;
   }
+};
+
+/// Everything CoPhy needs to (re-)solve one workload: the candidate
+/// universe, the per-query atom matrix, weights, and baseline costs.
+/// Building it is the expensive half of a recommendation (INUM populate
+/// + atom expansion); solving against it is pure BIP work. A DBA edit
+/// that only changes constraints re-solves against the same prepared
+/// state with zero new INUM or backend cost calls — the machinery
+/// behind DesignSession::Refine.
+struct CoPhyPrepared {
+  std::vector<CandidateIndex> candidates;
+  /// atoms[q] = atomic configurations of workload query q (candidate
+  /// ids index into `candidates`).
+  std::vector<std::vector<CoPhyAtom>> atoms;
+  std::vector<double> weights;          ///< per workload query
+  std::vector<double> base_query_cost;  ///< per query, empty design
+  double base_cost = 0.0;               ///< weighted total, empty design
+  size_t num_atoms = 0;
+
+  bool empty() const { return atoms.empty(); }
 };
 
 class CoPhyAdvisor {
@@ -88,6 +114,33 @@ class CoPhyAdvisor {
   /// interactive mode: the DBA seeds the search with her own candidates).
   IndexRecommendation RecommendWithCandidates(
       const Workload& workload, const std::vector<CandidateIndex>& candidates);
+
+  // --- Constraint-aware, Status-bearing API ---
+  /// Recommends under DBA constraints: pins become y_i = 1 fixings,
+  /// vetoes y_i = 0, per-table caps extra BIP rows, and the effective
+  /// budget is min(options budget, constraint budget). Pinned indexes
+  /// that do not fit the budget are reported in
+  /// IndexRecommendation::infeasible_pins (smallest pins admitted
+  /// first) rather than silently dropped. Errors (invalid constraints)
+  /// surface as Status.
+  Result<IndexRecommendation> TryRecommend(const Workload& workload,
+                                           const DesignConstraints& constraints);
+  Result<IndexRecommendation> TryRecommendWithCandidates(
+      const Workload& workload, const std::vector<CandidateIndex>& candidates,
+      const DesignConstraints& constraints);
+
+  // --- Incremental API (prepare once, re-solve many times) ---
+  /// Populates INUM for the workload and expands every query into atoms
+  /// against `candidates` — the expensive half of a recommendation.
+  CoPhyPrepared Prepare(const Workload& workload,
+                        std::vector<CandidateIndex> candidates);
+
+  /// Solves the BIP against an existing prepared state under
+  /// `constraints`. Makes no INUM and no backend cost calls: after a
+  /// constraints-only edit this is the entire cost of re-recommending.
+  Result<IndexRecommendation> SolvePrepared(
+      const CoPhyPrepared& prepared,
+      const DesignConstraints& constraints) const;
 
   /// Expands one query into atomic configurations against `candidates`
   /// (exposed for tests and for the interaction analyzer). Safe to call

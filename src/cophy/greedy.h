@@ -56,6 +56,18 @@ class GreedyAdvisor {
   GreedyResult RecommendWithCandidates(
       const Workload& workload, const std::vector<CandidateIndex>& candidates);
 
+  /// Constraint-aware recommendation: vetoed candidates are filtered
+  /// out, pinned indexes are seeded into the configuration before the
+  /// greedy loop (consuming budget and table caps), and the loop honors
+  /// per-table caps plus min(options budget, constraint budget). Pins
+  /// that do not fit the budget are an error — the greedy baseline has
+  /// no partial-feasibility story to fall back on.
+  Result<GreedyResult> TryRecommend(const Workload& workload,
+                                    const DesignConstraints& constraints);
+  Result<GreedyResult> TryRecommendWithCandidates(
+      const Workload& workload, const std::vector<CandidateIndex>& candidates,
+      const DesignConstraints& constraints);
+
   InumCostModel& inum() { return inum_; }
 
  private:

@@ -1,0 +1,152 @@
+// DesignConstraints: the DBA's side of the interactive tuning loop.
+//
+// The paper's demo is a conversation: the designer proposes, the DBA
+// reacts — "keep this index no matter what", "never suggest an index on
+// that column", "at most two indexes on photoobj", "here is the real
+// storage budget", "don't touch partitioning on the fact table" — and
+// the system re-solves fast enough to feel interactive. This header is
+// the vocabulary of that conversation:
+//
+//   * DesignConstraints — the full constraint state every advisor
+//     honors. CoPhy encodes pins/vetoes as variable fixings (y_i = 1 /
+//     y_i = 0) and per-table caps as extra BIP rows, so a constraint
+//     edit re-solves against the cached atom matrix without touching
+//     INUM or the backend. Greedy and COLT filter candidates; AutoPart
+//     consults the partitioning allow/deny lists.
+//   * ConstraintDelta — one DBA edit between recommendations, the
+//     argument of DesignSession::Refine.
+//
+// Constraints serialize to JSON (util/json) so a tuning session —
+// constraints, snapshots, current design — survives process restart.
+
+#ifndef DBDESIGN_CORE_CONSTRAINTS_H_
+#define DBDESIGN_CORE_CONSTRAINTS_H_
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/design.h"
+#include "util/json.h"
+
+namespace dbdesign {
+
+/// A (table, column) pair the DBA has vetoed for indexing: no
+/// recommended index may contain the column anywhere in its key.
+struct ColumnRef {
+  TableId table = kInvalidTableId;
+  ColumnId column = kInvalidColumnId;
+
+  bool operator==(const ColumnRef&) const = default;
+  bool operator<(const ColumnRef& o) const {
+    if (table != o.table) return table < o.table;
+    return column < o.column;
+  }
+
+  std::string DisplayName(const Catalog& catalog) const;
+};
+
+/// The complete constraint state of a tuning session. Default
+/// constructed = unconstrained (every advisor behaves as before).
+struct DesignConstraints {
+  /// Indexes that must appear in every recommendation, feasibility
+  /// permitting (infeasible pins are reported, never silently dropped).
+  std::vector<IndexDef> pinned_indexes;
+  /// Indexes that must never be recommended.
+  std::vector<IndexDef> vetoed_indexes;
+  /// Columns no recommended index may touch.
+  std::vector<ColumnRef> vetoed_columns;
+  /// Per-table ceiling on the number of *recommended* indexes.
+  std::map<TableId, int> max_indexes_per_table;
+  /// Storage budget for recommended indexes, in pages. Combined with an
+  /// advisor's own budget as min(both).
+  double storage_budget_pages = std::numeric_limits<double>::infinity();
+
+  /// Partitioning control (AutoPart): master switch + per-table lists.
+  /// An empty allow list means "all tables allowed".
+  bool partitioning_enabled = true;
+  std::vector<TableId> partition_allowed_tables;
+  std::vector<TableId> partition_denied_tables;
+
+  // --- Queries ---
+  bool unconstrained() const;
+  bool IsPinned(const IndexDef& index) const;
+  /// True when `index` is explicitly vetoed or touches a vetoed column.
+  bool IsVetoed(const IndexDef& index) const;
+  bool PartitioningAllowed(TableId table) const;
+  /// Per-table cap, or nullopt when the table is uncapped.
+  std::optional<int> TableCap(TableId table) const;
+  /// Loop-friendly form: the cap, or INT_MAX when uncapped.
+  int TableCapOrUnlimited(TableId table) const;
+  /// min(advisor_budget, storage_budget_pages).
+  double EffectiveBudget(double advisor_budget_pages) const;
+
+  // --- Mutations (idempotent; Pin removes a matching veto and vice
+  // versa is rejected by Validate, not silently resolved) ---
+  void Pin(const IndexDef& index);
+  void Unpin(const IndexDef& index);
+  void Veto(const IndexDef& index);
+  void Unveto(const IndexDef& index);
+  void VetoColumn(const ColumnRef& column);
+  void UnvetoColumn(const ColumnRef& column);
+
+  /// Checks internal consistency and id validity: table/column ids in
+  /// range, no index both pinned and vetoed, no pin touching a vetoed
+  /// column, pins per table within the table's cap, caps non-negative.
+  Status Validate(const Catalog& catalog) const;
+
+  /// Deterministic JSON encoding (round-trips via FromJson).
+  Json ToJson() const;
+  static Result<DesignConstraints> FromJson(const Json& j,
+                                            const Catalog& catalog);
+
+  bool operator==(const DesignConstraints&) const = default;
+};
+
+/// One DBA edit between recommendations — the argument of
+/// DesignSession::Refine. Every field is optional; an empty delta
+/// re-solves under unchanged constraints.
+struct ConstraintDelta {
+  std::vector<IndexDef> pin;
+  std::vector<IndexDef> unpin;
+  std::vector<IndexDef> veto;
+  std::vector<IndexDef> unveto;
+  std::vector<ColumnRef> veto_columns;
+  std::vector<ColumnRef> unveto_columns;
+  /// New storage budget; infinity clears it.
+  std::optional<double> storage_budget_pages;
+  /// Per-table caps to set; a negative cap clears the table's cap.
+  std::map<TableId, int> table_caps;
+  std::optional<bool> partitioning_enabled;
+  std::vector<TableId> allow_partitioning;
+  std::vector<TableId> deny_partitioning;
+
+  bool empty() const;
+  /// Human-readable summary for the session action log, e.g.
+  /// "PIN idx_photoobj_ra, VETO idx_specobj_z, BUDGET 1200".
+  std::string Describe(const Catalog& catalog) const;
+};
+
+/// Applies `delta` to `constraints` (in order: unpin/unveto first, then
+/// pins/vetoes/caps/budget) and validates the result; on error the
+/// constraints are left unchanged.
+Status ApplyConstraintDelta(const ConstraintDelta& delta,
+                            const Catalog& catalog,
+                            DesignConstraints* constraints);
+
+/// True when `now` only tightens the *index-selection* feasible region
+/// relative to `solved`: pins and vetoes are supersets, the budget is
+/// no larger, and every old per-table cap still holds (possibly
+/// tighter). Partitioning fields are ignored — they do not enter the
+/// index BIP. This is the certificate behind instant re-recommendation:
+/// a proven-optimal solution of the `solved` problem that stays
+/// feasible under `now` is still optimal (the feasible set only
+/// shrank), so Refine can reuse it without any solver work.
+bool TightensIndexConstraints(const DesignConstraints& solved,
+                              const DesignConstraints& now);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_CORE_CONSTRAINTS_H_

@@ -62,15 +62,27 @@ InteractionGraph Designer::AnalyzeInteractions(
 
 OfflineRecommendation Designer::RecommendOffline(
     const Workload& workload, double storage_budget_pages) {
+  Result<OfflineRecommendation> rec =
+      TryRecommendOffline(workload, storage_budget_pages, {});
+  // Unconstrained pipelines cannot fail validation.
+  return rec.ok() ? std::move(rec).value() : OfflineRecommendation{};
+}
+
+Result<OfflineRecommendation> Designer::TryRecommendOffline(
+    const Workload& workload, double storage_budget_pages,
+    const DesignConstraints& constraints) {
   OfflineRecommendation rec;
 
   CoPhyOptions copts = options_.cophy;
   copts.storage_budget_pages = storage_budget_pages;
   CoPhyAdvisor cophy(*backend_, copts);
-  rec.indexes = cophy.Recommend(workload);
+  Result<IndexRecommendation> indexes =
+      cophy.TryRecommend(workload, constraints);
+  if (!indexes.ok()) return indexes.status();
+  rec.indexes = std::move(indexes).value();
 
   AutoPartAdvisor autopart(*backend_, options_.autopart);
-  rec.partitions = autopart.Recommend(workload);
+  rec.partitions = autopart.Recommend(workload, constraints);
 
   // Combined design: partitions plus the recommended indexes.
   rec.combined = rec.partitions.design;

@@ -111,6 +111,14 @@ class Designer {
   OfflineRecommendation RecommendOffline(const Workload& workload,
                                          double storage_budget_pages);
 
+  /// Constraint-aware full pipeline: CoPhy honors pins/vetoes/per-table
+  /// caps under min(storage_budget_pages, constraint budget); AutoPart
+  /// honors the partitioning allow/deny lists. Invalid constraints
+  /// surface as Status.
+  Result<OfflineRecommendation> TryRecommendOffline(
+      const Workload& workload, double storage_budget_pages,
+      const DesignConstraints& constraints);
+
   /// Index-only recommendation with user-seeded candidates (the paper's
   /// "control the physical design search by suggesting a candidate set
   /// of indexes as the starting point").

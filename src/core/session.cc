@@ -1,10 +1,18 @@
 #include "core/session.h"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "catalog/design_json.h"
+#include "sql/binder.h"
 #include "util/str.h"
 
 namespace dbdesign {
 
 DesignSession::DesignSession(Designer& designer) : designer_(&designer) {}
+
+DesignSession::~DesignSession() = default;
 
 void DesignSession::Checkpoint(std::string action) {
   undo_stack_.push_back(design());
@@ -123,16 +131,301 @@ bool DesignSession::Redo() {
   return true;
 }
 
+// --- Workload deltas ---
+
+void DesignSession::SetWorkload(Workload workload) {
+  workload_ = std::move(workload);
+  prepared_ = CoPhyPrepared{};
+  prepared_valid_ = false;
+  certificate_valid_ = false;
+  log_.push_back(StrFormat("SET WORKLOAD (%zu queries)", workload_.size()));
+}
+
+void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
+                               double weight) {
+  size_t first_new = workload_.size();
+  for (const BoundQuery& q : queries) workload_.Add(q, weight);
+
+  if (prepared_valid_ && !queries.empty()) {
+    // New queries may warrant candidates the original mining never saw
+    // (e.g. they touch a table no prior query did). Mine just the
+    // additions — stats-only, no backend cost calls — and extend the
+    // universe when something new surfaces.
+    Workload added_only;
+    for (size_t i = first_new; i < workload_.size(); ++i) {
+      added_only.Add(workload_.queries[i], workload_.WeightOf(i));
+    }
+    std::vector<CandidateIndex> fresh =
+        GenerateCandidates(designer_->backend(), added_only,
+                           designer_->options().cophy.candidates);
+    std::vector<CandidateIndex> universe = prepared_.candidates;
+    bool grew = false;
+    for (const CandidateIndex& c : fresh) {
+      bool present = false;
+      for (const CandidateIndex& have : universe) {
+        present |= have.index == c.index;
+      }
+      if (!present) {
+        universe.push_back(c);
+        grew = true;
+      }
+    }
+    if (grew) {
+      // The atom matrix is per-candidate-universe: rebuild it from the
+      // warm INUM cache (only the new queries populate).
+      prepared_ = cophy_->Prepare(workload_, std::move(universe));
+    } else {
+      // Incremental atom maintenance: only the new queries' atoms are
+      // built; every existing row of the prepared matrix stays valid.
+      for (size_t i = first_new; i < workload_.size(); ++i) {
+        const BoundQuery& added = workload_.queries[i];
+        prepared_.atoms.push_back(
+            cophy_->BuildAtoms(added, prepared_.candidates));
+        prepared_.num_atoms += prepared_.atoms.back().size();
+        prepared_.weights.push_back(workload_.WeightOf(i));
+        prepared_.base_query_cost.push_back(
+            cophy_->inum().Cost(added, PhysicalDesign{}));
+        prepared_.base_cost +=
+            prepared_.weights.back() * prepared_.base_query_cost.back();
+      }
+    }
+  }
+  certificate_valid_ = false;  // the solved problem no longer matches
+  log_.push_back(StrFormat("ADD %zu QUERIES", queries.size()));
+}
+
+Status DesignSession::RemoveQueries(std::vector<size_t> positions) {
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  if (!positions.empty() && positions.back() >= workload_.size()) {
+    return Status::OutOfRange(
+        StrFormat("query position %zu out of range (workload has %zu)",
+                  positions.back(), workload_.size()));
+  }
+  for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+    size_t pos = *it;
+    workload_.queries.erase(workload_.queries.begin() +
+                            static_cast<ptrdiff_t>(pos));
+    if (!workload_.weights.empty()) {
+      workload_.weights.erase(workload_.weights.begin() +
+                              static_cast<ptrdiff_t>(pos));
+    }
+    if (prepared_valid_) {
+      prepared_.atoms.erase(prepared_.atoms.begin() +
+                            static_cast<ptrdiff_t>(pos));
+      prepared_.weights.erase(prepared_.weights.begin() +
+                              static_cast<ptrdiff_t>(pos));
+      prepared_.base_query_cost.erase(prepared_.base_query_cost.begin() +
+                                      static_cast<ptrdiff_t>(pos));
+    }
+  }
+  if (prepared_valid_) {
+    prepared_.num_atoms = 0;
+    prepared_.base_cost = 0.0;
+    for (size_t q = 0; q < prepared_.atoms.size(); ++q) {
+      prepared_.num_atoms += prepared_.atoms[q].size();
+      prepared_.base_cost +=
+          prepared_.weights[q] * prepared_.base_query_cost[q];
+    }
+  }
+  certificate_valid_ = false;  // the solved problem no longer matches
+  log_.push_back(StrFormat("REMOVE %zu QUERIES", positions.size()));
+  return Status::OK();
+}
+
+// --- Constraints + the recommendation loop ---
+
+Status DesignSession::SetConstraints(DesignConstraints constraints) {
+  Status s = constraints.Validate(designer_->backend().catalog());
+  if (!s.ok()) return s;
+  constraints_ = std::move(constraints);
+  log_.push_back(StrFormat(
+      "SET CONSTRAINTS (%zu pins, %zu vetoes, %zu column vetoes, %zu caps)",
+      constraints_.pinned_indexes.size(), constraints_.vetoed_indexes.size(),
+      constraints_.vetoed_columns.size(),
+      constraints_.max_indexes_per_table.size()));
+  return Status::OK();
+}
+
+Status DesignSession::EnsurePrepared() {
+  if (workload_.empty()) {
+    return Status::InvalidArgument(
+        "session has no workload; call SetWorkload or AddQueries first");
+  }
+  if (cophy_ == nullptr) {
+    cophy_ = std::make_unique<CoPhyAdvisor>(designer_->backend(),
+                                            designer_->options().cophy);
+  }
+  if (!prepared_valid_) {
+    std::vector<CandidateIndex> candidates =
+        GenerateCandidates(designer_->backend(), workload_,
+                           designer_->options().cophy.candidates);
+    MergePinnedCandidates(designer_->backend(), constraints_, &candidates);
+    prepared_ = cophy_->Prepare(workload_, std::move(candidates));
+    prepared_valid_ = true;
+    return Status::OK();
+  }
+  // Prepared state is live. A pin on an index outside the candidate
+  // universe extends it and rebuilds atoms from the warm INUM cache —
+  // client-side pricing only, still zero backend optimizer calls.
+  bool missing_pin = false;
+  for (const IndexDef& pin : constraints_.pinned_indexes) {
+    bool present = false;
+    for (const CandidateIndex& c : prepared_.candidates) {
+      present |= c.index == pin;
+    }
+    missing_pin |= !present;
+  }
+  if (missing_pin) {
+    std::vector<CandidateIndex> candidates = prepared_.candidates;
+    MergePinnedCandidates(designer_->backend(), constraints_, &candidates);
+    prepared_ = cophy_->Prepare(workload_, std::move(candidates));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string RecommendationSummary(const char* verb,
+                                  const IndexRecommendation& rec) {
+  std::string text = StrFormat("%s -> %zu indexes, cost %.1f -> %.1f", verb,
+                               rec.indexes.size(), rec.base_cost,
+                               rec.recommended_cost);
+  if (!rec.infeasible_pins.empty()) {
+    text += StrFormat(" (%zu pins infeasible)", rec.infeasible_pins.size());
+  }
+  return text;
+}
+
+}  // namespace
+
+void DesignSession::ApplyRecommendation(const IndexRecommendation& rec,
+                                        std::string action) {
+  Checkpoint(std::move(action));
+  PhysicalDesign target = design();
+  // The recommendation replaces the index overlay; partitions (and the
+  // rest of the hypothetical state) are preserved.
+  std::vector<IndexDef> existing = target.indexes();
+  for (const IndexDef& idx : existing) target.RemoveIndex(idx);
+  for (const IndexDef& idx : rec.indexes) target.AddIndex(idx);
+  Apply(target);
+}
+
+Result<IndexRecommendation> DesignSession::Recommend() {
+  Status s = EnsurePrepared();
+  if (!s.ok()) return s;
+  Result<IndexRecommendation> solved =
+      cophy_->SolvePrepared(prepared_, constraints_);
+  if (!solved.ok()) return solved.status();
+  IndexRecommendation rec = std::move(solved).value();
+  ApplyRecommendation(rec, RecommendationSummary("RECOMMEND", rec));
+  last_rec_ = rec;
+  solved_constraints_ = constraints_;
+  certificate_valid_ = true;
+  return rec;
+}
+
+bool DesignSession::CertificateHolds() const {
+  // Re-optimization certificate: the previous solve was proven optimal,
+  // the edit only tightened the feasible region, and the old solution
+  // is still feasible — so it is still optimal (shrinking the feasible
+  // set cannot create a better solution, and the old optimum survives).
+  if (!certificate_valid_ || !last_rec_.has_value()) return false;
+  const IndexRecommendation& rec = *last_rec_;
+  if (!rec.proven_optimal || !rec.infeasible_pins.empty()) return false;
+  if (!TightensIndexConstraints(solved_constraints_, constraints_)) {
+    return false;
+  }
+  // Feasibility of the old solution under the new constraints.
+  for (const IndexDef& pin : constraints_.pinned_indexes) {
+    if (std::find(rec.indexes.begin(), rec.indexes.end(), pin) ==
+        rec.indexes.end()) {
+      return false;
+    }
+  }
+  for (const IndexDef& idx : rec.indexes) {
+    if (constraints_.IsVetoed(idx)) return false;
+  }
+  double budget = constraints_.EffectiveBudget(
+      designer_->options().cophy.storage_budget_pages);
+  if (rec.total_size_pages > budget) return false;
+  std::map<TableId, int> per_table;
+  for (const IndexDef& idx : rec.indexes) per_table[idx.table]++;
+  for (const auto& [table, count] : per_table) {
+    std::optional<int> cap = constraints_.TableCap(table);
+    if (cap.has_value() && count > *cap) return false;
+  }
+  return true;
+}
+
+Result<IndexRecommendation> DesignSession::Refine(
+    const ConstraintDelta& delta) {
+  Status s = ApplyConstraintDelta(delta, designer_->backend().catalog(),
+                                  &constraints_);
+  if (!s.ok()) return s;
+  const Catalog& catalog = designer_->backend().catalog();
+
+  // Tier 1: the previous optimum certifiably survives the edit — reuse
+  // it with no solver work at all.
+  if (CertificateHolds()) {
+    IndexRecommendation rec = *last_rec_;
+    std::string action = delta.empty()
+                             ? RecommendationSummary("REFINE", rec)
+                             : "REFINE [" + delta.Describe(catalog) + "]" +
+                                   RecommendationSummary("", rec) +
+                                   " (certificate reuse)";
+    ApplyRecommendation(rec, std::move(action));
+    solved_constraints_ = constraints_;
+    return rec;
+  }
+
+  // Tier 2: re-solve the BIP against the prepared atom matrix.
+  s = EnsurePrepared();
+  if (!s.ok()) return s;
+  Result<IndexRecommendation> solved =
+      cophy_->SolvePrepared(prepared_, constraints_);
+  if (!solved.ok()) return solved.status();
+  IndexRecommendation rec = std::move(solved).value();
+  std::string action = RecommendationSummary("REFINE", rec);
+  if (!delta.empty()) {
+    action = "REFINE [" + delta.Describe(catalog) + "]" +
+             RecommendationSummary("", rec);
+  }
+  ApplyRecommendation(rec, std::move(action));
+  last_rec_ = rec;
+  solved_constraints_ = constraints_;
+  certificate_valid_ = true;
+  return rec;
+}
+
+uint64_t DesignSession::backend_optimizer_calls() const {
+  return designer_->backend().num_optimizer_calls();
+}
+
+uint64_t DesignSession::inum_populate_count() const {
+  return cophy_ == nullptr ? 0 : cophy_->inum().stats().populate_optimizations;
+}
+
+// --- Snapshots ---
+
 void DesignSession::SaveSnapshot(const std::string& name) {
   snapshots_[name] = design();
   log_.push_back("SAVE " + name);
 }
 
+Status DesignSession::SnapshotNotFound(const std::string& name) const {
+  if (snapshots_.empty()) {
+    return Status::NotFound("snapshot '" + name +
+                            "' (no snapshots saved yet)");
+  }
+  return Status::NotFound("snapshot '" + name + "' (available: " +
+                          StrJoin(SnapshotNames(), ", ") + ")");
+}
+
 Status DesignSession::RestoreSnapshot(const std::string& name) {
   auto it = snapshots_.find(name);
-  if (it == snapshots_.end()) {
-    return Status::NotFound("snapshot '" + name + "'");
-  }
+  if (it == snapshots_.end()) return SnapshotNotFound(name);
   Checkpoint("RESTORE " + name);
   Apply(it->second);
   return Status::OK();
@@ -148,10 +441,129 @@ std::vector<std::string> DesignSession::SnapshotNames() const {
 Result<BenefitReport> DesignSession::CompareSnapshot(
     const std::string& name, const Workload& workload) {
   auto it = snapshots_.find(name);
-  if (it == snapshots_.end()) {
-    return Status::NotFound("snapshot '" + name + "'");
-  }
+  if (it == snapshots_.end()) return SnapshotNotFound(name);
   return designer_->EvaluateDesign(workload, it->second);
+}
+
+// --- Persistence ---
+
+Json DesignSession::ToJson() const {
+  const Catalog& catalog = designer_->backend().catalog();
+  Json j = Json::Object();
+  j["version"] = Json::Number(1);
+  j["constraints"] = constraints_.ToJson();
+  j["design"] = PhysicalDesignToJson(design());
+  Json snapshots = Json::Object();
+  for (const auto& [name, d] : snapshots_) {
+    snapshots[name] = PhysicalDesignToJson(d);
+  }
+  j["snapshots"] = std::move(snapshots);
+  Json sql = Json::Array();
+  Json weights = Json::Array();
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    sql.Append(Json::Str(workload_.queries[i].ToSql(catalog)));
+    weights.Append(Json::Number(workload_.WeightOf(i)));
+  }
+  Json workload = Json::Object();
+  workload["sql"] = std::move(sql);
+  workload["weights"] = std::move(weights);
+  j["workload"] = std::move(workload);
+  Json log = Json::Array();
+  for (const std::string& entry : log_) log.Append(Json::Str(entry));
+  j["log"] = std::move(log);
+  return j;
+}
+
+Status DesignSession::LoadFromJson(const Json& j) {
+  const Catalog& catalog = designer_->backend().catalog();
+  if (!j.is_object()) return Status::ParseError("session must be an object");
+
+  // Parse everything into locals first; the session only changes when
+  // the whole document is valid.
+  DesignConstraints constraints;
+  if (const Json* c = j.Find("constraints")) {
+    Result<DesignConstraints> parsed =
+        DesignConstraints::FromJson(*c, catalog);
+    if (!parsed.ok()) return parsed.status();
+    constraints = std::move(parsed).value();
+  }
+  PhysicalDesign target;
+  if (const Json* d = j.Find("design")) {
+    Result<PhysicalDesign> parsed = PhysicalDesignFromJson(*d, catalog);
+    if (!parsed.ok()) return parsed.status();
+    target = std::move(parsed).value();
+  }
+  std::map<std::string, PhysicalDesign> snapshots;
+  if (const Json* snaps = j.Find("snapshots")) {
+    if (!snaps->is_object()) {
+      return Status::ParseError("'snapshots' must be an object");
+    }
+    for (const auto& [name, d] : snaps->members()) {
+      Result<PhysicalDesign> parsed = PhysicalDesignFromJson(d, catalog);
+      if (!parsed.ok()) return parsed.status();
+      snapshots.emplace(name, std::move(parsed).value());
+    }
+  }
+  Workload workload;
+  if (const Json* w = j.Find("workload")) {
+    const Json* sql = w->Find("sql");
+    const Json* weights = w->Find("weights");
+    if (sql == nullptr || !sql->is_array()) {
+      return Status::ParseError("'workload.sql' must be an array");
+    }
+    for (size_t i = 0; i < sql->size(); ++i) {
+      if (!sql->at(i).is_string()) {
+        return Status::ParseError("workload query must be a SQL string");
+      }
+      Result<BoundQuery> q = ParseAndBind(catalog, sql->at(i).str());
+      if (!q.ok()) return q.status();
+      double weight = 1.0;
+      if (weights != nullptr && weights->is_array() &&
+          i < weights->size() && weights->at(i).is_number()) {
+        weight = weights->at(i).number();
+      }
+      workload.Add(std::move(q).value(), weight);
+    }
+  }
+  std::vector<std::string> log;
+  if (const Json* l = j.Find("log")) {
+    for (const Json& entry : l->items()) {
+      if (entry.is_string()) log.push_back(entry.str());
+    }
+  }
+
+  constraints_ = std::move(constraints);
+  workload_ = std::move(workload);
+  snapshots_ = std::move(snapshots);
+  log_ = std::move(log);
+  undo_stack_.clear();
+  redo_stack_.clear();
+  prepared_ = CoPhyPrepared{};
+  prepared_valid_ = false;
+  last_rec_.reset();
+  certificate_valid_ = false;
+  Apply(target);
+  log_.push_back("LOAD");
+  return Status::OK();
+}
+
+Status DesignSession::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << ToJson().Dump() << "\n";
+  out.flush();
+  if (!out) return Status::Internal("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Status DesignSession::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> parsed = Json::Parse(buffer.str());
+  if (!parsed.ok()) return parsed.status();
+  return LoadFromJson(parsed.value());
 }
 
 }  // namespace dbdesign

@@ -1,20 +1,36 @@
-// DesignSession: stateful interactive what-if session with undo/redo,
-// named snapshots and an action log.
+// DesignSession: the unified entry point of the paper's interactive
+// tuning loop.
 //
-// The paper's tool is explicitly *interactive*: the DBA explores
-// candidate designs incrementally through a GUI. This class is the
-// library-side session state such a front end needs — every mutation of
-// the hypothetical design goes through it, can be undone/redone, and is
-// recorded in a human-readable log; intermediate designs can be saved
-// and compared by name.
+// The demo's conversation is: the designer proposes, the DBA reacts —
+// pins an index she trusts, vetoes one she doesn't, tightens the
+// storage budget — and the system re-recommends fast enough to feel
+// interactive. This class owns everything that loop needs:
+//
+//   * the workload under tuning (with AddQueries/RemoveQueries deltas),
+//   * the DBA's DesignConstraints,
+//   * the hypothetical design, with undo/redo, named snapshots and a
+//     human-readable action log (every mutation — manual what-if edits
+//     and whole recommendations alike — is one undoable step),
+//   * a prepared CoPhy state (INUM cost cache + atom matrix) that makes
+//     Refine() incremental: a constraints-only edit re-solves the BIP
+//     against the cached atoms with ZERO new INUM populations and ZERO
+//     new backend optimizer calls — only workload deltas invalidate
+//     atoms, and only for the queries they touch.
+//
+// Sessions serialize to JSON (constraints, snapshots, workload, design,
+// log) so a tuning session survives process restart; the prepared cache
+// is rebuilt lazily on the first Recommend after a load.
 
 #ifndef DBDESIGN_CORE_SESSION_H_
 #define DBDESIGN_CORE_SESSION_H_
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/constraints.h"
 #include "core/designer.h"
 
 namespace dbdesign {
@@ -22,6 +38,7 @@ namespace dbdesign {
 class DesignSession {
  public:
   explicit DesignSession(Designer& designer);
+  ~DesignSession();
 
   // --- What-if mutations (logged, undoable) ---
   Status CreateIndex(const IndexDef& index);
@@ -39,6 +56,71 @@ class DesignSession {
   size_t undo_depth() const { return undo_stack_.size(); }
   size_t redo_depth() const { return redo_stack_.size(); }
 
+  // --- Workload under tuning ---
+  /// Replaces the session workload (invalidates the prepared state).
+  void SetWorkload(Workload workload);
+  /// Appends queries. When a prepared state exists, candidates are
+  /// mined from the additions (stats-only); if nothing new surfaces,
+  /// only the new queries' atoms are built — existing atoms stay
+  /// valid. New candidates extend the universe and rebuild atoms from
+  /// the warm INUM cache. Either way: no backend cost calls for
+  /// already-seen query structures.
+  void AddQueries(const std::vector<BoundQuery>& queries,
+                  double weight = 1.0);
+  /// Removes queries by workload position (descending-safe: positions
+  /// refer to the current workload). Their atoms are dropped; the rest
+  /// stay valid.
+  Status RemoveQueries(std::vector<size_t> positions);
+  const Workload& workload() const { return workload_; }
+
+  // --- DBA constraints ---
+  const DesignConstraints& constraints() const { return constraints_; }
+  /// Replaces the whole constraint state (validated; logged). Prefer
+  /// Refine(delta) inside the loop — it re-solves immediately.
+  Status SetConstraints(DesignConstraints constraints);
+
+  // --- The recommendation loop ---
+  /// Solves for the best index set under the current constraints and
+  /// applies it to the hypothetical design as ONE undoable step
+  /// (partitions are preserved; the previous index overlay is
+  /// replaced). The first call prepares the INUM cost cache + CoPhy
+  /// atom matrix; the session keeps both for later Refines.
+  Result<IndexRecommendation> Recommend();
+
+  /// Applies one DBA constraint edit and re-recommends incrementally.
+  /// Two tiers, both free of backend optimizer calls and INUM
+  /// populations after a constraints-only delta:
+  ///
+  ///   1. Certificate reuse: when the edit only *tightens* the solved
+  ///      constraints (more pins/vetoes, smaller budget, lower caps)
+  ///      and the previous proven-optimal recommendation is still
+  ///      feasible, it is still optimal — Refine answers instantly with
+  ///      no solver work at all. This covers the demo's most common
+  ///      reactions: pinning recommended indexes, vetoing unused ones,
+  ///      trimming headroom out of the budget.
+  ///   2. BIP re-solve: otherwise the solve reuses the prepared atom
+  ///      matrix (pinning a never-seen index extends the candidate
+  ///      universe from the warm cache; still no backend calls).
+  ///
+  /// Either way the result is identical to a from-scratch Recommend
+  /// under the same constraints.
+  Result<IndexRecommendation> Refine(const ConstraintDelta& delta);
+
+  /// The most recent successful Recommend/Refine result.
+  const IndexRecommendation* last_recommendation() const {
+    return last_rec_.has_value() ? &*last_rec_ : nullptr;
+  }
+
+  /// True when a prepared atom matrix is live (Refine will be
+  /// incremental).
+  bool prepared() const { return prepared_valid_; }
+
+  /// Counters behind the "refinement makes zero new cost calls" claim:
+  /// expensive backend optimizer invocations and INUM populate runs so
+  /// far. Tests and benches snapshot these around Refine.
+  uint64_t backend_optimizer_calls() const;
+  uint64_t inum_populate_count() const;
+
   // --- Snapshots ---
   /// Saves the current hypothetical design under `name` (overwrites).
   void SaveSnapshot(const std::string& name);
@@ -50,20 +132,54 @@ class DesignSession {
   Result<BenefitReport> CompareSnapshot(const std::string& name,
                                         const Workload& workload);
 
+  // --- Persistence ---
+  /// Serializes constraints, workload (as SQL), snapshots, the current
+  /// design and the action log. Undo/redo stacks and the prepared cache
+  /// are not persisted (the cache rebuilds on first use).
+  Json ToJson() const;
+  Status LoadFromJson(const Json& j);
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
   // --- Introspection ---
   const PhysicalDesign& design() const {
     return designer_->whatif().hypothetical_design();
   }
   /// Human-readable action log ("CREATE INDEX idx_photoobj_ra", ...).
   const std::vector<std::string>& log() const { return log_; }
+  Designer& designer() const { return *designer_; }
 
  private:
   /// Pushes the current design for undo and clears the redo stack.
   void Checkpoint(std::string action);
   /// Replaces the what-if overlay wholesale.
   void Apply(const PhysicalDesign& design);
+  /// Replaces the design's index overlay with `rec` as one undoable step.
+  void ApplyRecommendation(const IndexRecommendation& rec,
+                           std::string action);
+  /// Builds (or incrementally extends) the prepared CoPhy state.
+  Status EnsurePrepared();
+  /// True when the previous proven-optimal recommendation certifiably
+  /// remains optimal under the current constraints (tightening-only
+  /// edit + still feasible).
+  bool CertificateHolds() const;
+  /// "snapshot 'x' not found (available: a, b)" helper.
+  Status SnapshotNotFound(const std::string& name) const;
 
   Designer* designer_;
+  Workload workload_;
+  DesignConstraints constraints_;
+
+  /// Owns the INUM cost cache reused across the whole session.
+  std::unique_ptr<CoPhyAdvisor> cophy_;
+  CoPhyPrepared prepared_;
+  bool prepared_valid_ = false;
+  std::optional<IndexRecommendation> last_rec_;
+  /// Constraints the last solve ran under + whether its optimality
+  /// certificate is still tied to the current workload.
+  DesignConstraints solved_constraints_;
+  bool certificate_valid_ = false;
+
   std::vector<PhysicalDesign> undo_stack_;
   std::vector<PhysicalDesign> redo_stack_;
   std::map<std::string, PhysicalDesign> snapshots_;

@@ -36,7 +36,8 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
   double t0 = Now();
   BnbResult result;
 
-  // Base LP: original problem + x_b <= 1 rows for binaries.
+  // Base LP: original problem + x_b <= 1 rows for binaries + root-level
+  // fixings (x_f = 0/1 rows shared by every node).
   LpProblem base = problem.lp;
   for (int b : problem.binary_vars) {
     LpConstraint ub;
@@ -44,6 +45,13 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
     ub.rel = LpRelation::kLe;
     ub.rhs = 1.0;
     base.AddConstraint(std::move(ub));
+  }
+  for (auto [var, val] : problem.fixed_vars) {
+    LpConstraint fix;
+    fix.terms = {{var, 1.0}};
+    fix.rel = LpRelation::kEq;
+    fix.rhs = static_cast<double>(val);
+    base.AddConstraint(std::move(fix));
   }
 
   auto solve_node = [&](const std::vector<std::pair<int, int>>& fixings)

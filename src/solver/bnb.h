@@ -17,6 +17,12 @@ namespace dbdesign {
 struct MipProblem {
   LpProblem lp;
   std::vector<int> binary_vars;
+  /// Root-level variable fixings applied before search: (var, 0 or 1)
+  /// bounds enforced at every node. CoPhy encodes DBA pins (y_i = 1)
+  /// and vetoes (y_i = 0) here, so constraint edits change only these
+  /// fixings — the rest of the problem (and any cached atom matrix
+  /// behind it) is reused verbatim.
+  std::vector<std::pair<int, int>> fixed_vars;
 };
 
 struct BnbOptions {

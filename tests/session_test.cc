@@ -1,9 +1,15 @@
 // DesignSession tests: undo/redo semantics, snapshots, action log,
-// validation of interactive mutations.
+// validation of interactive mutations, and the constraint-driven
+// recommendation loop — Recommend/Refine incrementality (zero new cost
+// calls after a constraints-only edit, results bit-identical to a
+// from-scratch solve), workload deltas, and JSON save/resume.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/session.h"
+#include "sql/binder.h"
 #include "workload/queries.h"
 #include "workload/sdss.h"
 
@@ -94,6 +100,26 @@ TEST_F(SessionTest, SnapshotsSaveAndRestore) {
   EXPECT_EQ(names.size(), 2u);
 }
 
+TEST_F(SessionTest, SnapshotNotFoundListsAvailableNames) {
+  // With no snapshots the error says so.
+  Status empty = session_->RestoreSnapshot("nope");
+  EXPECT_EQ(empty.code(), StatusCode::kNotFound);
+  EXPECT_NE(empty.message().find("no snapshots"), std::string::npos)
+      << empty.message();
+
+  session_->SaveSnapshot("alpha");
+  session_->SaveSnapshot("beta");
+  Status s = session_->RestoreSnapshot("gamma");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("alpha"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("beta"), std::string::npos) << s.message();
+
+  Workload w = GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 4, 5);
+  auto compare = session_->CompareSnapshot("gamma", w);
+  EXPECT_EQ(compare.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(compare.status().message().find("alpha"), std::string::npos);
+}
+
 TEST_F(SessionTest, CompareSnapshotReportsBenefit) {
   Workload w = GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 6, 5);
   session_->SaveSnapshot("empty");
@@ -159,6 +185,242 @@ TEST_F(SessionTest, UndoRestoresCostExactly) {
   EXPECT_LT(tuned, base);
   ASSERT_TRUE(session_->Undo());
   EXPECT_DOUBLE_EQ(designer_->whatif().WorkloadCost(w), base);
+}
+
+// --- The constraint-driven recommendation loop ---
+
+TEST_F(SessionTest, RecommendRequiresWorkload) {
+  auto rec = session_->Recommend();
+  EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, RecommendAppliesAsOneUndoableStep) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 8, 13));
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_FALSE(rec.value().indexes.empty());
+
+  // The recommendation is the design now.
+  for (const IndexDef& idx : rec.value().indexes) {
+    EXPECT_TRUE(session_->design().HasIndex(idx));
+  }
+  EXPECT_EQ(session_->design().indexes().size(), rec.value().indexes.size());
+
+  // ... and it is one undoable step.
+  ASSERT_TRUE(session_->Undo());
+  EXPECT_TRUE(session_->design().indexes().empty());
+  ASSERT_TRUE(session_->Redo());
+  EXPECT_EQ(session_->design().indexes().size(), rec.value().indexes.size());
+}
+
+TEST_F(SessionTest, RefineIsFreeAndBitIdenticalToFromScratch) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37);
+  session_->SetWorkload(w);
+  auto initial = session_->Recommend();
+  ASSERT_TRUE(initial.ok());
+  ASSERT_GE(initial.value().indexes.size(), 2u);
+
+  // The DBA vetoes the first recommended index and pins the second.
+  ConstraintDelta delta;
+  delta.veto.push_back(initial.value().indexes[0]);
+  delta.pin.push_back(initial.value().indexes[1]);
+
+  // A constraints-only Refine must make ZERO new backend optimizer
+  // calls and ZERO new INUM populations — the whole point of keeping
+  // the prepared atom matrix (acceptance criterion of the incremental
+  // loop).
+  ASSERT_TRUE(session_->prepared());
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  auto refined = session_->Refine(delta);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls)
+      << "Refine after a constraints-only edit must not touch the backend";
+  EXPECT_EQ(session_->inum_populate_count(), populates)
+      << "Refine after a constraints-only edit must not repopulate INUM";
+
+  // The refined result honors the edit.
+  EXPECT_FALSE(refined.value().indexes.empty());
+  for (const IndexDef& idx : refined.value().indexes) {
+    EXPECT_FALSE(idx == initial.value().indexes[0]);
+  }
+  bool has_pin = false;
+  for (const IndexDef& idx : refined.value().indexes) {
+    has_pin |= idx == initial.value().indexes[1];
+  }
+  EXPECT_TRUE(has_pin);
+
+  // ... and is bit-identical to a from-scratch solve under the same
+  // constraints on a fresh designer/session.
+  Designer fresh_designer(*db_);
+  DesignSession fresh(fresh_designer);
+  fresh.SetWorkload(w);
+  ASSERT_TRUE(fresh.SetConstraints(session_->constraints()).ok());
+  auto scratch = fresh.Recommend();
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(scratch.value().indexes, refined.value().indexes);
+  EXPECT_DOUBLE_EQ(scratch.value().recommended_cost,
+                   refined.value().recommended_cost);
+  EXPECT_DOUBLE_EQ(scratch.value().base_cost, refined.value().base_cost);
+}
+
+TEST_F(SessionTest, CertificateRefineIsInstantAndMatchesFromScratch) {
+  // The demo's most common reaction — pinning indexes the tool just
+  // recommended — is a tightening-only edit: the previous optimum's
+  // certificate survives and Refine answers with no solver work.
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37);
+  session_->SetWorkload(w);
+  auto initial = session_->Recommend();
+  ASSERT_TRUE(initial.ok());
+  ASSERT_GE(initial.value().indexes.size(), 2u);
+  ASSERT_TRUE(initial.value().proven_optimal)
+      << "test workload too hard: no optimality certificate to reuse";
+
+  ConstraintDelta keep;
+  keep.pin.push_back(initial.value().indexes[0]);
+  keep.pin.push_back(initial.value().indexes[1]);
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  auto refined = session_->Refine(keep);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls);
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+  // Certificate reuse returns the identical configuration.
+  EXPECT_EQ(refined.value().indexes, initial.value().indexes);
+  EXPECT_DOUBLE_EQ(refined.value().recommended_cost,
+                   initial.value().recommended_cost);
+
+  // ... and matches a from-scratch solve under the same constraints.
+  Designer fresh_designer(*db_);
+  DesignSession fresh(fresh_designer);
+  fresh.SetWorkload(w);
+  ASSERT_TRUE(fresh.SetConstraints(session_->constraints()).ok());
+  auto scratch = fresh.Recommend();
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(scratch.value().indexes, refined.value().indexes);
+  EXPECT_DOUBLE_EQ(scratch.value().recommended_cost,
+                   refined.value().recommended_cost);
+}
+
+TEST_F(SessionTest, RefinePinOutsideUniverseStaysBackendFree) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 8, 13));
+  ASSERT_TRUE(session_->Recommend().ok());
+
+  // Pin an index CoPhy would never mine: the candidate universe extends
+  // from the warm INUM cache — atoms rebuild, but no backend calls and
+  // no new populations.
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId rerun = db_->catalog().table(photo).FindColumn("rerun");
+  ConstraintDelta delta;
+  delta.pin.push_back(IndexDef{photo, {rerun}, false});
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  auto refined = session_->Refine(delta);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls);
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+  bool has_pin = false;
+  for (const IndexDef& idx : refined.value().indexes) {
+    has_pin |= idx == delta.pin[0];
+  }
+  EXPECT_TRUE(has_pin);
+}
+
+TEST_F(SessionTest, WorkloadDeltasKeepPreparedStateLive) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 6, 13);
+  session_->SetWorkload(w);
+  ASSERT_TRUE(session_->Recommend().ok());
+  ASSERT_TRUE(session_->prepared());
+
+  // Adding queries keeps the prepared matrix (only new rows are built).
+  Workload extra = GenerateWorkload(*db_, TemplateMix::PhaseJoins(), 3, 99);
+  session_->AddQueries(extra.queries);
+  EXPECT_TRUE(session_->prepared());
+  EXPECT_EQ(session_->workload().size(), 9u);
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().per_query_cost.size(), 9u);
+
+  // Removing queries keeps it too.
+  ASSERT_TRUE(session_->RemoveQueries({0, 5}).ok());
+  EXPECT_EQ(session_->workload().size(), 7u);
+  auto rec2 = session_->Recommend();
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2.value().per_query_cost.size(), 7u);
+
+  EXPECT_EQ(session_->RemoveQueries({42}).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SessionTest, AddQueriesExtendsCandidateUniverse) {
+  // Prepare on a photoobj-only workload, then add a selective specobj
+  // query: the candidate universe must grow so the new query can get a
+  // useful index — not be stuck with the stale photoobj-only universe.
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 6, 13));
+  ASSERT_TRUE(session_->Recommend().ok());
+
+  auto spec_q = ParseAndBind(
+      db_->catalog(), "SELECT bestobjid FROM specobj WHERE z > 2.9");
+  ASSERT_TRUE(spec_q.ok());
+  session_->AddQueries({spec_q.value(), spec_q.value(), spec_q.value()});
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  TableId spec = db_->catalog().FindTable(kSpecObj);
+  bool has_spec_index = false;
+  for (const IndexDef& idx : rec.value().indexes) {
+    has_spec_index |= idx.table == spec;
+  }
+  EXPECT_TRUE(has_spec_index)
+      << "the added specobj query deserves a specobj index";
+}
+
+TEST_F(SessionTest, SessionJsonRoundTrip) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 6, 21);
+  session_->SetWorkload(w);
+  DesignConstraints constraints;
+  constraints.Pin(RaIndex());
+  constraints.storage_budget_pages = 800.0;
+  ASSERT_TRUE(session_->SetConstraints(constraints).ok());
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  session_->SaveSnapshot("tuned");
+
+  Json j = session_->ToJson();
+  Designer fresh_designer(*db_);
+  DesignSession resumed(fresh_designer);
+  ASSERT_TRUE(resumed.LoadFromJson(j).ok());
+
+  EXPECT_EQ(resumed.constraints(), session_->constraints());
+  EXPECT_EQ(resumed.workload().size(), session_->workload().size());
+  EXPECT_EQ(resumed.SnapshotNames(), session_->SnapshotNames());
+  EXPECT_EQ(resumed.design().Fingerprint(), session_->design().Fingerprint());
+
+  // The resumed session can pick the loop right back up: a Recommend
+  // under the restored constraints reproduces the same configuration.
+  auto again = resumed.Recommend();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().indexes, rec.value().indexes);
+}
+
+TEST_F(SessionTest, SessionFileRoundTrip) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 4, 3));
+  ASSERT_TRUE(session_->CreateIndex(RaIndex()).ok());
+  session_->SaveSnapshot("manual");
+
+  std::string path = ::testing::TempDir() + "dbdesign_session_test.json";
+  ASSERT_TRUE(session_->SaveToFile(path).ok());
+  Designer fresh_designer(*db_);
+  DesignSession resumed(fresh_designer);
+  ASSERT_TRUE(resumed.LoadFromFile(path).ok());
+  EXPECT_TRUE(resumed.design().HasIndex(RaIndex()));
+  EXPECT_EQ(resumed.SnapshotNames(), session_->SnapshotNames());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(resumed.LoadFromFile("/nonexistent/session.json").code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

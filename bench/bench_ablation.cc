@@ -220,9 +220,10 @@ void AblationWorkloadCompression() {
   double full_cost = full_advisor.inum().WorkloadCost(big, full_design);
   double comp_cost = full_advisor.inum().WorkloadCost(big, comp_design);
 
-  std::printf("\nworkload: %zu queries -> %zu templates (%.1f%% of input)\n",
+  std::printf("\nworkload: %zu queries -> %zu templates (compresses %.1fx; "
+              "%.1f%% of input retained)\n",
               report.original_queries, report.compressed_queries,
-              report.ratio() * 100.0);
+              report.factor(), report.fraction_retained() * 100.0);
   std::printf("%-26s %12s %14s\n", "input", "solve (s)",
               "cost (full wkld)");
   std::printf("%-26s %12.3f %14.1f\n", "full workload", full_sec, full_cost);

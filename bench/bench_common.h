@@ -64,17 +64,21 @@ inline void Header(const char* experiment, const char* claim) {
 
 /// Collects per-operation results and writes BENCH_<name>.json next to
 /// the printed tables: op name, wall milliseconds, speedup against the
-/// operation's serial baseline (1.0 when not applicable), and the
-/// backend optimizer-call counter (0 when not measured). CI uploads
-/// these files as artifacts — the machine-readable perf trajectory.
+/// operation's serial baseline (1.0 when not applicable), the backend
+/// optimizer-call counter, and the INUM populate counter (0 when not
+/// measured — INUM-backed pipelines are client-side, so populations,
+/// not backend calls, carry their cost-call signal). CI uploads these
+/// files as artifacts — the machine-readable perf trajectory.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string bench_name)
       : name_(std::move(bench_name)) {}
 
   void Report(const std::string& op, double wall_ms,
-              double speedup_vs_serial = 1.0, uint64_t optimizer_calls = 0) {
-    entries_.push_back(Entry{op, wall_ms, speedup_vs_serial, optimizer_calls});
+              double speedup_vs_serial = 1.0, uint64_t optimizer_calls = 0,
+              uint64_t populates = 0) {
+    entries_.push_back(
+        Entry{op, wall_ms, speedup_vs_serial, optimizer_calls, populates});
   }
 
   /// Times fn() once and records it under `op`.
@@ -100,6 +104,7 @@ class JsonReporter {
       op["wall_ms"] = Json::Number(e.wall_ms);
       op["speedup_vs_serial"] = Json::Number(e.speedup);
       op["optimizer_calls"] = Json::Number(static_cast<double>(e.calls));
+      op["populates"] = Json::Number(static_cast<double>(e.populates));
       ops.Append(std::move(op));
     }
     root["ops"] = std::move(ops);
@@ -116,6 +121,7 @@ class JsonReporter {
     double wall_ms = 0.0;
     double speedup = 1.0;
     uint64_t calls = 0;
+    uint64_t populates = 0;
   };
   std::string name_;
   std::vector<Entry> entries_;

@@ -27,6 +27,7 @@
 //   offline [budget_x]      full CoPhy+AutoPart+schedule pipeline
 //   interactions            doi graph over the hypothetical indexes
 //   build t c1[,c2]         physically build an index
+//   classes                 the session's template-class table
 //   tables | log | quit
 
 #include <algorithm>
@@ -243,6 +244,23 @@ struct Shell {
     std::printf("%s", graph.ToAscii().c_str());
   }
 
+  void CmdClasses() {
+    const auto& classes = session.template_classes();
+    if (classes.empty()) {
+      std::printf("no workload loaded\n");
+      return;
+    }
+    std::printf("%zu queries in %zu template classes:\n",
+                session.workload().size(), classes.size());
+    std::printf("  %-18s %10s %8s  %s\n", "signature", "weight", "count",
+                "representative");
+    for (const TemplateClass& cls : classes) {
+      std::printf("  %016llx %10.1f %8zu  %s\n",
+                  static_cast<unsigned long long>(cls.signature), cls.weight,
+                  cls.count, cls.representative.ToSql(db.catalog()).c_str());
+    }
+  }
+
   void CmdTables() {
     for (TableId t = 0; t < db.catalog().num_tables(); ++t) {
       const TableDef& def = db.catalog().table(t);
@@ -272,7 +290,7 @@ struct Shell {
           "save/load <file>\n"
           "  eval | undo | redo | snapshot/restore <name> | offline [x] | "
           "interactions | build <t> <cols>\n"
-          "  tables | log | quit\n");
+          "  classes | tables | log | quit\n");
     } else if (cmd == "sql") {
       std::string rest;
       std::getline(in, rest);
@@ -464,6 +482,8 @@ struct Shell {
       CmdOffline(in);
     } else if (cmd == "interactions") {
       CmdInteractions();
+    } else if (cmd == "classes") {
+      CmdClasses();
     } else if (cmd == "tables") {
       CmdTables();
     } else {

@@ -122,13 +122,20 @@ void ColtTuner::ExtractCandidates(const BoundQuery& query) {
 }
 
 double ColtTuner::OnQuery(const BoundQuery& query) {
-  double cost = inum_.Cost(query, current_);
+  // Intern the query's template (structurally verified on signature
+  // hits). Repeated instances share the representative's cached cost:
+  // INUM populates once per template, and every later instance is a
+  // pure cache reuse regardless of its constants.
+  size_t cls = templates_.AddInstance(query);
+  const BoundQuery& rep = templates_.classes()[cls].representative;
+  double cost = inum_.Cost(rep, current_);
   cumulative_query_cost_ += cost;
   if (enabled_) {
     ExtractCandidates(query);
   }
-  epoch_queries_.push_back(query);
-  if (static_cast<int>(epoch_queries_.size()) >= options_.epoch_length) {
+  epoch_counts_[cls] += 1.0;
+  ++epoch_instances_;
+  if (epoch_instances_ >= options_.epoch_length) {
     EndEpoch();
   }
   return cost;
@@ -137,17 +144,24 @@ double ColtTuner::OnQuery(const BoundQuery& query) {
 void ColtTuner::EndEpoch() {
   ColtEpochReport report;
   report.epoch = epoch_;
+  report.epoch_templates = static_cast<int>(epoch_counts_.size());
 
-  // Epoch costs under the live design and under the empty baseline.
+  // Epoch costs under the live design and under the empty baseline,
+  // evaluated on the epoch's compressed form: one representative per
+  // template class, weighted by its instance count. Profiling work in
+  // this function scales with epoch_templates, not epoch_length.
   Workload epoch_w;
-  for (BoundQuery& q : epoch_queries_) epoch_w.Add(q);
+  for (const auto& [cls, count] : epoch_counts_) {
+    epoch_w.Add(templates_.classes()[cls].representative, count);
+  }
   report.observed_cost = inum_.WorkloadCost(epoch_w, current_);
   report.baseline_cost = inum_.WorkloadCost(epoch_w, PhysicalDesign{});
 
   if (!enabled_) {
     report.config_size = static_cast<int>(current_.indexes().size());
     epochs_.push_back(report);
-    epoch_queries_.clear();
+    epoch_counts_.clear();
+    epoch_instances_ = 0;
     ++epoch_;
     return;
   }
@@ -308,10 +322,12 @@ void ColtTuner::EndEpoch() {
   report.config_size = static_cast<int>(current_.indexes().size());
   epochs_.push_back(report);
   DBD_LOG_DEBUG(StrFormat(
-      "COLT epoch %d: cost %.1f (baseline %.1f), %d indexes, %d whatif",
+      "COLT epoch %d: cost %.1f (baseline %.1f), %d indexes, %d whatif, "
+      "%d templates",
       epoch_, report.observed_cost, report.baseline_cost, report.config_size,
-      report.whatif_calls));
-  epoch_queries_.clear();
+      report.whatif_calls, report.epoch_templates));
+  epoch_counts_.clear();
+  epoch_instances_ = 0;
   ++epoch_;
 }
 

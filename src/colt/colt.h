@@ -27,6 +27,7 @@
 
 #include "core/constraints.h"
 #include "inum/inum.h"
+#include "workload/compress.h"
 
 namespace dbdesign {
 
@@ -72,6 +73,9 @@ struct ColtEpochReport {
   double baseline_cost = 0.0;  ///< same queries with no indexes at all
   int whatif_calls = 0;
   int config_size = 0;  ///< indexes materialized at epoch end
+  /// Distinct template classes seen this epoch; the epoch's profiling
+  /// cost scales with this, not with epoch_length.
+  int epoch_templates = 0;
 };
 
 class ColtTuner {
@@ -85,8 +89,23 @@ class ColtTuner {
             ColtOptions options = {});
 
   /// Feeds one query from the stream; returns its observed (modeled)
-  /// cost under the current configuration.
+  /// cost under the current configuration. Bookkeeping is keyed by
+  /// TemplateSignature (collision-verified): repeated instances of one
+  /// template share its epoch statistics and its cached representative
+  /// cost, so a template-heavy stream costs one INUM population per
+  /// template — not per distinct constant instantiation.
   double OnQuery(const BoundQuery& query);
+
+  /// Template classes observed so far (signature, representative,
+  /// cumulative weight/count), in first-seen order.
+  const std::vector<TemplateClass>& template_classes() const {
+    return templates_.classes();
+  }
+  size_t num_template_classes() const { return templates_.size(); }
+
+  /// Cost-model counters (tests assert populations scale with template
+  /// classes, not stream length).
+  const InumStats& inum_stats() const { return inum_.stats(); }
 
   /// The paper: continuous tuning "can be enabled or disabled in
   /// accordance with workload or administrator's will". While disabled,
@@ -141,7 +160,12 @@ class ColtTuner {
 
   PhysicalDesign current_;
   std::map<std::string, Candidate> candidates_;
-  std::vector<BoundQuery> epoch_queries_;
+  /// Template classes over the whole stream (class ids are stable;
+  /// COLT never drops a class).
+  TemplateClassTable templates_;
+  /// class id -> instances seen this epoch (ordered for determinism).
+  std::map<size_t, double> epoch_counts_;
+  int epoch_instances_ = 0;
   int epoch_ = 0;
 
   std::vector<ColtEvent> events_;

@@ -133,27 +133,55 @@ bool DesignSession::Redo() {
 
 // --- Workload deltas ---
 
+void DesignSession::RebuildClasses() {
+  classes_.Clear();
+  class_of_.clear();
+  class_of_.reserve(workload_.size());
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    class_of_.push_back(
+        classes_.AddInstance(workload_.queries[i], workload_.WeightOf(i)));
+  }
+}
+
+void DesignSession::SyncPreparedWeights() {
+  prepared_.base_cost = 0.0;
+  for (size_t c = 0; c < prepared_.weights.size(); ++c) {
+    prepared_.weights[c] = classes_.classes()[c].weight;
+    prepared_.base_cost += prepared_.weights[c] * prepared_.base_query_cost[c];
+  }
+}
+
 void DesignSession::SetWorkload(Workload workload) {
   workload_ = std::move(workload);
+  RebuildClasses();
   prepared_ = CoPhyPrepared{};
   prepared_valid_ = false;
   certificate_valid_ = false;
-  log_.push_back(StrFormat("SET WORKLOAD (%zu queries)", workload_.size()));
+  log_.push_back(StrFormat("SET WORKLOAD (%zu queries, %zu template classes)",
+                           workload_.size(), classes_.size()));
 }
 
 void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
                                double weight) {
-  size_t first_new = workload_.size();
-  for (const BoundQuery& q : queries) workload_.Add(q, weight);
+  size_t first_new_class = classes_.size();
+  std::vector<size_t> bumped;  // pre-existing classes that gained weight
+  for (const BoundQuery& q : queries) {
+    size_t id = classes_.AddInstance(q, weight);
+    workload_.Add(q, weight);
+    class_of_.push_back(id);
+    if (id < first_new_class) bumped.push_back(id);
+  }
+  bool new_classes = classes_.size() > first_new_class;
 
-  if (prepared_valid_ && !queries.empty()) {
-    // New queries may warrant candidates the original mining never saw
-    // (e.g. they touch a table no prior query did). Mine just the
-    // additions — stats-only, no backend cost calls — and extend the
-    // universe when something new surfaces.
+  if (prepared_valid_ && new_classes) {
+    // New templates may warrant candidates the original mining never
+    // saw (e.g. they touch a table no prior class did). Mine just the
+    // new representatives — stats-only, no backend cost calls — and
+    // extend the universe when something new surfaces.
     Workload added_only;
-    for (size_t i = first_new; i < workload_.size(); ++i) {
-      added_only.Add(workload_.queries[i], workload_.WeightOf(i));
+    for (size_t c = first_new_class; c < classes_.size(); ++c) {
+      const TemplateClass& cls = classes_.classes()[c];
+      added_only.Add(cls.representative, cls.weight);
     }
     std::vector<CandidateIndex> fresh =
         GenerateCandidates(designer_->backend(), added_only,
@@ -172,26 +200,47 @@ void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
     }
     if (grew) {
       // The atom matrix is per-candidate-universe: rebuild it from the
-      // warm INUM cache (only the new queries populate).
-      prepared_ = cophy_->Prepare(workload_, std::move(universe));
+      // warm INUM cache (only the new representatives populate).
+      prepared_ = cophy_->Prepare(classes_.ClassWorkload(),
+                                  std::move(universe));
     } else {
-      // Incremental atom maintenance: only the new queries' atoms are
+      // Incremental atom maintenance: only the new classes' atoms are
       // built; every existing row of the prepared matrix stays valid.
-      for (size_t i = first_new; i < workload_.size(); ++i) {
-        const BoundQuery& added = workload_.queries[i];
+      for (size_t c = first_new_class; c < classes_.size(); ++c) {
+        const BoundQuery& rep = classes_.classes()[c].representative;
         prepared_.atoms.push_back(
-            cophy_->BuildAtoms(added, prepared_.candidates));
+            cophy_->BuildAtoms(rep, prepared_.candidates));
         prepared_.num_atoms += prepared_.atoms.back().size();
-        prepared_.weights.push_back(workload_.WeightOf(i));
+        prepared_.weights.push_back(classes_.classes()[c].weight);
         prepared_.base_query_cost.push_back(
-            cophy_->inum().Cost(added, PhysicalDesign{}));
-        prepared_.base_cost +=
-            prepared_.weights.back() * prepared_.base_query_cost.back();
+            cophy_->inum().Cost(rep, PhysicalDesign{}));
       }
     }
   }
-  certificate_valid_ = false;  // the solved problem no longer matches
-  log_.push_back(StrFormat("ADD %zu QUERIES", queries.size()));
+  if (prepared_valid_) SyncPreparedWeights();
+
+  // Same-template appends are pure weight bumps. The optimality
+  // certificate survives one exactly when every bumped class was
+  // already served at its cheapest possible atom: scaling w_c up by
+  // delta changes any configuration X's objective by
+  // delta * cost_c(X) >= delta * cost_c(optimum), so no X can overtake.
+  // (Atom rows are sorted cheapest-first, so front() is the floor.
+  // The argument needs delta > 0 — a non-positive weight shifts the
+  // objective the other way, so it never keeps the certificate.)
+  bool bumps_preserve = !new_classes && prepared_valid_ &&
+                        certificate_valid_ && last_rec_.has_value() &&
+                        (bumped.empty() || weight > 0.0);
+  if (bumps_preserve) {
+    for (size_t id : bumped) {
+      bumps_preserve &= id < last_class_cost_.size() &&
+                        !prepared_.atoms[id].empty() &&
+                        last_class_cost_[id] <= prepared_.atoms[id].front().cost;
+    }
+  }
+  certificate_valid_ = bumps_preserve;
+  log_.push_back(StrFormat("ADD %zu QUERIES (%zu new template classes)",
+                           queries.size(),
+                           classes_.size() - first_new_class));
 }
 
 Status DesignSession::RemoveQueries(std::vector<size_t> positions) {
@@ -205,29 +254,37 @@ Status DesignSession::RemoveQueries(std::vector<size_t> positions) {
   }
   for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
     size_t pos = *it;
+    size_t id = class_of_[pos];
+    double w = workload_.WeightOf(pos);
     workload_.queries.erase(workload_.queries.begin() +
                             static_cast<ptrdiff_t>(pos));
     if (!workload_.weights.empty()) {
       workload_.weights.erase(workload_.weights.begin() +
                               static_cast<ptrdiff_t>(pos));
     }
-    if (prepared_valid_) {
-      prepared_.atoms.erase(prepared_.atoms.begin() +
-                            static_cast<ptrdiff_t>(pos));
-      prepared_.weights.erase(prepared_.weights.begin() +
-                              static_cast<ptrdiff_t>(pos));
-      prepared_.base_query_cost.erase(prepared_.base_query_cost.begin() +
-                                      static_cast<ptrdiff_t>(pos));
+    class_of_.erase(class_of_.begin() + static_cast<ptrdiff_t>(pos));
+    if (classes_.RemoveInstance(id, w)) {
+      // Last instance gone: the class and its atoms go with it, and
+      // every class id above shifts down by one.
+      for (size_t& c : class_of_) {
+        if (c > id) --c;
+      }
+      if (prepared_valid_) {
+        prepared_.atoms.erase(prepared_.atoms.begin() +
+                              static_cast<ptrdiff_t>(id));
+        prepared_.weights.erase(prepared_.weights.begin() +
+                                static_cast<ptrdiff_t>(id));
+        prepared_.base_query_cost.erase(prepared_.base_query_cost.begin() +
+                                        static_cast<ptrdiff_t>(id));
+      }
     }
   }
   if (prepared_valid_) {
     prepared_.num_atoms = 0;
-    prepared_.base_cost = 0.0;
-    for (size_t q = 0; q < prepared_.atoms.size(); ++q) {
-      prepared_.num_atoms += prepared_.atoms[q].size();
-      prepared_.base_cost +=
-          prepared_.weights[q] * prepared_.base_query_cost[q];
+    for (const auto& atoms : prepared_.atoms) {
+      prepared_.num_atoms += atoms.size();
     }
+    SyncPreparedWeights();
   }
   certificate_valid_ = false;  // the solved problem no longer matches
   log_.push_back(StrFormat("REMOVE %zu QUERIES", positions.size()));
@@ -258,11 +315,15 @@ Status DesignSession::EnsurePrepared() {
                                             designer_->options().cophy);
   }
   if (!prepared_valid_) {
+    // Everything downstream runs on the compressed class workload: one
+    // INUM populate and one atom row per template class, however many
+    // instances the raw trace repeats.
+    Workload class_workload = classes_.ClassWorkload();
     std::vector<CandidateIndex> candidates =
-        GenerateCandidates(designer_->backend(), workload_,
+        GenerateCandidates(designer_->backend(), class_workload,
                            designer_->options().cophy.candidates);
     MergePinnedCandidates(designer_->backend(), constraints_, &candidates);
-    prepared_ = cophy_->Prepare(workload_, std::move(candidates));
+    prepared_ = cophy_->Prepare(class_workload, std::move(candidates));
     prepared_valid_ = true;
     return Status::OK();
   }
@@ -280,7 +341,8 @@ Status DesignSession::EnsurePrepared() {
   if (missing_pin) {
     std::vector<CandidateIndex> candidates = prepared_.candidates;
     MergePinnedCandidates(designer_->backend(), constraints_, &candidates);
-    prepared_ = cophy_->Prepare(workload_, std::move(candidates));
+    prepared_ = cophy_->Prepare(classes_.ClassWorkload(),
+                                std::move(candidates));
   }
   return Status::OK();
 }
@@ -312,13 +374,54 @@ void DesignSession::ApplyRecommendation(const IndexRecommendation& rec,
   Apply(target);
 }
 
+std::vector<double> DesignSession::ExpandPerQueryCost(
+    const std::vector<double>& class_cost) const {
+  std::vector<double> out(workload_.size(), 0.0);
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    out[i] = class_of_[i] < class_cost.size() ? class_cost[class_of_[i]] : 0.0;
+  }
+  return out;
+}
+
+IndexRecommendation DesignSession::ReweightedLastRecommendation() const {
+  IndexRecommendation rec = *last_rec_;
+  rec.per_query_cost = ExpandPerQueryCost(last_class_cost_);
+  rec.recommended_cost = 0.0;
+  for (size_t c = 0; c < last_class_cost_.size(); ++c) {
+    rec.recommended_cost += classes_.classes()[c].weight * last_class_cost_[c];
+  }
+  rec.base_cost = prepared_.base_cost;
+  // Telemetry must describe THIS answer, not the pre-bump solve: the
+  // certificate proves the reused configuration optimal at the current
+  // weights, and no solver ran.
+  rec.lower_bound = rec.recommended_cost;
+  rec.gap = 0.0;
+  rec.bnb_nodes = 0;
+  rec.solve_time_sec = 0.0;
+  return rec;
+}
+
 Result<IndexRecommendation> DesignSession::Recommend() {
   Status s = EnsurePrepared();
   if (!s.ok()) return s;
+  // Certificate reuse: after a pure same-template append (or when
+  // nothing changed at all) the previous optimum provably stands — the
+  // answer is the old configuration re-weighted, with no solver work
+  // and no backend cost calls.
+  if (CertificateHolds()) {
+    IndexRecommendation rec = ReweightedLastRecommendation();
+    ApplyRecommendation(rec, RecommendationSummary("RECOMMEND", rec) +
+                                 " (certificate reuse)");
+    last_rec_ = rec;
+    solved_constraints_ = constraints_;
+    return rec;
+  }
   Result<IndexRecommendation> solved =
       cophy_->SolvePrepared(prepared_, constraints_);
   if (!solved.ok()) return solved.status();
   IndexRecommendation rec = std::move(solved).value();
+  last_class_cost_ = rec.per_query_cost;
+  rec.per_query_cost = ExpandPerQueryCost(last_class_cost_);
   ApplyRecommendation(rec, RecommendationSummary("RECOMMEND", rec));
   last_rec_ = rec;
   solved_constraints_ = constraints_;
@@ -331,7 +434,9 @@ bool DesignSession::CertificateHolds() const {
   // the edit only tightened the feasible region, and the old solution
   // is still feasible — so it is still optimal (shrinking the feasible
   // set cannot create a better solution, and the old optimum survives).
-  if (!certificate_valid_ || !last_rec_.has_value()) return false;
+  if (!certificate_valid_ || !prepared_valid_ || !last_rec_.has_value()) {
+    return false;
+  }
   const IndexRecommendation& rec = *last_rec_;
   if (!rec.proven_optimal || !rec.infeasible_pins.empty()) return false;
   if (!TightensIndexConstraints(solved_constraints_, constraints_)) {
@@ -367,15 +472,17 @@ Result<IndexRecommendation> DesignSession::Refine(
   const Catalog& catalog = designer_->backend().catalog();
 
   // Tier 1: the previous optimum certifiably survives the edit — reuse
-  // it with no solver work at all.
+  // it with no solver work at all (re-weighted in case same-template
+  // appends bumped class weights since the solve).
   if (CertificateHolds()) {
-    IndexRecommendation rec = *last_rec_;
+    IndexRecommendation rec = ReweightedLastRecommendation();
     std::string action = delta.empty()
                              ? RecommendationSummary("REFINE", rec)
                              : "REFINE [" + delta.Describe(catalog) + "]" +
                                    RecommendationSummary("", rec) +
                                    " (certificate reuse)";
     ApplyRecommendation(rec, std::move(action));
+    last_rec_ = rec;
     solved_constraints_ = constraints_;
     return rec;
   }
@@ -387,6 +494,8 @@ Result<IndexRecommendation> DesignSession::Refine(
       cophy_->SolvePrepared(prepared_, constraints_);
   if (!solved.ok()) return solved.status();
   IndexRecommendation rec = std::move(solved).value();
+  last_class_cost_ = rec.per_query_cost;
+  rec.per_query_cost = ExpandPerQueryCost(last_class_cost_);
   std::string action = RecommendationSummary("REFINE", rec);
   if (!delta.empty()) {
     action = "REFINE [" + delta.Describe(catalog) + "]" +
@@ -534,6 +643,7 @@ Status DesignSession::LoadFromJson(const Json& j) {
 
   constraints_ = std::move(constraints);
   workload_ = std::move(workload);
+  RebuildClasses();
   snapshots_ = std::move(snapshots);
   log_ = std::move(log);
   undo_stack_.clear();
@@ -541,6 +651,7 @@ Status DesignSession::LoadFromJson(const Json& j) {
   prepared_ = CoPhyPrepared{};
   prepared_valid_ = false;
   last_rec_.reset();
+  last_class_cost_.clear();
   certificate_valid_ = false;
   Apply(target);
   log_.push_back("LOAD");

@@ -7,6 +7,11 @@
 // interactive. This class owns everything that loop needs:
 //
 //   * the workload under tuning (with AddQueries/RemoveQueries deltas),
+//     compressed into template classes: the costing pipeline (INUM
+//     populate, CoPhy atoms, weights, base costs) is keyed per class,
+//     so a 100k-query production trace of ~10 templates costs like a
+//     10-query workload and a same-template append is a pure weight
+//     bump with zero new backend cost calls,
 //   * the DBA's DesignConstraints,
 //   * the hypothetical design, with undo/redo, named snapshots and a
 //     human-readable action log (every mutation — manual what-if edits
@@ -32,6 +37,7 @@
 
 #include "core/constraints.h"
 #include "core/designer.h"
+#include "workload/compress.h"
 
 namespace dbdesign {
 
@@ -58,20 +64,38 @@ class DesignSession {
 
   // --- Workload under tuning ---
   /// Replaces the session workload (invalidates the prepared state).
+  /// The workload is compressed into template classes up front; all
+  /// costing downstream (INUM populate, CoPhy atoms, weights, base
+  /// costs) is per class, not per query.
   void SetWorkload(Workload workload);
-  /// Appends queries. When a prepared state exists, candidates are
-  /// mined from the additions (stats-only); if nothing new surfaces,
-  /// only the new queries' atoms are built — existing atoms stay
-  /// valid. New candidates extend the universe and rebuild atoms from
-  /// the warm INUM cache. Either way: no backend cost calls for
-  /// already-seen query structures.
+  /// Appends queries. A query matching an existing template class is a
+  /// pure weight bump: no candidate mining, no atom building, zero new
+  /// backend cost calls — and when the bumped classes were already
+  /// served at their cheapest possible atom, the optimality certificate
+  /// survives, so the next Recommend() is instant. Queries opening new
+  /// classes mine candidates from the new representatives (stats-only);
+  /// if nothing new surfaces only the new classes' atoms are built,
+  /// otherwise the universe extends and atoms rebuild from the warm
+  /// INUM cache. Either way: no backend cost calls for already-seen
+  /// templates.
   void AddQueries(const std::vector<BoundQuery>& queries,
                   double weight = 1.0);
   /// Removes queries by workload position (descending-safe: positions
-  /// refer to the current workload). Their atoms are dropped; the rest
-  /// stay valid.
+  /// refer to the current workload). Each removal decrements its
+  /// template class's weight; a class whose instance count hits zero is
+  /// dropped together with its atoms — the other classes stay valid.
   Status RemoveQueries(std::vector<size_t> positions);
   const Workload& workload() const { return workload_; }
+
+  // --- Template classes ---
+  /// The session's template-class table: one entry per structurally
+  /// distinct query template (signature, representative, summed weight,
+  /// instance count), in first-seen order. Class ids index the prepared
+  /// CoPhy state.
+  const std::vector<TemplateClass>& template_classes() const {
+    return classes_.classes();
+  }
+  size_t num_template_classes() const { return classes_.size(); }
 
   // --- DBA constraints ---
   const DesignConstraints& constraints() const { return constraints_; }
@@ -157,17 +181,35 @@ class DesignSession {
   /// Replaces the design's index overlay with `rec` as one undoable step.
   void ApplyRecommendation(const IndexRecommendation& rec,
                            std::string action);
-  /// Builds (or incrementally extends) the prepared CoPhy state.
+  /// Builds (or incrementally extends) the prepared CoPhy state over
+  /// the compressed class workload.
   Status EnsurePrepared();
   /// True when the previous proven-optimal recommendation certifiably
   /// remains optimal under the current constraints (tightening-only
   /// edit + still feasible).
   bool CertificateHolds() const;
+  /// Rebuilds the class table and class_of_ map from workload_.
+  void RebuildClasses();
+  /// Mirrors class weights into the prepared state and refreshes its
+  /// weighted base cost (call after any weight change).
+  void SyncPreparedWeights();
+  /// Maps the per-class costs of a solve back onto raw workload
+  /// positions (the public per_query_cost contract predates classes).
+  std::vector<double> ExpandPerQueryCost(
+      const std::vector<double>& class_cost) const;
+  /// The last recommendation re-weighted to the current class weights
+  /// (identical to last_rec_ unless same-template appends bumped them).
+  IndexRecommendation ReweightedLastRecommendation() const;
   /// "snapshot 'x' not found (available: a, b)" helper.
   Status SnapshotNotFound(const std::string& name) const;
 
   Designer* designer_;
   Workload workload_;
+  /// Template classes of workload_ (collision-verified); class ids are
+  /// the row indexes of the prepared CoPhy state.
+  TemplateClassTable classes_;
+  /// Raw workload position -> class id (parallel to workload_).
+  std::vector<size_t> class_of_;
   DesignConstraints constraints_;
 
   /// Owns the INUM cost cache reused across the whole session.
@@ -175,6 +217,9 @@ class DesignSession {
   CoPhyPrepared prepared_;
   bool prepared_valid_ = false;
   std::optional<IndexRecommendation> last_rec_;
+  /// Per-class costs of last_rec_ (per_query_cost before expansion to
+  /// raw positions) — the basis for re-weighting after weight bumps.
+  std::vector<double> last_class_cost_;
   /// Constraints the last solve ran under + whether its optimality
   /// certificate is still tied to the current workload.
   DesignConstraints solved_constraints_;

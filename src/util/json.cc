@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace dbdesign {
 
@@ -93,9 +94,15 @@ void DumpTo(const Json& j, std::string* out) {
     case Json::Kind::kNumber: {
       double d = j.number();
       if (!std::isfinite(d)) {
-        // JSON has no Infinity/NaN; encode as null (traces never store
-        // non-finite costs, this is a guard).
-        *out += "null";
+        // JSON has no Infinity/NaN. A cost call CAN legitimately return
+        // +inf (e.g. every access path disabled by knobs), and a trace
+        // that replayed it as null would type-confuse the reader — so
+        // non-finite numbers round-trip through a tagged string
+        // sentinel that Parse converts back to a number.
+        out->push_back('"');
+        *out += kJsonNonFiniteTag;
+        *out += std::isnan(d) ? "nan" : (d > 0 ? "inf" : "-inf");
+        out->push_back('"');
         break;
       }
       char buf[40];
@@ -104,7 +111,17 @@ void DumpTo(const Json& j, std::string* out) {
       break;
     }
     case Json::Kind::kString:
-      EscapeTo(j.str(), out);
+      // Keep real string payloads out of the sentinel namespace: a
+      // string that happens to start with the non-finite tag dumps
+      // behind an "esc:" marker that Parse strips again, so every
+      // string round-trips losslessly and only genuine sentinels
+      // convert to numbers.
+      if (j.str().compare(0, sizeof(kJsonNonFiniteTag) - 1,
+                          kJsonNonFiniteTag) == 0) {
+        EscapeTo(std::string(kJsonNonFiniteTag) + "esc:" + j.str(), out);
+      } else {
+        EscapeTo(j.str(), out);
+      }
       break;
     case Json::Kind::kArray: {
       out->push_back('[');
@@ -178,6 +195,31 @@ class Parser {
         std::string str;
         Status st = ParseString(&str);
         if (!st.ok()) return st;
+        // Non-finite number sentinels round-trip back to numbers, and
+        // "esc:"-marked strings shed the escape Dump added (the other
+        // half of the Dump-side encoding). Anything else in the tag
+        // namespace — e.g. a hand-edited document — stays a plain
+        // string rather than failing the parse.
+        if (str.compare(0, sizeof(kJsonNonFiniteTag) - 1,
+                        kJsonNonFiniteTag) == 0) {
+          std::string rest = str.substr(sizeof(kJsonNonFiniteTag) - 1);
+          if (rest == "inf") {
+            *out = Json::Number(std::numeric_limits<double>::infinity());
+            return Status::OK();
+          }
+          if (rest == "-inf") {
+            *out = Json::Number(-std::numeric_limits<double>::infinity());
+            return Status::OK();
+          }
+          if (rest == "nan") {
+            *out = Json::Number(std::numeric_limits<double>::quiet_NaN());
+            return Status::OK();
+          }
+          if (rest.compare(0, 4, "esc:") == 0) {
+            *out = Json::Str(rest.substr(4));
+            return Status::OK();
+          }
+        }
         *out = Json::Str(std::move(str));
         return Status::OK();
       }

@@ -4,7 +4,10 @@
 // statistics snapshot + recorded cost calls) without external
 // dependencies. Numbers are IEEE doubles serialized with enough digits
 // (%.17g) to round-trip exactly; callers that need full int64 precision
-// encode those values as strings.
+// encode those values as strings. Non-finite doubles (a cost call can
+// legitimately return +inf) have no JSON encoding, so Dump writes them
+// as tagged string sentinels ("__nonfinite:inf" etc.) that Parse
+// converts back to numbers — the whole document round-trips.
 
 #ifndef DBDESIGN_UTIL_JSON_H_
 #define DBDESIGN_UTIL_JSON_H_
@@ -16,6 +19,15 @@
 #include "util/status.h"
 
 namespace dbdesign {
+
+/// Sentinel prefix for non-finite numbers: Dump writes Infinity/NaN as
+/// the strings "__nonfinite:inf" / "__nonfinite:-inf" /
+/// "__nonfinite:nan" and Parse turns exactly those strings back into
+/// numbers. A real *string* value starting with this prefix dumps
+/// behind an extra "__nonfinite:esc:" marker that Parse strips, so
+/// every string still round-trips losslessly; unrecognized text in the
+/// namespace (hand-edited documents) parses as a plain string.
+inline constexpr char kJsonNonFiniteTag[] = "__nonfinite:";
 
 class Json {
  public:

@@ -1,8 +1,19 @@
 #include "workload/compress.h"
 
-#include <unordered_map>
-
 namespace dbdesign {
+
+namespace {
+
+/// Operator class the signature hashes: equality / range / inequality.
+/// All range shapes fuse so `ra > x` and `ra BETWEEN x AND y`
+/// instantiations of one template land in the same class.
+int OperatorClass(const BoundPredicate& p) {
+  if (p.IsEquality()) return 0;
+  if (p.IsRange()) return 1;
+  return 2;  // <>
+}
+
+}  // namespace
 
 uint64_t TemplateSignature(const BoundQuery& query) {
   auto mix = [](uint64_t h, uint64_t v) {
@@ -24,17 +35,7 @@ uint64_t TemplateSignature(const BoundQuery& query) {
   }
   for (const BoundPredicate& p : query.filters) {
     h = col(mix(h, 3), p.column);
-    // Operator *class* only: all range shapes fuse, so `ra > x` and
-    // `ra BETWEEN x AND y` instantiations of one template collide.
-    uint64_t op_class;
-    if (p.IsEquality()) {
-      op_class = 0;
-    } else if (p.IsRange()) {
-      op_class = 1;
-    } else {
-      op_class = 2;  // <>
-    }
-    h = mix(h, op_class + 200);
+    h = mix(h, static_cast<uint64_t>(OperatorClass(p)) + 200);
     // Constants intentionally excluded.
   }
   for (const BoundJoin& j : query.joins) h = col(col(mix(h, 4), j.left), j.right);
@@ -46,20 +47,116 @@ uint64_t TemplateSignature(const BoundQuery& query) {
   return h;
 }
 
-Workload CompressWorkload(const Workload& workload,
-                          CompressionReport* report) {
-  Workload out;
-  std::unordered_map<uint64_t, size_t> representative;  // sig -> out index
-  for (size_t i = 0; i < workload.size(); ++i) {
-    uint64_t sig = TemplateSignature(workload.queries[i]);
-    auto it = representative.find(sig);
-    if (it == representative.end()) {
-      representative.emplace(sig, out.size());
-      out.Add(workload.queries[i], workload.WeightOf(i));
-    } else {
-      out.weights[it->second] += workload.WeightOf(i);
+bool SameTemplate(const BoundQuery& a, const BoundQuery& b) {
+  if (a.tables != b.tables) return false;
+  if (a.select_columns != b.select_columns) return false;
+  if (a.aggregates.size() != b.aggregates.size()) return false;
+  for (size_t i = 0; i < a.aggregates.size(); ++i) {
+    const BoundAggregate& x = a.aggregates[i];
+    const BoundAggregate& y = b.aggregates[i];
+    if (x.fn != y.fn || x.star != y.star) return false;
+    if (!x.star && !(x.column == y.column)) return false;
+  }
+  if (a.filters.size() != b.filters.size()) return false;
+  for (size_t i = 0; i < a.filters.size(); ++i) {
+    if (!(a.filters[i].column == b.filters[i].column)) return false;
+    if (OperatorClass(a.filters[i]) != OperatorClass(b.filters[i])) {
+      return false;
     }
   }
+  if (a.joins.size() != b.joins.size()) return false;
+  for (size_t i = 0; i < a.joins.size(); ++i) {
+    if (!(a.joins[i].left == b.joins[i].left) ||
+        !(a.joins[i].right == b.joins[i].right)) {
+      return false;
+    }
+  }
+  if (a.group_by != b.group_by) return false;
+  if (a.order_by.size() != b.order_by.size()) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (!(a.order_by[i].column == b.order_by[i].column) ||
+        a.order_by[i].descending != b.order_by[i].descending) {
+      return false;
+    }
+  }
+  return (a.limit >= 0) == (b.limit >= 0);
+}
+
+size_t TemplateClassTable::AddInstance(const BoundQuery& query,
+                                       double weight) {
+  uint64_t sig = signature_(query);
+  std::vector<size_t>& chain = by_signature_[sig];
+  for (size_t id : chain) {
+    // A signature hit is a candidate, not a match: verify structurally
+    // so a hash collision cannot fuse different templates.
+    if (SameTemplate(classes_[id].representative, query)) {
+      classes_[id].weight += weight;
+      classes_[id].count += 1;
+      return id;
+    }
+  }
+  size_t id = classes_.size();
+  TemplateClass cls;
+  cls.signature = sig;
+  cls.representative = query;
+  cls.weight = weight;
+  cls.count = 1;
+  classes_.push_back(std::move(cls));
+  chain.push_back(id);
+  return id;
+}
+
+size_t TemplateClassTable::Find(const BoundQuery& query) const {
+  auto it = by_signature_.find(signature_(query));
+  if (it == by_signature_.end()) return npos;
+  for (size_t id : it->second) {
+    if (SameTemplate(classes_[id].representative, query)) return id;
+  }
+  return npos;
+}
+
+bool TemplateClassTable::RemoveInstance(size_t class_id, double weight) {
+  TemplateClass& cls = classes_[class_id];
+  cls.weight -= weight;
+  cls.count -= 1;
+  if (cls.count > 0) return false;
+  // Erase the class and compact: ids above class_id shift down by one.
+  classes_.erase(classes_.begin() + static_cast<ptrdiff_t>(class_id));
+  for (auto it = by_signature_.begin(); it != by_signature_.end();) {
+    std::vector<size_t>& chain = it->second;
+    for (size_t i = 0; i < chain.size();) {
+      if (chain[i] == class_id) {
+        chain.erase(chain.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        if (chain[i] > class_id) --chain[i];
+        ++i;
+      }
+    }
+    it = chain.empty() ? by_signature_.erase(it) : std::next(it);
+  }
+  return true;
+}
+
+void TemplateClassTable::Clear() {
+  classes_.clear();
+  by_signature_.clear();
+}
+
+Workload TemplateClassTable::ClassWorkload() const {
+  Workload out;
+  for (const TemplateClass& cls : classes_) {
+    out.Add(cls.representative, cls.weight);
+  }
+  return out;
+}
+
+Workload CompressWorkload(const Workload& workload, CompressionReport* report,
+                          SignatureFn signature) {
+  TemplateClassTable table(signature);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    table.AddInstance(workload.queries[i], workload.WeightOf(i));
+  }
+  Workload out = table.ClassWorkload();
   if (report != nullptr) {
     report->original_queries = workload.size();
     report->compressed_queries = out.size();

@@ -9,11 +9,20 @@
 // magnitude. (Standard advisor practice, e.g. Chaudhuri et al.'s
 // workload compression; the demo's SDSS trace is template-generated and
 // compresses extremely well.)
+//
+// Correctness note: the 64-bit TemplateSignature is a hash, not an
+// identity. Every class merge verifies structural equality with
+// SameTemplate; queries that collide on the signature but differ
+// structurally chain into separate classes instead of silently fusing
+// their weights.
 
 #ifndef DBDESIGN_WORKLOAD_COMPRESS_H_
 #define DBDESIGN_WORKLOAD_COMPRESS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "sql/bound_query.h"
 
@@ -24,22 +33,98 @@ namespace dbdesign {
 /// template instantiation family collide by construction.
 uint64_t TemplateSignature(const BoundQuery& query);
 
+/// Pluggable signature function (tests inject degenerate hashes to
+/// force collisions and exercise the structural-verification chain).
+using SignatureFn = uint64_t (*)(const BoundQuery&);
+
+/// Structural template equality: compares, field by field, exactly what
+/// TemplateSignature hashes — tables, select list, aggregates, filter
+/// columns and operator *classes* (all range shapes fuse), joins, group
+/// by, order by, and LIMIT presence. Constants, aliases and workload
+/// ids are ignored. This is the ground truth the signature approximates;
+/// class merges must pass it, never the hash alone.
+bool SameTemplate(const BoundQuery& a, const BoundQuery& b);
+
 struct CompressionReport {
   size_t original_queries = 0;
   size_t compressed_queries = 0;
-  double ratio() const {
+  /// Fraction of the input retained after compression (compressed /
+  /// original, in [0, 1]; smaller = better compression).
+  double fraction_retained() const {
     return original_queries > 0
                ? static_cast<double>(compressed_queries) /
                      static_cast<double>(original_queries)
                : 1.0;
   }
+  /// Compression factor (original / compressed): "compresses Nx".
+  double factor() const {
+    return compressed_queries > 0
+               ? static_cast<double>(original_queries) /
+                     static_cast<double>(compressed_queries)
+               : 1.0;
+  }
 };
 
-/// Compresses `workload` by template signature. The first query of each
-/// class becomes the representative; its weight is the sum of the
-/// class's weights. Total weight is preserved exactly.
+/// One template class: the first-seen instance is the representative;
+/// weight and count aggregate every instance folded into the class.
+struct TemplateClass {
+  uint64_t signature = 0;
+  BoundQuery representative;
+  double weight = 0.0;  ///< summed instance weights
+  size_t count = 0;     ///< number of instances
+};
+
+/// Signature-keyed, collision-verified registry of template classes —
+/// the bookkeeping layer behind CompressWorkload, DesignSession's
+/// compressed recommendation pipeline and COLT's per-template epoch
+/// statistics. Class ids are dense indexes in first-seen order; erasing
+/// a class compacts ids above it down by one (callers that store ids
+/// must remap, see RemoveInstance).
+class TemplateClassTable {
+ public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  explicit TemplateClassTable(SignatureFn signature = &TemplateSignature)
+      : signature_(signature) {}
+
+  /// Folds one instance into its class (verifying SameTemplate on every
+  /// signature hit; colliding-but-different templates get their own
+  /// class). Returns the class id.
+  size_t AddInstance(const BoundQuery& query, double weight = 1.0);
+
+  /// Class id of `query`'s template, or npos when unseen.
+  size_t Find(const BoundQuery& query) const;
+
+  /// Removes one instance of weight `weight` from `class_id`. When the
+  /// instance count hits zero the class is erased and every id above it
+  /// shifts down by one; returns true in that case so callers can remap
+  /// their stored ids.
+  bool RemoveInstance(size_t class_id, double weight = 1.0);
+
+  const std::vector<TemplateClass>& classes() const { return classes_; }
+  size_t size() const { return classes_.size(); }
+  bool empty() const { return classes_.empty(); }
+  void Clear();
+
+  /// The compressed workload: one representative per class, weighted by
+  /// the class weight (ids reassigned densely).
+  Workload ClassWorkload() const;
+
+ private:
+  SignatureFn signature_;
+  std::vector<TemplateClass> classes_;
+  /// signature -> class ids with that signature (a chain longer than one
+  /// means the hash collided across different templates).
+  std::unordered_map<uint64_t, std::vector<size_t>> by_signature_;
+};
+
+/// Compresses `workload` by template. The first query of each class
+/// becomes the representative; its weight is the sum of the class's
+/// weights. Total weight is preserved exactly. `signature` is
+/// injectable for tests; every hit is structurally verified.
 Workload CompressWorkload(const Workload& workload,
-                          CompressionReport* report = nullptr);
+                          CompressionReport* report = nullptr,
+                          SignatureFn signature = &TemplateSignature);
 
 }  // namespace dbdesign
 

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "backend/inmemory_backend.h"
@@ -263,6 +265,44 @@ TEST_F(BackendTest, TraceRoundTripReplaysIdenticalCosts) {
       replay.value()->CostQuery(workload_->queries[0], unseen, knobs);
   ASSERT_FALSE(miss.ok());
   EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BackendTest, TraceRoundTripPreservesNonFiniteCosts) {
+  // A backend can legitimately report an infinite cost (e.g. a knob
+  // combination with no feasible plan). The old JSON encoding dumped
+  // non-finite numbers as null, so such a trace replayed the cost as a
+  // type-confused value (0.0); the sentinel encoding must round-trip
+  // it exactly.
+  InMemoryBackend inner(*db_);
+  auto recorder = TraceBackend::Record(inner);
+  PlannerKnobs knobs;
+  const BoundQuery& q = workload_->queries[0];
+  ASSERT_TRUE(recorder->CostQuery(q, PhysicalDesign{}, knobs).ok());
+
+  // Splice an infinite cost into the recorded call map under a real
+  // call key (the public CallKey is exposed for exactly this kind of
+  // test surgery).
+  PhysicalDesign inf_design;
+  inf_design.AddIndex(Idx("photoobj", {"dec"}));
+  auto parsed = Json::Parse(recorder->ToJson());
+  ASSERT_TRUE(parsed.ok());
+  Json doc = parsed.value();
+  doc["cost_calls"][TraceBackend::CallKey(q, inf_design, knobs)] =
+      Json::Number(std::numeric_limits<double>::infinity());
+
+  auto replay = TraceBackend::FromJson(doc.Dump());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  Result<double> cost = replay.value()->CostQuery(q, inf_design, knobs);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_TRUE(std::isinf(cost.value()));
+  EXPECT_GT(cost.value(), 0.0);
+
+  // The doubly-serialized trace is still lossless.
+  auto again = TraceBackend::FromJson(replay.value()->ToJson());
+  ASSERT_TRUE(again.ok());
+  Result<double> cost2 = again.value()->CostQuery(q, inf_design, knobs);
+  ASSERT_TRUE(cost2.ok());
+  EXPECT_TRUE(std::isinf(cost2.value()));
 }
 
 TEST_F(BackendTest, TraceSnapshotPreservesStatisticsExactly) {

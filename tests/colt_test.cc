@@ -193,6 +193,40 @@ TEST_F(ColtTest, SpaceBudgetLimitsConfiguration) {
   EXPECT_LE(pages, opts.storage_budget_pages + 1e-6);
 }
 
+TEST_F(ColtTest, RepeatedTemplateInstancesShareEpochStatistics) {
+  // The tuner keys its bookkeeping by TemplateSignature: a stream of
+  // one template (different constants every instance) collapses into a
+  // single class, and INUM populations scale with templates — not with
+  // the stream length.
+  ColtOptions opts;
+  opts.epoch_length = 25;
+  ColtTuner tuner(*db_, CostParams{}, opts);
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) {
+    BoundQuery q = GenerateSdssQuery(*db_, SdssTemplate::kConeSearch, rng);
+    q.id = i;
+    tuner.OnQuery(q);
+  }
+  // Cone searches instantiate at most a couple of structural shapes.
+  EXPECT_LE(tuner.num_template_classes(), 3u);
+  size_t count = 0;
+  for (const TemplateClass& cls : tuner.template_classes()) {
+    count += cls.count;
+  }
+  EXPECT_EQ(count, 100u);
+  ASSERT_EQ(tuner.epochs().size(), 4u);
+  for (const ColtEpochReport& e : tuner.epochs()) {
+    EXPECT_LE(e.epoch_templates,
+              static_cast<int>(tuner.num_template_classes()));
+    EXPECT_GE(e.epoch_templates, 1);
+  }
+  // Populations bounded by the per-template combo cap, far below one
+  // per instance (the scaling claim of the compression layer).
+  EXPECT_LE(tuner.inum_stats().populate_optimizations,
+            128u * tuner.num_template_classes());
+  EXPECT_LT(tuner.inum_stats().populate_optimizations, 100u);
+}
+
 TEST_F(ColtTest, BuildCostEstimatePositiveAndMonotone) {
   TableId photo = db_->catalog().FindTable(kPhotoObj);
   TableId plate = db_->catalog().FindTable(kPlate);

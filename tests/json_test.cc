@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/json.h"
 
@@ -52,6 +53,63 @@ TEST(JsonTest, RoundTripsDoublesExactly) {
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.value().number(), d);
   }
+}
+
+TEST(JsonTest, NonFiniteNumbersRoundTripViaSentinel) {
+  // JSON has no Infinity/NaN. The old encoding dumped them as null,
+  // which replayed as a type-confused value; they now round-trip
+  // through tagged string sentinels.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json::Number(inf).Dump(), "\"__nonfinite:inf\"");
+  EXPECT_EQ(Json::Number(-inf).Dump(), "\"__nonfinite:-inf\"");
+  EXPECT_EQ(Json::Number(std::nan("")).Dump(), "\"__nonfinite:nan\"");
+
+  auto pos = Json::Parse(Json::Number(inf).Dump());
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(pos.value().is_number());
+  EXPECT_EQ(pos.value().number(), inf);
+
+  auto neg = Json::Parse(Json::Number(-inf).Dump());
+  ASSERT_TRUE(neg.ok());
+  ASSERT_TRUE(neg.value().is_number());
+  EXPECT_EQ(neg.value().number(), -inf);
+
+  auto nan = Json::Parse(Json::Number(std::nan("")).Dump());
+  ASSERT_TRUE(nan.ok());
+  ASSERT_TRUE(nan.value().is_number());
+  EXPECT_TRUE(std::isnan(nan.value().number()));
+
+  // Inside containers too (the shape a trace's cost map uses).
+  Json obj = Json::Object();
+  obj["cost"] = Json::Number(inf);
+  auto round = Json::Parse(obj.Dump());
+  ASSERT_TRUE(round.ok());
+  ASSERT_NE(round.value().Find("cost"), nullptr);
+  EXPECT_EQ(round.value().Find("cost")->number(), inf);
+
+  // Unrecognized text in the tag namespace (e.g. a hand-edited
+  // document) parses as a plain string instead of failing the load.
+  auto foreign = Json::Parse("\"__nonfinite:bogus\"");
+  ASSERT_TRUE(foreign.ok());
+  ASSERT_TRUE(foreign.value().is_string());
+  EXPECT_EQ(foreign.value().str(), "__nonfinite:bogus");
+}
+
+TEST(JsonTest, StringsInTheSentinelNamespaceStillRoundTrip) {
+  // A real string payload that collides with the tag dumps behind an
+  // escape marker and comes back as the same string — never as a
+  // number.
+  for (const char* payload :
+       {"__nonfinite:inf", "__nonfinite:nan", "__nonfinite:esc:x",
+        "__nonfinite:whatever"}) {
+    Json s = Json::Str(payload);
+    auto r = Json::Parse(s.Dump());
+    ASSERT_TRUE(r.ok()) << payload;
+    ASSERT_TRUE(r.value().is_string()) << payload;
+    EXPECT_EQ(r.value().str(), payload);
+  }
+  // Untagged strings are untouched by the escape.
+  EXPECT_EQ(Json::Str("nonfinite").Dump(), "\"nonfinite\"");
 }
 
 TEST(JsonTest, ParseErrorsAreStatuses) {

@@ -376,6 +376,175 @@ TEST_F(SessionTest, AddQueriesExtendsCandidateUniverse) {
       << "the added specobj query deserves a specobj index";
 }
 
+// --- Template classes: the compressed recommendation pipeline ---
+
+TEST_F(SessionTest, WorkloadCompressesIntoTemplateClasses) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 60, 13);
+  session_->SetWorkload(w);
+  // Template-generated traces compress hard: far fewer classes than
+  // queries, total weight preserved exactly.
+  EXPECT_LT(session_->num_template_classes(), 15u);
+  EXPECT_GT(session_->num_template_classes(), 0u);
+  double class_weight = 0.0;
+  size_t class_count = 0;
+  for (const TemplateClass& cls : session_->template_classes()) {
+    class_weight += cls.weight;
+    class_count += cls.count;
+  }
+  EXPECT_DOUBLE_EQ(class_weight, 60.0);
+  EXPECT_EQ(class_count, 60u);
+
+  // The prepared pipeline runs per class: INUM populates and atom rows
+  // scale with classes, not queries.
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().per_query_cost.size(), 60u)
+      << "per_query_cost still reports per raw query";
+  EXPECT_LE(session_->inum_populate_count(),
+            128u * session_->num_template_classes());
+}
+
+TEST_F(SessionTest, SameTemplateAddIsAPureWeightBump) {
+  Workload w;
+  auto add = [&](const std::string& sql) {
+    auto q = ParseAndBind(db_->catalog(), sql);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    w.Add(q.value());
+  };
+  add("SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 20");
+  add("SELECT objid, dec FROM photoobj WHERE dec < 0 ORDER BY dec");
+  add("SELECT bestobjid FROM specobj WHERE z > 2.5");
+  session_->SetWorkload(w);
+  ASSERT_TRUE(session_->Recommend().ok());
+  size_t classes_before = session_->num_template_classes();
+
+  // Append an instance of the first template with different constants:
+  // same class, so this is a pure weight bump — no candidate mining, no
+  // atom building, ZERO new backend cost calls and ZERO INUM populates,
+  // both for the append and for the Recommend that follows (acceptance
+  // criterion of the compression layer).
+  auto inst = ParseAndBind(db_->catalog(),
+                           "SELECT objid FROM photoobj WHERE ra > 150");
+  ASSERT_TRUE(inst.ok());
+  // The populate counter is the live signal here (the pipeline is
+  // client-side); the backend counter additionally guards against any
+  // future backend routing on this path.
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  session_->AddQueries({inst.value()});
+  EXPECT_EQ(session_->num_template_classes(), classes_before);
+  EXPECT_EQ(session_->workload().size(), 4u);
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls)
+      << "a same-template append must not touch the backend";
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls)
+      << "Recommend after a same-template append must not touch the backend";
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+  EXPECT_EQ(rec.value().per_query_cost.size(), 4u);
+  // The bumped class's weight reaches the objective: the doubled
+  // template contributes twice its per-query cost.
+  EXPECT_DOUBLE_EQ(
+      rec.value().recommended_cost,
+      rec.value().per_query_cost[0] * 2.0 + rec.value().per_query_cost[1] +
+          rec.value().per_query_cost[2]);
+  EXPECT_DOUBLE_EQ(rec.value().per_query_cost[0],
+                   rec.value().per_query_cost[3]);
+}
+
+TEST_F(SessionTest, NonPositiveWeightAddNeverKeepsTheCertificate) {
+  // The weight-bump certificate argument only holds for delta > 0: a
+  // negative-weight append must force a re-solve, not reuse the old
+  // optimum as "certified".
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 8, 13));
+  ASSERT_TRUE(session_->Recommend().ok());
+  session_->AddQueries({session_->workload().queries[0]}, -0.5);
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(session_->log().back().find("certificate reuse"),
+            std::string::npos)
+      << "negative-weight bump reused the certificate: "
+      << session_->log().back();
+
+  // A positive same-template append right after IS certificate-eligible
+  // again (the re-solve renewed it) — and still zero backend calls.
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  session_->AddQueries({session_->workload().queries[0]}, 1.0);
+  ASSERT_TRUE(session_->Recommend().ok());
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls);
+}
+
+TEST_F(SessionTest, RemoveQueriesDropsEmptyClasses) {
+  Workload w;
+  auto q1 = ParseAndBind(db_->catalog(),
+                         "SELECT objid FROM photoobj WHERE ra BETWEEN 1 AND 2");
+  auto q2 = ParseAndBind(db_->catalog(),
+                         "SELECT objid FROM photoobj WHERE ra > 50");
+  auto q3 = ParseAndBind(db_->catalog(),
+                         "SELECT bestobjid FROM specobj WHERE z > 2.5");
+  ASSERT_TRUE(q1.ok() && q2.ok() && q3.ok());
+  w.Add(q1.value());  // class 0 (ra range)
+  w.Add(q2.value());  // class 0 again (range shapes fuse)
+  w.Add(q3.value());  // class 1
+  session_->SetWorkload(w);
+  ASSERT_EQ(session_->num_template_classes(), 2u);
+  ASSERT_TRUE(session_->Recommend().ok());
+
+  // Removing one of two instances keeps the class (weight decremented).
+  ASSERT_TRUE(session_->RemoveQueries({0}).ok());
+  EXPECT_EQ(session_->num_template_classes(), 2u);
+  EXPECT_DOUBLE_EQ(session_->template_classes()[0].weight, 1.0);
+
+  // Removing the last instance drops the class and only its atoms; the
+  // next Recommend still works (and needs no new INUM populations).
+  ASSERT_TRUE(session_->RemoveQueries({0}).ok());
+  EXPECT_EQ(session_->num_template_classes(), 1u);
+  uint64_t populates = session_->inum_populate_count();
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+  EXPECT_EQ(rec.value().per_query_cost.size(), 1u);
+}
+
+TEST_F(SessionTest, BigTraceCostCallsScaleWithClassesNotQueries) {
+  // The acceptance scenario: a 50k-query generated SDSS trace must
+  // recommend with backend cost calls (and INUM populations)
+  // proportional to its handful of template classes, not its 50k
+  // queries.
+  Workload trace =
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 50000, 77);
+  session_->SetWorkload(trace);
+  size_t classes = session_->num_template_classes();
+  ASSERT_LT(classes, 32u) << "SDSS template traces compress to ~10 classes";
+
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_FALSE(rec.value().indexes.empty());
+  EXPECT_EQ(rec.value().per_query_cost.size(), 50000u);
+  // Populations are bounded by the per-class combo cap (InumOptions
+  // max_combos = 128) — orders of magnitude below one per query. The
+  // INUM populate counter carries the real cost-call signal: the
+  // designer pipeline is fully client-side, so the backend optimizer
+  // counter must stay at exactly zero (any backend routing at all
+  // would be a scaling regression on a 50k trace).
+  EXPECT_LE(session_->inum_populate_count(), 128u * classes);
+  EXPECT_LT(session_->inum_populate_count(), 50000u / 100u);
+  EXPECT_EQ(session_->backend_optimizer_calls(), 0u);
+
+  // A same-template append on the big trace re-recommends with zero
+  // new backend cost calls.
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  session_->AddQueries({trace.queries[17]});
+  auto again = session_->Recommend();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls);
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+}
+
 TEST_F(SessionTest, SessionJsonRoundTrip) {
   Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 6, 21);
   session_->SetWorkload(w);

@@ -92,11 +92,20 @@ class JsonReporter {
     Report(op, ms);
   }
 
+  /// Attaches a bench-specific JSON value under root["extra"][key] —
+  /// for results that are not plain (op, wall-ms) rows, e.g. the
+  /// deployment benefit curves.
+  void Extra(const std::string& key, Json value) {
+    if (!extra_.is_object()) extra_ = Json::Object();
+    extra_[key] = std::move(value);
+  }
+
   /// Writes BENCH_<name>.json into the working directory.
   void Write() const {
     Json root = Json::Object();
     root["bench"] = Json::Str(name_);
     root["hardware_threads"] = Json::Number(ThreadPool::HardwareThreads());
+    if (extra_.is_object()) root["extra"] = extra_;
     Json ops = Json::Array();
     for (const Entry& e : entries_) {
       Json op = Json::Object();
@@ -125,6 +134,7 @@ class JsonReporter {
   };
   std::string name_;
   std::vector<Entry> entries_;
+  Json extra_;
 };
 
 }  // namespace bench

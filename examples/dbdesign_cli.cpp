@@ -25,7 +25,12 @@
 //   undo | redo             step the design history
 //   snapshot|restore <name> named design snapshots
 //   offline [budget_x]      full CoPhy+AutoPart+schedule pipeline
-//   interactions            doi graph over the hypothetical indexes
+//   deploy                  plan the materialization of the last
+//                           recommendation (constraint-aware greedy
+//                           schedule + interaction clusters; zero new
+//                           optimizer calls on a warm session)
+//   interactions            doi graph over the last recommendation
+//                           (falls back to the hypothetical indexes)
 //   build t c1[,c2]         physically build an index
 //   classes                 the session's template-class table
 //   tables | log | quit
@@ -234,14 +239,83 @@ struct Shell {
   }
 
   void CmdInteractions() {
+    // Prefer the session's deployment stage: the DoI graph over the
+    // last recommendation, priced from cached atoms. Without a
+    // recommendation, fall back to the hypothetical what-if indexes.
+    if (session.last_recommendation() != nullptr) {
+      auto plan = session.PlanDeployment();
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        return;
+      }
+      InteractionGraph graph = plan.value().Graph(db.catalog());
+      std::printf("%s", graph.ToAscii().c_str());
+      std::printf("clusters:");
+      for (const auto& cluster : plan.value().clusters) {
+        std::printf(" {");
+        for (size_t m = 0; m < cluster.size(); ++m) {
+          std::printf("%s%d", m ? "," : "", cluster[m]);
+        }
+        std::printf("}");
+      }
+      std::printf("\n");
+      return;
+    }
     const auto& indexes = designer.whatif().hypothetical_design().indexes();
     if (indexes.size() < 2) {
-      std::printf("create at least two what-if indexes first\n");
+      std::printf("recommend first, or create at least two what-if indexes\n");
       return;
     }
     InteractionGraph graph =
         designer.AnalyzeInteractions(session.workload(), indexes);
     std::printf("%s", graph.ToAscii().c_str());
+  }
+
+  void CmdDeploy() {
+    if (session.last_recommendation() == nullptr) {
+      std::printf("nothing to deploy: run `recommend` (or `refine`) first\n");
+      return;
+    }
+    uint64_t calls0 = session.backend_optimizer_calls();
+    uint64_t pops0 = session.inum_populate_count();
+    auto t0 = std::chrono::steady_clock::now();
+    auto plan = session.PlanDeployment();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    const DeploymentPlan& p = plan.value();
+    const MaterializationSchedule& s = p.schedule;
+    std::printf("deployment plan: %zu builds, cost %.1f -> %.1f, "
+                "%zu interacting pairs, %zu clusters%s\n",
+                s.steps.size(), s.base_cost, s.final_cost, p.edges.size(),
+                p.clusters.size(),
+                p.schedule_reused ? " (schedule reused)" : "");
+    std::printf("  %-4s %-44s %9s %9s %12s %8s %s\n", "step", "index",
+                "pages", "cum.pages", "benefit", "cluster", "");
+    for (size_t k = 0; k < s.steps.size(); ++k) {
+      const ScheduleStep& step = s.steps[k];
+      std::printf("  %-4zu %-44s %9.0f %9.0f %12.1f %8d%s\n", k + 1,
+                  step.index.DisplayName(db.catalog()).c_str(),
+                  step.build_pages, step.cumulative_pages,
+                  step.marginal_benefit, step.cluster,
+                  step.pinned ? "  [pinned]" : "");
+    }
+    for (const IndexDef& idx : s.skipped) {
+      std::printf("  !    %-44s skipped (vetoed or over budget)\n",
+                  idx.DisplayName(db.catalog()).c_str());
+    }
+    std::printf(
+        "  %.1f ms, %llu new optimizer calls, %llu new INUM populations, "
+        "%zu/%zu DoI rows from cache\n",
+        ms,
+        static_cast<unsigned long long>(session.backend_optimizer_calls() -
+                                        calls0),
+        static_cast<unsigned long long>(session.inum_populate_count() - pops0),
+        p.doi_rows_reused, p.doi_rows_reused + p.doi_rows_computed);
   }
 
   void CmdClasses() {
@@ -289,7 +363,7 @@ struct Shell {
           "  cap <t> <n> | uncap <t> | budget <pages|off> | constraints | "
           "save/load <file>\n"
           "  eval | undo | redo | snapshot/restore <name> | offline [x] | "
-          "interactions | build <t> <cols>\n"
+          "deploy | interactions | build <t> <cols>\n"
           "  classes | tables | log | quit\n");
     } else if (cmd == "sql") {
       std::string rest;
@@ -480,6 +554,8 @@ struct Shell {
       CmdEval();
     } else if (cmd == "offline") {
       CmdOffline(in);
+    } else if (cmd == "deploy") {
+      CmdDeploy();
     } else if (cmd == "interactions") {
       CmdInteractions();
     } else if (cmd == "classes") {

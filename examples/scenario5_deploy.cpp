@@ -1,0 +1,162 @@
+// Demonstration scenario #5: interaction-aware deployment scheduling.
+//
+// The paper's interactive loop does not end at "here is the optimal
+// design": the DBA still has to materialize it, and the order in which
+// indexes are built determines how fast the benefit accrues — index
+// interactions make an index's marginal benefit depend on what is
+// already built (§3.5). PlanDeployment() is the session stage for that
+// last mile: it computes the pairwise degree-of-interaction matrix over
+// the compressed template-class workload, partitions the interaction
+// graph into independent clusters, and emits a constraint-aware greedy
+// materialization schedule — pinned indexes first, storage budget
+// respected at every intermediate step, and everything priced from the
+// cached INUM atoms: on a warm session the whole stage makes ZERO new
+// backend optimizer calls.
+//
+//   $ ./build/scenario5_deploy
+//   $ DBDESIGN_TRACE_QUERIES=2000 ./build/scenario5_deploy   # smaller run
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/designer.h"
+#include "core/session.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+using namespace dbdesign;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int TraceQueries() {
+  if (const char* env = std::getenv("DBDESIGN_TRACE_QUERIES")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 10000;
+}
+
+void PrintCurve(const char* name, const MaterializationSchedule& sched) {
+  std::printf("  %-24s |", name);
+  for (size_t k = 1; k <= sched.steps.size(); ++k) {
+    std::printf(" %8.0f", sched.BenefitAtPrefix(k));
+  }
+  std::printf(" | area %.1f\n", sched.BenefitArea());
+}
+
+}  // namespace
+
+int main() {
+  SdssConfig config;
+  config.photoobj_rows = 20000;
+  std::printf("scenario 5 — deployment scheduling (the loop's last mile)\n\n");
+  Database db = BuildSdssDatabase(config);
+  Designer designer(db);
+  DesignSession session(designer);
+
+  // --- Step 1: recommend for a compressed trace ---
+  int n = TraceQueries();
+  session.SetWorkload(GenerateWorkload(db, TemplateMix::OfflineDefault(), n, 7));
+  auto t0 = std::chrono::steady_clock::now();
+  auto rec = session.Recommend();
+  double rec_ms = MillisSince(t0);
+  if (!rec.ok()) {
+    std::printf("error: %s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Step 1 — Recommend() on a %d-query trace (%zu template "
+              "classes): %.1f ms, %zu indexes, cost %.1f -> %.1f\n",
+              n, session.num_template_classes(), rec_ms,
+              rec.value().indexes.size(), rec.value().base_cost,
+              rec.value().recommended_cost);
+
+  // --- Step 2: plan the deployment on the warm session ---
+  uint64_t calls0 = session.backend_optimizer_calls();
+  uint64_t pops0 = session.inum_populate_count();
+  t0 = std::chrono::steady_clock::now();
+  auto plan = session.PlanDeployment();
+  double plan_ms = MillisSince(t0);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  const DeploymentPlan& p = plan.value();
+  std::printf("\nStep 2 — PlanDeployment(): %.1f ms, %llu new backend "
+              "optimizer calls, %llu new INUM populations (everything is a "
+              "cached-atom reprice)\n",
+              plan_ms,
+              static_cast<unsigned long long>(
+                  session.backend_optimizer_calls() - calls0),
+              static_cast<unsigned long long>(session.inum_populate_count() -
+                                              pops0));
+  std::printf("  %zu interacting pairs across %zu clusters\n",
+              p.edges.size(), p.clusters.size());
+  std::printf("%s", p.Graph(db.catalog()).ToAscii().c_str());
+  std::printf("\n  materialization schedule (pins first, budget at every "
+              "step):\n");
+  for (size_t k = 0; k < p.schedule.steps.size(); ++k) {
+    const ScheduleStep& s = p.schedule.steps[k];
+    std::printf("    %zu. %-44s %6.0f pages (cum %6.0f)  benefit %10.1f  "
+                "cluster %d%s\n",
+                k + 1, s.index.DisplayName(db.catalog()).c_str(),
+                s.build_pages, s.cumulative_pages, s.marginal_benefit,
+                s.cluster, s.pinned ? "  [pinned]" : "");
+  }
+
+  // --- Step 3: why the order matters — benefit curves ---
+  MaterializationScheduler scheduler(designer.inum());
+  Workload classes;
+  for (const TemplateClass& cls : session.template_classes()) {
+    classes.Add(cls.representative, cls.weight);
+  }
+  MaterializationSchedule solo =
+      scheduler.SoloBenefitOrder(classes, p.indexes);
+  std::vector<int> reversed;
+  for (int i = static_cast<int>(p.indexes.size()) - 1; i >= 0; --i) {
+    reversed.push_back(i);
+  }
+  MaterializationSchedule worst =
+      scheduler.FixedOrder(classes, p.indexes, reversed);
+  std::printf("\nStep 3 — cumulative benefit standing after each build:\n");
+  PrintCurve("greedy (interaction)", p.schedule);
+  PrintCurve("solo-benefit order", solo);
+  PrintCurve("fixed (reverse) order", worst);
+  std::printf("  every order ends at the same final cost — only the path "
+              "(and the DBA's wait) differs\n");
+
+  // --- Step 4: refine, then replan — the schedule is reused outright ---
+  TableId photo = db.catalog().FindTable(kPhotoObj);
+  ConstraintDelta delta;
+  delta.veto.push_back(
+      IndexDef{photo, {db.catalog().table(photo).FindColumn("rerun")}, false});
+  auto refined = session.Refine(delta);
+  if (!refined.ok()) {
+    std::printf("error: %s\n", refined.status().ToString().c_str());
+    return 1;
+  }
+  calls0 = session.backend_optimizer_calls();
+  t0 = std::chrono::steady_clock::now();
+  auto again = session.PlanDeployment();
+  double replan_ms = MillisSince(t0);
+  if (!again.ok()) {
+    std::printf("error: %s\n", again.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nStep 4 — veto an unused index, Refine(), PlanDeployment() "
+              "again: %.2f ms, %llu new backend calls, schedule %s, "
+              "%zu/%zu DoI rows from cache\n",
+              replan_ms,
+              static_cast<unsigned long long>(
+                  session.backend_optimizer_calls() - calls0),
+              again.value().schedule_reused ? "reused outright" : "rebuilt",
+              again.value().doi_rows_reused,
+              again.value().doi_rows_reused + again.value().doi_rows_computed);
+  return 0;
+}

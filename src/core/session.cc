@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "catalog/design_json.h"
+#include "interaction/doi.h"
 #include "sql/binder.h"
 #include "util/str.h"
 
@@ -151,12 +153,22 @@ void DesignSession::SyncPreparedWeights() {
   }
 }
 
+void DesignSession::InvalidateDeployment() {
+  doi_rows_.clear();
+  doi_indexes_.clear();
+  deployment_.reset();
+  deployment_class_keys_.clear();
+  deployment_weights_.clear();
+  deployment_constraints_ = DesignConstraints{};
+}
+
 void DesignSession::SetWorkload(Workload workload) {
   workload_ = std::move(workload);
   RebuildClasses();
   prepared_ = CoPhyPrepared{};
   prepared_valid_ = false;
   certificate_valid_ = false;
+  InvalidateDeployment();
   log_.push_back(StrFormat("SET WORKLOAD (%zu queries, %zu template classes)",
                            workload_.size(), classes_.size()));
 }
@@ -508,6 +520,141 @@ Result<IndexRecommendation> DesignSession::Refine(
   return rec;
 }
 
+// --- Deployment planning ---
+
+bool DesignSession::ScheduleStillValid(
+    const std::vector<IndexDef>& indexes,
+    const std::vector<std::string>& keys,
+    const std::vector<double>& weights) const {
+  if (!deployment_.has_value() || deployment_->indexes != indexes) {
+    return false;
+  }
+  // A schedule that had to skip anything is rebuilt rather than reasoned
+  // about (the session path never produces one: recommendations are
+  // constraint-feasible by construction).
+  if (!deployment_->schedule.skipped.empty()) return false;
+  // Same classes at the same weights. Identity matters, not just the
+  // weight vector: a remove-class + add-class edit can reproduce the
+  // old weights while the workload the schedule was costed on is gone.
+  // And a same-template append re-weights the DoI sums for free but
+  // shifts every marginal benefit, so the greedy order must be
+  // re-derived.
+  if (keys != deployment_class_keys_) return false;
+  if (weights != deployment_weights_) return false;
+  // Schedule-relevant constraint edits: pins drive the pins-first
+  // phases, vetoes would skip a member, and the budget gates every
+  // step. Constraint churn outside the recommended set (vetoing an
+  // index that was never recommended, pinning one that is not in the
+  // set) provably cannot change the schedule and keeps the reuse.
+  for (const IndexDef& idx : indexes) {
+    if (constraints_.IsPinned(idx) != deployment_constraints_.IsPinned(idx)) {
+      return false;
+    }
+    if (constraints_.IsVetoed(idx)) return false;
+  }
+  return deployment_->schedule.total_pages <=
+         constraints_.storage_budget_pages;
+}
+
+Result<DeploymentPlan> DesignSession::PlanDeployment() {
+  if (!last_rec_.has_value() || cophy_ == nullptr) {
+    return Status::InvalidArgument(
+        "no recommendation to deploy; call Recommend() or Refine() first");
+  }
+  const std::vector<IndexDef>& indexes = last_rec_->indexes;
+  InumCostModel& inum = cophy_->inum();
+  InteractionAnalyzer analyzer(inum, designer_->options().doi);
+
+  DeploymentPlan plan;
+  plan.indexes = indexes;
+
+  // Incremental DoI maintenance: a changed index set invalidates every
+  // cached row; otherwise only template classes without a row (new
+  // templates — their atoms changed) compute one, priced purely from
+  // the cached INUM atoms. Rows of dropped classes are pruned.
+  if (doi_indexes_ != indexes) {
+    doi_rows_.clear();
+    doi_indexes_ = indexes;
+  }
+  const Catalog& catalog = designer_->backend().catalog();
+  const std::vector<TemplateClass>& classes = classes_.classes();
+  std::vector<std::string> keys(classes.size());
+  std::vector<BoundQuery> missing;
+  std::vector<size_t> missing_class;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    keys[c] = classes[c].representative.ToSql(catalog);
+    if (doi_rows_.find(keys[c]) == doi_rows_.end()) {
+      missing.push_back(classes[c].representative);
+      missing_class.push_back(c);
+    }
+  }
+  if (!missing.empty()) {
+    std::vector<std::vector<double>> rows =
+        analyzer.ContributionRows(missing, indexes);
+    for (size_t m = 0; m < missing.size(); ++m) {
+      doi_rows_[keys[missing_class[m]]] = std::move(rows[m]);
+    }
+  }
+  plan.doi_rows_computed = missing.size();
+  plan.doi_rows_reused = classes.size() - missing.size();
+  {
+    std::set<std::string> live(keys.begin(), keys.end());
+    for (auto it = doi_rows_.begin(); it != doi_rows_.end();) {
+      it = live.count(it->first) != 0 ? std::next(it) : doi_rows_.erase(it);
+    }
+  }
+
+  // Weighted DoI per pair, reduced in class order — deterministic and
+  // identical to a from-scratch AnalyzeMatrix over the class workload.
+  DoiMatrix matrix;
+  matrix.num_indexes = static_cast<int>(indexes.size());
+  size_t num_pairs = indexes.size() * (indexes.size() - 1) / 2;
+  matrix.doi.assign(num_pairs, 0.0);
+  for (size_t c = 0; c < classes.size(); ++c) {
+    const std::vector<double>& row = doi_rows_[keys[c]];
+    for (size_t p = 0; p < num_pairs; ++p) {
+      matrix.doi[p] += classes[c].weight * row[p];
+    }
+  }
+  plan.edges = matrix.Edges();
+  plan.clusters = matrix.Clusters();
+
+  std::vector<double> weights;
+  weights.reserve(classes.size());
+  for (const TemplateClass& cls : classes) weights.push_back(cls.weight);
+  if (ScheduleStillValid(indexes, keys, weights)) {
+    // Reuse outright: the cached schedule is certifiably what a rebuild
+    // would produce (steps already carry their cluster annotations).
+    plan.schedule = deployment_->schedule;
+    plan.schedule_reused = true;
+  } else {
+    MaterializationScheduler scheduler(inum);
+    plan.schedule =
+        scheduler.Greedy(classes_.ClassWorkload(), indexes, constraints_);
+    std::map<std::string, int> cluster_of;
+    for (size_t k = 0; k < plan.clusters.size(); ++k) {
+      for (int i : plan.clusters[k]) {
+        cluster_of[indexes[static_cast<size_t>(i)].Key()] =
+            static_cast<int>(k);
+      }
+    }
+    for (ScheduleStep& step : plan.schedule.steps) {
+      auto it = cluster_of.find(step.index.Key());
+      step.cluster = it == cluster_of.end() ? -1 : it->second;
+    }
+    deployment_class_keys_ = keys;
+    deployment_weights_ = std::move(weights);
+    deployment_constraints_ = constraints_;
+  }
+
+  log_.push_back(StrFormat(
+      "PLAN DEPLOYMENT -> %zu steps, %zu interactions, %zu clusters%s",
+      plan.schedule.steps.size(), plan.edges.size(), plan.clusters.size(),
+      plan.schedule_reused ? " (schedule reuse)" : ""));
+  deployment_ = plan;
+  return plan;
+}
+
 uint64_t DesignSession::backend_optimizer_calls() const {
   return designer_->backend().num_optimizer_calls();
 }
@@ -653,6 +800,7 @@ Status DesignSession::LoadFromJson(const Json& j) {
   last_rec_.reset();
   last_class_cost_.clear();
   certificate_valid_ = false;
+  InvalidateDeployment();
   Apply(target);
   log_.push_back("LOAD");
   return Status::OK();

@@ -41,6 +41,35 @@
 
 namespace dbdesign {
 
+/// Output of the session's deployment-planning stage: how to take the
+/// recommended index set live. Index positions in `edges`, `clusters`
+/// and `schedule` refer to `indexes`.
+struct DeploymentPlan {
+  /// The recommendation being deployed (last Recommend/Refine result).
+  std::vector<IndexDef> indexes;
+  /// Pairwise degree-of-interaction edges, heaviest first.
+  std::vector<InteractionEdge> edges;
+  /// Independent interaction clusters: indexes in different clusters do
+  /// not interact, so their benefits compose independently.
+  std::vector<std::vector<int>> clusters;
+  /// Constraint-aware materialization order (pins first, vetoes
+  /// impossible, storage budget respected at every intermediate step).
+  MaterializationSchedule schedule;
+  /// True when the previous plan's schedule was reused outright (the
+  /// refine changed neither the index set, the class weights, nor any
+  /// schedule-relevant constraint).
+  bool schedule_reused = false;
+  /// Per-template-class DoI row cache telemetry: rows served from the
+  /// incremental cache vs rows (re)computed this call.
+  size_t doi_rows_reused = 0;
+  size_t doi_rows_computed = 0;
+
+  /// Figure-2 rendering of the interaction structure.
+  InteractionGraph Graph(const Catalog& catalog) const {
+    return InteractionGraph(catalog, indexes, edges);
+  }
+};
+
 class DesignSession {
  public:
   explicit DesignSession(Designer& designer);
@@ -135,6 +164,31 @@ class DesignSession {
     return last_rec_.has_value() ? &*last_rec_ : nullptr;
   }
 
+  // --- Deployment planning (the loop's last stage) ---
+  /// Plans how to take the last recommendation live: computes the
+  /// pairwise DoI matrix over the compressed template-class workload
+  /// (batched on the thread pool, bit-identical at any thread count),
+  /// partitions the interaction graph into independent clusters, and
+  /// emits a constraint-aware materialization schedule (pinned indexes
+  /// first, storage budget respected at every intermediate step,
+  /// vetoed indexes impossible by construction).
+  ///
+  /// Incremental like the rest of the loop: after a warm Recommend the
+  /// whole stage runs on cached INUM atoms — ZERO new backend optimizer
+  /// calls and ZERO new populations. Per-class DoI contribution rows
+  /// are cached by template, so workload deltas recompute only the rows
+  /// whose atoms changed (a same-template weight bump recomputes
+  /// nothing and just re-weights the sums), and a Refine that leaves
+  /// the recommended index set, class weights and schedule-relevant
+  /// constraints unchanged reuses the previous schedule outright.
+  Result<DeploymentPlan> PlanDeployment();
+
+  /// The most recent successful PlanDeployment result (invalidated by
+  /// workload replacement and session load).
+  const DeploymentPlan* last_deployment() const {
+    return deployment_.has_value() ? &*deployment_ : nullptr;
+  }
+
   /// True when a prepared atom matrix is live (Refine will be
   /// incremental).
   bool prepared() const { return prepared_valid_; }
@@ -202,6 +256,14 @@ class DesignSession {
   IndexRecommendation ReweightedLastRecommendation() const;
   /// "snapshot 'x' not found (available: a, b)" helper.
   Status SnapshotNotFound(const std::string& name) const;
+  /// Drops every cached deployment artifact (DoI rows + plan).
+  void InvalidateDeployment();
+  /// True when the cached schedule is still exactly what a rebuild
+  /// under the current class workload (identified by `keys` and
+  /// `weights`) and constraints would produce.
+  bool ScheduleStillValid(const std::vector<IndexDef>& indexes,
+                          const std::vector<std::string>& keys,
+                          const std::vector<double>& weights) const;
 
   Designer* designer_;
   Workload workload_;
@@ -224,6 +286,24 @@ class DesignSession {
   /// certificate is still tied to the current workload.
   DesignConstraints solved_constraints_;
   bool certificate_valid_ = false;
+
+  // --- Deployment-stage cache ---
+  /// Unweighted per-class DoI contribution rows, keyed by the class
+  /// representative's SQL rendering and valid for doi_indexes_ only.
+  /// The SQL text is structurally faithful (it is what session
+  /// persistence round-trips through the parser), so unlike a 64-bit
+  /// hash it cannot collide across different templates — the same
+  /// reason CompressWorkload verifies every signature hit. Workload
+  /// deltas leave untouched rows valid; stale keys are pruned lazily.
+  std::map<std::string, std::vector<double>> doi_rows_;
+  /// The index set doi_rows_ was computed against.
+  std::vector<IndexDef> doi_indexes_;
+  std::optional<DeploymentPlan> deployment_;
+  /// Class identities (SQL keys), weights and constraints the cached
+  /// schedule was built at — the reuse-outright certificate.
+  std::vector<std::string> deployment_class_keys_;
+  std::vector<double> deployment_weights_;
+  DesignConstraints deployment_constraints_;
 
   std::vector<PhysicalDesign> undo_stack_;
   std::vector<PhysicalDesign> redo_stack_;

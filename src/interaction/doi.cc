@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dbdesign {
 
@@ -16,25 +17,142 @@ PhysicalDesign DesignFrom(const std::vector<IndexDef>& indexes,
   return d;
 }
 
+/// The four costed configurations of one sampled X for a pair (a, b):
+/// X, X∪{a}, X∪{b}, X∪{a,b}. Query-independent — built once per pair
+/// and shared read-only across the per-query workers.
+struct SampleDesigns {
+  PhysicalDesign dx;
+  PhysicalDesign dxa;
+  PhysicalDesign dxb;
+  PhysicalDesign dxab;
+};
+
+SampleDesigns BuildSampleDesigns(const std::vector<IndexDef>& indexes, int a,
+                                 int b, const std::vector<int>& x) {
+  SampleDesigns d;
+  d.dx = DesignFrom(indexes, x);
+  d.dxa = d.dx;
+  d.dxa.AddIndex(indexes[static_cast<size_t>(a)]);
+  d.dxb = d.dx;
+  d.dxb.AddIndex(indexes[static_cast<size_t>(b)]);
+  d.dxab = d.dxb;
+  d.dxab.AddIndex(indexes[static_cast<size_t>(a)]);
+  return d;
+}
+
+/// One query's worst-case interaction over one pair's samples,
+/// normalized by `base` (the query's empty-design cost).
+double WorstInteraction(InumCostModel& inum, const BoundQuery& query,
+                        const std::vector<SampleDesigns>& samples,
+                        double base, InumStats* stats) {
+  double worst = 0.0;
+  for (const SampleDesigns& d : samples) {
+    double benefit_without_b = inum.CostCached(query, d.dx, stats) -
+                               inum.CostCached(query, d.dxa, stats);
+    double benefit_with_b = inum.CostCached(query, d.dxb, stats) -
+                            inum.CostCached(query, d.dxab, stats);
+    worst = std::max(worst,
+                     std::abs(benefit_without_b - benefit_with_b) / base);
+  }
+  return worst;
+}
+
+/// One query's unweighted contribution row (all pairs), priced purely
+/// from the populated cache; reuse counters land in `stats`.
+std::vector<double> QueryRow(
+    InumCostModel& inum, const BoundQuery& query,
+    const std::vector<std::vector<SampleDesigns>>& pair_samples,
+    InumStats* stats) {
+  std::vector<double> row(pair_samples.size(), 0.0);
+  double base = inum.CostCached(query, PhysicalDesign{}, stats);
+  if (base <= 0) return row;
+  for (size_t p = 0; p < pair_samples.size(); ++p) {
+    row[p] = WorstInteraction(inum, query, pair_samples[p], base, stats);
+  }
+  return row;
+}
+
 }  // namespace
 
-double InteractionAnalyzer::PairDoi(const Workload& workload,
-                                    const std::vector<IndexDef>& indexes,
-                                    int a, int b) {
-  int n = static_cast<int>(indexes.size());
+int DoiMatrix::PairIndex(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  int n = num_indexes;
+  return a * (2 * n - a - 1) / 2 + (b - a - 1);
+}
+
+std::vector<InteractionEdge> DoiMatrix::Edges(double min_doi) const {
+  std::vector<InteractionEdge> edges;
+  for (int a = 0; a < num_indexes; ++a) {
+    for (int b = a + 1; b < num_indexes; ++b) {
+      double d = doi[static_cast<size_t>(PairIndex(a, b))];
+      if (d > min_doi) edges.push_back(InteractionEdge{a, b, d});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const InteractionEdge& x, const InteractionEdge& y) {
+              if (x.doi != y.doi) return x.doi > y.doi;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return edges;
+}
+
+std::vector<std::vector<int>> ClustersFromEdges(
+    int num_nodes, const std::vector<InteractionEdge>& edges) {
+  // Union-find, smaller root wins so roots stay ascending.
+  std::vector<int> parent(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) parent[static_cast<size_t>(i)] = i;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const InteractionEdge& e : edges) {
+    int ra = find(e.a);
+    int rb = find(e.b);
+    if (ra != rb) {
+      parent[static_cast<size_t>(std::max(ra, rb))] = std::min(ra, rb);
+    }
+  }
+  // Group by root; roots appear in ascending order, so clusters are
+  // ordered by smallest member and members are sorted.
+  std::vector<std::vector<int>> clusters;
+  std::vector<int> slot(static_cast<size_t>(num_nodes), -1);
+  for (int i = 0; i < num_nodes; ++i) {
+    int r = find(i);
+    if (slot[static_cast<size_t>(r)] < 0) {
+      slot[static_cast<size_t>(r)] = static_cast<int>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<size_t>(slot[static_cast<size_t>(r)])].push_back(i);
+  }
+  return clusters;
+}
+
+std::vector<std::vector<int>> DoiMatrix::Clusters(double min_doi) const {
+  return ClustersFromEdges(num_indexes, Edges(min_doi));
+}
+
+std::vector<std::vector<int>> InteractionAnalyzer::PairSamples(int n, int a,
+                                                               int b) const {
   std::vector<int> others;
   for (int i = 0; i < n; ++i) {
     if (i != a && i != b) others.push_back(i);
   }
-
   // Structured samples: empty, full remainder, each singleton.
   std::vector<std::vector<int>> samples;
   samples.push_back({});
   if (!others.empty()) samples.push_back(others);
   for (int o : others) samples.push_back({o});
-  // Random subsets.
-  Rng rng(options_.seed ^ (static_cast<uint64_t>(a) << 32) ^
-          static_cast<uint64_t>(b));
+  // Random subsets. The seed mixes the canonical (min, max) pair so the
+  // sample set — and therefore the DoI — is exactly symmetric.
+  int lo = std::min(a, b);
+  int hi = std::max(a, b);
+  Rng rng(options_.seed ^ (static_cast<uint64_t>(lo) << 32) ^
+          static_cast<uint64_t>(hi));
   for (int s = 0; s < options_.random_samples && others.size() >= 2; ++s) {
     std::vector<int> x;
     for (int o : others) {
@@ -42,49 +160,101 @@ double InteractionAnalyzer::PairDoi(const Workload& workload,
     }
     samples.push_back(std::move(x));
   }
+  return samples;
+}
 
+std::vector<std::vector<double>> InteractionAnalyzer::ContributionRows(
+    const std::vector<BoundQuery>& queries,
+    const std::vector<IndexDef>& indexes) {
+  inum_->PrepareQueries(
+      std::span<const BoundQuery>(queries.data(), queries.size()));
+  // Sample configurations and their costed designs depend only on the
+  // pair, not the query: build them once, share them read-only.
+  int n = static_cast<int>(indexes.size());
+  std::vector<std::vector<SampleDesigns>> pair_samples;
+  pair_samples.reserve(static_cast<size_t>(n) * (static_cast<size_t>(n) - 1) /
+                       2);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      std::vector<SampleDesigns> samples;
+      for (const std::vector<int>& x : PairSamples(n, a, b)) {
+        samples.push_back(BuildSampleDesigns(indexes, a, b, x));
+      }
+      pair_samples.push_back(std::move(samples));
+    }
+  }
+  // Shard by query: one worker owns a query's cache memos end to end
+  // (the engine's ownership model), each writing its own pre-sized row —
+  // bit-identical to the serial loop at any thread count. Duplicate
+  // queries would race on shared memos, so duplicates of an earlier
+  // query are computed by that query's owner.
+  StructuralDedup dedup = DedupByStructure(
+      std::span<const BoundQuery>(queries.data(), queries.size()));
+  std::vector<std::vector<double>> per_distinct(dedup.distinct.size());
+  std::vector<InumStats> deltas(dedup.distinct.size());
+  int threads =
+      ThreadPool::Resolve(inum_->backend().cost_params().num_threads);
+  ThreadPool::Shared().ParallelFor(
+      dedup.distinct.size(), threads, [&](size_t u) {
+        per_distinct[u] = QueryRow(*inum_, queries[dedup.distinct[u]],
+                                   pair_samples, &deltas[u]);
+      });
+  for (const InumStats& delta : deltas) inum_->AccumulateStats(delta);
+
+  std::vector<std::vector<double>> rows(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    rows[i] = per_distinct[dedup.owner[i]];
+  }
+  return rows;
+}
+
+DoiMatrix InteractionAnalyzer::AnalyzeMatrix(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  DoiMatrix m;
+  m.num_indexes = static_cast<int>(indexes.size());
+  m.contributions = ContributionRows(workload.queries, indexes);
+  size_t num_pairs = indexes.size() * (indexes.size() - 1) / 2;
+  m.doi.assign(num_pairs, 0.0);
+  // Weighted reduction in workload order — the determinism invariant.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    double w = workload.WeightOf(i);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      m.doi[p] += w * m.contributions[i][p];
+    }
+  }
+  return m;
+}
+
+double InteractionAnalyzer::PairDoi(const Workload& workload,
+                                    const std::vector<IndexDef>& indexes,
+                                    int a, int b) {
+  if (a == b) return 0.0;  // an index never interacts with itself
+  // Canonicalize so PairDoi(a, b) and PairDoi(b, a) run the exact same
+  // arithmetic — symmetry holds bit-for-bit, not just mathematically.
+  if (a > b) std::swap(a, b);
+  inum_->PrepareWorkload(workload);
+  int n = static_cast<int>(indexes.size());
+  std::vector<SampleDesigns> samples;
+  for (const std::vector<int>& x : PairSamples(n, a, b)) {
+    samples.push_back(BuildSampleDesigns(indexes, a, b, x));
+  }
+
+  InumStats stats;
   double total = 0.0;
   for (size_t qi = 0; qi < workload.size(); ++qi) {
     const BoundQuery& q = workload.queries[qi];
-    double base = inum_->Cost(q, PhysicalDesign{});
+    double base = inum_->CostCached(q, PhysicalDesign{}, &stats);
     if (base <= 0) continue;
-    double worst = 0.0;
-    for (const std::vector<int>& x : samples) {
-      PhysicalDesign dx = DesignFrom(indexes, x);
-      PhysicalDesign dxa = dx;
-      dxa.AddIndex(indexes[static_cast<size_t>(a)]);
-      PhysicalDesign dxb = dx;
-      dxb.AddIndex(indexes[static_cast<size_t>(b)]);
-      PhysicalDesign dxab = dxb;
-      dxab.AddIndex(indexes[static_cast<size_t>(a)]);
-
-      double benefit_without_b =
-          inum_->Cost(q, dx) - inum_->Cost(q, dxa);
-      double benefit_with_b =
-          inum_->Cost(q, dxb) - inum_->Cost(q, dxab);
-      worst = std::max(worst,
-                       std::abs(benefit_without_b - benefit_with_b) / base);
-    }
-    total += workload.WeightOf(qi) * worst;
+    total += workload.WeightOf(qi) *
+             WorstInteraction(*inum_, q, samples, base, &stats);
   }
+  inum_->AccumulateStats(stats);
   return total;
 }
 
 std::vector<InteractionEdge> InteractionAnalyzer::Analyze(
     const Workload& workload, const std::vector<IndexDef>& indexes) {
-  std::vector<InteractionEdge> edges;
-  int n = static_cast<int>(indexes.size());
-  for (int a = 0; a < n; ++a) {
-    for (int b = a + 1; b < n; ++b) {
-      double doi = PairDoi(workload, indexes, a, b);
-      if (doi > 1e-6) edges.push_back(InteractionEdge{a, b, doi});
-    }
-  }
-  std::sort(edges.begin(), edges.end(),
-            [](const InteractionEdge& x, const InteractionEdge& y) {
-              return x.doi > y.doi;
-            });
-  return edges;
+  return AnalyzeMatrix(workload, indexes).Edges();
 }
 
 double InteractionAnalyzer::SoloBenefit(const Workload& workload,

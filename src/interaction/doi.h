@@ -10,7 +10,17 @@
 // maximization over X is exponential; following the paper's stability
 // observation we sample structured subsets (empty, singletons, the full
 // remainder, plus random subsets) — INUM makes the 4 cost calls per
-// sample cheap.
+// sample cheap, and every cost here is a cached-atom reprice
+// (InumCostModel::CostCached): once the workload is populated, a full
+// DoI matrix makes ZERO backend optimizer calls.
+//
+// Hard properties (tested in properties_test):
+//   * symmetry: PairDoi(a, b) == PairDoi(b, a) bit-for-bit (pairs are
+//     canonicalized to (min, max) before any arithmetic or sampling),
+//   * zero self-interaction: PairDoi(a, a) == 0,
+//   * determinism: AnalyzeMatrix shards work by query over the thread
+//     pool and reduces in workload order, so the matrix is bit-identical
+//     at any thread count.
 
 #ifndef DBDESIGN_INTERACTION_DOI_H_
 #define DBDESIGN_INTERACTION_DOI_H_
@@ -32,6 +42,47 @@ struct InteractionEdge {
   int a = 0;
   int b = 0;
   double doi = 0.0;
+
+  bool operator==(const InteractionEdge&) const = default;
+};
+
+/// Connected components of `num_nodes` vertices under `edges`:
+/// singletons included, clusters ordered by smallest member, members
+/// ascending. Shared by DoiMatrix::Clusters and
+/// InteractionGraph::Clusters.
+std::vector<std::vector<int>> ClustersFromEdges(
+    int num_nodes, const std::vector<InteractionEdge>& edges);
+
+/// The full pairwise DoI matrix over a candidate set, plus the
+/// per-query contribution rows behind it. The rows are what make the
+/// matrix incrementally maintainable: doi(a,b) is the weighted sum of
+/// per-query contributions, so a workload delta only has to (re)compute
+/// the rows of the queries it touched — DesignSession caches rows per
+/// template class and reuses every untouched one.
+struct DoiMatrix {
+  int num_indexes = 0;
+  /// Upper triangle in PairIndex order: weighted workload DoI per pair.
+  std::vector<double> doi;
+  /// contributions[i][p]: query i's unweighted worst-case interaction
+  /// for pair p (doi[p] = sum_i weight_i * contributions[i][p]).
+  std::vector<std::vector<double>> contributions;
+
+  /// Dense upper-triangle position of pair (a, b), order-insensitive.
+  int PairIndex(int a, int b) const;
+  double Doi(int a, int b) const {
+    return a == b ? 0.0 : doi[static_cast<size_t>(PairIndex(a, b))];
+  }
+  size_t num_pairs() const { return doi.size(); }
+
+  /// Edges with doi > min_doi, sorted heaviest first (ties broken by
+  /// (a, b) so the order is deterministic).
+  std::vector<InteractionEdge> Edges(double min_doi = 1e-6) const;
+
+  /// Connected components of the interaction graph induced by edges
+  /// with doi > min_doi: indexes in different clusters do not interact,
+  /// so their deployment benefits compose independently. Singleton
+  /// clusters included; clusters ordered by smallest member.
+  std::vector<std::vector<int>> Clusters(double min_doi = 1e-6) const;
 };
 
 class InteractionAnalyzer {
@@ -40,8 +91,27 @@ class InteractionAnalyzer {
       : inum_(&inum), options_(options) {}
 
   /// Degree of interaction for one pair within candidate set `indexes`.
+  /// Exactly symmetric in (a, b); zero when a == b.
   double PairDoi(const Workload& workload,
                  const std::vector<IndexDef>& indexes, int a, int b);
+
+  /// The full pairwise matrix. Populates INUM for the workload once,
+  /// then computes every query's contribution row via cached-atom
+  /// repricing — queries fan out across the thread pool (shard by
+  /// query, matching the costing engine's ownership model) and the
+  /// weighted reduction runs in workload order, so the result is
+  /// bit-identical at any backend num_threads setting.
+  DoiMatrix AnalyzeMatrix(const Workload& workload,
+                          const std::vector<IndexDef>& indexes);
+
+  /// Contribution rows for `queries` only (each row in input order),
+  /// against the same pair layout AnalyzeMatrix uses for `indexes`.
+  /// The incremental entry point: DesignSession calls this for the
+  /// template classes whose atoms changed and stitches the rows into
+  /// its cached matrix.
+  std::vector<std::vector<double>> ContributionRows(
+      const std::vector<BoundQuery>& queries,
+      const std::vector<IndexDef>& indexes);
 
   /// All pairwise interactions; edges with doi ~ 0 are dropped.
   std::vector<InteractionEdge> Analyze(const Workload& workload,
@@ -52,6 +122,12 @@ class InteractionAnalyzer {
                      const std::vector<IndexDef>& indexes, int a);
 
  private:
+  /// The sampled configurations X ⊆ S∖{a,b} for one (canonical) pair.
+  /// Depends only on (n, a, b, options) — query-independent, so the
+  /// matrix entry points build each pair's sample designs once and
+  /// share them read-only across the per-query workers.
+  std::vector<std::vector<int>> PairSamples(int n, int a, int b) const;
+
   InumCostModel* inum_;
   DoiOptions options_;
 };

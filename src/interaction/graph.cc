@@ -28,6 +28,10 @@ void InteractionGraph::SetDisplayedEdges(int k) {
   }
 }
 
+std::vector<std::vector<int>> InteractionGraph::Clusters() const {
+  return ClustersFromEdges(num_nodes(), all_edges_);
+}
+
 std::string InteractionGraph::ToDot() const {
   std::string out = "graph index_interactions {\n";
   out += "  node [shape=box, fontsize=10];\n";

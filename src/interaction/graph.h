@@ -29,6 +29,14 @@ class InteractionGraph {
   const std::vector<InteractionEdge>& edges() const { return visible_; }
   const std::vector<IndexDef>& indexes() const { return indexes_; }
 
+  /// Independent interaction clusters: connected components over ALL
+  /// edges (not just the displayed ones). Indexes in different clusters
+  /// do not interact, so their deployment benefits compose
+  /// independently — the deployment planner schedules across clusters
+  /// and reports them to the DBA. Singletons included; clusters ordered
+  /// by smallest member, members ascending.
+  std::vector<std::vector<int>> Clusters() const;
+
   /// Graphviz DOT rendering (what the demo GUI would draw).
   std::string ToDot() const;
 

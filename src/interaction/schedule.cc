@@ -1,7 +1,7 @@
 #include "interaction/schedule.h"
 
-#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace dbdesign {
@@ -27,69 +27,120 @@ double MaterializationSchedule::BenefitArea() const {
 
 MaterializationSchedule MaterializationScheduler::Build(
     const Workload& workload, const std::vector<IndexDef>& indexes,
-    const std::vector<int>& order) {
+    const std::vector<int>& order, const DesignConstraints& constraints) {
   MaterializationSchedule sched;
   PhysicalDesign built;
   sched.base_cost = inum_->WorkloadCost(workload, built);
   double prev_cost = sched.base_cost;
+  double budget = constraints.storage_budget_pages;
+  double pages = 0.0;
 
   const DbmsBackend& backend = inum_->backend();
   for (int i : order) {
     const IndexDef& idx = indexes[static_cast<size_t>(i)];
+    double build = backend.EstimateIndexSize(idx).total_pages();
+    if (pages + build > budget) {
+      // Budget respected at every intermediate step, by construction.
+      sched.skipped.push_back(idx);
+      continue;
+    }
     built.AddIndex(idx);
+    pages += build;
     double cost = inum_->WorkloadCost(workload, built);
     ScheduleStep step;
     step.index = idx;
-    step.build_pages = backend.EstimateIndexSize(idx).total_pages();
+    step.build_pages = build;
+    step.cumulative_pages = pages;
     step.marginal_benefit = prev_cost - cost;
     step.cost_after = cost;
+    step.pinned = constraints.IsPinned(idx);
     prev_cost = cost;
     sched.steps.push_back(std::move(step));
   }
-  sched.final_cost = prev_cost;
+  sched.total_pages = pages;
+
+  // Invariant: the last step's incrementally maintained cost must equal
+  // a from-scratch evaluation of the full scheduled design — the same
+  // number Designer::EvaluateDesigns reports for it. Recomputing from a
+  // freshly assembled design (rather than trusting `built`) is what
+  // catches bookkeeping drift; tests compare it to steps.back().
+  PhysicalDesign full;
+  for (const ScheduleStep& s : sched.steps) full.AddIndex(s.index);
+  sched.final_cost = inum_->WorkloadCost(workload, full);
   return sched;
 }
 
-MaterializationSchedule MaterializationScheduler::Greedy(
-    const Workload& workload, const std::vector<IndexDef>& indexes) {
-  std::vector<int> remaining(indexes.size());
-  std::iota(remaining.begin(), remaining.end(), 0);
-  std::vector<int> order;
-  PhysicalDesign built;
-  double current = inum_->WorkloadCost(workload, built);
-
-  while (!remaining.empty()) {
+void MaterializationScheduler::GreedyPhase(
+    const Workload& workload, const std::vector<IndexDef>& indexes,
+    std::vector<int> candidates, PhysicalDesign* built, double* current,
+    std::vector<int>* order) {
+  const DbmsBackend& backend = inum_->backend();
+  while (!candidates.empty()) {
     int best_pos = 0;
     double best_score = -std::numeric_limits<double>::infinity();
-    double best_cost = current;
-    const DbmsBackend& backend = inum_->backend();
-    for (size_t p = 0; p < remaining.size(); ++p) {
-      const IndexDef& idx = indexes[static_cast<size_t>(remaining[p])];
-      PhysicalDesign trial = built;
+    double best_cost = *current;
+    for (size_t p = 0; p < candidates.size(); ++p) {
+      const IndexDef& idx = indexes[static_cast<size_t>(candidates[p])];
+      PhysicalDesign trial = *built;
       trial.AddIndex(idx);
       double cost = inum_->WorkloadCost(workload, trial);
       double build = backend.EstimateIndexSize(idx).total_pages();
       // Benefit rate: early cheap high-benefit builds maximize the area.
-      double score = (current - cost) / std::max(1.0, build);
+      double score = (*current - cost) / std::max(1.0, build);
       if (score > best_score) {
         best_score = score;
         best_pos = static_cast<int>(p);
         best_cost = cost;
       }
     }
-    int chosen = remaining[static_cast<size_t>(best_pos)];
-    remaining.erase(remaining.begin() + best_pos);
-    order.push_back(chosen);
-    built.AddIndex(indexes[static_cast<size_t>(chosen)]);
-    current = best_cost;
+    int chosen = candidates[static_cast<size_t>(best_pos)];
+    candidates.erase(candidates.begin() + best_pos);
+    order->push_back(chosen);
+    built->AddIndex(indexes[static_cast<size_t>(chosen)]);
+    *current = best_cost;
   }
-  return Build(workload, indexes, order);
+}
+
+MaterializationSchedule MaterializationScheduler::Greedy(
+    const Workload& workload, const std::vector<IndexDef>& indexes) {
+  return Greedy(workload, indexes, DesignConstraints{});
+}
+
+MaterializationSchedule MaterializationScheduler::Greedy(
+    const Workload& workload, const std::vector<IndexDef>& indexes,
+    const DesignConstraints& constraints) {
+  // Vetoes are impossible by construction: a vetoed index never enters
+  // the candidate phases, so no step can contain one. Pins build first
+  // (greedy among themselves), then the rest.
+  std::vector<int> pinned;
+  std::vector<int> rest;
+  std::vector<int> vetoed;
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (constraints.IsVetoed(indexes[i])) {
+      vetoed.push_back(static_cast<int>(i));
+    } else if (constraints.IsPinned(indexes[i])) {
+      pinned.push_back(static_cast<int>(i));
+    } else {
+      rest.push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<int> order;
+  PhysicalDesign built;
+  double current = inum_->WorkloadCost(workload, built);
+  GreedyPhase(workload, indexes, std::move(pinned), &built, &current, &order);
+  GreedyPhase(workload, indexes, std::move(rest), &built, &current, &order);
+
+  MaterializationSchedule sched =
+      Build(workload, indexes, order, constraints);
+  for (int v : vetoed) sched.skipped.push_back(indexes[static_cast<size_t>(v)]);
+  return sched;
 }
 
 MaterializationSchedule MaterializationScheduler::FixedOrder(
     const Workload& workload, const std::vector<IndexDef>& indexes,
     const std::vector<int>& order) {
-  return Build(workload, indexes, order);
+  return Build(workload, indexes, order, DesignConstraints{});
 }
 
 MaterializationSchedule MaterializationScheduler::SoloBenefitOrder(
@@ -105,7 +156,7 @@ MaterializationSchedule MaterializationScheduler::SoloBenefitOrder(
   std::sort(ranked.begin(), ranked.end());
   std::vector<int> order;
   for (auto& [neg, i] : ranked) order.push_back(i);
-  return Build(workload, indexes, order);
+  return Build(workload, indexes, order, DesignConstraints{});
 }
 
 }  // namespace dbdesign

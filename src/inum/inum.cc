@@ -532,6 +532,12 @@ double InumCostModel::Cost(const BoundQuery& query,
   return cost;
 }
 
+double InumCostModel::CostCached(const BoundQuery& query,
+                                 const PhysicalDesign& design,
+                                 InumStats* stats) {
+  return CostPrepared(query, design, stats);
+}
+
 double InumCostModel::CostPrepared(const BoundQuery& query,
                                    const PhysicalDesign& design,
                                    InumStats* stats) {

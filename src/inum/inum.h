@@ -94,6 +94,27 @@ class InumCostModel {
   std::vector<std::vector<double>> CostMatrix(
       const Workload& workload, std::span<const PhysicalDesign> designs);
 
+  /// Cached-atom costing: prices `query` under `design` purely from the
+  /// already-populated plan cache (leaf repricing only — no backend
+  /// optimizer calls, no new populations for cached queries; an unseen
+  /// query falls back to the exact optimizer). Reuse/fallback counters
+  /// accumulate into caller-owned `stats` instead of the model's, so
+  /// parallel drivers (the interaction analyzer's DoI matrix, the cost
+  /// matrix) keep shard-local counters and merge them deterministically
+  /// via AccumulateStats. Thread-compatibility contract matches the rest
+  /// of the engine: concurrent callers must shard by query (one worker
+  /// owns a query's leaf memos end to end).
+  double CostCached(const BoundQuery& query, const PhysicalDesign& design,
+                    InumStats* stats);
+
+  /// Merges shard-local reuse/fallback counters gathered around
+  /// CostCached back into stats() (populate/cache counters are owned by
+  /// the model itself and ignored here).
+  void AccumulateStats(const InumStats& delta) {
+    stats_.reuse_calls += delta.reuse_calls;
+    stats_.fallback_calls += delta.fallback_calls;
+  }
+
   /// Forces population for a query (useful to front-load cache warmup).
   void Prepare(const BoundQuery& query);
 

@@ -196,6 +196,133 @@ TEST_F(InteractionTest, ScheduleBenefitAreaRewardsEarlyBenefit) {
 }
 
 
+TEST_F(InteractionTest, GreedyDominatesSoloBenefitUnderNegativeInteraction) {
+  // Differential regression pin for WHY the scheduler exists. Forced
+  // negative interaction: photoobj ra and dec both serve q1's conjunct
+  // — whichever is built first collapses the other's marginal benefit —
+  // while the specobj z index serves q2 independently with a smaller
+  // solo benefit. The interaction-oblivious solo order builds the two
+  // redundant indexes back to back and wastes its second build; greedy
+  // detours to the independent index. Greedy's cumulative benefit must
+  // dominate at EVERY prefix.
+  // All three indexes are single 8-byte columns on photoobj, so build
+  // pages are identical and greedy's benefit-rate ordering coincides
+  // with plain benefit ordering — the comparison isolates interaction
+  // awareness, not index-size accidents.
+  Workload w;
+  w.Add(Q("SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 100.8 "
+          "AND dec BETWEEN -0.05 AND 0.05"),
+        3.0);
+  w.Add(Q("SELECT objid FROM photoobj WHERE rowc < 5"));
+  std::vector<IndexDef> indexes = {
+      Idx("photoobj", {"ra"}),
+      Idx("photoobj", {"dec"}),
+      Idx("photoobj", {"rowc"}),
+  };
+  MaterializationScheduler scheduler(*inum_);
+  MaterializationSchedule greedy = scheduler.Greedy(w, indexes);
+  MaterializationSchedule solo = scheduler.SoloBenefitOrder(w, indexes);
+  ASSERT_EQ(greedy.steps.size(), indexes.size());
+  ASSERT_EQ(solo.steps.size(), indexes.size());
+
+  // The setup really does force the negative interaction and the solo
+  // ranking this test is about: both redundant indexes out-benefit the
+  // independent one solo, so solo order builds them back to back.
+  InteractionAnalyzer analyzer(*inum_);
+  EXPECT_GT(analyzer.PairDoi(w, indexes, 0, 1), 0.01);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_TRUE(solo.steps[k].index == indexes[0] ||
+                solo.steps[k].index == indexes[1])
+        << "solo-benefit order must rank the redundant pair first";
+  }
+
+  for (size_t k = 1; k <= indexes.size(); ++k) {
+    EXPECT_GE(greedy.BenefitAtPrefix(k) + 1e-6, solo.BenefitAtPrefix(k))
+        << "greedy prefix " << k << " fell behind the oblivious order";
+  }
+  // Strictly better somewhere, or the pin is vacuous.
+  EXPECT_GT(greedy.BenefitAtPrefix(2), solo.BenefitAtPrefix(2) + 1e-6);
+  EXPECT_NEAR(greedy.final_cost, solo.final_cost, 1e-6);
+}
+
+TEST_F(InteractionTest, ConstraintAwareScheduleHonorsPinsVetoesAndBudget) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 93);
+  std::vector<IndexDef> indexes = {
+      Idx("photoobj", {"ra", "dec"}),
+      Idx("photoobj", {"ra"}),
+      Idx("photoobj", {"run", "camcol", "field"}),
+      Idx("specobj", {"bestobjid"}),
+      Idx("specobj", {"z"}),
+  };
+  MaterializationScheduler scheduler(*inum_);
+
+  // Vetoes are impossible by construction.
+  DesignConstraints veto;
+  veto.Veto(indexes[0]);
+  MaterializationSchedule vs = scheduler.Greedy(w, indexes, veto);
+  EXPECT_EQ(vs.steps.size(), indexes.size() - 1);
+  ASSERT_EQ(vs.skipped.size(), 1u);
+  EXPECT_TRUE(vs.skipped[0] == indexes[0]);
+  for (const ScheduleStep& s : vs.steps) {
+    EXPECT_FALSE(s.index == indexes[0]);
+  }
+
+  // Pins build first even when greedy would not choose them.
+  DesignConstraints pin;
+  pin.Pin(indexes[2]);
+  pin.Pin(indexes[3]);
+  MaterializationSchedule ps = scheduler.Greedy(w, indexes, pin);
+  ASSERT_EQ(ps.steps.size(), indexes.size());
+  EXPECT_TRUE(ps.steps[0].pinned);
+  EXPECT_TRUE(ps.steps[1].pinned);
+  for (size_t k = 2; k < ps.steps.size(); ++k) {
+    EXPECT_FALSE(ps.steps[k].pinned);
+  }
+
+  // The storage budget holds at EVERY intermediate step; what does not
+  // fit is skipped, never built.
+  MaterializationSchedule all = scheduler.Greedy(w, indexes);
+  ASSERT_GE(all.steps.size(), 3u);
+  double budget = all.steps[1].cumulative_pages;  // room for two builds
+  DesignConstraints capped;
+  capped.storage_budget_pages = budget;
+  MaterializationSchedule bs = scheduler.Greedy(w, indexes, capped);
+  EXPECT_LT(bs.steps.size(), indexes.size());
+  EXPECT_EQ(bs.steps.size() + bs.skipped.size(), indexes.size());
+  for (const ScheduleStep& s : bs.steps) {
+    EXPECT_LE(s.cumulative_pages, budget + 1e-9);
+  }
+}
+
+TEST_F(InteractionTest, ClustersPartitionTheIndexSet) {
+  // photoobj and specobj indexes serve disjoint queries here, so they
+  // must land in different clusters.
+  Workload w;
+  w.Add(Q("SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 101"));
+  w.Add(Q("SELECT specobjid FROM specobj WHERE z BETWEEN 2.0 AND 2.2"));
+  std::vector<IndexDef> indexes = {
+      Idx("photoobj", {"ra"}),
+      Idx("photoobj", {"ra", "dec"}),
+      Idx("specobj", {"z"}),
+  };
+  InteractionAnalyzer analyzer(*inum_);
+  DoiMatrix m = analyzer.AnalyzeMatrix(w, indexes);
+  std::vector<std::vector<int>> clusters = m.Clusters();
+  size_t members = 0;
+  for (const auto& c : clusters) members += c.size();
+  EXPECT_EQ(members, indexes.size());
+  // The two photoobj alternatives interact; the specobj index is alone.
+  ASSERT_GE(clusters.size(), 2u);
+  std::vector<int> photo_cluster = {0, 1};
+  EXPECT_EQ(clusters[0], photo_cluster);
+  std::vector<int> spec_cluster = {2};
+  EXPECT_EQ(clusters[1], spec_cluster);
+
+  // InteractionGraph::Clusters agrees.
+  InteractionGraph graph(db_->catalog(), indexes, m.Edges());
+  EXPECT_EQ(graph.Clusters(), clusters);
+}
+
 TEST_F(InteractionTest, JsonExportIsWellFormed) {
   Workload w;
   w.Add(Q("SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 101"));

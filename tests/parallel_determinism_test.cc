@@ -15,6 +15,9 @@
 
 #include "backend/inmemory_backend.h"
 #include "core/designer.h"
+#include "core/session.h"
+#include "interaction/doi.h"
+#include "interaction/schedule.h"
 #include "inum/inum.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -228,6 +231,94 @@ TEST_F(ParallelDeterminismTest, EvaluateDesignsBitIdentical) {
             parallel.inum().stats().reuse_calls);
   EXPECT_EQ(serial.inum().stats().fallback_calls,
             parallel.inum().stats().fallback_calls);
+}
+
+TEST_F(ParallelDeterminismTest, DoiMatrixBitIdentical) {
+  // A small single-column pool keeps the pair count honest while still
+  // exercising cross-pair structure.
+  std::vector<IndexDef> pool;
+  for (const BoundQuery& q : workload_.queries) {
+    for (int s = 0; s < q.num_slots() && pool.size() < 6; ++s) {
+      for (ColumnId c : q.PredicateColumns(s)) {
+        IndexDef idx{q.tables[s], {c}, false};
+        bool dup = false;
+        for (const IndexDef& e : pool) dup |= e == idx;
+        if (!dup && pool.size() < 6) pool.push_back(idx);
+      }
+    }
+  }
+  ASSERT_GE(pool.size(), 3u);
+
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  InumCostModel serial(serial_backend);
+  InumCostModel parallel(parallel_backend);
+  InteractionAnalyzer sa(serial);
+  InteractionAnalyzer pa(parallel);
+
+  DoiMatrix a = sa.AnalyzeMatrix(workload_, pool);
+  DoiMatrix b = pa.AnalyzeMatrix(workload_, pool);
+  // Bit-identical, not approximately equal — down to the per-query
+  // contribution rows and the reuse counters.
+  EXPECT_EQ(a.doi, b.doi);
+  EXPECT_EQ(a.contributions, b.contributions);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_EQ(a.Clusters(), b.Clusters());
+  EXPECT_EQ(serial.stats().populate_optimizations,
+            parallel.stats().populate_optimizations);
+  EXPECT_EQ(serial.stats().reuse_calls, parallel.stats().reuse_calls);
+  EXPECT_EQ(serial.stats().fallback_calls, parallel.stats().fallback_calls);
+
+  // The schedules over the same pool agree field by field.
+  MaterializationScheduler ss(serial);
+  MaterializationScheduler ps(parallel);
+  MaterializationSchedule sg = ss.Greedy(workload_, pool);
+  MaterializationSchedule pg = ps.Greedy(workload_, pool);
+  ASSERT_EQ(sg.steps.size(), pg.steps.size());
+  for (size_t k = 0; k < sg.steps.size(); ++k) {
+    EXPECT_TRUE(sg.steps[k].index == pg.steps[k].index);
+    EXPECT_EQ(sg.steps[k].marginal_benefit, pg.steps[k].marginal_benefit);
+    EXPECT_EQ(sg.steps[k].cost_after, pg.steps[k].cost_after);
+    EXPECT_EQ(sg.steps[k].cumulative_pages, pg.steps[k].cumulative_pages);
+  }
+  EXPECT_EQ(sg.base_cost, pg.base_cost);
+  EXPECT_EQ(sg.final_cost, pg.final_cost);
+}
+
+TEST_F(ParallelDeterminismTest, PlanDeploymentBitIdentical) {
+  // The whole deployment stage — recommendation, DoI matrix, clusters,
+  // schedule — serial vs 8 threads.
+  InMemoryBackend serial_backend(db_, WithThreads(1));
+  InMemoryBackend parallel_backend(db_, WithThreads(8));
+  Designer serial_designer(serial_backend);
+  Designer parallel_designer(parallel_backend);
+  DesignSession serial(serial_designer);
+  DesignSession parallel(parallel_designer);
+  serial.SetWorkload(workload_);
+  parallel.SetWorkload(workload_);
+
+  auto ra = serial.Recommend();
+  auto rb = parallel.Recommend();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra.value().indexes, rb.value().indexes);
+
+  auto pa = serial.PlanDeployment();
+  auto pb = parallel.PlanDeployment();
+  ASSERT_TRUE(pa.ok()) << pa.status().ToString();
+  ASSERT_TRUE(pb.ok()) << pb.status().ToString();
+  EXPECT_EQ(pa.value().edges, pb.value().edges);
+  EXPECT_EQ(pa.value().clusters, pb.value().clusters);
+  ASSERT_EQ(pa.value().schedule.steps.size(), pb.value().schedule.steps.size());
+  for (size_t k = 0; k < pa.value().schedule.steps.size(); ++k) {
+    const ScheduleStep& x = pa.value().schedule.steps[k];
+    const ScheduleStep& y = pb.value().schedule.steps[k];
+    EXPECT_TRUE(x.index == y.index);
+    EXPECT_EQ(x.cost_after, y.cost_after);
+    EXPECT_EQ(x.cumulative_pages, y.cumulative_pages);
+    EXPECT_EQ(x.cluster, y.cluster);
+  }
+  EXPECT_EQ(pa.value().schedule.final_cost, pb.value().schedule.final_cost);
 }
 
 TEST_F(ParallelDeterminismTest, CoPhyRecommendationBitIdentical) {

@@ -3,9 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <numeric>
 
 #include "catalog/stats.h"
+#include "interaction/doi.h"
+#include "interaction/schedule.h"
 #include "optimizer/access_paths.h"
 #include "optimizer/optimizer.h"
 #include "inum/inum.h"
@@ -284,6 +289,119 @@ TEST_P(InumPropertyTest, ReuseNeverBeatsExactOnPartitionedDesigns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InumPropertyTest,
                          ::testing::Values(71u, 72u, 73u));
+
+// ---------- Interaction & deployment-schedule invariants ----------
+
+class InteractionPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 3000;
+    cfg.seed = GetParam();
+    db_ = std::make_unique<Database>(BuildSdssDatabase(cfg));
+    inum_ = std::make_unique<InumCostModel>(*db_);
+    workload_ =
+        GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 8, GetParam());
+    TableId photo = db_->catalog().FindTable(kPhotoObj);
+    TableId spec = db_->catalog().FindTable(kSpecObj);
+    const TableDef& pdef = db_->catalog().table(photo);
+    const TableDef& sdef = db_->catalog().table(spec);
+    indexes_ = {
+        IndexDef{photo, {pdef.FindColumn("ra")}, false},
+        IndexDef{photo, {pdef.FindColumn("ra"), pdef.FindColumn("dec")},
+                 false},
+        IndexDef{photo, {pdef.FindColumn("type")}, false},
+        IndexDef{spec, {sdef.FindColumn("z")}, false},
+    };
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InumCostModel> inum_;
+  Workload workload_;
+  std::vector<IndexDef> indexes_;
+};
+
+TEST_P(InteractionPropertyTest, DoiIsExactlySymmetric) {
+  // Not just mathematically symmetric: PairDoi canonicalizes the pair
+  // before any sampling or arithmetic, so the equality is bit-for-bit.
+  InteractionAnalyzer analyzer(*inum_);
+  int n = static_cast<int>(indexes_.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      EXPECT_EQ(analyzer.PairDoi(workload_, indexes_, a, b),
+                analyzer.PairDoi(workload_, indexes_, b, a))
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST_P(InteractionPropertyTest, SelfInteractionIsZero) {
+  InteractionAnalyzer analyzer(*inum_);
+  for (int a = 0; a < static_cast<int>(indexes_.size()); ++a) {
+    EXPECT_EQ(analyzer.PairDoi(workload_, indexes_, a, a), 0.0);
+  }
+}
+
+TEST_P(InteractionPropertyTest, MatrixAgreesWithPairDoi) {
+  InteractionAnalyzer analyzer(*inum_);
+  DoiMatrix m = analyzer.AnalyzeMatrix(workload_, indexes_);
+  int n = static_cast<int>(indexes_.size());
+  for (int a = 0; a < n; ++a) {
+    EXPECT_EQ(m.Doi(a, a), 0.0);
+    for (int b = a + 1; b < n; ++b) {
+      EXPECT_EQ(m.Doi(a, b), m.Doi(b, a));
+      EXPECT_NEAR(m.Doi(a, b), analyzer.PairDoi(workload_, indexes_, a, b),
+                  1e-9);
+    }
+  }
+}
+
+TEST_P(InteractionPropertyTest, EveryPermutationReachesTheSameFinalCost) {
+  // The build order changes the path, never the destination: all 4! = 24
+  // permutations end at the same final workload cost, and every
+  // schedule's per-step cost is monotone non-increasing (an index can
+  // only add plan options).
+  MaterializationScheduler scheduler(*inum_);
+  std::vector<int> order(indexes_.size());
+  std::iota(order.begin(), order.end(), 0);
+  double final_cost = -1.0;
+  do {
+    MaterializationSchedule s =
+        scheduler.FixedOrder(workload_, indexes_, order);
+    ASSERT_EQ(s.steps.size(), indexes_.size());
+    if (final_cost < 0) {
+      final_cost = s.final_cost;
+    } else {
+      EXPECT_NEAR(s.final_cost, final_cost, 1e-9 * std::abs(final_cost));
+    }
+    double prev = s.base_cost;
+    for (const ScheduleStep& step : s.steps) {
+      EXPECT_LE(step.cost_after, prev + 1e-6);
+      prev = step.cost_after;
+    }
+    EXPECT_DOUBLE_EQ(s.steps.back().cost_after, s.final_cost)
+        << "incremental bookkeeping drifted from the full design";
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST_P(InteractionPropertyTest, GreedyCostCurveIsMonotone) {
+  MaterializationScheduler scheduler(*inum_);
+  MaterializationSchedule greedy = scheduler.Greedy(workload_, indexes_);
+  ASSERT_EQ(greedy.steps.size(), indexes_.size());
+  double prev = greedy.base_cost;
+  double pages = 0.0;
+  for (const ScheduleStep& step : greedy.steps) {
+    EXPECT_LE(step.cost_after, prev + 1e-6)
+        << "greedy per-step workload cost must be non-increasing";
+    prev = step.cost_after;
+    pages += step.build_pages;
+    EXPECT_DOUBLE_EQ(step.cumulative_pages, pages);
+  }
+  EXPECT_DOUBLE_EQ(greedy.total_pages, pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InteractionPropertyTest,
+                         ::testing::Values(91u, 92u, 93u));
 
 }  // namespace
 }  // namespace dbdesign

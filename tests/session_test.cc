@@ -545,6 +545,273 @@ TEST_F(SessionTest, BigTraceCostCallsScaleWithClassesNotQueries) {
   EXPECT_EQ(session_->inum_populate_count(), populates);
 }
 
+// --- Deployment planning: the loop's last stage ---
+
+class SessionDeployTest : public SessionTest {
+ protected:
+  /// The compressed class workload the schedule is costed over.
+  Workload ClassWorkload() const {
+    Workload w;
+    for (const TemplateClass& cls : session_->template_classes()) {
+      w.Add(cls.representative, cls.weight);
+    }
+    return w;
+  }
+};
+
+TEST_F(SessionDeployTest, PlanDeploymentRequiresRecommendation) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 6, 37));
+  auto plan = session_->PlanDeployment();
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session_->last_deployment(), nullptr);
+}
+
+TEST_F(SessionDeployTest, WarmPlanDeploymentMakesZeroBackendCalls) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37));
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_GE(rec.value().indexes.size(), 2u);
+
+  // Acceptance criterion: after a warm Recommend the whole deployment
+  // stage — DoI matrix, clusters, schedule — runs on cached INUM atoms.
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  auto plan = session_->PlanDeployment();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls)
+      << "PlanDeployment after a warm Recommend must not touch the backend";
+  EXPECT_EQ(session_->inum_populate_count(), populates)
+      << "PlanDeployment after a warm Recommend must not repopulate INUM";
+
+  const DeploymentPlan& p = plan.value();
+  EXPECT_EQ(p.indexes, rec.value().indexes);
+  ASSERT_EQ(p.schedule.steps.size(), p.indexes.size());
+  EXPECT_TRUE(p.schedule.skipped.empty());
+  EXPECT_FALSE(p.schedule_reused);
+  EXPECT_EQ(p.doi_rows_computed, session_->num_template_classes());
+
+  // Every index is scheduled exactly once, cumulative pages are exact
+  // prefix sums, and each step is assigned to an interaction cluster.
+  double pages = 0.0;
+  for (const ScheduleStep& s : p.schedule.steps) {
+    pages += s.build_pages;
+    EXPECT_DOUBLE_EQ(s.cumulative_pages, pages);
+    EXPECT_GE(s.cluster, 0);
+    EXPECT_LT(s.cluster, static_cast<int>(p.clusters.size()));
+  }
+  EXPECT_DOUBLE_EQ(p.schedule.total_pages, pages);
+
+  // Clusters partition the index set.
+  size_t members = 0;
+  for (const auto& c : p.clusters) members += c.size();
+  EXPECT_EQ(members, p.indexes.size());
+
+  EXPECT_EQ(session_->last_deployment()->indexes, p.indexes);
+}
+
+TEST_F(SessionDeployTest, ScheduleFinalCostMatchesEvaluateDesigns) {
+  // The schedule's incrementally maintained final cost must equal a
+  // from-scratch Designer::EvaluateDesigns of the full design — the
+  // invariant that catches bookkeeping drift between the step costs
+  // and the design they claim to describe.
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37));
+  ASSERT_TRUE(session_->Recommend().ok());
+  auto plan = session_->PlanDeployment();
+  ASSERT_TRUE(plan.ok());
+  const MaterializationSchedule& sched = plan.value().schedule;
+  ASSERT_FALSE(sched.steps.empty());
+
+  PhysicalDesign full;
+  for (const ScheduleStep& s : sched.steps) full.AddIndex(s.index);
+  Designer fresh(*db_);
+  BenefitReport report = fresh.EvaluateDesign(ClassWorkload(), full);
+  EXPECT_DOUBLE_EQ(sched.final_cost, report.new_total);
+  EXPECT_DOUBLE_EQ(sched.base_cost, report.base_total);
+  EXPECT_DOUBLE_EQ(sched.steps.back().cost_after, sched.final_cost);
+}
+
+TEST_F(SessionDeployTest, NeutralRefineReusesScheduleOutright) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37));
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  auto first = session_->PlanDeployment();
+  ASSERT_TRUE(first.ok());
+
+  // Veto an index that was never recommended: the certificate holds,
+  // the index set is unchanged, and the schedule is provably unchanged.
+  TableId photo = db_->catalog().FindTable(kPhotoObj);
+  ColumnId rerun = db_->catalog().table(photo).FindColumn("rerun");
+  IndexDef unused{photo, {rerun}, false};
+  for (const IndexDef& idx : rec.value().indexes) ASSERT_FALSE(idx == unused);
+  ConstraintDelta delta;
+  delta.veto.push_back(unused);
+  auto refined = session_->Refine(delta);
+  ASSERT_TRUE(refined.ok());
+  ASSERT_EQ(refined.value().indexes, rec.value().indexes);
+
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  auto second = session_->PlanDeployment();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls);
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+  EXPECT_TRUE(second.value().schedule_reused);
+  EXPECT_EQ(second.value().doi_rows_computed, 0u);
+  EXPECT_EQ(second.value().doi_rows_reused, session_->num_template_classes());
+
+  // Reused outright means identical, field by field.
+  const MaterializationSchedule& a = first.value().schedule;
+  const MaterializationSchedule& b = second.value().schedule;
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t k = 0; k < a.steps.size(); ++k) {
+    EXPECT_TRUE(a.steps[k].index == b.steps[k].index);
+    EXPECT_EQ(a.steps[k].cost_after, b.steps[k].cost_after);
+    EXPECT_EQ(a.steps[k].cumulative_pages, b.steps[k].cumulative_pages);
+  }
+  EXPECT_EQ(a.final_cost, b.final_cost);
+}
+
+TEST_F(SessionDeployTest, WeightBumpReweightsDoiWithoutRecompute) {
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37);
+  session_->SetWorkload(w);
+  ASSERT_TRUE(session_->Recommend().ok());
+  auto first = session_->PlanDeployment();
+  ASSERT_TRUE(first.ok());
+
+  // A same-template append is a pure weight bump: every cached DoI row
+  // stays valid (the class's atoms did not change) — only the weighted
+  // sums and the schedule move.
+  session_->AddQueries({w.queries[0], w.queries[1]});
+  ASSERT_TRUE(session_->Recommend().ok());  // instant certificate reuse
+  uint64_t backend_calls = session_->backend_optimizer_calls();
+  uint64_t populates = session_->inum_populate_count();
+  auto second = session_->PlanDeployment();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session_->backend_optimizer_calls(), backend_calls);
+  EXPECT_EQ(session_->inum_populate_count(), populates);
+  EXPECT_EQ(second.value().doi_rows_computed, 0u)
+      << "weight bumps must not recompute any DoI row";
+  EXPECT_EQ(second.value().doi_rows_reused, session_->num_template_classes());
+  // The schedule was re-derived (weights shifted every marginal).
+  EXPECT_FALSE(second.value().schedule_reused);
+
+  // New templates recompute exactly their own rows (a hand-written
+  // query no generator mix emits, so it cannot fold into an existing
+  // class).
+  auto fresh = ParseAndBind(
+      db_->catalog(),
+      "SELECT objid FROM photoobj WHERE nchild > 4 AND extinction_r < 0.05");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  size_t before = session_->num_template_classes();
+  session_->AddQueries({fresh.value()});
+  size_t added = session_->num_template_classes() - before;
+  ASSERT_GT(added, 0u);
+  ASSERT_TRUE(session_->Recommend().ok());
+  auto third = session_->PlanDeployment();
+  ASSERT_TRUE(third.ok());
+  if (third.value().indexes == second.value().indexes) {
+    EXPECT_EQ(third.value().doi_rows_computed, added);
+    EXPECT_EQ(third.value().doi_rows_reused, before);
+  } else {
+    // The recommendation itself changed: every row is against a new
+    // index set and must recompute.
+    EXPECT_EQ(third.value().doi_rows_computed,
+              session_->num_template_classes());
+  }
+}
+
+TEST_F(SessionDeployTest, PinnedIndexesAreScheduledFirst) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37));
+  auto rec = session_->Recommend();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_GE(rec.value().indexes.size(), 2u);
+
+  // Pin the index greedy would otherwise build LAST.
+  auto first = session_->PlanDeployment();
+  ASSERT_TRUE(first.ok());
+  IndexDef last_built = first.value().schedule.steps.back().index;
+  ConstraintDelta delta;
+  delta.pin.push_back(last_built);
+  ASSERT_TRUE(session_->Refine(delta).ok());
+
+  auto plan = session_->PlanDeployment();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan.value().schedule_reused)
+      << "pinning a recommended index reorders the schedule";
+  ASSERT_FALSE(plan.value().schedule.steps.empty());
+  EXPECT_TRUE(plan.value().schedule.steps.front().index == last_built);
+  EXPECT_TRUE(plan.value().schedule.steps.front().pinned);
+  // Pins form a prefix of the schedule.
+  bool seen_unpinned = false;
+  for (const ScheduleStep& s : plan.value().schedule.steps) {
+    if (!s.pinned) {
+      seen_unpinned = true;
+    } else {
+      EXPECT_FALSE(seen_unpinned) << "pinned step after an unpinned one";
+    }
+  }
+}
+
+TEST_F(SessionDeployTest, ClassSwapWithSameWeightsRebuildsSchedule) {
+  // Regression: a remove-class + add-class edit that reproduces the old
+  // per-class weight VECTOR must not reuse the schedule costed on the
+  // old workload — class identity is part of the certificate.
+  Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 10, 37);
+  session_->SetWorkload(w);
+  ASSERT_TRUE(session_->Recommend().ok());
+  ASSERT_TRUE(session_->PlanDeployment().ok());
+
+  // Drop every instance of the last class, then add a fresh template
+  // carrying exactly the weight that was removed.
+  size_t victim = session_->num_template_classes() - 1;
+  double removed_weight = session_->template_classes()[victim].weight;
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < session_->workload().size(); ++i) {
+    if (session_->template_classes()[victim].representative.StructuralHash() ==
+        session_->workload().queries[i].StructuralHash()) {
+      positions.push_back(i);
+    }
+  }
+  ASSERT_FALSE(positions.empty());
+  ASSERT_TRUE(session_->RemoveQueries(positions).ok());
+  auto fresh = ParseAndBind(
+      db_->catalog(),
+      "SELECT objid FROM photoobj WHERE nchild > 4 AND extinction_r < 0.05");
+  ASSERT_TRUE(fresh.ok());
+  session_->AddQueries({fresh.value()}, removed_weight);
+  ASSERT_TRUE(session_->Recommend().ok());
+
+  auto plan = session_->PlanDeployment();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan.value().schedule_reused)
+      << "schedule costed on the old class must not survive the swap";
+  // The schedule's costs describe the CURRENT workload, not the old one.
+  const MaterializationSchedule& sched = plan.value().schedule;
+  PhysicalDesign full;
+  for (const ScheduleStep& s : sched.steps) full.AddIndex(s.index);
+  Designer fresh_designer(*db_);
+  BenefitReport report = fresh_designer.EvaluateDesign(ClassWorkload(), full);
+  EXPECT_DOUBLE_EQ(sched.base_cost, report.base_total);
+  EXPECT_DOUBLE_EQ(sched.final_cost, report.new_total);
+}
+
+TEST_F(SessionDeployTest, SetWorkloadInvalidatesDeployment) {
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 6, 37));
+  ASSERT_TRUE(session_->Recommend().ok());
+  ASSERT_TRUE(session_->PlanDeployment().ok());
+  ASSERT_NE(session_->last_deployment(), nullptr);
+
+  session_->SetWorkload(
+      GenerateWorkload(*db_, TemplateMix::PhaseSelections(), 4, 5));
+  EXPECT_EQ(session_->last_deployment(), nullptr);
+}
+
 TEST_F(SessionTest, SessionJsonRoundTrip) {
   Workload w = GenerateWorkload(*db_, TemplateMix::OfflineDefault(), 6, 21);
   session_->SetWorkload(w);

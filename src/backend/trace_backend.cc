@@ -277,7 +277,7 @@ PhysicalDesign TraceBackend::CurrentDesign() const {
 
 uint64_t TraceBackend::num_optimizer_calls() const {
   if (recording()) return inner_->num_optimizer_calls();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return calls_;
 }
 
@@ -285,7 +285,7 @@ void TraceBackend::ResetCallCount() {
   if (recording()) {
     inner_->ResetCallCount();
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     calls_ = 0;
   }
 }
@@ -297,11 +297,12 @@ Result<PlanResult> TraceBackend::OptimizeQuery(const BoundQuery& query,
   if (recording()) {
     Result<PlanResult> r = inner_->OptimizeQuery(query, design, knobs);
     if (r.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       costs_[key] = r.value().cost;
     }
     return r;
   }
+  MutexLock lock(mu_);
   auto it = costs_.find(key);
   if (it == costs_.end()) {
     return Status::NotFound("trace has no recording for call " + key);
@@ -318,11 +319,12 @@ Result<double> TraceBackend::CostQuery(const BoundQuery& query,
   if (recording()) {
     Result<double> r = inner_->CostQuery(query, design, knobs);
     if (r.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       costs_[key] = r.value();
     }
     return r;
   }
+  MutexLock lock(mu_);
   auto it = costs_.find(key);
   if (it == costs_.end()) {
     return Status::NotFound("trace has no recording for call " + key);
@@ -337,7 +339,7 @@ Result<std::vector<double>> TraceBackend::CostBatch(
   if (recording()) {
     Result<std::vector<double>> r = inner_->CostBatch(queries, design, knobs);
     if (r.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (size_t i = 0; i < queries.size(); ++i) {
         costs_[CallKeyWithSuffix(queries[i], suffix)] = r.value()[i];
       }
@@ -347,6 +349,7 @@ Result<std::vector<double>> TraceBackend::CostBatch(
   // Replay: one map lookup per query, no optimizer anywhere.
   std::vector<double> costs;
   costs.reserve(queries.size());
+  MutexLock lock(mu_);
   for (const BoundQuery& q : queries) {
     auto it = costs_.find(CallKeyWithSuffix(q, suffix));
     if (it == costs_.end()) {
@@ -418,7 +421,7 @@ std::string TraceBackend::ToJson() const {
 
   Json calls = Json::Object();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [key, cost] : costs_) calls[key] = Json::Number(cost);
   }
   root["cost_calls"] = std::move(calls);

@@ -27,11 +27,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/backend.h"
+#include "util/thread_annotations.h"
 
 namespace dbdesign {
 
@@ -54,7 +54,7 @@ class TraceBackend final : public DbmsBackend {
 
   bool recording() const { return inner_ != nullptr; }
   size_t num_recorded_costs() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return costs_.size();
   }
 
@@ -98,9 +98,9 @@ class TraceBackend final : public DbmsBackend {
   std::vector<TableStats> stats_;    // replay-mode snapshot
   PhysicalDesign design_;            // materialized design at capture
   /// Guards costs_ and calls_ against concurrent cost calls.
-  mutable std::mutex mu_;
-  std::map<std::string, double> costs_;
-  uint64_t calls_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, double> costs_ DBD_GUARDED_BY(mu_);
+  uint64_t calls_ DBD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dbdesign

@@ -1,9 +1,10 @@
 #include "catalog/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <map>
+
+#include "util/logging.h"
 
 namespace dbdesign {
 
@@ -20,7 +21,7 @@ double TableStats::FragmentPages(const TableDef& def,
 
 ColumnStats BuildColumnStats(const std::vector<Value>& values,
                              const AnalyzeOptions& options) {
-  assert(!values.empty());
+  DBD_CHECK(!values.empty());
   ColumnStats stats;
 
   // Sort a copy to derive order statistics; keep original order for the

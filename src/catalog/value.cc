@@ -30,7 +30,8 @@ int DataTypeWidth(DataType type) {
 
 int Value::Compare(const Value& other) const {
   if (type() == DataType::kString || other.type() == DataType::kString) {
-    assert(type() == DataType::kString && other.type() == DataType::kString);
+    DBD_CHECK(type() == DataType::kString &&
+              other.type() == DataType::kString);
     const std::string& a = AsString();
     const std::string& b = other.AsString();
     if (a < b) return -1;

@@ -3,7 +3,7 @@
 #ifndef DBDESIGN_CATALOG_VALUE_H_
 #define DBDESIGN_CATALOG_VALUE_H_
 
-#include <cassert>
+#include "util/logging.h"
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -44,18 +44,18 @@ class Value {
   }
 
   int64_t AsInt() const {
-    assert(std::holds_alternative<int64_t>(v_));
+    DBD_DCHECK(std::holds_alternative<int64_t>(v_));
     return std::get<int64_t>(v_);
   }
   double AsDouble() const {
     if (std::holds_alternative<int64_t>(v_)) {
       return static_cast<double>(std::get<int64_t>(v_));
     }
-    assert(std::holds_alternative<double>(v_));
+    DBD_DCHECK(std::holds_alternative<double>(v_));
     return std::get<double>(v_);
   }
   const std::string& AsString() const {
-    assert(std::holds_alternative<std::string>(v_));
+    DBD_DCHECK(std::holds_alternative<std::string>(v_));
     return std::get<std::string>(v_);
   }
 

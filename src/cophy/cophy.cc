@@ -50,7 +50,12 @@ std::vector<CoPhyAtom> CoPhyAdvisor::BuildAtoms(
   }
   auto candidate_id = [&](const IndexDef& idx) {
     auto it = id_by_key.find(idx.Key());
-    return it == id_by_key.end() ? -1 : it->second;
+    if (it == id_by_key.end()) return -1;
+    // Key() is a structural rendering, so a hit must be the same index;
+    // a mismatch means the key scheme lost information.
+    DBD_DCHECK(candidates[static_cast<size_t>(it->second)].index == idx &&
+               "IndexDef::Key collision in the candidate map");
+    return it->second;
   };
 
   // One access option: leaf cost + the candidate it needs (-1 = none).

@@ -43,7 +43,7 @@ Result<GreedyResult> GreedyAdvisor::TryRecommendWithCandidates(
     const DesignConstraints& constraints) {
   Status s = constraints.Validate(backend_->catalog());
   if (!s.ok()) return s;
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();  // NOLINT(determinism): solve_time_sec telemetry only; never feeds candidate choice or costs
   GreedyResult result;
   inum_.ResetStats();
 
@@ -117,7 +117,9 @@ Result<GreedyResult> GreedyAdvisor::TryRecommendWithCandidates(
   result.final_cost = current_cost;
   result.cost_evaluations = inum_.stats().reuse_calls;
   result.solve_time_sec =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() -  // NOLINT(determinism): solve_time_sec telemetry only; never feeds candidate choice or costs
+          t0)
           .count();
   return result;
 }

@@ -8,6 +8,7 @@
 #include "catalog/design_json.h"
 #include "interaction/doi.h"
 #include "sql/binder.h"
+#include "util/logging.h"
 #include "util/str.h"
 
 namespace dbdesign {
@@ -396,6 +397,12 @@ std::vector<double> DesignSession::ExpandPerQueryCost(
 }
 
 IndexRecommendation DesignSession::ReweightedLastRecommendation() const {
+  // Certificate-reuse precondition: the per-class costs of the reused
+  // solve must still line up 1:1 with the live class table — a class
+  // added or dropped since the solve invalidates the certificate, and
+  // the callers are responsible for having checked that already.
+  DBD_DCHECK(last_rec_.has_value());
+  DBD_DCHECK_EQ(last_class_cost_.size(), classes_.size());
   IndexRecommendation rec = *last_rec_;
   rec.per_query_cost = ExpandPerQueryCost(last_class_cost_);
   rec.recommended_cost = 0.0;
@@ -612,6 +619,10 @@ Result<DeploymentPlan> DesignSession::PlanDeployment() {
   matrix.doi.assign(num_pairs, 0.0);
   for (size_t c = 0; c < classes.size(); ++c) {
     const std::vector<double>& row = doi_rows_[keys[c]];
+    // A cached contribution row is only reusable if it was computed
+    // against THIS index set (doi_indexes_ == indexes, checked above):
+    // its length must cover the current pair triangle exactly.
+    DBD_DCHECK_EQ(row.size(), num_pairs);
     for (size_t p = 0; p < num_pairs; ++p) {
       matrix.doi[p] += classes[c].weight * row[p];
     }

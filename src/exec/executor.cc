@@ -322,17 +322,27 @@ class PlanInterpreter {
     if (!inner.ok()) return inner;
     const BoundJoin& j = *node.join_cond;
     // Orient the key columns: join_cond.left belongs to the outer subtree.
-    std::unordered_multimap<uint64_t, const ExecTuple*> table;
+    // The table stores inner ROW POSITIONS, and matches within a probe
+    // are emitted in ascending position: unordered_multimap::equal_range
+    // yields duplicates in an implementation-defined order, so emitting
+    // straight from it would make join output order (and thus any
+    // downstream result without an ORDER BY) drift across standard
+    // libraries — the match set is sorted back into inner-row order.
+    std::unordered_multimap<uint64_t, size_t> table;
     table.reserve(inner.value().size());
-    for (const ExecTuple& i : inner.value()) {
-      table.emplace(i.Get(j.right).Hash(), &i);
+    for (size_t i = 0; i < inner.value().size(); ++i) {
+      table.emplace(inner.value()[i].Get(j.right).Hash(), i);
     }
     std::vector<ExecTuple> out;
     std::vector<BoundJoin> conds = AllJoinConds(node);
+    std::vector<size_t> matches;
     for (const ExecTuple& o : outer.value()) {
       auto [lo_it, hi_it] = table.equal_range(o.Get(j.left).Hash());
-      for (auto it = lo_it; it != hi_it; ++it) {
-        ExecTuple t = Combine(o, *it->second);
+      matches.clear();
+      for (auto it = lo_it; it != hi_it; ++it) matches.push_back(it->second);
+      std::sort(matches.begin(), matches.end());
+      for (size_t i : matches) {
+        ExecTuple t = Combine(o, inner.value()[i]);
         if (PassesJoins(t, conds)) out.push_back(t);
       }
     }
@@ -418,11 +428,18 @@ class PlanInterpreter {
     for (RowId id = 0; id < data.NumRows(); ++id) {
       table.emplace(data.row(id)[j.right.column].Hash(), id);
     }
+    // Same determinism discipline as Hash(): equal_range order is
+    // implementation-defined, so matches are sorted into row-id order
+    // (the order an index-nested-loop scan of the base table would emit).
+    std::vector<RowId> matches;
     for (const ExecTuple& o : outer.value()) {
       auto [lo_it, hi_it] = table.equal_range(o.Get(j.left).Hash());
-      for (auto it = lo_it; it != hi_it; ++it) {
+      matches.clear();
+      for (auto it = lo_it; it != hi_it; ++it) matches.push_back(it->second);
+      std::sort(matches.begin(), matches.end());
+      for (RowId id : matches) {
         ExecTuple t = o;
-        t.rows[inner_slot] = &data.row(it->second);
+        t.rows[inner_slot] = &data.row(id);
         if (PassesFilters(t, node.filter) && PassesJoins(t, conds)) {
           out.push_back(t);
         }

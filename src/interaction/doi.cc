@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -75,9 +76,11 @@ std::vector<double> QueryRow(
 }  // namespace
 
 int DoiMatrix::PairIndex(int a, int b) const {
+  DBD_DCHECK_NE(a, b);  // self-pairs have no triangle slot (DoI is 0)
   if (a > b) std::swap(a, b);
-  int n = num_indexes;
-  return a * (2 * n - a - 1) / 2 + (b - a - 1);
+  DBD_DCHECK_GE(a, 0);
+  DBD_DCHECK_LT(b, num_indexes);
+  return a * (2 * num_indexes - a - 1) / 2 + (b - a - 1);
 }
 
 std::vector<InteractionEdge> DoiMatrix::Edges(double min_doi) const {
@@ -217,6 +220,9 @@ DoiMatrix InteractionAnalyzer::AnalyzeMatrix(
   m.doi.assign(num_pairs, 0.0);
   // Weighted reduction in workload order — the determinism invariant.
   for (size_t i = 0; i < workload.size(); ++i) {
+    // Every contribution row must cover exactly the pair triangle; a
+    // short row would silently zero the heaviest pairs.
+    DBD_DCHECK_EQ(m.contributions[i].size(), num_pairs);
     double w = workload.WeightOf(i);
     for (size_t p = 0; p < num_pairs; ++p) {
       m.doi[p] += w * m.contributions[i][p];

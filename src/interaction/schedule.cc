@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "util/logging.h"
+
 namespace dbdesign {
 
 double MaterializationSchedule::BenefitArea() const {
@@ -44,6 +46,7 @@ MaterializationSchedule MaterializationScheduler::Build(
       sched.skipped.push_back(idx);
       continue;
     }
+    DBD_DCHECK_GE(build, 0.0);
     built.AddIndex(idx);
     pages += build;
     double cost = inum_->WorkloadCost(workload, built);
@@ -55,6 +58,12 @@ MaterializationSchedule MaterializationScheduler::Build(
     step.cost_after = cost;
     step.pinned = constraints.IsPinned(idx);
     prev_cost = cost;
+    // Cumulative pages are monotone non-decreasing and never exceed the
+    // budget at ANY intermediate step — the schedule's core contract.
+    DBD_DCHECK_GE(step.cumulative_pages,
+                  sched.steps.empty() ? 0.0
+                                      : sched.steps.back().cumulative_pages);
+    DBD_DCHECK_LE(step.cumulative_pages, budget);
     sched.steps.push_back(std::move(step));
   }
   sched.total_pages = pages;

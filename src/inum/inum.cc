@@ -149,7 +149,12 @@ InumCostModel::QueryCache& InumCostModel::Populate(const BoundQuery& query) {
   // of workload-assigned ids.
   uint64_t key = query.StructuralHash();
   auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    DBD_DCHECK(it->second.sql_key == query.ToSql(backend_->catalog()) &&
+               "StructuralHash collision: two different queries share an "
+               "atom-cache key");
+    return it->second;
+  }
 
   BuiltCache built = BuildCache(query);
   auto [ins, ok] = cache_.emplace(key, std::move(built.qc));
@@ -301,6 +306,7 @@ InumCostModel::BuiltCache InumCostModel::BuildCache(const BoundQuery& query) {
   BuiltCache built;
   built.combos = combos.size();
   QueryCache& qc = built.qc;
+  qc.sql_key = query.ToSql(backend_->catalog());
   qc.plans = std::move(plans);
   qc.slot_orders.resize(static_cast<size_t>(n));
   for (CachedPlan& plan : qc.plans) {
@@ -346,7 +352,13 @@ void InumCostModel::PrepareQueries(std::span<const BoundQuery> queries) {
   std::unordered_set<uint64_t> seen;
   for (const BoundQuery& q : queries) {
     uint64_t key = q.StructuralHash();
-    if (cache_.find(key) != cache_.end()) continue;
+    auto hit = cache_.find(key);
+    if (hit != cache_.end()) {
+      DBD_DCHECK(hit->second.sql_key == q.ToSql(backend_->catalog()) &&
+                 "StructuralHash collision: two different queries share an "
+                 "atom-cache key");
+      continue;
+    }
     if (seen.insert(key).second) missing.push_back(&q);
   }
   PreparePtrs(missing);

@@ -177,6 +177,11 @@ class InumCostModel {
 
   /// Everything cached for one query.
   struct QueryCache {
+    /// Canonical SQL of the query this cache was built for — the
+    /// collision tripwire for the 64-bit StructuralHash cache key
+    /// (debug builds verify every hit; the PR 4 template-signature
+    /// collision lesson applied to the atom cache).
+    std::string sql_key;
     std::vector<CachedPlan> plans;
     /// Distinct kOrdered requirements per slot, in first-seen order
     /// (indexes into satisfies_mask bits).

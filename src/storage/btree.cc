@@ -1,7 +1,6 @@
 #include "storage/btree.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace dbdesign {
 

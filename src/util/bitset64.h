@@ -7,7 +7,7 @@
 #define DBDESIGN_UTIL_BITSET64_H_
 
 #include <bit>
-#include <cassert>
+#include "util/logging.h"
 #include <cstdint>
 
 namespace dbdesign {
@@ -38,7 +38,7 @@ class Bitset64 {
 
   /// Index of the lowest set bit. Requires a non-empty set.
   constexpr int Lowest() const {
-    assert(bits_ != 0);
+    DBD_DCHECK(bits_ != 0);
     return std::countr_zero(bits_);
   }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dbdesign {
 
@@ -39,5 +40,24 @@ void LogMessage(LogLevel level, const std::string& msg) {
   }
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
+
+namespace internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& operands) {
+  // Bypasses the log-level filter: a failed invariant must be visible
+  // even when tests/benches silence the logger.
+  if (operands.empty()) {
+    std::fprintf(stderr, "[FATAL] CHECK failed: %s at %s:%d\n", expr, file,
+                 line);
+  } else {
+    std::fprintf(stderr, "[FATAL] CHECK failed: %s (%s) at %s:%d\n", expr,
+                 operands.c_str(), file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace dbdesign

@@ -1,8 +1,9 @@
 #include "util/rng.h"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "util/logging.h"
 
 namespace dbdesign {
 
@@ -37,7 +38,7 @@ uint64_t Rng::Next() {
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  DBD_DCHECK_LE(lo, hi);
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
   // Rejection sampling to avoid modulo bias.
@@ -83,7 +84,7 @@ double ZipfHInv(double u, double s) {
 }  // namespace
 
 int64_t Rng::Zipf(int64_t n, double s) {
-  assert(n >= 1);
+  DBD_DCHECK_GE(n, 1);
   if (s <= 1e-9) return UniformInt(0, n - 1);
   if (n != zipf_n_ || s != zipf_s_) {
     zipf_n_ = n;
@@ -112,7 +113,7 @@ int64_t Rng::Zipf(int64_t n, double s) {
 bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
 
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
-  assert(k <= n);
+  DBD_DCHECK_LE(k, n);
   // Floyd's algorithm: O(k) expected time, O(k) space.
   std::vector<int> out;
   out.reserve(static_cast<size_t>(k));

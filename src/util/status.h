@@ -7,7 +7,7 @@
 #ifndef DBDESIGN_UTIL_STATUS_H_
 #define DBDESIGN_UTIL_STATUS_H_
 
-#include <cassert>
+#include "util/logging.h"
 #include <optional>
 #include <string>
 #include <utility>
@@ -95,22 +95,23 @@ class Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    DBD_CHECK(!status_.ok() &&
+              "Result constructed from OK status without value");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    DBD_DCHECK(ok() && "value() called on an error Result");
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    DBD_DCHECK(ok() && "value() called on an error Result");
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    DBD_DCHECK(ok() && "value() called on an error Result");
     return std::move(*value_);
   }
 

@@ -1,0 +1,137 @@
+// Clang Thread Safety Analysis annotations + an annotated Mutex.
+//
+// The repo's headline guarantee — recommend/refine/deploy results are
+// bit-identical at any thread count — depends on every piece of shared
+// mutable state being either (a) guarded by a mutex the compiler can
+// check, (b) an std::atomic with a documented protocol, or (c) owned by
+// exactly one thread (shard-by-query ownership). This header makes (a)
+// statically enforceable: declare locks as `Mutex`, annotate the fields
+// they protect with `DBD_GUARDED_BY(mu_)`, and compile with
+// `-Wthread-safety -Werror=thread-safety-analysis` (clang; the macros
+// expand to nothing elsewhere, so gcc builds are unaffected).
+//
+// Conventions (checked by tools/lint/determinism_lint.py):
+//   * Use `Mutex` + `MutexLock`, not raw std::mutex/std::lock_guard —
+//     raw std::mutex is invisible to the analysis.
+//   * Every Mutex member must appear in at least one DBD_GUARDED_BY /
+//     DBD_PT_GUARDED_BY / DBD_REQUIRES annotation in the same file.
+//   * Condition-variable waits go through CondVar::Wait(mu) inside an
+//     explicit predicate loop, so the guarded reads in the predicate
+//     stay inside a function scope the analysis can see.
+
+#ifndef DBDESIGN_UTIL_THREAD_ANNOTATIONS_H_
+#define DBDESIGN_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DBD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DBD_THREAD_ANNOTATION
+#define DBD_THREAD_ANNOTATION(x)  // no-op on non-clang compilers
+#endif
+
+/// Declares that a type is a lock (a "capability" in clang's model).
+#define DBD_CAPABILITY(name) DBD_THREAD_ANNOTATION(capability(name))
+
+/// Declares that an RAII type acquires a capability for its lifetime.
+#define DBD_SCOPED_CAPABILITY DBD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads/writes require holding `mu`.
+#define DBD_GUARDED_BY(mu) DBD_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointer-target annotation: the pointed-to data requires `mu`.
+#define DBD_PT_GUARDED_BY(mu) DBD_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Function annotation: caller must hold the listed capabilities.
+#define DBD_REQUIRES(...) \
+  DBD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: caller must NOT hold the listed capabilities.
+#define DBD_EXCLUDES(...) DBD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: acquires the capability (held on return).
+#define DBD_ACQUIRE(...) \
+  DBD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capability (held on entry).
+#define DBD_RELEASE(...) \
+  DBD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff it returns `result`.
+#define DBD_TRY_ACQUIRE(result, ...) \
+  DBD_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Escape hatch: the function body is not analyzed. Use only with a
+/// comment explaining why the analysis cannot see the protocol.
+#define DBD_NO_THREAD_SAFETY_ANALYSIS \
+  DBD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Declares the return value is a reference to a capability.
+#define DBD_RETURN_CAPABILITY(mu) DBD_THREAD_ANNOTATION(lock_returned(mu))
+
+namespace dbdesign {
+
+class CondVar;
+
+/// std::mutex with the capability attribute, so DBD_GUARDED_BY fields
+/// and MutexLock scopes are statically checked under clang.
+class DBD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DBD_ACQUIRE() { mu_.lock(); }
+  void Unlock() DBD_RELEASE() { mu_.unlock(); }
+  bool TryLock() DBD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock, the only sanctioned way to hold a Mutex.
+class DBD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DBD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DBD_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Wait() takes the already-held Mutex
+/// so callers write an explicit `while (!predicate) cv.Wait(mu);` loop —
+/// that keeps every guarded read of the predicate inside the annotated
+/// function scope (a wait-with-lambda would move them into a closure
+/// the analysis treats as an unannotated function).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before return.
+  void Wait(Mutex& mu) DBD_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_THREAD_ANNOTATIONS_H_

@@ -33,7 +33,7 @@ ThreadPool& ThreadPool::Shared() {
 ThreadPool::ThreadPool(int num_threads, bool growable) : growable_(growable) {
   int workers = std::max(0, num_threads - 1);
   for (int i = 0; i < workers; ++i) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     workers_.emplace_back([this] { WorkerLoop(); });
     worker_count_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -42,27 +42,36 @@ ThreadPool::ThreadPool(int num_threads, bool growable) : growable_(growable) {
 void ThreadPool::EnsureWorkers(int count) {
   count = std::min(count, kMaxPoolThreads - 1);
   while (worker_count_.load(std::memory_order_relaxed) < count) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     workers_.emplace_back([this] { WorkerLoop(); });
     worker_count_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 ThreadPool::~ThreadPool() {
+  // Move the thread handles out under the lock, then join unlocked —
+  // workers must be able to re-acquire mu_ to observe stop_ and exit.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  work_cv_.NotifyAll();
+  for (std::thread& t : workers) t.join();
 }
 
 void ThreadPool::Job::Record(size_t index, std::exception_ptr e) {
-  std::lock_guard<std::mutex> lock(err_mu);
+  MutexLock lock(err_mu);
   if (err == nullptr || index < err_index) {
     err = std::move(e);
     err_index = index;
   }
+}
+
+std::exception_ptr ThreadPool::Job::TakeError() {
+  MutexLock lock(err_mu);
+  return err;
 }
 
 void ThreadPool::Job::RunChunk() {
@@ -82,10 +91,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && job_seq_ != seen_seq);
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && (job_ == nullptr || job_seq_ == seen_seq)) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
       seen_seq = job_seq_;
       job = job_;
@@ -99,8 +108,8 @@ void ThreadPool::WorkerLoop() {
       // The empty critical section orders this worker's `completed`
       // updates with the caller's predicate check, so the notify cannot
       // slip into the window between that check and the caller's sleep.
-      { std::lock_guard<std::mutex> lock(mu_); }
-      done_cv_.notify_one();
+      { MutexLock lock(mu_); }
+      done_cv_.NotifyOne();
     }
   }
 }
@@ -114,7 +123,7 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
     return;
   }
 
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  MutexLock submit(submit_mu_);
   if (growable_) EnsureWorkers(budget - 1);
   if (worker_count_.load(std::memory_order_relaxed) == 0) {
     for (size_t i = 0; i < n; ++i) fn(i);
@@ -125,11 +134,11 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
   job->n = n;
   job->max_helpers = budget - 1;  // caller participates
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = job;
     ++job_seq_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller is itself a task runner for the duration of its chunk:
   // a ParallelFor issued from inside one of its tasks must flatten.
@@ -138,16 +147,17 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
   tls_in_parallel_task = false;
 
   if (job->completed.load(std::memory_order_acquire) < n) {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job->completed.load(std::memory_order_acquire) >= n;
-    });
+    MutexLock lock(mu_);
+    while (job->completed.load(std::memory_order_acquire) < n) {
+      done_cv_.Wait(mu_);
+    }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = nullptr;
   }
-  if (job->err != nullptr) std::rethrow_exception(job->err);
+  std::exception_ptr err = job->TakeError();
+  if (err != nullptr) std::rethrow_exception(err);
 }
 
 }  // namespace dbdesign

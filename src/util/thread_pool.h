@@ -21,13 +21,13 @@
 #define DBDESIGN_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dbdesign {
 
@@ -76,35 +76,40 @@ class ThreadPool {
  private:
   /// One ParallelFor invocation: tasks claim indexes via fetch_add.
   struct Job {
+    // Set once before publication, read-only while the job runs.
     const std::function<void(size_t)>* fn = nullptr;
     size_t n = 0;
     int max_helpers = 0;
+    // Lock-free work distribution / completion protocol.
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
     std::atomic<int> helpers{0};
-    std::mutex err_mu;
-    size_t err_index = 0;
-    std::exception_ptr err;
+    Mutex err_mu;
+    size_t err_index DBD_GUARDED_BY(err_mu) = 0;
+    std::exception_ptr err DBD_GUARDED_BY(err_mu);
 
     void Record(size_t index, std::exception_ptr e);
     void RunChunk();
+    /// First-thrown-by-lowest-index exception, if any (call after the
+    /// job has fully drained — no concurrent Record possible).
+    std::exception_ptr TakeError();
   };
 
   void WorkerLoop();
-  /// Grows the worker set to `count` (growable pools only; caller must
-  /// hold submit_mu_).
-  void EnsureWorkers(int count);
+  /// Grows the worker set to `count` (growable pools only).
+  void EnsureWorkers(int count) DBD_REQUIRES(submit_mu_);
 
-  std::mutex mu_;                  // guards job_/job_seq_/stop_/workers_
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;
-  uint64_t job_seq_ = 0;
-  bool stop_ = false;
-  bool growable_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::shared_ptr<Job> job_ DBD_GUARDED_BY(mu_);
+  uint64_t job_seq_ DBD_GUARDED_BY(mu_) = 0;
+  bool stop_ DBD_GUARDED_BY(mu_) = false;
+  const bool growable_ = false;  // immutable after construction
   std::atomic<int> worker_count_{0};
-  std::mutex submit_mu_;  // one ParallelFor at a time per pool
-  std::vector<std::thread> workers_;
+  /// Serializes submissions: one ParallelFor at a time per pool.
+  Mutex submit_mu_;
+  std::vector<std::thread> workers_ DBD_GUARDED_BY(mu_);
 };
 
 }  // namespace dbdesign

@@ -1,9 +1,9 @@
 #include "workload/queries.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "sql/binder.h"
+#include "util/logging.h"
 #include "util/str.h"
 
 namespace dbdesign {
@@ -119,14 +119,14 @@ std::string GenerateSdssSql(SdssTemplate t, Rng& rng) {
     case SdssTemplate::kTemplateCount:
       break;
   }
-  assert(false && "invalid template");
+  DBD_CHECK(false && "invalid template");
   return "";
 }
 
 BoundQuery GenerateSdssQuery(const Database& db, SdssTemplate t, Rng& rng) {
   std::string sql = GenerateSdssSql(t, rng);
   auto bound = ParseAndBind(db.catalog(), sql);
-  assert(bound.ok() && "generated SQL must bind");
+  DBD_CHECK(bound.ok() && "generated SQL must bind");
   return std::move(bound).value();
 }
 

@@ -1,7 +1,6 @@
 #include "workload/sdss.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "util/rng.h"

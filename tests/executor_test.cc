@@ -154,6 +154,46 @@ TEST_F(ExecutorTest, JoinMethodsAgree) {
   CheckQuery(q, db_->CurrentDesign(), inl_only);
 }
 
+TEST_F(ExecutorTest, HashJoinOutputOrderMatchesNestedLoopExactly) {
+  // Regression for a determinism-lint finding: hash-join matches for a
+  // duplicate join key used to stream out in unordered_multimap::
+  // equal_range order, which is implementation-defined — so a query
+  // without ORDER BY could return rows in a different order on a
+  // different standard library. The fix sorts each probe's match set
+  // into inner-row order, which is exactly the order a nested-loop join
+  // produces; the two plans must now agree row-for-row, not just as
+  // multisets.
+  BoundQuery q = Q(
+      "SELECT p.objid, s.z FROM photoobj p JOIN specobj s "
+      "ON p.objid = s.bestobjid WHERE s.z > 0.05");
+  PlannerKnobs hash_only;
+  hash_only.enable_mergejoin = false;
+  hash_only.enable_nestloop = false;
+  hash_only.enable_indexnestloop = false;
+  PlannerKnobs nl_only;
+  nl_only.enable_hashjoin = false;
+  nl_only.enable_mergejoin = false;
+  nl_only.enable_indexnestloop = false;
+
+  Executor exec(*db_);
+  Optimizer hash_opt(db_->catalog(), db_->all_stats(), CostParams{},
+                     hash_only);
+  PlanResult hash_plan = hash_opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(hash_plan.root, nullptr);
+  auto hash_rows = exec.Execute(q, *hash_plan.root);
+  ASSERT_TRUE(hash_rows.ok()) << hash_rows.status().ToString();
+
+  Optimizer nl_opt(db_->catalog(), db_->all_stats(), CostParams{}, nl_only);
+  PlanResult nl_plan = nl_opt.Optimize(q, PhysicalDesign{});
+  ASSERT_NE(nl_plan.root, nullptr);
+  auto nl_rows = exec.Execute(q, *nl_plan.root);
+  ASSERT_TRUE(nl_rows.ok()) << nl_rows.status().ToString();
+
+  ASSERT_EQ(hash_rows.value().size(), nl_rows.value().size());
+  EXPECT_TRUE(hash_rows.value() == nl_rows.value())
+      << "hash join emitted the same rows in a different order";
+}
+
 TEST_F(ExecutorTest, ThreeWayJoin) {
   BoundQuery q = Q(
       "SELECT p.objid, s.z, pl.mjd FROM photoobj p "

@@ -1,0 +1,78 @@
+// Seeded-violation corpus for determinism_lint self-tests.
+// Every hazard below MUST be flagged; lint_selftest.py asserts the exact
+// rule fires on the exact line.  This file is never compiled.
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace dbdesign {
+
+struct Report {
+  std::vector<std::string> lines;
+};
+
+// unordered-iteration: hash-table order leaks into an ordered report.
+Report BuildReport(const std::unordered_map<std::string, double>& costs) {
+  Report r;
+  for (const auto& [name, cost] : costs) {  // VIOLATION unordered-iteration
+    r.lines.push_back(name + ": " + std::to_string(cost));
+  }
+  return r;
+}
+
+// unsanctioned-random: naked rand() instead of the seeded util/rng Rng.
+int PickVictim(int n) {
+  return rand() % n;  // VIOLATION unsanctioned-random
+}
+
+// wall-clock without justification.
+double Elapsed() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())  // VIOLATION wall-clock
+      .count();
+}
+
+// pointer-keyed-order: address order differs per run.
+struct Node {};
+using NodeRank = std::map<Node*, int>;  // VIOLATION pointer-keyed-order
+
+// unannotated-mutex (a): raw std::mutex invisible to the analysis.
+class RawLocked {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // VIOLATION unannotated-mutex
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // VIOLATION unannotated-mutex
+  int count_ = 0;
+};
+
+// unannotated-mutex (b): wrapper Mutex member guarding nothing visible.
+class UncheckedLocked {
+ private:
+  Mutex mu_;  // VIOLATION unannotated-mutex (no DBD_GUARDED_BY references it)
+  int count_ = 0;
+};
+
+// bare-assert: vanishes under NDEBUG (the default build).
+int Half(int x) {
+  assert(x % 2 == 0);  // VIOLATION bare-assert
+  return x / 2;
+}
+
+// NOLINT without a justification is itself a finding.
+int PickOther(int n) {
+  return rand() % n;  // NOLINT(determinism)
+}
+
+}  // namespace dbdesign

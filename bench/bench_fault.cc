@@ -1,0 +1,225 @@
+// Experiment E-fault — resilience overhead and recovery at the
+// backend seam.
+//
+// A portable designer must survive a flaky DBMS connection: the paper's
+// interactive loop is only usable if a transiently failing backend
+// costs retries, not wrong answers or aborted sessions. This bench
+// drives the full session Recommend through the fault seam
+// (InumOptions::force_exact, so every costing call traverses the
+// backend) at increasing transient-failure rates and reports:
+//
+//   * loop@<rate> — p50/p99 wall time (over DBDESIGN_BENCH_REPS runs,
+//     default 9) of a cold Recommend + PlanDeployment with the
+//     ResilientBackend absorbing a deterministic fault schedule
+//     (retries > burst, so recovery is guaranteed);
+//   * recovered_identical — whether the recommendation came back
+//     bit-identical to the fault-free run (the tentpole claim);
+//   * retry telemetry — attempts/retries/recoveries/giveups per rate;
+//   * loop@outage — a hard outage: the time to the clean
+//     degraded answer (fast-fail via the circuit breaker, no hang).
+//
+// Writes BENCH_fault.json; the per-rate telemetry lands under
+// extra.fault_rates.
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "backend/fault_backend.h"
+#include "backend/inmemory_backend.h"
+#include "backend/resilient_backend.h"
+#include "bench_common.h"
+#include "core/designer.h"
+#include "core/session.h"
+
+namespace dbdesign {
+namespace {
+
+using bench::Header;
+using bench::JsonReporter;
+using bench::MakeDb;
+
+DesignerOptions ForceExactOptions() {
+  DesignerOptions opts;
+  opts.cophy.inum.force_exact = true;
+  return opts;
+}
+
+/// Repetitions per fault rate (p50/p99 come from this sample); the
+/// fault schedule is deterministic, so repeats measure wall-time
+/// spread, not result spread.
+int BenchReps() {
+  if (const char* env = std::getenv("DBDESIGN_BENCH_REPS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 9;
+}
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
+  if (idx >= sorted_ms.size()) idx = sorted_ms.size() - 1;
+  return sorted_ms[idx];
+}
+
+struct RunResult {
+  double ms = 0.0;
+  bool ok = false;
+  bool plan_ok = false;
+  bool degraded = false;
+  std::vector<IndexDef> indexes;
+  double recommended_cost = 0.0;
+  double final_cost = 0.0;
+  ResilienceStats stats;
+  FaultCounters counters;
+};
+
+RunResult RunRecommend(const Database& db, const Workload& w, FaultPlan plan,
+                       RetryPolicy policy) {
+  InMemoryBackend inner(db);
+  FaultInjectingBackend fault(inner, plan);
+  ResilientBackend resilient(fault, policy);
+  Designer designer(resilient, ForceExactOptions());
+  DesignSession session(designer);
+  session.SetWorkload(w);
+
+  RunResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<IndexRecommendation> rec = session.Recommend();
+  // PlanDeployment is part of the measured loop: the DoI stage costs
+  // every (class, index-subset) combination through the seam, so it
+  // carries most of the fallible calls.
+  if (rec.ok()) {
+    Result<DeploymentPlan> deploy = session.PlanDeployment();
+    r.plan_ok = deploy.ok();
+    if (deploy.ok()) r.final_cost = deploy.value().schedule.final_cost;
+  }
+  r.ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count();
+  r.ok = rec.ok();
+  if (rec.ok()) {
+    r.degraded = rec.value().degraded.degraded;
+    r.indexes = rec.value().indexes;
+    r.recommended_cost = rec.value().recommended_cost;
+  }
+  r.stats = resilient.stats();
+  r.counters = fault.counters();
+  return r;
+}
+
+void Run() {
+  Database db = MakeDb(8000, 42);
+  Workload w = GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, 37);
+  JsonReporter reporter("fault");
+
+  Header("E-fault: resilience overhead and recovery at the backend seam",
+         "transient backend failures cost retries, never wrong answers "
+         "or aborted sessions");
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;  // > burst below: recovery guaranteed
+  const int reps = BenchReps();
+
+  std::printf("%-22s %9s %9s %9s %9s %11s %9s %9s %10s\n", "op", "p50_ms",
+              "p99_ms", "attempts", "retries", "recoveries", "giveups",
+              "recovery", "identical");
+
+  Json rates = Json::Array();
+  RunResult base;  // fault-free reference, filled by the rate-0 pass
+  const double kRates[] = {0.0, 0.01, 0.05, 0.20};
+  for (double rate : kRates) {
+    FaultPlan plan =
+        rate == 0.0 ? FaultPlan::None()
+                    : FaultPlan::Transient(
+                          0xFA017 + static_cast<uint64_t>(rate * 1000), rate,
+                          2);
+    std::vector<double> ms;
+    RunResult r;
+    for (int rep = 0; rep < reps; ++rep) {
+      r = RunRecommend(db, w, plan, policy);
+      ms.push_back(r.ms);
+    }
+    std::sort(ms.begin(), ms.end());
+    double p50 = Percentile(ms, 0.50);
+    double p99 = Percentile(ms, 0.99);
+    if (rate == 0.0) base = r;
+    bool identical = r.ok && r.plan_ok && r.indexes == base.indexes &&
+                     r.recommended_cost == base.recommended_cost &&
+                     r.final_cost == base.final_cost;
+    // Recovery rate: recovered calls over calls that saw any failure.
+    double denom = static_cast<double>(r.stats.recoveries + r.stats.giveups);
+    double recovery = denom > 0
+                          ? static_cast<double>(r.stats.recoveries) / denom
+                          : 1.0;
+    std::string op = "loop@rate" + std::to_string(rate).substr(0, 4);
+    reporter.Report(op, p50, base.ms > 0 ? base.ms / p50 : 1.0,
+                    r.stats.attempts, 0);
+    std::printf("%-22s %9.1f %9.1f %9llu %9llu %11llu %9llu %9.2f %10s\n",
+                op.c_str(), p50, p99,
+                static_cast<unsigned long long>(r.stats.attempts),
+                static_cast<unsigned long long>(r.stats.retries),
+                static_cast<unsigned long long>(r.stats.recoveries),
+                static_cast<unsigned long long>(r.stats.giveups), recovery,
+                identical ? "yes" : "NO");
+    DBD_CHECK(identical && "recoverable faults must be bit-transparent");
+    DBD_CHECK(recovery == 1.0 &&
+              "max_attempts > burst must recover every transient");
+
+    Json row = Json::Object();
+    row["rate"] = Json::Number(rate);
+    row["p50_ms"] = Json::Number(p50);
+    row["p99_ms"] = Json::Number(p99);
+    row["reps"] = Json::Number(reps);
+    row["attempts"] = Json::Number(static_cast<double>(r.stats.attempts));
+    row["retries"] = Json::Number(static_cast<double>(r.stats.retries));
+    row["recoveries"] = Json::Number(static_cast<double>(r.stats.recoveries));
+    row["giveups"] = Json::Number(static_cast<double>(r.stats.giveups));
+    row["transients_injected"] =
+        Json::Number(static_cast<double>(r.counters.transients));
+    row["recovery_rate"] = Json::Number(recovery);
+    row["recovered_identical"] = Json::Bool(identical);
+    rates.Append(std::move(row));
+  }
+
+  // Hard outage: the cold session must fail fast and clean (breaker
+  // fast-fails cap the retry bill), never hang or abort.
+  RetryPolicy outage_policy = policy;
+  outage_policy.max_attempts = 2;
+  outage_policy.breaker_threshold = 4;
+  RunResult down = RunRecommend(db, w, FaultPlan::Outage(), outage_policy);
+  DBD_CHECK(!down.ok && "outage with a cold cache must surface a Status");
+  reporter.Report("loop@outage", down.ms, 1.0, down.stats.attempts, 0);
+  std::printf("%-22s %10.1f %9llu %9llu %11llu %9llu %10s\n",
+              "loop@outage", down.ms,
+              static_cast<unsigned long long>(down.stats.attempts),
+              static_cast<unsigned long long>(down.stats.retries),
+              static_cast<unsigned long long>(down.stats.recoveries),
+              static_cast<unsigned long long>(down.stats.giveups),
+              "clean-status");
+  std::printf("  outage: breaker fast-fails=%llu trips=%llu\n",
+              static_cast<unsigned long long>(down.stats.breaker_fast_fails),
+              static_cast<unsigned long long>(down.stats.breaker_trips));
+
+  Json outage = Json::Object();
+  outage["wall_ms"] = Json::Number(down.ms);
+  outage["attempts"] = Json::Number(static_cast<double>(down.stats.attempts));
+  outage["breaker_fast_fails"] =
+      Json::Number(static_cast<double>(down.stats.breaker_fast_fails));
+  outage["breaker_trips"] =
+      Json::Number(static_cast<double>(down.stats.breaker_trips));
+  outage["clean_status"] = Json::Bool(!down.ok);
+  reporter.Extra("fault_rates", std::move(rates));
+  reporter.Extra("outage", std::move(outage));
+  reporter.Write();
+}
+
+}  // namespace
+}  // namespace dbdesign
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdesign::Run();
+  return 0;
+}

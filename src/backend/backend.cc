@@ -36,4 +36,12 @@ Result<std::vector<double>> DbmsBackend::CostBatch(
   return costs;
 }
 
+DbmsBackend::PartialCosts DbmsBackend::CostBatchPartial(
+    std::span<const BoundQuery> queries, const PhysicalDesign& design,
+    const PlannerKnobs& knobs) {
+  Result<std::vector<double>> all = CostBatch(queries, design, knobs);
+  if (!all.ok()) return PartialCosts{{}, all.status()};
+  return PartialCosts{std::move(all).value(), Status::OK()};
+}
+
 }  // namespace dbdesign

@@ -98,6 +98,27 @@ class DbmsBackend {
       std::span<const BoundQuery> queries, const PhysicalDesign& design,
       const PlannerKnobs& knobs);
 
+  /// Result of a batched cost call that may die mid-flight: a prefix
+  /// of per-query costs plus the Status that ended the batch. When
+  /// `status` is OK, `costs` covers every query; on failure `costs`
+  /// holds the first k results that completed before the connection
+  /// dropped. The resilience layer salvages that prefix and retries
+  /// only the tail, so a 1000-query batch that dies at query 990 costs
+  /// one 10-query retry instead of a full re-run.
+  struct PartialCosts {
+    std::vector<double> costs;
+    Status status;
+  };
+
+  /// Batched costing with partial-result semantics (see PartialCosts).
+  /// The default delegates to CostBatch, which is all-or-nothing:
+  /// either every cost or an empty prefix. Backends whose batches can
+  /// genuinely fail mid-flight override this to surface the completed
+  /// prefix.
+  virtual PartialCosts CostBatchPartial(std::span<const BoundQuery> queries,
+                                        const PhysicalDesign& design,
+                                        const PlannerKnobs& knobs);
+
   // --- Primitive 3: join-operator control ---
   virtual JoinControlCapabilities join_control() const { return {}; }
 

@@ -27,14 +27,14 @@ ColtTuner::ColtTuner(DbmsBackend& backend, ColtOptions options)
     : backend_(&backend),
       params_(backend.cost_params()),
       options_(options),
-      inum_(backend) {}
+      inum_(backend, options_.inum) {}
 
 ColtTuner::ColtTuner(std::shared_ptr<DbmsBackend> owned, ColtOptions options)
     : owned_backend_(std::move(owned)),
       backend_(owned_backend_.get()),
       params_(backend_->cost_params()),
       options_(options),
-      inum_(*backend_) {}
+      inum_(*backend_, options_.inum) {}
 
 Status ColtTuner::SetConstraints(DesignConstraints constraints) {
   Status s = constraints.Validate(backend_->catalog());
@@ -128,7 +128,14 @@ double ColtTuner::OnQuery(const BoundQuery& query) {
   // pure cache reuse regardless of its constants.
   size_t cls = templates_.AddInstance(query);
   const BoundQuery& rep = templates_.classes()[cls].representative;
-  double cost = inum_.Cost(rep, current_);
+  Result<double> costed = inum_.TryCost(rep, current_);
+  if (!costed.ok()) {
+    // Degraded: the query is observed (template interned, candidates
+    // extracted) but not costed — no sentinel enters the accounting.
+    ++backend_errors_;
+    last_backend_error_ = costed.status();
+  }
+  double cost = costed.value_or(0.0);
   cumulative_query_cost_ += cost;
   if (enabled_) {
     ExtractCandidates(query);
@@ -142,6 +149,34 @@ double ColtTuner::OnQuery(const BoundQuery& query) {
 }
 
 void ColtTuner::EndEpoch() {
+  try {
+    EndEpochImpl();
+  } catch (const StatusException& e) {
+    // Backend failure mid-rollup: skip profiling and configuration
+    // changes for this epoch (EWMA updates already applied stand —
+    // they came from successful calls), keep the current design, and
+    // keep tuning. The tuner never aborts on a backend hiccup.
+    ++degraded_epochs_;
+    last_backend_error_ = e.status();
+    DBD_LOG_WARN("COLT epoch " + std::to_string(epoch_) +
+                 " degraded (no profiling/selection): " +
+                 e.status().ToString());
+    ColtEpochReport report;
+    report.epoch = epoch_;
+    report.epoch_templates = static_cast<int>(epoch_counts_.size());
+    RollEpoch(std::move(report));
+  }
+}
+
+void ColtTuner::RollEpoch(ColtEpochReport report) {
+  report.config_size = static_cast<int>(current_.indexes().size());
+  epochs_.push_back(std::move(report));
+  epoch_counts_.clear();
+  epoch_instances_ = 0;
+  ++epoch_;
+}
+
+void ColtTuner::EndEpochImpl() {
   ColtEpochReport report;
   report.epoch = epoch_;
   report.epoch_templates = static_cast<int>(epoch_counts_.size());
@@ -158,11 +193,7 @@ void ColtTuner::EndEpoch() {
   report.baseline_cost = inum_.WorkloadCost(epoch_w, PhysicalDesign{});
 
   if (!enabled_) {
-    report.config_size = static_cast<int>(current_.indexes().size());
-    epochs_.push_back(report);
-    epoch_counts_.clear();
-    epoch_instances_ = 0;
-    ++epoch_;
+    RollEpoch(std::move(report));
     return;
   }
 
@@ -319,16 +350,13 @@ void ColtTuner::EndEpoch() {
     }
   }
 
-  report.config_size = static_cast<int>(current_.indexes().size());
-  epochs_.push_back(report);
   DBD_LOG_DEBUG(StrFormat(
       "COLT epoch %d: cost %.1f (baseline %.1f), %d indexes, %d whatif, "
       "%d templates",
-      epoch_, report.observed_cost, report.baseline_cost, report.config_size,
-      report.whatif_calls, report.epoch_templates));
-  epoch_counts_.clear();
-  epoch_instances_ = 0;
-  ++epoch_;
+      epoch_, report.observed_cost, report.baseline_cost,
+      static_cast<int>(current_.indexes().size()), report.whatif_calls,
+      report.epoch_templates));
+  RollEpoch(std::move(report));
 }
 
 }  // namespace dbdesign

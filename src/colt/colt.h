@@ -20,6 +20,7 @@
 #ifndef DBDESIGN_COLT_COLT_H_
 #define DBDESIGN_COLT_COLT_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,6 +49,9 @@ struct ColtOptions {
   double drop_fraction = 0.1;
   /// Candidate pool cap (least-recently-seen evicted).
   int max_candidates = 48;
+  /// Cost-model options for the tuner's INUM instance; force_exact
+  /// routes every profiling call through the backend (fault testing).
+  InumOptions inum;
 };
 
 /// Estimated cost of physically building an index (page writes + sort
@@ -132,6 +136,20 @@ class ColtTuner {
     return cumulative_query_cost_ + cumulative_build_cost_;
   }
 
+  // --- Degraded operation (backend down) ---
+  // Continuous tuning must survive a flaky backend: a failed cost call
+  // skips that query's cost accounting (the query is still observed and
+  // its template interned), and a failed epoch rollup skips profiling
+  // and configuration changes for that epoch — the tuner never aborts
+  // and never bakes a sentinel cost into its EWMA state.
+  /// Queries whose cost call failed (observed but not costed).
+  uint64_t backend_errors() const { return backend_errors_; }
+  /// Epochs that ended without profiling/selection because the backend
+  /// was unreachable.
+  uint64_t degraded_epochs() const { return degraded_epochs_; }
+  /// The most recent backend failure (OK if none).
+  const Status& last_backend_error() const { return last_backend_error_; }
+
  private:
   struct Candidate {
     IndexDef index;
@@ -149,6 +167,12 @@ class ColtTuner {
 
   void ExtractCandidates(const BoundQuery& query);
   void EndEpoch();
+  /// Epoch rollup body; throws StatusException on backend failure
+  /// (EndEpoch converts that into a degraded epoch).
+  void EndEpochImpl();
+  /// Rolls epoch bookkeeping forward (shared by the normal and
+  /// degraded epoch paths).
+  void RollEpoch(ColtEpochReport report);
 
   std::shared_ptr<DbmsBackend> owned_backend_;  // legacy path only
   DbmsBackend* backend_;
@@ -172,6 +196,9 @@ class ColtTuner {
   std::vector<ColtEpochReport> epochs_;
   double cumulative_query_cost_ = 0.0;
   double cumulative_build_cost_ = 0.0;
+  uint64_t backend_errors_ = 0;
+  uint64_t degraded_epochs_ = 0;
+  Status last_backend_error_;
 };
 
 }  // namespace dbdesign

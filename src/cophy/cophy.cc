@@ -16,7 +16,7 @@ CoPhyAdvisor::CoPhyAdvisor(DbmsBackend& backend, CoPhyOptions options)
     : backend_(&backend),
       params_(backend.cost_params()),
       options_(options),
-      inum_(backend),
+      inum_(backend, options.inum),
       optimizer_(backend.catalog(), backend.all_stats(), params_) {}
 
 CoPhyAdvisor::CoPhyAdvisor(std::shared_ptr<DbmsBackend> owned,
@@ -25,7 +25,7 @@ CoPhyAdvisor::CoPhyAdvisor(std::shared_ptr<DbmsBackend> owned,
       backend_(owned_backend_.get()),
       params_(backend_->cost_params()),
       options_(options),
-      inum_(*backend_),
+      inum_(*backend_, options.inum),
       optimizer_(backend_->catalog(), backend_->all_stats(), params_) {}
 
 std::vector<CoPhyAtom> CoPhyAdvisor::BuildAtoms(
@@ -285,6 +285,15 @@ CoPhyPrepared CoPhyAdvisor::Prepare(const Workload& workload,
     prep.base_cost += prep.weights.back() * prep.base_query_cost.back();
   }
   return prep;
+}
+
+Result<CoPhyPrepared> CoPhyAdvisor::TryPrepare(
+    const Workload& workload, std::vector<CandidateIndex> candidates) {
+  try {
+    return Prepare(workload, std::move(candidates));
+  } catch (const StatusException& e) {
+    return e.status();
+  }
 }
 
 Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(

@@ -39,6 +39,9 @@ struct CoPhyOptions {
   int max_leaf_options_per_slot = 5;
   CandidateOptions candidates;
   BnbOptions bnb;
+  /// Cost-model options for the advisor's INUM instance (the session
+  /// keeps it for the whole loop); see InumOptions.
+  InumOptions inum;
 };
 
 /// An atomic configuration: cost of serving one query one way, plus the
@@ -71,6 +74,11 @@ struct IndexRecommendation {
   size_t num_atoms = 0;
   size_t num_variables = 0;
   size_t num_constraints = 0;
+
+  /// Set when this recommendation was served from cached session state
+  /// because the backend was down (see util/status.h). A degraded
+  /// recommendation is the last certified answer, possibly stale.
+  DegradedResult degraded;
 
   double improvement() const {
     return base_cost > 0 ? 1.0 - recommended_cost / base_cost : 0.0;
@@ -134,6 +142,15 @@ class CoPhyAdvisor {
   /// against `candidates` — the expensive half of a recommendation.
   CoPhyPrepared Prepare(const Workload& workload,
                         std::vector<CandidateIndex> candidates);
+
+  /// Status-returning form of Prepare. Populate and atom expansion are
+  /// client-side, but base-cost evaluation can fall back to the
+  /// backend; a backend failure there (e.g. the connection is down)
+  /// surfaces as its Status instead of aborting or poisoning the
+  /// prepared state. The first failing parallel shard cancels the
+  /// rest.
+  Result<CoPhyPrepared> TryPrepare(const Workload& workload,
+                                   std::vector<CandidateIndex> candidates);
 
   /// Solves the BIP against an existing prepared state under
   /// `constraints`. Makes no INUM and no backend cost calls: after a

@@ -8,14 +8,14 @@ Designer::Designer(DbmsBackend& backend, DesignerOptions options)
     : backend_(&backend),
       options_(std::move(options)),
       whatif_(backend),
-      inum_(backend) {}
+      inum_(backend, options_.cophy.inum) {}
 
 Designer::Designer(std::shared_ptr<DbmsBackend> owned, DesignerOptions options)
     : owned_backend_(std::move(owned)),
       backend_(owned_backend_.get()),
       options_(std::move(options)),
       whatif_(*backend_),
-      inum_(*backend_) {}
+      inum_(*backend_, options_.cophy.inum) {}
 
 BenefitReport Designer::EvaluateDesign(const Workload& workload,
                                        const PhysicalDesign& design) {
@@ -51,6 +51,15 @@ std::vector<BenefitReport> Designer::EvaluateDesigns(
     reports.push_back(std::move(report));
   }
   return reports;
+}
+
+Result<std::vector<BenefitReport>> Designer::TryEvaluateDesigns(
+    const Workload& workload, const std::vector<PhysicalDesign>& designs) {
+  try {
+    return EvaluateDesigns(workload, designs);
+  } catch (const StatusException& e) {
+    return e.status();
+  }
 }
 
 InteractionGraph Designer::AnalyzeInteractions(

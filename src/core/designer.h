@@ -102,6 +102,12 @@ class Designer {
   std::vector<BenefitReport> EvaluateDesigns(
       const Workload& workload, const std::vector<PhysicalDesign>& designs);
 
+  /// Status-returning form of EvaluateDesigns: a backend failure in
+  /// the costing fallback paths surfaces as its Status instead of a
+  /// sentinel cost or an abort.
+  Result<std::vector<BenefitReport>> TryEvaluateDesigns(
+      const Workload& workload, const std::vector<PhysicalDesign>& designs);
+
   /// Builds the interaction graph (Figure 2) for a set of indexes.
   InteractionGraph AnalyzeInteractions(const Workload& workload,
                                        const std::vector<IndexDef>& indexes);

@@ -191,43 +191,56 @@ void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
     // saw (e.g. they touch a table no prior class did). Mine just the
     // new representatives — stats-only, no backend cost calls — and
     // extend the universe when something new surfaces.
-    Workload added_only;
-    for (size_t c = first_new_class; c < classes_.size(); ++c) {
-      const TemplateClass& cls = classes_.classes()[c];
-      added_only.Add(cls.representative, cls.weight);
-    }
-    std::vector<CandidateIndex> fresh =
-        GenerateCandidates(designer_->backend(), added_only,
-                           designer_->options().cophy.candidates);
-    std::vector<CandidateIndex> universe = prepared_.candidates;
-    bool grew = false;
-    for (const CandidateIndex& c : fresh) {
-      bool present = false;
-      for (const CandidateIndex& have : universe) {
-        present |= have.index == c.index;
-      }
-      if (!present) {
-        universe.push_back(c);
-        grew = true;
-      }
-    }
-    if (grew) {
-      // The atom matrix is per-candidate-universe: rebuild it from the
-      // warm INUM cache (only the new representatives populate).
-      prepared_ = cophy_->Prepare(classes_.ClassWorkload(),
-                                  std::move(universe));
-    } else {
-      // Incremental atom maintenance: only the new classes' atoms are
-      // built; every existing row of the prepared matrix stays valid.
+    //
+    // Extending atoms for new templates is the one workload delta that
+    // needs the backend. If it fails the delta still lands (AddQueries
+    // never throws): the warm prepared state is dropped and the next
+    // Recommend rebuilds it — surfacing the backend Status there.
+    try {
+      Workload added_only;
       for (size_t c = first_new_class; c < classes_.size(); ++c) {
-        const BoundQuery& rep = classes_.classes()[c].representative;
-        prepared_.atoms.push_back(
-            cophy_->BuildAtoms(rep, prepared_.candidates));
-        prepared_.num_atoms += prepared_.atoms.back().size();
-        prepared_.weights.push_back(classes_.classes()[c].weight);
-        prepared_.base_query_cost.push_back(
-            cophy_->inum().Cost(rep, PhysicalDesign{}));
+        const TemplateClass& cls = classes_.classes()[c];
+        added_only.Add(cls.representative, cls.weight);
       }
+      std::vector<CandidateIndex> fresh =
+          GenerateCandidates(designer_->backend(), added_only,
+                             designer_->options().cophy.candidates);
+      std::vector<CandidateIndex> universe = prepared_.candidates;
+      bool grew = false;
+      for (const CandidateIndex& c : fresh) {
+        bool present = false;
+        for (const CandidateIndex& have : universe) {
+          present |= have.index == c.index;
+        }
+        if (!present) {
+          universe.push_back(c);
+          grew = true;
+        }
+      }
+      if (grew) {
+        // The atom matrix is per-candidate-universe: rebuild it from the
+        // warm INUM cache (only the new representatives populate).
+        prepared_ = cophy_->Prepare(classes_.ClassWorkload(),
+                                    std::move(universe));
+      } else {
+        // Incremental atom maintenance: only the new classes' atoms are
+        // built; every existing row of the prepared matrix stays valid.
+        for (size_t c = first_new_class; c < classes_.size(); ++c) {
+          const BoundQuery& rep = classes_.classes()[c].representative;
+          prepared_.atoms.push_back(
+              cophy_->BuildAtoms(rep, prepared_.candidates));
+          prepared_.num_atoms += prepared_.atoms.back().size();
+          prepared_.weights.push_back(classes_.classes()[c].weight);
+          prepared_.base_query_cost.push_back(
+              cophy_->inum().Cost(rep, PhysicalDesign{}));
+        }
+      }
+    } catch (const StatusException& e) {
+      DBD_LOG_WARN("AddQueries: backend failure extending prepared state (" +
+                   e.status().ToString() + "); dropping warm cache");
+      prepared_ = CoPhyPrepared{};
+      prepared_valid_ = false;
+      certificate_valid_ = false;
     }
   }
   if (prepared_valid_) SyncPreparedWeights();
@@ -336,7 +349,10 @@ Status DesignSession::EnsurePrepared() {
         GenerateCandidates(designer_->backend(), class_workload,
                            designer_->options().cophy.candidates);
     MergePinnedCandidates(designer_->backend(), constraints_, &candidates);
-    prepared_ = cophy_->Prepare(class_workload, std::move(candidates));
+    Result<CoPhyPrepared> prepared =
+        cophy_->TryPrepare(class_workload, std::move(candidates));
+    if (!prepared.ok()) return prepared.status();
+    prepared_ = std::move(prepared).value();
     prepared_valid_ = true;
     return Status::OK();
   }
@@ -354,8 +370,12 @@ Status DesignSession::EnsurePrepared() {
   if (missing_pin) {
     std::vector<CandidateIndex> candidates = prepared_.candidates;
     MergePinnedCandidates(designer_->backend(), constraints_, &candidates);
-    prepared_ = cophy_->Prepare(classes_.ClassWorkload(),
-                                std::move(candidates));
+    // On failure the old prepared state (without the pin) is kept
+    // untouched; the next call retries the extension.
+    Result<CoPhyPrepared> prepared =
+        cophy_->TryPrepare(classes_.ClassWorkload(), std::move(candidates));
+    if (!prepared.ok()) return prepared.status();
+    prepared_ = std::move(prepared).value();
   }
   return Status::OK();
 }
@@ -420,9 +440,27 @@ IndexRecommendation DesignSession::ReweightedLastRecommendation() const {
   return rec;
 }
 
+Result<IndexRecommendation> DesignSession::DegradedRecommendation(
+    Status cause) {
+  // Only backend unreachability degrades; user errors (empty workload,
+  // invalid constraints) surface directly — a cached answer would mask
+  // the mistake.
+  if (!last_rec_.has_value() || !cause.IsRetryable()) {
+    return cause;
+  }
+  // The last certified recommendation, untouched (no re-weighting: that
+  // needs the prepared state, which is exactly what failed to build).
+  IndexRecommendation rec = *last_rec_;
+  rec.degraded =
+      DegradedResult::Because(cause, "last-certified-recommendation");
+  log_.push_back("DEGRADED -> last certified recommendation (" +
+                 cause.ToString() + ")");
+  return rec;
+}
+
 Result<IndexRecommendation> DesignSession::Recommend() {
   Status s = EnsurePrepared();
-  if (!s.ok()) return s;
+  if (!s.ok()) return DegradedRecommendation(std::move(s));
   // Certificate reuse: after a pure same-template append (or when
   // nothing changed at all) the previous optimum provably stands — the
   // answer is the old configuration re-weighted, with no solver work
@@ -508,7 +546,7 @@ Result<IndexRecommendation> DesignSession::Refine(
 
   // Tier 2: re-solve the BIP against the prepared atom matrix.
   s = EnsurePrepared();
-  if (!s.ok()) return s;
+  if (!s.ok()) return DegradedRecommendation(std::move(s));
   Result<IndexRecommendation> solved =
       cophy_->SolvePrepared(prepared_, constraints_);
   if (!solved.ok()) return solved.status();
@@ -568,6 +606,30 @@ Result<DeploymentPlan> DesignSession::PlanDeployment() {
     return Status::InvalidArgument(
         "no recommendation to deploy; call Recommend() or Refine() first");
   }
+  Result<DeploymentPlan> built = BuildDeploymentPlan();
+  if (built.ok()) {
+    DeploymentPlan plan = std::move(built).value();
+    log_.push_back(StrFormat(
+        "PLAN DEPLOYMENT -> %zu steps, %zu interactions, %zu clusters%s",
+        plan.schedule.steps.size(), plan.edges.size(), plan.clusters.size(),
+        plan.schedule_reused ? " (schedule reuse)" : ""));
+    deployment_ = plan;
+    return plan;
+  }
+  // Backend failure: fall back to the cached previous plan, explicitly
+  // marked. User errors and permanent failures surface directly.
+  if (deployment_.has_value() && built.status().IsRetryable()) {
+    DeploymentPlan plan = *deployment_;
+    plan.degraded =
+        DegradedResult::Because(built.status(), "cached-deployment-plan");
+    log_.push_back("DEGRADED -> cached deployment plan (" +
+                   built.status().ToString() + ")");
+    return plan;
+  }
+  return built.status();
+}
+
+Result<DeploymentPlan> DesignSession::BuildDeploymentPlan() {
   const std::vector<IndexDef>& indexes = last_rec_->indexes;
   InumCostModel& inum = cophy_->inum();
   InteractionAnalyzer analyzer(inum, designer_->options().doi);
@@ -596,10 +658,11 @@ Result<DeploymentPlan> DesignSession::PlanDeployment() {
     }
   }
   if (!missing.empty()) {
-    std::vector<std::vector<double>> rows =
-        analyzer.ContributionRows(missing, indexes);
+    Result<std::vector<std::vector<double>>> rows =
+        analyzer.TryContributionRows(missing, indexes);
+    if (!rows.ok()) return rows.status();
     for (size_t m = 0; m < missing.size(); ++m) {
-      doi_rows_[keys[missing_class[m]]] = std::move(rows[m]);
+      doi_rows_[keys[missing_class[m]]] = std::move(rows.value()[m]);
     }
   }
   plan.doi_rows_computed = missing.size();
@@ -639,9 +702,15 @@ Result<DeploymentPlan> DesignSession::PlanDeployment() {
     plan.schedule = deployment_->schedule;
     plan.schedule_reused = true;
   } else {
-    MaterializationScheduler scheduler(inum);
-    plan.schedule =
-        scheduler.Greedy(classes_.ClassWorkload(), indexes, constraints_);
+    // The greedy scheduler prices marginal benefits through INUM; a
+    // backend failure in its fallback paths surfaces as Status here.
+    try {
+      MaterializationScheduler scheduler(inum);
+      plan.schedule =
+          scheduler.Greedy(classes_.ClassWorkload(), indexes, constraints_);
+    } catch (const StatusException& e) {
+      return e.status();
+    }
     std::map<std::string, int> cluster_of;
     for (size_t k = 0; k < plan.clusters.size(); ++k) {
       for (int i : plan.clusters[k]) {
@@ -657,12 +726,6 @@ Result<DeploymentPlan> DesignSession::PlanDeployment() {
     deployment_weights_ = std::move(weights);
     deployment_constraints_ = constraints_;
   }
-
-  log_.push_back(StrFormat(
-      "PLAN DEPLOYMENT -> %zu steps, %zu interactions, %zu clusters%s",
-      plan.schedule.steps.size(), plan.edges.size(), plan.clusters.size(),
-      plan.schedule_reused ? " (schedule reuse)" : ""));
-  deployment_ = plan;
   return plan;
 }
 
@@ -709,7 +772,12 @@ Result<BenefitReport> DesignSession::CompareSnapshot(
     const std::string& name, const Workload& workload) {
   auto it = snapshots_.find(name);
   if (it == snapshots_.end()) return SnapshotNotFound(name);
-  return designer_->EvaluateDesign(workload, it->second);
+  // Status-returning evaluation: a backend failure surfaces as its
+  // Status instead of crossing this public API as an exception.
+  Result<std::vector<BenefitReport>> reports =
+      designer_->TryEvaluateDesigns(workload, {it->second});
+  if (!reports.ok()) return reports.status();
+  return std::move(reports.value().front());
 }
 
 // --- Persistence ---

@@ -63,6 +63,9 @@ struct DeploymentPlan {
   /// incremental cache vs rows (re)computed this call.
   size_t doi_rows_reused = 0;
   size_t doi_rows_computed = 0;
+  /// Set when the backend was unreachable and this plan is a cached
+  /// previous plan rather than a fresh one (see PlanDeployment).
+  DegradedResult degraded;
 
   /// Figure-2 rendering of the interaction structure.
   InteractionGraph Graph(const Catalog& catalog) const {
@@ -138,6 +141,13 @@ class DesignSession {
   /// (partitions are preserved; the previous index overlay is
   /// replaced). The first call prepares the INUM cost cache + CoPhy
   /// atom matrix; the session keeps both for later Refines.
+  ///
+  /// Degradation contract: a backend failure during preparation never
+  /// aborts. With a warm prepared state the solve is client-side and
+  /// succeeds normally even when the backend is down. On a cold cache
+  /// the session falls back to the last certified recommendation,
+  /// marked `degraded` with the causing Status; with no fallback the
+  /// failure surfaces as a clean Status.
   Result<IndexRecommendation> Recommend();
 
   /// Applies one DBA constraint edit and re-recommends incrementally.
@@ -156,7 +166,10 @@ class DesignSession {
   ///      universe from the warm cache; still no backend calls).
   ///
   /// Either way the result is identical to a from-scratch Recommend
-  /// under the same constraints.
+  /// under the same constraints. Backend failures degrade exactly like
+  /// Recommend (certificate reuse and warm re-solves need no backend;
+  /// a cold rebuild falls back to the last certified recommendation,
+  /// marked `degraded`).
   Result<IndexRecommendation> Refine(const ConstraintDelta& delta);
 
   /// The most recent successful Recommend/Refine result.
@@ -181,6 +194,10 @@ class DesignSession {
   /// nothing and just re-weights the sums), and a Refine that leaves
   /// the recommended index set, class weights and schedule-relevant
   /// constraints unchanged reuses the previous schedule outright.
+  ///
+  /// Degradation contract: when a backend failure prevents a fresh
+  /// plan, the previous plan (if any) is returned marked `degraded`
+  /// with the causing Status; otherwise the Status surfaces directly.
   Result<DeploymentPlan> PlanDeployment();
 
   /// The most recent successful PlanDeployment result (invalidated by
@@ -256,6 +273,13 @@ class DesignSession {
   IndexRecommendation ReweightedLastRecommendation() const;
   /// "snapshot 'x' not found (available: a, b)" helper.
   Status SnapshotNotFound(const std::string& name) const;
+  /// Computes a fresh deployment plan (the fallible body of
+  /// PlanDeployment); backend failures surface as Status.
+  Result<DeploymentPlan> BuildDeploymentPlan();
+  /// The degraded Recommend/Refine answer: the last certified
+  /// recommendation marked with `cause`, or `cause` itself when no
+  /// fallback exists.
+  Result<IndexRecommendation> DegradedRecommendation(Status cause);
   /// Drops every cached deployment artifact (DoI rows + plan).
   void InvalidateDeployment();
   /// True when the cached schedule is still exactly what a rebuild

@@ -211,6 +211,17 @@ std::vector<std::vector<double>> InteractionAnalyzer::ContributionRows(
   return rows;
 }
 
+Result<std::vector<std::vector<double>>>
+InteractionAnalyzer::TryContributionRows(
+    const std::vector<BoundQuery>& queries,
+    const std::vector<IndexDef>& indexes) {
+  try {
+    return ContributionRows(queries, indexes);
+  } catch (const StatusException& e) {
+    return e.status();
+  }
+}
+
 DoiMatrix InteractionAnalyzer::AnalyzeMatrix(
     const Workload& workload, const std::vector<IndexDef>& indexes) {
   DoiMatrix m;

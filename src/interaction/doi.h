@@ -113,6 +113,15 @@ class InteractionAnalyzer {
       const std::vector<BoundQuery>& queries,
       const std::vector<IndexDef>& indexes);
 
+  /// Status-returning form of ContributionRows: cached-atom repricing
+  /// is client-side, but an unseen query (or an over-wide one) falls
+  /// back to the backend — a backend failure there cancels the
+  /// remaining per-query shards and returns as its Status instead of
+  /// aborting or poisoning the matrix.
+  Result<std::vector<std::vector<double>>> TryContributionRows(
+      const std::vector<BoundQuery>& queries,
+      const std::vector<IndexDef>& indexes);
+
   /// All pairwise interactions; edges with doi ~ 0 are dropped.
   std::vector<InteractionEdge> Analyze(const Workload& workload,
                                        const std::vector<IndexDef>& indexes);

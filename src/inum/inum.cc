@@ -526,22 +526,45 @@ double InumCostModel::ReuseCost(const BoundQuery& query, QueryCache& qc,
   return best;
 }
 
+double InumCostModel::ExactCost(const BoundQuery& query,
+                                const PhysicalDesign& design) {
+  Result<double> cost = exact_.TryCostUnder(query, design);
+  if (!cost.ok()) {
+    // Never a sentinel: the failure travels as a Status (wrapped in the
+    // internal exception carrier so it can cross double-returning
+    // frames and cancel parallel shards) until a Try* boundary
+    // converts it back.
+    throw StatusException(cost.status());
+  }
+  return cost.value();
+}
+
 double InumCostModel::Cost(const BoundQuery& query,
                            const PhysicalDesign& design) {
-  if (query.num_slots() > 16) {
-    // Beyond the reuse scratch capacity (never hit by the engine, which
-    // caps FROM lists well below this): answer exactly.
+  if (options_.force_exact || query.num_slots() > 16) {
+    // force_exact routes everything to the backend; num_slots is the
+    // reuse scratch capacity (never hit by the engine, which caps FROM
+    // lists well below this). Either way: answer exactly.
     ++stats_.fallback_calls;
-    return exact_.CostUnder(query, design);
+    return ExactCost(query, design);
   }
   QueryCache& qc = Populate(query);
   ++stats_.reuse_calls;
   double cost = ReuseCost(query, qc, design);
   if (!std::isfinite(cost)) {
     ++stats_.fallback_calls;
-    return exact_.CostUnder(query, design);
+    return ExactCost(query, design);
   }
   return cost;
+}
+
+Result<double> InumCostModel::TryCost(const BoundQuery& query,
+                                      const PhysicalDesign& design) {
+  try {
+    return Cost(query, design);
+  } catch (const StatusException& e) {
+    return e.status();
+  }
 }
 
 double InumCostModel::CostCached(const BoundQuery& query,
@@ -550,24 +573,34 @@ double InumCostModel::CostCached(const BoundQuery& query,
   return CostPrepared(query, design, stats);
 }
 
+Result<double> InumCostModel::TryCostCached(const BoundQuery& query,
+                                            const PhysicalDesign& design,
+                                            InumStats* stats) {
+  try {
+    return CostPrepared(query, design, stats);
+  } catch (const StatusException& e) {
+    return e.status();
+  }
+}
+
 double InumCostModel::CostPrepared(const BoundQuery& query,
                                    const PhysicalDesign& design,
                                    InumStats* stats) {
-  if (query.num_slots() > 16) {
+  if (options_.force_exact || query.num_slots() > 16) {
     ++stats->fallback_calls;
-    return exact_.CostUnder(query, design);
+    return ExactCost(query, design);
   }
   auto it = cache_.find(query.StructuralHash());
   if (it == cache_.end()) {
     // Callers populate first; an unseen query still answers correctly.
     ++stats->fallback_calls;
-    return exact_.CostUnder(query, design);
+    return ExactCost(query, design);
   }
   ++stats->reuse_calls;
   double cost = ReuseCost(query, it->second, design);
   if (!std::isfinite(cost)) {
     ++stats->fallback_calls;
-    return exact_.CostUnder(query, design);
+    return ExactCost(query, design);
   }
   return cost;
 }
@@ -616,6 +649,15 @@ std::vector<std::vector<double>> InumCostModel::CostMatrix(
   return out;
 }
 
+Result<std::vector<std::vector<double>>> InumCostModel::TryCostMatrix(
+    const Workload& workload, std::span<const PhysicalDesign> designs) {
+  try {
+    return CostMatrix(workload, designs);
+  } catch (const StatusException& e) {
+    return e.status();
+  }
+}
+
 double InumCostModel::WorkloadCost(const Workload& workload,
                                    const PhysicalDesign& design) {
   std::vector<std::vector<double>> m =
@@ -625,6 +667,15 @@ double InumCostModel::WorkloadCost(const Workload& workload,
     total += workload.WeightOf(i) * m[0][i];
   }
   return total;
+}
+
+Result<double> InumCostModel::TryWorkloadCost(const Workload& workload,
+                                              const PhysicalDesign& design) {
+  try {
+    return WorkloadCost(workload, design);
+  } catch (const StatusException& e) {
+    return e.status();
+  }
 }
 
 }  // namespace dbdesign

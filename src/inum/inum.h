@@ -53,6 +53,12 @@ struct InumOptions {
   /// best cached bound... (diagnostic only; exactness is validated in
   /// tests against the full optimizer).
   double fallback_slack = 0.0;  // 0 = never fall back on slack
+  /// Route every costing call through the exact (backend-backed)
+  /// optimizer instead of the client-side reuse cache. Models a port
+  /// whose reuse layer is unavailable: every cost call traverses the
+  /// DbmsBackend seam and can therefore fail. The fault-injection
+  /// tests drive the full session loop under this configuration.
+  bool force_exact = false;
 };
 
 /// Counters exposed for the E3 benchmark.
@@ -77,7 +83,21 @@ class InumCostModel {
 
   /// Fast what-if cost of `query` under `design`. Populates the cache on
   /// first sight of the query.
+  ///
+  /// Error contract (applies to every double-returning costing entry
+  /// point here): population and reuse are client-side and infallible,
+  /// but the exact-optimizer fallback paths reach the backend. A
+  /// backend failure there propagates as a StatusException (internal
+  /// carrier — see util/status.h) rather than a silent sentinel cost;
+  /// the Try* wrappers below convert it to a Result for callers that
+  /// want Status-based handling. With an infallible backend these
+  /// entry points never throw.
   double Cost(const BoundQuery& query, const PhysicalDesign& design);
+
+  /// Status-returning form of Cost: a backend failure in the fallback
+  /// path surfaces as the backend's Status.
+  Result<double> TryCost(const BoundQuery& query,
+                         const PhysicalDesign& design);
 
   /// Weighted workload cost. Structurally distinct queries are costed
   /// once and fanned out across backend cost_params().num_threads
@@ -87,11 +107,21 @@ class InumCostModel {
   double WorkloadCost(const Workload& workload,
                       const PhysicalDesign& design);
 
+  /// Status-returning form of WorkloadCost.
+  Result<double> TryWorkloadCost(const Workload& workload,
+                                 const PhysicalDesign& design);
+
   /// Per-(design, query) cost matrix: result[d][i] is the cost of
   /// workload query i under designs[d]. The batched engine behind
   /// WorkloadCost and Designer::EvaluateDesigns — each distinct query's
   /// populate + per-design repricing runs on one worker.
   std::vector<std::vector<double>> CostMatrix(
+      const Workload& workload, std::span<const PhysicalDesign> designs);
+
+  /// Status-returning form of CostMatrix: the first backend failure
+  /// (by shard index) cancels the remaining parallel shards and
+  /// returns as a Status.
+  Result<std::vector<std::vector<double>>> TryCostMatrix(
       const Workload& workload, std::span<const PhysicalDesign> designs);
 
   /// Cached-atom costing: prices `query` under `design` purely from the
@@ -106,6 +136,10 @@ class InumCostModel {
   /// owns a query's leaf memos end to end).
   double CostCached(const BoundQuery& query, const PhysicalDesign& design,
                     InumStats* stats);
+
+  /// Status-returning form of CostCached.
+  Result<double> TryCostCached(const BoundQuery& query,
+                               const PhysicalDesign& design, InumStats* stats);
 
   /// Merges shard-local reuse/fallback counters gathered around
   /// CostCached back into stats() (populate/cache counters are owned by
@@ -213,6 +247,10 @@ class InumCostModel {
 
   QueryCache& Populate(const BoundQuery& query);
   void PreparePtrs(const std::vector<const BoundQuery*>& missing);
+  /// Exact-optimizer fallback: backend failures throw StatusException
+  /// (converted to Status by the Try* entry points) instead of
+  /// returning the legacy +inf sentinel.
+  double ExactCost(const BoundQuery& query, const PhysicalDesign& design);
   double ReuseCost(const BoundQuery& query, QueryCache& qc,
                    const PhysicalDesign& design);
   /// Reuse-or-fallback costing against an already populated cache;

@@ -1,0 +1,68 @@
+// Deterministic time seam for the resilience layer.
+//
+// The determinism linter bans wall-clock reads and sleeps in src/
+// (results must be bit-identical across runs and thread counts), yet
+// retry backoff and deadlines are inherently about time. The Clock
+// interface squares that: all resilience code asks a Clock for "now"
+// and for "sleep", and the in-tree implementation is a VirtualClock
+// whose time only moves when someone sleeps on it. Backoff schedules,
+// deadline checks, and circuit-breaker cooldowns thereby become pure
+// deterministic arithmetic — testable, replayable, and portable.
+//
+// A production port that talks to a real DBMS substitutes its own
+// Clock backed by the OS monotonic clock (outside this tree, or behind
+// an explicit NOLINT(determinism) with justification); nothing in the
+// resilience layer changes.
+
+#ifndef DBDESIGN_UTIL_CLOCK_H_
+#define DBDESIGN_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace dbdesign {
+
+/// Monotonic microsecond clock abstraction. Implementations must be
+/// thread-safe: the resilience layer calls them from pool workers.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds on this clock's (arbitrary) epoch.
+  /// Monotonic: never decreases.
+  virtual uint64_t NowMicros() = 0;
+
+  /// Advances this caller past `micros` microseconds. On a virtual
+  /// clock this advances time itself and returns immediately.
+  virtual void SleepMicros(uint64_t micros) = 0;
+};
+
+/// Deterministic clock: time starts at 0 and advances only via
+/// SleepMicros (each sleep moves the clock forward by exactly the
+/// requested amount). Shared freely between a FaultInjectingBackend
+/// (which "takes time" by sleeping) and a ResilientBackend (which
+/// backs off by sleeping and checks deadlines by reading NowMicros) so
+/// the two see one coherent timeline.
+class VirtualClock : public Clock {
+ public:
+  VirtualClock() = default;
+
+  uint64_t NowMicros() override {
+    MutexLock lock(mu_);
+    return now_micros_;
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    MutexLock lock(mu_);
+    now_micros_ += micros;
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t now_micros_ DBD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_CLOCK_H_

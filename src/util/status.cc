@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "parse error";
     case StatusCode::kBindError:
       return "bind error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

@@ -8,6 +8,7 @@
 #define DBDESIGN_UTIL_STATUS_H_
 
 #include "util/logging.h"
+#include <exception>
 #include <optional>
 #include <string>
 #include <utility>
@@ -15,6 +16,29 @@
 namespace dbdesign {
 
 /// Error category for a failed operation.
+///
+/// Retryable-vs-permanent taxonomy
+/// -------------------------------
+/// Codes split into two classes, and every layer between the backend
+/// seam and the session APIs relies on the split:
+///
+///  * **Retryable** (`kUnavailable`, `kDeadlineExceeded`,
+///    `kResourceExhausted`): the *call* failed but the *request* is
+///    fine — a transient outage, a timeout, a momentarily saturated
+///    backend. Retrying the identical call may succeed, and
+///    `ResilientBackend` does exactly that (bounded retries with
+///    deterministic backoff). A real-DBMS backend must map its
+///    connection-reset / timeout / too-many-clients errors onto these
+///    codes for the resilience layer to help it.
+///
+///  * **Permanent** (everything else): the request itself is wrong
+///    (`kInvalidArgument`, `kNotFound`, ...) or the failure is not
+///    expected to clear on its own (`kInternal`, `kParseError`,
+///    `kBindError`). Retrying is wasted work; these propagate to the
+///    caller immediately.
+///
+/// `Status::IsRetryable()` is the single source of truth for the
+/// split — resilience code must use it rather than matching codes.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -26,6 +50,12 @@ enum class StatusCode {
   kResourceExhausted,
   kParseError,
   kBindError,
+  /// Transient backend failure (connection dropped, service
+  /// restarting, injected fault). Retryable.
+  kUnavailable,
+  /// The call exceeded its deadline; the work may have completed on
+  /// the backend but the answer did not arrive in time. Retryable.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("ok", "parse error", ...).
@@ -69,10 +99,25 @@ class Status {
   static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for transient failures where retrying the identical call may
+  /// succeed (see the taxonomy on StatusCode). All retry decisions in
+  /// the resilience layer go through this predicate.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "ok" or "<code name>: <message>".
   std::string ToString() const;
@@ -122,6 +167,48 @@ class Result {
  private:
   std::optional<T> value_;
   Status status_;
+};
+
+/// Marks a result that was produced under degraded conditions: the
+/// backend was down (or kept failing past the retry budget), so the
+/// layer fell back to cached state instead of recomputing. A degraded
+/// answer is *valid* — it is the last certified answer — but it may be
+/// stale, and the caller deserves to know. Session APIs attach this to
+/// their result structs so a session never returns a possibly-stale
+/// answer unlabeled.
+struct DegradedResult {
+  /// False for a normally-computed result.
+  bool degraded = false;
+  /// The backend failure that forced the fallback.
+  Status cause;
+  /// What the fallback was, e.g. "last-certified-recommendation" or
+  /// "cached-deployment-plan".
+  std::string fallback;
+
+  static DegradedResult None() { return DegradedResult{}; }
+  static DegradedResult Because(Status cause, std::string fallback) {
+    return DegradedResult{true, std::move(cause), std::move(fallback)};
+  }
+};
+
+/// Internal carrier for propagating a Status out of code that cannot
+/// return one directly — principally ThreadPool::ParallelFor shards,
+/// where the first thrown StatusException cancels the remaining shards
+/// and is rethrown on the caller. Must be caught and converted back to
+/// a Status at the component boundary; it never crosses a public API
+/// (the library's no-exceptions convention applies to callers, not to
+/// this internal control-flow use).
+class StatusException : public std::exception {
+ public:
+  explicit StatusException(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 }  // namespace dbdesign

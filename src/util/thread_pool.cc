@@ -66,6 +66,12 @@ void ThreadPool::Job::Record(size_t index, std::exception_ptr e) {
   if (err == nullptr || index < err_index) {
     err = std::move(e);
     err_index = index;
+    // Publish the short-circuit threshold: un-started tasks above the
+    // failing index are pointless (their exception would lose the
+    // lowest-index race anyway) and are skipped. Monotonically
+    // decreasing under err_mu, so a stale higher value only delays the
+    // short-circuit, never mis-cancels.
+    cancel_above.store(index, std::memory_order_release);
   }
 }
 
@@ -77,6 +83,13 @@ std::exception_ptr ThreadPool::Job::TakeError() {
 void ThreadPool::Job::RunChunk() {
   for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
        i = next.fetch_add(1, std::memory_order_relaxed)) {
+    // First-error short-circuit: a recorded error at a lower index
+    // cancels this not-yet-started task. It still counts as completed
+    // so the caller's drain (completed == n) terminates.
+    if (i > cancel_above.load(std::memory_order_acquire)) {
+      completed.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
     try {
       (*fn)(i);
     } catch (...) {

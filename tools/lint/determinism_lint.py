@@ -38,6 +38,16 @@ C++ sources and flags exactly those hazards:
                         defines NDEBUG, so a bare assert checks nothing
                         in the build users run.  Use DBD_CHECK (always
                         on) or DBD_DCHECK (debug) from util/logging.h.
+  unsanctioned-retry    (a) raw sleeps (std::this_thread::sleep_for /
+                        sleep_until, usleep, nanosleep, sleep) anywhere
+                        in src/ — sleeping must go through the Clock
+                        seam (util/clock.h) so virtual time keeps runs
+                        deterministic; (b) retry loops (for/while over
+                        an attempt/retry/backoff counter) outside
+                        backend/resilient_backend.* — ResilientBackend
+                        is the single place allowed to loop on a backend
+                        error, so retry amplification and backoff stay
+                        centrally budgeted and deterministic.
 
 Escape hatch: a finding's line may carry
 
@@ -70,6 +80,9 @@ RULES = {
         "mutex invisible to or unchecked by thread safety analysis",
     "bare-assert":
         "bare assert() is a no-op in the NDEBUG build; use DBD_CHECK/DBD_DCHECK",
+    "unsanctioned-retry":
+        "raw sleep or retry loop outside the resilience layer "
+        "(backend/resilient_backend.* is the only sanctioned retrier)",
 }
 
 CPP_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -77,6 +90,7 @@ CPP_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
 # Files exempt from specific rules (path suffix match, '/'-normalized).
 RANDOM_EXEMPT = ("util/rng.h", "util/rng.cc")
 MUTEX_WRAPPER = ("util/thread_annotations.h",)
+RETRY_EXEMPT = ("backend/resilient_backend.h", "backend/resilient_backend.cc")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT\(determinism\)(?::\s*(\S.*))?")
 
@@ -110,6 +124,12 @@ GUARD_REF_RE = re.compile(
     r"DBD_REQUIRES\s*\(\s*([\w,\s]+)\)|DBD_ACQUIRE\s*\(\s*(\w+)\s*\)|"
     r"DBD_RELEASE\s*\(\s*(\w+)\s*\)")
 ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+RAW_SLEEP_RE = re.compile(
+    r"std::this_thread::sleep_(?:for|until)|\busleep\s*\(|"
+    r"\bnanosleep\s*\(|(?<![\w:])sleep\s*\(")
+RETRY_LOOP_RE = re.compile(
+    r"\b(?:for|while)\s*\([^)]*\b(?:attempt|attempts|retry|retries|"
+    r"backoff|num_tries)\b")
 
 
 class Finding:
@@ -250,6 +270,17 @@ def lint_file(path, findings):
             report(lineno, "bare-assert",
                    "bare assert() vanishes under NDEBUG (the default "
                    "RelWithDebInfo build); use DBD_CHECK or DBD_DCHECK")
+        if RAW_SLEEP_RE.search(line):
+            report(lineno, "unsanctioned-retry",
+                   "raw sleep bypasses the Clock seam (util/clock.h); "
+                   "virtual time is what keeps backoff and deadlines "
+                   "deterministic")
+        if not path_matches(path, RETRY_EXEMPT):
+            if RETRY_LOOP_RE.search(line):
+                report(lineno, "unsanctioned-retry",
+                       "retry loop outside backend/resilient_backend.*: "
+                       "ResilientBackend is the single sanctioned retrier "
+                       "(centralized budget, deterministic backoff)")
 
     # --- Unordered iteration feeding an ordered sink ---
     WINDOW = 8

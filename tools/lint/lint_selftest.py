@@ -88,7 +88,8 @@ def main():
     if proc.returncode != 0:
         failures.append(f"--list-rules: expected exit 0, got {proc.returncode}")
     for rule in ("unordered-iteration", "unsanctioned-random", "wall-clock",
-                 "pointer-keyed-order", "unannotated-mutex", "bare-assert"):
+                 "pointer-keyed-order", "unannotated-mutex", "bare-assert",
+                 "unsanctioned-retry"):
         if rule not in proc.stdout:
             failures.append(f"--list-rules output is missing '{rule}'")
 

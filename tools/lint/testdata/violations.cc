@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <thread>
 #include <map>
 #include <mutex>
 #include <set>
@@ -68,6 +69,19 @@ class UncheckedLocked {
 int Half(int x) {
   assert(x % 2 == 0);  // VIOLATION bare-assert
   return x / 2;
+}
+
+// unsanctioned-retry (a): raw sleep bypasses the Clock seam.
+void NapBetweenAttempts() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // VIOLATION unsanctioned-retry
+}
+
+// unsanctioned-retry (b): a retry loop outside the resilience layer.
+bool CallWithHomegrownRetries(int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {  // VIOLATION unsanctioned-retry
+    // issue the call, maybe break...
+  }
+  return false;
 }
 
 // NOLINT without a justification is itself a finding.

@@ -4,6 +4,13 @@
 // `refine` re-solves incrementally (zero new optimizer calls after a
 // constraints-only edit).
 //
+// The shell is multi-session: named DesignSessions live in a
+// TuningServer over a shared atom substrate, so `open`ing a second
+// session on the warm schema skips the INUM populate entirely and two
+// sessions can explore different constraint stories side by side
+// (switching costs nothing — each session keeps its own workload,
+// constraints, pending edits, history, and snapshots).
+//
 //   $ ./build/dbdesign_cli                       # interactive
 //   $ printf 'recommend 1.0\nveto photoobj ra\nrefine\n' | ./build/dbdesign_cli
 //
@@ -21,7 +28,7 @@
 //   cap t n | uncap t       limit recommended indexes on a table
 //   budget <pages|off>      set / clear the storage budget
 //   constraints             show the DBA constraint state
-//   save|load <file>        persist / resume the whole session (JSON)
+//   save|load <file>        persist / resume the current session (JSON)
 //   undo | redo             step the design history
 //   snapshot|restore <name> named design snapshots
 //   offline [budget_x]      full CoPhy+AutoPart+schedule pipeline
@@ -33,6 +40,10 @@
 //                           (falls back to the hypothetical indexes)
 //   build t c1[,c2]         physically build an index
 //   classes                 the session's template-class table
+//   open <name>             open + switch to a new named session
+//   switch <name>           switch to an open session
+//   close <name>            close a session
+//   sessions                list sessions (current marked, atom stats)
 //   tables | log | quit
 
 #include <algorithm>
@@ -43,13 +54,16 @@
 #include <functional>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "backend/inmemory_backend.h"
 #include "core/designer.h"
 #include "core/report.h"
 #include "core/session.h"
 #include "exec/executor.h"
+#include "server/server.h"
 #include "sql/binder.h"
 #include "util/str.h"
 #include "workload/queries.h"
@@ -59,17 +73,36 @@ using namespace dbdesign;
 
 namespace {
 
+constexpr const char* kSchemaName = "sdss";
+
 struct Shell {
   Database db;
-  Designer designer;
-  DesignSession session;
+  InMemoryBackend backend;
+  TuningServer server;
   Executor exec;
-  ConstraintDelta pending;
+  std::string current;
+  /// Staged constraint edits, per session (applied by `refine`).
+  std::map<std::string, ConstraintDelta> pending_map;
 
-  explicit Shell(Database d)
-      : db(std::move(d)), designer(db), session(designer), exec(db) {
-    session.SetWorkload(
-        GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, 7));
+  explicit Shell(Database d) : db(std::move(d)), backend(db), exec(db) {
+    Status st = server.RegisterSchema(kSchemaName, backend);
+    DBD_CHECK(st.ok());
+    OpenNamedSession("main");
+  }
+
+  bool OpenNamedSession(const std::string& name) {
+    Status st = server.OpenSession(name, kSchemaName);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return false;
+    }
+    st = server.WithSession(name, [&](DesignSession& session) {
+      session.SetWorkload(
+          GenerateWorkload(db, TemplateMix::OfflineDefault(), 12, 7));
+    });
+    DBD_CHECK(st.ok());
+    current = name;
+    return true;
   }
 
   double DataPages() const {
@@ -101,13 +134,13 @@ struct Shell {
     return idx;
   }
 
-  void CmdSql(const std::string& sql) {
+  void CmdSql(DesignSession& session, const std::string& sql) {
     auto q = ParseAndBind(db.catalog(), sql);
     if (!q.ok()) {
       std::printf("error: %s\n", q.status().ToString().c_str());
       return;
     }
-    PlanResult plan = designer.whatif().Plan(q.value());
+    PlanResult plan = session.designer().whatif().Plan(q.value());
     std::printf("%s\n", plan.root->ToString(db.catalog(), q.value()).c_str());
     auto rows = exec.Execute(q.value(), *plan.root);
     if (rows.ok()) {
@@ -125,11 +158,11 @@ struct Shell {
     }
   }
 
-  void CmdKnobs(std::istringstream& in) {
+  void CmdKnobs(DesignSession& session, std::istringstream& in) {
     std::string name;
     std::string state;
     in >> name >> state;
-    PlannerKnobs& k = designer.whatif().knobs();
+    PlannerKnobs& k = session.designer().whatif().knobs();
     struct Entry {
       const char* name;
       bool* flag;
@@ -153,16 +186,17 @@ struct Shell {
     }
   }
 
-  void CmdEval() {
-    BenefitReport report = designer.EvaluateDesign(
-        session.workload(), designer.whatif().hypothetical_design());
+  void CmdEval(DesignSession& session) {
+    BenefitReport report = session.designer().EvaluateDesign(
+        session.workload(), session.designer().whatif().hypothetical_design());
     std::printf("%s", RenderBenefitPanel(db.catalog(), session.workload(),
                                          report)
                           .c_str());
   }
 
   /// The refinement loop driver behind both `recommend` and `refine`.
-  void Solve(const char* verb) {
+  void Solve(DesignSession& session, ConstraintDelta& pending,
+             const char* verb) {
     uint64_t calls0 = session.backend_optimizer_calls();
     uint64_t pops0 = session.inum_populate_count();
     auto t0 = std::chrono::steady_clock::now();
@@ -196,7 +230,7 @@ struct Shell {
                                         pops0));
   }
 
-  void CmdConstraints() {
+  void CmdConstraints(DesignSession& session, const ConstraintDelta& pending) {
     const DesignConstraints& c = session.constraints();
     std::printf("constraints:\n");
     for (const IndexDef& idx : c.pinned_indexes) {
@@ -223,10 +257,10 @@ struct Shell {
     }
   }
 
-  void CmdOffline(std::istringstream& in) {
+  void CmdOffline(DesignSession& session, std::istringstream& in) {
     double factor = 1.0;
     in >> factor;
-    auto rec = designer.TryRecommendOffline(
+    auto rec = session.designer().TryRecommendOffline(
         session.workload(), factor * DataPages(), session.constraints());
     if (!rec.ok()) {
       std::printf("error: %s\n", rec.status().ToString().c_str());
@@ -238,7 +272,7 @@ struct Shell {
                           .c_str());
   }
 
-  void CmdInteractions() {
+  void CmdInteractions(DesignSession& session) {
     // Prefer the session's deployment stage: the DoI graph over the
     // last recommendation, priced from cached atoms. Without a
     // recommendation, fall back to the hypothetical what-if indexes.
@@ -261,17 +295,18 @@ struct Shell {
       std::printf("\n");
       return;
     }
-    const auto& indexes = designer.whatif().hypothetical_design().indexes();
+    const auto& indexes =
+        session.designer().whatif().hypothetical_design().indexes();
     if (indexes.size() < 2) {
       std::printf("recommend first, or create at least two what-if indexes\n");
       return;
     }
     InteractionGraph graph =
-        designer.AnalyzeInteractions(session.workload(), indexes);
+        session.designer().AnalyzeInteractions(session.workload(), indexes);
     std::printf("%s", graph.ToAscii().c_str());
   }
 
-  void CmdDeploy() {
+  void CmdDeploy(DesignSession& session) {
     if (session.last_recommendation() == nullptr) {
       std::printf("nothing to deploy: run `recommend` (or `refine`) first\n");
       return;
@@ -318,7 +353,7 @@ struct Shell {
         p.doi_rows_reused, p.doi_rows_reused + p.doi_rows_computed);
   }
 
-  void CmdClasses() {
+  void CmdClasses(DesignSession& session) {
     const auto& classes = session.template_classes();
     if (classes.empty()) {
       std::printf("no workload loaded\n");
@@ -348,12 +383,79 @@ struct Shell {
     }
   }
 
-  bool Dispatch(const std::string& line) {
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    if (cmd.empty()) return true;
-    if (cmd == "quit" || cmd == "exit") return false;
+  void CmdSessions() {
+    TuningServerStats stats = server.stats();
+    std::printf("sessions on '%s' (store: %llu rows published, "
+                "hit rate %.2f):\n",
+                kSchemaName,
+                static_cast<unsigned long long>(stats.atoms.publishes),
+                stats.atoms.hit_rate());
+    for (const std::string& id : server.SessionIds()) {
+      auto atom_stats = server.SessionAtomStats(id);
+      size_t queries = 0;
+      Status st = server.WithSession(id, [&](DesignSession& session) {
+        queries = session.workload().size();
+      });
+      std::printf("  %c %-16s %zu queries, %llu populates reused\n",
+                  id == current ? '*' : ' ', id.c_str(),
+                  st.ok() ? queries : 0,
+                  static_cast<unsigned long long>(
+                      atom_stats.ok() ? atom_stats.value().hits : 0));
+    }
+  }
+
+  /// Server-level commands: session lifecycle lives outside the
+  /// per-session lock.
+  bool DispatchServer(const std::string& cmd, std::istringstream& in) {
+    if (cmd == "open" || cmd == "switch" || cmd == "close") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        std::printf("usage: %s <name>\n", cmd.c_str());
+        return true;
+      }
+      if (cmd == "open") {
+        if (OpenNamedSession(name)) {
+          std::printf("opened session '%s' (now current)\n", name.c_str());
+        }
+      } else if (cmd == "switch") {
+        if (!server.HasSession(name)) {
+          std::printf("error: no session '%s' (try `sessions`)\n",
+                      name.c_str());
+        } else {
+          current = name;
+        }
+      } else {
+        Status st = server.CloseSession(name);
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          return true;
+        }
+        pending_map.erase(name);
+        if (name == current) {
+          auto ids = server.SessionIds();
+          if (ids.empty()) {
+            OpenNamedSession("main");
+            std::printf("closed current session; opened fresh 'main'\n");
+          } else {
+            current = ids.front();
+            std::printf("closed current session; switched to '%s'\n",
+                        current.c_str());
+          }
+        }
+      }
+      return true;
+    }
+    if (cmd == "sessions") {
+      CmdSessions();
+      return true;
+    }
+    return false;
+  }
+
+  bool DispatchSession(DesignSession& session, const std::string& cmd,
+                       std::istringstream& in) {
+    ConstraintDelta& pending = pending_map[current];
     if (cmd == "help") {
       std::printf(
           "  sql <SELECT ...> | whatif index <t> <cols> | drop index <t> "
@@ -364,11 +466,12 @@ struct Shell {
           "save/load <file>\n"
           "  eval | undo | redo | snapshot/restore <name> | offline [x] | "
           "deploy | interactions | build <t> <cols>\n"
-          "  classes | tables | log | quit\n");
+          "  open/switch/close <name> | sessions | classes | tables | log | "
+          "quit\n");
     } else if (cmd == "sql") {
       std::string rest;
       std::getline(in, rest);
-      CmdSql(rest);
+      CmdSql(session, rest);
     } else if (cmd == "whatif" || cmd == "drop" || cmd == "build") {
       std::string kind;
       std::string table;
@@ -394,7 +497,8 @@ struct Shell {
         if (s.ok()) {
           std::printf("created hypothetical %s (%s)\n",
                       idx.value().DisplayName(db.catalog()).c_str(),
-                      FormatBytes(designer.whatif()
+                      FormatBytes(session.designer()
+                                      .whatif()
                                       .HypotheticalIndexSize(idx.value())
                                       .total_pages() *
                                   kPageSizeBytes)
@@ -492,9 +596,9 @@ struct Shell {
       std::printf("pending: %s (apply with `refine`)\n",
                   pending.Describe(db.catalog()).c_str());
     } else if (cmd == "knobs") {
-      CmdKnobs(in);
+      CmdKnobs(session, in);
     } else if (cmd == "constraints") {
-      CmdConstraints();
+      CmdConstraints(session, pending);
     } else if (cmd == "recommend") {
       double factor = 0.0;
       if (in >> factor && factor > 0.0) {
@@ -506,9 +610,9 @@ struct Shell {
         // rather than solving unconstrained.
         pending.storage_budget_pages = DataPages();
       }
-      Solve("recommend");
+      Solve(session, pending, "recommend");
     } else if (cmd == "refine") {
-      Solve("refine");
+      Solve(session, pending, "refine");
     } else if (cmd == "save" || cmd == "load") {
       std::string path;
       in >> path;
@@ -551,21 +655,36 @@ struct Shell {
         std::printf("  %s\n", entry.c_str());
       }
     } else if (cmd == "eval") {
-      CmdEval();
+      CmdEval(session);
     } else if (cmd == "offline") {
-      CmdOffline(in);
+      CmdOffline(session, in);
     } else if (cmd == "deploy") {
-      CmdDeploy();
+      CmdDeploy(session);
     } else if (cmd == "interactions") {
-      CmdInteractions();
+      CmdInteractions(session);
     } else if (cmd == "classes") {
-      CmdClasses();
+      CmdClasses(session);
     } else if (cmd == "tables") {
       CmdTables();
     } else {
       std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
     }
     return true;
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (DispatchServer(cmd, in)) return true;
+    bool keep = true;
+    Status st = server.WithSession(current, [&](DesignSession& session) {
+      keep = DispatchSession(session, cmd, in);
+    });
+    if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+    return keep;
   }
 };
 
@@ -576,11 +695,12 @@ int main() {
   config.photoobj_rows = 20000;
   std::printf("dbdesign interactive designer — loading SDSS-like data...\n");
   Shell shell(BuildSdssDatabase(config));
-  std::printf("ready. 12-query workload loaded; type `help`.\n");
+  std::printf("ready. 12-query workload loaded in session 'main'; "
+              "type `help`.\n");
 
   std::string line;
   while (true) {
-    std::printf("dbdesign> ");
+    std::printf("dbdesign[%s]> ", shell.current.c_str());
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (!shell.Dispatch(line)) break;

@@ -1,6 +1,7 @@
 #include "cophy/cophy.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <set>
@@ -11,6 +12,31 @@
 #include "util/thread_pool.h"
 
 namespace dbdesign {
+
+uint64_t CandidateUniverseFingerprint(
+    const std::vector<CandidateIndex>& candidates) {
+  // FNV-1a over each candidate's structural key and size, in order —
+  // atom `used` ids are positional, so a reordered universe must
+  // fingerprint differently. Each key is prefixed with its length so
+  // adjacent keys cannot alias across the concatenation.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const CandidateIndex& c : candidates) {
+    std::string key = c.index.Key();
+    mix(key.size());
+    for (char ch : key) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 1099511628211ull;
+    }
+    mix(std::bit_cast<uint64_t>(c.size_pages));
+  }
+  return h;
+}
 
 CoPhyAdvisor::CoPhyAdvisor(DbmsBackend& backend, CoPhyOptions options)
     : backend_(&backend),
@@ -253,36 +279,68 @@ CoPhyPrepared CoPhyAdvisor::Prepare(const Workload& workload,
                                     std::vector<CandidateIndex> candidates) {
   CoPhyPrepared prep;
   prep.candidates = std::move(candidates);
+  prep.universe_fingerprint = CandidateUniverseFingerprint(prep.candidates);
 
-  // Atoms per query: built once per structurally distinct query, fanned
-  // out over the pool (duplicates share — identical queries expand to
-  // identical atom sets). INUM caches are populated up front so the
-  // parallel BuildAtoms calls only read them.
+  // Atom rows per query: built once per structurally distinct query
+  // (duplicates share the row by pointer — identical queries expand to
+  // identical atom sets). With an atom source attached, rows another
+  // session already built for this (schema, query, universe) are
+  // adopted as-is and skip their INUM populate entirely.
   StructuralDedup dedup = DedupByStructure(std::span<const BoundQuery>(
       workload.queries.data(), workload.queries.size()));
   const std::vector<size_t>& distinct = dedup.distinct;
-  inum_.PrepareWorkload(workload);
 
-  std::vector<std::vector<CoPhyAtom>> distinct_atoms(distinct.size());
-  int threads = ThreadPool::Resolve(params_.num_threads);
-  ThreadPool::Shared().ParallelFor(distinct.size(), threads, [&](size_t u) {
-    distinct_atoms[u] =
-        BuildAtoms(workload.queries[distinct[u]], prep.candidates);
-  });
-
-  std::vector<double> distinct_base(distinct.size(), 0.0);
-  for (size_t u = 0; u < distinct.size(); ++u) {
-    distinct_base[u] = inum_.Cost(workload.queries[distinct[u]],
-                                  PhysicalDesign{});
+  std::vector<std::shared_ptr<const CoPhyAtomRow>> distinct_rows(
+      distinct.size());
+  std::vector<size_t> misses;  // indexes into `distinct` still to build
+  if (atom_source_ != nullptr) {
+    for (size_t u = 0; u < distinct.size(); ++u) {
+      distinct_rows[u] = atom_source_->Lookup(
+          workload.queries[distinct[u]].ToSql(backend_->catalog()),
+          prep.universe_fingerprint);
+      if (distinct_rows[u] == nullptr) misses.push_back(u);
+    }
+  } else {
+    misses.resize(distinct.size());
+    for (size_t u = 0; u < distinct.size(); ++u) misses[u] = u;
   }
 
-  prep.atoms.reserve(workload.size());
+  if (!misses.empty()) {
+    // INUM caches for the missed queries are populated up front so the
+    // parallel BuildAtoms calls only read them.
+    Workload to_build;
+    for (size_t u : misses) to_build.Add(workload.queries[distinct[u]]);
+    inum_.PrepareWorkload(to_build);
+
+    std::vector<std::shared_ptr<CoPhyAtomRow>> built(misses.size());
+    int threads = ThreadPool::Resolve(params_.num_threads);
+    ThreadPool::Shared().ParallelFor(misses.size(), threads, [&](size_t m) {
+      auto row = std::make_shared<CoPhyAtomRow>();
+      row->atoms =
+          BuildAtoms(workload.queries[distinct[misses[m]]], prep.candidates);
+      built[m] = std::move(row);
+    });
+    for (size_t m = 0; m < misses.size(); ++m) {
+      const BoundQuery& q = workload.queries[distinct[misses[m]]];
+      built[m]->base_cost = inum_.Cost(q, PhysicalDesign{});
+      std::shared_ptr<const CoPhyAtomRow> row = std::move(built[m]);
+      if (atom_source_ != nullptr) {
+        // Publish for other sessions; adopt the canonical entry so a
+        // concurrent builder of the same row and this session end up
+        // sharing one object.
+        row = atom_source_->Publish(q.ToSql(backend_->catalog()),
+                                    prep.universe_fingerprint, std::move(row));
+      }
+      distinct_rows[misses[m]] = std::move(row);
+    }
+  }
+
+  prep.rows.reserve(workload.size());
   for (size_t i = 0; i < workload.size(); ++i) {
-    prep.atoms.push_back(distinct_atoms[dedup.owner[i]]);
-    prep.num_atoms += prep.atoms.back().size();
+    prep.rows.push_back(distinct_rows[dedup.owner[i]]);
+    prep.num_atoms += prep.rows.back()->atoms.size();
     prep.weights.push_back(workload.WeightOf(i));
-    prep.base_query_cost.push_back(distinct_base[dedup.owner[i]]);
-    prep.base_cost += prep.weights.back() * prep.base_query_cost.back();
+    prep.base_cost += prep.weights.back() * prep.rows.back()->base_cost;
   }
   return prep;
 }
@@ -303,8 +361,10 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   if (!s.ok()) return s;
 
   const std::vector<CandidateIndex>& candidates = prepared.candidates;
-  const std::vector<std::vector<CoPhyAtom>>& atoms = prepared.atoms;
-  size_t nq = atoms.size();
+  auto atoms = [&prepared](size_t q) -> const std::vector<CoPhyAtom>& {
+    return prepared.rows[q]->atoms;
+  };
+  size_t nq = prepared.rows.size();
   int ny = static_cast<int>(candidates.size());
   double budget = constraints.EffectiveBudget(options_.storage_budget_pages);
 
@@ -392,7 +452,7 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   std::vector<std::vector<int>> xvar(nq);
   for (size_t q = 0; q < nq; ++q) {
     double w = prepared.weights[q];
-    for (const CoPhyAtom& a : atoms[q]) {
+    for (const CoPhyAtom& a : atoms(q)) {
       xvar[q].push_back(mip.lp.AddVariable(w * a.cost));
     }
   }
@@ -407,8 +467,8 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   // Aggregated linking: sum_{a of q using i} x <= y_i.
   for (size_t q = 0; q < nq; ++q) {
     std::map<int, std::vector<int>> by_index;
-    for (size_t a = 0; a < atoms[q].size(); ++a) {
-      for (int i : atoms[q][a].used) {
+    for (size_t a = 0; a < atoms(q).size(); ++a) {
+      for (int i : atoms(q)[a].used) {
         by_index[i].push_back(xvar[q][a]);
       }
     }
@@ -460,7 +520,7 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
     }
     for (size_t q = 0; q < nq; ++q) {
       double best = std::numeric_limits<double>::infinity();
-      for (const CoPhyAtom& a : atoms[q]) {
+      for (const CoPhyAtom& a : atoms(q)) {
         bool ok = true;
         for (int i : a.used) ok &= chosen.count(i) > 0;
         if (ok) best = std::min(best, a.cost);
@@ -526,7 +586,7 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   for (size_t q = 0; q < nq; ++q) {
     double best = std::numeric_limits<double>::infinity();
     const CoPhyAtom* best_atom = nullptr;
-    for (const CoPhyAtom& a : atoms[q]) {
+    for (const CoPhyAtom& a : atoms(q)) {
       bool ok = true;
       for (int i : a.used) ok &= chosen.count(i) > 0;
       if (ok && a.cost < best) {

@@ -19,8 +19,10 @@
 #ifndef DBDESIGN_COPHY_COPHY_H_
 #define DBDESIGN_COPHY_COPHY_H_
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cophy/candidates.h"
@@ -85,24 +87,75 @@ struct IndexRecommendation {
   }
 };
 
+/// One query's share of a prepared state: its atomic configurations
+/// plus its empty-design base cost. Immutable once built and shared by
+/// shared_ptr — across duplicate queries within one prepared state,
+/// across copy-on-write snapshots of a session, and (through the
+/// server's atom store) across sessions tuning the same schema. A
+/// candidate-universe change builds fresh rows; it never mutates a
+/// published one.
+struct CoPhyAtomRow {
+  /// Atomic configurations, cheapest-first; candidate ids in
+  /// CoPhyAtom::used index into the universe the row was built against.
+  std::vector<CoPhyAtom> atoms;
+  double base_cost = 0.0;  ///< cost of the query under the empty design
+};
+
+/// Order-sensitive fingerprint of a candidate universe (structural keys
+/// + sizes). Atom rows are only interchangeable between prepared states
+/// whose universes fingerprint identically, because CoPhyAtom::used
+/// stores positional candidate ids.
+uint64_t CandidateUniverseFingerprint(
+    const std::vector<CandidateIndex>& candidates);
+
+/// Cross-session atom-reuse seam. Implemented by the tuning server's
+/// AtomStore; consulted by CoPhyAdvisor::Prepare once per structurally
+/// distinct query. Implementations must be thread-safe, and must only
+/// return rows built against the same cost substrate (schema, stats,
+/// cost params — the store's keying contract) as the requesting
+/// advisor's backend.
+class CoPhyAtomSource {
+ public:
+  virtual ~CoPhyAtomSource() = default;
+
+  /// The cached row for (sql_key, universe fingerprint), or nullptr on
+  /// a miss. `sql_key` is the query's full SQL text — collision-free by
+  /// construction, the same keying the INUM cache tripwires verify.
+  virtual std::shared_ptr<const CoPhyAtomRow> Lookup(
+      const std::string& sql_key, uint64_t universe_fingerprint) = 0;
+
+  /// Publishes a freshly built row and returns the canonical entry:
+  /// the first writer wins, so concurrent builders of the same row
+  /// converge on one shared object (later publishes return the
+  /// already-stored row and drop their duplicate).
+  virtual std::shared_ptr<const CoPhyAtomRow> Publish(
+      const std::string& sql_key, uint64_t universe_fingerprint,
+      std::shared_ptr<const CoPhyAtomRow> row) = 0;
+};
+
 /// Everything CoPhy needs to (re-)solve one workload: the candidate
-/// universe, the per-query atom matrix, weights, and baseline costs.
+/// universe, the per-query atom rows, weights, and baseline costs.
 /// Building it is the expensive half of a recommendation (INUM populate
 /// + atom expansion); solving against it is pure BIP work. A DBA edit
 /// that only changes constraints re-solves against the same prepared
 /// state with zero new INUM or backend cost calls — the machinery
 /// behind DesignSession::Refine.
+///
+/// Rows are shared, immutable snapshots (see CoPhyAtomRow): copying a
+/// CoPhyPrepared is cheap (vector of shared_ptr + weights), which is
+/// what makes the server's copy-on-write session snapshots affordable.
 struct CoPhyPrepared {
   std::vector<CandidateIndex> candidates;
-  /// atoms[q] = atomic configurations of workload query q (candidate
-  /// ids index into `candidates`).
-  std::vector<std::vector<CoPhyAtom>> atoms;
-  std::vector<double> weights;          ///< per workload query
-  std::vector<double> base_query_cost;  ///< per query, empty design
-  double base_cost = 0.0;               ///< weighted total, empty design
+  /// Fingerprint of `candidates` (see CandidateUniverseFingerprint).
+  uint64_t universe_fingerprint = 0;
+  /// rows[q] = atom row of workload query q (atoms + base cost;
+  /// candidate ids index into `candidates`). Never null while q exists.
+  std::vector<std::shared_ptr<const CoPhyAtomRow>> rows;
+  std::vector<double> weights;  ///< per workload query
+  double base_cost = 0.0;       ///< weighted total, empty design
   size_t num_atoms = 0;
 
-  bool empty() const { return atoms.empty(); }
+  bool empty() const { return rows.empty(); }
 };
 
 class CoPhyAdvisor {
@@ -170,6 +223,15 @@ class CoPhyAdvisor {
 
   InumCostModel& inum() { return inum_; }
 
+  /// Attaches a cross-session atom source (non-owning; nullptr detaches).
+  /// Prepare then serves structurally distinct queries from the source
+  /// when possible — a hit skips that query's INUM populate entirely —
+  /// and publishes every row it builds. Results are bit-identical with
+  /// or without a source: a cached row is exactly what Prepare would
+  /// have built, because the source key pins schema, stats, cost
+  /// params, SQL text, and candidate universe.
+  void set_atom_source(CoPhyAtomSource* source) { atom_source_ = source; }
+
  private:
   /// Owning constructor used by the legacy Database path.
   CoPhyAdvisor(std::shared_ptr<DbmsBackend> owned, CoPhyOptions options);
@@ -180,6 +242,7 @@ class CoPhyAdvisor {
   CoPhyOptions options_;
   InumCostModel inum_;
   Optimizer optimizer_;
+  CoPhyAtomSource* atom_source_ = nullptr;  // non-owning
 };
 
 }  // namespace dbdesign

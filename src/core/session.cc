@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <set>
+#include <span>
 #include <sstream>
 
 #include "catalog/design_json.h"
@@ -150,7 +151,7 @@ void DesignSession::SyncPreparedWeights() {
   prepared_.base_cost = 0.0;
   for (size_t c = 0; c < prepared_.weights.size(); ++c) {
     prepared_.weights[c] = classes_.classes()[c].weight;
-    prepared_.base_cost += prepared_.weights[c] * prepared_.base_query_cost[c];
+    prepared_.base_cost += prepared_.weights[c] * prepared_.rows[c]->base_cost;
   }
 }
 
@@ -223,16 +224,18 @@ void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
         prepared_ = cophy_->Prepare(classes_.ClassWorkload(),
                                     std::move(universe));
       } else {
-        // Incremental atom maintenance: only the new classes' atoms are
-        // built; every existing row of the prepared matrix stays valid.
+        // Incremental atom maintenance: only the new classes' rows are
+        // built; every existing row of the prepared matrix stays valid
+        // (rows are immutable and shared, so this never perturbs a
+        // snapshot or another session holding the same row).
         for (size_t c = first_new_class; c < classes_.size(); ++c) {
           const BoundQuery& rep = classes_.classes()[c].representative;
-          prepared_.atoms.push_back(
-              cophy_->BuildAtoms(rep, prepared_.candidates));
-          prepared_.num_atoms += prepared_.atoms.back().size();
+          auto row = std::make_shared<CoPhyAtomRow>();
+          row->atoms = cophy_->BuildAtoms(rep, prepared_.candidates);
+          row->base_cost = cophy_->inum().Cost(rep, PhysicalDesign{});
+          prepared_.num_atoms += row->atoms.size();
+          prepared_.rows.push_back(std::move(row));
           prepared_.weights.push_back(classes_.classes()[c].weight);
-          prepared_.base_query_cost.push_back(
-              cophy_->inum().Cost(rep, PhysicalDesign{}));
         }
       }
     } catch (const StatusException& e) {
@@ -258,9 +261,9 @@ void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
                         (bumped.empty() || weight > 0.0);
   if (bumps_preserve) {
     for (size_t id : bumped) {
-      bumps_preserve &= id < last_class_cost_.size() &&
-                        !prepared_.atoms[id].empty() &&
-                        last_class_cost_[id] <= prepared_.atoms[id].front().cost;
+      bumps_preserve &=
+          id < last_class_cost_.size() && !prepared_.rows[id]->atoms.empty() &&
+          last_class_cost_[id] <= prepared_.rows[id]->atoms.front().cost;
     }
   }
   certificate_valid_ = bumps_preserve;
@@ -296,19 +299,17 @@ Status DesignSession::RemoveQueries(std::vector<size_t> positions) {
         if (c > id) --c;
       }
       if (prepared_valid_) {
-        prepared_.atoms.erase(prepared_.atoms.begin() +
-                              static_cast<ptrdiff_t>(id));
+        prepared_.rows.erase(prepared_.rows.begin() +
+                             static_cast<ptrdiff_t>(id));
         prepared_.weights.erase(prepared_.weights.begin() +
                                 static_cast<ptrdiff_t>(id));
-        prepared_.base_query_cost.erase(prepared_.base_query_cost.begin() +
-                                        static_cast<ptrdiff_t>(id));
       }
     }
   }
   if (prepared_valid_) {
     prepared_.num_atoms = 0;
-    for (const auto& atoms : prepared_.atoms) {
-      prepared_.num_atoms += atoms.size();
+    for (const auto& row : prepared_.rows) {
+      prepared_.num_atoms += row->atoms.size();
     }
     SyncPreparedWeights();
   }
@@ -339,6 +340,7 @@ Status DesignSession::EnsurePrepared() {
   if (cophy_ == nullptr) {
     cophy_ = std::make_unique<CoPhyAdvisor>(designer_->backend(),
                                             designer_->options().cophy);
+    cophy_->set_atom_source(atom_source_);
   }
   if (!prepared_valid_) {
     // Everything downstream runs on the compressed class workload: one
@@ -658,6 +660,17 @@ Result<DeploymentPlan> DesignSession::BuildDeploymentPlan() {
     }
   }
   if (!missing.empty()) {
+    // Atom rows adopted from a cross-session store skipped this
+    // session's own INUM populate; DoI repricing reads the local plan
+    // cache, so populate any still-unseen representatives first (a
+    // no-op for queries this session prepared itself). Backend
+    // failures surface as Status like the rest of this builder.
+    try {
+      inum.PrepareQueries(
+          std::span<const BoundQuery>(missing.data(), missing.size()));
+    } catch (const StatusException& e) {
+      return e.status();
+    }
     Result<std::vector<std::vector<double>>> rows =
         analyzer.TryContributionRows(missing, indexes);
     if (!rows.ok()) return rows.status();

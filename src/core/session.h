@@ -210,6 +210,23 @@ class DesignSession {
   /// incremental).
   bool prepared() const { return prepared_valid_; }
 
+  /// The live prepared CoPhy state (empty until the first Recommend).
+  /// Exposed for the tuning server and its tests: atom rows are shared
+  /// immutable snapshots, so pointer equality across sessions proves
+  /// cross-session reuse, and pointer stability across another
+  /// session's Refine proves copy-on-write isolation.
+  const CoPhyPrepared& prepared_state() const { return prepared_; }
+
+  /// Attaches a cross-session atom source (non-owning; must outlive
+  /// the session or be detached with nullptr). Preparing the session
+  /// then reuses rows other sessions built for the same (schema, query,
+  /// candidate universe) and publishes its own — results stay
+  /// bit-identical either way (see CoPhyAdvisor::set_atom_source).
+  void SetAtomSource(CoPhyAtomSource* source) {
+    atom_source_ = source;
+    if (cophy_ != nullptr) cophy_->set_atom_source(source);
+  }
+
   /// Counters behind the "refinement makes zero new cost calls" claim:
   /// expensive backend optimizer invocations and INUM populate runs so
   /// far. Tests and benches snapshot these around Refine.
@@ -300,6 +317,8 @@ class DesignSession {
 
   /// Owns the INUM cost cache reused across the whole session.
   std::unique_ptr<CoPhyAdvisor> cophy_;
+  /// Cross-session atom reuse seam (server-installed; may be null).
+  CoPhyAtomSource* atom_source_ = nullptr;
   CoPhyPrepared prepared_;
   bool prepared_valid_ = false;
   std::optional<IndexRecommendation> last_rec_;

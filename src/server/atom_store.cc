@@ -1,0 +1,138 @@
+#include "server/atom_store.h"
+
+#include <bit>
+
+#include "catalog/stats.h"
+
+namespace dbdesign {
+
+namespace {
+
+/// Incremental FNV-1a (the repo's standard non-cryptographic hash).
+class Fnv {
+ public:
+  void MixBytes(const std::string& s) {
+    // Length prefix so adjacent fields cannot alias across the
+    // concatenation ("ab" + "c" vs "a" + "bc").
+    MixU64(s.size());
+    for (char c : s) MixByte(static_cast<unsigned char>(c));
+  }
+  void MixU64(uint64_t v) {
+    for (int b = 0; b < 8; ++b) MixByte((v >> (8 * b)) & 0xff);
+  }
+  void MixDouble(double v) { MixU64(std::bit_cast<uint64_t>(v)); }
+  void MixInt(int v) { MixU64(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+  uint64_t digest() const { return h_; }
+
+ private:
+  void MixByte(uint64_t byte) {
+    h_ ^= byte;
+    h_ *= 1099511628211ull;
+  }
+  uint64_t h_ = 1469598103934665603ull;
+};
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const DbmsBackend& backend) {
+  Fnv fnv;
+
+  const Catalog& catalog = backend.catalog();
+  fnv.MixInt(catalog.num_tables());
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    const TableDef& table = catalog.table(t);
+    fnv.MixBytes(table.name());
+    fnv.MixInt(table.num_columns());
+    for (const ColumnDef& col : table.columns()) {
+      fnv.MixBytes(col.name);
+      fnv.MixInt(static_cast<int>(col.type));
+      fnv.MixInt(col.Width());
+    }
+  }
+
+  // Statistics summary: everything selectivity and IO estimation read.
+  // Histogram/MCV contents are summarized by resolution + extrema —
+  // they are derived deterministically from the same data generation
+  // inputs that set row counts and NDVs, so the summary separates every
+  // substrate the test/bench schemas can actually produce while keeping
+  // the fingerprint cheap.
+  for (const TableStats& stats : backend.all_stats()) {
+    fnv.MixDouble(stats.row_count);
+    fnv.MixInt(static_cast<int>(stats.columns.size()));
+    for (const ColumnStats& col : stats.columns) {
+      fnv.MixDouble(col.n_distinct);
+      fnv.MixDouble(col.null_frac);
+      fnv.MixDouble(col.correlation);
+      fnv.MixInt(static_cast<int>(col.histogram.size()));
+      fnv.MixInt(static_cast<int>(col.mcv.size()));
+      fnv.MixBytes(col.min.ToString());
+      fnv.MixBytes(col.max.ToString());
+    }
+  }
+
+  const CostParams& p = backend.cost_params();
+  fnv.MixDouble(p.seq_page_cost);
+  fnv.MixDouble(p.random_page_cost);
+  fnv.MixDouble(p.cpu_tuple_cost);
+  fnv.MixDouble(p.cpu_index_tuple_cost);
+  fnv.MixDouble(p.cpu_operator_cost);
+  fnv.MixDouble(p.effective_cache_size_pages);
+  fnv.MixDouble(p.work_mem_bytes);
+  fnv.MixDouble(p.min_rows);
+  // num_threads is deliberately excluded: it trades wall time only,
+  // results are bit-identical at any setting.
+
+  return fnv.digest();
+}
+
+std::shared_ptr<const CoPhyAtomRow> AtomStore::Lookup(
+    uint64_t schema_fingerprint, const std::string& sql_key,
+    uint64_t universe_fingerprint) {
+  MutexLock lock(mu_);
+  ++stats_.lookups;
+  auto it = rows_.find(Key(schema_fingerprint, sql_key, universe_fingerprint));
+  if (it == rows_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+std::shared_ptr<const CoPhyAtomRow> AtomStore::Publish(
+    uint64_t schema_fingerprint, const std::string& sql_key,
+    uint64_t universe_fingerprint, std::shared_ptr<const CoPhyAtomRow> row) {
+  MutexLock lock(mu_);
+  auto [it, inserted] = rows_.try_emplace(
+      Key(schema_fingerprint, sql_key, universe_fingerprint), std::move(row));
+  if (!inserted) {
+    // Two sessions built the same row concurrently; the first write is
+    // canonical and the duplicate is dropped so every holder shares
+    // one object.
+    ++stats_.races_discarded;
+    return it->second;
+  }
+  ++stats_.publishes;
+  if (!seen_queries_.emplace(schema_fingerprint, sql_key).second) {
+    ++stats_.repopulates;
+  }
+  return it->second;
+}
+
+AtomStoreStats AtomStore::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+size_t AtomStore::entries() const {
+  MutexLock lock(mu_);
+  return rows_.size();
+}
+
+void AtomStore::Clear() {
+  MutexLock lock(mu_);
+  rows_.clear();
+  seen_queries_.clear();
+}
+
+}  // namespace dbdesign

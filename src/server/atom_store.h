@@ -1,0 +1,158 @@
+// Shared, reference-counted atom substrate for the multi-tenant tuning
+// server.
+//
+// The expensive half of a recommendation is per (schema, query,
+// candidate universe): INUM populate + CoPhy atom expansion. Nothing
+// about it is per *session* — two DBAs tuning the same schema against
+// the same templates pay the same populate twice. The AtomStore
+// deduplicates that work across sessions: immutable CoPhyAtomRow
+// snapshots (cophy/cophy.h) are published under a composite key of
+//
+//   (schema fingerprint, query SQL text, candidate-universe fingerprint)
+//
+// and handed out by shared_ptr. A session whose Prepare hits the store
+// adopts the row as-is and skips its own populate; a miss builds the
+// row locally and publishes it for the next session. Rows are never
+// mutated after publication — constraint edits, weight bumps, and
+// universe extensions all produce *new* rows — so sharing is safe by
+// construction and results stay bit-identical to the single-session
+// path.
+//
+// Keying notes. The SQL text component is collision-free by
+// construction (same lesson as the INUM cache tripwires: text keys,
+// not hashes, for the part that varies per query). The schema and
+// universe components are 64-bit FNV-1a over canonical renderings that
+// include every cost-relevant input — catalog shape, statistics
+// summary, cost parameters, candidate keys + sizes — so substrates
+// that could cost differently fingerprint differently.
+
+#ifndef DBDESIGN_SERVER_ATOM_STORE_H_
+#define DBDESIGN_SERVER_ATOM_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "backend/backend.h"
+#include "cophy/cophy.h"
+#include "util/thread_annotations.h"
+
+namespace dbdesign {
+
+/// Cache counters — server-wide on AtomStore::stats(), per session on
+/// AtomStoreView::session_stats(). Counters describe work saved/spent
+/// (a hit = one INUM populate avoided); they are interleaving-dependent
+/// under concurrency and deliberately outside the bit-identical
+/// contract, which covers results only.
+struct AtomStoreStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;    ///< rows served shared — populate skipped
+  uint64_t misses = 0;  ///< rows the session had to build itself
+  uint64_t publishes = 0;  ///< fresh rows inserted (populates paid)
+  /// Publishes for a query that was already stored under a *different*
+  /// candidate universe: the universe changed (pin/veto extension, new
+  /// templates) and the row had to be rebuilt.
+  uint64_t repopulates = 0;
+  /// Concurrent duplicate publishes dropped in favor of the canonical
+  /// first-written row.
+  uint64_t races_discarded = 0;
+
+  double hit_rate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Fingerprint of a backend's cost substrate: catalog shape (table and
+/// column names, types, widths), per-table statistics summary (row
+/// counts, per-column NDV/null fraction/correlation and histogram
+/// resolution), and cost parameters. Two backends with equal
+/// fingerprints produce identical atom rows for identical queries and
+/// candidate universes, which is exactly the sharing contract the
+/// AtomStore needs.
+uint64_t SchemaFingerprint(const DbmsBackend& backend);
+
+/// The server-wide shared substrate. Thread-safe; all state behind an
+/// annotated Mutex. Entries are immutable shared_ptrs, so readers hold
+/// rows with zero locking after lookup and a Clear() (or store
+/// destruction) never invalidates rows sessions already adopted —
+/// reference counting keeps them alive.
+class AtomStore {
+ public:
+  /// Cached row for the composite key, or nullptr on a miss.
+  std::shared_ptr<const CoPhyAtomRow> Lookup(uint64_t schema_fingerprint,
+                                             const std::string& sql_key,
+                                             uint64_t universe_fingerprint);
+
+  /// Publishes a row; returns the canonical entry (first writer wins —
+  /// a concurrent duplicate is discarded and the caller adopts the
+  /// stored row, so all sessions share one object per key).
+  std::shared_ptr<const CoPhyAtomRow> Publish(
+      uint64_t schema_fingerprint, const std::string& sql_key,
+      uint64_t universe_fingerprint, std::shared_ptr<const CoPhyAtomRow> row);
+
+  AtomStoreStats stats() const;
+  size_t entries() const;
+
+  /// Drops every entry (rows sessions hold stay alive via shared_ptr).
+  void Clear();
+
+ private:
+  using Key = std::tuple<uint64_t, std::string, uint64_t>;
+
+  mutable Mutex mu_;
+  std::map<Key, std::shared_ptr<const CoPhyAtomRow>> rows_ DBD_GUARDED_BY(mu_);
+  /// (schema, sql) pairs ever published — distinguishes a repopulate
+  /// (same query, new universe) from a first-time publish.
+  std::set<std::pair<uint64_t, std::string>> seen_queries_ DBD_GUARDED_BY(mu_);
+  AtomStoreStats stats_ DBD_GUARDED_BY(mu_);
+};
+
+/// A per-session lens onto the shared store: fixes the schema
+/// fingerprint (sessions are bound to one schema) and keeps
+/// session-local counters next to the server-wide ones. This is the
+/// CoPhyAtomSource a session's advisor talks to.
+///
+/// Thread-compatible, not thread-safe: a view belongs to one session,
+/// and the server serializes each session's requests, so the local
+/// counters need no lock (the underlying store handles all cross-
+/// session concurrency).
+class AtomStoreView final : public CoPhyAtomSource {
+ public:
+  AtomStoreView(AtomStore* store, uint64_t schema_fingerprint)
+      : store_(store), schema_fingerprint_(schema_fingerprint) {}
+
+  std::shared_ptr<const CoPhyAtomRow> Lookup(
+      const std::string& sql_key, uint64_t universe_fingerprint) override {
+    std::shared_ptr<const CoPhyAtomRow> row =
+        store_->Lookup(schema_fingerprint_, sql_key, universe_fingerprint);
+    ++local_.lookups;
+    row == nullptr ? ++local_.misses : ++local_.hits;
+    return row;
+  }
+
+  std::shared_ptr<const CoPhyAtomRow> Publish(
+      const std::string& sql_key, uint64_t universe_fingerprint,
+      std::shared_ptr<const CoPhyAtomRow> row) override {
+    ++local_.publishes;
+    return store_->Publish(schema_fingerprint_, sql_key, universe_fingerprint,
+                           std::move(row));
+  }
+
+  const AtomStoreStats& session_stats() const { return local_; }
+  uint64_t schema_fingerprint() const { return schema_fingerprint_; }
+
+ private:
+  AtomStore* store_;  // non-owning; the server outlives its sessions
+  uint64_t schema_fingerprint_;
+  AtomStoreStats local_;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SERVER_ATOM_STORE_H_

@@ -1,0 +1,139 @@
+#include "server/batcher.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dbdesign {
+
+namespace {
+
+/// Group key: calls are mergeable into one inner trip iff they cost
+/// under the same physical design and the same planner knobs.
+std::string GroupKey(const PhysicalDesign& design, const PlannerKnobs& knobs) {
+  unsigned bits = 0;
+  bits |= knobs.enable_seqscan ? 1u << 0 : 0;
+  bits |= knobs.enable_indexscan ? 1u << 1 : 0;
+  bits |= knobs.enable_indexonlyscan ? 1u << 2 : 0;
+  bits |= knobs.enable_nestloop ? 1u << 3 : 0;
+  bits |= knobs.enable_indexnestloop ? 1u << 4 : 0;
+  bits |= knobs.enable_hashjoin ? 1u << 5 : 0;
+  bits |= knobs.enable_mergejoin ? 1u << 6 : 0;
+  bits |= knobs.enable_sort ? 1u << 7 : 0;
+  return design.Fingerprint() + "|" + std::to_string(bits);
+}
+
+}  // namespace
+
+Result<double> CostBatchCoalescer::CostQuery(const BoundQuery& query,
+                                             const PhysicalDesign& design,
+                                             const PlannerKnobs& knobs) {
+  Result<std::vector<double>> costs =
+      CostBatch(std::span<const BoundQuery>(&query, 1), design, knobs);
+  if (!costs.ok()) return costs.status();
+  return costs.value()[0];
+}
+
+Result<std::vector<double>> CostBatchCoalescer::CostBatch(
+    std::span<const BoundQuery> queries, const PhysicalDesign& design,
+    const PlannerKnobs& knobs) {
+  if (queries.empty()) return std::vector<double>{};
+
+  PendingCall call;
+  call.queries = queries;
+  call.design = &design;
+  call.knobs = &knobs;
+  call.group_key = GroupKey(design, knobs);
+
+  std::vector<PendingCall*> batch;
+  {
+    MutexLock lock(mu_);
+    queue_.push_back(&call);
+    ++stats_.calls;
+    stats_.queries_in += queries.size();
+    // Follower: a flush is in flight; wait for it. Waking up served
+    // means our call rode along; waking up unserved (we arrived after
+    // the leader took the queue) means we lead the next flush.
+    while (!call.done && flush_in_progress_) cv_.Wait(mu_);
+    if (!call.done) {
+      flush_in_progress_ = true;
+      batch.swap(queue_);
+    }
+  }
+
+  if (!call.done) {
+    // Leader: drain the whole queue (self included) unlocked — the
+    // inner backend call is the long pole and must not serialize
+    // arrivals behind it.
+    CoalescerStats delta = Flush(batch);
+    MutexLock lock(mu_);
+    stats_.round_trips += delta.round_trips;
+    stats_.coalesced_calls += delta.coalesced_calls;
+    stats_.flushes += delta.flushes;
+    stats_.max_trip_queries =
+        std::max(stats_.max_trip_queries, delta.max_trip_queries);
+    for (PendingCall* p : batch) p->done = true;
+    flush_in_progress_ = false;
+    cv_.NotifyAll();
+  }
+
+  if (!call.status.ok()) return call.status;
+  return std::move(call.costs);
+}
+
+CoalescerStats CostBatchCoalescer::Flush(
+    const std::vector<PendingCall*>& batch) {
+  CoalescerStats delta;
+  delta.flushes = 1;
+
+  // Group by (design, knobs); std::map keeps the grouping order
+  // deterministic given the queue contents.
+  std::map<std::string, std::vector<PendingCall*>> groups;
+  for (PendingCall* p : batch) groups[p->group_key].push_back(p);
+
+  for (auto& [key, calls] : groups) {
+    std::vector<BoundQuery> combined;
+    size_t total = 0;
+    for (const PendingCall* p : calls) total += p->queries.size();
+    combined.reserve(total);
+    for (const PendingCall* p : calls) {
+      combined.insert(combined.end(), p->queries.begin(), p->queries.end());
+    }
+
+    Result<std::vector<double>> costs = inner_->CostBatch(
+        std::span<const BoundQuery>(combined.data(), combined.size()),
+        *calls.front()->design, *calls.front()->knobs);
+    ++delta.round_trips;
+    delta.max_trip_queries = std::max(delta.max_trip_queries,
+                                      static_cast<uint64_t>(combined.size()));
+    if (calls.size() > 1) delta.coalesced_calls += calls.size();
+
+    if (!costs.ok()) {
+      // The whole trip failed (the resilience layer below already
+      // retried); every rider sees the same honest Status — exactly
+      // what each would have seen calling alone.
+      for (PendingCall* p : calls) p->status = costs.status();
+      continue;
+    }
+    size_t offset = 0;
+    for (PendingCall* p : calls) {
+      p->costs.assign(costs.value().begin() + static_cast<ptrdiff_t>(offset),
+                      costs.value().begin() +
+                          static_cast<ptrdiff_t>(offset + p->queries.size()));
+      offset += p->queries.size();
+    }
+  }
+  return delta;
+}
+
+CoalescerStats CostBatchCoalescer::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void CostBatchCoalescer::ResetStats() {
+  MutexLock lock(mu_);
+  stats_ = CoalescerStats{};
+}
+
+}  // namespace dbdesign

@@ -1,0 +1,149 @@
+// CostBatchCoalescer: group-commit for backend cost calls.
+//
+// When many cold sessions prepare concurrently against the same schema
+// seam, each issues its own CostQuery/CostBatch round-trips. On a real
+// DBMS every round-trip is a connection/transaction/RPC; the seam cost
+// is per *trip*, not per query. This decorator coalesces them: calls
+// that arrive while another flight is in progress queue up, and the
+// next leader drains the whole queue in one pass — one inner CostBatch
+// per (design, knobs) group, results distributed back to each caller.
+//
+// The protocol is pure leader/follower group-commit on a Mutex +
+// CondVar — no timers, no sleeps, no retry loops (the resilience layer
+// *below* owns those; this layer sits above a ResilientBackend so
+// coalesced round-trips get retries/deadlines/breaker for free):
+//
+//   * a call enqueues itself, then waits while a flush is in flight;
+//   * when no flush is running, the call elects itself leader, takes
+//     the whole queue (itself included), flushes it unlocked, marks
+//     every served call done, and wakes the rest;
+//   * a caller that wakes up served returns its slice; one that woke
+//     up unserved (it arrived mid-flush) becomes the next leader.
+//
+// Correctness: per-query costs are independent, so batching order can
+// never change a value — results are bit-identical to un-coalesced
+// calls at any interleaving. Calls are grouped by
+// (PhysicalDesign::Fingerprint(), knob bits); fingerprint-equal designs
+// are semantically equal (PhysicalDesign::operator== is defined as
+// fingerprint equality), so serving a group under the leader's design
+// reference is exact. Only the coalescing *counters* depend on timing.
+
+#ifndef DBDESIGN_SERVER_BATCHER_H_
+#define DBDESIGN_SERVER_BATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "util/thread_annotations.h"
+
+namespace dbdesign {
+
+/// Coalescing counters (timing-dependent; outside the bit-identical
+/// contract, which covers results only).
+struct CoalescerStats {
+  uint64_t calls = 0;            ///< logical CostQuery/CostBatch calls
+  uint64_t queries_in = 0;       ///< queries submitted across all calls
+  uint64_t round_trips = 0;      ///< inner CostBatch trips issued
+  uint64_t coalesced_calls = 0;  ///< calls that shared a trip with another
+  uint64_t flushes = 0;          ///< leader drains of the queue
+  uint64_t max_trip_queries = 0; ///< largest single inner trip
+
+  /// Seam round-trips saved by coalescing.
+  uint64_t trips_saved() const {
+    return calls > round_trips ? calls - round_trips : 0;
+  }
+};
+
+class CostBatchCoalescer final : public DbmsBackend {
+ public:
+  /// Wraps `inner` (must outlive this) — typically a ResilientBackend.
+  explicit CostBatchCoalescer(DbmsBackend& inner) : inner_(&inner) {}
+
+  CoalescerStats stats() const;
+  void ResetStats();
+
+  // --- DbmsBackend ---
+  std::string name() const override {
+    return "coalescing(" + inner_->name() + ")";
+  }
+  const CostParams& cost_params() const override {
+    return inner_->cost_params();
+  }
+  const Catalog& catalog() const override { return inner_->catalog(); }
+  const std::vector<TableStats>& all_stats() const override {
+    return inner_->all_stats();
+  }
+  Status RefreshStatistics(TableId table,
+                           const AnalyzeOptions& options) override {
+    return inner_->RefreshStatistics(table, options);
+  }
+  IndexSizeEstimate EstimateIndexSize(const IndexDef& index) const override {
+    return inner_->EstimateIndexSize(index);
+  }
+  PhysicalDesign CurrentDesign() const override {
+    return inner_->CurrentDesign();
+  }
+  /// Full plans cannot coalesce (each needs its own optimizer answer);
+  /// passthrough.
+  Result<PlanResult> OptimizeQuery(const BoundQuery& query,
+                                   const PhysicalDesign& design,
+                                   const PlannerKnobs& knobs) override {
+    return inner_->OptimizeQuery(query, design, knobs);
+  }
+  /// Single-query costing joins the same group-commit queue as a
+  /// one-query batch — N concurrent sessions each costing one query
+  /// become one inner trip instead of N.
+  Result<double> CostQuery(const BoundQuery& query,
+                           const PhysicalDesign& design,
+                           const PlannerKnobs& knobs) override;
+  Result<std::vector<double>> CostBatch(std::span<const BoundQuery> queries,
+                                        const PhysicalDesign& design,
+                                        const PlannerKnobs& knobs) override;
+  /// Partial-result salvage belongs to the resilience layer below this
+  /// one; passthrough keeps its prefix semantics intact.
+  PartialCosts CostBatchPartial(std::span<const BoundQuery> queries,
+                                const PhysicalDesign& design,
+                                const PlannerKnobs& knobs) override {
+    return inner_->CostBatchPartial(queries, design, knobs);
+  }
+  JoinControlCapabilities join_control() const override {
+    return inner_->join_control();
+  }
+  uint64_t num_optimizer_calls() const override {
+    return inner_->num_optimizer_calls();
+  }
+  void ResetCallCount() override { inner_->ResetCallCount(); }
+
+ private:
+  /// One enqueued logical call. Filled in by the leader that flushes
+  /// it; the owner reads the results only after observing `done` under
+  /// mu_, so the unlocked writes during the flush are ordered by the
+  /// final locked publication.
+  struct PendingCall {
+    std::span<const BoundQuery> queries;
+    const PhysicalDesign* design = nullptr;
+    const PlannerKnobs* knobs = nullptr;
+    std::string group_key;
+    std::vector<double> costs;
+    Status status;
+    bool done = false;
+  };
+
+  /// Drains `batch` (called unlocked): one inner trip per group,
+  /// results sliced back to each call. Returns the stats delta for the
+  /// leader to apply under mu_.
+  CoalescerStats Flush(const std::vector<PendingCall*>& batch);
+
+  DbmsBackend* inner_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<PendingCall*> queue_ DBD_GUARDED_BY(mu_);
+  bool flush_in_progress_ DBD_GUARDED_BY(mu_) = false;
+  CoalescerStats stats_ DBD_GUARDED_BY(mu_);
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SERVER_BATCHER_H_

@@ -1,0 +1,201 @@
+// TuningServer: concurrent DesignSessions over a shared atom substrate.
+//
+// The paper frames the designer as an always-available advisor; this
+// is the service layer that multiplexes many advisors. A TuningServer
+// owns a registry of named schemas (DbmsBackend seams) and of
+// DesignSessions keyed by session id, and schedules session requests
+// over the shared util/thread_pool. Three structural pieces make
+// multi-tenancy cheap and safe:
+//
+//   * AtomStore (server/atom_store.h) — sessions tuning the same
+//     schema share INUM populates: atom rows are published under
+//     (schema fingerprint, SQL text, universe fingerprint) and adopted
+//     by shared_ptr, so the Nth session on a warm schema skips the
+//     expensive half of its first Recommend.
+//   * Copy-on-write session state — CoPhyPrepared holds immutable
+//     shared rows; a Refine/PlanDeployment that changes one session's
+//     universe builds *new* rows and never touches rows other sessions
+//     hold, so their Recommends proceed from unchanged state. Sessions
+//     synchronize only on the store's short registry/lookup critical
+//     sections, never on each other's solves.
+//   * CostBatchCoalescer (server/batcher.h) — per schema, concurrent
+//     cold sessions' backend cost calls coalesce into shared seam
+//     round-trips, layered above whatever resilience decorator the
+//     registered backend carries.
+//
+// Determinism contract: each session's requests execute serially in
+// submission order under the session's own Mutex; every value a request
+// reads from shared state (atom rows, coalesced costs) is bit-identical
+// to what the session would have computed alone. RunBatch results are
+// therefore bit-identical to a serial replay of the same requests at
+// any thread count. Only counters (hit rates, coalescing stats) are
+// timing-dependent.
+
+#ifndef DBDESIGN_SERVER_SERVER_H_
+#define DBDESIGN_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/designer.h"
+#include "core/session.h"
+#include "server/atom_store.h"
+#include "server/batcher.h"
+#include "util/thread_annotations.h"
+
+namespace dbdesign {
+
+struct TuningServerOptions {
+  /// Per-session Designer configuration (cost model, CoPhy, DoI ...).
+  DesignerOptions designer;
+  /// Cross-session atom sharing via the AtomStore. Off = every session
+  /// populates alone (results identical either way).
+  bool share_atoms = true;
+  /// Per-schema CostBatchCoalescer over the registered backend seam.
+  bool coalesce_backend_calls = true;
+  /// Parallelism for RunBatch across sessions (0 = hardware).
+  int num_threads = 0;
+};
+
+enum class SessionOp {
+  kRecommend,
+  kRefine,
+  kPlanDeployment,
+};
+
+struct SessionRequest {
+  std::string session;
+  SessionOp op = SessionOp::kRecommend;
+  /// Constraint edit for kRefine (ignored otherwise).
+  ConstraintDelta delta;
+};
+
+struct SessionResponse {
+  std::string session;
+  SessionOp op = SessionOp::kRecommend;
+  Status status;
+  /// Set on successful kRecommend / kRefine.
+  std::optional<IndexRecommendation> recommendation;
+  /// Set on successful kPlanDeployment.
+  std::optional<DeploymentPlan> plan;
+};
+
+/// Server-wide telemetry snapshot.
+struct TuningServerStats {
+  AtomStoreStats atoms;    ///< shared-store counters (all schemas)
+  uint64_t sessions_open = 0;
+  uint64_t sessions_total = 0;  ///< ever opened
+  uint64_t requests_served = 0;
+  /// Summed coalescer counters across schemas (zeros when coalescing
+  /// is disabled).
+  CoalescerStats coalescer;
+};
+
+class TuningServer {
+ public:
+  explicit TuningServer(TuningServerOptions options = {});
+  ~TuningServer();
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  // --- Registry ---
+  /// Registers a schema substrate under `name`. The backend must
+  /// outlive the server; sessions opened on this schema talk to it
+  /// through the server's per-schema coalescer (when enabled).
+  Status RegisterSchema(const std::string& name, DbmsBackend& backend);
+
+  /// Opens a session on a registered schema. Fails if the id is taken
+  /// or the schema unknown.
+  Status OpenSession(const std::string& session_id,
+                     const std::string& schema);
+
+  /// Removes the session from the registry. Safe concurrently with a
+  /// running batch: in-flight requests on the session complete (the
+  /// entry is reference-counted) and the state is destroyed afterwards.
+  Status CloseSession(const std::string& session_id);
+
+  std::vector<std::string> SessionIds() const;
+  std::vector<std::string> SchemaNames() const;
+  bool HasSession(const std::string& session_id) const;
+
+  // --- Requests ---
+  /// Executes a batch of session requests: requests for the same
+  /// session run serially in submission order under that session's
+  /// lock; distinct sessions fan out across the thread pool. Responses
+  /// come back in request order. Unknown sessions get kNotFound
+  /// responses; the batch always completes.
+  std::vector<SessionResponse> RunBatch(
+      const std::vector<SessionRequest>& requests);
+
+  /// Serialized, tagged access to one session for embedders (the CLI's
+  /// multi-session mode, tests, benches): runs `fn` under the session's
+  /// lock with its log tag installed. Blocks while the session serves
+  /// other requests.
+  Status WithSession(const std::string& session_id,
+                     const std::function<void(DesignSession&)>& fn);
+
+  // --- Telemetry ---
+  TuningServerStats stats() const;
+  /// Per-session atom counters (hits = populates this session skipped).
+  Result<AtomStoreStats> SessionAtomStats(const std::string& session_id) const;
+  /// The schema fingerprint a session is bound to (exposed for tests).
+  Result<uint64_t> SessionSchemaFingerprint(
+      const std::string& session_id) const;
+  const AtomStore& atom_store() const { return store_; }
+
+ private:
+  struct SchemaEntry {
+    DbmsBackend* backend = nullptr;  ///< as registered (non-owning)
+    /// Coalescing seam sessions actually talk to (null when disabled).
+    std::unique_ptr<CostBatchCoalescer> coalescer;
+    uint64_t fingerprint = 0;
+
+    DbmsBackend& seam() {
+      return coalescer != nullptr ? *coalescer : *backend;
+    }
+  };
+
+  /// One open session. `mu` serializes the session's requests; the
+  /// registry lock is never held while a request executes, so slow
+  /// solves on one session never block another session's requests —
+  /// nor opens/closes.
+  struct SessionEntry {
+    std::string id;
+    std::string schema;
+    Mutex mu;
+    std::unique_ptr<AtomStoreView> atoms DBD_GUARDED_BY(mu);  // may be null
+    std::unique_ptr<Designer> designer DBD_GUARDED_BY(mu);
+    std::unique_ptr<DesignSession> session DBD_GUARDED_BY(mu);
+    uint64_t requests DBD_GUARDED_BY(mu) = 0;
+  };
+
+  /// Executes one request on a locked session entry.
+  SessionResponse Execute(SessionEntry& entry, const SessionRequest& request)
+      DBD_REQUIRES(entry.mu);
+
+  /// Looks up a session entry (shared ownership keeps it alive past a
+  /// concurrent CloseSession).
+  std::shared_ptr<SessionEntry> FindSession(const std::string& id) const;
+
+  const TuningServerOptions options_;
+  AtomStore store_;
+
+  mutable Mutex mu_;
+  /// Declared before sessions_ so sessions (which reference schema
+  /// seams) are destroyed first on teardown.
+  std::map<std::string, SchemaEntry> schemas_ DBD_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<SessionEntry>> sessions_
+      DBD_GUARDED_BY(mu_);
+  uint64_t sessions_total_ DBD_GUARDED_BY(mu_) = 0;
+  uint64_t requests_served_ DBD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_SERVER_SERVER_H_

@@ -9,6 +9,10 @@ namespace dbdesign {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 
+/// Per-thread log tag; a plain thread_local (no lock) because each
+/// thread only ever reads/writes its own copy.
+thread_local std::string t_log_tag;
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -38,8 +42,21 @@ void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  if (t_log_tag.empty()) {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] (%s) %s\n", LevelName(level),
+                 t_log_tag.c_str(), msg.c_str());
+  }
 }
+
+ScopedLogTag::ScopedLogTag(std::string tag) : previous_(std::move(t_log_tag)) {
+  t_log_tag = std::move(tag);
+}
+
+ScopedLogTag::~ScopedLogTag() { t_log_tag = std::move(previous_); }
+
+const std::string& ThreadLogTag() { return t_log_tag; }
 
 namespace internal {
 

@@ -33,8 +33,29 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits `msg` to stderr if `level` >= the process-wide level.
+/// Emits `msg` to stderr if `level` >= the process-wide level. The
+/// calling thread's log tag (see ScopedLogTag), when set, is printed
+/// between the level and the message: "[INFO] (session=s42) msg".
 void LogMessage(LogLevel level, const std::string& msg);
+
+/// Installs a thread-local tag on every log line the calling thread
+/// emits while the scope is alive; restores the previous tag on exit
+/// (scopes nest). The tuning server tags each request's execution with
+/// "session=<id> req=<n>" so interleaved multi-session logs stay
+/// attributable to the session that produced them.
+class ScopedLogTag {
+ public:
+  explicit ScopedLogTag(std::string tag);
+  ~ScopedLogTag();
+  ScopedLogTag(const ScopedLogTag&) = delete;
+  ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// The calling thread's current log tag ("" when none is installed).
+const std::string& ThreadLogTag();
 
 #define DBD_LOG_DEBUG(msg) \
   ::dbdesign::LogMessage(::dbdesign::LogLevel::kDebug, (msg))

@@ -135,6 +135,19 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Oversubscription guard: a growable pool that has not spawned any
+  // workers yet would have to create them now, but on single-core
+  // hardware those workers can only timeshare with the caller — pure
+  // scheduling overhead (BENCH_schedule measured doi_matrix at 0.85x
+  // serial). Run inline instead. Pools that already hold live workers
+  // (fixed pools, or growable pools grown on multi-core hardware) keep
+  // using them, so determinism suites that deliberately oversubscribe
+  // still exercise real cross-thread execution.
+  if (growable_ && worker_count_.load(std::memory_order_relaxed) == 0 &&
+      HardwareThreads() < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
 
   MutexLock submit(submit_mu_);
   if (growable_) EnsureWorkers(budget - 1);

@@ -10,8 +10,9 @@
 // affects results, only wall time.
 //
 // Degenerate cases run inline on the caller: parallelism <= 1, n <= 1,
-// a pool constructed with one thread, or a ParallelFor issued from
-// inside a running task — whether that task executes on a pool worker
+// a pool constructed with one thread, a growable pool with no live
+// workers on single-core hardware (spawning them would only
+// timeshare), or a ParallelFor issued from inside a running task — whether that task executes on a pool worker
 // or on the submitting caller's own thread (nested parallelism
 // flattens to serial instead of deadlocking). The first exception (by
 // lowest index) thrown by any task is rethrown on the caller after all

@@ -129,6 +129,31 @@ TEST(ThreadPoolTest, NestedParallelForFlattensInsteadOfDeadlocking) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ThreadPoolTest, GrowablePoolDoesNotOversubscribeSingleCore) {
+  // Regression for the BENCH_schedule doi_matrix_multicore 0.85x
+  // slowdown: a growable pool asked for 8-way parallelism on 1-core
+  // hardware must run inline rather than spawn timesharing workers.
+  ThreadPool pool(1, /*growable=*/true);
+  Mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> total{0};
+  pool.ParallelFor(64, /*parallelism=*/8, [&](size_t) {
+    MutexLock lock(mu);
+    ids.insert(std::this_thread::get_id());
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 64);
+  if (ThreadPool::HardwareThreads() < 2) {
+    // Pure-oversubscription case: no workers spawned, caller ran all.
+    EXPECT_EQ(pool.num_threads(), 1);
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+  } else {
+    // Real cores available: the pool must still grow on demand.
+    EXPECT_GT(pool.num_threads(), 1);
+  }
+}
+
 TEST(ThreadPoolTest, ExceptionLeavesPoolReusable) {
   ThreadPool pool(4);
   EXPECT_THROW(pool.ParallelFor(

@@ -115,6 +115,11 @@ void RunRefineLoop(JsonReporter& reporter) {
       veto.veto.push_back(rec->indexes[0]);
     }
     Timing revised = Timed(session, [&] { return session.Refine(veto); });
+    // The acceptance contract for every refine op: constraint edits are
+    // answered purely from the cached atom matrix — no backend optimizer
+    // calls, no INUM populations — even when the BIP re-solves.
+    DBD_CHECK(pinned.backend_calls == 0 && pinned.populates == 0);
+    DBD_CHECK(revised.backend_calls == 0 && revised.populates == 0);
     double speedup2 = initial.ms / std::max(0.001, revised.ms);
     std::printf("%-10d | %-28s %10.3f %7.1fx %10llu %10llu\n", nq,
                 "refine_veto_top", revised.ms, speedup2,
@@ -128,6 +133,7 @@ void RunRefineLoop(JsonReporter& reporter) {
         now != nullptr ? 0.6 * now->total_size_pages : 0.25 * budget;
     ops.table_caps[db.catalog().FindTable(kPhotoObj)] = 2;
     Timing tightened = Timed(session, [&] { return session.Refine(ops); });
+    DBD_CHECK(tightened.backend_calls == 0 && tightened.populates == 0);
     double speedup3 = initial.ms / std::max(0.001, tightened.ms);
     std::printf("%-10d | %-28s %10.3f %7.1fx %10llu %10llu\n", nq,
                 "refine_budget_cut", tightened.ms, speedup3,

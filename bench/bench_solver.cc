@@ -1,0 +1,258 @@
+// Experiment E9 — solver scaling: monolithic vs cluster-decomposed BIP.
+//
+// CoPhy's selling point over heuristic advisors is that the BIP solves
+// to a PROVEN optimum — but the monolithic program couples every
+// candidate through one budget row, so its solve cost grows with the
+// whole universe even when the workload's interaction structure is a
+// set of small independent clusters. The decomposed path (SolvePrepared
+// in kAuto mode) solves one BIP per interaction cluster under a shared
+// budget allocation and stitches the optima; the solver cache then
+// re-solves only the clusters a constraint edit dirties, warm-started
+// from the previous basis.
+//
+// This bench sweeps the candidate-universe size (50 / 200 / 1000 / 4000
+// synthetic candidates in 10-candidate clusters) and times three paths
+// over the SAME prepared state:
+//
+//   * monolithic_N      — forced single BIP (kMonolithic)
+//   * decomposed_N      — per-cluster solves, cold cache (kAuto)
+//   * decomposed_warm_N — veto of one recommended index, same cache:
+//                         only the dirtied cluster re-solves
+//
+// Every decomposed result is DBD_CHECKed bit-identical to the
+// monolithic optimum of the same problem (the 1e-5/page tie-break makes
+// it unique); the sweep is a perf experiment riding on the differential
+// correctness spine, not a separate accuracy claim.
+//
+// Writes BENCH_solver.json; decomposed rows carry their speedup over
+// the monolithic solve of the same universe.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cophy/cophy.h"
+#include "core/constraints.h"
+#include "util/rng.h"
+
+namespace dbdesign {
+namespace {
+
+using bench::Header;
+using bench::JsonReporter;
+using bench::MakeDb;
+
+// Structurally valid, distinct IndexDefs over the catalog: singles,
+// then leading pairs, then leading triples — the catalog has ~60
+// columns, so triples are what carry the 4000-candidate sweep.
+std::vector<IndexDef> EnumerateIndexDefs(const Catalog& catalog, int count) {
+  std::vector<IndexDef> defs;
+  auto done = [&] { return static_cast<int>(defs.size()) == count; };
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    ColumnId nc = static_cast<ColumnId>(catalog.table(t).columns().size());
+    for (ColumnId a = 0; a < nc; ++a) {
+      defs.push_back(IndexDef{t, {a}});
+      if (done()) return defs;
+    }
+  }
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    ColumnId nc = static_cast<ColumnId>(catalog.table(t).columns().size());
+    for (ColumnId a = 0; a < nc; ++a) {
+      for (ColumnId b = 0; b < nc; ++b) {
+        if (a == b) continue;
+        defs.push_back(IndexDef{t, {a, b}});
+        if (done()) return defs;
+      }
+    }
+  }
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    ColumnId nc = static_cast<ColumnId>(catalog.table(t).columns().size());
+    for (ColumnId a = 0; a < nc; ++a) {
+      for (ColumnId b = 0; b < nc; ++b) {
+        for (ColumnId c = 0; c < nc; ++c) {
+          if (a == b || a == c || b == c) continue;
+          defs.push_back(IndexDef{t, {a, b, c}});
+          if (done()) return defs;
+        }
+      }
+    }
+  }
+  DBD_CHECK(done() && "catalog too small for the candidate sweep");
+  return defs;
+}
+
+// Synthetic prepared state with exact cluster structure: `num_cands`
+// candidates in groups of 10, two query rows per group whose atoms
+// reference only that group (plus the index-free anchor), so the
+// interaction clusters are precisely the groups. Mirrors the generator
+// the differential tests use — the bench measures the same machinery
+// the correctness suite certifies.
+CoPhyPrepared MakePrepared(const Database& db, int num_cands) {
+  constexpr int kPerGroup = 10;
+  constexpr int kRowsPerGroup = 2;
+  const int groups = num_cands / kPerGroup;
+  Rng rng(static_cast<uint64_t>(num_cands) * 7919 + 1);
+  std::vector<IndexDef> defs = EnumerateIndexDefs(db.catalog(), num_cands);
+
+  CoPhyPrepared prep;
+  for (int i = 0; i < num_cands; ++i) {
+    CandidateIndex c;
+    c.index = defs[static_cast<size_t>(i)];
+    c.size_pages = rng.UniformDouble(50.0, 400.0);
+    c.relevant_queries = 1;
+    prep.candidates.push_back(std::move(c));
+  }
+  prep.universe_fingerprint = CandidateUniverseFingerprint(prep.candidates);
+
+  for (int g = 0; g < groups; ++g) {
+    for (int r = 0; r < kRowsPerGroup; ++r) {
+      auto row = std::make_shared<CoPhyAtomRow>();
+      double base = rng.UniformDouble(80.0, 160.0);
+      row->base_cost = base;
+      row->atoms.push_back(CoPhyAtom{base, {}});  // index-free anchor
+      for (int j = 0; j < kPerGroup; ++j) {
+        int i = g * kPerGroup + j;
+        row->atoms.push_back(
+            CoPhyAtom{base * rng.UniformDouble(0.3, 0.95), {i}});
+      }
+      for (int j = 0; j + 1 < kPerGroup; j += 2) {
+        std::vector<int> used = {g * kPerGroup + j, g * kPerGroup + j + 1};
+        row->atoms.push_back(
+            CoPhyAtom{base * rng.UniformDouble(0.15, 0.4), std::move(used)});
+      }
+      std::sort(row->atoms.begin(), row->atoms.end(),
+                [](const CoPhyAtom& a, const CoPhyAtom& b) {
+                  return a.cost < b.cost;
+                });
+      prep.num_atoms += row->atoms.size();
+      prep.rows.push_back(std::move(row));
+      prep.weights.push_back(rng.UniformDouble(0.5, 2.0));
+      prep.base_cost += prep.weights.back() * base;
+    }
+  }
+  prep.RefreshClusters();
+  return prep;
+}
+
+double TotalSize(const CoPhyPrepared& prep) {
+  double total = 0.0;
+  for (const CandidateIndex& c : prep.candidates) total += c.size_pages;
+  return total;
+}
+
+struct SolveRow {
+  IndexRecommendation rec;
+  double ms = 0.0;
+};
+
+SolveRow Solve(const Database& db, const CoPhyPrepared& prep,
+               const DesignConstraints& cons, CoPhySolveMode mode,
+               double budget, CoPhySolverCache* cache) {
+  CoPhyOptions opts;
+  opts.storage_budget_pages = budget;
+  opts.solve_mode = mode;
+  CoPhyAdvisor advisor(db, CostParams{}, opts);
+  auto t0 = std::chrono::steady_clock::now();
+  Result<IndexRecommendation> rec = advisor.SolvePrepared(prep, cons, cache);
+  SolveRow row;
+  row.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  DBD_CHECK(rec.ok() && "SolvePrepared failed");
+  row.rec = std::move(rec).value();
+  return row;
+}
+
+// The bit-identity contract the differential tests enforce, as
+// always-on checks: every decomposed optimum in the sweep must equal
+// the monolithic one exactly, or the bench aborts.
+void CheckIdentical(const IndexRecommendation& a,
+                    const IndexRecommendation& b) {
+  DBD_CHECK_EQ(a.indexes.size(), b.indexes.size());
+  for (size_t i = 0; i < a.indexes.size(); ++i) {
+    DBD_CHECK(a.indexes[i] == b.indexes[i]);
+  }
+  DBD_CHECK_EQ(a.total_size_pages, b.total_size_pages);
+  DBD_CHECK_EQ(a.recommended_cost, b.recommended_cost);
+  DBD_CHECK_EQ(a.proven_optimal, b.proven_optimal);
+}
+
+void RunSolverScaling(JsonReporter& reporter) {
+  Header("E9: BIP solver scaling — monolithic vs cluster-decomposed",
+         "per-cluster solves under a shared budget allocation scale with "
+         "the dirtied clusters, not the candidate universe");
+
+  Database db = MakeDb(2000);
+  std::printf("\n%-10s | %12s %12s %14s | %9s %9s\n", "candidates",
+              "mono ms", "decomp ms", "warm-veto ms", "speedup",
+              "warm spd");
+  std::printf("-----------+-----------------------------------------+"
+              "--------------------\n");
+
+  for (int n : {50, 200, 1000, 4000}) {
+    CoPhyPrepared prep = MakePrepared(db, n);
+    double budget = TotalSize(prep);
+    DesignConstraints cons;
+    CoPhySolverCache cache;
+
+    SolveRow mono =
+        Solve(db, prep, cons, CoPhySolveMode::kMonolithic, budget, nullptr);
+    SolveRow decomp =
+        Solve(db, prep, cons, CoPhySolveMode::kAuto, budget, &cache);
+    DBD_CHECK(!decomp.rec.solved_monolithic);
+    CheckIdentical(decomp.rec, mono.rec);
+
+    // Constraint edit: veto one recommended index. Only its cluster may
+    // re-solve; the optimum must still match a cold monolithic solve
+    // under the same veto.
+    DBD_CHECK(!decomp.rec.indexes.empty());
+    DesignConstraints vetoed = cons;
+    vetoed.vetoed_indexes.push_back(decomp.rec.indexes.front());
+    SolveRow warm =
+        Solve(db, prep, vetoed, CoPhySolveMode::kAuto, budget, &cache);
+    DBD_CHECK_EQ(warm.rec.clusters_solved, 1);
+    SolveRow mono_veto =
+        Solve(db, prep, vetoed, CoPhySolveMode::kMonolithic, budget, nullptr);
+    CheckIdentical(warm.rec, mono_veto.rec);
+
+    double speedup = mono.ms / std::max(0.001, decomp.ms);
+    double warm_speedup = mono_veto.ms / std::max(0.001, warm.ms);
+    std::printf("%-10d | %12.2f %12.2f %14.3f | %8.1fx %8.1fx\n", n, mono.ms,
+                decomp.ms, warm.ms, speedup, warm_speedup);
+
+    std::string suffix = "_" + std::to_string(n);
+    reporter.Report("monolithic" + suffix, mono.ms, 1.0);
+    reporter.Report("decomposed" + suffix, decomp.ms, speedup);
+    reporter.Report("decomposed_warm" + suffix, warm.ms, warm_speedup);
+  }
+  std::printf("\nall decomposed optima bit-identical to monolithic "
+              "[DBD_CHECK-enforced]\n");
+}
+
+void BM_DecomposedSolve(benchmark::State& state) {
+  Database db = MakeDb(2000);
+  CoPhyPrepared prep = MakePrepared(db, static_cast<int>(state.range(0)));
+  double budget = TotalSize(prep);
+  DesignConstraints cons;
+  for (auto _ : state) {
+    CoPhySolverCache cache;
+    SolveRow r = Solve(db, prep, cons, CoPhySolveMode::kAuto, budget, &cache);
+    benchmark::DoNotOptimize(r.rec.recommended_cost);
+  }
+}
+BENCHMARK(BM_DecomposedSolve)->Arg(50)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbdesign
+
+int main(int argc, char** argv) {
+  dbdesign::bench::JsonReporter reporter("solver");
+  dbdesign::RunSolverScaling(reporter);
+  reporter.Write();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -38,6 +38,38 @@ uint64_t CandidateUniverseFingerprint(
   return h;
 }
 
+void CoPhyPrepared::RefreshClusters() {
+  int ny = static_cast<int>(candidates.size());
+  // Star edges per query row: the one-atom-per-query constraint couples
+  // every candidate any of the row's atoms can use, so linking each such
+  // candidate to the row's smallest one gives exactly the connectivity
+  // of the monolithic BIP (minus the budget/cap rows, which the solver
+  // handles via the stitch-or-fallback check).
+  std::vector<InteractionEdge> edges;
+  std::vector<int> anchor(rows.size(), -1);  // smallest used candidate per row
+  std::vector<int> used;
+  for (size_t q = 0; q < rows.size(); ++q) {
+    used.clear();
+    for (const CoPhyAtom& a : rows[q]->atoms) {
+      used.insert(used.end(), a.used.begin(), a.used.end());
+    }
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    if (used.empty()) continue;
+    anchor[q] = used.front();
+    for (size_t t = 1; t < used.size(); ++t) {
+      edges.push_back(InteractionEdge{used.front(), used[t], 1.0});
+    }
+  }
+  clusters = PartitionFromEdges(ny, edges);
+  row_cluster.assign(rows.size(), -1);
+  for (size_t q = 0; q < rows.size(); ++q) {
+    if (anchor[q] >= 0) {
+      row_cluster[q] = clusters.cluster_of[static_cast<size_t>(anchor[q])];
+    }
+  }
+}
+
 CoPhyAdvisor::CoPhyAdvisor(DbmsBackend& backend, CoPhyOptions options)
     : backend_(&backend),
       params_(backend.cost_params()),
@@ -342,6 +374,7 @@ CoPhyPrepared CoPhyAdvisor::Prepare(const Workload& workload,
     prep.weights.push_back(workload.WeightOf(i));
     prep.base_cost += prep.weights.back() * prep.rows.back()->base_cost;
   }
+  prep.RefreshClusters();
   return prep;
 }
 
@@ -355,8 +388,8 @@ Result<CoPhyPrepared> CoPhyAdvisor::TryPrepare(
 }
 
 Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
-    const CoPhyPrepared& prepared,
-    const DesignConstraints& constraints) const {
+    const CoPhyPrepared& prepared, const DesignConstraints& constraints,
+    CoPhySolverCache* cache) const {
   Status s = constraints.Validate(backend_->catalog());
   if (!s.ok()) return s;
 
@@ -372,6 +405,7 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   rec.num_candidates = candidates.size();
   rec.num_atoms = prepared.num_atoms;
   rec.base_cost = prepared.base_cost;
+  rec.num_clusters = prepared.clusters.num_clusters();
 
   // --- Resolve constraints against the candidate universe ---
   // Pins must be in the universe (callers merge them via
@@ -434,150 +468,813 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   // optimum of the tightened problem. The scale sits well above the
   // simplex tolerances (1e-9) so one page discriminates, and well below
   // any meaningful cost difference (a whole 1000-page configuration
-  // adds 0.01 cost units).
+  // adds 0.01 cost units). Uniqueness is also what makes the cluster
+  // decomposition exact: the stitched per-cluster optima, when globally
+  // feasible, attain the monolithic optimum and therefore ARE it.
   constexpr double kTieBreakPerPage = 1e-5;
-  MipProblem mip;
-  for (int i = 0; i < ny; ++i) {
-    mip.lp.AddVariable(kTieBreakPerPage *
-                       candidates[static_cast<size_t>(i)].size_pages);
-    mip.binary_vars.push_back(i);
-  }
-  // DBA pins and vetoes are pure variable fixings: the atom matrix and
-  // every other row survive a constraint edit untouched.
-  for (int i : admitted_pins) mip.fixed_vars.emplace_back(i, 1);
-  for (int i = 0; i < ny; ++i) {
-    if (vetoed[static_cast<size_t>(i)]) mip.fixed_vars.emplace_back(i, 0);
-  }
-  // x variables.
-  std::vector<std::vector<int>> xvar(nq);
-  for (size_t q = 0; q < nq; ++q) {
-    double w = prepared.weights[q];
-    for (const CoPhyAtom& a : atoms(q)) {
-      xvar[q].push_back(mip.lp.AddVariable(w * a.cost));
-    }
-  }
-  // One atom per query.
-  for (size_t q = 0; q < nq; ++q) {
-    LpConstraint one;
-    for (int v : xvar[q]) one.terms.emplace_back(v, 1.0);
-    one.rel = LpRelation::kEq;
-    one.rhs = 1.0;
-    mip.lp.AddConstraint(std::move(one));
-  }
-  // Aggregated linking: sum_{a of q using i} x <= y_i.
-  for (size_t q = 0; q < nq; ++q) {
-    std::map<int, std::vector<int>> by_index;
-    for (size_t a = 0; a < atoms(q).size(); ++a) {
-      for (int i : atoms(q)[a].used) {
-        by_index[i].push_back(xvar[q][a]);
-      }
-    }
-    for (auto& [i, xs] : by_index) {
-      LpConstraint link;
-      for (int v : xs) link.terms.emplace_back(v, 1.0);
-      link.terms.emplace_back(i, -1.0);
-      link.rel = LpRelation::kLe;
-      link.rhs = 0.0;
-      mip.lp.AddConstraint(std::move(link));
-    }
-  }
-  // Storage budget.
-  if (std::isfinite(budget)) {
-    LpConstraint budget_row;
-    for (int i = 0; i < ny; ++i) {
-      budget_row.terms.emplace_back(
-          i, candidates[static_cast<size_t>(i)].size_pages);
-    }
-    budget_row.rel = LpRelation::kLe;
-    budget_row.rhs = budget;
-    mip.lp.AddConstraint(std::move(budget_row));
-  }
-  // Per-table caps: sum_{i on t} y_i <= cap_t.
-  for (const auto& [table, cap] : constraints.max_indexes_per_table) {
-    LpConstraint cap_row;
-    for (int i = 0; i < ny; ++i) {
-      if (candidates[static_cast<size_t>(i)].index.table == table) {
-        cap_row.terms.emplace_back(i, 1.0);
-      }
-    }
-    if (cap_row.terms.empty()) continue;
-    cap_row.rel = LpRelation::kLe;
-    cap_row.rhs = static_cast<double>(cap);
-    mip.lp.AddConstraint(std::move(cap_row));
-  }
-  rec.num_variables = static_cast<size_t>(mip.lp.num_vars);
-  rec.num_constraints = mip.lp.constraints.size();
 
-  // Primal heuristic: pins first, then round y by LP value under the
-  // budget/cap/veto constraints, then pick the cheapest compatible atom
-  // per query.
-  auto complete = [&](const std::set<int>& chosen) {
-    // Mirrors the MIP objective, including the tie-break penalty, so
-    // heuristic incumbents compare consistently against node bounds.
+  // Objective of a y-set over a subset of query rows: the tie-break on
+  // the chosen indexes plus each row's cheapest compatible atom. With
+  // all rows this mirrors the monolithic MIP objective; with a cluster's
+  // rows and a chosen set inside the cluster it mirrors the cluster
+  // subproblem's objective — both paths price incumbents with it.
+  auto complete_rows = [&](const std::set<int>& chosen_set,
+                           const std::vector<int>& row_subset) {
     double obj = 0.0;
-    for (int i : chosen) {
+    for (int i : chosen_set) {
       obj += kTieBreakPerPage * candidates[static_cast<size_t>(i)].size_pages;
     }
-    for (size_t q = 0; q < nq; ++q) {
+    for (int q : row_subset) {
       double best = std::numeric_limits<double>::infinity();
-      for (const CoPhyAtom& a : atoms(q)) {
+      for (const CoPhyAtom& a : atoms(static_cast<size_t>(q))) {
         bool ok = true;
-        for (int i : a.used) ok &= chosen.count(i) > 0;
+        for (int i : a.used) ok &= chosen_set.count(i) > 0;
         if (ok) best = std::min(best, a.cost);
       }
-      obj += prepared.weights[q] * best;
+      obj += prepared.weights[static_cast<size_t>(q)] * best;
     }
     return obj;
   };
-  auto heuristic = [&](const std::vector<double>& lp,
-                       std::vector<double>* out, double* obj) {
-    std::set<int> chosen = admitted_pins;
-    double used_pages = pin_pages;
-    std::map<TableId, int> per_table;
-    for (int i : chosen) {
-      per_table[candidates[static_cast<size_t>(i)].index.table]++;
+
+  std::set<int> chosen;        // final y set (filled by whichever path runs)
+  double solver_lower = 0.0;   // raw solver bound incl. tie-break penalty
+  bool solved = false;
+
+  // Signature of a subproblem over candidate subset `ck` and query rows
+  // `qk`: everything a constraint edit can change about its BIP (budget,
+  // pins/vetoes, relevant caps, row weights). Matching signature +
+  // proven optimum in the cache => the subproblem is clean and its
+  // optimum is reused. Used per cluster by the decomposed path and over
+  // the full candidate/row sets by the monolithic path.
+  auto subproblem_signature = [&](const std::vector<int>& ck,
+                                  const std::vector<int>& qk) {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(std::bit_cast<uint64_t>(budget));
+    for (int i : ck) {
+      uint64_t bits = static_cast<uint64_t>(i) << 2;
+      if (admitted_pins.count(i) > 0) bits |= 1;
+      if (vetoed[static_cast<size_t>(i)]) bits |= 2;
+      mix(bits);
     }
-    std::vector<std::pair<double, int>> ranked;
-    for (int i = 0; i < ny; ++i) {
-      if (vetoed[static_cast<size_t>(i)] || chosen.count(i) > 0) continue;
-      if (lp[static_cast<size_t>(i)] > 1e-6) {
-        ranked.emplace_back(-lp[static_cast<size_t>(i)], i);
+    for (const auto& [table, cap] : constraints.max_indexes_per_table) {
+      bool relevant = false;
+      for (int i : ck) {
+        relevant |= candidates[static_cast<size_t>(i)].index.table == table;
+      }
+      if (relevant) {
+        mix(static_cast<uint64_t>(table));
+        mix(static_cast<uint64_t>(cap));
       }
     }
-    std::sort(ranked.begin(), ranked.end());
-    for (auto& [neg, i] : ranked) {
-      const CandidateIndex& c = candidates[static_cast<size_t>(i)];
-      if (used_pages + c.size_pages > budget) continue;
-      if (per_table[c.index.table] + 1 >
-          constraints.TableCapOrUnlimited(c.index.table)) {
-        continue;
-      }
-      chosen.insert(i);
-      used_pages += c.size_pages;
-      per_table[c.index.table]++;
+    mix(qk.size());
+    for (int q : qk) {
+      mix(static_cast<uint64_t>(q));
+      mix(std::bit_cast<uint64_t>(prepared.weights[static_cast<size_t>(q)]));
     }
-    *obj = complete(chosen);
-    if (!std::isfinite(*obj)) return false;
-    out->assign(static_cast<size_t>(mip.lp.num_vars), 0.0);
-    for (int i : chosen) (*out)[static_cast<size_t>(i)] = 1.0;
-    // x assignment is implied; B&B only reads binary positions, and the
-    // objective is passed explicitly.
-    return true;
+    return h;
   };
 
-  BnbResult bnb = SolveBinaryMip(mip, options_.bnb, heuristic);
-  rec.bnb_nodes = bnb.nodes_explored;
-  rec.solve_time_sec = bnb.solve_time_sec;
-  rec.proven_optimal = bnb.proven_optimal;
+  // ---------------- Decomposed path ----------------
+  // Each cluster BIP is the monolithic BIP restricted to the cluster's
+  // candidates and query rows — coupled to the rest only through the
+  // budget row and the per-table cap rows. The budget coupling is
+  // arbitrated exactly: every active cluster exposes a budget/cost
+  // FRONTIER (its proven optimum as a function of allocated pages,
+  // enumerated lazily top-down: solve at the full budget, then re-solve
+  // just below the footprint the optimum actually used, and so on), and
+  // a deterministic allocation DP picks one frontier point per cluster
+  // minimizing total cost under the global budget. Unexplored frontier
+  // tails enter the DP as lower-bound sentinels (footprint = the
+  // cluster's pin floor, cost = the last enumerated point's cost — a
+  // true bound, since shrinking the budget never cheapens an optimum);
+  // when the best real combination matches the sentinel-augmented bound,
+  // it is the exact optimal split, and by the tie-break uniqueness the
+  // stitched union is the monolithic optimum. Otherwise the sentinel
+  // clusters deepen their frontiers and the DP repeats.
+  //
+  // Caps are kept at full rhs per cluster (a relaxation): if the winning
+  // combination violates a cap across clusters — or a frontier/DP size
+  // guard trips, or a cluster solve fails to prove its point — the code
+  // provably falls back to the monolithic solve below.
+  if (options_.solve_mode == CoPhySolveMode::kAuto &&
+      prepared.clusters.num_nodes() == ny &&
+      prepared.row_cluster.size() == nq) {
+    solved = [&]() {
+      const ClusterPartition& part = prepared.clusters;
+      int num_k = part.num_clusters();
+      // Must exceed the simplex feasibility tolerance (1e-7): the next
+      // frontier budget must genuinely exclude the previous footprint.
+      constexpr double kAllocEps = 1e-6;
 
-  // Extract the chosen configuration. Admitted pins are always part of
-  // it, even when the node budget starved the search.
-  std::set<int> chosen = admitted_pins;
-  if (bnb.feasible) {
-    for (int i = 0; i < ny; ++i) {
-      if (bnb.values[static_cast<size_t>(i)] > 0.5) chosen.insert(i);
+      // Rows per cluster; rows using no candidate contribute a constant.
+      std::vector<std::vector<int>> cluster_rows(
+          static_cast<size_t>(num_k));
+      double const_cost = 0.0;
+      for (size_t q = 0; q < nq; ++q) {
+        if (atoms(q).empty()) return false;  // degenerate: let mono handle
+        int k = prepared.row_cluster[q];
+        if (k < 0) {
+          double best = std::numeric_limits<double>::infinity();
+          for (const CoPhyAtom& a : atoms(q)) best = std::min(best, a.cost);
+          const_cost += prepared.weights[q] * best;
+        } else {
+          cluster_rows[static_cast<size_t>(k)].push_back(static_cast<int>(q));
+        }
+      }
+
+      if (cache != nullptr &&
+          (cache->universe_fingerprint != prepared.universe_fingerprint ||
+           cache->num_rows != nq ||
+           cache->entries.size() != static_cast<size_t>(num_k))) {
+        cache->Clear();
+        cache->universe_fingerprint = prepared.universe_fingerprint;
+        cache->num_rows = nq;
+        cache->entries.assign(static_cast<size_t>(num_k),
+                              CoPhySolverCache::Entry{});
+      }
+      // Entries live in the session cache when present, else locally for
+      // the duration of this one solve (no reuse, same algorithm).
+      std::vector<CoPhySolverCache::Entry> local_entries;
+      if (cache == nullptr) {
+        local_entries.assign(static_cast<size_t>(num_k),
+                             CoPhySolverCache::Entry{});
+      }
+      auto entry_of = [&](int k) -> CoPhySolverCache::Entry& {
+        return cache != nullptr ? cache->entries[static_cast<size_t>(k)]
+                                : local_entries[static_cast<size_t>(k)];
+      };
+
+      // Split clusters into active (some query row can use them) and
+      // inactive. Inactive clusters keep exactly their pins — any other
+      // y adds pure tie-break cost — and those pins still consume budget
+      // pages, so they are charged against the DP's budget up front.
+      double lb_sum = const_cost;
+      double outside_pages = 0.0;
+      std::vector<int> active;
+      std::vector<double> floor_of(static_cast<size_t>(num_k), 0.0);
+      for (int k = 0; k < num_k; ++k) {
+        const std::vector<int>& ck = part.clusters[static_cast<size_t>(k)];
+        double pin_sz = 0.0;
+        for (int i : ck) {
+          if (admitted_pins.count(i) > 0) {
+            pin_sz += candidates[static_cast<size_t>(i)].size_pages;
+          }
+        }
+        if (cluster_rows[static_cast<size_t>(k)].empty()) {
+          lb_sum += kTieBreakPerPage * pin_sz;
+          outside_pages += pin_sz;
+        } else {
+          active.push_back(k);
+          floor_of[static_cast<size_t>(k)] = pin_sz;
+        }
+      }
+      // Pages the allocation DP may distribute across active clusters.
+      double dp_budget = budget - outside_pages;  // inf stays inf
+
+      // Frontier deepening cut per cluster: the next budget must exclude
+      // the previous optimum BEYOND the simplex/integrality tolerances,
+      // or the LP shaves every y to 1-1e-6 and returns the same set
+      // "fitting" the reduced budget. Total shave capacity is
+      // sum(sizes) * 1e-6; a 10x margin stays far below any real
+      // footprint step (index sizes are tens-to-hundreds of pages).
+      std::vector<double> cut_of(static_cast<size_t>(num_k), kAllocEps);
+      for (int k : active) {
+        double sum = 0.0;
+        for (int i : part.clusters[static_cast<size_t>(k)]) {
+          sum += candidates[static_cast<size_t>(i)].size_pages;
+        }
+        cut_of[static_cast<size_t>(k)] = std::max(kAllocEps, sum * 1e-5);
+      }
+
+      std::vector<int> local_of(static_cast<size_t>(ny), -1);
+      std::vector<char> ran(static_cast<size_t>(num_k), 0);
+
+      // Builds cluster k's sub-BIP under an allocation of `budget_rhs`
+      // pages: the monolithic BIP restricted to the cluster's candidates
+      // and rows, with the budget row at the allocation (omitted when
+      // infinite) and cap rows at full rhs. Fills `local_of` for the
+      // cluster's candidates; the caller resets those slots after use.
+      auto build_sub = [&](int k, double budget_rhs) -> MipProblem {
+        const std::vector<int>& ck = part.clusters[static_cast<size_t>(k)];
+        const std::vector<int>& qk = cluster_rows[static_cast<size_t>(k)];
+        int nk = static_cast<int>(ck.size());
+        for (int j = 0; j < nk; ++j) {
+          local_of[static_cast<size_t>(ck[static_cast<size_t>(j)])] = j;
+        }
+        MipProblem sub;
+        for (int j = 0; j < nk; ++j) {
+          sub.lp.AddVariable(
+              kTieBreakPerPage *
+              candidates[static_cast<size_t>(ck[static_cast<size_t>(j)])]
+                  .size_pages);
+          sub.binary_vars.push_back(j);
+        }
+        for (int j = 0; j < nk; ++j) {
+          if (admitted_pins.count(ck[static_cast<size_t>(j)]) > 0) {
+            sub.fixed_vars.emplace_back(j, 1);
+          }
+        }
+        for (int j = 0; j < nk; ++j) {
+          if (vetoed[static_cast<size_t>(ck[static_cast<size_t>(j)])]) {
+            sub.fixed_vars.emplace_back(j, 0);
+          }
+        }
+        std::vector<std::vector<int>> sxvar(qk.size());
+        for (size_t qi = 0; qi < qk.size(); ++qi) {
+          size_t q = static_cast<size_t>(qk[qi]);
+          double w = prepared.weights[q];
+          for (const CoPhyAtom& a : atoms(q)) {
+            sxvar[qi].push_back(sub.lp.AddVariable(w * a.cost));
+          }
+        }
+        for (size_t qi = 0; qi < qk.size(); ++qi) {
+          LpConstraint one;
+          for (int v : sxvar[qi]) one.terms.emplace_back(v, 1.0);
+          one.rel = LpRelation::kEq;
+          one.rhs = 1.0;
+          sub.lp.AddConstraint(std::move(one));
+        }
+        for (size_t qi = 0; qi < qk.size(); ++qi) {
+          size_t q = static_cast<size_t>(qk[qi]);
+          std::map<int, std::vector<int>> by_index;
+          for (size_t a = 0; a < atoms(q).size(); ++a) {
+            for (int i : atoms(q)[a].used) {
+              by_index[i].push_back(sxvar[qi][a]);
+            }
+          }
+          for (auto& [i, xs] : by_index) {
+            LpConstraint link;
+            for (int v : xs) link.terms.emplace_back(v, 1.0);
+            link.terms.emplace_back(local_of[static_cast<size_t>(i)], -1.0);
+            link.rel = LpRelation::kLe;
+            link.rhs = 0.0;
+            sub.lp.AddConstraint(std::move(link));
+          }
+        }
+        if (std::isfinite(budget_rhs)) {
+          LpConstraint budget_row;  // this cluster's allocation
+          for (int j = 0; j < nk; ++j) {
+            budget_row.terms.emplace_back(
+                j, candidates[static_cast<size_t>(ck[static_cast<size_t>(j)])]
+                       .size_pages);
+          }
+          budget_row.rel = LpRelation::kLe;
+          budget_row.rhs = budget_rhs;
+          sub.lp.AddConstraint(std::move(budget_row));
+        }
+        for (const auto& [table, cap] : constraints.max_indexes_per_table) {
+          LpConstraint cap_row;  // full cap: relaxation (see above)
+          for (int j = 0; j < nk; ++j) {
+            if (candidates[static_cast<size_t>(ck[static_cast<size_t>(j)])]
+                    .index.table == table) {
+              cap_row.terms.emplace_back(j, 1.0);
+            }
+          }
+          if (cap_row.terms.empty()) continue;
+          cap_row.rel = LpRelation::kLe;
+          cap_row.rhs = static_cast<double>(cap);
+          sub.lp.AddConstraint(std::move(cap_row));
+        }
+        return sub;
+      };
+
+      // Solves one frontier point of cluster k: its BIP under an
+      // allocation of `budget_rhs` pages, warm-started from the
+      // cluster's last root basis (plus, for the top point, the previous
+      // optimum as the initial incumbent). A finite `stop_at` lets the
+      // branch-and-bound stop as soon as its global lower bound reaches
+      // that value: the caller then gets a tail-bound CERTIFICATE (the
+      // sentinel can no longer win) at a fraction of a full proof's
+      // cost, and no point is appended. Returns +1 on a new proven
+      // point, 0 when the tail is certified or provably empty, -1 on
+      // failure (monolithic fallback).
+      auto solve_point = [&](int k, double budget_rhs, double stop_at) -> int {
+        const std::vector<int>& ck = part.clusters[static_cast<size_t>(k)];
+        const std::vector<int>& qk = cluster_rows[static_cast<size_t>(k)];
+        CoPhySolverCache::Entry& e = entry_of(k);
+        int nk = static_cast<int>(ck.size());
+        MipProblem sub = build_sub(k, budget_rhs);
+
+        auto sub_heuristic = [&](const std::vector<double>& lp,
+                                 std::vector<double>* out, double* obj) {
+          std::set<int> ch;
+          double used_pages = 0.0;
+          std::map<TableId, int> per_table;
+          for (int i : ck) {
+            if (admitted_pins.count(i) > 0) {
+              ch.insert(i);
+              used_pages += candidates[static_cast<size_t>(i)].size_pages;
+              per_table[candidates[static_cast<size_t>(i)].index.table]++;
+            }
+          }
+          std::vector<std::pair<double, int>> ranked;
+          for (int j = 0; j < nk; ++j) {
+            int i = ck[static_cast<size_t>(j)];
+            if (vetoed[static_cast<size_t>(i)] || ch.count(i) > 0) continue;
+            if (lp[static_cast<size_t>(j)] > 1e-6) {
+              ranked.emplace_back(-lp[static_cast<size_t>(j)], i);
+            }
+          }
+          std::sort(ranked.begin(), ranked.end());
+          for (auto& [neg, i] : ranked) {
+            const CandidateIndex& c = candidates[static_cast<size_t>(i)];
+            if (used_pages + c.size_pages > budget_rhs) continue;
+            if (per_table[c.index.table] + 1 >
+                constraints.TableCapOrUnlimited(c.index.table)) {
+              continue;
+            }
+            ch.insert(i);
+            used_pages += c.size_pages;
+            per_table[c.index.table]++;
+          }
+          *obj = complete_rows(ch, qk);
+          if (!std::isfinite(*obj)) return false;
+          out->assign(static_cast<size_t>(sub.lp.num_vars), 0.0);
+          for (int i : ch) {
+            (*out)[static_cast<size_t>(local_of[static_cast<size_t>(i)])] = 1.0;
+          }
+          return true;
+        };
+
+        // Warm start: the cluster's last root basis always (the row
+        // space is identical across allocations and constraint edits);
+        // the previous optimum as the initial incumbent only for the top
+        // point (deeper allocations exclude it by construction).
+        BnbWarmStart warm;
+        bool have_warm = false;
+        if (!e.root_basis.empty()) {
+          warm.basis = e.root_basis;
+          have_warm = true;
+        }
+        if (e.valid && e.frontier.empty()) {
+          std::set<int> ch;
+          for (int i : e.chosen) {
+            if (!vetoed[static_cast<size_t>(i)]) ch.insert(i);
+          }
+          for (int i : ck) {
+            if (admitted_pins.count(i) > 0) ch.insert(i);
+          }
+          double used_pages = 0.0;
+          std::map<TableId, int> per_table;
+          bool feasible = true;
+          for (int i : ch) {
+            used_pages += candidates[static_cast<size_t>(i)].size_pages;
+            TableId t = candidates[static_cast<size_t>(i)].index.table;
+            feasible &= ++per_table[t] <= constraints.TableCapOrUnlimited(t);
+          }
+          feasible &= used_pages <= budget_rhs;
+          if (feasible) {
+            double obj = complete_rows(ch, qk);
+            if (std::isfinite(obj)) {
+              warm.values.assign(static_cast<size_t>(sub.lp.num_vars), 0.0);
+              for (int i : ch) {
+                warm.values[static_cast<size_t>(
+                    local_of[static_cast<size_t>(i)])] = 1.0;
+              }
+              warm.objective = obj;
+              have_warm = true;
+            }
+          }
+        }
+
+        BnbOptions bopt = options_.bnb;
+        bopt.stop_at_bound = stop_at;
+        BnbResult bnb = SolveBinaryMip(sub, bopt, sub_heuristic,
+                                       have_warm ? &warm : nullptr);
+        if (ran[static_cast<size_t>(k)] == 0) {
+          ran[static_cast<size_t>(k)] = 1;
+          ++rec.clusters_solved;
+        }
+        rec.bnb_nodes += bnb.nodes_explored;
+        rec.lp_pivots += bnb.lp_pivots;
+        rec.solve_time_sec += bnb.solve_time_sec;
+        rec.num_variables += static_cast<size_t>(sub.lp.num_vars);
+        rec.num_constraints += sub.lp.constraints.size();
+        for (int j = 0; j < nk; ++j) {
+          local_of[static_cast<size_t>(ck[static_cast<size_t>(j)])] = -1;
+        }
+        if (!bnb.feasible && !std::isfinite(bnb.lower_bound)) {
+          if (e.frontier.empty()) {
+            e.valid = false;  // even the full allocation failed: fallback
+            return -1;
+          }
+          e.frontier_complete = true;  // nothing fits below the last point
+          return 0;
+        }
+        if (!bnb.proven_optimal) {
+          if (bnb.lower_bound >= stop_at) {
+            // Early stop: every configuration under this allocation
+            // costs at least `lower_bound`, which is all the allocation
+            // DP needs to retire the sentinel. No exact point to record.
+            e.tail_bound = std::max(e.tail_bound, bnb.lower_bound);
+            return 0;
+          }
+          e.valid = false;
+          e.frontier.clear();
+          e.frontier_complete = false;
+          e.tail_bound = 0.0;
+          return -1;  // let the monolithic path (with its own node
+                      // budget over the whole tree) arbitrate
+        }
+        CoPhySolverCache::Entry::ParetoPoint p;
+        p.cost = bnb.objective;
+        for (int j = 0; j < nk; ++j) {
+          int i = ck[static_cast<size_t>(j)];
+          if (admitted_pins.count(i) > 0 ||
+              bnb.values[static_cast<size_t>(j)] > 0.5) {
+            p.chosen.push_back(i);
+            p.footprint += candidates[static_cast<size_t>(i)].size_pages;
+          }
+        }
+        e.root_basis = bnb.root_basis;
+        if (e.frontier.empty()) {
+          e.valid = true;
+          e.chosen = p.chosen;
+          e.objective = bnb.objective;
+          e.lower_bound = bnb.lower_bound;
+        } else if (p.footprint >
+                   e.frontier.back().footprint - kAllocEps * 0.5) {
+          // No strict footprint progress (numerically stuck): stop here
+          // rather than loop; the tail keeps its sentinel bound.
+          e.frontier_complete = true;
+          return 0;
+        }
+        if (p.footprint <= floor_of[static_cast<size_t>(k)] + kAllocEps) {
+          e.frontier_complete = true;  // pins-only: nothing below
+        }
+        // A new point is itself the strongest monotonicity bound for
+        // the tail below it (and never contradicts an earlier
+        // certificate, which bounded a superset of that tail).
+        e.tail_bound = std::max(e.tail_bound, p.cost);
+        e.frontier.push_back(std::move(p));
+        return 1;
+      };
+
+      // Freshness: a matching signature keeps the cached frontier
+      // verbatim; an edit keeps only the warm material (basis + previous
+      // optimum) and re-enumerates. Every active cluster needs at least
+      // its top point before the DP can run.
+      for (int k : active) {
+        CoPhySolverCache::Entry& e = entry_of(k);
+        uint64_t sig = subproblem_signature(
+            part.clusters[static_cast<size_t>(k)],
+            cluster_rows[static_cast<size_t>(k)]);
+        if (e.signature != sig || (!e.valid && !e.frontier.empty())) {
+          e.signature = sig;
+          e.frontier.clear();
+          e.frontier_complete = false;
+          e.tail_bound = 0.0;
+        }
+        if (e.frontier.empty() &&
+            solve_point(k, dp_budget,
+                        std::numeric_limits<double>::infinity()) != 1) {
+          return false;
+        }
+      }
+
+      // Allocation DP over frontier points. States are Pareto pairs
+      // (footprint, cost) with per-cluster picks; `-1` picks a cluster's
+      // unexplored tail (sentinel). Two passes per round: best REAL
+      // combination (achievable) vs best sentinel-augmented combination
+      // (lower bound); equality certifies the split as exactly optimal.
+      struct AllocState {
+        double f = 0.0;
+        double c = 0.0;
+        std::vector<int> pick;
+      };
+      constexpr size_t kMaxDpStates = 65536;
+      constexpr size_t kMaxFrontier = 64;
+      auto run_dp = [&](bool with_sentinels, AllocState* out) {
+        std::vector<AllocState> states(1);
+        for (int k : active) {
+          CoPhySolverCache::Entry& e = entry_of(k);
+          std::vector<AllocState> next;
+          for (const AllocState& st : states) {
+            for (size_t pi = 0; pi < e.frontier.size(); ++pi) {
+              const auto& p = e.frontier[pi];
+              double f = st.f + p.footprint;
+              if (f > dp_budget + kAllocEps) continue;
+              AllocState n = st;
+              n.f = f;
+              n.c += p.cost;
+              n.pick.push_back(static_cast<int>(pi));
+              next.push_back(std::move(n));
+            }
+            if (with_sentinels && !e.frontier_complete) {
+              double f = st.f + floor_of[static_cast<size_t>(k)];
+              if (f <= dp_budget + kAllocEps) {
+                AllocState n = st;
+                n.f = f;
+                n.c += e.tail_bound;
+                n.pick.push_back(-1);
+                next.push_back(std::move(n));
+              }
+            }
+          }
+          if (next.empty()) return false;
+          std::sort(next.begin(), next.end(),
+                    [](const AllocState& a, const AllocState& b) {
+                      if (a.f != b.f) return a.f < b.f;
+                      if (a.c != b.c) return a.c < b.c;
+                      return a.pick < b.pick;
+                    });
+          states.clear();
+          double best_c = std::numeric_limits<double>::infinity();
+          for (AllocState& st : next) {
+            if (st.c < best_c) {
+              best_c = st.c;
+              states.push_back(std::move(st));
+            }
+          }
+          // Guard on the PRUNED set: only Pareto-optimal (footprint,
+          // cost) pairs survive, so this bounds real state growth.
+          if (states.size() > kMaxDpStates) return false;
+        }
+        *out = states.back();  // costs strictly decrease with footprint
+        return true;
+      };
+
+      for (int round = 0;; ++round) {
+        if (round >= 64) return false;
+        AllocState real;
+        bool have_real = run_dp(/*with_sentinels=*/false, &real);
+        AllocState bound;
+        if (!run_dp(/*with_sentinels=*/true, &bound)) return false;
+        if (have_real &&
+            real.c <= bound.c + 1e-9 * std::max(1.0, std::abs(bound.c))) {
+          // The achievable split matches the lower bound: exact optimum.
+          std::set<int> stitched = admitted_pins;
+          for (size_t ai = 0; ai < active.size(); ++ai) {
+            const auto& p = entry_of(active[ai])
+                                .frontier[static_cast<size_t>(
+                                    real.pick[ai])];
+            stitched.insert(p.chosen.begin(), p.chosen.end());
+          }
+          lb_sum += real.c;
+          // Caps were relaxed per cluster: the split is only the global
+          // optimum when the union honors them too.
+          std::map<TableId, int> per_table;
+          for (int i : stitched) {
+            per_table[candidates[static_cast<size_t>(i)].index.table]++;
+          }
+          for (const auto& [table, cap] : constraints.max_indexes_per_table) {
+            auto it = per_table.find(table);
+            if (it != per_table.end() && it->second > cap) return false;
+          }
+          for (int k : active) {
+            if (ran[static_cast<size_t>(k)] == 0) ++rec.clusters_reused;
+          }
+          chosen = std::move(stitched);
+          solver_lower = lb_sum;
+          rec.proven_optimal = true;
+          return true;
+        }
+        // The bound lives in an unexplored tail: strengthen every
+        // sentinel cluster and re-run. When a real combination exists,
+        // the solve only needs to lift this cluster's tail bound past
+        // the sentinel's winning margin — a certificate the B&B reaches
+        // long before a full proof; without one it must produce exact
+        // points until combinations fit the budget at all.
+        bool progressed = false;
+        double scale = std::max(1.0, std::abs(bound.c));
+        for (size_t ai = 0; ai < active.size(); ++ai) {
+          if (bound.pick[ai] != -1) continue;
+          int k = active[ai];
+          CoPhySolverCache::Entry& e = entry_of(k);
+          if (e.frontier.size() >= kMaxFrontier) return false;
+          double next_rhs = e.frontier.back().footprint -
+                            cut_of[static_cast<size_t>(k)];
+          double stop_at =
+              have_real ? e.tail_bound + (real.c - bound.c) + 1e-7 * scale
+                        : std::numeric_limits<double>::infinity();
+          if (solve_point(k, next_rhs, stop_at) < 0) return false;
+          progressed = true;  // point, certificate, or tail proved empty
+        }
+        if (!progressed) return false;
+      }
+    }();
+  }
+
+  // ---------------- Monolithic path (mode or fallback) ----------------
+  if (!solved) {
+    rec.solved_monolithic = true;
+    // Self-validate the cache even when the decomposed path did not run
+    // (forced monolithic mode, or a stale partition): entries keyed to a
+    // different universe or row space must not survive.
+    if (cache != nullptr &&
+        (cache->universe_fingerprint != prepared.universe_fingerprint ||
+         cache->num_rows != nq)) {
+      cache->Clear();
+      cache->universe_fingerprint = prepared.universe_fingerprint;
+      cache->num_rows = nq;
+    }
+    std::vector<int> all_rows(nq);
+    for (size_t q = 0; q < nq; ++q) all_rows[q] = static_cast<int>(q);
+    std::vector<int> all_cands(static_cast<size_t>(ny));
+    for (int i = 0; i < ny; ++i) all_cands[static_cast<size_t>(i)] = i;
+    uint64_t mono_sig = subproblem_signature(all_cands, all_rows);
+    CoPhySolverCache::Entry* mono_entry =
+        cache != nullptr ? &cache->mono : nullptr;
+    if (mono_entry != nullptr && mono_entry->valid &&
+        mono_entry->signature == mono_sig) {
+      // Unchanged problem: the cached proven optimum IS the answer.
+      chosen.insert(mono_entry->chosen.begin(), mono_entry->chosen.end());
+      chosen.insert(admitted_pins.begin(), admitted_pins.end());
+      solver_lower = mono_entry->lower_bound;
+      rec.proven_optimal = true;
+    } else {
+      MipProblem mip;
+      for (int i = 0; i < ny; ++i) {
+        mip.lp.AddVariable(kTieBreakPerPage *
+                           candidates[static_cast<size_t>(i)].size_pages);
+        mip.binary_vars.push_back(i);
+      }
+      // DBA pins and vetoes are pure variable fixings: the atom matrix
+      // and every other row survive a constraint edit untouched.
+      for (int i : admitted_pins) mip.fixed_vars.emplace_back(i, 1);
+      for (int i = 0; i < ny; ++i) {
+        if (vetoed[static_cast<size_t>(i)]) mip.fixed_vars.emplace_back(i, 0);
+      }
+      // x variables.
+      std::vector<std::vector<int>> xvar(nq);
+      for (size_t q = 0; q < nq; ++q) {
+        double w = prepared.weights[q];
+        for (const CoPhyAtom& a : atoms(q)) {
+          xvar[q].push_back(mip.lp.AddVariable(w * a.cost));
+        }
+      }
+      // One atom per query.
+      for (size_t q = 0; q < nq; ++q) {
+        LpConstraint one;
+        for (int v : xvar[q]) one.terms.emplace_back(v, 1.0);
+        one.rel = LpRelation::kEq;
+        one.rhs = 1.0;
+        mip.lp.AddConstraint(std::move(one));
+      }
+      // Aggregated linking: sum_{a of q using i} x <= y_i.
+      for (size_t q = 0; q < nq; ++q) {
+        std::map<int, std::vector<int>> by_index;
+        for (size_t a = 0; a < atoms(q).size(); ++a) {
+          for (int i : atoms(q)[a].used) {
+            by_index[i].push_back(xvar[q][a]);
+          }
+        }
+        for (auto& [i, xs] : by_index) {
+          LpConstraint link;
+          for (int v : xs) link.terms.emplace_back(v, 1.0);
+          link.terms.emplace_back(i, -1.0);
+          link.rel = LpRelation::kLe;
+          link.rhs = 0.0;
+          mip.lp.AddConstraint(std::move(link));
+        }
+      }
+      // Storage budget.
+      if (std::isfinite(budget)) {
+        LpConstraint budget_row;
+        for (int i = 0; i < ny; ++i) {
+          budget_row.terms.emplace_back(
+              i, candidates[static_cast<size_t>(i)].size_pages);
+        }
+        budget_row.rel = LpRelation::kLe;
+        budget_row.rhs = budget;
+        mip.lp.AddConstraint(std::move(budget_row));
+      }
+      // Per-table caps: sum_{i on t} y_i <= cap_t.
+      for (const auto& [table, cap] : constraints.max_indexes_per_table) {
+        LpConstraint cap_row;
+        for (int i = 0; i < ny; ++i) {
+          if (candidates[static_cast<size_t>(i)].index.table == table) {
+            cap_row.terms.emplace_back(i, 1.0);
+          }
+        }
+        if (cap_row.terms.empty()) continue;
+        cap_row.rel = LpRelation::kLe;
+        cap_row.rhs = static_cast<double>(cap);
+        mip.lp.AddConstraint(std::move(cap_row));
+      }
+      rec.num_variables = static_cast<size_t>(mip.lp.num_vars);
+      rec.num_constraints = mip.lp.constraints.size();
+
+      // Primal heuristic: pins first, then round y by LP value under the
+      // budget/cap/veto constraints, then pick the cheapest compatible
+      // atom per query.
+      auto heuristic = [&](const std::vector<double>& lp,
+                           std::vector<double>* out, double* obj) {
+        std::set<int> ch = admitted_pins;
+        double used_pages = pin_pages;
+        std::map<TableId, int> per_table;
+        for (int i : ch) {
+          per_table[candidates[static_cast<size_t>(i)].index.table]++;
+        }
+        std::vector<std::pair<double, int>> ranked;
+        for (int i = 0; i < ny; ++i) {
+          if (vetoed[static_cast<size_t>(i)] || ch.count(i) > 0) continue;
+          if (lp[static_cast<size_t>(i)] > 1e-6) {
+            ranked.emplace_back(-lp[static_cast<size_t>(i)], i);
+          }
+        }
+        std::sort(ranked.begin(), ranked.end());
+        for (auto& [neg, i] : ranked) {
+          const CandidateIndex& c = candidates[static_cast<size_t>(i)];
+          if (used_pages + c.size_pages > budget) continue;
+          if (per_table[c.index.table] + 1 >
+              constraints.TableCapOrUnlimited(c.index.table)) {
+            continue;
+          }
+          ch.insert(i);
+          used_pages += c.size_pages;
+          per_table[c.index.table]++;
+        }
+        *obj = complete_rows(ch, all_rows);
+        if (!std::isfinite(*obj)) return false;
+        out->assign(static_cast<size_t>(mip.lp.num_vars), 0.0);
+        for (int i : ch) (*out)[static_cast<size_t>(i)] = 1.0;
+        // x assignment is implied; B&B only reads binary positions, and
+        // the objective is passed explicitly.
+        return true;
+      };
+
+      // Warm start from the cached monolithic solve: the previous root
+      // basis always, plus the previous optimum as the initial incumbent
+      // when it is still feasible under the edited constraints. This is
+      // what keeps a DBA edit cheap in the binding-budget regime, where
+      // stitching fails and every solve lands here.
+      BnbWarmStart warm;
+      bool have_warm = false;
+      if (mono_entry != nullptr) {
+        if (!mono_entry->root_basis.empty()) {
+          warm.basis = mono_entry->root_basis;
+          have_warm = true;
+        }
+        if (mono_entry->valid) {
+          std::set<int> ch;
+          for (int i : mono_entry->chosen) {
+            if (!vetoed[static_cast<size_t>(i)]) ch.insert(i);
+          }
+          ch.insert(admitted_pins.begin(), admitted_pins.end());
+          double used_pages = 0.0;
+          std::map<TableId, int> per_table;
+          bool feasible = true;
+          for (int i : ch) {
+            used_pages += candidates[static_cast<size_t>(i)].size_pages;
+            TableId t = candidates[static_cast<size_t>(i)].index.table;
+            feasible &= ++per_table[t] <= constraints.TableCapOrUnlimited(t);
+          }
+          feasible &= used_pages <= budget;
+          if (feasible) {
+            double obj = complete_rows(ch, all_rows);
+            if (std::isfinite(obj)) {
+              warm.values.assign(static_cast<size_t>(mip.lp.num_vars), 0.0);
+              for (int i : ch) warm.values[static_cast<size_t>(i)] = 1.0;
+              warm.objective = obj;
+              have_warm = true;
+            }
+          }
+        }
+      }
+
+      BnbResult bnb = SolveBinaryMip(mip, options_.bnb, heuristic,
+                                     have_warm ? &warm : nullptr);
+      rec.bnb_nodes += bnb.nodes_explored;
+      rec.lp_pivots += bnb.lp_pivots;
+      rec.solve_time_sec += bnb.solve_time_sec;
+      rec.proven_optimal = bnb.proven_optimal;
+      solver_lower = bnb.lower_bound;
+
+      // Extract the chosen configuration. Admitted pins are always part
+      // of it, even when the node budget starved the search.
+      chosen = admitted_pins;
+      if (bnb.feasible) {
+        for (int i = 0; i < ny; ++i) {
+          if (bnb.values[static_cast<size_t>(i)] > 0.5) chosen.insert(i);
+        }
+      }
+      if (mono_entry != nullptr) {
+        if (bnb.feasible && bnb.proven_optimal) {
+          mono_entry->valid = true;
+          mono_entry->signature = mono_sig;
+          mono_entry->chosen.assign(chosen.begin(), chosen.end());
+          mono_entry->objective = bnb.objective;
+          mono_entry->lower_bound = bnb.lower_bound;
+          mono_entry->root_basis = bnb.root_basis;
+        } else {
+          mono_entry->valid = false;
+        }
+      }
     }
   }
+
+  // ---------------- Shared extraction ----------------
+  // Both paths produce the same `chosen` for the same inputs (that is
+  // the decomposition theorem above, exercised by the differential
+  // suite), and everything below depends only on `chosen` — so the two
+  // paths yield bit-identical recommendations.
   // Per-query best atom under the chosen set; drop unpinned indexes no
   // atom uses.
   std::set<int> kept = admitted_pins;
@@ -615,17 +1312,20 @@ Result<IndexRecommendation> CoPhyAdvisor::SolvePrepared(
   if (std::isfinite(budget)) {
     penalty_cap = std::min(penalty_cap, kTieBreakPerPage * budget);
   }
-  rec.lower_bound = std::max(0.0, bnb.lower_bound - penalty_cap);
+  rec.lower_bound = std::max(0.0, solver_lower - penalty_cap);
   double denom = std::max(1e-12, rec.recommended_cost);
   rec.gap = std::max(0.0, (rec.recommended_cost - rec.lower_bound) / denom);
 
   DBD_LOG_INFO(StrFormat(
       "CoPhy: %zu candidates, %zu atoms, %zu vars, %zu rows -> %zu indexes, "
-      "cost %.1f -> %.1f (gap %.4f, %d nodes, %zu pins, %zu infeasible)",
+      "cost %.1f -> %.1f (gap %.4f, %d nodes, %d pivots, %zu pins, "
+      "%zu infeasible; %d clusters: %d solved, %d reused%s)",
       rec.num_candidates, rec.num_atoms, rec.num_variables,
       rec.num_constraints, rec.indexes.size(), rec.base_cost,
-      rec.recommended_cost, rec.gap, rec.bnb_nodes, admitted_pins.size(),
-      rec.infeasible_pins.size()));
+      rec.recommended_cost, rec.gap, rec.bnb_nodes, rec.lp_pivots,
+      admitted_pins.size(), rec.infeasible_pins.size(), rec.num_clusters,
+      rec.clusters_solved, rec.clusters_reused,
+      rec.solved_monolithic ? ", monolithic" : ""));
   return rec;
 }
 

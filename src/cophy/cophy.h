@@ -27,10 +27,25 @@
 
 #include "cophy/candidates.h"
 #include "core/constraints.h"
+#include "interaction/doi.h"
 #include "inum/inum.h"
 #include "solver/bnb.h"
 
 namespace dbdesign {
+
+/// How SolvePrepared runs the BIP.
+enum class CoPhySolveMode {
+  /// Decompose by interaction clusters and solve per-cluster BIPs with
+  /// the full budget each; fall back to the monolithic BIP when the
+  /// stitched optimum shows the budget (or a table cap) actually binds
+  /// across clusters. Always returns the same recommendation as
+  /// kMonolithic — the fallback condition is exactly what makes the
+  /// stitching provably optimal (see SolvePrepared).
+  kAuto,
+  /// Always solve the single monolithic BIP (the differential-testing
+  /// reference; also useful for benchmarking the decomposition win).
+  kMonolithic,
+};
 
 struct CoPhyOptions {
   /// Storage budget for the selected indexes, in pages.
@@ -44,6 +59,8 @@ struct CoPhyOptions {
   /// Cost-model options for the advisor's INUM instance (the session
   /// keeps it for the whole loop); see InumOptions.
   InumOptions inum;
+  /// Cluster decomposition knob (see CoPhySolveMode).
+  CoPhySolveMode solve_mode = CoPhySolveMode::kAuto;
 };
 
 /// An atomic configuration: cost of serving one query one way, plus the
@@ -76,6 +93,13 @@ struct IndexRecommendation {
   size_t num_atoms = 0;
   size_t num_variables = 0;
   size_t num_constraints = 0;
+
+  /// Decomposition telemetry: how the solve was actually executed.
+  int num_clusters = 0;      ///< interaction clusters in the prepared state
+  int clusters_solved = 0;   ///< cluster BIPs solved this call
+  int clusters_reused = 0;   ///< cluster optima reused from the solver cache
+  bool solved_monolithic = false;  ///< the monolithic BIP ran (mode/fallback)
+  int lp_pivots = 0;               ///< simplex pivots across all BIPs
 
   /// Set when this recommendation was served from cached session state
   /// because the backend was down (see util/status.h). A degraded
@@ -155,7 +179,95 @@ struct CoPhyPrepared {
   double base_cost = 0.0;       ///< weighted total, empty design
   size_t num_atoms = 0;
 
+  /// Interaction clusters over the CANDIDATE universe (plain value data,
+  /// so copy-on-write snapshots share it like everything else here).
+  /// Two candidates land in one cluster iff some query's atom row can
+  /// use both (possibly transitively): the one-atom-per-query rows are
+  /// the only coupling between y variables besides the global budget and
+  /// table caps, so distinct clusters share no BIP row except those —
+  /// which is exactly what lets SolvePrepared solve them independently.
+  ClusterPartition clusters;
+  /// Per query row: the cluster its atoms' candidates belong to, or -1
+  /// when no atom uses any candidate (the row then contributes only a
+  /// constant — its cheapest atom — to any solve).
+  std::vector<int> row_cluster;
+
+  /// Rebuilds `clusters` / `row_cluster` from the current rows and
+  /// candidates. Prepare calls this; incremental row edits (session
+  /// add/remove-queries paths) must call it again before the next solve.
+  void RefreshClusters();
+
   bool empty() const { return rows.empty(); }
+};
+
+/// Per-cluster solver state carried between SolvePrepared calls by a
+/// session (one cache per tuning session; the shared prepared state
+/// stays read-only). For each cluster the cache remembers the signature
+/// of the subproblem it solved (budget, pins/vetoes/caps touching the
+/// cluster, row weights) plus the proven optimum and the root LP basis.
+/// On the next solve, clusters whose signature is unchanged reuse their
+/// optimum without solving anything; dirtied clusters re-solve warm-
+/// started from the cached basis/incumbent. This is what makes a DBA
+/// veto cost one small cluster BIP instead of a full re-solve.
+///
+/// A budget that binds ACROSS clusters no longer forces a monolithic
+/// solve: each cluster entry carries a lazily enumerated budget/cost
+/// frontier (see Entry::frontier) and an allocation DP in SolvePrepared
+/// splits the global budget over those frontiers, deepening a frontier
+/// only when the optimal split might lie below its last proven point.
+/// Only a per-table cap binding across clusters still falls back to the
+/// monolithic BIP — the one coupling the decomposition merely relaxes.
+///
+/// The cache therefore also keeps one entry for the MONOLITHIC BIP, so
+/// a constraint edit under a cap-bound workload does not pay a full
+/// cold B&B: the mono entry warm-starts the fallback from the previous
+/// root basis and previous optimum (sanitized against the edited
+/// constraints), and answers an unchanged re-solve outright.
+struct CoPhySolverCache {
+  struct Entry {
+    bool valid = false;
+    uint64_t signature = 0;
+    std::vector<int> chosen;  ///< proven-optimal y set (global candidate ids)
+    double objective = 0.0;   ///< subproblem objective (incl. tie-break)
+    double lower_bound = 0.0;
+    std::vector<int> root_basis;  ///< canonical basis of the last root solved
+
+    /// One proven point on a cluster's budget/cost frontier: the optimum
+    /// of the cluster BIP under "footprint <= some budget", recorded as
+    /// the footprint it actually uses and the objective it achieves.
+    struct ParetoPoint {
+      double footprint = 0.0;   ///< pages used by `chosen` (pins included)
+      double cost = 0.0;        ///< proven cluster optimum at this footprint
+      std::vector<int> chosen;  ///< global candidate ids (pins included)
+    };
+    /// The cluster's budget/cost frontier, footprint strictly decreasing
+    /// (cost nondecreasing), enumerated lazily top-down from the full
+    /// budget. The allocation DP in SolvePrepared consumes these and
+    /// deepens the frontier only when the optimal budget split might lie
+    /// below the last enumerated point.
+    std::vector<ParetoPoint> frontier;
+    /// True once the frontier bottoms out (pin floor reached, or no
+    /// feasible configuration below the last point).
+    bool frontier_complete = false;
+    /// Lower bound on the cost of every configuration BELOW the last
+    /// frontier point (the unexplored tail). At least the last point's
+    /// cost (budget monotonicity); tightened by bound CERTIFICATES — a
+    /// branch-and-bound run at the tail's budget stopped as soon as its
+    /// global bound showed the tail cannot win (BnbOptions::
+    /// stop_at_bound), sparing the cost of the tail's exact optimum.
+    double tail_bound = 0.0;
+  };
+  uint64_t universe_fingerprint = 0;
+  size_t num_rows = 0;
+  std::vector<Entry> entries;  ///< one per cluster
+  Entry mono;                  ///< the monolithic BIP (fallback path)
+
+  void Clear() {
+    universe_fingerprint = 0;
+    num_rows = 0;
+    entries.clear();
+    mono = Entry{};
+  }
 };
 
 class CoPhyAdvisor {
@@ -208,9 +320,27 @@ class CoPhyAdvisor {
   /// Solves the BIP against an existing prepared state under
   /// `constraints`. Makes no INUM and no backend cost calls: after a
   /// constraints-only edit this is the entire cost of re-recommending.
+  ///
+  /// With solve_mode == kAuto the solve decomposes by interaction
+  /// cluster: each cluster's BIP is the restriction of the monolithic
+  /// one to the cluster's variables with the budget/cap rows kept at
+  /// their FULL right-hand sides (a relaxation). Any monolithic-feasible
+  /// solution splits into per-cluster feasible parts, so the sum of
+  /// cluster optima lower-bounds the monolithic optimum; when the
+  /// stitched union of cluster optima also satisfies the global budget
+  /// and caps it attains that bound and — optima being unique under the
+  /// tie-break objective — IS the monolithic optimum. Otherwise (the
+  /// budget/caps bind across clusters) the solve provably cannot stitch
+  /// and falls back to the monolithic BIP, so both modes always return
+  /// the same recommendation.
+  ///
+  /// `cache` (optional, owned by the calling session) carries
+  /// per-cluster optima and LP bases between calls: unchanged clusters
+  /// are reused without solving, dirtied clusters warm-start. Pass
+  /// nullptr for a stateless solve.
   Result<IndexRecommendation> SolvePrepared(
-      const CoPhyPrepared& prepared,
-      const DesignConstraints& constraints) const;
+      const CoPhyPrepared& prepared, const DesignConstraints& constraints,
+      CoPhySolverCache* cache = nullptr) const;
 
   /// Expands one query into atomic configurations against `candidates`
   /// (exposed for tests and for the interaction analyzer). Safe to call

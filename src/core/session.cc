@@ -169,6 +169,7 @@ void DesignSession::SetWorkload(Workload workload) {
   RebuildClasses();
   prepared_ = CoPhyPrepared{};
   prepared_valid_ = false;
+  solver_cache_.Clear();
   certificate_valid_ = false;
   InvalidateDeployment();
   log_.push_back(StrFormat("SET WORKLOAD (%zu queries, %zu template classes)",
@@ -237,12 +238,19 @@ void DesignSession::AddQueries(const std::vector<BoundQuery>& queries,
           prepared_.rows.push_back(std::move(row));
           prepared_.weights.push_back(classes_.classes()[c].weight);
         }
+        // New rows can couple previously independent candidates: refresh
+        // the cluster partition so the decomposed solver sees them.
+        prepared_.RefreshClusters();
       }
+      // The row space changed shape either way; per-cluster solver state
+      // no longer lines up with it.
+      solver_cache_.Clear();
     } catch (const StatusException& e) {
       DBD_LOG_WARN("AddQueries: backend failure extending prepared state (" +
                    e.status().ToString() + "); dropping warm cache");
       prepared_ = CoPhyPrepared{};
       prepared_valid_ = false;
+      solver_cache_.Clear();
       certificate_valid_ = false;
     }
   }
@@ -312,6 +320,10 @@ Status DesignSession::RemoveQueries(std::vector<size_t> positions) {
       prepared_.num_atoms += row->atoms.size();
     }
     SyncPreparedWeights();
+    // Removing rows can split clusters (rows are what couple
+    // candidates); the old per-cluster solver state is meaningless.
+    prepared_.RefreshClusters();
+    solver_cache_.Clear();
   }
   certificate_valid_ = false;  // the solved problem no longer matches
   log_.push_back(StrFormat("REMOVE %zu QUERIES", positions.size()));
@@ -476,7 +488,7 @@ Result<IndexRecommendation> DesignSession::Recommend() {
     return rec;
   }
   Result<IndexRecommendation> solved =
-      cophy_->SolvePrepared(prepared_, constraints_);
+      cophy_->SolvePrepared(prepared_, constraints_, &solver_cache_);
   if (!solved.ok()) return solved.status();
   IndexRecommendation rec = std::move(solved).value();
   last_class_cost_ = rec.per_query_cost;
@@ -550,7 +562,7 @@ Result<IndexRecommendation> DesignSession::Refine(
   s = EnsurePrepared();
   if (!s.ok()) return DegradedRecommendation(std::move(s));
   Result<IndexRecommendation> solved =
-      cophy_->SolvePrepared(prepared_, constraints_);
+      cophy_->SolvePrepared(prepared_, constraints_, &solver_cache_);
   if (!solved.ok()) return solved.status();
   IndexRecommendation rec = std::move(solved).value();
   last_class_cost_ = rec.per_query_cost;
@@ -889,6 +901,7 @@ Status DesignSession::LoadFromJson(const Json& j) {
   redo_stack_.clear();
   prepared_ = CoPhyPrepared{};
   prepared_valid_ = false;
+  solver_cache_.Clear();
   last_rec_.reset();
   last_class_cost_.clear();
   certificate_valid_ = false;

@@ -321,6 +321,16 @@ class DesignSession {
   CoPhyAtomSource* atom_source_ = nullptr;
   CoPhyPrepared prepared_;
   bool prepared_valid_ = false;
+  /// Per-cluster solver state (proven optima, signatures, warm bases)
+  /// reused across Recommend/Refine calls: a constraint edit re-solves
+  /// only the clusters it touches, warm-starting them from their
+  /// previous root basis. Session-owned — prepared_ stays read-only
+  /// during a solve, so COW sharing of atom rows across sessions is
+  /// unaffected. Cleared whenever the prepared row space changes shape
+  /// (the cache also self-validates against the universe fingerprint
+  /// and row count, so a stale pointer can at worst cost a cold solve,
+  /// never a wrong answer).
+  CoPhySolverCache solver_cache_;
   std::optional<IndexRecommendation> last_rec_;
   /// Per-class costs of last_rec_ (per_query_cost before expansion to
   /// raw positions) — the basis for re-weighting after weight bumps.

@@ -135,8 +135,25 @@ std::vector<std::vector<int>> ClustersFromEdges(
   return clusters;
 }
 
+ClusterPartition PartitionFromEdges(int num_nodes,
+                                    const std::vector<InteractionEdge>& edges) {
+  ClusterPartition part;
+  part.clusters = ClustersFromEdges(num_nodes, edges);
+  part.cluster_of.assign(static_cast<size_t>(num_nodes), -1);
+  for (size_t k = 0; k < part.clusters.size(); ++k) {
+    for (int v : part.clusters[k]) {
+      part.cluster_of[static_cast<size_t>(v)] = static_cast<int>(k);
+    }
+  }
+  return part;
+}
+
 std::vector<std::vector<int>> DoiMatrix::Clusters(double min_doi) const {
   return ClustersFromEdges(num_indexes, Edges(min_doi));
+}
+
+ClusterPartition DoiMatrix::Partition(double min_doi) const {
+  return PartitionFromEdges(num_indexes, Edges(min_doi));
 }
 
 std::vector<std::vector<int>> InteractionAnalyzer::PairSamples(int n, int a,

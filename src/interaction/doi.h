@@ -53,6 +53,26 @@ struct InteractionEdge {
 std::vector<std::vector<int>> ClustersFromEdges(
     int num_nodes, const std::vector<InteractionEdge>& edges);
 
+/// A cluster decomposition with membership lookup: `clusters` is exactly
+/// what ClustersFromEdges returns (ordered by smallest member, members
+/// ascending — deterministic by construction), and `cluster_of[v]` is
+/// the position in `clusters` of the cluster containing node v. This is
+/// the form the CoPhy solver consumes: membership is needed per
+/// CANDIDATE (to route a pin/veto to the one subproblem it dirties),
+/// not just per recommended index.
+struct ClusterPartition {
+  std::vector<std::vector<int>> clusters;
+  std::vector<int> cluster_of;
+
+  int num_nodes() const { return static_cast<int>(cluster_of.size()); }
+  int num_clusters() const { return static_cast<int>(clusters.size()); }
+  bool empty() const { return clusters.empty(); }
+};
+
+/// ClustersFromEdges plus the inverse membership map.
+ClusterPartition PartitionFromEdges(int num_nodes,
+                                    const std::vector<InteractionEdge>& edges);
+
 /// The full pairwise DoI matrix over a candidate set, plus the
 /// per-query contribution rows behind it. The rows are what make the
 /// matrix incrementally maintainable: doi(a,b) is the weighted sum of
@@ -83,6 +103,9 @@ struct DoiMatrix {
   /// so their deployment benefits compose independently. Singleton
   /// clusters included; clusters ordered by smallest member.
   std::vector<std::vector<int>> Clusters(double min_doi = 1e-6) const;
+
+  /// Clusters plus per-index membership (see ClusterPartition).
+  ClusterPartition Partition(double min_doi = 1e-6) const;
 };
 
 class InteractionAnalyzer {

@@ -32,6 +32,10 @@ std::vector<std::vector<int>> InteractionGraph::Clusters() const {
   return ClustersFromEdges(num_nodes(), all_edges_);
 }
 
+ClusterPartition InteractionGraph::Partition() const {
+  return PartitionFromEdges(num_nodes(), all_edges_);
+}
+
 std::string InteractionGraph::ToDot() const {
   std::string out = "graph index_interactions {\n";
   out += "  node [shape=box, fontsize=10];\n";

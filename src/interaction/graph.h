@@ -37,6 +37,10 @@ class InteractionGraph {
   /// by smallest member, members ascending.
   std::vector<std::vector<int>> Clusters() const;
 
+  /// Clusters plus per-index membership (see ClusterPartition): which
+  /// cluster each candidate belongs to, not just the cluster lists.
+  ClusterPartition Partition() const;
+
   /// Graphviz DOT rendering (what the demo GUI would draw).
   std::string ToDot() const;
 

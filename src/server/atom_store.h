@@ -25,6 +25,13 @@
 // include every cost-relevant input — catalog shape, statistics
 // summary, cost parameters, candidate keys + sizes — so substrates
 // that could cost differently fingerprint differently.
+//
+// The cluster partition used by the decomposed solver is deliberately
+// NOT part of the key: it is a pure function of the rows (which
+// candidates each row's atoms use), recomputed per session by
+// CoPhyPrepared::RefreshClusters. Keys and published rows are byte-for-
+// byte what they were before cluster decomposition existed, so stores
+// populated by old and new sessions interoperate.
 
 #ifndef DBDESIGN_SERVER_ATOM_STORE_H_
 #define DBDESIGN_SERVER_ATOM_STORE_H_

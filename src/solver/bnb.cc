@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
 
 #include "util/logging.h"
@@ -16,6 +17,12 @@ namespace {
 struct Node {
   std::vector<std::pair<int, int>> fixings;  ///< (var, 0 or 1)
   double bound;                              ///< parent LP bound
+  /// Parent's canonical basis (augmented row space), shared by both
+  /// children: the child LP differs from the parent's by one fixing, so
+  /// warm-starting from it typically costs a handful of pivots where the
+  /// root basis costs dozens. Null at the root (falls back to the root
+  /// basis / caller's warm start).
+  std::shared_ptr<const std::vector<int>> warm_basis;
 
   bool operator<(const Node& other) const {
     return bound > other.bound;  // min-heap by bound (best-first)
@@ -30,15 +37,119 @@ double Now() {
       .count();
 }
 
+/// The base problem with all current fixings substituted out. Fixed
+/// columns are removed entirely; their objective contribution moves to
+/// `offset` and their constraint contribution into each row's rhs. Rows
+/// that become empty are KEPT (with no terms) so the row space — and
+/// therefore the canonical basis encoding — is stable across different
+/// fixing sets; their feasibility is checked directly here instead.
+struct ReducedLp {
+  LpProblem lp;
+  std::vector<int> old_to_new;  ///< per original var; -1 = fixed
+  std::vector<int> new_to_old;
+  /// Input fixings plus forcing-row implications: expanding a solution
+  /// back to the original space must use THIS, not the caller's vector.
+  std::vector<signed char> fix;
+  double offset = 0.0;
+  bool infeasible = false;
+};
+
+ReducedLp Reduce(const LpProblem& base, const std::vector<signed char>& fix) {
+  ReducedLp red;
+  red.fix = fix;
+  // Forcing-row propagation to fixpoint: every variable is nonnegative,
+  // so a <= or == row whose unfixed coefficients are all positive and
+  // whose substituted rhs is zero pins those variables to zero — and a
+  // strictly negative rhs is infeasible outright. A vetoed index's
+  // aggregated link row (sum_a x_a - y_i <= 0 with y_i = 0) erases every
+  // atom column that uses it this way, before any simplex runs.
+  bool forced = true;
+  while (forced) {
+    forced = false;
+    for (const LpConstraint& c : base.constraints) {
+      if (c.rel == LpRelation::kGe) continue;
+      double rhs = c.rhs;
+      bool all_pos = true;
+      bool any_free = false;
+      for (const auto& [var, coef] : c.terms) {
+        signed char f = red.fix[static_cast<size_t>(var)];
+        if (f < 0) {
+          any_free = true;
+          if (coef <= 0.0) {
+            all_pos = false;
+            break;
+          }
+        } else {
+          rhs -= coef * static_cast<double>(f);
+        }
+      }
+      if (!all_pos || !any_free || rhs > 1e-9) continue;
+      if (rhs < -1e-9) {
+        red.infeasible = true;
+        return red;
+      }
+      for (const auto& [var, coef] : c.terms) {
+        signed char& f = red.fix[static_cast<size_t>(var)];
+        if (f < 0) {
+          f = 0;
+          forced = true;
+        }
+      }
+    }
+  }
+  int num_orig = base.num_vars;
+  red.old_to_new.assign(static_cast<size_t>(num_orig), -1);
+  for (int v = 0; v < num_orig; ++v) {
+    if (red.fix[static_cast<size_t>(v)] < 0) {
+      red.old_to_new[static_cast<size_t>(v)] =
+          red.lp.AddVariable(base.objective[static_cast<size_t>(v)]);
+      red.new_to_old.push_back(v);
+    } else if (red.fix[static_cast<size_t>(v)] == 1) {
+      red.offset += base.objective[static_cast<size_t>(v)];
+    }
+  }
+  for (const LpConstraint& c : base.constraints) {
+    LpConstraint rc;
+    rc.rel = c.rel;
+    double rhs = c.rhs;
+    for (const auto& [var, coef] : c.terms) {
+      signed char f = red.fix[static_cast<size_t>(var)];
+      if (f < 0) {
+        rc.terms.emplace_back(red.old_to_new[static_cast<size_t>(var)], coef);
+      } else {
+        rhs -= coef * static_cast<double>(f);
+      }
+    }
+    rc.rhs = std::abs(rhs) < 1e-9 ? 0.0 : rhs;
+    if (rc.terms.empty()) {
+      bool ok = rc.rel == LpRelation::kLe   ? rc.rhs >= 0.0
+                : rc.rel == LpRelation::kGe ? rc.rhs <= 0.0
+                                            : rc.rhs == 0.0;
+      if (!ok) {
+        red.infeasible = true;
+        return red;
+      }
+    }
+    red.lp.AddConstraint(std::move(rc));
+  }
+  return red;
+}
+
 }  // namespace
 
 BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
-                         const PrimalHeuristic& heuristic) {
+                         const PrimalHeuristic& heuristic,
+                         const BnbWarmStart* warm) {
   double t0 = Now();
   BnbResult result;
+  const int num_vars = problem.lp.num_vars;
+  const size_t num_rows_hint =
+      problem.lp.constraints.size() + problem.binary_vars.size();
 
-  // Base LP: original problem + x_b <= 1 rows for binaries + root-level
-  // fixings (x_f = 0/1 rows shared by every node).
+  // Augmented base LP: original problem + x_b <= 1 rows for ALL binaries
+  // (in binary_vars order, fixed or not). Keeping the row set independent
+  // of the fixings is what lets a canonical basis from one solve warm-
+  // start another solve with different pins/vetoes.
   LpProblem base = problem.lp;
   for (int b : problem.binary_vars) {
     LpConstraint ub;
@@ -47,25 +158,81 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
     ub.rhs = 1.0;
     base.AddConstraint(std::move(ub));
   }
+
+  // Root fixings as a dense assignment (-1 = free).
+  std::vector<signed char> root_fix(static_cast<size_t>(num_vars), -1);
   for (auto [var, val] : problem.fixed_vars) {
-    LpConstraint fix;
-    fix.terms = {{var, 1.0}};
-    fix.rel = LpRelation::kEq;
-    fix.rhs = static_cast<double>(val);
-    base.AddConstraint(std::move(fix));
+    signed char v = val != 0 ? 1 : 0;
+    signed char& slot = root_fix[static_cast<size_t>(var)];
+    if (slot >= 0 && slot != v) {
+      // Contradictory fixings (pin + veto of the same index): infeasible.
+      result.lower_bound = std::numeric_limits<double>::infinity();
+      result.solve_time_sec = Now() - t0;
+      return result;
+    }
+    slot = v;
   }
 
-  auto solve_node = [&](const std::vector<std::pair<int, int>>& fixings)
-      -> LpSolution {
-    LpProblem lp = base;
-    for (auto [var, val] : fixings) {
-      LpConstraint fix;
-      fix.terms = {{var, 1.0}};
-      fix.rel = LpRelation::kEq;
-      fix.rhs = static_cast<double>(val);
-      lp.AddConstraint(std::move(fix));
+  // Solves one node: presolve the fixings away, solve the reduced LP
+  // (warm-started when a canonical basis is available), and expand the
+  // solution back to the original variable space.
+  auto solve_node = [&](const std::vector<signed char>& fix,
+                        const std::vector<int>* warm_canon) -> LpSolution {
+    ReducedLp red = Reduce(base, fix);
+    if (red.infeasible) {
+      LpSolution s;
+      s.status = LpStatus::kInfeasible;
+      return s;
     }
-    return SolveLp(lp, options.simplex);
+    LpSolution s;
+    if (red.lp.num_vars == 0) {
+      // Everything is fixed; Reduce already verified every (empty) row.
+      s.status = LpStatus::kOptimal;
+      s.objective = 0.0;
+      s.basis.assign(red.lp.constraints.size(), -1);
+    } else {
+      // Translate the canonical warm basis into the reduced space (fixed
+      // structural vars map to -1; row indices are unchanged).
+      std::vector<int> warm_red;
+      if (warm_canon != nullptr && warm_canon->size() == num_rows_hint) {
+        warm_red.reserve(warm_canon->size());
+        for (int b : *warm_canon) {
+          if (b < 0) {
+            warm_red.push_back(-1);
+          } else if (b < num_vars) {
+            warm_red.push_back(red.old_to_new[static_cast<size_t>(b)]);
+          } else {
+            warm_red.push_back(red.lp.num_vars + (b - num_vars));
+          }
+        }
+      }
+      s = SolveLp(red.lp, options.simplex,
+                  warm_red.empty() ? nullptr : &warm_red);
+    }
+    result.lp_pivots += s.pivots;
+    if (!s.optimal()) return s;
+
+    LpSolution out;
+    out.status = LpStatus::kOptimal;
+    out.objective = s.objective + red.offset;
+    out.pivots = s.pivots;
+    out.values.assign(static_cast<size_t>(num_vars), 0.0);
+    for (int v = 0; v < num_vars; ++v) {
+      signed char f = red.fix[static_cast<size_t>(v)];
+      out.values[static_cast<size_t>(v)] =
+          f >= 0 ? static_cast<double>(f)
+                 : s.values[static_cast<size_t>(
+                       red.old_to_new[static_cast<size_t>(v)])];
+    }
+    out.basis.assign(num_rows_hint, -1);
+    for (size_t r = 0; r < s.basis.size(); ++r) {
+      int b = s.basis[r];
+      if (b < 0) continue;
+      out.basis[r] = b < red.lp.num_vars
+                         ? red.new_to_old[static_cast<size_t>(b)]
+                         : num_vars + (b - red.lp.num_vars);
+    }
+    return out;
   };
 
   double incumbent = std::numeric_limits<double>::infinity();
@@ -81,22 +248,47 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
     }
   };
 
-  LpSolution root = solve_node({});
+  // Seed the incumbent from the warm start (trusted like a heuristic
+  // result), unless it contradicts the current fixings.
+  if (warm != nullptr &&
+      warm->values.size() == static_cast<size_t>(num_vars)) {
+    bool consistent = true;
+    for (int v = 0; v < num_vars; ++v) {
+      signed char f = root_fix[static_cast<size_t>(v)];
+      if (f >= 0 && std::abs(warm->values[static_cast<size_t>(v)] -
+                             static_cast<double>(f)) > 1e-6) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) {
+      incumbent = warm->objective;
+      incumbent_values = warm->values;
+    }
+  }
+
+  LpSolution root =
+      solve_node(root_fix, warm != nullptr ? &warm->basis : nullptr);
   if (root.status == LpStatus::kInfeasible) {
     result.lower_bound = std::numeric_limits<double>::infinity();
+    result.solve_time_sec = Now() - t0;
     return result;
   }
   if (!root.optimal()) {
     // Unbounded or iteration limit at the root: give up gracefully.
+    result.solve_time_sec = Now() - t0;
     return result;
   }
   result.lower_bound = root.objective;
+  result.root_basis = root.basis;
   try_heuristic(root.values);
 
   std::priority_queue<Node> open;
-  open.push(Node{{}, root.objective});
+  open.push(Node{{}, root.objective, nullptr});
 
   // Most-fractional branching: pick the binary farthest from an integer.
+  // Fixed binaries are exactly integral in the expanded values, so they
+  // are never selected.
   auto fractional_var = [&](const std::vector<double>& values) {
     int best = -1;
     double best_dist = 1e-6;
@@ -113,8 +305,11 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
 
   // Best-first search: nodes pop in non-decreasing parent-bound order, so
   // the popped node's bound is the global lower bound at that moment.
+  // Node LPs warm-start from the ROOT basis: storing one basis per open
+  // node would cost O(nodes x rows) memory for little extra benefit.
   double global_lb = root.objective;
   bool exhausted = false;
+  std::vector<signed char> node_fix;
   while (true) {
     if (open.empty()) {
       exhausted = true;
@@ -132,6 +327,9 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
       exhausted = true;
       break;
     }
+    if (global_lb >= options.stop_at_bound) {
+      break;  // bound certificate reached: caller doesn't need the proof
+    }
     if (std::isfinite(incumbent) &&
         (incumbent - global_lb) / std::max(1e-12, std::abs(incumbent)) <=
             options.gap_tolerance &&
@@ -139,7 +337,12 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
       break;  // good enough per the caller's time/quality knob
     }
 
-    LpSolution lp = solve_node(node.fixings);
+    node_fix = root_fix;
+    for (auto [var, val] : node.fixings) {
+      node_fix[static_cast<size_t>(var)] = val != 0 ? 1 : 0;
+    }
+    LpSolution lp = solve_node(
+        node_fix, node.warm_basis ? node.warm_basis.get() : &result.root_basis);
     ++result.nodes_explored;
     if (!lp.optimal()) continue;  // infeasible subtree
     if (lp.objective >= incumbent - 1e-12) continue;
@@ -155,11 +358,13 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
       }
       continue;
     }
+    auto basis = std::make_shared<const std::vector<int>>(lp.basis);
     for (int v : {1, 0}) {
       Node child;
       child.fixings = node.fixings;
       child.fixings.emplace_back(branch, v);
       child.bound = lp.objective;
+      child.warm_basis = basis;
       open.push(child);
     }
   }
@@ -176,9 +381,9 @@ BnbResult SolveBinaryMip(const MipProblem& problem, const BnbOptions& options,
     result.values = std::move(incumbent_values);
   }
   result.solve_time_sec = Now() - t0;
-  DBD_LOG_DEBUG(StrFormat("B&B: %d nodes, obj=%.3f bound=%.3f gap=%.4f",
-                          result.nodes_explored, result.objective,
-                          result.lower_bound, result.gap()));
+  DBD_LOG_DEBUG(StrFormat("B&B: %d nodes, %d pivots, obj=%.3f bound=%.3f gap=%.4f",
+                          result.nodes_explored, result.lp_pivots,
+                          result.objective, result.lower_bound, result.gap()));
   return result;
 }
 

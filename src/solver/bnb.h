@@ -2,11 +2,18 @@
 // relaxation. Gives CoPhy its quality guarantee: the returned gap is
 // (incumbent - global LP bound) / incumbent, and the node/time budget is
 // the paper's "trade off execution time against quality" knob.
+//
+// Root-level fixings (MipProblem::fixed_vars) are eliminated by
+// substitution before any simplex runs: fixed columns never enter the
+// tableau, their objective contribution becomes a constant offset, and a
+// fully-fixed problem solves without a single pivot. Node fixings reuse
+// the same presolve, so deep subtrees solve ever-smaller LPs.
 
 #ifndef DBDESIGN_SOLVER_BNB_H_
 #define DBDESIGN_SOLVER_BNB_H_
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "solver/simplex.h"
@@ -17,11 +24,11 @@ namespace dbdesign {
 struct MipProblem {
   LpProblem lp;
   std::vector<int> binary_vars;
-  /// Root-level variable fixings applied before search: (var, 0 or 1)
-  /// bounds enforced at every node. CoPhy encodes DBA pins (y_i = 1)
-  /// and vetoes (y_i = 0) here, so constraint edits change only these
-  /// fixings — the rest of the problem (and any cached atom matrix
-  /// behind it) is reused verbatim.
+  /// Root-level variable fixings applied before search: (var, 0 or 1),
+  /// eliminated by presolve substitution at every node. CoPhy encodes
+  /// DBA pins (y_i = 1) and vetoes (y_i = 0) here, so constraint edits
+  /// change only these fixings — the rest of the problem (and any cached
+  /// atom matrix behind it) is reused verbatim.
   std::vector<std::pair<int, int>> fixed_vars;
 };
 
@@ -31,7 +38,32 @@ struct BnbOptions {
   /// Stop early when the relative gap falls below this (0 = solve to
   /// proven optimality within the node/time budget).
   double gap_tolerance = 0.0;
+  /// Stop as soon as the global lower bound reaches this value (default
+  /// +inf: never). The caller gets `lower_bound >= stop_at_bound` with
+  /// `proven_optimal == false` — a bound CERTIFICATE at a fraction of a
+  /// full proof's cost. CoPhy's allocation DP uses this to certify that
+  /// a cluster's unexplored budget tail cannot beat the incumbent split
+  /// without paying for the tail's exact optimum.
+  double stop_at_bound = std::numeric_limits<double>::infinity();
   SimplexOptions simplex;
+};
+
+/// Carry-over state from a previous solve of a near-identical problem.
+/// Both members are optional (leave empty to skip):
+///  - `basis` warm-starts every LP in the tree. It is the canonical
+///    basis of the previous solve's ROOT relaxation over the augmented
+///    row space (original constraints followed by one x_b <= 1 row per
+///    binary_vars entry, in order) — i.e. a previous BnbResult::root_basis
+///    for a problem with the same rows. A stale basis degrades to a cold
+///    solve, never to a wrong answer.
+///  - `values`/`objective` seed the initial incumbent and are trusted
+///    verbatim, exactly like a PrimalHeuristic result: the caller must
+///    guarantee feasibility. Entries for fixed_vars are cross-checked
+///    against the fixings and the incumbent is dropped on mismatch.
+struct BnbWarmStart {
+  std::vector<int> basis;
+  std::vector<double> values;
+  double objective = 0.0;
 };
 
 struct BnbResult {
@@ -42,6 +74,12 @@ struct BnbResult {
   double lower_bound = 0.0;        ///< global LP bound
   int nodes_explored = 0;
   double solve_time_sec = 0.0;
+  int lp_pivots = 0;               ///< simplex pivots across all nodes
+
+  /// Canonical basis of the root relaxation (augmented row space, see
+  /// BnbWarmStart::basis); feed back as a warm start for the next solve
+  /// of a near-identical problem. Empty if the root LP did not solve.
+  std::vector<int> root_basis;
 
   /// Relative optimality gap; 0 when proven optimal.
   double gap() const {
@@ -61,7 +99,8 @@ using PrimalHeuristic =
 /// binary_vars. Upper bound rows (x_b <= 1) are added internally.
 BnbResult SolveBinaryMip(const MipProblem& problem,
                          const BnbOptions& options = {},
-                         const PrimalHeuristic& heuristic = nullptr);
+                         const PrimalHeuristic& heuristic = nullptr,
+                         const BnbWarmStart* warm = nullptr);
 
 }  // namespace dbdesign
 

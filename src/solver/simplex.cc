@@ -8,9 +8,17 @@ namespace dbdesign {
 
 namespace {
 
-/// Dense tableau: rows = constraints, columns = structural + slack +
-/// artificial variables, plus the rhs column. Row 0..m-1 are
-/// constraints; the objective rows are maintained separately.
+/// Entries below this magnitude are dropped during sparse row merges:
+/// they are numerical noise (three orders of magnitude below the solver
+/// eps) and keeping them would re-densify the tableau over pivots.
+constexpr double kDropTol = 1e-13;
+
+/// One tableau row: (column, value) pairs sorted by column.
+using SparseRow = std::vector<std::pair<int, double>>;
+
+/// Sparse tableau: rows = constraints, columns = structural + slack +
+/// artificial variables. The rhs column and the reduced-cost row are
+/// kept dense; everything else is sorted column/value pairs.
 class Tableau {
  public:
   Tableau(const LpProblem& p, const SimplexOptions& options)
@@ -37,19 +45,37 @@ class Tableau {
       }
     }
     n_total_ = n_struct_ + n_slack + n_art;
-    a_.assign(static_cast<size_t>(m_) * (n_total_ + 1), 0.0);
+    rows_.assign(static_cast<size_t>(m_), {});
+    rhs_.assign(static_cast<size_t>(m_), 0.0);
     basis_.assign(static_cast<size_t>(m_), -1);
+    slack_col_of_row_.assign(static_cast<size_t>(m_), -1);
+    slack_row_.assign(static_cast<size_t>(n_slack), -1);
 
     int slack_at = n_struct_;
     int art_at = n_struct_ + n_slack;
     first_art_ = art_at;
+    SparseRow terms;
     for (int r = 0; r < m_; ++r) {
       const LpConstraint& c = p.constraints[static_cast<size_t>(r)];
       double sign = c.rhs < 0.0 ? -1.0 : 1.0;
-      for (const auto& [var, coef] : c.terms) {
-        At(r, var) += sign * coef;
+      // Accumulate (duplicate variable mentions sum) and sort by column.
+      terms.assign(c.terms.begin(), c.terms.end());
+      std::sort(terms.begin(), terms.end());
+      SparseRow& row = rows_[static_cast<size_t>(r)];
+      row.clear();
+      for (const auto& [var, coef] : terms) {
+        if (!row.empty() && row.back().first == var) {
+          row.back().second += sign * coef;
+        } else {
+          row.emplace_back(var, sign * coef);
+        }
       }
-      Rhs(r) = sign * c.rhs;
+      row.erase(std::remove_if(row.begin(), row.end(),
+                               [](const std::pair<int, double>& e) {
+                                 return std::abs(e.second) <= kDropTol;
+                               }),
+                row.end());
+      rhs_[static_cast<size_t>(r)] = sign * c.rhs;
       LpRelation rel = c.rel;
       if (sign < 0) {
         rel = rel == LpRelation::kLe
@@ -57,39 +83,50 @@ class Tableau {
                   : (rel == LpRelation::kGe ? LpRelation::kLe : LpRelation::kEq);
       }
       if (rel == LpRelation::kLe) {
-        At(r, slack_at) = 1.0;
+        row.emplace_back(slack_at, 1.0);
+        slack_col_of_row_[static_cast<size_t>(r)] = slack_at;
+        slack_row_[static_cast<size_t>(slack_at - n_struct_)] = r;
         basis_[static_cast<size_t>(r)] = slack_at++;
       } else if (rel == LpRelation::kGe) {
-        At(r, slack_at) = -1.0;
+        row.emplace_back(slack_at, -1.0);
+        slack_col_of_row_[static_cast<size_t>(r)] = slack_at;
+        slack_row_[static_cast<size_t>(slack_at - n_struct_)] = r;
         ++slack_at;
-        At(r, art_at) = 1.0;
+        row.emplace_back(art_at, 1.0);
         basis_[static_cast<size_t>(r)] = art_at++;
       } else {
-        At(r, art_at) = 1.0;
+        row.emplace_back(art_at, 1.0);
         basis_[static_cast<size_t>(r)] = art_at++;
       }
     }
     num_art_ = n_art;
   }
 
-  double& At(int r, int c) {
-    return a_[static_cast<size_t>(r) * (n_total_ + 1) + static_cast<size_t>(c)];
+  /// Coefficient of column c in row r (binary search; 0 if absent).
+  double Coef(int r, int c) const {
+    const SparseRow& row = rows_[static_cast<size_t>(r)];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), c,
+        [](const std::pair<int, double>& e, int col) { return e.first < col; });
+    return (it != row.end() && it->first == c) ? it->second : 0.0;
   }
-  double& Rhs(int r) { return At(r, n_total_); }
 
   /// Runs the simplex on objective `cost` (length n_total_, minimize).
   /// Returns kOptimal/kUnbounded/kIterLimit; reduced costs/obj in z.
-  LpStatus Iterate(std::vector<double>& cost, double* objective,
+  LpStatus Iterate(const std::vector<double>& cost, double* objective,
                    bool forbid_artificials) {
     // Reduced cost row: z_j = c_j - c_B^T B^{-1} A_j, maintained densely.
     std::vector<double> z(static_cast<size_t>(n_total_) + 1, 0.0);
-    for (int j = 0; j <= n_total_; ++j) {
-      double v = j < n_total_ ? cost[static_cast<size_t>(j)] : 0.0;
-      for (int r = 0; r < m_; ++r) {
-        v -= cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])] *
-             At(r, j);
+    for (int j = 0; j < n_total_; ++j) {
+      z[static_cast<size_t>(j)] = cost[static_cast<size_t>(j)];
+    }
+    for (int r = 0; r < m_; ++r) {
+      double cb = cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
+      if (cb == 0.0) continue;
+      for (const auto& [col, val] : rows_[static_cast<size_t>(r)]) {
+        z[static_cast<size_t>(col)] -= cb * val;
       }
-      z[static_cast<size_t>(j)] = v;
+      z[static_cast<size_t>(n_total_)] -= cb * rhs_[static_cast<size_t>(r)];
     }
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
@@ -120,9 +157,9 @@ class Tableau {
       int leave = -1;
       double best_ratio = std::numeric_limits<double>::infinity();
       for (int r = 0; r < m_; ++r) {
-        double col = At(r, enter);
+        double col = Coef(r, enter);
         if (col > options_.eps) {
-          double ratio = Rhs(r) / col;
+          double ratio = rhs_[static_cast<size_t>(r)] / col;
           if (ratio < best_ratio - options_.eps ||
               (ratio < best_ratio + options_.eps &&
                (leave < 0 || basis_[static_cast<size_t>(r)] <
@@ -140,42 +177,115 @@ class Tableau {
   }
 
   void Pivot(int leave, int enter, std::vector<double>& z) {
-    double piv = At(leave, enter);
-    for (int j = 0; j <= n_total_; ++j) At(leave, j) /= piv;
+    SparseRow& prow = rows_[static_cast<size_t>(leave)];
+    double piv = Coef(leave, enter);
+    if (piv != 1.0) {
+      for (auto& e : prow) e.second /= piv;
+      rhs_[static_cast<size_t>(leave)] /= piv;
+    }
     for (int r = 0; r < m_; ++r) {
       if (r == leave) continue;
-      double f = At(r, enter);
-      if (std::abs(f) < 1e-13) continue;
-      for (int j = 0; j <= n_total_; ++j) At(r, j) -= f * At(leave, j);
+      double f = Coef(r, enter);
+      if (std::abs(f) < kDropTol) continue;
+      AddScaled(rows_[static_cast<size_t>(r)], prow, -f);
+      rhs_[static_cast<size_t>(r)] -= f * rhs_[static_cast<size_t>(leave)];
     }
     double zf = z[static_cast<size_t>(enter)];
-    if (std::abs(zf) > 1e-13) {
-      for (int j = 0; j <= n_total_; ++j) {
-        z[static_cast<size_t>(j)] -= zf * At(leave, j);
+    if (std::abs(zf) > kDropTol) {
+      for (const auto& [col, val] : prow) {
+        z[static_cast<size_t>(col)] -= zf * val;
       }
+      z[static_cast<size_t>(n_total_)] -= zf * rhs_[static_cast<size_t>(leave)];
     }
     basis_[static_cast<size_t>(leave)] = enter;
+    ++pivots_;
   }
 
   /// Drives any basic artificial variable out of the basis (or prunes a
   /// redundant row) after phase 1.
   void EvictArtificials() {
+    std::vector<double> dummy(static_cast<size_t>(n_total_) + 1, 0.0);
     for (int r = 0; r < m_; ++r) {
       if (basis_[static_cast<size_t>(r)] < first_art_) continue;
       int enter = -1;
-      for (int j = 0; j < first_art_; ++j) {
-        if (std::abs(At(r, j)) > 1e-7) {
-          enter = j;
+      for (const auto& [col, val] : rows_[static_cast<size_t>(r)]) {
+        if (col >= first_art_) break;  // sorted: no real columns past here
+        if (std::abs(val) > 1e-7) {
+          enter = col;
           break;
         }
       }
-      if (enter >= 0) {
-        std::vector<double> dummy(static_cast<size_t>(n_total_) + 1, 0.0);
-        Pivot(r, enter, dummy);
-      }
+      if (enter >= 0) Pivot(r, enter, dummy);
       // else: the row is redundant (all-zero over real vars); leave the
       // artificial basic at value zero — harmless with cost zero.
     }
+  }
+
+  /// True iff no basic artificial carries real value, i.e. the tableau
+  /// solution satisfies the original rows and not merely the
+  /// artificial-extended ones.
+  bool BasicArtificialsAtZero() const {
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[static_cast<size_t>(r)] >= first_art_ &&
+          rhs_[static_cast<size_t>(r)] > 1e-7) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Crash-pivots toward a basis in the canonical encoding (see
+  /// LpSolution::basis). Returns true iff the resulting basis is primal
+  /// feasible, in which case phase 1 can be skipped entirely. On false
+  /// the tableau is spent and the caller must rebuild it.
+  bool ApplyWarmBasis(const std::vector<int>& canon) {
+    if (static_cast<int>(canon.size()) != m_) return false;
+    std::vector<char> in_basis(static_cast<size_t>(n_total_), 0);
+    for (int r = 0; r < m_; ++r) {
+      in_basis[static_cast<size_t>(basis_[static_cast<size_t>(r)])] = 1;
+    }
+    std::vector<double> dummy(static_cast<size_t>(n_total_) + 1, 0.0);
+    for (int r = 0; r < m_; ++r) {
+      int want = canon[static_cast<size_t>(r)];
+      if (want < 0) continue;  // artificial stays basic (redundant row)
+      int col;
+      if (want < n_struct_) {
+        col = want;
+      } else {
+        int row = want - n_struct_;
+        if (row >= m_) return false;
+        col = slack_col_of_row_[static_cast<size_t>(row)];
+        if (col < 0) continue;  // that row has no slack in this problem
+      }
+      if (basis_[static_cast<size_t>(r)] == col) continue;
+      if (in_basis[static_cast<size_t>(col)]) continue;  // basic elsewhere
+      double piv = Coef(r, col);
+      if (std::abs(piv) < 1e-7) continue;  // would be numerically singular
+      in_basis[static_cast<size_t>(basis_[static_cast<size_t>(r)])] = 0;
+      Pivot(r, col, dummy);
+      in_basis[static_cast<size_t>(col)] = 1;
+    }
+    // The crash can leave artificials basic in non-redundant rows (a
+    // wanted column was singular or basic elsewhere, or the canonical
+    // basis marked a row redundant that is binding in this problem).
+    // Evict them now, as the cold path does after phase 1: otherwise a
+    // basic artificial at zero can be pumped to a real value by phase-2
+    // pivots on other rows, and the "optimal" solution silently
+    // violates its original row.
+    EvictArtificials();
+    for (int r = 0; r < m_; ++r) {
+      if (rhs_[static_cast<size_t>(r)] < -1e-7) return false;
+      if (basis_[static_cast<size_t>(r)] >= first_art_ &&
+          rhs_[static_cast<size_t>(r)] > 1e-7) {
+        return false;  // a basic artificial would carry real value
+      }
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (rhs_[static_cast<size_t>(r)] < 0.0) {
+        rhs_[static_cast<size_t>(r)] = 0.0;  // clamp crash noise
+      }
+    }
+    return true;
   }
 
   LpSolution Extract(double objective) const {
@@ -183,13 +293,18 @@ class Tableau {
     sol.status = LpStatus::kOptimal;
     sol.objective = objective;
     sol.values.assign(static_cast<size_t>(n_struct_), 0.0);
+    sol.basis.assign(static_cast<size_t>(m_), -1);
+    sol.pivots = pivots_;
     for (int r = 0; r < m_; ++r) {
       int b = basis_[static_cast<size_t>(r)];
       if (b < n_struct_) {
-        sol.values[static_cast<size_t>(b)] =
-            a_[static_cast<size_t>(r) * (n_total_ + 1) +
-               static_cast<size_t>(n_total_)];
+        sol.values[static_cast<size_t>(b)] = rhs_[static_cast<size_t>(r)];
+        sol.basis[static_cast<size_t>(r)] = b;
+      } else if (b < first_art_) {
+        sol.basis[static_cast<size_t>(r)] =
+            n_struct_ + slack_row_[static_cast<size_t>(b - n_struct_)];
       }
+      // else: artificial basic at zero -> -1 (redundant row).
     }
     return sol;
   }
@@ -198,21 +313,82 @@ class Tableau {
   int n_struct() const { return n_struct_; }
   int first_art() const { return first_art_; }
   int num_art() const { return num_art_; }
+  int pivots() const { return pivots_; }
 
  private:
+  /// dst += f * src over sorted sparse rows; drops |value| <= kDropTol.
+  void AddScaled(SparseRow& dst, const SparseRow& src, double f) {
+    scratch_.clear();
+    size_t i = 0;
+    size_t j = 0;
+    while (i < dst.size() || j < src.size()) {
+      if (j >= src.size() ||
+          (i < dst.size() && dst[i].first < src[j].first)) {
+        scratch_.push_back(dst[i]);
+        ++i;
+      } else if (i >= dst.size() || src[j].first < dst[i].first) {
+        double v = f * src[j].second;
+        if (std::abs(v) > kDropTol) scratch_.emplace_back(src[j].first, v);
+        ++j;
+      } else {
+        double v = dst[i].second + f * src[j].second;
+        if (std::abs(v) > kDropTol) scratch_.emplace_back(dst[i].first, v);
+        ++i;
+        ++j;
+      }
+    }
+    dst.swap(scratch_);
+  }
+
   SimplexOptions options_;
   int m_;
   int n_struct_ = 0;
   int n_total_ = 0;
   int first_art_ = 0;
   int num_art_ = 0;
-  std::vector<double> a_;
+  int pivots_ = 0;
+  std::vector<SparseRow> rows_;
+  std::vector<double> rhs_;
   std::vector<int> basis_;
+  std::vector<int> slack_col_of_row_;  ///< per row: its slack column or -1
+  std::vector<int> slack_row_;         ///< per slack column: owning row
+  SparseRow scratch_;                  ///< AddScaled merge buffer
 };
+
+/// Builds the phase-2 cost vector (structural costs, zeros elsewhere).
+std::vector<double> Phase2Cost(const LpProblem& problem, const Tableau& t) {
+  std::vector<double> cost(static_cast<size_t>(t.n_total()), 0.0);
+  for (int j = 0; j < problem.num_vars; ++j) {
+    cost[static_cast<size_t>(j)] = problem.objective[static_cast<size_t>(j)];
+  }
+  return cost;
+}
 
 }  // namespace
 
-LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options) {
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options,
+                   const std::vector<int>* warm_basis) {
+  int wasted_pivots = 0;
+  if (warm_basis != nullptr && !warm_basis->empty()) {
+    Tableau t(problem, options);
+    if (t.ApplyWarmBasis(*warm_basis)) {
+      // The warm basis is primal feasible and artificials have been
+      // evicted into redundant rows only: run phase 2 directly, exactly
+      // as after a cold phase 1. The post-solve artificial check is
+      // belt-and-braces against numerical drift — on failure the warm
+      // result is discarded and the cold solve below is authoritative.
+      std::vector<double> cost = Phase2Cost(problem, t);
+      double obj = 0.0;
+      LpStatus s = t.Iterate(cost, &obj, /*forbid_artificials=*/true);
+      if (s == LpStatus::kOptimal && t.BasicArtificialsAtZero()) {
+        return t.Extract(obj);
+      }
+      // Non-optimal from a warm start: distrust it and solve cold below
+      // so warm-started and cold solves always agree on status.
+    }
+    wasted_pivots = t.pivots();
+  }
+
   Tableau t(problem, options);
 
   // Phase 1: minimize the sum of artificials.
@@ -226,29 +402,31 @@ LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options) {
     if (s1 == LpStatus::kIterLimit) {
       LpSolution sol;
       sol.status = LpStatus::kIterLimit;
+      sol.pivots = wasted_pivots + t.pivots();
       return sol;
     }
     if (s1 == LpStatus::kUnbounded || obj1 > 1e-6) {
       LpSolution sol;
       sol.status = LpStatus::kInfeasible;
+      sol.pivots = wasted_pivots + t.pivots();
       return sol;
     }
     t.EvictArtificials();
   }
 
   // Phase 2: original objective (artificials forbidden from re-entering).
-  std::vector<double> cost(static_cast<size_t>(t.n_total()), 0.0);
-  for (int j = 0; j < problem.num_vars; ++j) {
-    cost[static_cast<size_t>(j)] = problem.objective[static_cast<size_t>(j)];
-  }
+  std::vector<double> cost = Phase2Cost(problem, t);
   double obj = 0.0;
   LpStatus s2 = t.Iterate(cost, &obj, /*forbid_artificials=*/true);
   if (s2 != LpStatus::kOptimal) {
     LpSolution sol;
     sol.status = s2;
+    sol.pivots = wasted_pivots + t.pivots();
     return sol;
   }
-  return t.Extract(obj);
+  LpSolution sol = t.Extract(obj);
+  sol.pivots += wasted_pivots;
+  return sol;
 }
 
 }  // namespace dbdesign

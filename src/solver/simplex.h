@@ -1,11 +1,19 @@
-// Dense two-phase primal simplex for linear programs.
+// Sparse two-phase primal simplex for linear programs.
 //
 // CoPhy formulates index selection as a binary integer program and the
 // paper relies on "sophisticated and mature solvers". No external solver
 // is available in this environment, so the repo ships a self-contained
-// LP solver: two-phase primal simplex over a dense tableau with Bland's
-// anti-cycling rule. Problem sizes produced by the CoPhy builder
-// (hundreds of rows/columns) solve in milliseconds.
+// LP solver: two-phase primal simplex with Bland's anti-cycling rule.
+// Constraint rows are stored sparsely (sorted column/value pairs), which
+// is what makes thousand-candidate CoPhy instances tractable: atom rows
+// touch a handful of variables each, so pivots cost O(nnz) instead of
+// O(rows x columns).
+//
+// A solve can additionally export its optimal basis and warm-start a
+// later solve from it (see LpSolution::basis / SolveLp's warm_basis):
+// the per-cluster CoPhy re-solves triggered by one constraint edit are
+// near-identical LPs, and reinstating the previous basis skips most of
+// phase 1/2.
 
 #ifndef DBDESIGN_SOLVER_SIMPLEX_H_
 #define DBDESIGN_SOLVER_SIMPLEX_H_
@@ -43,6 +51,20 @@ struct LpSolution {
   double objective = 0.0;
   std::vector<double> values;  ///< length num_vars
 
+  /// Number of simplex pivots performed (both phases, plus any pivots
+  /// spent attempting a warm basis that was then abandoned).
+  int pivots = 0;
+
+  /// Optimal basis in canonical encoding, one entry per constraint row
+  /// (filled only when status == kOptimal):
+  ///   v in [0, num_vars)      -> structural variable v is basic here
+  ///   num_vars + r            -> the slack/surplus of constraint r
+  ///   -1                      -> an artificial is basic (redundant row)
+  /// The encoding names problem-level objects (variables and rows), not
+  /// tableau columns, so a basis survives being translated through the
+  /// B&B presolve's variable renumbering.
+  std::vector<int> basis;
+
   bool optimal() const { return status == LpStatus::kOptimal; }
 };
 
@@ -53,7 +75,15 @@ struct SimplexOptions {
 
 /// Solves the LP. All variables are implicitly >= 0; upper bounds must be
 /// expressed as constraints.
-LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options = {});
+///
+/// If `warm_basis` is non-null it must use the canonical encoding above
+/// against this problem's variable/row space. The solver crash-pivots
+/// toward that basis and, when the result is primal feasible, starts
+/// phase 2 from it directly. Any mismatch (wrong size, infeasible basis,
+/// relation changes) silently falls back to a cold two-phase solve, so a
+/// stale basis can cost pivots but never correctness.
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options = {},
+                   const std::vector<int>* warm_basis = nullptr);
 
 }  // namespace dbdesign
 

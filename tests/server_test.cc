@@ -280,6 +280,72 @@ TEST(ServerTest, ConstraintIsolationAndCopyOnWrite) {
   ExpectSameRecommendation(*again[0].recommendation, baseline.value());
 }
 
+// The cluster partition rides inside the prepared state (it is derived
+// from the shared atom rows, not stored with them), so cluster-
+// decomposed solving composes with cross-session sharing: sessions over
+// pointer-identical rows derive identical partitions, and one session's
+// constraint edit — which re-solves only its own dirtied clusters via
+// its private solver cache — leaves the neighbor's partition untouched.
+TEST(ServerTest, ClusterPartitionIsPerSessionOverSharedRows) {
+  Database db = SmallDb();
+  InMemoryBackend backend(db);
+  Workload w = SmallWorkload(db, 8, 11);
+
+  TuningServer server;
+  ASSERT_TRUE(server.RegisterSchema("sdss", backend).ok());
+  ASSERT_TRUE(server.OpenSession("a", "sdss").ok());
+  ASSERT_TRUE(server.OpenSession("b", "sdss").ok());
+  SetSessionWorkload(server, "a", w);
+  SetSessionWorkload(server, "b", w);
+
+  auto first = server.RunBatch({{"a", SessionOp::kRecommend, {}},
+                                {"b", SessionOp::kRecommend, {}}});
+  ASSERT_TRUE(first[0].status.ok());
+  ASSERT_TRUE(first[1].status.ok());
+
+  ClusterPartition part_a, part_b;
+  std::vector<std::shared_ptr<const CoPhyAtomRow>> rows_a, rows_b;
+  ASSERT_TRUE(server
+                  .WithSession("a", [&](DesignSession& s) {
+                    part_a = s.prepared_state().clusters;
+                    rows_a = s.prepared_state().rows;
+                  })
+                  .ok());
+  ASSERT_TRUE(server
+                  .WithSession("b", [&](DesignSession& s) {
+                    part_b = s.prepared_state().clusters;
+                    rows_b = s.prepared_state().rows;
+                  })
+                  .ok());
+  // Shared rows, independent (but identical) partitions.
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  for (size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_EQ(rows_a[i].get(), rows_b[i].get()) << "row " << i;
+  }
+  ASSERT_GT(part_a.num_clusters(), 0);
+  EXPECT_EQ(part_a.clusters, part_b.clusters);
+  EXPECT_EQ(part_a.cluster_of, part_b.cluster_of);
+
+  // a's veto re-solve must not perturb b's partition (or rows).
+  ConstraintDelta delta;
+  delta.veto.push_back(first[0].recommendation->indexes.front());
+  ASSERT_TRUE(server.RunBatch({{"a", SessionOp::kRefine, delta}})[0]
+                  .status.ok());
+  ClusterPartition part_b_after;
+  std::vector<std::shared_ptr<const CoPhyAtomRow>> rows_b_after;
+  ASSERT_TRUE(server
+                  .WithSession("b", [&](DesignSession& s) {
+                    part_b_after = s.prepared_state().clusters;
+                    rows_b_after = s.prepared_state().rows;
+                  })
+                  .ok());
+  EXPECT_EQ(part_b.clusters, part_b_after.clusters);
+  ASSERT_EQ(rows_b.size(), rows_b_after.size());
+  for (size_t i = 0; i < rows_b.size(); ++i) {
+    EXPECT_EQ(rows_b[i].get(), rows_b_after[i].get()) << "row " << i;
+  }
+}
+
 // The batch scheduler is transparent: a mixed multi-session batch run
 // with full parallelism produces bit-identical responses to the same
 // batch on a serial (num_threads = 1) server.

@@ -1,0 +1,412 @@
+// Differential tests for cluster-decomposed BIP solving: for every
+// synthetic workload and constraint mix, SolvePrepared in kAuto mode
+// (decomposed, cached, warm-started) must return a recommendation
+// bit-identical to a forced monolithic solve of the same problem —
+// indexes, total size, per-query costs and recommended cost compared
+// with exact double equality. The 1e-5/page tie-break makes the BIP
+// optimum unique, which is what licenses the exact comparison.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cophy/cophy.h"
+#include "core/constraints.h"
+#include "util/rng.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+class DecompTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SdssConfig cfg;
+    cfg.photoobj_rows = 800;
+    cfg.seed = 3;
+    db_ = new Database(BuildSdssDatabase(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* DecompTest::db_ = nullptr;
+
+// Enumerates structurally valid, distinct IndexDefs over the catalog
+// (single-column first, then leading pairs) — enough to name synthetic
+// candidates without caring what the columns mean.
+std::vector<IndexDef> EnumerateIndexDefs(const Catalog& catalog, int count) {
+  std::vector<IndexDef> defs;
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    for (ColumnId c = 0;
+         c < static_cast<ColumnId>(catalog.table(t).columns().size()); ++c) {
+      defs.push_back(IndexDef{t, {c}});
+      if (static_cast<int>(defs.size()) == count) return defs;
+    }
+  }
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    ColumnId nc = static_cast<ColumnId>(catalog.table(t).columns().size());
+    for (ColumnId a = 0; a < nc; ++a) {
+      for (ColumnId b = 0; b < nc; ++b) {
+        if (a == b) continue;
+        defs.push_back(IndexDef{t, {a, b}});
+        if (static_cast<int>(defs.size()) == count) return defs;
+      }
+    }
+  }
+  return defs;
+}
+
+struct PreparedSpec {
+  uint64_t seed = 1;
+  int num_groups = 4;        ///< independent candidate groups
+  int cands_per_group = 4;   ///< candidates per group
+  int rows_per_group = 3;    ///< query rows confined to one group
+  int cross_rows = 0;        ///< rows straddling two groups (merges them)
+  int free_rows = 1;         ///< rows with only the index-free atom
+};
+
+// Builds a synthetic prepared state whose cluster structure is exactly
+// the group structure: each row's atoms reference only its group's
+// candidates (plus the index-free anchor), so PartitionFromEdges yields
+// one cluster per group unless cross_rows merge some.
+CoPhyPrepared MakePrepared(const Database& db, const PreparedSpec& spec) {
+  Rng rng(spec.seed);
+  int ny = spec.num_groups * spec.cands_per_group;
+  std::vector<IndexDef> defs = EnumerateIndexDefs(db.catalog(), ny);
+  EXPECT_EQ(static_cast<int>(defs.size()), ny) << "catalog too small";
+
+  CoPhyPrepared prep;
+  for (int i = 0; i < ny; ++i) {
+    CandidateIndex c;
+    c.index = defs[static_cast<size_t>(i)];
+    c.size_pages = rng.UniformDouble(50.0, 400.0);
+    c.relevant_queries = 1;
+    prep.candidates.push_back(std::move(c));
+  }
+  prep.universe_fingerprint = CandidateUniverseFingerprint(prep.candidates);
+
+  auto add_row = [&](const std::vector<int>& group_cands, double weight) {
+    auto row = std::make_shared<CoPhyAtomRow>();
+    double base = rng.UniformDouble(80.0, 160.0);
+    row->base_cost = base;
+    row->atoms.push_back(CoPhyAtom{base, {}});  // index-free anchor
+    for (int i : group_cands) {
+      row->atoms.push_back(CoPhyAtom{base * rng.UniformDouble(0.3, 0.95), {i}});
+    }
+    // A few pair atoms: cheaper than either single, coupling the pair.
+    for (size_t t = 0; t + 1 < group_cands.size(); t += 2) {
+      std::vector<int> used = {group_cands[t], group_cands[t + 1]};
+      std::sort(used.begin(), used.end());
+      row->atoms.push_back(
+          CoPhyAtom{base * rng.UniformDouble(0.15, 0.4), std::move(used)});
+    }
+    std::sort(row->atoms.begin(), row->atoms.end(),
+              [](const CoPhyAtom& a, const CoPhyAtom& b) {
+                return a.cost < b.cost;
+              });
+    prep.num_atoms += row->atoms.size();
+    prep.rows.push_back(std::move(row));
+    prep.weights.push_back(weight);
+    prep.base_cost += weight * base;
+  };
+
+  for (int g = 0; g < spec.num_groups; ++g) {
+    std::vector<int> members;
+    for (int j = 0; j < spec.cands_per_group; ++j) {
+      members.push_back(g * spec.cands_per_group + j);
+    }
+    for (int r = 0; r < spec.rows_per_group; ++r) {
+      add_row(members, rng.UniformDouble(0.5, 2.0));
+    }
+  }
+  for (int r = 0; r < spec.cross_rows; ++r) {
+    // Straddle two adjacent groups (rotating), merging their clusters.
+    int g = r % std::max(1, spec.num_groups - 1);
+    std::vector<int> members = {g * spec.cands_per_group,
+                                (g + 1) * spec.cands_per_group};
+    add_row(members, rng.UniformDouble(0.5, 2.0));
+  }
+  for (int r = 0; r < spec.free_rows; ++r) {
+    add_row({}, rng.UniformDouble(0.5, 2.0));  // row_cluster == -1
+  }
+  prep.RefreshClusters();
+  return prep;
+}
+
+IndexRecommendation Solve(const Database& db, const CoPhyPrepared& prep,
+                          const DesignConstraints& cons, CoPhySolveMode mode,
+                          double budget_pages,
+                          CoPhySolverCache* cache = nullptr) {
+  CoPhyOptions opts;
+  opts.storage_budget_pages = budget_pages;
+  opts.solve_mode = mode;
+  CoPhyAdvisor advisor(db, CostParams{}, opts);
+  Result<IndexRecommendation> rec = advisor.SolvePrepared(prep, cons, cache);
+  EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+  return std::move(rec).value();
+}
+
+// The bit-identity contract: everything derived from the chosen y set
+// must match EXACTLY (not approximately) between the two solve paths.
+// Telemetry (lower_bound, gap, node/pivot counts) may differ.
+void ExpectBitIdentical(const IndexRecommendation& a,
+                        const IndexRecommendation& b) {
+  ASSERT_EQ(a.indexes.size(), b.indexes.size());
+  for (size_t i = 0; i < a.indexes.size(); ++i) {
+    EXPECT_TRUE(a.indexes[i] == b.indexes[i]) << "index " << i;
+  }
+  EXPECT_EQ(a.total_size_pages, b.total_size_pages);
+  EXPECT_EQ(a.recommended_cost, b.recommended_cost);
+  ASSERT_EQ(a.per_query_cost.size(), b.per_query_cost.size());
+  for (size_t q = 0; q < a.per_query_cost.size(); ++q) {
+    EXPECT_EQ(a.per_query_cost[q], b.per_query_cost[q]) << "query " << q;
+  }
+  EXPECT_EQ(a.infeasible_pins.size(), b.infeasible_pins.size());
+  // Both paths prove optimality (decomposed falls back when it cannot).
+  EXPECT_EQ(a.proven_optimal, b.proven_optimal);
+  EXPECT_NEAR(a.lower_bound, b.lower_bound,
+              1e-6 * std::max(1.0, std::abs(a.lower_bound)));
+}
+
+double TotalSize(const CoPhyPrepared& prep) {
+  double total = 0.0;
+  for (const CandidateIndex& c : prep.candidates) total += c.size_pages;
+  return total;
+}
+
+TEST_F(DecompTest, UnconstrainedMatchesMonolithicAcrossSeeds) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    PreparedSpec spec;
+    spec.seed = seed;
+    CoPhyPrepared prep = MakePrepared(*db_, spec);
+    ASSERT_GE(prep.clusters.num_clusters(), spec.num_groups);
+    DesignConstraints cons;
+    double budget = TotalSize(prep);  // generous: clusters never compete
+    IndexRecommendation mono =
+        Solve(*db_, prep, cons, CoPhySolveMode::kMonolithic, budget);
+    IndexRecommendation decomp =
+        Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget);
+    EXPECT_TRUE(mono.solved_monolithic);
+    EXPECT_FALSE(decomp.solved_monolithic)
+        << "seed " << seed << ": generous budget must not fall back";
+    EXPECT_EQ(decomp.clusters_solved, spec.num_groups);
+    ExpectBitIdentical(decomp, mono);
+  }
+}
+
+TEST_F(DecompTest, ConstraintMixesMatchMonolithic) {
+  for (uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    PreparedSpec spec;
+    spec.seed = seed;
+    spec.num_groups = 3;
+    spec.cands_per_group = 5;
+    CoPhyPrepared prep = MakePrepared(*db_, spec);
+    double budget = TotalSize(prep);
+
+    // Pins (one per group boundary), vetoes, and per-table caps at once.
+    DesignConstraints cons;
+    cons.pinned_indexes.push_back(prep.candidates[0].index);
+    cons.pinned_indexes.push_back(
+        prep.candidates[static_cast<size_t>(spec.cands_per_group)].index);
+    cons.vetoed_indexes.push_back(prep.candidates[1].index);
+    cons.vetoed_indexes.push_back(
+        prep.candidates[prep.candidates.size() - 1].index);
+    for (const CandidateIndex& c : prep.candidates) {
+      cons.max_indexes_per_table[c.index.table] = 4;
+    }
+    ASSERT_TRUE(cons.Validate(db_->catalog()).ok());
+
+    IndexRecommendation mono =
+        Solve(*db_, prep, cons, CoPhySolveMode::kMonolithic, budget);
+    IndexRecommendation decomp =
+        Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget);
+    ExpectBitIdentical(decomp, mono);
+  }
+}
+
+TEST_F(DecompTest, TightBudgetStraddlingClustersArbitratedExactly) {
+  PreparedSpec spec;
+  spec.seed = 21;
+  CoPhyPrepared prep = MakePrepared(*db_, spec);
+  // Pick a budget each of the two cheapest clusters can afford alone
+  // but not together: both want to build (every single-index atom beats
+  // the index-free anchor by far more than the tie-break), so the
+  // budget genuinely binds ACROSS clusters. The allocation DP must
+  // arbitrate the split over per-cluster frontiers — staying decomposed
+  // — and still land on the exact monolithic optimum.
+  std::vector<double> cluster_min;
+  for (const std::vector<int>& ck : prep.clusters.clusters) {
+    double m = std::numeric_limits<double>::infinity();
+    for (int i : ck) {
+      m = std::min(m, prep.candidates[static_cast<size_t>(i)].size_pages);
+    }
+    cluster_min.push_back(m);
+  }
+  std::sort(cluster_min.begin(), cluster_min.end());
+  ASSERT_GE(cluster_min.size(), 2u);
+  double straddle = (cluster_min[0] + cluster_min[1]) * 0.95;
+  ASSERT_GE(straddle, cluster_min[1]);  // both clusters can afford theirs
+
+  DesignConstraints cons;
+  for (double budget :
+       {straddle, cluster_min[0] * 1.05, TotalSize(prep) * 0.5}) {
+    IndexRecommendation mono =
+        Solve(*db_, prep, cons, CoPhySolveMode::kMonolithic, budget);
+    IndexRecommendation decomp =
+        Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget);
+    ExpectBitIdentical(decomp, mono);
+  }
+  IndexRecommendation straddled =
+      Solve(*db_, prep, cons, CoPhySolveMode::kAuto, straddle);
+  EXPECT_FALSE(straddled.solved_monolithic)
+      << "a binding cross-cluster budget must be arbitrated by the "
+         "allocation DP, not punted to the monolithic fallback";
+}
+
+TEST_F(DecompTest, CapStraddlingClustersFallsBackAndMatches) {
+  // Per-table caps are the one coupling the decomposition only relaxes:
+  // each cluster solves under the FULL cap. All candidates here are
+  // single-column indexes on the same table, so a cap of 1 binds across
+  // every cluster at once; each per-cluster optimum builds its best
+  // index, the stitched union overshoots the cap, and the solver must
+  // detect the violation and arbitrate via the monolithic fallback.
+  PreparedSpec spec;
+  spec.seed = 22;
+  CoPhyPrepared prep = MakePrepared(*db_, spec);
+  for (const CandidateIndex& c : prep.candidates) {
+    ASSERT_EQ(c.index.table, prep.candidates[0].index.table);
+  }
+  DesignConstraints cons;
+  cons.max_indexes_per_table[prep.candidates[0].index.table] = 1;
+  ASSERT_TRUE(cons.Validate(db_->catalog()).ok());
+  double budget = TotalSize(prep);  // storage is free; only the cap binds
+  IndexRecommendation mono =
+      Solve(*db_, prep, cons, CoPhySolveMode::kMonolithic, budget);
+  IndexRecommendation decomp =
+      Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget);
+  EXPECT_TRUE(decomp.solved_monolithic)
+      << "a cap binding across clusters must force the fallback";
+  ExpectBitIdentical(decomp, mono);
+}
+
+TEST_F(DecompTest, SingleClusterDegeneracyMatches) {
+  // Enough cross rows to weld every group into ONE cluster: the
+  // decomposed path then solves exactly one subproblem — the monolithic
+  // BIP in different clothes — and must still agree.
+  PreparedSpec spec;
+  spec.seed = 31;
+  spec.num_groups = 3;
+  spec.cross_rows = 3;
+  CoPhyPrepared prep = MakePrepared(*db_, spec);
+  ASSERT_EQ(prep.clusters.num_clusters(), 1);
+  DesignConstraints cons;
+  double budget = TotalSize(prep);
+  IndexRecommendation mono =
+      Solve(*db_, prep, cons, CoPhySolveMode::kMonolithic, budget);
+  IndexRecommendation decomp =
+      Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget);
+  EXPECT_EQ(decomp.clusters_solved, 1);
+  ExpectBitIdentical(decomp, mono);
+}
+
+TEST_F(DecompTest, CacheReusesCleanClustersAcrossVeto) {
+  PreparedSpec spec;
+  spec.seed = 41;
+  spec.num_groups = 4;
+  CoPhyPrepared prep = MakePrepared(*db_, spec);
+  double budget = TotalSize(prep);
+  CoPhySolverCache cache;
+
+  DesignConstraints cons;
+  IndexRecommendation first =
+      Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget, &cache);
+  ASSERT_FALSE(first.solved_monolithic);
+  EXPECT_EQ(first.clusters_solved, spec.num_groups);
+  EXPECT_EQ(first.clusters_reused, 0);
+
+  // Identical re-solve: every cluster signature matches, nothing runs.
+  IndexRecommendation again =
+      Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget, &cache);
+  EXPECT_EQ(again.clusters_solved, 0);
+  EXPECT_EQ(again.clusters_reused, spec.num_groups);
+  EXPECT_EQ(again.bnb_nodes, 0);
+  EXPECT_EQ(again.lp_pivots, 0);
+  ExpectBitIdentical(again, first);
+
+  // Veto one recommended index: only ITS cluster re-solves (warm), the
+  // other clusters' optima are reused verbatim — and the answer still
+  // matches a cold monolithic solve under the same constraints.
+  ASSERT_FALSE(first.indexes.empty());
+  DesignConstraints vetoed = cons;
+  vetoed.vetoed_indexes.push_back(first.indexes.front());
+  IndexRecommendation refined =
+      Solve(*db_, prep, vetoed, CoPhySolveMode::kAuto, budget, &cache);
+  EXPECT_EQ(refined.clusters_solved, 1);
+  EXPECT_EQ(refined.clusters_reused, spec.num_groups - 1);
+  IndexRecommendation mono =
+      Solve(*db_, prep, vetoed, CoPhySolveMode::kMonolithic, budget);
+  ExpectBitIdentical(refined, mono);
+}
+
+TEST_F(DecompTest, CacheSelfInvalidatesOnUniverseChange) {
+  PreparedSpec spec;
+  spec.seed = 51;
+  CoPhyPrepared prep = MakePrepared(*db_, spec);
+  double budget = TotalSize(prep);
+  CoPhySolverCache cache;
+  DesignConstraints cons;
+  Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget, &cache);
+  EXPECT_EQ(cache.universe_fingerprint, prep.universe_fingerprint);
+
+  // A different universe (new seed => new sizes) must not reuse entries
+  // keyed to the old one, even though cluster counts coincide.
+  PreparedSpec spec2 = spec;
+  spec2.seed = 52;
+  CoPhyPrepared prep2 = MakePrepared(*db_, spec2);
+  ASSERT_NE(prep2.universe_fingerprint, prep.universe_fingerprint);
+  IndexRecommendation rec =
+      Solve(*db_, prep2, cons, CoPhySolveMode::kAuto, budget, &cache);
+  EXPECT_EQ(rec.clusters_reused, 0);
+  EXPECT_EQ(cache.universe_fingerprint, prep2.universe_fingerprint);
+  IndexRecommendation mono =
+      Solve(*db_, prep2, cons, CoPhySolveMode::kMonolithic, budget);
+  ExpectBitIdentical(rec, mono);
+}
+
+TEST_F(DecompTest, PinnedAndCappedTightBudgetSweep) {
+  // The adversarial corner: pins forcing storage use, caps at 1, and a
+  // budget just above the pin floor — straddling configurations where
+  // per-cluster optima and the global optimum genuinely diverge.
+  for (uint64_t seed : {61ull, 62ull, 63ull}) {
+    PreparedSpec spec;
+    spec.seed = seed;
+    spec.num_groups = 3;
+    CoPhyPrepared prep = MakePrepared(*db_, spec);
+    DesignConstraints cons;
+    cons.pinned_indexes.push_back(prep.candidates[0].index);
+    for (const CandidateIndex& c : prep.candidates) {
+      cons.max_indexes_per_table[c.index.table] = 1;
+    }
+    ASSERT_TRUE(cons.Validate(db_->catalog()).ok());
+    double pin_size = prep.candidates[0].size_pages;
+    for (double budget : {pin_size * 1.01, pin_size * 1.8, pin_size * 4.0}) {
+      IndexRecommendation mono =
+          Solve(*db_, prep, cons, CoPhySolveMode::kMonolithic, budget);
+      IndexRecommendation decomp =
+          Solve(*db_, prep, cons, CoPhySolveMode::kAuto, budget);
+      ExpectBitIdentical(decomp, mono);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbdesign

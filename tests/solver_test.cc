@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "solver/bnb.h"
 #include "solver/simplex.h"
@@ -283,6 +285,397 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BnbRandomTest,
                                            RandomMipCase{4, 12, 2},
                                            RandomMipCase{5, 14, 6},
                                            RandomMipCase{6, 9, 8}));
+
+// --- Presolve by substitution ---
+
+TEST(PresolveTest, FullyFixedProblemSolvesInZeroPivots) {
+  // Every binary fixed: presolve substitutes them all, the reduced LP
+  // has zero variables, and no simplex pivot may run.
+  MipProblem mip;
+  for (int i = 0; i < 6; ++i) {
+    mip.lp.AddVariable(-static_cast<double>(i + 1));
+    mip.binary_vars.push_back(i);
+    mip.fixed_vars.emplace_back(i, i % 2);
+  }
+  LpConstraint con;  // satisfied under the fixing: 1+1+1 <= 5
+  for (int i = 0; i < 6; ++i) con.terms.emplace_back(i, 1.0);
+  con.rel = LpRelation::kLe;
+  con.rhs = 5.0;
+  mip.lp.AddConstraint(std::move(con));
+
+  BnbResult r = SolveBinaryMip(mip);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.lp_pivots, 0);
+  EXPECT_NEAR(r.objective, -(2.0 + 4.0 + 6.0), 1e-9);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(r.values[static_cast<size_t>(i)], i % 2, 1e-12) << i;
+  }
+}
+
+TEST(PresolveTest, FullyFixedInfeasibilityDetectedWithoutPivots) {
+  // The fixing violates the row: presolve's empty-row check must catch
+  // it — no simplex run, no false feasibility.
+  MipProblem mip;
+  for (int i = 0; i < 3; ++i) {
+    mip.lp.AddVariable(-1.0);
+    mip.binary_vars.push_back(i);
+    mip.fixed_vars.emplace_back(i, 1);
+  }
+  LpConstraint con;
+  for (int i = 0; i < 3; ++i) con.terms.emplace_back(i, 1.0);
+  con.rel = LpRelation::kLe;
+  con.rhs = 2.0;  // but the fixing sums to 3
+  mip.lp.AddConstraint(std::move(con));
+
+  BnbResult r = SolveBinaryMip(mip);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.lp_pivots, 0);
+}
+
+TEST(PresolveTest, SubstitutionMatchesBruteForceUnderRandomFixings) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 131);
+    const int n = 10;
+    MipProblem mip;
+    std::vector<double> costs;
+    for (int i = 0; i < n; ++i) {
+      double c = rng.UniformDouble(-10.0, 2.0);
+      costs.push_back(c);
+      mip.lp.AddVariable(c);
+      mip.binary_vars.push_back(i);
+    }
+    std::vector<LpConstraint> cons;
+    for (int c = 0; c < 4; ++c) {
+      LpConstraint con;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.6)) {
+          con.terms.emplace_back(i, rng.UniformDouble(0.5, 4.0));
+        }
+      }
+      if (con.terms.empty()) con.terms.emplace_back(0, 1.0);
+      con.rel = LpRelation::kLe;
+      con.rhs = rng.UniformDouble(4.0, 12.0);
+      cons.push_back(con);
+      mip.lp.AddConstraint(std::move(con));
+    }
+    // Random fixings: a third of the variables pinned to 0 or 1.
+    std::vector<int> fix(n, -1);
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.33)) {
+        fix[static_cast<size_t>(i)] = rng.Bernoulli(0.5) ? 1 : 0;
+        mip.fixed_vars.emplace_back(i, fix[static_cast<size_t>(i)]);
+      }
+    }
+
+    // Brute force over assignments consistent with the fixings.
+    double best = std::numeric_limits<double>::infinity();
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      bool consistent = true;
+      for (int i = 0; i < n; ++i) {
+        int bit = (mask >> i) & 1;
+        consistent &= fix[static_cast<size_t>(i)] < 0 ||
+                      fix[static_cast<size_t>(i)] == bit;
+      }
+      if (!consistent) continue;
+      bool ok = true;
+      for (const LpConstraint& con : cons) {
+        double lhs = 0.0;
+        for (auto [v, coef] : con.terms) {
+          if (mask & (1 << v)) lhs += coef;
+        }
+        ok &= lhs <= con.rhs + 1e-9;
+      }
+      if (!ok) continue;
+      double obj = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1 << i)) obj += costs[static_cast<size_t>(i)];
+      }
+      best = std::min(best, obj);
+    }
+
+    BnbResult r = SolveBinaryMip(mip);
+    if (!std::isfinite(best)) {
+      EXPECT_FALSE(r.feasible) << "seed " << seed;
+      continue;
+    }
+    ASSERT_TRUE(r.feasible) << "seed " << seed;
+    EXPECT_TRUE(r.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(r.objective, best, 1e-6) << "seed " << seed;
+    for (int i = 0; i < n; ++i) {
+      if (fix[static_cast<size_t>(i)] >= 0) {
+        EXPECT_NEAR(r.values[static_cast<size_t>(i)],
+                    fix[static_cast<size_t>(i)], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(PresolveTest, ForcingRowsEraseVetoedAtomColumns) {
+  // CoPhy-shaped veto: y = 0 plus the aggregated link row
+  // x1 + x2 - y <= 0 must pin both atom columns to zero by propagation,
+  // leaving only the index-free atom — the root LP is trivial and
+  // integral, so the solve is a single presolved node.
+  MipProblem mip;
+  int x0 = mip.lp.AddVariable(10.0);  // index-free atom
+  int x1 = mip.lp.AddVariable(3.0);   // atoms using index y
+  int x2 = mip.lp.AddVariable(4.0);
+  int y = mip.lp.AddVariable(1.0);
+  for (int v : {x0, x1, x2, y}) mip.binary_vars.push_back(v);
+  LpConstraint eq;  // one atom per query
+  eq.terms = {{x0, 1.0}, {x1, 1.0}, {x2, 1.0}};
+  eq.rel = LpRelation::kEq;
+  eq.rhs = 1.0;
+  mip.lp.AddConstraint(std::move(eq));
+  LpConstraint link;
+  link.terms = {{x1, 1.0}, {x2, 1.0}, {y, -1.0}};
+  link.rel = LpRelation::kLe;
+  link.rhs = 0.0;
+  mip.lp.AddConstraint(std::move(link));
+  mip.fixed_vars.emplace_back(y, 0);  // veto
+
+  BnbResult r = SolveBinaryMip(mip);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_LE(r.nodes_explored, 1);  // root LP already integral
+  EXPECT_LE(r.lp_pivots, 6);       // one var left (x0): no branching LPs
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+  EXPECT_NEAR(r.values[static_cast<size_t>(x0)], 1.0, 1e-9);
+  EXPECT_NEAR(r.values[static_cast<size_t>(x1)], 0.0, 1e-12);
+  EXPECT_NEAR(r.values[static_cast<size_t>(x2)], 0.0, 1e-12);
+}
+
+TEST(PresolveTest, ForcingRowConflictWithPinIsInfeasibleWithoutPivots) {
+  // Pinning an atom that needs a vetoed index: the link row substitutes
+  // to 1 <= 0, which forcing-row propagation rejects before any simplex.
+  MipProblem mip;
+  int x1 = mip.lp.AddVariable(3.0);
+  int y = mip.lp.AddVariable(1.0);
+  mip.binary_vars = {x1, y};
+  LpConstraint link;
+  link.terms = {{x1, 1.0}, {y, -1.0}};
+  link.rel = LpRelation::kLe;
+  link.rhs = 0.0;
+  mip.lp.AddConstraint(std::move(link));
+  mip.fixed_vars.emplace_back(x1, 1);
+  mip.fixed_vars.emplace_back(y, 0);
+
+  BnbResult r = SolveBinaryMip(mip);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.lp_pivots, 0);
+}
+
+TEST(PresolveTest, ForcingRowsMatchBruteForceOnLinkStructures) {
+  // Random CoPhy-shaped instances (eq rows, link rows, vetoes): the
+  // propagated solve must agree exactly with enumeration.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 977);
+    const int num_idx = 3;
+    const int num_q = 3;
+    MipProblem mip;
+    std::vector<int> yvar;
+    for (int i = 0; i < num_idx; ++i) {
+      yvar.push_back(mip.lp.AddVariable(rng.UniformDouble(0.1, 1.0)));
+      mip.binary_vars.push_back(yvar.back());
+    }
+    std::vector<LpConstraint> cons;
+    std::vector<int> xvar;
+    std::vector<std::vector<int>> uses;  // per x: indexes it needs
+    for (int q = 0; q < num_q; ++q) {
+      LpConstraint eq;
+      for (int a = 0; a < 3; ++a) {
+        int x = mip.lp.AddVariable(rng.UniformDouble(1.0, 9.0));
+        mip.binary_vars.push_back(x);
+        xvar.push_back(x);
+        std::vector<int> u;
+        if (a > 0) {  // atom 0 is index-free
+          for (int i = 0; i < num_idx; ++i) {
+            if (rng.Bernoulli(0.5)) u.push_back(i);
+          }
+        }
+        uses.push_back(u);
+        eq.terms.emplace_back(x, 1.0);
+      }
+      eq.rel = LpRelation::kEq;
+      eq.rhs = 1.0;
+      cons.push_back(eq);
+      mip.lp.AddConstraint(std::move(eq));
+    }
+    for (int i = 0; i < num_idx; ++i) {
+      LpConstraint link;
+      for (size_t xi = 0; xi < xvar.size(); ++xi) {
+        const std::vector<int>& u = uses[xi];
+        if (std::find(u.begin(), u.end(), i) != u.end()) {
+          link.terms.emplace_back(xvar[xi], 1.0);
+        }
+      }
+      if (link.terms.empty()) continue;
+      link.terms.emplace_back(yvar[static_cast<size_t>(i)],
+                              -static_cast<double>(link.terms.size()));
+      link.rel = LpRelation::kLe;
+      link.rhs = 0.0;
+      cons.push_back(link);
+      mip.lp.AddConstraint(std::move(link));
+    }
+    int vetoed = static_cast<int>(seed) % num_idx;
+    mip.fixed_vars.emplace_back(yvar[static_cast<size_t>(vetoed)], 0);
+
+    const int n = mip.lp.num_vars;
+    double best = std::numeric_limits<double>::infinity();
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      if (mask & (1 << yvar[static_cast<size_t>(vetoed)])) continue;
+      bool ok = true;
+      for (const LpConstraint& con : cons) {
+        double lhs = 0.0;
+        for (auto [v, coef] : con.terms) {
+          if (mask & (1 << v)) lhs += coef;
+        }
+        ok &= con.rel == LpRelation::kEq ? std::abs(lhs - con.rhs) < 1e-9
+                                         : lhs <= con.rhs + 1e-9;
+      }
+      if (!ok) continue;
+      double obj = 0.0;
+      for (int v = 0; v < n; ++v) {
+        if (mask & (1 << v)) obj += mip.lp.objective[static_cast<size_t>(v)];
+      }
+      best = std::min(best, obj);
+    }
+
+    BnbResult r = SolveBinaryMip(mip);
+    ASSERT_TRUE(std::isfinite(best)) << "seed " << seed;
+    ASSERT_TRUE(r.feasible) << "seed " << seed;
+    EXPECT_TRUE(r.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(r.objective, best, 1e-6) << "seed " << seed;
+  }
+}
+
+// --- Warm starts ---
+
+TEST(SimplexTest, WarmBasisReproducesOptimumWithFewerPivots) {
+  LpProblem p;
+  int x = p.AddVariable(-3.0);
+  int y = p.AddVariable(-5.0);
+  p.AddConstraint({{{x, 1.0}}, LpRelation::kLe, 4.0});
+  p.AddConstraint({{{y, 2.0}}, LpRelation::kLe, 12.0});
+  p.AddConstraint({{{x, 3.0}, {y, 2.0}}, LpRelation::kLe, 18.0});
+  LpSolution cold = SolveLp(p);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_GT(cold.pivots, 0);
+  ASSERT_EQ(cold.basis.size(), p.constraints.size());
+
+  LpSolution warm = SolveLp(p, {}, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_EQ(warm.objective, cold.objective);
+  for (size_t i = 0; i < cold.values.size(); ++i) {
+    EXPECT_EQ(warm.values[i], cold.values[i]) << "var " << i;
+  }
+  EXPECT_LE(warm.pivots, cold.pivots);
+}
+
+TEST(SimplexTest, WarmBasisSurvivesRhsPerturbation) {
+  // Warm-starting a NEIGHBOR problem (same rows, shifted rhs) must stay
+  // correct: either the basis crash succeeds and phase 2 finishes, or
+  // the solver falls back to a cold solve — both land on the optimum.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpProblem p;
+    int n = 4;
+    for (int i = 0; i < n; ++i) p.AddVariable(rng.UniformDouble(-5.0, -0.5));
+    for (int c = 0; c < 3; ++c) {
+      LpConstraint con;
+      for (int i = 0; i < n; ++i) {
+        con.terms.emplace_back(i, rng.UniformDouble(0.5, 3.0));
+      }
+      con.rel = LpRelation::kLe;
+      con.rhs = rng.UniformDouble(2.0, 10.0);
+      p.AddConstraint(std::move(con));
+    }
+    LpSolution cold = SolveLp(p);
+    ASSERT_TRUE(cold.optimal());
+
+    LpProblem shifted = p;
+    for (LpConstraint& con : shifted.constraints) {
+      con.rhs *= rng.UniformDouble(0.8, 1.2);
+    }
+    LpSolution reference = SolveLp(shifted);
+    LpSolution warm = SolveLp(shifted, {}, &cold.basis);
+    ASSERT_EQ(warm.status, reference.status) << "trial " << trial;
+    if (reference.optimal()) {
+      EXPECT_NEAR(warm.objective, reference.objective, 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(BnbTest, WarmStartReproducesColdSolve) {
+  Rng rng(23);
+  MipProblem mip;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    mip.lp.AddVariable(-rng.UniformDouble(1.0, 10.0));
+    mip.binary_vars.push_back(i);
+  }
+  for (int c = 0; c < 3; ++c) {
+    LpConstraint con;
+    for (int i = 0; i < n; ++i) {
+      con.terms.emplace_back(i, rng.UniformDouble(0.5, 4.0));
+    }
+    con.rel = LpRelation::kLe;
+    con.rhs = rng.UniformDouble(5.0, 12.0);
+    mip.lp.AddConstraint(std::move(con));
+  }
+
+  BnbResult cold = SolveBinaryMip(mip);
+  ASSERT_TRUE(cold.feasible);
+  ASSERT_TRUE(cold.proven_optimal);
+  ASSERT_FALSE(cold.root_basis.empty());
+
+  BnbWarmStart warm;
+  warm.basis = cold.root_basis;
+  warm.values = cold.values;
+  warm.objective = cold.objective;
+  BnbResult hot = SolveBinaryMip(mip, BnbOptions{}, nullptr, &warm);
+  ASSERT_TRUE(hot.feasible);
+  EXPECT_TRUE(hot.proven_optimal);
+  EXPECT_EQ(hot.objective, cold.objective);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(hot.values[static_cast<size_t>(i)],
+              cold.values[static_cast<size_t>(i)])
+        << "var " << i;
+  }
+  // The warm incumbent (the optimum) is available from node 0, so the
+  // warm tree can never need MORE nodes than the cold one, which had no
+  // incumbent at all until its own search found one. (Pivot counts are
+  // not compared: an equally-optimal but different root basis can shift
+  // branching ties by a handful of pivots either way.)
+  EXPECT_LE(hot.nodes_explored, cold.nodes_explored);
+}
+
+TEST(BnbTest, WarmIncumbentInconsistentWithFixingsIsDiscarded) {
+  // A cached incumbent that contradicts a new fixing (the veto case)
+  // must be ignored, not trusted: the solve still lands on the true
+  // optimum under the fixing.
+  MipProblem mip;
+  int a = mip.lp.AddVariable(-10.0);
+  int b = mip.lp.AddVariable(-6.0);
+  int c = mip.lp.AddVariable(-4.0);
+  mip.lp.AddConstraint({{{a, 1.0}, {b, 1.0}, {c, 1.0}}, LpRelation::kLe, 2.0});
+  mip.binary_vars = {a, b, c};
+  BnbResult cold = SolveBinaryMip(mip);  // picks {a, b} = -16
+  ASSERT_TRUE(cold.feasible);
+
+  MipProblem vetoed = mip;
+  vetoed.fixed_vars.emplace_back(a, 0);  // veto the best variable
+  BnbWarmStart warm;
+  warm.basis = cold.root_basis;
+  warm.values = cold.values;  // has a = 1: contradicts the fixing
+  warm.objective = cold.objective;
+  BnbResult r = SolveBinaryMip(vetoed, BnbOptions{}, nullptr, &warm);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NEAR(r.objective, -10.0, 1e-6);  // {b, c}
+  EXPECT_NEAR(r.values[static_cast<size_t>(a)], 0.0, 1e-12);
+}
 
 }  // namespace
 }  // namespace dbdesign

@@ -1,0 +1,288 @@
+// Bounded atom caching benchmark — the budgeted tiered LRU under a
+// many-schema workload.
+//
+// An unbounded AtomStore on a long-lived server grows with schema
+// variety: every (schema, template, universe) row stays hot forever.
+// This bench drives one session per schema across kSchemas substrates
+// against (a) an unbounded server — measuring the growth curve and the
+// warm-path latency baseline — and (b) a server whose atom budget is a
+// third of the unbounded footprint, with a spill directory for the
+// cold tier. Hard acceptance gates (DBD_CHECK — the bench aborts, CI
+// goes red):
+//
+//   * bounded memory: the hot-byte gauge AND its high-water mark never
+//     exceed the budget, checked after every session,
+//   * the tiers actually cycle: evictions, spills, and reloads all > 0,
+//   * bit-identical results: every Recommend cost, index-set signature,
+//     and deployment final cost matches the unbounded server exactly,
+//   * warm latency: a fresh session on a warm (budgeted, mostly
+//     spilled) schema recommends within 2x of the unbounded warm path —
+//     reload+decode is noise next to the solve it avoids.
+//
+// DBDESIGN_BENCH_ROWS caps substrate sizes for CI smoke runs as usual.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "backend/inmemory_backend.h"
+#include "cophy/atom_codec.h"
+#include "server/server.h"
+
+namespace dbdesign {
+namespace {
+
+using bench::BenchRows;
+using bench::Header;
+using bench::JsonReporter;
+
+void CheckOk(const Status& st) {
+  if (!st.ok()) std::fprintf(stderr, "bench_cache: %s\n", st.ToString().c_str());
+  DBD_CHECK(st.ok());
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kSchemas = 6;
+
+struct Fleet {
+  std::vector<Database> dbs;
+  std::vector<std::unique_ptr<InMemoryBackend>> backends;
+  std::vector<Workload> workloads;
+};
+
+Fleet BuildFleet() {
+  SetLogLevel(LogLevel::kError);
+  Fleet fleet;
+  for (int s = 0; s < kSchemas; ++s) {
+    SdssConfig cfg;
+    cfg.photoobj_rows = BenchRows(2000) + 200 * s;
+    cfg.seed = 42 + static_cast<uint64_t>(s);
+    fleet.dbs.push_back(BuildSdssDatabase(cfg));
+  }
+  for (int s = 0; s < kSchemas; ++s) {
+    fleet.backends.push_back(std::make_unique<InMemoryBackend>(fleet.dbs[s]));
+    fleet.workloads.push_back(GenerateWorkload(
+        fleet.dbs[s], TemplateMix::OfflineDefault(), 6, 19 + s));
+  }
+  return fleet;
+}
+
+std::unique_ptr<TuningServer> MakeServer(Fleet& fleet,
+                                         TuningServerOptions options = {}) {
+  auto server = std::make_unique<TuningServer>(std::move(options));
+  for (int s = 0; s < kSchemas; ++s) {
+    CheckOk(server->RegisterSchema("schema" + std::to_string(s),
+                                   *fleet.backends[s]));
+  }
+  return server;
+}
+
+struct PassResult {
+  std::vector<double> rec_costs;    ///< recommended_cost per schema
+  std::vector<std::string> sigs;    ///< index-set signature per schema
+  std::vector<double> plan_costs;   ///< schedule final_cost per schema
+  std::vector<double> op_ms;        ///< per-schema recommend latency
+  std::vector<double> bytes_after;  ///< store hot bytes after each schema
+};
+
+/// One fresh session per schema, sequentially: SetWorkload, Recommend
+/// (timed), PlanDeployment, close. With `budget` != 0 the store gauge
+/// is hard-checked against it after every session — the "bounded RSS
+/// at all times" gate.
+PassResult RunPass(TuningServer& server, Fleet& fleet,
+                   const std::string& prefix, size_t budget) {
+  PassResult result;
+  for (int s = 0; s < kSchemas; ++s) {
+    std::string id = prefix + std::to_string(s);
+    CheckOk(server.OpenSession(id, "schema" + std::to_string(s)));
+    double t0 = NowMs();
+    CheckOk(server.WithSession(id, [&](DesignSession& session) {
+      session.SetWorkload(fleet.workloads[s]);
+      Result<IndexRecommendation> rec = session.Recommend();
+      CheckOk(rec.status());
+      result.rec_costs.push_back(rec.value().recommended_cost);
+      std::string sig;
+      for (const IndexDef& idx : rec.value().indexes) {
+        sig += idx.Key();
+        sig += ';';
+      }
+      result.sigs.push_back(std::move(sig));
+      Result<DeploymentPlan> plan = session.PlanDeployment();
+      CheckOk(plan.status());
+      result.plan_costs.push_back(plan.value().schedule.final_cost);
+    }));
+    result.op_ms.push_back(NowMs() - t0);
+    result.bytes_after.push_back(static_cast<double>(server.atom_store().hot_bytes()));
+    if (budget != 0) {
+      DBD_CHECK(server.atom_store().hot_bytes() <= budget);
+      DBD_CHECK(server.atom_store().peak_hot_bytes() <= budget);
+    }
+    CheckOk(server.CloseSession(id));
+  }
+  return result;
+}
+
+void ExpectIdentical(const PassResult& a, const PassResult& b) {
+  DBD_CHECK(a.rec_costs == b.rec_costs);
+  DBD_CHECK(a.sigs == b.sigs);
+  DBD_CHECK(a.plan_costs == b.plan_costs);
+}
+
+double Total(const std::vector<double>& v) {
+  double t = 0.0;
+  for (double x : v) t += x;
+  return t;
+}
+
+void RunCacheBench(JsonReporter& reporter) {
+  Header("Bounded atom caching: budgeted tiered LRU vs unbounded store",
+         "a memory budget bounds the shared substrate at a third of its "
+         "unbounded footprint with bit-identical recommendations and "
+         "warm latency within 2x");
+
+  Fleet fleet = BuildFleet();
+
+  // --- Unbounded baseline: growth curve + warm latency ---
+  auto unbounded = MakeServer(fleet);
+  double t0 = NowMs();
+  PassResult u_cold = RunPass(*unbounded, fleet, "ucold", 0);
+  double u_cold_wall = NowMs() - t0;
+  size_t unbounded_bytes = unbounded->atom_store().hot_bytes();
+  DBD_CHECK(unbounded_bytes > 0);
+
+  t0 = NowMs();
+  PassResult u_warm = RunPass(*unbounded, fleet, "uwarm", 0);
+  double u_warm_wall = NowMs() - t0;
+  ExpectIdentical(u_cold, u_warm);
+  TuningServerStats u_stats = unbounded->stats();
+  DBD_CHECK(u_stats.atoms.evictions == 0 && u_stats.atoms.spills == 0);
+
+  std::printf("\nunbounded : cold %8.1f ms  warm %8.1f ms  store %zu bytes "
+              "(%zu entries)\n",
+              u_cold_wall, u_warm_wall, unbounded_bytes,
+              unbounded->atom_store().entries());
+  std::printf("growth    : ");
+  for (double b : u_cold.bytes_after) std::printf("%.0f ", b);
+  std::printf("bytes\n");
+
+  // --- Bounded server: budget = a third of the unbounded footprint ---
+  CacheBudget budget;
+  budget.atom_store_bytes = std::max<size_t>(unbounded_bytes / 3, 1);
+  budget.doi_rows_bytes = 4096;
+  budget.solver_cache_bytes = 4096;
+  TuningServerOptions bounded_options;
+  bounded_options.cache_budget = budget;
+  bounded_options.spill_dir = "./bench_cache_spill";
+  auto bounded = MakeServer(fleet, bounded_options);
+
+  t0 = NowMs();
+  PassResult b_cold = RunPass(*bounded, fleet, "bcold", budget.atom_store_bytes);
+  double b_cold_wall = NowMs() - t0;
+  t0 = NowMs();
+  PassResult b_warm = RunPass(*bounded, fleet, "bwarm", budget.atom_store_bytes);
+  double b_warm_wall = NowMs() - t0;
+
+  // Bit-identical to the unbounded server, cold and warm.
+  ExpectIdentical(u_cold, b_cold);
+  ExpectIdentical(u_cold, b_warm);
+
+  TuningServerStats b_stats = bounded->stats();
+  std::printf("bounded   : cold %8.1f ms  warm %8.1f ms  budget %zu bytes  "
+              "peak %zu bytes\n",
+              b_cold_wall, b_warm_wall, budget.atom_store_bytes,
+              bounded->atom_store().peak_hot_bytes());
+  std::printf("tiers     : %llu evictions  %llu spills  %llu reloads  "
+              "%llu reload-failures  %llu repopulates\n",
+              static_cast<unsigned long long>(b_stats.atoms.evictions),
+              static_cast<unsigned long long>(b_stats.atoms.spills),
+              static_cast<unsigned long long>(b_stats.atoms.reloads),
+              static_cast<unsigned long long>(b_stats.atoms.reload_failures),
+              static_cast<unsigned long long>(b_stats.atoms.repopulates));
+
+  // The tiers actually cycled under the squeeze.
+  DBD_CHECK(b_stats.atoms.evictions > 0);
+  DBD_CHECK(b_stats.atoms.spills > 0);
+  DBD_CHECK(b_stats.atoms.reloads > 0);
+  DBD_CHECK(bounded->atom_store().peak_hot_bytes() <= budget.atom_store_bytes);
+
+  // Warm-path latency: the budgeted store serves a fresh session on a
+  // warm schema within 2x of the unbounded store (1 ms floor keeps the
+  // gate meaningful on smoke-sized substrates).
+  double u_warm_ms = std::max(Total(u_warm.op_ms), 1.0);
+  double b_warm_ms = Total(b_warm.op_ms);
+  double ratio = b_warm_ms / u_warm_ms;
+  std::printf("warm gate : bounded %8.1f ms vs unbounded %8.1f ms "
+              "(ratio %.2f, bound 2.00)\n",
+              b_warm_ms, u_warm_ms, ratio);
+  DBD_CHECK(b_warm_ms <= 2.0 * u_warm_ms);
+
+  reporter.Report("unbounded_cold_pass", u_cold_wall);
+  reporter.Report("unbounded_warm_pass", u_warm_wall);
+  reporter.Report("bounded_cold_pass", b_cold_wall);
+  reporter.Report("bounded_warm_pass", b_warm_wall,
+                  /*speedup_vs_serial=*/u_warm_wall > 0.0
+                      ? u_warm_wall / b_warm_wall
+                      : 1.0);
+
+  Json extra = Json::Object();
+  extra["schemas"] = Json::Number(kSchemas);
+  extra["unbounded_hot_bytes"] =
+      Json::Number(static_cast<double>(unbounded_bytes));
+  extra["budget_bytes"] =
+      Json::Number(static_cast<double>(budget.atom_store_bytes));
+  extra["bounded_peak_hot_bytes"] =
+      Json::Number(static_cast<double>(bounded->atom_store().peak_hot_bytes()));
+  extra["bounded_within_budget"] = Json::Bool(true);  // DBD_CHECK-enforced
+  extra["bit_identical_to_unbounded"] = Json::Bool(true);
+  extra["evictions"] =
+      Json::Number(static_cast<double>(b_stats.atoms.evictions));
+  extra["spills"] = Json::Number(static_cast<double>(b_stats.atoms.spills));
+  extra["reloads"] = Json::Number(static_cast<double>(b_stats.atoms.reloads));
+  extra["reload_failures"] =
+      Json::Number(static_cast<double>(b_stats.atoms.reload_failures));
+  extra["repopulates"] =
+      Json::Number(static_cast<double>(b_stats.atoms.repopulates));
+  extra["warm_latency_ratio"] = Json::Number(ratio);
+  Json growth = Json::Array();
+  for (double b : u_cold.bytes_after) growth.Append(Json::Number(b));
+  extra["unbounded_growth_curve_bytes"] = std::move(growth);
+  reporter.Extra("cache", std::move(extra));
+}
+
+// Microbenchmark: one spill-tier round trip (encode + decode) for a
+// typical atom row — the per-row cost a reload adds to a warm lookup.
+void BM_AtomCodecRoundTrip(benchmark::State& state) {
+  CoPhyAtomRow row;
+  row.base_cost = 1234.5;
+  for (int a = 0; a < 64; ++a) {
+    CoPhyAtom atom;
+    atom.cost = 10.0 + a;
+    for (int i = 0; i < a % 5; ++i) atom.used.push_back(a + i);
+    row.atoms.push_back(std::move(atom));
+  }
+  for (auto _ : state) {
+    Result<CoPhyAtomRow> back = DecodeAtomRow(EncodeAtomRow(row));
+    benchmark::DoNotOptimize(back.ok());
+  }
+}
+BENCHMARK(BM_AtomCodecRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dbdesign
+
+int main(int argc, char** argv) {
+  dbdesign::bench::JsonReporter reporter("cache");
+  dbdesign::RunCacheBench(reporter);
+  reporter.Write();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

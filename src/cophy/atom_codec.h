@@ -1,0 +1,48 @@
+// Versioned binary codec for CoPhyAtomRow — the payload format of the
+// AtomStore's cold (spilled-to-disk) tier.
+//
+// An atom row is pure value data: a base cost plus (cost, used
+// candidate ids) pairs. The encoding is little-endian (util/binio.h)
+// with a magic + version header so future layout changes stay
+// detectable, and doubles travel as raw IEEE-754 bits so the non-finite
+// costs INUM legitimately produces (an atom whose plan is infeasible
+// under some option costs +inf) round-trip exactly — the same contract
+// util/json's __nonfinite sentinel provides for text, at a fraction of
+// the bytes.
+//
+// Decode is total: any truncated, corrupt, or version-mismatched buffer
+// yields a clean Status, never a partial row or an out-of-bounds read.
+// The spill tier treats a decode failure as a cache miss (the row is
+// repopulated from the backend), so codec robustness is a performance
+// property, not a correctness one.
+
+#ifndef DBDESIGN_COPHY_ATOM_CODEC_H_
+#define DBDESIGN_COPHY_ATOM_CODEC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "cophy/cophy.h"
+#include "util/status.h"
+
+namespace dbdesign {
+
+/// Serializes a row: magic "DBAR", u32 version, f64 base cost, u64 atom
+/// count, then per atom a f64 cost, u64 id count, and u32 candidate ids.
+std::string EncodeAtomRow(const CoPhyAtomRow& row);
+
+/// Parses EncodeAtomRow output. Rejects bad magic, unknown versions,
+/// truncation, and trailing bytes with an InvalidArgument Status.
+Result<CoPhyAtomRow> DecodeAtomRow(std::string_view bytes);
+
+/// Approximate in-memory footprint of a row (the unit of AtomStore
+/// budget accounting): struct overhead plus atom vectors plus each
+/// atom's candidate-id vector. An estimate, not malloc truth — but a
+/// deterministic one, so eviction order and budget checks are
+/// bit-stable across runs.
+size_t AtomRowBytes(const CoPhyAtomRow& row);
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_COPHY_ATOM_CODEC_H_

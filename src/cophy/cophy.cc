@@ -70,6 +70,84 @@ void CoPhyPrepared::RefreshClusters() {
   }
 }
 
+namespace {
+
+size_t SolverEntryBytes(const CoPhySolverCache::Entry& e) {
+  size_t bytes = sizeof(CoPhySolverCache::Entry);
+  bytes += e.chosen.size() * sizeof(int);
+  bytes += e.root_basis.size() * sizeof(int);
+  for (const CoPhySolverCache::Entry::ParetoPoint& p : e.frontier) {
+    bytes += sizeof(CoPhySolverCache::Entry::ParetoPoint);
+    bytes += p.chosen.size() * sizeof(int);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t CoPhySolverCache::ApproxBytes() const {
+  size_t bytes = sizeof(CoPhySolverCache);
+  for (const Entry& e : entries) bytes += SolverEntryBytes(e);
+  bytes += SolverEntryBytes(mono);
+  return bytes;
+}
+
+void CoPhySolverCache::TrimToBytes(size_t max_bytes) {
+  if (max_bytes == 0 || ApproxBytes() <= max_bytes) return;
+  ++trims;
+  // Entries in deterministic trim order: clusters by index, mono last.
+  size_t n = entries.size() + 1;
+  auto entry_at = [&](size_t i) -> Entry& {
+    return i < entries.size() ? entries[i] : mono;
+  };
+
+  // Phase 1: shorten frontiers, always dropping the deepest point of
+  // the currently longest frontier (down to one point — the top point
+  // doubles as the entry's full-budget optimum). A shortened frontier
+  // is exactly the state lazy enumeration passes through, so the next
+  // solve deepens it on demand instead of going cold.
+  while (ApproxBytes() > max_bytes) {
+    size_t best = n;
+    size_t best_len = 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (entry_at(i).frontier.size() > best_len) {
+        best = i;
+        best_len = entry_at(i).frontier.size();
+      }
+    }
+    if (best == n) break;
+    Entry& e = entry_at(best);
+    double dropped_cost = e.frontier.back().cost;
+    e.frontier.pop_back();
+    e.frontier_complete = false;
+    // The dropped point's budget band joins the unexplored tail, and
+    // by budget monotonicity its cost lower-bounds the whole new tail
+    // (any certificate-tightened bound applied only below the dropped
+    // point and no longer covers the exposed band).
+    e.tail_bound = dropped_cost;
+    ++points_dropped;
+  }
+
+  // Phase 2: frontiers are all minimal and the cache is still over
+  // budget — invalidate whole entries, largest first, freeing their
+  // vectors. Their next solve is cold (signature mismatch), which
+  // costs work, never correctness.
+  while (ApproxBytes() > max_bytes) {
+    size_t best = n;
+    size_t best_bytes = sizeof(Entry);
+    for (size_t i = 0; i < n; ++i) {
+      size_t b = SolverEntryBytes(entry_at(i));
+      if (b > best_bytes) {
+        best = i;
+        best_bytes = b;
+      }
+    }
+    if (best == n) break;  // floor: nothing holds freeable data
+    entry_at(best) = Entry{};
+    ++entries_invalidated;
+  }
+}
+
 CoPhyAdvisor::CoPhyAdvisor(DbmsBackend& backend, CoPhyOptions options)
     : backend_(&backend),
       params_(backend.cost_params()),

@@ -262,6 +262,28 @@ struct CoPhySolverCache {
   std::vector<Entry> entries;  ///< one per cluster
   Entry mono;                  ///< the monolithic BIP (fallback path)
 
+  /// Budget-trim telemetry (session-lifetime; Clear() keeps them so
+  /// tests and benches can observe trims across workload edits).
+  uint64_t trims = 0;                 ///< TrimToBytes calls that cut anything
+  uint64_t points_dropped = 0;        ///< frontier points discarded
+  uint64_t entries_invalidated = 0;   ///< whole entries reset to cold
+
+  /// Approximate in-memory footprint (struct overhead + chosen/basis
+  /// ids + frontier points). Deterministic — it reads sizes, not
+  /// capacities — so trim decisions are bit-stable across runs.
+  size_t ApproxBytes() const;
+
+  /// Trims the cache to at most `max_bytes` (0 = unbounded, no-op).
+  /// Frontier points are dropped deepest-first from the longest
+  /// frontier (ties: lowest cluster index, mono last), restoring
+  /// exactly the "enumeration stopped earlier" state the lazy top-down
+  /// frontier protocol already handles — the allocation DP re-deepens
+  /// on demand, so results are bit-identical, only re-solve work is
+  /// traded. If shortening frontiers is not enough, whole entries are
+  /// invalidated largest-first (their next solve is cold). Never
+  /// touches signatures of entries it leaves alone.
+  void TrimToBytes(size_t max_bytes);
+
   void Clear() {
     universe_fingerprint = 0;
     num_rows = 0;

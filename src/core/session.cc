@@ -155,6 +155,37 @@ void DesignSession::SyncPreparedWeights() {
   }
 }
 
+void DesignSession::SetCacheBudget(const CacheBudget& budget) {
+  cache_budget_ = budget;
+  // Apply immediately so a shrink takes effect now: evicted DoI rows
+  // recompute from cached atoms, trimmed frontiers re-enumerate — both
+  // transparent to results.
+  if (cache_budget_.solver_cache_bytes != 0) {
+    solver_cache_.TrimToBytes(cache_budget_.solver_cache_bytes);
+  }
+  EvictDoiRowsToBudget();
+}
+
+size_t DesignSession::DoiRowsBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, entry] : doi_rows_) {
+    bytes += ContributionRowBytes(key, entry.row);
+  }
+  return bytes;
+}
+
+void DesignSession::EvictDoiRowsToBudget() {
+  if (cache_budget_.doi_rows_bytes == 0) return;
+  while (!doi_rows_.empty() && DoiRowsBytes() > cache_budget_.doi_rows_bytes) {
+    auto victim = doi_rows_.begin();
+    for (auto it = std::next(doi_rows_.begin()); it != doi_rows_.end(); ++it) {
+      if (it->second.lru < victim->second.lru) victim = it;
+    }
+    doi_rows_.erase(victim);
+    ++doi_rows_evicted_;
+  }
+}
+
 void DesignSession::InvalidateDeployment() {
   doi_rows_.clear();
   doi_indexes_.clear();
@@ -490,6 +521,9 @@ Result<IndexRecommendation> DesignSession::Recommend() {
   Result<IndexRecommendation> solved =
       cophy_->SolvePrepared(prepared_, constraints_, &solver_cache_);
   if (!solved.ok()) return solved.status();
+  if (cache_budget_.solver_cache_bytes != 0) {
+    solver_cache_.TrimToBytes(cache_budget_.solver_cache_bytes);
+  }
   IndexRecommendation rec = std::move(solved).value();
   last_class_cost_ = rec.per_query_cost;
   rec.per_query_cost = ExpandPerQueryCost(last_class_cost_);
@@ -564,6 +598,9 @@ Result<IndexRecommendation> DesignSession::Refine(
   Result<IndexRecommendation> solved =
       cophy_->SolvePrepared(prepared_, constraints_, &solver_cache_);
   if (!solved.ok()) return solved.status();
+  if (cache_budget_.solver_cache_bytes != 0) {
+    solver_cache_.TrimToBytes(cache_budget_.solver_cache_bytes);
+  }
   IndexRecommendation rec = std::move(solved).value();
   last_class_cost_ = rec.per_query_cost;
   rec.per_query_cost = ExpandPerQueryCost(last_class_cost_);
@@ -687,7 +724,7 @@ Result<DeploymentPlan> DesignSession::BuildDeploymentPlan() {
         analyzer.TryContributionRows(missing, indexes);
     if (!rows.ok()) return rows.status();
     for (size_t m = 0; m < missing.size(); ++m) {
-      doi_rows_[keys[missing_class[m]]] = std::move(rows.value()[m]);
+      doi_rows_[keys[missing_class[m]]].row = std::move(rows.value()[m]);
     }
   }
   plan.doi_rows_computed = missing.size();
@@ -706,7 +743,11 @@ Result<DeploymentPlan> DesignSession::BuildDeploymentPlan() {
   size_t num_pairs = indexes.size() * (indexes.size() - 1) / 2;
   matrix.doi.assign(num_pairs, 0.0);
   for (size_t c = 0; c < classes.size(); ++c) {
-    const std::vector<double>& row = doi_rows_[keys[c]];
+    DoiRowEntry& entry = doi_rows_[keys[c]];
+    // Touched in class order every build: recency — and the eviction
+    // order a budget derives from it — is deterministic.
+    entry.lru = ++doi_lru_tick_;
+    const std::vector<double>& row = entry.row;
     // A cached contribution row is only reusable if it was computed
     // against THIS index set (doi_indexes_ == indexes, checked above):
     // its length must cover the current pair triangle exactly.
@@ -751,6 +792,10 @@ Result<DeploymentPlan> DesignSession::BuildDeploymentPlan() {
     deployment_weights_ = std::move(weights);
     deployment_constraints_ = constraints_;
   }
+  // Budget applies only after the plan is built: the build that
+  // computed a row always gets to use it, so a tiny budget costs
+  // recomputation on the NEXT build, never a failed one.
+  EvictDoiRowsToBudget();
   return plan;
 }
 

@@ -300,4 +300,12 @@ double InteractionAnalyzer::SoloBenefit(const Workload& workload,
          inum_->WorkloadCost(workload, with);
 }
 
+size_t ContributionRowBytes(const std::string& key,
+                            const std::vector<double>& row) {
+  // Flat-rated map-node + string + vector-header overhead; the row
+  // payload dominates for any realistic pair count.
+  constexpr size_t kEntryOverhead = 96;
+  return kEntryOverhead + key.size() + row.size() * sizeof(double);
+}
+
 }  // namespace dbdesign

@@ -164,6 +164,14 @@ class InteractionAnalyzer {
   DoiOptions options_;
 };
 
+/// Approximate in-memory footprint of one cached contribution row under
+/// its cache key (DesignSession keys rows by the template class's SQL
+/// rendering) — the accounting unit for CacheBudget::doi_rows_bytes.
+/// Deterministic (it reads sizes, not capacities), so eviction order
+/// under a budget is bit-stable across runs.
+size_t ContributionRowBytes(const std::string& key,
+                            const std::vector<double>& row);
+
 }  // namespace dbdesign
 
 #endif  // DBDESIGN_INTERACTION_DOI_H_

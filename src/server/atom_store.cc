@@ -1,8 +1,16 @@
 #include "server/atom_store.h"
 
 #include <bit>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
 
 #include "catalog/stats.h"
+#include "cophy/atom_codec.h"
+#include "util/binio.h"
+#include "util/logging.h"
+#include "util/str.h"
 
 namespace dbdesign {
 
@@ -32,6 +40,14 @@ class Fnv {
   uint64_t h_ = 1469598103934665603ull;
 };
 
+// Spill-file header: "DBAS" little-endian (DBdesign Atom Spill) + a
+// format version + the FULL composite key. Files are NAMED by a hash
+// of the key, so the reload path must verify the embedded key before
+// trusting the payload — a filename collision then degrades to a
+// reload failure (miss + repopulate), never to another key's row.
+constexpr uint32_t kSpillMagic = 0x53414244u;
+constexpr uint32_t kSpillVersion = 1;
+
 }  // namespace
 
 uint64_t SchemaFingerprint(const DbmsBackend& backend) {
@@ -51,11 +67,12 @@ uint64_t SchemaFingerprint(const DbmsBackend& backend) {
   }
 
   // Statistics summary: everything selectivity and IO estimation read.
-  // Histogram/MCV contents are summarized by resolution + extrema —
-  // they are derived deterministically from the same data generation
-  // inputs that set row counts and NDVs, so the summary separates every
-  // substrate the test/bench schemas can actually produce while keeping
-  // the fingerprint cheap.
+  // Histogram bounds and MCV values/frequencies are mixed in full:
+  // selectivity estimation walks them value by value, so two substrates
+  // that differ ONLY in histogram interiors (equal resolution, equal
+  // extrema — e.g. the same schema before and after a skewed data load)
+  // cost queries differently and must never share atom rows. Size +
+  // extrema summaries let exactly that pair collide.
   for (const TableStats& stats : backend.all_stats()) {
     fnv.MixDouble(stats.row_count);
     fnv.MixInt(static_cast<int>(stats.columns.size()));
@@ -64,7 +81,14 @@ uint64_t SchemaFingerprint(const DbmsBackend& backend) {
       fnv.MixDouble(col.null_frac);
       fnv.MixDouble(col.correlation);
       fnv.MixInt(static_cast<int>(col.histogram.size()));
+      for (const Value& bound : col.histogram) {
+        fnv.MixBytes(bound.ToString());
+      }
       fnv.MixInt(static_cast<int>(col.mcv.size()));
+      for (const McvEntry& entry : col.mcv) {
+        fnv.MixBytes(entry.value.ToString());
+        fnv.MixDouble(entry.frequency);
+      }
       fnv.MixBytes(col.min.ToString());
       fnv.MixBytes(col.max.ToString());
     }
@@ -85,38 +109,218 @@ uint64_t SchemaFingerprint(const DbmsBackend& backend) {
   return fnv.digest();
 }
 
+AtomStore::AtomStore(AtomStoreOptions options) : options_(std::move(options)) {
+  if (options_.spill_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.spill_dir, ec);
+  if (ec) {
+    DBD_LOG_WARN(StrFormat(
+        "atom store: cannot create spill dir '%s' (%s); running without "
+        "a cold tier — evictions will drop rows outright",
+        options_.spill_dir.c_str(), ec.message().c_str()));
+    return;
+  }
+  spill_enabled_ = true;
+}
+
+AtomStore::~AtomStore() {
+  MutexLock lock(mu_);
+  RemoveSpillFiles();
+  if (spill_enabled_) {
+    // Best-effort: removes the directory only when empty (it may be
+    // shared with another store or hold unrelated files).
+    std::error_code ec;
+    std::filesystem::remove(options_.spill_dir, ec);
+  }
+}
+
+std::string AtomStore::SpillPath(const Key& key) const {
+  Fnv fnv;
+  fnv.MixU64(std::get<0>(key));
+  fnv.MixBytes(std::get<1>(key));
+  fnv.MixU64(std::get<2>(key));
+  return options_.spill_dir +
+         StrFormat("/atoms-%016llx.bin",
+                   static_cast<unsigned long long>(fnv.digest()));
+}
+
+bool AtomStore::WriteSpill(const Key& key, const CoPhyAtomRow& row) {
+  BinaryWriter w;
+  w.PutU32(kSpillMagic);
+  w.PutU32(kSpillVersion);
+  w.PutU64(std::get<0>(key));
+  w.PutU64(std::get<2>(key));
+  w.PutString(std::get<1>(key));
+  w.PutString(EncodeAtomRow(row));
+  std::ofstream out(SpillPath(key), std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  const std::string& bytes = w.bytes();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return out.good();
+}
+
+std::shared_ptr<const CoPhyAtomRow> AtomStore::TryReload(const Key& key) {
+  std::ifstream in(SpillPath(key), std::ios::binary);
+  if (!in.is_open()) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return nullptr;
+  std::string bytes = std::move(buf).str();
+
+  BinaryReader r(bytes);
+  if (r.U32() != kSpillMagic || r.U32() != kSpillVersion) return nullptr;
+  uint64_t schema = r.U64();
+  uint64_t universe = r.U64();
+  std::string sql = r.String();
+  if (!r.ok() || schema != std::get<0>(key) ||
+      universe != std::get<2>(key) || sql != std::get<1>(key)) {
+    // Wrong key: a filename-hash collision overwrote this file (or the
+    // file is corrupt). Treated as unreadable.
+    return nullptr;
+  }
+  Result<CoPhyAtomRow> row = DecodeAtomRow(r.String());
+  if (!r.ok() || !r.AtEnd() || !row.ok()) return nullptr;
+  return std::make_shared<const CoPhyAtomRow>(std::move(row).value());
+}
+
+void AtomStore::Touch(const Key& key, Entry& entry) {
+  if (entry.lru != 0) lru_order_.erase(entry.lru);
+  entry.lru = ++lru_tick_;
+  lru_order_.emplace(entry.lru, key);
+}
+
+void AtomStore::AddHot(const Key& key, Entry& entry,
+                       std::shared_ptr<const CoPhyAtomRow> row) {
+  entry.bytes = AtomRowBytes(*row);
+  entry.row = std::move(row);
+  hot_bytes_ += entry.bytes;
+  Touch(key, entry);
+}
+
+void AtomStore::EvictToBudget() {
+  if (options_.budget_bytes == 0) {
+    if (hot_bytes_ > peak_hot_bytes_) peak_hot_bytes_ = hot_bytes_;
+    return;
+  }
+  while (hot_bytes_ > options_.budget_bytes && !lru_order_.empty()) {
+    auto lru_it = lru_order_.begin();
+    auto it = rows_.find(lru_it->second);
+    DBD_DCHECK(it != rows_.end());
+    Entry& entry = it->second;
+    ++stats_.evictions;
+    if (spill_enabled_ && !entry.on_disk) {
+      // First eviction writes the cold copy; rows are immutable, so a
+      // reload-then-re-evict cycle never rewrites the file. A write
+      // failure leaves the entry cold-tier-less and it is dropped
+      // below — the next lookup misses and the session repopulates.
+      if (WriteSpill(it->first, *entry.row)) {
+        entry.on_disk = true;
+        ++stats_.spills;
+      }
+    }
+    hot_bytes_ -= entry.bytes;
+    entry.bytes = 0;
+    entry.row.reset();
+    entry.lru = 0;
+    lru_order_.erase(lru_it);
+    if (!entry.on_disk) rows_.erase(it);
+  }
+  // The bench-enforced bound: hot bytes never exceed the budget after
+  // any mutation. (Every hot entry is in lru_order_, so the loop can
+  // always drain hot_bytes_ to zero — even a single row larger than
+  // the whole budget evicts itself; its caller still holds the
+  // shared_ptr.)
+  DBD_CHECK(hot_bytes_ <= options_.budget_bytes);
+  // Peak is recorded AFTER evicting, so it tracks the externally
+  // observable gauge: on a bounded store, peak <= budget always (the
+  // transient AddHot overshoot inside this critical section is never
+  // visible through hot_bytes()).
+  if (hot_bytes_ > peak_hot_bytes_) peak_hot_bytes_ = hot_bytes_;
+}
+
 std::shared_ptr<const CoPhyAtomRow> AtomStore::Lookup(
     uint64_t schema_fingerprint, const std::string& sql_key,
     uint64_t universe_fingerprint) {
   MutexLock lock(mu_);
   ++stats_.lookups;
-  auto it = rows_.find(Key(schema_fingerprint, sql_key, universe_fingerprint));
+  Key key(schema_fingerprint, sql_key, universe_fingerprint);
+  auto it = rows_.find(key);
   if (it == rows_.end()) {
     ++stats_.misses;
     return nullptr;
   }
+  Entry& entry = it->second;
+  if (entry.row != nullptr) {
+    ++stats_.hits;
+    Touch(key, entry);
+    return entry.row;
+  }
+  // Cold tier: reload, promote to hot, re-evict to budget. The local
+  // copy is returned even if the promotion immediately evicts it again
+  // (budget smaller than this one row).
+  std::shared_ptr<const CoPhyAtomRow> row = TryReload(key);
+  if (row == nullptr) {
+    ++stats_.reload_failures;
+    ++stats_.misses;
+    std::error_code ec;
+    std::filesystem::remove(SpillPath(key), ec);
+    rows_.erase(it);
+    return nullptr;
+  }
+  ++stats_.reloads;
   ++stats_.hits;
-  return it->second;
+  AddHot(key, entry, row);
+  EvictToBudget();
+  return row;
 }
 
 std::shared_ptr<const CoPhyAtomRow> AtomStore::Publish(
     uint64_t schema_fingerprint, const std::string& sql_key,
     uint64_t universe_fingerprint, std::shared_ptr<const CoPhyAtomRow> row) {
   MutexLock lock(mu_);
-  auto [it, inserted] = rows_.try_emplace(
-      Key(schema_fingerprint, sql_key, universe_fingerprint), std::move(row));
-  if (!inserted) {
+  Key key(schema_fingerprint, sql_key, universe_fingerprint);
+  auto it = rows_.find(key);
+  if (it != rows_.end()) {
     // Two sessions built the same row concurrently; the first write is
     // canonical and the duplicate is dropped so every holder shares
     // one object.
-    ++stats_.races_discarded;
-    return it->second;
+    Entry& entry = it->second;
+    if (entry.row != nullptr) {
+      ++stats_.races_discarded;
+      Touch(key, entry);
+      return entry.row;
+    }
+    // The canonical row was already evicted to the cold tier (the
+    // publisher raced an eviction). Reload it so both holders still
+    // converge on one object; if the spill is unreadable, fall through
+    // and let the freshly built row take over the entry.
+    std::shared_ptr<const CoPhyAtomRow> stored = TryReload(key);
+    if (stored != nullptr) {
+      ++stats_.races_discarded;
+      ++stats_.reloads;
+      AddHot(key, entry, stored);
+      EvictToBudget();
+      return stored;
+    }
+    ++stats_.reload_failures;
+    std::error_code ec;
+    std::filesystem::remove(SpillPath(key), ec);
+    entry.on_disk = false;
+  } else {
+    it = rows_.emplace(key, Entry{}).first;
   }
+  std::shared_ptr<const CoPhyAtomRow> canonical = std::move(row);
+  AddHot(key, it->second, canonical);
   ++stats_.publishes;
   if (!seen_queries_.emplace(schema_fingerprint, sql_key).second) {
+    // Same (schema, query) published before under another universe —
+    // or its entry was evicted without a reloadable spill copy. Either
+    // way the populate was paid again.
     ++stats_.repopulates;
   }
-  return it->second;
+  EvictToBudget();
+  return canonical;
 }
 
 AtomStoreStats AtomStore::stats() const {
@@ -129,10 +333,42 @@ size_t AtomStore::entries() const {
   return rows_.size();
 }
 
+size_t AtomStore::hot_entries() const {
+  MutexLock lock(mu_);
+  return lru_order_.size();
+}
+
+size_t AtomStore::hot_bytes() const {
+  MutexLock lock(mu_);
+  return hot_bytes_;
+}
+
+size_t AtomStore::peak_hot_bytes() const {
+  MutexLock lock(mu_);
+  return peak_hot_bytes_;
+}
+
+void AtomStore::RemoveSpillFiles() {
+  for (const auto& [key, entry] : rows_) {
+    if (!entry.on_disk) continue;
+    std::error_code ec;
+    std::filesystem::remove(SpillPath(key), ec);
+  }
+}
+
 void AtomStore::Clear() {
   MutexLock lock(mu_);
+  RemoveSpillFiles();
   rows_.clear();
+  lru_order_.clear();
   seen_queries_.clear();
+  lru_tick_ = 0;
+  hot_bytes_ = 0;
+  peak_hot_bytes_ = 0;
+  // Counters reset with the entries: a cleared store is a fresh store,
+  // and a hit_rate() mixing pre- and post-clear epochs would misreport
+  // (the old bug: stale lookups/hits surviving into the new epoch).
+  stats_ = AtomStoreStats{};
 }
 
 }  // namespace dbdesign

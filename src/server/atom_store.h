@@ -1,5 +1,5 @@
 // Shared, reference-counted atom substrate for the multi-tenant tuning
-// server.
+// server — now with a memory budget.
 //
 // The expensive half of a recommendation is per (schema, query,
 // candidate universe): INUM populate + CoPhy atom expansion. Nothing
@@ -18,13 +18,40 @@
 // construction and results stay bit-identical to the single-session
 // path.
 //
+// Tiering. A store without a budget keeps every row hot forever, which
+// on a long-lived server tuning hundreds of schemas is unbounded
+// growth. With AtomStoreOptions::budget_bytes set, rows live in up to
+// three tiers:
+//
+//   hot   — shared_ptr in memory; the only tier that counts against
+//           the budget. LRU order per entry (entry granularity IS
+//           (schema, template-class) granularity: the SQL key is the
+//           template class's representative rendering).
+//   cold  — evicted rows spilled to a compact versioned little-endian
+//           file (cophy/atom_codec.h) under AtomStoreOptions::
+//           spill_dir; a later lookup transparently reloads, promotes
+//           the row back to hot, and re-evicts to budget.
+//   gone  — with no spill_dir (or an unwritable one), eviction drops
+//           the entry outright and the next lookup misses; the session
+//           rebuilds and republishes (a `repopulate`).
+//
+// Every transition is counted (evictions / spills / reloads /
+// reload_failures) and the hot-byte gauge is DBD_CHECK'd against the
+// budget after every mutation, so benches can hard-assert bounded
+// memory. Eviction never touches `seen_queries_`, which is what keeps
+// the repopulate-vs-fresh-publish distinction exact across evictions.
+//
 // Keying notes. The SQL text component is collision-free by
 // construction (same lesson as the INUM cache tripwires: text keys,
 // not hashes, for the part that varies per query). The schema and
 // universe components are 64-bit FNV-1a over canonical renderings that
 // include every cost-relevant input — catalog shape, statistics
-// summary, cost parameters, candidate keys + sizes — so substrates
-// that could cost differently fingerprint differently.
+// (including histogram bounds and MCV values/frequencies), cost
+// parameters, candidate keys + sizes — so substrates that could cost
+// differently fingerprint differently. Spill FILES are named by a hash
+// of the composite key, but each file embeds the full key and the
+// reload path verifies it, so a filename collision degrades to a miss,
+// never to serving another key's row.
 //
 // The cluster partition used by the decomposed solver is deliberately
 // NOT part of the key: it is a pure function of the rows (which
@@ -54,19 +81,29 @@ namespace dbdesign {
 /// AtomStoreView::session_stats(). Counters describe work saved/spent
 /// (a hit = one INUM populate avoided); they are interleaving-dependent
 /// under concurrency and deliberately outside the bit-identical
-/// contract, which covers results only.
+/// contract, which covers results only. Counters cover the store's
+/// CURRENT lifetime: Clear() resets them along with the entries, so
+/// hit_rate() never mixes epochs.
 struct AtomStoreStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;    ///< rows served shared — populate skipped
   uint64_t misses = 0;  ///< rows the session had to build itself
   uint64_t publishes = 0;  ///< fresh rows inserted (populates paid)
   /// Publishes for a query that was already stored under a *different*
-  /// candidate universe: the universe changed (pin/veto extension, new
-  /// templates) and the row had to be rebuilt.
+  /// candidate universe — OR whose entry was evicted without a
+  /// reloadable spill copy: either way the row had to be rebuilt.
   uint64_t repopulates = 0;
   /// Concurrent duplicate publishes dropped in favor of the canonical
   /// first-written row.
   uint64_t races_discarded = 0;
+
+  // --- Tiering counters (all zero on an unbounded store) ---
+  uint64_t evictions = 0;  ///< hot rows pushed out by the budget
+  uint64_t spills = 0;     ///< evicted rows written to the cold tier
+  uint64_t reloads = 0;    ///< hits served by decoding a spill file
+  /// Spill files that failed to read back (deleted, corrupt, or a
+  /// filename-hash collision overwrote them); each one became a miss.
+  uint64_t reload_failures = 0;
 
   double hit_rate() const {
     return lookups == 0
@@ -76,22 +113,43 @@ struct AtomStoreStats {
 };
 
 /// Fingerprint of a backend's cost substrate: catalog shape (table and
-/// column names, types, widths), per-table statistics summary (row
-/// counts, per-column NDV/null fraction/correlation and histogram
-/// resolution), and cost parameters. Two backends with equal
-/// fingerprints produce identical atom rows for identical queries and
-/// candidate universes, which is exactly the sharing contract the
+/// column names, types, widths), per-table statistics (row counts,
+/// per-column NDV/null fraction/correlation, every histogram bound and
+/// every MCV value/frequency), and cost parameters. Two backends with
+/// equal fingerprints produce identical atom rows for identical queries
+/// and candidate universes, which is exactly the sharing contract the
 /// AtomStore needs.
 uint64_t SchemaFingerprint(const DbmsBackend& backend);
 
+/// Memory policy for an AtomStore. Defaults reproduce the pre-budget
+/// store: everything hot forever, nothing on disk.
+struct AtomStoreOptions {
+  /// Ceiling on hot (in-memory) row bytes, as measured by AtomRowBytes.
+  /// 0 = unbounded.
+  size_t budget_bytes = 0;
+  /// Directory for the cold tier. Empty = no spilling (eviction drops
+  /// rows outright). Created on construction; if creation fails the
+  /// store logs a warning and runs without a cold tier.
+  std::string spill_dir;
+};
+
 /// The server-wide shared substrate. Thread-safe; all state behind an
 /// annotated Mutex. Entries are immutable shared_ptrs, so readers hold
-/// rows with zero locking after lookup and a Clear() (or store
-/// destruction) never invalidates rows sessions already adopted —
+/// rows with zero locking after lookup and a Clear(), an eviction, or
+/// store destruction never invalidates rows sessions already adopted —
 /// reference counting keeps them alive.
 class AtomStore {
  public:
-  /// Cached row for the composite key, or nullptr on a miss.
+  AtomStore() = default;
+  explicit AtomStore(AtomStoreOptions options);
+  ~AtomStore();
+
+  AtomStore(const AtomStore&) = delete;
+  AtomStore& operator=(const AtomStore&) = delete;
+
+  /// Cached row for the composite key, or nullptr on a miss. A spilled
+  /// row is transparently reloaded (and promoted back to hot); an
+  /// unreadable spill file degrades to a miss.
   std::shared_ptr<const CoPhyAtomRow> Lookup(uint64_t schema_fingerprint,
                                              const std::string& sql_key,
                                              uint64_t universe_fingerprint);
@@ -104,19 +162,76 @@ class AtomStore {
       uint64_t universe_fingerprint, std::shared_ptr<const CoPhyAtomRow> row);
 
   AtomStoreStats stats() const;
+  /// Entries in any tier (hot + spilled).
   size_t entries() const;
+  /// Entries currently hot (holding an in-memory row).
+  size_t hot_entries() const;
+  /// Current / high-water hot-tier bytes (the budgeted gauge).
+  size_t hot_bytes() const;
+  size_t peak_hot_bytes() const;
 
-  /// Drops every entry (rows sessions hold stay alive via shared_ptr).
+  const AtomStoreOptions& options() const { return options_; }
+
+  /// Drops every entry AND every spill file, and resets counters and
+  /// gauges to a fresh store (rows sessions hold stay alive via
+  /// shared_ptr). Unlike eviction, this also forgets seen_queries_:
+  /// after a Clear the next publish of any key is a fresh publish, not
+  /// a repopulate, and hit_rate() restarts from zero.
   void Clear();
 
  private:
   using Key = std::tuple<uint64_t, std::string, uint64_t>;
 
+  struct Entry {
+    /// Hot row, or nullptr when the entry lives only in the cold tier.
+    std::shared_ptr<const CoPhyAtomRow> row;
+    size_t bytes = 0;  ///< AtomRowBytes of `row` (0 while spilled)
+    /// A spill file with this entry's payload exists (the row was
+    /// written on first eviction; rows are immutable, so a re-eviction
+    /// never rewrites it).
+    bool on_disk = false;
+    /// LRU tick in lru_order_, or 0 while not hot.
+    uint64_t lru = 0;
+  };
+
+  /// Marks an entry most-recently-used.
+  void Touch(const Key& key, Entry& entry) DBD_REQUIRES(mu_);
+  /// Evicts least-recently-used hot rows (spilling them when the cold
+  /// tier is available) until hot_bytes_ fits the budget, then CHECKs
+  /// the invariant. A no-op on an unbounded store.
+  void EvictToBudget() DBD_REQUIRES(mu_);
+  /// Accounts a row becoming hot.
+  void AddHot(const Key& key, Entry& entry,
+              std::shared_ptr<const CoPhyAtomRow> row) DBD_REQUIRES(mu_);
+  /// Reads + decodes + key-verifies this entry's spill file; nullptr on
+  /// any failure.
+  std::shared_ptr<const CoPhyAtomRow> TryReload(const Key& key)
+      DBD_REQUIRES(mu_);
+  /// Writes the spill file for (key, row); false on I/O failure.
+  bool WriteSpill(const Key& key, const CoPhyAtomRow& row) DBD_REQUIRES(mu_);
+  std::string SpillPath(const Key& key) const;
+  /// Best-effort removal of every spill file owned by current entries.
+  void RemoveSpillFiles() DBD_REQUIRES(mu_);
+
+  const AtomStoreOptions options_;
+  /// Cold tier usable (spill_dir set and created). Immutable after
+  /// construction.
+  bool spill_enabled_ = false;
+
   mutable Mutex mu_;
-  std::map<Key, std::shared_ptr<const CoPhyAtomRow>> rows_ DBD_GUARDED_BY(mu_);
+  std::map<Key, Entry> rows_ DBD_GUARDED_BY(mu_);
+  /// LRU tick -> key, hot entries only; begin() is the eviction victim.
+  std::map<uint64_t, Key> lru_order_ DBD_GUARDED_BY(mu_);
+  uint64_t lru_tick_ DBD_GUARDED_BY(mu_) = 0;
+  size_t hot_bytes_ DBD_GUARDED_BY(mu_) = 0;
+  size_t peak_hot_bytes_ DBD_GUARDED_BY(mu_) = 0;
   /// (schema, sql) pairs ever published — distinguishes a repopulate
-  /// (same query, new universe) from a first-time publish.
-  std::set<std::pair<uint64_t, std::string>> seen_queries_ DBD_GUARDED_BY(mu_);
+  /// (same query, new universe or evicted entry) from a first-time
+  /// publish. Deliberately NOT trimmed by eviction (a uint64 + the SQL
+  /// text per template is noise next to one atom row), and reset only
+  /// by Clear().
+  std::set<std::pair<uint64_t, std::string>> seen_queries_
+      DBD_GUARDED_BY(mu_);
   AtomStoreStats stats_ DBD_GUARDED_BY(mu_);
 };
 

@@ -9,7 +9,9 @@
 namespace dbdesign {
 
 TuningServer::TuningServer(TuningServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      store_(AtomStoreOptions{options_.cache_budget.atom_store_bytes,
+                              options_.spill_dir}) {}
 
 TuningServer::~TuningServer() = default;
 
@@ -57,6 +59,7 @@ Status TuningServer::OpenSession(const std::string& session_id,
     entry->designer =
         std::make_unique<Designer>(se.seam(), options_.designer);
     entry->session = std::make_unique<DesignSession>(*entry->designer);
+    entry->session->SetCacheBudget(options_.cache_budget);
     if (options_.share_atoms) {
       entry->atoms = std::make_unique<AtomStoreView>(&store_, se.fingerprint);
       entry->session->SetAtomSource(entry->atoms.get());
@@ -229,6 +232,8 @@ Status TuningServer::WithSession(
 TuningServerStats TuningServer::stats() const {
   TuningServerStats out;
   out.atoms = store_.stats();
+  out.atom_hot_bytes = store_.hot_bytes();
+  out.atom_peak_hot_bytes = store_.peak_hot_bytes();
   MutexLock lock(mu_);
   out.sessions_open = sessions_.size();
   out.sessions_total = sessions_total_;

@@ -46,6 +46,7 @@
 #include "core/session.h"
 #include "server/atom_store.h"
 #include "server/batcher.h"
+#include "util/cache_budget.h"
 #include "util/thread_annotations.h"
 
 namespace dbdesign {
@@ -60,6 +61,16 @@ struct TuningServerOptions {
   bool coalesce_backend_calls = true;
   /// Parallelism for RunBatch across sessions (0 = hardware).
   int num_threads = 0;
+  /// Memory budget for every cache tier: atom_store_bytes bounds the
+  /// shared store's hot rows, doi_rows_bytes / solver_cache_bytes are
+  /// applied to each session on open. Zero fields (the default) are
+  /// unbounded — the pre-budget behavior. Results are bit-identical at
+  /// any budget; only eviction/recompute work varies.
+  CacheBudget cache_budget;
+  /// Cold-tier directory for evicted atom rows (see AtomStoreOptions::
+  /// spill_dir). Empty = no spilling: an evicted row is rebuilt by the
+  /// next session that needs it.
+  std::string spill_dir;
 };
 
 enum class SessionOp {
@@ -88,6 +99,10 @@ struct SessionResponse {
 /// Server-wide telemetry snapshot.
 struct TuningServerStats {
   AtomStoreStats atoms;    ///< shared-store counters (all schemas)
+  /// Current / high-water hot bytes in the shared store (the gauge the
+  /// atom_store_bytes budget bounds).
+  size_t atom_hot_bytes = 0;
+  size_t atom_peak_hot_bytes = 0;
   uint64_t sessions_open = 0;
   uint64_t sessions_total = 0;  ///< ever opened
   uint64_t requests_served = 0;

@@ -1,0 +1,69 @@
+#include "util/binio.h"
+
+#include <bit>
+
+namespace dbdesign {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    PutU8(static_cast<uint8_t>((v >> (8 * b)) & 0xff));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    PutU8(static_cast<uint8_t>((v >> (8 * b)) & 0xff));
+  }
+}
+
+void BinaryWriter::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+bool BinaryReader::Need(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t BinaryReader::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t BinaryReader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * b);
+  }
+  return v;
+}
+
+uint64_t BinaryReader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * b);
+  }
+  return v;
+}
+
+double BinaryReader::Double() { return std::bit_cast<double>(U64()); }
+
+std::string BinaryReader::String() {
+  uint64_t n = U64();
+  // Length is validated against the remaining bytes BEFORE allocating,
+  // so a corrupt length can never turn into a multi-gigabyte reserve.
+  if (!Need(static_cast<size_t>(n))) return std::string();
+  std::string s(data_.substr(pos_, static_cast<size_t>(n)));
+  pos_ += static_cast<size_t>(n);
+  return s;
+}
+
+}  // namespace dbdesign

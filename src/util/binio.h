@@ -1,0 +1,73 @@
+// Little-endian binary encoding primitives for the compact on-disk
+// formats (the atom spill tier, server/atom_store.h). The repo's JSON
+// layer (util/json.h) already round-trips every value the designer
+// produces — including non-finite costs via the __nonfinite sentinel —
+// but a textual encoding is an order of magnitude too fat for a cache
+// whose whole point is bounding memory. These helpers are the binary
+// counterpart: fixed-width little-endian integers, IEEE-754 doubles as
+// raw bits (so +inf/-inf/NaN round-trip exactly, no sentinel needed),
+// and length-prefixed strings.
+//
+// The byte layout is explicit (assembled byte-by-byte), not
+// memcpy-of-struct: files written on any host decode on any other, and
+// a truncated or corrupt buffer can never read out of bounds — the
+// reader latches !ok() and returns zeros instead.
+
+#ifndef DBDESIGN_UTIL_BINIO_H_
+#define DBDESIGN_UTIL_BINIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dbdesign {
+
+/// Appends fixed-width little-endian values to a growing byte string.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Raw IEEE-754 bits — non-finite values round-trip exactly.
+  void PutDouble(double v);
+  /// u64 length prefix + raw bytes.
+  void PutString(std::string_view s);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads BinaryWriter output back. Every accessor is total: a read past
+/// the end (truncated or corrupt input) returns 0 / empty and latches
+/// ok() == false, so decoders can parse first and validate once at the
+/// end. String lengths are checked against the remaining bytes before
+/// any allocation, so corrupt input cannot trigger a huge allocation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  double Double();
+  std::string String();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  /// True when `n` more bytes are available; latches ok_ otherwise.
+  bool Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dbdesign
+
+#endif  // DBDESIGN_UTIL_BINIO_H_

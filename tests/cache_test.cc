@@ -1,0 +1,596 @@
+// Bounded atom caching tests: the SchemaFingerprint histogram/MCV
+// collision fix (regression tests that fail against the pre-fix
+// extrema-only fingerprint), AtomStore counter semantics (Clear resets
+// stats; eviction preserves the repopulate-vs-fresh distinction), the
+// budgeted tiered LRU (budget invariant, spill/reload round trips,
+// spill-file loss degrading to a miss), the binary atom codec, and the
+// differential contract: a bounded store/session produces bit-identical
+// Recommend/Refine/PlanDeployment results to an unbounded one — budgets
+// bound memory, never answers.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/inmemory_backend.h"
+#include "cophy/atom_codec.h"
+#include "core/session.h"
+#include "server/atom_store.h"
+#include "server/server.h"
+#include "util/cache_budget.h"
+#include "workload/queries.h"
+#include "workload/sdss.h"
+
+namespace dbdesign {
+namespace {
+
+// --- SchemaFingerprint regression: histogram / MCV contents ---
+
+// Minimal stats-only backend: SchemaFingerprint reads catalog(),
+// all_stats() and cost_params() only, so the cost entry points can be
+// stubs that are never called.
+class StatsStubBackend final : public DbmsBackend {
+ public:
+  StatsStubBackend(Catalog catalog, std::vector<TableStats> stats)
+      : catalog_(std::move(catalog)), stats_(std::move(stats)) {}
+
+  std::string name() const override { return "stats-stub"; }
+  const CostParams& cost_params() const override { return params_; }
+  const Catalog& catalog() const override { return catalog_; }
+  const std::vector<TableStats>& all_stats() const override { return stats_; }
+  Status RefreshStatistics(TableId, const AnalyzeOptions&) override {
+    return Status::Internal("stats stub");
+  }
+  PhysicalDesign CurrentDesign() const override { return {}; }
+  Result<PlanResult> OptimizeQuery(const BoundQuery&, const PhysicalDesign&,
+                                   const PlannerKnobs&) override {
+    return Status::Internal("stats stub");
+  }
+  uint64_t num_optimizer_calls() const override { return 0; }
+  void ResetCallCount() override {}
+
+ private:
+  Catalog catalog_;
+  std::vector<TableStats> stats_;
+  CostParams params_;
+};
+
+// One table, one int column, fully parameterized statistics. Every
+// stub built here agrees on catalog shape, row count, NDV, null_frac,
+// correlation, histogram RESOLUTION and EXTREMA — the summary the
+// pre-fix fingerprint stopped at.
+StatsStubBackend MakeStatsStub(std::vector<int64_t> histogram_bounds,
+                               std::vector<std::pair<int64_t, double>> mcv) {
+  Catalog catalog;
+  TableDef table("t", {ColumnDef{"c", DataType::kInt64, 0}});
+  EXPECT_TRUE(catalog.AddTable(std::move(table)).ok());
+
+  ColumnStats col;
+  col.n_distinct = 100.0;
+  col.null_frac = 0.0;
+  col.correlation = 0.25;
+  col.min = Value(int64_t{0});
+  col.max = Value(int64_t{100});
+  for (int64_t b : histogram_bounds) col.histogram.push_back(Value(b));
+  for (const auto& [value, freq] : mcv) {
+    col.mcv.push_back(McvEntry{Value(value), freq});
+  }
+
+  TableStats stats;
+  stats.row_count = 1000.0;
+  stats.columns.push_back(std::move(col));
+  return StatsStubBackend(std::move(catalog), {std::move(stats)});
+}
+
+// Two substrates equal in every summary statistic — same histogram
+// size, same min/max (the extrema are the first/last bounds) — but
+// with one interior bound moved. Selectivity estimation walks the
+// bounds, so these cost queries differently and must never share atom
+// rows. The pre-fix fingerprint (size + extrema only) collides here.
+TEST(CacheFingerprintTest, HistogramInteriorChangesFingerprint) {
+  StatsStubBackend a = MakeStatsStub({0, 10, 50, 100}, {});
+  StatsStubBackend b = MakeStatsStub({0, 10, 90, 100}, {});
+  EXPECT_NE(SchemaFingerprint(a), SchemaFingerprint(b));
+
+  // Determinism sanity: identical substrates fingerprint identically.
+  StatsStubBackend a2 = MakeStatsStub({0, 10, 50, 100}, {});
+  EXPECT_EQ(SchemaFingerprint(a), SchemaFingerprint(a2));
+}
+
+// Same shape for the MCV list: equal length, different member value or
+// different frequency — both must change the fingerprint (frequency
+// feeds equality selectivity directly).
+TEST(CacheFingerprintTest, McvContentsChangeFingerprint) {
+  StatsStubBackend base = MakeStatsStub({0, 100}, {{5, 0.2}, {9, 0.1}});
+  StatsStubBackend other_value =
+      MakeStatsStub({0, 100}, {{7, 0.2}, {9, 0.1}});
+  StatsStubBackend other_freq =
+      MakeStatsStub({0, 100}, {{5, 0.3}, {9, 0.1}});
+  EXPECT_NE(SchemaFingerprint(base), SchemaFingerprint(other_value));
+  EXPECT_NE(SchemaFingerprint(base), SchemaFingerprint(other_freq));
+  EXPECT_NE(SchemaFingerprint(other_value), SchemaFingerprint(other_freq));
+}
+
+// --- Binary atom codec ---
+
+CoPhyAtomRow MakeRow(double base_cost, int num_atoms, int id_seed) {
+  CoPhyAtomRow row;
+  row.base_cost = base_cost;
+  for (int a = 0; a < num_atoms; ++a) {
+    CoPhyAtom atom;
+    atom.cost = base_cost + a * 1.5;
+    for (int i = 0; i < a % 4; ++i) atom.used.push_back(id_seed + a + i);
+    row.atoms.push_back(std::move(atom));
+  }
+  return row;
+}
+
+void ExpectBitIdenticalRows(const CoPhyAtomRow& a, const CoPhyAtomRow& b) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.base_cost),
+            std::bit_cast<uint64_t>(b.base_cost));
+  ASSERT_EQ(a.atoms.size(), b.atoms.size());
+  for (size_t i = 0; i < a.atoms.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.atoms[i].cost),
+              std::bit_cast<uint64_t>(b.atoms[i].cost));
+    EXPECT_EQ(a.atoms[i].used, b.atoms[i].used);
+  }
+}
+
+TEST(AtomCodecTest, RoundTripIncludingNonFiniteCosts) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  CoPhyAtomRow row;
+  row.base_cost = 1234.5;
+  row.atoms.push_back(CoPhyAtom{3.25, {0, 2, 7}});
+  row.atoms.push_back(CoPhyAtom{kInf, {1}});  // infeasible plan option
+  row.atoms.push_back(CoPhyAtom{-kInf, {}});
+  row.atoms.push_back(CoPhyAtom{std::nan(""), {4, 5}});
+
+  Result<CoPhyAtomRow> back = DecodeAtomRow(EncodeAtomRow(row));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitIdenticalRows(row, back.value());
+
+  // Degenerate rows round-trip too.
+  CoPhyAtomRow empty;
+  Result<CoPhyAtomRow> empty_back = DecodeAtomRow(EncodeAtomRow(empty));
+  ASSERT_TRUE(empty_back.ok());
+  ExpectBitIdenticalRows(empty, empty_back.value());
+}
+
+TEST(AtomCodecTest, RejectsCorruptInput) {
+  std::string good = EncodeAtomRow(MakeRow(10.0, 5, 3));
+  ASSERT_TRUE(DecodeAtomRow(good).ok());
+
+  EXPECT_EQ(DecodeAtomRow("").status().code(), StatusCode::kInvalidArgument);
+
+  std::string bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] + 1);
+  EXPECT_EQ(DecodeAtomRow(bad_magic).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(bad_version[4] + 1);
+  EXPECT_EQ(DecodeAtomRow(bad_version).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Every truncation point must fail cleanly, never read out of bounds.
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(DecodeAtomRow(std::string_view(good).substr(0, len)).ok())
+        << "truncated at " << len;
+  }
+
+  EXPECT_EQ(DecodeAtomRow(good + "x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AtomCodecTest, AtomRowBytesGrowsWithContents) {
+  size_t empty = AtomRowBytes(CoPhyAtomRow{});
+  EXPECT_GE(empty, sizeof(CoPhyAtomRow));
+  EXPECT_GT(AtomRowBytes(MakeRow(1.0, 4, 0)), empty);
+  EXPECT_GT(AtomRowBytes(MakeRow(1.0, 8, 0)), AtomRowBytes(MakeRow(1.0, 4, 0)));
+}
+
+// --- AtomStore counter semantics ---
+
+std::shared_ptr<const CoPhyAtomRow> SharedRow(double base_cost, int num_atoms,
+                                              int id_seed = 0) {
+  return std::make_shared<const CoPhyAtomRow>(
+      MakeRow(base_cost, num_atoms, id_seed));
+}
+
+// Clear() must reset the counters with the entries: a hit_rate() mixing
+// pre- and post-clear epochs misreports (the old bug left stats_ stale).
+TEST(AtomStoreTest, ClearResetsStats) {
+  AtomStore store;
+  store.Publish(1, "q1", 10, SharedRow(5.0, 3));
+  EXPECT_NE(store.Lookup(1, "q1", 10), nullptr);
+  EXPECT_EQ(store.Lookup(1, "q2", 10), nullptr);
+
+  AtomStoreStats before = store.stats();
+  EXPECT_EQ(before.publishes, 1u);
+  EXPECT_EQ(before.lookups, 2u);
+  EXPECT_EQ(before.hits, 1u);
+  EXPECT_EQ(before.misses, 1u);
+  EXPECT_GT(store.hot_bytes(), 0u);
+
+  store.Clear();
+  AtomStoreStats after = store.stats();
+  EXPECT_EQ(after.lookups, 0u);
+  EXPECT_EQ(after.hits, 0u);
+  EXPECT_EQ(after.misses, 0u);
+  EXPECT_EQ(after.publishes, 0u);
+  EXPECT_EQ(after.repopulates, 0u);
+  EXPECT_EQ(after.hit_rate(), 0.0);
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_EQ(store.hot_bytes(), 0u);
+  EXPECT_EQ(store.peak_hot_bytes(), 0u);
+
+  // The post-clear epoch counts from zero.
+  EXPECT_NE(store.Publish(1, "q1", 10, SharedRow(5.0, 3)), nullptr);
+  AtomStoreStats fresh = store.stats();
+  EXPECT_EQ(fresh.publishes, 1u);
+  EXPECT_EQ(fresh.repopulates, 0u);  // Clear forgot seen_queries_
+}
+
+// Eviction without a cold tier drops the row but must NOT forget that
+// the (schema, query) was published: the rebuild is a repopulate (the
+// populate was paid twice), not a fresh publish. Only Clear() resets
+// that memory.
+TEST(AtomStoreTest, EvictionPreservesRepopulateDistinction) {
+  AtomStoreOptions options;
+  options.budget_bytes = 1;  // every publish immediately evicts
+  AtomStore store(options);
+
+  std::shared_ptr<const CoPhyAtomRow> held =
+      store.Publish(7, "q1", 10, SharedRow(5.0, 3));
+  ASSERT_NE(held, nullptr);  // the publisher keeps its row regardless
+  AtomStoreStats s = store.stats();
+  EXPECT_EQ(s.publishes, 1u);
+  EXPECT_EQ(s.repopulates, 0u);
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_EQ(s.spills, 0u);  // no spill dir
+  EXPECT_EQ(store.hot_bytes(), 0u);
+
+  // The evicted entry is gone: miss, then the rebuild counts as a
+  // repopulate even though the entry no longer exists.
+  EXPECT_EQ(store.Lookup(7, "q1", 10), nullptr);
+  store.Publish(7, "q1", 10, SharedRow(5.0, 3));
+  EXPECT_EQ(store.stats().repopulates, 1u);
+
+  // Same query under a NEW universe is also a repopulate (pre-existing
+  // semantics, must survive the budgeted rewrite).
+  store.Publish(7, "q1", 11, SharedRow(5.0, 3));
+  EXPECT_EQ(store.stats().repopulates, 2u);
+
+  // Clear() resets the distinction: the next publish is fresh again.
+  store.Clear();
+  store.Publish(7, "q1", 10, SharedRow(5.0, 3));
+  EXPECT_EQ(store.stats().publishes, 1u);
+  EXPECT_EQ(store.stats().repopulates, 0u);
+}
+
+// --- The tiered LRU with a cold tier ---
+
+class SpillDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("atom_spill_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SpillDirTest, SpillAndReloadRoundTrip) {
+  std::shared_ptr<const CoPhyAtomRow> original = SharedRow(42.0, 6, 100);
+
+  AtomStoreOptions options;
+  options.budget_bytes = AtomRowBytes(*original) + 8;  // fits exactly one row
+  options.spill_dir = dir_.string();
+  AtomStore store(options);
+
+  store.Publish(1, "q1", 10, original);
+  EXPECT_EQ(store.hot_entries(), 1u);
+
+  // A second row pushes q1 to the cold tier.
+  store.Publish(1, "q2", 10, SharedRow(7.0, 6, 200));
+  AtomStoreStats s = store.stats();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_GE(s.spills, 1u);
+  EXPECT_LE(store.hot_bytes(), options.budget_bytes);
+  EXPECT_LE(store.peak_hot_bytes(), options.budget_bytes);
+  EXPECT_EQ(store.entries(), 2u);  // both alive, one hot + one cold
+
+  // Transparent reload: the lookup is a hit, served by decoding the
+  // spill file, and the row is bit-identical to what was published.
+  std::shared_ptr<const CoPhyAtomRow> back = store.Lookup(1, "q1", 10);
+  ASSERT_NE(back, nullptr);
+  ExpectBitIdenticalRows(*original, *back);
+  s = store.stats();
+  EXPECT_GE(s.reloads, 1u);
+  EXPECT_EQ(s.reload_failures, 0u);
+  EXPECT_GE(s.hits, 1u);
+  EXPECT_LE(store.hot_bytes(), options.budget_bytes);
+
+  // Clear() removes the spill files along with the entries.
+  store.Clear();
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+// A lost/corrupt spill file degrades to a miss + repopulate — never an
+// error, never a wrong row.
+TEST_F(SpillDirTest, LostSpillFileDegradesToMiss) {
+  AtomStoreOptions options;
+  options.budget_bytes = 1;  // every row goes cold immediately
+  options.spill_dir = dir_.string();
+  AtomStore store(options);
+
+  store.Publish(1, "q1", 10, SharedRow(5.0, 4));
+  ASSERT_GE(store.stats().spills, 1u);
+
+  // Simulate crash/cleanup losing the cold tier.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::filesystem::remove(entry.path());
+  }
+
+  EXPECT_EQ(store.Lookup(1, "q1", 10), nullptr);
+  AtomStoreStats s = store.stats();
+  EXPECT_EQ(s.reload_failures, 1u);
+  EXPECT_EQ(s.reloads, 0u);
+  EXPECT_GE(s.misses, 1u);
+
+  // The session rebuilds: counted as a repopulate, then served again.
+  store.Publish(1, "q1", 10, SharedRow(5.0, 4));
+  EXPECT_EQ(store.stats().repopulates, 1u);
+}
+
+// --- CacheBudget ---
+
+TEST(CacheBudgetTest, FromTotalSplitsAndNeverUnboundsATier) {
+  EXPECT_TRUE(CacheBudget{}.unbounded());
+  EXPECT_TRUE(CacheBudget::FromTotal(0).unbounded());
+
+  CacheBudget b = CacheBudget::FromTotal(1000);
+  EXPECT_FALSE(b.unbounded());
+  EXPECT_EQ(b.atom_store_bytes, 700u);
+  EXPECT_EQ(b.doi_rows_bytes, 200u);
+  EXPECT_EQ(b.solver_cache_bytes, 100u);
+
+  // A tiny total still bounds every tier (0 would mean "unbounded").
+  CacheBudget tiny = CacheBudget::FromTotal(5);
+  EXPECT_GE(tiny.atom_store_bytes, 1u);
+  EXPECT_GE(tiny.doi_rows_bytes, 1u);
+  EXPECT_GE(tiny.solver_cache_bytes, 1u);
+}
+
+// --- Differential: bounded == unbounded, bit for bit ---
+
+Database SmallDb(int rows = 1200, uint64_t seed = 31) {
+  SdssConfig cfg;
+  cfg.photoobj_rows = rows;
+  cfg.seed = seed;
+  return BuildSdssDatabase(cfg);
+}
+
+Workload SmallWorkload(const Database& db, int n = 6, uint64_t seed = 5) {
+  return GenerateWorkload(db, TemplateMix::OfflineDefault(), n, seed);
+}
+
+void ExpectSameRecommendation(const IndexRecommendation& a,
+                              const IndexRecommendation& b) {
+  ASSERT_EQ(a.indexes.size(), b.indexes.size());
+  for (size_t i = 0; i < a.indexes.size(); ++i) {
+    EXPECT_EQ(a.indexes[i].Key(), b.indexes[i].Key());
+  }
+  EXPECT_EQ(a.total_size_pages, b.total_size_pages);
+  EXPECT_EQ(a.base_cost, b.base_cost);
+  EXPECT_EQ(a.recommended_cost, b.recommended_cost);
+  EXPECT_EQ(a.per_query_cost, b.per_query_cost);
+}
+
+void ExpectSamePlan(const DeploymentPlan& a, const DeploymentPlan& b) {
+  ASSERT_EQ(a.indexes.size(), b.indexes.size());
+  for (size_t i = 0; i < a.indexes.size(); ++i) {
+    EXPECT_EQ(a.indexes[i].Key(), b.indexes[i].Key());
+  }
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.clusters, b.clusters);
+  ASSERT_EQ(a.schedule.steps.size(), b.schedule.steps.size());
+  for (size_t i = 0; i < a.schedule.steps.size(); ++i) {
+    EXPECT_EQ(a.schedule.steps[i].index.Key(), b.schedule.steps[i].index.Key());
+    EXPECT_EQ(a.schedule.steps[i].cost_after, b.schedule.steps[i].cost_after);
+  }
+  EXPECT_EQ(a.schedule.base_cost, b.schedule.base_cost);
+  EXPECT_EQ(a.schedule.final_cost, b.schedule.final_cost);
+  EXPECT_EQ(a.schedule.total_pages, b.schedule.total_pages);
+}
+
+void ExpectSameResponse(const SessionResponse& a, const SessionResponse& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.status.code(), b.status.code());
+  ASSERT_EQ(a.recommendation.has_value(), b.recommendation.has_value());
+  if (a.recommendation.has_value()) {
+    ExpectSameRecommendation(*a.recommendation, *b.recommendation);
+  }
+  ASSERT_EQ(a.plan.has_value(), b.plan.has_value());
+  if (a.plan.has_value()) ExpectSamePlan(*a.plan, *b.plan);
+}
+
+// Runs the same multi-schema, two-round session sequence against one
+// server and returns every response in order.
+std::vector<SessionResponse> RunServerSequence(
+    TuningServer& server, const std::vector<Workload>& workloads) {
+  std::vector<SessionResponse> out;
+  for (int round = 0; round < 2; ++round) {
+    for (size_t s = 0; s < workloads.size(); ++s) {
+      std::string id =
+          "r" + std::to_string(round) + "-s" + std::to_string(s);
+      std::string schema = "schema" + std::to_string(s);
+      EXPECT_TRUE(server.OpenSession(id, schema).ok());
+      EXPECT_TRUE(server
+                      .WithSession(id,
+                                   [&](DesignSession& session) {
+                                     session.SetWorkload(workloads[s]);
+                                   })
+                      .ok());
+      ConstraintDelta tighten;
+      tighten.storage_budget_pages = 500.0;
+      std::vector<SessionResponse> r = server.RunBatch({
+          {id, SessionOp::kRecommend, {}},
+          {id, SessionOp::kPlanDeployment, {}},
+          {id, SessionOp::kRefine, tighten},
+      });
+      for (SessionResponse& resp : r) {
+        EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+        out.push_back(std::move(resp));
+      }
+      EXPECT_TRUE(server.CloseSession(id).ok());
+    }
+  }
+  return out;
+}
+
+// The tentpole contract: a server whose atom store is squeezed to a
+// single byte — every published row is immediately evicted to disk and
+// every reuse goes through the spill codec — answers every request
+// bit-identically to an unbounded server. Budgets trade work, never
+// results.
+TEST_F(SpillDirTest, BoundedServerBitIdenticalToUnbounded) {
+  const int kSchemas = 3;
+  std::vector<Database> dbs;
+  std::vector<std::unique_ptr<InMemoryBackend>> backends;
+  std::vector<Workload> workloads;
+  for (int s = 0; s < kSchemas; ++s) {
+    dbs.push_back(SmallDb(900 + 100 * s, 31 + s));
+  }
+  for (int s = 0; s < kSchemas; ++s) {
+    backends.push_back(std::make_unique<InMemoryBackend>(dbs[s]));
+    workloads.push_back(SmallWorkload(dbs[s], 5, 5 + s));
+  }
+
+  TuningServer unbounded;
+  TuningServerOptions bounded_options;
+  bounded_options.cache_budget.atom_store_bytes = 1;
+  bounded_options.spill_dir = dir_.string();
+  TuningServer bounded(bounded_options);
+  for (int s = 0; s < kSchemas; ++s) {
+    std::string schema = "schema" + std::to_string(s);
+    ASSERT_TRUE(unbounded.RegisterSchema(schema, *backends[s]).ok());
+    ASSERT_TRUE(bounded.RegisterSchema(schema, *backends[s]).ok());
+  }
+
+  std::vector<SessionResponse> a = RunServerSequence(unbounded, workloads);
+  std::vector<SessionResponse> b = RunServerSequence(bounded, workloads);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ExpectSameResponse(a[i], b[i]);
+
+  // The bounded store actually exercised every tier transition.
+  TuningServerStats stats = bounded.stats();
+  EXPECT_GE(stats.atoms.evictions, 1u);
+  EXPECT_GE(stats.atoms.spills, 1u);
+  EXPECT_GE(stats.atoms.reloads, 1u);  // round 2 reuses round 1's spills
+  EXPECT_LE(stats.atom_hot_bytes, 1u);
+  EXPECT_LE(stats.atom_peak_hot_bytes, 1u);
+
+  // The unbounded store never ticked a tiering counter.
+  TuningServerStats ustats = unbounded.stats();
+  EXPECT_EQ(ustats.atoms.evictions, 0u);
+  EXPECT_EQ(ustats.atoms.spills, 0u);
+  EXPECT_EQ(ustats.atoms.reloads, 0u);
+  EXPECT_GT(ustats.atom_hot_bytes, 0u);
+}
+
+// DoI contribution-row budget: a session squeezed to one byte of DoI
+// cache evicts every row after each plan build and recomputes them on
+// the next — plans stay identical to the unbounded session.
+TEST(CacheDifferentialTest, DoiRowBudgetPreservesPlans) {
+  Database db = SmallDb();
+  InMemoryBackend backend(db);
+  Workload w = SmallWorkload(db);
+
+  Designer d1(backend), d2(backend);
+  DesignSession unbounded(d1), bounded(d2);
+  CacheBudget budget;
+  budget.doi_rows_bytes = 1;
+  bounded.SetCacheBudget(budget);
+  unbounded.SetWorkload(w);
+  bounded.SetWorkload(w);
+
+  ASSERT_TRUE(unbounded.Recommend().ok());
+  ASSERT_TRUE(bounded.Recommend().ok());
+  Result<DeploymentPlan> p1 = unbounded.PlanDeployment();
+  Result<DeploymentPlan> p2 = bounded.PlanDeployment();
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  ASSERT_TRUE(p2.ok()) << p2.status().ToString();
+  ExpectSamePlan(p1.value(), p2.value());
+  EXPECT_GT(bounded.doi_rows_evicted(), 0u);
+  EXPECT_EQ(unbounded.doi_rows_evicted(), 0u);
+
+  // A refine forces a replan; the bounded session recomputes its
+  // evicted rows from cached atoms and still matches.
+  ConstraintDelta tighten;
+  tighten.storage_budget_pages = 400.0;
+  Result<IndexRecommendation> r1 = unbounded.Refine(tighten);
+  Result<IndexRecommendation> r2 = bounded.Refine(tighten);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ExpectSameRecommendation(r1.value(), r2.value());
+
+  Result<DeploymentPlan> q1 = unbounded.PlanDeployment();
+  Result<DeploymentPlan> q2 = bounded.PlanDeployment();
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  ExpectSamePlan(q1.value(), q2.value());
+}
+
+// Solver-cache budget: trimming frontiers/entries after every solve
+// costs re-solve work on the next Refine, never a different answer.
+TEST(CacheDifferentialTest, SolverCacheBudgetPreservesRecommendations) {
+  Database db = SmallDb();
+  InMemoryBackend backend(db);
+  Workload w = SmallWorkload(db);
+
+  Designer d1(backend), d2(backend);
+  DesignSession unbounded(d1), bounded(d2);
+  CacheBudget budget;
+  budget.solver_cache_bytes = 1;
+  bounded.SetCacheBudget(budget);
+  unbounded.SetWorkload(w);
+  bounded.SetWorkload(w);
+
+  Result<IndexRecommendation> r1 = unbounded.Recommend();
+  Result<IndexRecommendation> r2 = bounded.Recommend();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ExpectSameRecommendation(r1.value(), r2.value());
+  EXPECT_GE(bounded.solver_cache().trims, 1u);
+  EXPECT_EQ(unbounded.solver_cache().trims, 0u);
+
+  // Loosen (forces a re-solve against the trimmed cache), then tighten.
+  for (double pages : {5000.0, 300.0}) {
+    ConstraintDelta delta;
+    delta.storage_budget_pages = pages;
+    r1 = unbounded.Refine(delta);
+    r2 = bounded.Refine(delta);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    ExpectSameRecommendation(r1.value(), r2.value());
+  }
+  EXPECT_LE(bounded.solver_cache().ApproxBytes(),
+            sizeof(CoPhySolverCache) + bounded.solver_cache().entries.size() *
+                                           sizeof(CoPhySolverCache::Entry) +
+                sizeof(CoPhySolverCache::Entry));
+}
+
+}  // namespace
+}  // namespace dbdesign
